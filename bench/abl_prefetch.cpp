@@ -1,0 +1,83 @@
+// Ablation: the hardware prefetcher as a fluctuation factor. The L2
+// streamer hides cold-cache penalties for *sequential* access patterns —
+// the query app's point arrays — but does nothing for pointer-chasing.
+// The same cold query costs visibly different amounts depending on a
+// machine configuration bit (BIOS/MSR-controlled on real hardware): one
+// more piece of non-functional state a diagnosis must be able to see.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/apps/query_cache_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+struct Out {
+  double cold_us = 0;
+  double warm_us = 0;
+  double f3_cold_us = 0;
+  std::uint64_t prefetches = 0;
+};
+
+Out run(bool prefetch) {
+  SymbolTable symtab;
+  apps::QueryCacheApp app(symtab);
+  sim::MachineConfig mc;
+  mc.cache.next_line_prefetch = prefetch;
+  sim::Machine m(symtab, mc);
+  sim::PebsConfig pc;
+  pc.reset = 8000;
+  m.cpu(1).enable_pebs(pc);
+  app.submit(apps::QueryCacheApp::paper_queries());
+  app.attach(m, 0, 1);
+  m.run();
+  m.flush_samples();
+
+  core::TraceIntegrator integ(symtab);
+  const core::TraceTable t = integ.integrate(m.marker_log().markers(),
+                                             m.pebs_driver().samples());
+  Out out;
+  const CpuSpec& spec = m.spec();
+  out.cold_us = spec.us(t.item_window_total(1)); // query #1, cold
+  out.warm_us = spec.us(t.item_window_total(2)); // same n, warm
+  out.f3_cold_us = spec.us(t.elapsed(1, app.f3()));
+  out.prefetches = m.cpu(1).cache().prefetches();
+  return out;
+}
+
+} // namespace
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("abl_prefetch",
+                "ablation — the L2 next-line prefetcher halves the cold "
+                "query's memory penalty (sequential point arrays)",
+                spec);
+
+  const Out off = run(false);
+  const Out on = run(true);
+
+  report::Table tab({"prefetcher", "cold #1 [us]", "warm #2 [us]",
+                     "f3 cold [us]", "prefetch fills"});
+  tab.row({"off", report::Table::num(off.cold_us),
+           report::Table::num(off.warm_us), report::Table::num(off.f3_cold_us),
+           report::Table::num(off.prefetches)});
+  tab.row({"on", report::Table::num(on.cold_us),
+           report::Table::num(on.warm_us), report::Table::num(on.f3_cold_us),
+           report::Table::num(on.prefetches)});
+  tab.print(std::cout);
+
+  std::printf(
+      "\nThe cold query's f3 walks its points sequentially, so the\n"
+      "streamer prefetches roughly every other line: the cold penalty\n"
+      "shrinks by ~%.0f%% while warm queries are untouched. On real\n"
+      "machines this is a BIOS/MSR switch — the kind of configuration\n"
+      "state that makes 'identical' machines fluctuate differently.\n",
+      100.0 * (1.0 - (on.cold_us - on.warm_us) /
+                         (off.cold_us - off.warm_us)));
+  return 0;
+}

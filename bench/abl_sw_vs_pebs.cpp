@@ -1,0 +1,124 @@
+// Ablation: what if the hybrid method used software sampling instead of
+// PEBS? Fig. 4 shows the interval floor; this bench shows the consequence
+// at the application level (§II-C's argument completed): with perf-style
+// per-sample interrupts on the ACL core, the overhead is an order of
+// magnitude larger and the per-packet estimates collapse, while PEBS at
+// the same rate is both cheap and accurate.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common.hpp"
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/apps/acl_firewall_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/net/trafficgen.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+using namespace fluxtrace::bench;
+
+namespace {
+
+struct Out {
+  double overhead_us = 0;
+  double est_a = 0, est_c = 0;
+  double samples_per_pkt = 0;
+};
+
+Out run(const acl::RuleSet& rules, bool use_pebs, bool use_sw,
+        std::uint64_t reset, double baseline_us) {
+  SymbolTable symtab;
+  apps::AclFirewallApp app(symtab, rules);
+  sim::Machine m(symtab);
+  net::TrafficGenConfig tgc;
+  tgc.total_packets = 600;
+  tgc.inter_packet_gap_ns = 60000; // wide gaps: sw-sampled runs are slow
+  const acl::PaperPackets pk;
+  net::TrafficGen tg(tgc, app.rx_nic(), app.tx_nic(),
+                     {pk.type_a, pk.type_b, pk.type_c});
+  if (use_pebs) {
+    sim::PebsConfig pc;
+    pc.reset = reset;
+    m.cpu(2).enable_pebs(pc);
+  }
+  if (use_sw) {
+    sim::SwSamplerConfig sc;
+    sc.reset = reset;
+    m.cpu(2).enable_sw_sampler(sc);
+  }
+  app.expect_packets(tgc.total_packets);
+  m.attach(0, tg);
+  app.attach(m, 1, 2, 3);
+  m.run();
+  m.flush_samples();
+
+  // Integrate whichever sample stream exists.
+  SampleVec samples = m.pebs_driver().samples();
+  if (use_sw) samples = m.cpu(2).sw_sampler().samples();
+
+  core::TraceIntegrator integ(symtab);
+  const core::TraceTable table =
+      integ.integrate(m.marker_log().markers(), samples);
+
+  const CpuSpec& spec = m.spec();
+  std::map<std::uint32_t, double> est, cnt;
+  double lat = 0;
+  for (const auto& rec : tg.records()) {
+    est[rec.flow_idx] +=
+        spec.us(table.elapsed(rec.id, app.classify_symbol()));
+    cnt[rec.flow_idx] += 1;
+    lat += spec.us(rec.latency());
+  }
+  Out out;
+  out.overhead_us =
+      lat / static_cast<double>(tg.records().size()) - baseline_us;
+  out.est_a = est[0] / cnt[0];
+  out.est_c = est[2] / cnt[2];
+  out.samples_per_pkt = static_cast<double>(samples.size()) /
+                        static_cast<double>(tgc.total_packets);
+  return out;
+}
+
+} // namespace
+
+int main() {
+  const CpuSpec spec;
+  banner("abl_sw_vs_pebs",
+         "ablation — the hybrid method on software sampling instead of "
+         "PEBS (the §II-C argument, application level)",
+         spec);
+
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  const Out off = run(rules, false, false, 0, 0.0);
+  const double baseline = off.overhead_us; // = mean latency with no tracing
+  std::printf("untraced mean latency: %.2f us (baseline A ~12us / C ~6us "
+              "inside classify)\n\n",
+              baseline);
+
+  report::Table tab({"sampler", "reset", "samples/pkt", "overhead [us/pkt]",
+                     "A est [us]", "C est [us]"});
+  for (const std::uint64_t reset : {8000u, 32000u}) {
+    const Out p = run(rules, true, false, reset, baseline);
+    tab.row({"PEBS", report::Table::num(reset),
+             report::Table::num(p.samples_per_pkt, 1),
+             report::Table::num(p.overhead_us), report::Table::num(p.est_a),
+             report::Table::num(p.est_c)});
+    const Out s = run(rules, false, true, reset, baseline);
+    tab.row({"perf (software)", report::Table::num(reset),
+             report::Table::num(s.samples_per_pkt, 1),
+             report::Table::num(s.overhead_us), report::Table::num(s.est_a),
+             report::Table::num(s.est_c)});
+  }
+  tab.print(std::cout);
+
+  std::printf(
+      "\nAt the same configured rate, each software sample suspends the\n"
+      "target for ~9.5 us — the per-packet overhead exceeds the function\n"
+      "being measured, and the measured 'estimates' are inflated by the\n"
+      "interrupts themselves. The paper's conclusion (§III-B) holds at the\n"
+      "application level: only hardware-based sampling can trace\n"
+      "microsecond-scale functions per data-item.\n");
+  return 0;
+}

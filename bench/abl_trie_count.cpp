@@ -1,0 +1,56 @@
+// Ablation: the number of tries. DPDK vanilla caps the rule set at 8
+// tries; the paper patches the cap so 50,000 rules land in 247 tries.
+// Because each trie is walked for every packet and the early exit
+// happens per trie, the A-vs-C fluctuation is amplified linearly by the
+// trie count — this bench sweeps it.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/acl/classifier.hpp"
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("abl_trie_count",
+                "ablation — trie count vs fluctuation magnitude "
+                "(Table III rules, Table IV packets)",
+                spec);
+
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  const acl::PaperPackets pk;
+  const acl::AclCostModel cost;
+
+  report::Table tab({"tries", "rules/trie", "A [us]", "B [us]", "C [us]",
+                     "A/C ratio", "trie nodes"});
+
+  const std::uint32_t trie_counts[] = {1, 8, 32, 64, 128, 247};
+  for (const std::uint32_t n_tries : trie_counts) {
+    const auto per_trie = static_cast<std::uint32_t>(
+        (rules.size() + n_tries - 1) / n_tries);
+    const acl::MultiTrieClassifier clf(rules,
+                                       acl::MultiTrieConfig{per_trie, 0});
+    const auto us_of = [&](const FlowKey& k) {
+      return spec.us(spec.uop_cycles(cost.uops(clf.classify(k))));
+    };
+    const double a = us_of(pk.type_a);
+    const double b = us_of(pk.type_b);
+    const double c = us_of(pk.type_c);
+    tab.row({report::Table::num(clf.num_tries()),
+             report::Table::num(per_trie), report::Table::num(a),
+             report::Table::num(b), report::Table::num(c),
+             report::Table::num(a / c), report::Table::num(clf.total_nodes())});
+  }
+  tab.print(std::cout);
+
+  std::printf(
+      "\nWith few tries the fixed per-packet cost dominates and the\n"
+      "fluctuation is mild; at the paper's 247 tries the per-trie early-\n"
+      "exit difference dominates and type A costs >2x type C — the\n"
+      "\"specific condition\" (§IV-C1) under which the fluctuation appears.\n"
+      "(Memory cost of the split shows in the node count.)\n");
+  return 0;
+}

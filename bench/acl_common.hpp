@@ -1,0 +1,111 @@
+// Shared machinery for the ACL case-study benches (Figs. 9 & 10, the
+// data-volume table, and the ablations): run the firewall pipeline under
+// one tracing configuration and collect per-packet-type statistics.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/apps/acl_firewall_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/net/trafficgen.hpp"
+
+namespace fluxtrace::bench {
+
+inline constexpr const char* kTypeNames[3] = {"A", "B", "C"};
+
+struct AclRunConfig {
+  std::uint64_t pebs_reset = 0; ///< 0 = tracing off (baseline)
+  std::uint64_t packets = 3000; ///< total, split round-robin over A/B/C
+  double gap_ns = 20000.0;
+  apps::AclFirewallConfig app{};
+  sim::PebsDriverConfig driver{};
+  std::uint32_t pebs_buffer = 512;
+};
+
+struct AclRunResult {
+  /// Hybrid estimate of rte_acl_classify per packet type [us].
+  MeanStd est_us[3];
+  /// Instrumented baseline (marker-window length) per type [us].
+  MeanStd window_us[3];
+  /// Tester-measured end-to-end latency per type [us].
+  MeanStd latency_us[3];
+  std::uint64_t pebs_samples = 0;
+  std::uint64_t pebs_bytes = 0;
+  std::uint64_t pebs_drains = 0;
+  std::uint64_t pebs_lost = 0;
+  Tsc acl_busy = 0;       ///< ACL core busy cycles
+  Tsc acl_total = 0;      ///< ACL core final TSC
+  Tsc drain_stall = 0;    ///< cycles the ACL core lost to buffer drains
+  Tsc assist_cycles = 0;  ///< cycles lost to per-record assists
+};
+
+inline AclRunResult run_acl_case_study(const acl::RuleSet& rules,
+                                       const AclRunConfig& cfg) {
+  SymbolTable symtab;
+  apps::AclFirewallApp app(symtab, rules, cfg.app);
+
+  sim::MachineConfig mc;
+  mc.driver = cfg.driver;
+  sim::Machine m(symtab, mc);
+
+  net::TrafficGenConfig tgc;
+  tgc.total_packets = cfg.packets;
+  tgc.inter_packet_gap_ns = cfg.gap_ns;
+  const acl::PaperPackets pk;
+  net::TrafficGen tg(tgc, app.rx_nic(), app.tx_nic(),
+                     {pk.type_a, pk.type_b, pk.type_c});
+
+  if (cfg.pebs_reset > 0) {
+    sim::PebsConfig pc;
+    pc.reset = cfg.pebs_reset;
+    pc.buffer_capacity = cfg.pebs_buffer;
+    m.cpu(2).enable_pebs(pc);
+  }
+  app.expect_packets(cfg.packets);
+  m.attach(0, tg);
+  app.attach(m, 1, 2, 3);
+  m.run();
+  m.flush_samples();
+
+  core::TraceIntegrator integ(symtab);
+  const core::TraceTable table = integ.integrate(
+      m.marker_log().markers(), m.pebs_driver().samples());
+
+  const CpuSpec& spec = m.spec();
+  std::vector<double> est[3], win[3], lat[3];
+  for (const auto& rec : tg.records()) {
+    const std::uint32_t f = rec.flow_idx % 3;
+    est[f].push_back(spec.us(table.elapsed(rec.id, app.classify_symbol())));
+    win[f].push_back(spec.us(table.item_window_total(rec.id)));
+    lat[f].push_back(spec.us(rec.latency()));
+  }
+
+  AclRunResult out;
+  for (int f = 0; f < 3; ++f) {
+    out.est_us[f] = mean_std(est[f]);
+    out.window_us[f] = mean_std(win[f]);
+    out.latency_us[f] = mean_std(lat[f]);
+  }
+  out.pebs_samples = m.pebs_driver().samples().size();
+  out.pebs_lost = m.cpu(2).pebs().samples_lost();
+  out.pebs_bytes = m.pebs_driver().bytes_collected();
+  out.pebs_drains = m.pebs_driver().drains();
+  out.acl_busy = m.cpu(2).stats().busy_cycles;
+  out.acl_total = m.cpu(2).now();
+  out.drain_stall = m.cpu(2).stats().drain_stall;
+  out.assist_cycles = m.cpu(2).stats().pebs_assist;
+  return out;
+}
+
+/// Mean latency over the three types (what the hardware tester reports).
+inline double overall_latency_us(const AclRunResult& r) {
+  return (r.latency_us[0].mean + r.latency_us[1].mean +
+          r.latency_us[2].mean) /
+         3.0;
+}
+
+} // namespace fluxtrace::bench

@@ -1,0 +1,50 @@
+// Shared helpers for the figure-reproduction benches: the Table II-style
+// environment banner and a couple of small statistics utilities.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::bench {
+
+/// Print the simulated evaluation environment (the stand-in for the
+/// paper's Table II) plus which experiment this binary regenerates.
+inline void banner(std::string_view experiment, std::string_view paper_ref,
+                   const CpuSpec& spec = {}) {
+  std::printf("================================================================\n");
+  std::printf("fluxtrace bench: %.*s\n", static_cast<int>(experiment.size()),
+              experiment.data());
+  std::printf("reproduces:      %.*s\n", static_cast<int>(paper_ref.size()),
+              paper_ref.data());
+  std::printf("simulated CPU:   %u cores @ %.1f GHz, %.2f cycles/uop "
+              "(Skylake-like), PEBS assist 250 ns\n",
+              spec.num_cores, spec.freq_ghz, spec.cycles_per_uop);
+  std::printf("================================================================\n\n");
+}
+
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t n = 0;
+};
+
+inline MeanStd mean_std(const std::vector<double>& xs) {
+  MeanStd out;
+  out.n = xs.size();
+  if (xs.empty()) return out;
+  double s = 0;
+  for (const double x : xs) s += x;
+  out.mean = s / static_cast<double>(xs.size());
+  if (xs.size() >= 2) {
+    double ss = 0;
+    for (const double x : xs) ss += (x - out.mean) * (x - out.mean);
+    out.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return out;
+}
+
+} // namespace fluxtrace::bench

@@ -1,0 +1,130 @@
+// Closed-loop reset control across a workload phase change — §V-C beyond
+// the paper: instead of picking R from an offline calibration, hold the
+// target sample interval online. The traced program switches from a
+// compute-dense phase (bzip2-like) to a memory/branch-bound one
+// (astar-like); a fixed R's interval drifts with the uop rate, the
+// controller's does not.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/core/adaptive.hpp"
+#include "fluxtrace/prog/workload.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+struct PhaseResult {
+  double interval_us[2]; // achieved mean interval per phase
+  std::uint64_t final_reset;
+  std::uint64_t adjustments;
+};
+
+/// Runs one workload then another on the same core (a phase change).
+class TwoPhaseTask final : public sim::Task {
+ public:
+  TwoPhaseTask(prog::Workload a, prog::Workload b, std::uint64_t iters)
+      : a_(std::move(a), iters), b_(std::move(b), iters) {}
+
+  sim::StepStatus step(sim::Cpu& cpu) override {
+    if (a_.remaining() > 0) {
+      if (phase_boundary_ == 0 && a_.remaining() == 1) {
+        phase_boundary_ = cpu.now(); // approx: set at last step
+      }
+      return a_.step(cpu) == sim::StepStatus::Done ? sim::StepStatus::Progress
+                                                   : sim::StepStatus::Progress;
+    }
+    if (phase_boundary_ == 0) phase_boundary_ = cpu.now();
+    return b_.step(cpu);
+  }
+
+  [[nodiscard]] Tsc phase_boundary() const { return phase_boundary_; }
+
+ private:
+  prog::WorkloadTask a_, b_;
+  Tsc phase_boundary_ = 0;
+};
+
+PhaseResult run_two_phase(bool adaptive, double target_ns) {
+  SymbolTable symtab;
+  const prog::Workload fast = prog::make_bzip2(symtab);
+  const prog::Workload slow = prog::make_astar(symtab);
+  sim::Machine m(symtab);
+
+  sim::PebsConfig pc;
+  pc.reset = 8000;
+  // A small buffer so drains deliver samples to the controller *during*
+  // the run (a controller only sees what reaches software).
+  pc.buffer_capacity = 256;
+  m.cpu(0).enable_pebs(pc);
+
+  core::AdaptiveReset controller(
+      core::AdaptiveResetConfig{target_ns, 128, 1.05, 64, 1u << 22}, pc.reset,
+      m.spec(), [&m](std::uint64_t r) { m.cpu(0).pebs().set_reset(r); });
+  if (adaptive) {
+    m.pebs_driver().set_sink(
+        [&controller](const PebsSample& s) { controller.on_sample(s); });
+  }
+
+  TwoPhaseTask task(fast, slow, 2500);
+  m.attach(0, task);
+  m.run();
+  m.flush_samples();
+
+  const Tsc boundary = task.phase_boundary();
+  std::size_t n0 = 0, n1 = 0;
+  Tsc last0 = 0, first1 = ~Tsc{0}, last1 = 0, first0 = ~Tsc{0};
+  for (const PebsSample& s : m.pebs_driver().samples()) {
+    if (s.tsc < boundary) {
+      ++n0;
+      first0 = std::min(first0, s.tsc);
+      last0 = std::max(last0, s.tsc);
+    } else {
+      ++n1;
+      first1 = std::min(first1, s.tsc);
+      last1 = std::max(last1, s.tsc);
+    }
+  }
+  PhaseResult out{};
+  out.interval_us[0] =
+      m.spec().us(last0 - first0) / static_cast<double>(n0 - 1);
+  out.interval_us[1] =
+      m.spec().us(last1 - first1) / static_cast<double>(n1 - 1);
+  out.final_reset = controller.current_reset();
+  out.adjustments = controller.adjustments();
+  return out;
+}
+
+} // namespace
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("ext_adaptive_reset",
+                "§V-C extended — closed-loop reset control across a "
+                "workload phase change (bzip2-like -> astar-like)",
+                spec);
+
+  const double target_ns = 2000.0;
+  const PhaseResult fixed = run_two_phase(false, target_ns);
+  const PhaseResult adaptive = run_two_phase(true, target_ns);
+
+  report::Table tab({"mode", "phase-1 interval [us]", "phase-2 interval [us]",
+                     "final R", "adjustments"});
+  tab.row({"fixed R = 8000", report::Table::num(fixed.interval_us[0]),
+           report::Table::num(fixed.interval_us[1]), "8000", "0"});
+  tab.row({"adaptive (target 2.0 us)",
+           report::Table::num(adaptive.interval_us[0]),
+           report::Table::num(adaptive.interval_us[1]),
+           report::Table::num(adaptive.final_reset),
+           report::Table::num(adaptive.adjustments)});
+  tab.print(std::cout);
+
+  std::printf(
+      "\nWith a fixed reset value the achieved interval tracks the\n"
+      "workload's uop rate (phase 2 runs ~3x slower per uop, so sampling\n"
+      "slows ~3x); the controller holds the interval near the target by\n"
+      "scaling R through the §V-C linearity — no offline recalibration.\n");
+  return 0;
+}

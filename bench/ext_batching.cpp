@@ -1,0 +1,143 @@
+// §IV-C2 future work, implemented and quantified: tracing *batched*
+// data-items. The paper paces packets so DPDK never batches them, because
+// one marker window per burst has no per-item ids. With the BatchTable +
+// BatchIntegrator extension the burst is marked once and expanded back to
+// items afterwards. This bench measures what that buys and what it costs:
+// marker overhead per packet vs per-item attribution error, for bursty
+// traffic that mixes fast (C) and slow (A) packets.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/apps/acl_firewall_app.hpp"
+#include "fluxtrace/core/batch.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/net/trafficgen.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+struct RunStats {
+  double marker_calls_per_pkt = 0;
+  double mean_abs_err_us[3] = {0, 0, 0}; ///< |estimate − truth| per type
+  double est_us[3] = {0, 0, 0};
+};
+
+RunStats run_mode(const acl::RuleSet& rules, std::uint32_t batch_size,
+                  std::uint64_t packets) {
+  SymbolTable symtab;
+  apps::AclFirewallConfig cfg;
+  cfg.batch_size = batch_size;
+  apps::AclFirewallApp app(symtab, rules, cfg);
+  sim::Machine m(symtab);
+
+  // Bursty arrivals: 6 packets back-to-back, then a gap — the pattern
+  // that makes DPDK batch.
+  net::TrafficGenConfig tgc;
+  tgc.total_packets = packets;
+  tgc.burst_size = 6;
+  tgc.inter_packet_gap_ns = 80000;
+  tgc.intra_burst_gap_ns = 200;
+  const acl::PaperPackets pk;
+  net::TrafficGen tg(tgc, app.rx_nic(), app.tx_nic(),
+                     {pk.type_a, pk.type_b, pk.type_c});
+
+  sim::PebsConfig pc;
+  pc.reset = 4000;
+  pc.buffer_capacity = 4096;
+  m.cpu(2).enable_pebs(pc);
+  app.expect_packets(packets);
+  m.attach(0, tg);
+  app.attach(m, 1, 2, 3);
+  m.run();
+  m.flush_samples();
+
+  // Ground truth per type from the cost model.
+  const acl::AclCostModel cost;
+  const CpuSpec& spec = m.spec();
+  double truth[3];
+  const FlowKey flows[3] = {pk.type_a, pk.type_b, pk.type_c};
+  for (int f = 0; f < 3; ++f) {
+    truth[f] = spec.us(
+        spec.uop_cycles(cost.uops(app.classifier().classify(flows[f]))));
+  }
+
+  const SymbolId clf = app.classify_symbol();
+  std::map<std::uint32_t, std::vector<double>> est;
+  if (batch_size <= 1) {
+    core::TraceIntegrator integ(symtab);
+    const core::TraceTable table = integ.integrate(
+        m.marker_log().markers(), m.pebs_driver().samples());
+    for (const auto& rec : tg.records()) {
+      est[rec.flow_idx].push_back(spec.us(table.elapsed(rec.id, clf)));
+    }
+  } else {
+    core::BatchIntegrator integ(symtab, app.batch_table());
+    const auto items = integ.integrate(m.marker_log().markers(),
+                                       m.pebs_driver().samples(),
+                                       core::BatchPolicy::SubWindows);
+    for (const auto& e : items) {
+      est[static_cast<std::uint32_t>(e.item % 3)].push_back(
+          spec.us(e.elapsed(clf)));
+    }
+  }
+
+  RunStats out;
+  out.marker_calls_per_pkt =
+      static_cast<double>(m.cpu(2).stats().marker_count) /
+      static_cast<double>(packets);
+  for (int f = 0; f < 3; ++f) {
+    double err = 0, sum = 0;
+    for (const double e : est[static_cast<std::uint32_t>(f)]) {
+      err += std::abs(e - truth[f]);
+      sum += e;
+    }
+    const auto n = static_cast<double>(est[static_cast<std::uint32_t>(f)].size());
+    out.mean_abs_err_us[f] = n > 0 ? err / n : 0;
+    out.est_us[f] = n > 0 ? sum / n : 0;
+  }
+  return out;
+}
+
+} // namespace
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("ext_batching",
+                "§IV-C2 future work — tracing batched data-items: marker "
+                "overhead vs attribution error",
+                spec);
+
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  constexpr std::uint64_t kPackets = 1200;
+
+  report::Table tab({"mode", "markers/pkt", "A est [us]", "A |err|",
+                     "B est [us]", "B |err|", "C est [us]", "C |err|"});
+  for (const std::uint32_t batch : {1u, 4u, 8u}) {
+    const RunStats r = run_mode(rules, batch, kPackets);
+    tab.row({batch == 1 ? "per-item" : "batch x" + std::to_string(batch),
+             report::Table::num(r.marker_calls_per_pkt, 2),
+             report::Table::num(r.est_us[0]),
+             report::Table::num(r.mean_abs_err_us[0]),
+             report::Table::num(r.est_us[1]),
+             report::Table::num(r.mean_abs_err_us[1]),
+             report::Table::num(r.est_us[2]),
+             report::Table::num(r.mean_abs_err_us[2])});
+  }
+  tab.print(std::cout);
+
+  std::printf(
+      "\nBatch marking amortizes the instrumentation (markers per packet\n"
+      "drop with the burst size) but per-item attribution degrades for\n"
+      "mixed bursts: the equal-time sub-window split cannot know that a\n"
+      "type-A member used more of the window than a type-C one. That\n"
+      "accuracy/overhead trade-off is why the paper left batching as\n"
+      "future work; the register-carried-id extension (§V-A) is the\n"
+      "principled fix, since every sample then names its item directly.\n");
+  return 0;
+}

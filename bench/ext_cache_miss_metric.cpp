@@ -1,0 +1,70 @@
+// §V-D: measuring other metrics. Configuring PEBS to count cache misses
+// instead of retired uops turns the same integration machinery into a
+// per-{function, data-item} cache-miss profile: the number of samples in
+// bucket {f, #M} times the reset value approximates the misses f incurred
+// for item #M. Run on the sample app, this shows f3's misses fluctuate
+// with cache warmth exactly as its time does.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/apps/query_cache_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("ext_cache_miss_metric",
+                "§V-D — per-data-item cache-miss counts via the PEBS "
+                "event choice (sample app)",
+                spec);
+
+  SymbolTable symtab;
+  apps::QueryCacheApp app(symtab);
+  sim::Machine m(symtab);
+
+  sim::PebsConfig pc;
+  pc.event = HwEvent::CacheMisses; // the only change vs Fig. 8
+  pc.reset = 16;
+  pc.buffer_capacity = 4096;
+  m.cpu(1).enable_pebs(pc);
+
+  const auto queries = apps::QueryCacheApp::paper_queries();
+  app.submit(queries);
+  app.attach(m, 0, 1);
+  m.run();
+  m.flush_samples();
+
+  core::TraceIntegrator integ(symtab);
+  const auto table = integ.integrate(m.marker_log().markers(),
+                                     m.pebs_driver().samples());
+
+  const std::uint64_t true_misses =
+      m.cpu(1).stats().events.get(HwEvent::CacheMisses);
+
+  report::Table tab({"query", "n", "f2 est. misses", "f3 est. misses"});
+  std::uint64_t est_total = 0;
+  for (const apps::Query& q : queries) {
+    const std::uint64_t f2 =
+        table.sample_count(q.id, app.f2()) * pc.reset;
+    const std::uint64_t f3 =
+        table.sample_count(q.id, app.f3()) * pc.reset;
+    est_total += f2 + f3;
+    tab.row({"#" + std::to_string(q.id), std::to_string(q.n),
+             report::Table::num(f2), report::Table::num(f3)});
+  }
+  tab.print(std::cout);
+
+  std::printf("\nestimated misses (samples x R): %llu, PMU ground truth on "
+              "the worker core: %llu\n",
+              static_cast<unsigned long long>(est_total),
+              static_cast<unsigned long long>(true_misses));
+  std::printf(
+      "\nQueries 1 and 5 show large f3 miss counts (their points were not\n"
+      "cached — neither in the app cache nor in the CPU caches); warm\n"
+      "repeats show ~0. The same integration pipeline works for any\n"
+      "per-core precise event (branch mispredictions, loads, ...).\n");
+  return 0;
+}

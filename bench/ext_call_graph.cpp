@@ -1,0 +1,107 @@
+// §V-B2: the hardware records no call graph, so a sample inside a small
+// utility g can only be attributed to its caller by guessing from the
+// nearest preceding sample. This bench measures the guess's accuracy on a
+// worker where two parents call the same utility with very different
+// frequencies — the exact situation the paper warns about.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/core/callguess.hpp"
+#include "fluxtrace/report/table.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+/// Alternates f1 and f2 phases. f1 calls the utility once per phase; f2
+/// calls it eight times — but each call is tiny, so most utility samples
+/// fall with *stale* neighbours at coarse sampling rates.
+class TwoParentWorker final : public sim::Task {
+ public:
+  TwoParentWorker(SymbolId f1, SymbolId f2, SymbolId util, int phases)
+      : f1_(f1), f2_(f2), util_(util), remaining_(phases) {}
+
+  sim::StepStatus step(sim::Cpu& cpu) override {
+    if (remaining_ == 0) return sim::StepStatus::Done;
+    // f1 phase: long body, one short utility call.
+    cpu.exec(f1_, 20000);
+    cpu.exec(util_, 1500);
+    truth_f1_ += 1500;
+    // f2 phase: short bodies interleaved with eight utility calls.
+    for (int i = 0; i < 8; ++i) {
+      cpu.exec(f2_, 1000);
+      cpu.exec(util_, 1500);
+      truth_f2_ += 1500;
+    }
+    --remaining_;
+    return remaining_ == 0 ? sim::StepStatus::Done
+                           : sim::StepStatus::Progress;
+  }
+
+  [[nodiscard]] double true_f2_share() const {
+    return static_cast<double>(truth_f2_) /
+           static_cast<double>(truth_f1_ + truth_f2_);
+  }
+
+ private:
+  SymbolId f1_, f2_, util_;
+  int remaining_;
+  std::uint64_t truth_f1_ = 0, truth_f2_ = 0;
+};
+
+} // namespace
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("ext_call_graph",
+                "§V-B2 — caller guessing without hardware call graphs: "
+                "accuracy vs sampling rate",
+                spec);
+
+  report::Table tab({"reset", "util samples", "guessed f1", "guessed f2",
+                     "guessed f2 share", "true f2 share"});
+
+  double true_share = 0;
+  for (const std::uint64_t reset : {400u, 1500u, 6000u, 24000u}) {
+    SymbolTable symtab;
+    const SymbolId f1 = symtab.add("parse_config", 0x1000);
+    const SymbolId f2 = symtab.add("eval_rules", 0x1000);
+    const SymbolId util = symtab.add("hash_lookup", 0x200);
+
+    sim::Machine m(symtab);
+    sim::PebsConfig pc;
+    pc.reset = reset;
+    pc.buffer_capacity = 1u << 16;
+    m.cpu(0).enable_pebs(pc);
+    TwoParentWorker worker(f1, f2, util, 400);
+    m.attach(0, worker);
+    m.run();
+    m.flush_samples();
+    true_share = worker.true_f2_share();
+
+    const core::CallerGuess g = core::guess_callers(
+        symtab, m.pebs_driver().samples(), util);
+    const double f2_share =
+        g.utility_samples > g.unattributed
+            ? static_cast<double>(g.attributed_to(f2)) /
+                  static_cast<double>(g.utility_samples - g.unattributed)
+            : 0.0;
+    tab.row({report::Table::num(reset), report::Table::num(g.utility_samples),
+             report::Table::num(g.attributed_to(f1)),
+             report::Table::num(g.attributed_to(f2)),
+             report::Table::num(f2_share * 100, 1) + "%",
+             report::Table::num(true_share * 100, 1) + "%"});
+  }
+  tab.print(std::cout);
+
+  std::printf(
+      "\nAt fine sampling rates the nearest-preceding-sample guess tracks\n"
+      "the truth; once the interval exceeds the utility-call spacing the\n"
+      "guess collapses toward whichever parent's *body* dominates the\n"
+      "sample stream — the \"wrong understanding\" §V-B2 warns about when\n"
+      "a small utility is called many times. LBR-style hardware call\n"
+      "stacks, not PEBS, would be needed to resolve it.\n");
+  return 0;
+}

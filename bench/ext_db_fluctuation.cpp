@@ -1,0 +1,152 @@
+// The database case study, end to end. §II-A's motivating quote (Huang et
+// al., SIGMOD'17, on TPC-C over MySQL/Postgres/VoltDB): "the standard
+// deviation was twice the mean" and "the 99th percentile was an order of
+// magnitude greater than the mean". This bench runs a TPC-C-flavoured
+// mixed workload on the mini storage engine, reproduces the distribution
+// shape, and — the paper's contribution — shows the per-item,
+// per-function trace separating the three tail causes (cold buffer pool,
+// group commit, index splits) that a profile would smear together.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "fluxtrace/apps/minidb_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/report/stats.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("ext_db_fluctuation",
+                "§II-A motivation, database edition — per-query latency "
+                "distribution and per-function tail attribution",
+                spec);
+
+  SymbolTable symtab;
+  apps::MiniDbApp app(symtab);
+  app.preload(4096); // 128 heap pages; the pool holds 96
+
+  const auto queries = apps::MiniDbApp::make_mixed_workload(3000, 11, 4096);
+  app.submit(queries);
+
+  sim::Machine m(symtab);
+  sim::PebsConfig pc;
+  pc.reset = 2000;
+  pc.buffer_capacity = 1u << 16;
+  m.cpu(1).enable_pebs(pc);
+  app.attach(m, 0, 1);
+  m.run();
+  m.flush_samples();
+
+  core::TraceIntegrator integ(symtab);
+  const core::TraceTable table = integ.integrate(
+      m.marker_log().markers(), m.pebs_driver().samples());
+
+  // ---- distribution per query type, and overall -----------------------
+  const char* type_names[3] = {"point", "range", "insert"};
+  report::Distribution per_type[3];
+  report::Distribution all;
+  for (const apps::DbQuery& q : queries) {
+    const double us = spec.us(table.item_window_total(q.id));
+    per_type[static_cast<int>(q.type)].add(us);
+    all.add(us);
+  }
+
+  report::Table tab({"queries", "n", "mean [us]", "stddev", "p50", "p99",
+                     "max", "sd/mean", "p99/mean"});
+  const auto row = [&](const char* name, report::Distribution& d) {
+    tab.row({name, report::Table::num(d.count()),
+             report::Table::num(d.mean()), report::Table::num(d.stddev()),
+             report::Table::num(d.percentile(50)),
+             report::Table::num(d.percentile(99)),
+             report::Table::num(d.max()),
+             report::Table::num(d.stddev() / d.mean()),
+             report::Table::num(d.p99_over_mean())});
+  };
+  row("all", all);
+  for (int t = 0; t < 3; ++t) row(type_names[t], per_type[t]);
+  tab.print(std::cout);
+
+  std::printf("\npaper reference (Huang et al. on TPC-C): sd/mean ~ 2, "
+              "p99/mean ~ 10x\n");
+
+  // ---- tail attribution: which function carries each slow query? ------
+  const double p99 = all.percentile(99);
+  std::map<SymbolId, double> tail_by_fn;
+  double tail_total = 0;
+  int tail_n = 0;
+  for (const apps::DbQuery& q : queries) {
+    const double us = spec.us(table.item_window_total(q.id));
+    if (us < p99) continue;
+    ++tail_n;
+    for (const SymbolId fn : table.functions(q.id)) {
+      tail_by_fn[fn] += spec.us(table.elapsed(q.id, fn));
+      tail_total += spec.us(table.elapsed(q.id, fn));
+    }
+  }
+  std::printf("\ntail (>= p99, n = %d) per-function attribution:\n", tail_n);
+  report::Table ttab({"function", "share of tail time"});
+  for (const auto& [fn, us] : tail_by_fn) {
+    ttab.row({std::string(symtab.name(fn)),
+              report::Table::num(100.0 * us / tail_total, 1) + "%"});
+  }
+  ttab.print(std::cout);
+
+  // ---- the same-query fluctuation, explicitly -------------------------
+  // Find a hot key queried many times; show its fastest and slowest
+  // instances with breakdown.
+  std::map<std::uint64_t, std::vector<ItemId>> by_key;
+  for (const apps::DbQuery& q : queries) {
+    if (q.type == apps::DbQueryType::Point) by_key[q.key].push_back(q.id);
+  }
+  // Among keys queried several times, show the one with the widest
+  // fast-vs-slow spread (the key whose page got evicted mid-run).
+  std::uint64_t best_key = 0;
+  std::size_t best_n = 0;
+  double best_ratio = 0;
+  for (const auto& [key, ids] : by_key) {
+    if (ids.size() < 4) continue;
+    Tsc lo = ~Tsc{0}, hi = 0;
+    for (const ItemId id : ids) {
+      const Tsc t = table.item_window_total(id);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    const double ratio = static_cast<double>(hi) / static_cast<double>(lo);
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_key = key;
+      best_n = ids.size();
+    }
+  }
+  ItemId fast = 0, slow = 0;
+  Tsc fast_t = ~Tsc{0}, slow_t = 0;
+  for (const ItemId id : by_key[best_key]) {
+    const Tsc t = table.item_window_total(id);
+    if (t < fast_t) {
+      fast_t = t;
+      fast = id;
+    }
+    if (t > slow_t) {
+      slow_t = t;
+      slow = id;
+    }
+  }
+  std::printf("\nidentical query point(%llu), issued %zu times:\n",
+              static_cast<unsigned long long>(best_key), best_n);
+  std::printf("  fastest (#%llu): %.2f us | fetch_rows %.2f us\n",
+              static_cast<unsigned long long>(fast), spec.us(fast_t),
+              spec.us(table.elapsed(fast, app.fetch_rows())));
+  std::printf("  slowest (#%llu): %.2f us | fetch_rows %.2f us\n",
+              static_cast<unsigned long long>(slow), spec.us(slow_t),
+              spec.us(table.elapsed(slow, app.fetch_rows())));
+  std::printf(
+      "\nThe slow instance's time sits in fetch_rows — its heap page had\n"
+      "been evicted by an interleaved scan. Group-commit spikes show under\n"
+      "wal_flush instead. One trace separates all the tail causes.\n");
+  return 0;
+}

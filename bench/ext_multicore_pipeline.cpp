@@ -1,0 +1,124 @@
+// Multi-core simultaneous tracing. §III-D notes the procedure "is
+// executed on every core of a multi-core CPU — PEBS supports sampling
+// core-related events for every core simultaneously". With all three
+// worker threads instrumented and sampled, each packet gets one marker
+// window per core it crosses, and the integration yields a full pipeline
+// breakdown: RX handling, queue wait, classification, another queue wait,
+// TX handling — per packet.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/apps/acl_firewall_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/net/trafficgen.hpp"
+#include "fluxtrace/report/gantt.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("ext_multicore_pipeline",
+                "§III-D — tracing every pipeline core simultaneously: "
+                "per-packet breakdown across RX/ACL/TX + queue waits",
+                spec);
+
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  SymbolTable symtab;
+  apps::AclFirewallConfig cfg;
+  cfg.instrument_rx_tx = true;
+  apps::AclFirewallApp app(symtab, rules, cfg);
+
+  sim::Machine m(symtab);
+  net::TrafficGenConfig tgc;
+  tgc.total_packets = 900;
+  tgc.inter_packet_gap_ns = 20000;
+  const acl::PaperPackets pk;
+  net::TrafficGen tg(tgc, app.rx_nic(), app.tx_nic(),
+                     {pk.type_a, pk.type_b, pk.type_c});
+
+  // PEBS on all three pipeline cores at once.
+  for (const std::uint32_t core : {1u, 2u, 3u}) {
+    sim::PebsConfig pc;
+    pc.reset = 8000;
+    m.cpu(core).enable_pebs(pc);
+  }
+  app.expect_packets(tgc.total_packets);
+  m.attach(0, tg);
+  app.attach(m, 1, 2, 3);
+  m.run();
+  m.flush_samples();
+
+  core::TraceIntegrator integ(symtab);
+  const core::TraceTable table = integ.integrate(
+      m.marker_log().markers(), m.pebs_driver().samples());
+
+  // Per-type means of each pipeline stage.
+  struct Acc {
+    double rx = 0, q1 = 0, acl = 0, q2 = 0, tx = 0;
+    int n = 0;
+  } acc[3];
+  for (const auto& rec : tg.records()) {
+    const core::ItemWindow* w_rx = table.window_of(rec.id, 1);
+    const core::ItemWindow* w_acl = table.window_of(rec.id, 2);
+    const core::ItemWindow* w_tx = table.window_of(rec.id, 3);
+    if (w_rx == nullptr || w_acl == nullptr || w_tx == nullptr) continue;
+    Acc& a = acc[rec.flow_idx % 3];
+    a.rx += spec.us(w_rx->length());
+    a.q1 += spec.us(w_acl->enter - w_rx->leave);
+    a.acl += spec.us(w_acl->length());
+    a.q2 += spec.us(w_tx->enter - w_acl->leave);
+    a.tx += spec.us(w_tx->length());
+    ++a.n;
+  }
+
+  report::Table tab({"type", "rx [us]", "wait rx->acl [us]", "acl [us]",
+                     "wait acl->tx [us]", "tx [us]"});
+  const char* names[3] = {"A", "B", "C"};
+  for (int f = 0; f < 3; ++f) {
+    const Acc& a = acc[f];
+    tab.row({names[f], report::Table::num(a.rx / a.n),
+             report::Table::num(a.q1 / a.n), report::Table::num(a.acl / a.n),
+             report::Table::num(a.q2 / a.n),
+             report::Table::num(a.tx / a.n)});
+  }
+  tab.print(std::cout);
+
+  // One packet of each type, drawn across the pipeline.
+  std::printf("\ntimeline of three consecutive packets (one per type):\n");
+  report::Gantt gantt(70);
+  const char glyphs[3] = {'A', 'B', 'C'};
+  Tsc lo = ~Tsc{0}, hi = 0;
+  for (ItemId id = 30; id <= 32; ++id) { // ids 30..32 = types A,B,C
+    for (std::uint32_t core = 1; core <= 3; ++core) {
+      const core::ItemWindow* w = table.window_of(id, core);
+      if (w == nullptr) continue;
+      lo = std::min(lo, w->enter);
+      hi = std::max(hi, w->leave);
+    }
+  }
+  gantt.set_range(lo, hi);
+  for (ItemId id = 30; id <= 32; ++id) {
+    for (std::uint32_t core = 1; core <= 3; ++core) {
+      const core::ItemWindow* w = table.window_of(id, core);
+      if (w == nullptr) continue;
+      const char* names[4] = {"", "rx ", "acl", "tx "};
+      gantt.span(names[core], w->enter, w->leave,
+                 glyphs[(id - 30) % 3]);
+    }
+  }
+  gantt.print(std::cout);
+
+  std::printf("\nPEBS samples collected across the three cores: %zu "
+              "(drains: %llu)\n",
+              m.pebs_driver().samples().size(),
+              static_cast<unsigned long long>(m.pebs_driver().drains()));
+  std::printf(
+      "\nThe fluctuation lives entirely in the ACL stage; RX/TX handling\n"
+      "and the queue hops are type-independent. In a diagnosis this rules\n"
+      "out queueing (a load problem) and pins the cause inside\n"
+      "rte_acl_classify — per packet, across cores, from one trace.\n");
+  return 0;
+}

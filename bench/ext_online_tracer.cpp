@@ -1,0 +1,97 @@
+// §IV-C3's amortization argument, implemented: "one can estimate the
+// elapsed time of each function online and dump raw samples only when the
+// estimation diverges from the average by a threshold". The OnlineTracer
+// consumes the marker and sample streams live (samples at buffer-drain
+// time), finalizes items as watermarks pass, and persists raw samples
+// only for flagged items.
+//
+// Workload: the firewall under mostly type-C traffic with a rare type-A
+// packet (1 in 25) — the "specific non-functional state" showing up
+// sporadically in production.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/apps/acl_firewall_app.hpp"
+#include "fluxtrace/core/online.hpp"
+#include "fluxtrace/net/trafficgen.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("ext_online_tracer",
+                "§IV-C3 — online estimation with anomaly-triggered raw "
+                "dumps (rare slow packets in production traffic)",
+                spec);
+
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  SymbolTable symtab;
+  apps::AclFirewallApp app(symtab, rules);
+  sim::Machine m(symtab);
+
+  // 1 type-A packet per 24 type-C packets.
+  const acl::PaperPackets pk;
+  std::vector<FlowKey> flows(24, pk.type_c);
+  flows.push_back(pk.type_a);
+  net::TrafficGenConfig tgc;
+  tgc.total_packets = 2000;
+  tgc.inter_packet_gap_ns = 20000;
+  net::TrafficGen tg(tgc, app.rx_nic(), app.tx_nic(), flows);
+
+  sim::PebsConfig pc;
+  pc.reset = 8000;
+  m.cpu(2).enable_pebs(pc);
+
+  // Wire the live pipeline: markers at marking time, samples at drain time.
+  core::OnlineTracerConfig ocfg;
+  ocfg.detector = core::DetectorConfig{3.0, 16};
+  core::OnlineTracer tracer(symtab, ocfg);
+  std::uint64_t dumped_a = 0, dumped_other = 0;
+  tracer.set_dump_callback(
+      [&](const core::OnlineResult& r, const SampleVec&) {
+        // Packet ids cycle through the flow list; index 24 is type A.
+        if (r.item % 25 == 24) {
+          ++dumped_a;
+        } else {
+          ++dumped_other;
+        }
+      });
+  m.marker_log().set_sink([&](const Marker& mk) { tracer.on_marker(mk); });
+  m.pebs_driver().set_sink(
+      [&](const PebsSample& s) { tracer.on_sample(s); });
+
+  app.expect_packets(tgc.total_packets);
+  m.attach(0, tg);
+  app.attach(m, 1, 2, 3);
+  m.run();
+  m.flush_samples();
+  tracer.finish();
+
+  const std::uint64_t type_a_sent = tgc.total_packets / 25;
+  report::Table tab({"metric", "value"});
+  tab.align(1, report::Align::Right);
+  tab.row({"packets traced", report::Table::num(tracer.items_completed())});
+  tab.row({"type-A packets (the rare slow path)",
+           report::Table::num(type_a_sent)});
+  tab.row({"items flagged + dumped", report::Table::num(tracer.dumps())});
+  tab.row({"  ... of which type A", report::Table::num(dumped_a)});
+  tab.row({"  ... false positives", report::Table::num(dumped_other)});
+  tab.row({"raw bytes seen", report::Table::num(tracer.bytes_seen())});
+  tab.row({"raw bytes persisted", report::Table::num(tracer.bytes_dumped())});
+  tab.row({"persisted fraction",
+           report::Table::num(100.0 * static_cast<double>(tracer.bytes_dumped()) /
+                                  static_cast<double>(tracer.bytes_seen()),
+                              2) +
+               "%"});
+  tab.print(std::cout);
+
+  std::printf(
+      "\nInstead of writing the full raw stream to storage (the prototype's\n"
+      "behaviour, 100s of MB/s per core at production rates), the online\n"
+      "pipeline persists only the flagged items' samples — catching the\n"
+      "rare deep-trie packets while writing a tiny fraction of the bytes.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// RSS scaling and head-of-line blocking: with two ACL workers and
+// round-robin dispatch, every type-A (heavy) packet lands on worker 0, so
+// type-C packets on worker 0 queue behind 12 µs classifications while
+// identical type-C packets on worker 1 sail through. The per-core windows
+// separate time-before-worker (queue wait) from classify time, which is
+// how a diagnosis distinguishes load imbalance from a slow code path —
+// the classify times are identical, only the waits differ.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/apps/rss_firewall_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/net/trafficgen.hpp"
+#include "fluxtrace/report/stats.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+int main() {
+  CpuSpec spec;
+  spec.num_cores = 5; // tester, rx, 2 workers, tx
+  bench::banner("ext_rss_hol",
+                "RSS multi-worker scaling — head-of-line blocking as a "
+                "fluctuation, diagnosed via per-core windows",
+                spec);
+
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  SymbolTable symtab;
+  apps::RssFirewallConfig cfg;
+  cfg.num_workers = 2;
+  cfg.dispatch = apps::RssDispatch::RoundRobin;
+  apps::RssFirewallApp app(symtab, rules, cfg);
+
+  sim::MachineConfig mc;
+  mc.spec = spec;
+  sim::Machine m(symtab, mc);
+
+  // 1 heavy type-A packet per 3 type-C packets, arriving fast enough that
+  // worker 0 (which round-robin hands every A) stays ~85% loaded.
+  net::TrafficGenConfig tgc;
+  tgc.total_packets = 2000;
+  tgc.inter_packet_gap_ns = 5500;
+  const acl::PaperPackets pk;
+  net::TrafficGen tg(tgc, app.rx_nic(), app.tx_nic(),
+                     {pk.type_a, pk.type_c, pk.type_c, pk.type_c});
+
+  // The same procedure on both worker cores simultaneously.
+  for (const std::uint32_t core : {2u, 3u}) {
+    sim::PebsConfig pc;
+    pc.reset = 8000;
+    pc.buffer_capacity = 4096;
+    m.cpu(core).enable_pebs(pc);
+  }
+  app.expect_packets(tgc.total_packets);
+  m.attach(0, tg);
+  app.attach(m, /*rx=*/1, /*first_acl=*/2, /*tx=*/4);
+  m.run();
+  m.flush_samples();
+
+  core::TraceIntegrator integ(symtab);
+  const core::TraceTable table = integ.integrate(
+      m.marker_log().markers(), m.pebs_driver().samples());
+
+  // Split the *identical* type-C packets by the worker they landed on.
+  const Tsc wire = spec.cycles(500.0);
+  report::Distribution wait[2], classify[2], e2e[2];
+  for (const auto& rec : tg.records()) {
+    if (rec.flow_idx == 0) continue; // skip type A
+    const std::uint32_t w = app.worker_of(rec.id);
+    if (w > 1) continue;
+    const core::ItemWindow* win = table.window_of(rec.id, 2 + w);
+    if (win == nullptr) continue;
+    wait[w].add(spec.us(win->enter - rec.sent - wire));
+    classify[w].add(spec.us(win->length()));
+    e2e[w].add(spec.us(rec.latency()));
+  }
+
+  report::Table tab({"type-C packets on", "n", "pre-worker wait [us]",
+                     "classify window [us]", "e2e latency [us]",
+                     "e2e p99 [us]"});
+  for (int w = 0; w < 2; ++w) {
+    tab.row({std::string("worker ") + std::to_string(w) +
+                 (w == 0 ? " (shares with A)" : " (C only)"),
+             report::Table::num(wait[w].count()),
+             report::Table::num(wait[w].mean()),
+             report::Table::num(classify[w].mean()),
+             report::Table::num(e2e[w].mean()),
+             report::Table::num(e2e[w].percentile(99))});
+  }
+  tab.print(std::cout);
+
+  std::printf("\n(with RssDispatch::FlowHash the A-flow pins to one worker\n"
+              "permanently — per-flow ordering preserved, same HOL exposure;\n"
+              "see tests/integration/rss_firewall_test.cpp)\n");
+  std::printf("\nper-worker packets classified: %llu / %llu\n",
+              static_cast<unsigned long long>(app.classified(0)),
+              static_cast<unsigned long long>(app.classified(1)));
+  std::printf(
+      "\nIdentical type-C packets fluctuate purely by queue assignment:\n"
+      "the classify windows match across workers (same code, same rules),\n"
+      "but worker 0's packets wait behind type-A classifications. The\n"
+      "trace's separation of wait vs work rules out the classifier and\n"
+      "points at dispatch imbalance — actionable (flow-hash or heavier\n"
+      "RSS spreading), where a latency log alone would mislead.\n");
+  return 0;
+}

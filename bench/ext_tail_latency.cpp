@@ -1,0 +1,95 @@
+// The motivation experiment (§II-A): tail latency amplification. Huang et
+// al. measured "the standard deviation was twice the mean" and "the 99th
+// percentile was an order of magnitude greater than the mean" on TPC-C.
+// This bench reproduces the phenomenon on the query-cache app — cache
+// warmth makes identical queries take wildly different times — and shows
+// the per-function trace attributing the tail to f3.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/apps/query_cache_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/report/stats.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("ext_tail_latency",
+                "§II-A motivation — tail-latency amplification from cache "
+                "warmth, and its per-function attribution",
+                spec);
+
+  // Workload: a long production-like stream where every 40th query jumps
+  // beyond the cache high-water mark (new data arriving), resetting the
+  // warmth for part of its points.
+  std::vector<apps::Query> queries;
+  std::uint32_t frontier = 3;
+  for (ItemId id = 1; id <= 600; ++id) {
+    std::uint32_t n = 2 + static_cast<std::uint32_t>(id % 3);
+    if (id % 40 == 0) n = ++frontier; // touches never-seen points
+    queries.push_back(apps::Query{id, n});
+  }
+
+  SymbolTable symtab;
+  apps::QueryCacheAppConfig qcfg;
+  apps::QueryCacheApp app(symtab, qcfg);
+  sim::Machine m(symtab);
+  sim::PebsConfig pc;
+  pc.reset = 8000;
+  pc.buffer_capacity = 4096;
+  m.cpu(1).enable_pebs(pc);
+  app.submit(queries);
+  app.attach(m, 0, 1);
+  m.run();
+  m.flush_samples();
+
+  core::TraceIntegrator integ(symtab);
+  const core::TraceTable table = integ.integrate(
+      m.marker_log().markers(), m.pebs_driver().samples());
+
+  report::Distribution lat;
+  report::Distribution f3_share_tail;
+  for (const apps::Query& q : queries) {
+    lat.add(spec.us(table.item_window_total(q.id)));
+  }
+
+  report::Table tab({"metric", "value [us]"});
+  tab.row({"mean", report::Table::num(lat.mean())});
+  tab.row({"stddev", report::Table::num(lat.stddev())});
+  tab.row({"p50", report::Table::num(lat.percentile(50))});
+  tab.row({"p90", report::Table::num(lat.percentile(90))});
+  tab.row({"p99", report::Table::num(lat.percentile(99))});
+  tab.row({"p99.9", report::Table::num(lat.percentile(99.9))});
+  tab.row({"max", report::Table::num(lat.max())});
+  tab.print(std::cout);
+
+  std::printf("\nstddev/mean = %.2f   p99/mean = %.2f\n",
+              lat.stddev() / lat.mean(), lat.p99_over_mean());
+
+  std::printf("\nlatency histogram (us):\n");
+  report::Histogram hist(0.0, lat.percentile(99.9) * 1.05, 12);
+  for (const double x : lat.values()) hist.add(x);
+  hist.print(std::cout);
+
+  // Attribute the tail: among the p99 items, which function dominates?
+  const double p99 = lat.percentile(99);
+  double f3_sum = 0, total_sum = 0;
+  int tail_items = 0;
+  for (const apps::Query& q : queries) {
+    const double w = spec.us(table.item_window_total(q.id));
+    if (w < p99) continue;
+    ++tail_items;
+    f3_sum += spec.us(table.elapsed(q.id, app.f3()));
+    total_sum += w;
+  }
+  std::printf("\ntail attribution (items >= p99, n = %d): f3 accounts for "
+              "%.0f%% of their time\n",
+              tail_items, 100.0 * f3_sum / total_sum);
+  std::printf(
+      "— the per-item, per-function trace pins the tail on the recompute\n"
+      "path, information neither a profile nor service-level logs provide.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// §V-A extension: the timer-switching architecture. A user-level
+// scheduler preempts data-items mid-flight, so marker windows overlap and
+// window-based mapping mis-attributes samples; carrying the item id in
+// R13 (swapped by the user-level context switch) fixes attribution.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/regid.hpp"
+#include "fluxtrace/report/table.hpp"
+#include "fluxtrace/rt/ulthread.hpp"
+
+using namespace fluxtrace;
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("ext_timer_switching",
+                "§V-A — register-carried item ids under a preemptive "
+                "user-level scheduler",
+                spec);
+
+  SymbolTable symtab;
+  const SymbolId fn_a = symtab.add("handle_type_a", 0x800);
+  const SymbolId fn_b = symtab.add("handle_type_b", 0x800);
+  const SymbolId sched_fn = symtab.add("ul_context_switch", 0x100);
+
+  sim::Machine m(symtab);
+  sim::PebsConfig pc;
+  pc.reset = 1000;
+  m.cpu(0).enable_pebs(pc);
+
+  rt::UlSchedulerConfig cfg;
+  cfg.timeslice = 3000; // 1 us slices
+  cfg.scheduler_symbol = sched_fn;
+  rt::UlScheduler sched(cfg);
+  // Four items of two kinds interleave; items 1/3 run fn_a, 2/4 run fn_b.
+  sched.submit(rt::UlWork{1, {sim::ExecBlock{fn_a, 120000, 0, {}}}});
+  sched.submit(rt::UlWork{2, {sim::ExecBlock{fn_b, 120000, 0, {}}}});
+  sched.submit(rt::UlWork{3, {sim::ExecBlock{fn_a, 60000, 0, {}}}});
+  sched.submit(rt::UlWork{4, {sim::ExecBlock{fn_b, 60000, 0, {}}}});
+  m.attach(0, sched);
+  m.run();
+  m.flush_samples();
+
+  std::printf("context switches: %llu, items completed: %llu\n\n",
+              static_cast<unsigned long long>(sched.context_switches()),
+              static_cast<unsigned long long>(sched.completed()));
+
+  // How the two mappings compare sample-by-sample.
+  core::RegisterIdMapper mapper;
+  const auto cmp = mapper.compare_with_windows(
+      m.pebs_driver().samples(), m.marker_log().markers());
+  std::printf("samples: %llu | window-attributed: %llu | "
+              "register-attributed: %llu | disagreements: %llu (%.1f%%)\n\n",
+              static_cast<unsigned long long>(cmp.total),
+              static_cast<unsigned long long>(cmp.by_window),
+              static_cast<unsigned long long>(cmp.by_register),
+              static_cast<unsigned long long>(cmp.disagree),
+              100.0 * static_cast<double>(cmp.disagree) /
+                  static_cast<double>(cmp.total));
+
+  // Per-item attribution: with register ids, each item's samples land
+  // only in its own function; window mode bleeds across items.
+  core::TraceIntegrator by_window(symtab);
+  core::TraceIntegrator by_reg(symtab, core::IntegratorConfig{true});
+  const auto wt = by_window.integrate(m.marker_log().markers(),
+                                      m.pebs_driver().samples());
+  const auto rt_ = by_reg.integrate(m.marker_log().markers(),
+                                    m.pebs_driver().samples());
+
+  report::Table tab({"item", "true fn", "win: own-fn", "win: other-fn",
+                     "reg: own-fn", "reg: other-fn"});
+  for (ItemId id = 1; id <= 4; ++id) {
+    const SymbolId own = (id % 2 == 1) ? fn_a : fn_b;
+    const SymbolId other = (id % 2 == 1) ? fn_b : fn_a;
+    tab.row({"#" + std::to_string(id), std::string(symtab.name(own)),
+             report::Table::num(wt.sample_count(id, own)),
+             report::Table::num(wt.sample_count(id, other)),
+             report::Table::num(rt_.sample_count(id, own)),
+             report::Table::num(rt_.sample_count(id, other))});
+  }
+  tab.print(std::cout);
+
+  std::printf(
+      "\nWindow-based mapping attributes other items' samples to whichever\n"
+      "window happens to cover the timestamp ('other-fn' > 0); the R13-\n"
+      "carried id attributes every sample to the right item (0 leakage).\n"
+      "The paper verified Linux + glibc build and run with R13 reserved.\n");
+  return 0;
+}

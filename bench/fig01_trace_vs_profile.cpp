@@ -1,0 +1,99 @@
+// Figure 1: a trace (left) vs a profile (right) of an imaginary web
+// server with three functions. The profile shows only accumulated
+// ("averaged") results and cannot reveal that function A took 90 us for
+// request #1 but only 10 us for request #2 — the trace can.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/profile.hpp"
+#include "fluxtrace/report/table.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+/// Scripted toy server: request #1 hits a cold path in A (90 us); every
+/// other request spends 10 us in A. B and C are constant.
+class ToyServer final : public sim::Task {
+ public:
+  ToyServer(SymbolId a, SymbolId b, SymbolId c, int requests)
+      : a_(a), b_(b), c_(c), remaining_(requests) {}
+
+  sim::StepStatus step(sim::Cpu& cpu) override {
+    if (remaining_ == 0) return sim::StepStatus::Done;
+    const ItemId id = ++next_id_;
+    cpu.mark_enter(id);
+    const bool cold = id == 1;
+    cpu.exec(a_, cold ? 675000 : 75000); // 90 us vs 10 us at 3 GHz
+    cpu.exec(b_, 30000);                 // 4 us
+    cpu.exec(c_, 22500);                 // 3 us
+    cpu.mark_leave(id);
+    --remaining_;
+    return remaining_ == 0 ? sim::StepStatus::Done
+                           : sim::StepStatus::Progress;
+  }
+
+ private:
+  SymbolId a_, b_, c_;
+  int remaining_;
+  ItemId next_id_ = 0;
+};
+
+} // namespace
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("fig01_trace_vs_profile",
+                "Fig. 1 — a trace vs a profile of a 3-function server",
+                spec);
+
+  SymbolTable symtab;
+  const SymbolId a = symtab.add("funcA", 0x400);
+  const SymbolId b = symtab.add("funcB", 0x400);
+  const SymbolId c = symtab.add("funcC", 0x400);
+
+  sim::Machine m(symtab);
+  sim::PebsConfig pc;
+  pc.reset = 8000; // ~1 us interval: plenty of samples, modest overhead
+  m.cpu(0).enable_pebs(pc);
+
+  ToyServer server(a, b, c, 50);
+  m.attach(0, server);
+  const auto run = m.run();
+  m.flush_samples();
+
+  core::TraceIntegrator integ(symtab);
+  const core::TraceTable table = integ.integrate(
+      m.marker_log().markers(), m.pebs_driver().samples());
+
+  std::printf("--- Trace: per-request, per-function elapsed time ---\n");
+  report::Table trace({"request", "funcA [us]", "funcB [us]", "funcC [us]"});
+  for (const ItemId id : {1u, 2u, 3u, 49u, 50u}) {
+    trace.row({"#" + std::to_string(id),
+               report::Table::num(spec.us(table.elapsed(id, a))),
+               report::Table::num(spec.us(table.elapsed(id, b))),
+               report::Table::num(spec.us(table.elapsed(id, c)))});
+  }
+  trace.print(std::cout);
+
+  std::printf("\n--- Profile: total time per function over the run ---\n");
+  const core::Profile prof = core::Profile::from_samples(
+      symtab, m.pebs_driver().samples(), run.end_tsc);
+  report::Table ptab({"function", "samples", "share", "total time [us]"});
+  for (const auto& e : prof.entries()) {
+    ptab.row({std::string(symtab.name(e.fn)), report::Table::num(e.samples),
+              report::Table::num(e.share * 100.0, 1) + "%",
+              report::Table::num(spec.us(e.est_time))});
+  }
+  ptab.print(std::cout);
+
+  std::printf(
+      "\nThe profile averages away the fluctuation; the trace shows that\n"
+      "funcA took %.0f us for request #1 but only %.0f us for request #2\n"
+      "(scripted: 90 us vs 10 us, plus sampling overhead inside the spans).\n",
+      spec.us(table.elapsed(1, a)), spec.us(table.elapsed(2, a)));
+  return 0;
+}

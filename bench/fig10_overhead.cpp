@@ -1,0 +1,57 @@
+// Figure 10: overhead of the hybrid method for each reset value, measured
+// the way the paper measures it — as the increase in mean packet latency
+// observed by the hardware tester: overhead(R) = L_R − L*, where L* is
+// the latency with no profiling at all.
+#include <cstdio>
+#include <iostream>
+
+#include "acl_common.hpp"
+#include "fluxtrace/report/chart.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+using namespace fluxtrace::bench;
+
+int main() {
+  const CpuSpec spec;
+  banner("fig10_overhead",
+         "Fig. 10 — tracing overhead (latency increase) vs reset value, "
+         "measured by the GNET-style tester",
+         spec);
+
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+
+  // L*: no instrumentation, no sampling.
+  AclRunConfig off;
+  off.app.instrument = false;
+  const double l_star = overall_latency_us(run_acl_case_study(rules, off));
+  std::printf("L* (no profiling): %.2f us mean latency\n\n", l_star);
+
+  report::Table tab({"reset", "latency [us]", "overhead [us]",
+                     "samples/pkt", "drain stalls [us total]"});
+  report::BarChart chart("us overhead", 40);
+  for (const std::uint64_t reset : {8000u, 12000u, 16000u, 20000u, 24000u}) {
+    AclRunConfig cfg;
+    cfg.pebs_reset = reset;
+    const AclRunResult r = run_acl_case_study(rules, cfg);
+    const double lat = overall_latency_us(r);
+    const double oh = lat - l_star;
+    tab.row({report::Table::num(reset / 1000) + "K",
+             report::Table::num(lat), report::Table::num(oh),
+             report::Table::num(static_cast<double>(r.pebs_samples) /
+                                    static_cast<double>(cfg.packets),
+                                1),
+             report::Table::num(spec.us(r.drain_stall))});
+    chart.bar(report::Table::num(reset / 1000) + "K", oh);
+  }
+  tab.print(std::cout);
+  std::printf("\n");
+  chart.print(std::cout);
+
+  std::printf(
+      "\nOverhead falls as the reset value grows (fewer 250 ns assists and\n"
+      "fewer SSD-dump buffer drains per packet) — together with Fig. 9,\n"
+      "a moderate reset value (the paper suggests 16K) gives both accurate\n"
+      "estimation and acceptable overhead.\n");
+  return 0;
+}

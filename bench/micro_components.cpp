@@ -1,0 +1,186 @@
+// Component micro-benchmarks (google-benchmark): the real-time cost of
+// the library's hot paths — ring operations, trie classification, trace
+// integration, detector updates, cache-model accesses.
+#include <benchmark/benchmark.h>
+
+#include "fluxtrace/acl/classifier.hpp"
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/core/detector.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/online.hpp"
+#include "fluxtrace/db/btree.hpp"
+#include "fluxtrace/db/bufferpool.hpp"
+#include "fluxtrace/rt/sim_channel.hpp"
+#include "fluxtrace/rt/spsc_ring.hpp"
+#include "fluxtrace/sim/cache.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  rt::SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.push(++v);
+    benchmark::DoNotOptimize(ring.pop());
+  }
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_SimChannelPushPop(benchmark::State& state) {
+  rt::SimChannel<std::uint64_t> ch(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ++v;
+    ch.push(v, v);
+    benchmark::DoNotOptimize(ch.pop(v));
+  }
+}
+BENCHMARK(BM_SimChannelPushPop);
+
+void BM_TrieClassifyPaperPacket(benchmark::State& state) {
+  static const acl::RuleSet rules = acl::make_paper_ruleset();
+  static const acl::MultiTrieClassifier clf(
+      rules, acl::MultiTrieConfig{acl::kPaperRulesPerTrie, 0});
+  const acl::PaperPackets pk;
+  const FlowKey keys[3] = {pk.type_a, pk.type_b, pk.type_c};
+  const FlowKey key = keys[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.classify(key));
+  }
+}
+BENCHMARK(BM_TrieClassifyPaperPacket)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LinearScanClassify(benchmark::State& state) {
+  static const acl::LinearScanClassifier clf(acl::make_paper_ruleset());
+  const acl::PaperPackets pk;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.classify(pk.type_a));
+  }
+}
+BENCHMARK(BM_LinearScanClassify);
+
+void BM_IntegrateSamples(benchmark::State& state) {
+  SymbolTable symtab;
+  std::vector<SymbolId> fns;
+  for (int i = 0; i < 8; ++i) {
+    fns.push_back(symtab.add("fn" + std::to_string(i), 0x400));
+  }
+  const std::int64_t n = state.range(0);
+  std::vector<Marker> markers;
+  std::vector<PebsSample> samples;
+  Tsc t = 0;
+  for (std::int64_t item = 0; item < n / 10; ++item) {
+    markers.push_back(
+        Marker{t, static_cast<ItemId>(item), 0, MarkerKind::Enter});
+    for (int s = 0; s < 10; ++s) {
+      PebsSample smp;
+      smp.tsc = t + 10 + static_cast<Tsc>(s) * 30;
+      smp.ip = symtab.ip_at(fns[static_cast<std::size_t>(s) % fns.size()], 0.5);
+      samples.push_back(smp);
+    }
+    t += 400;
+    markers.push_back(
+        Marker{t, static_cast<ItemId>(item), 0, MarkerKind::Leave});
+    t += 50;
+  }
+  core::TraceIntegrator integ(symtab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(integ.integrate(markers, samples));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IntegrateSamples)->Arg(1000)->Arg(10000);
+
+void BM_DetectorObserve(benchmark::State& state) {
+  core::FluctuationDetector det;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.observe(i, i % 16, 1000 + (i % 37)));
+    ++i;
+  }
+}
+BENCHMARK(BM_DetectorObserve);
+
+void BM_CacheHierarchyAccess(benchmark::State& state) {
+  sim::CacheHierarchy cache;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr));
+    addr += 64;
+    if (addr > (1u << 22)) addr = 0;
+  }
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void BM_TrieBuildPaperRuleset(benchmark::State& state) {
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  for (auto _ : state) {
+    acl::MultiTrieClassifier clf(
+        rules, acl::MultiTrieConfig{acl::kPaperRulesPerTrie, 0});
+    benchmark::DoNotOptimize(clf.num_tries());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rules.size()));
+}
+BENCHMARK(BM_TrieBuildPaperRuleset)->Unit(benchmark::kMillisecond);
+
+void BM_BTreeFind(benchmark::State& state) {
+  static const auto tree = [] {
+    db::BTree t(64);
+    for (std::uint64_t k = 0; k < 100000; ++k) t.insert(k, k);
+    return t;
+  }();
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(k));
+    k = (k + 7919) % 100000;
+  }
+}
+BENCHMARK(BM_BTreeFind);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  db::BTree t(64);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.insert(k, k));
+    ++k;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BufferPoolFetch(benchmark::State& state) {
+  db::BufferPool pool(1024);
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.fetch(page));
+    page = (page + 97) % 2048; // 50% hit rate steady state
+  }
+}
+BENCHMARK(BM_BufferPoolFetch);
+
+void BM_OnlineTracerPerItem(benchmark::State& state) {
+  SymbolTable symtab;
+  const SymbolId fn = symtab.add("fn", 0x400);
+  core::OnlineTracer ot(symtab);
+  Tsc t = 0;
+  ItemId id = 0;
+  for (auto _ : state) {
+    ot.on_marker(Marker{t, ++id, 0, MarkerKind::Enter});
+    for (int i = 0; i < 4; ++i) {
+      PebsSample s;
+      s.tsc = t + 10 + static_cast<Tsc>(i) * 20;
+      s.ip = symtab.ip_at(fn, 0.5);
+      ot.on_sample(s);
+    }
+    ot.on_marker(Marker{t + 100, id, 0, MarkerKind::Leave});
+    t += 150;
+  }
+}
+BENCHMARK(BM_OnlineTracerPerItem);
+
+} // namespace
+
+BENCHMARK_MAIN();

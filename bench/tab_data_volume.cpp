@@ -1,0 +1,50 @@
+// §IV-C3's data-volume numbers: the PEBS sample stream was 270/194/153/
+// 125/106 MB/s for reset values 8K..24K; across a 16-core CPU that is
+// 4.3..1.7 GB/s — still under 4% of a Skylake socket's memory bandwidth,
+// which is the argument for processing samples online rather than dumping
+// them all to storage.
+#include <cstdio>
+#include <iostream>
+
+#include "acl_common.hpp"
+#include "fluxtrace/core/volume.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+using namespace fluxtrace::bench;
+
+int main() {
+  const CpuSpec spec;
+  banner("tab_data_volume",
+         "§IV-C3 — PEBS raw-sample data volume vs reset value "
+         "(ACL case study, per traced core and per 16-core CPU)",
+         spec);
+
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  const core::DataVolumeModel model;
+
+  report::Table tab({"reset", "samples", "MB/s per core", "GB/s per CPU(16c)",
+                     "% of mem BW"});
+  for (const std::uint64_t reset : {8000u, 12000u, 16000u, 20000u, 24000u}) {
+    AclRunConfig cfg;
+    cfg.pebs_reset = reset;
+    // Saturate the ACL core harder than Figs. 9/10 so the per-core rate
+    // reflects a busy core, as in the paper's measurement.
+    cfg.gap_ns = 14000.0;
+    const AclRunResult r = run_acl_case_study(rules, cfg);
+    const double mbps = model.measured_mbps(r.pebs_samples, r.acl_total, spec);
+    const double gbps = model.per_cpu_gbps(mbps);
+    tab.row({report::Table::num(reset / 1000) + "K",
+             report::Table::num(r.pebs_samples),
+             report::Table::num(mbps, 1), report::Table::num(gbps, 2),
+             report::Table::num(model.membw_fraction(gbps) * 100.0, 2)});
+  }
+  tab.print(std::cout);
+
+  std::printf(
+      "\npaper reference: 270 / 194 / 153 / 125 / 106 MB/s for the same\n"
+      "reset values; absolute rates differ with the simulated core's uop\n"
+      "rate, but the 1/R shape and the <4%%-of-memory-bandwidth argument\n"
+      "hold (Xeon Platinum 8153: 127.8 GB/s with DDR4-2666 x 6).\n");
+  return 0;
+}

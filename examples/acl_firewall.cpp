@@ -1,0 +1,87 @@
+// The DPDK ACL case study (§IV-C) as a runnable example: build the
+// Table III rule set, run the RX/ACL/TX firewall pipeline under a
+// GNET-style tester, trace the ACL thread with the hybrid method, and
+// print per-packet-type classify times with their baseline.
+//
+// Usage: ./examples/acl_firewall [reset_value] [packets]
+//        defaults: reset 16000 (the paper's sweet spot), 600 packets
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/apps/acl_firewall_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/net/trafficgen.hpp"
+
+using namespace fluxtrace;
+
+int main(int argc, char** argv) {
+  const std::uint64_t reset =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16000;
+  const std::uint64_t packets =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 600;
+
+  std::printf("building Table III rule set...\n");
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+
+  SymbolTable symtab;
+  apps::AclFirewallApp app(symtab, rules);
+  std::printf("%zu rules in %u tries\n\n", rules.size(),
+              app.classifier().num_tries());
+
+  sim::Machine machine(symtab);
+  net::TrafficGenConfig tgc;
+  tgc.total_packets = packets;
+  tgc.inter_packet_gap_ns = 20000;
+  const acl::PaperPackets pk;
+  net::TrafficGen tester(tgc, app.rx_nic(), app.tx_nic(),
+                         {pk.type_a, pk.type_b, pk.type_c});
+
+  if (reset > 0) {
+    sim::PebsConfig pebs;
+    pebs.reset = reset;
+    machine.cpu(2).enable_pebs(pebs); // the ACL thread's core
+  }
+  app.expect_packets(packets);
+  machine.attach(0, tester);
+  app.attach(machine, /*rx=*/1, /*acl=*/2, /*tx=*/3);
+  machine.run();
+  machine.flush_samples();
+
+  core::TraceIntegrator integrator(symtab);
+  const core::TraceTable trace = integrator.integrate(
+      machine.marker_log().markers(), machine.pebs_driver().samples());
+
+  const CpuSpec& spec = machine.spec();
+  std::map<std::uint32_t, std::vector<double>> est, win, lat;
+  for (const auto& rec : tester.records()) {
+    est[rec.flow_idx].push_back(
+        spec.us(trace.elapsed(rec.id, app.classify_symbol())));
+    win[rec.flow_idx].push_back(spec.us(trace.item_window_total(rec.id)));
+    lat[rec.flow_idx].push_back(spec.us(rec.latency()));
+  }
+  const auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (const double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+
+  std::printf("type | est. classify [us] | baseline [us] | e2e latency [us]\n");
+  const char* names[3] = {"A", "B", "C"};
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    std::printf("   %s |              %6.2f |        %6.2f |           %6.2f\n",
+                names[f], mean(est[f]), mean(win[f]), mean(lat[f]));
+  }
+  std::printf(
+      "\nPackets differing only in how deep the ACL tries must be walked\n"
+      "(src / src+dst / full key) fluctuate by >100%% inside\n"
+      "rte_acl_classify; the hybrid trace shows it per packet, online.\n"
+      "PEBS samples collected: %zu (%.1f per packet), %llu lost to drains.\n",
+      machine.pebs_driver().samples().size(),
+      static_cast<double>(machine.pebs_driver().samples().size()) /
+          static_cast<double>(packets),
+      static_cast<unsigned long long>(machine.cpu(2).pebs().samples_lost()));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Diagnosing a database tail: run a mixed workload on the mini storage
+// engine with the hybrid tracer, find the slowest queries, and print each
+// one's per-function breakdown — distinguishing the three tail causes
+// (evicted buffer-pool page, group-commit flush, index splits) that all
+// look identical in a service-level latency log.
+//
+// Usage: ./examples/db_diagnosis [n_queries]   (default 1500)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "fluxtrace/apps/minidb_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+
+using namespace fluxtrace;
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1500;
+
+  SymbolTable symtab;
+  apps::MiniDbApp db(symtab);
+  db.preload(4096);
+  db.submit(apps::MiniDbApp::make_mixed_workload(n, 23, 4096));
+
+  sim::Machine machine(symtab);
+  sim::PebsConfig pebs;
+  pebs.reset = 2000;
+  pebs.buffer_capacity = 1u << 16;
+  machine.cpu(1).enable_pebs(pebs);
+  db.attach(machine, 0, 1);
+  machine.run();
+  machine.flush_samples();
+
+  core::TraceIntegrator integrator(symtab);
+  const core::TraceTable trace = integrator.integrate(
+      machine.marker_log().markers(), machine.pebs_driver().samples());
+
+  // The five slowest queries, with full breakdowns.
+  std::vector<std::pair<Tsc, ItemId>> by_latency;
+  for (const ItemId item : trace.items()) {
+    by_latency.emplace_back(trace.item_window_total(item), item);
+  }
+  std::sort(by_latency.rbegin(), by_latency.rend());
+
+  const CpuSpec& spec = machine.spec();
+  std::printf("%zu queries processed; the 5 slowest, diagnosed:\n\n", n);
+  for (std::size_t i = 0; i < 5 && i < by_latency.size(); ++i) {
+    const auto [t, item] = by_latency[i];
+    std::printf("query #%llu — %.1f us total\n",
+                static_cast<unsigned long long>(item), spec.us(t));
+    for (const SymbolId fn : trace.functions(item)) {
+      const double us = spec.us(trace.elapsed(item, fn));
+      if (us <= 0.0) continue;
+      std::printf("    %-28s %8.1f us\n",
+                  std::string(symtab.name(fn)).c_str(), us);
+    }
+    // Automated verdict, the way an operator would read it.
+    const double fetch = spec.us(trace.elapsed(item, db.fetch_rows()));
+    const double flush = spec.us(trace.elapsed(item, db.wal_flush()));
+    const char* verdict =
+        flush > 5.0   ? "group-commit flush (this insert paid the fsync)"
+        : fetch > 5.0 ? "storage reads (pool pages evicted or large scan)"
+                      : "CPU-bound work";
+    std::printf("    -> cause: %s\n\n", verdict);
+  }
+
+  std::printf("buffer pool: %llu hits / %llu misses; WAL: %llu flushes\n",
+              static_cast<unsigned long long>(db.pool().hits()),
+              static_cast<unsigned long long>(db.pool().misses()),
+              static_cast<unsigned long long>(db.wal().flushes()));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Tracing a timer-switching web server (NGINX's architecture, per
+// §III-C): a keepalive connection streaming a big file shares the worker
+// with cheap requests; the user-level scheduler interleaves them, so
+// marker windows overlap and only the §V-A register-carried request ids
+// attribute samples correctly.
+//
+// Usage: ./examples/nginx_timer_tracing [timeslice_cycles]  (default 9000)
+#include <cstdio>
+#include <cstdlib>
+
+#include "fluxtrace/apps/timer_web_server.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/regid.hpp"
+
+using namespace fluxtrace;
+
+int main(int argc, char** argv) {
+  SymbolTable symtab;
+  apps::TimerWebServerConfig cfg;
+  if (argc > 1) cfg.timeslice = std::strtoull(argv[1], nullptr, 10);
+  cfg.requests = 40;
+  apps::TimerWebServer server(symtab, cfg);
+
+  sim::Machine machine(symtab);
+  sim::PebsConfig pebs;
+  pebs.reset = 2000;
+  pebs.buffer_capacity = 1u << 16;
+  machine.cpu(0).enable_pebs(pebs);
+  server.attach(machine, 0);
+  machine.run();
+  machine.flush_samples();
+
+  std::printf("requests: %llu, user-level context switches: %llu\n\n",
+              static_cast<unsigned long long>(cfg.requests),
+              static_cast<unsigned long long>(
+                  server.scheduler().context_switches()));
+
+  // How broken window mapping is here:
+  core::RegisterIdMapper mapper;
+  const auto cmp = mapper.compare_with_windows(
+      machine.pebs_driver().samples(), machine.marker_log().markers());
+  std::printf("window-based mapping disagrees with R13 on %.0f%% of "
+              "samples under this interleaving\n\n",
+              100.0 * static_cast<double>(cmp.disagree) /
+                  static_cast<double>(cmp.total));
+
+  // Correct attribution via the register ids.
+  core::TraceIntegrator integ(symtab, core::IntegratorConfig{true});
+  const core::TraceTable trace =
+      integ.integrate({}, machine.pebs_driver().samples());
+
+  // Under preemption, first-to-last spans measure *residency* (they
+  // include time other requests ran). The per-item WORK is better read
+  // from sample counts: work ≈ samples × R µops.
+  const CpuSpec& spec = machine.spec();
+  const auto work_us = [&](ItemId id, SymbolId fn) {
+    return spec.us(spec.uop_cycles(trace.sample_count(id, fn) * pebs.reset));
+  };
+  std::printf("request | kind  | handler work [us] | sendfile work [us] | "
+              "residency [us]\n");
+  for (ItemId id = 1; id <= 12; ++id) {
+    std::printf("   #%-3llu | %-5s | %17.1f | %18.1f | %14.1f\n",
+                static_cast<unsigned long long>(id),
+                server.is_heavy(id) ? "heavy" : "light",
+                work_us(id, server.run_handler()),
+                work_us(id, server.sendfile()),
+                spec.us(trace.item_estimated_total(id)));
+  }
+  std::printf(
+      "\nHeavy requests show ~80 us of work in ngx_sendfile_stream; light\n"
+      "requests ~4 us in ngx_http_run_handler — per request, even though\n"
+      "the scheduler interleaved everything on one core. The residency\n"
+      "column (first-to-last sample span) shows how long each request was\n"
+      "in flight, which under timer-switching far exceeds its own work.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: trace a tiny two-function worker with the hybrid method.
+//
+//   1. Describe the traced binary's functions in a SymbolTable.
+//   2. Run the program on the simulated machine with PEBS enabled and
+//      the marking function called at every data-item switch.
+//   3. Integrate markers + samples + symbols into a TraceTable and query
+//      per-item, per-function elapsed times.
+//
+// Build & run:   ./examples/quickstart
+#include <cstdio>
+
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+/// A worker processing 5 data-items; item 3 hits a slow path in `decode`.
+class Worker final : public sim::Task {
+ public:
+  Worker(SymbolId parse, SymbolId decode) : parse_(parse), decode_(decode) {}
+
+  sim::StepStatus step(sim::Cpu& cpu) override {
+    if (next_ > 5) return sim::StepStatus::Done;
+    const ItemId item = next_++;
+    cpu.mark_enter(item); // the instrumented data-item switch
+    cpu.exec(parse_, 30000);                           // ~4 us
+    cpu.exec(decode_, item == 3 ? 300000 : 60000);     // ~40 us vs ~8 us
+    cpu.mark_leave(item);
+    return sim::StepStatus::Progress;
+  }
+
+ private:
+  SymbolId parse_, decode_;
+  ItemId next_ = 1;
+};
+
+} // namespace
+
+int main() {
+  // 1. The "binary": two functions with their code sizes.
+  SymbolTable symtab;
+  const SymbolId parse = symtab.add("parse", 0x800);
+  const SymbolId decode = symtab.add("decode", 0x2000);
+
+  // 2. A machine; PEBS on core 0 sampling every 8000 retired uops.
+  sim::Machine machine(symtab);
+  sim::PebsConfig pebs;
+  pebs.event = HwEvent::UopsRetired;
+  pebs.reset = 8000;
+  machine.cpu(0).enable_pebs(pebs);
+
+  Worker worker(parse, decode);
+  machine.attach(0, worker);
+  machine.run();
+  machine.flush_samples();
+
+  // 3. Integrate and inspect.
+  core::TraceIntegrator integrator(symtab);
+  const core::TraceTable trace = integrator.integrate(
+      machine.marker_log().markers(), machine.pebs_driver().samples());
+
+  const CpuSpec& spec = machine.spec();
+  std::printf("item | parse [us] | decode [us]\n");
+  for (const ItemId item : trace.items()) {
+    std::printf("  #%llu |      %5.1f |       %5.1f\n",
+                static_cast<unsigned long long>(item),
+                spec.us(trace.elapsed(item, parse)),
+                spec.us(trace.elapsed(item, decode)));
+  }
+  std::printf("\nitem #3 fluctuates, and the per-function trace shows the\n"
+              "time went into `decode` — without instrumenting `decode`.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The §V-A extension as a runnable example: trace a preemptive
+// user-level-threaded server where marker windows are useless, by reading
+// the data-item id out of the sampled R13 register.
+//
+// Usage: ./examples/timer_switching [timeslice_cycles]   (default 2500)
+#include <cstdio>
+#include <cstdlib>
+
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/regid.hpp"
+#include "fluxtrace/rt/ulthread.hpp"
+
+using namespace fluxtrace;
+
+int main(int argc, char** argv) {
+  const Tsc timeslice =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2500;
+
+  SymbolTable symtab;
+  const SymbolId handle = symtab.add("handle_request", 0x1000);
+  const SymbolId render = symtab.add("render_response", 0x1000);
+  const SymbolId sched = symtab.add("ul_context_switch", 0x100);
+
+  sim::Machine machine(symtab);
+  sim::PebsConfig pebs;
+  pebs.reset = 1000;
+  machine.cpu(0).enable_pebs(pebs);
+
+  rt::UlSchedulerConfig cfg;
+  cfg.timeslice = timeslice;
+  cfg.scheduler_symbol = sched;
+  rt::UlScheduler scheduler(cfg);
+  // Six requests of varying weight; the scheduler interleaves them, so a
+  // light request can finish while a heavy one is still in flight — the
+  // defining property of the timer-switching architecture (§III-C).
+  for (ItemId id = 1; id <= 6; ++id) {
+    const std::uint64_t weight = (id % 3 == 1) ? 90000 : 20000;
+    scheduler.submit(rt::UlWork{
+        id,
+        {sim::ExecBlock{handle, weight, 0, {}},
+         sim::ExecBlock{render, weight / 2, 0, {}}}});
+  }
+  machine.attach(0, scheduler);
+  machine.run();
+  machine.flush_samples();
+
+  std::printf("timeslice %llu cycles -> %llu context switches\n\n",
+              static_cast<unsigned long long>(timeslice),
+              static_cast<unsigned long long>(scheduler.context_switches()));
+
+  // Window-based mapping breaks under preemption:
+  core::RegisterIdMapper mapper;
+  const auto cmp = mapper.compare_with_windows(
+      machine.pebs_driver().samples(), machine.marker_log().markers());
+  std::printf("window mapping disagrees with the register-carried id on "
+              "%llu of %llu samples (%.0f%%)\n\n",
+              static_cast<unsigned long long>(cmp.disagree),
+              static_cast<unsigned long long>(cmp.total),
+              100.0 * static_cast<double>(cmp.disagree) /
+                  static_cast<double>(cmp.total));
+
+  // Register-based integration recovers correct per-item traces anyway:
+  core::TraceIntegrator integrator(symtab, core::IntegratorConfig{true});
+  const core::TraceTable trace =
+      integrator.integrate({}, machine.pebs_driver().samples());
+  const CpuSpec& spec = machine.spec();
+  std::printf("item | handle_request [us] | render_response [us]\n");
+  for (const ItemId id : trace.items()) {
+    std::printf("  #%llu |               %5.1f |                %5.1f\n",
+                static_cast<unsigned long long>(id),
+                spec.us(trace.elapsed(id, handle)),
+                spec.us(trace.elapsed(id, render)));
+  }
+  std::printf("\n(note: spans of preempted items include time other items\n"
+              "ran — they upper-bound the item's own work)\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, and regenerate every
+# reproduced table/figure into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    name="$(basename "$b")"
+    echo "=== $name ==="
+    "$b" | tee "results/${name}.txt"
+  fi
+done
+echo "done: results/ holds one file per reproduced table/figure"

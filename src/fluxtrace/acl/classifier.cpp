@@ -1,0 +1,59 @@
+#include "fluxtrace/acl/classifier.hpp"
+
+#include <cassert>
+
+namespace fluxtrace::acl {
+
+MultiTrieClassifier::MultiTrieClassifier(const RuleSet& rules,
+                                         MultiTrieConfig cfg)
+    : num_rules_(rules.size()) {
+  if (rules.empty()) return;
+  std::uint32_t per_trie = cfg.rules_per_trie;
+  if (per_trie == 0) {
+    assert(cfg.max_tries > 0);
+    per_trie = static_cast<std::uint32_t>(
+        (rules.size() + cfg.max_tries - 1) / cfg.max_tries);
+  }
+  const std::size_t n_tries = (rules.size() + per_trie - 1) / per_trie;
+  tries_.resize(n_tries);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    tries_[i / per_trie].insert(rules[i]);
+  }
+}
+
+ClassifyResult MultiTrieClassifier::classify(const FlowKey& key) const {
+  const auto bytes = key.key_bytes();
+  ClassifyResult out;
+  for (const ByteTrie& t : tries_) {
+    const ByteTrie::LookupResult r = t.lookup(bytes);
+    ++out.tries_walked;
+    out.nodes_visited += r.nodes_visited;
+    if (r.matched && (!out.matched || r.priority > out.priority)) {
+      out.matched = true;
+      out.priority = r.priority;
+      out.action = r.action;
+    }
+  }
+  return out;
+}
+
+std::size_t MultiTrieClassifier::total_nodes() const {
+  std::size_t n = 0;
+  for (const ByteTrie& t : tries_) n += t.num_nodes();
+  return n;
+}
+
+ClassifyResult LinearScanClassifier::classify(const FlowKey& key) const {
+  ClassifyResult out;
+  for (const AclRule& r : rules_) {
+    ++out.nodes_visited; // one rule comparison ~ one "visit"
+    if (r.matches(key) && (!out.matched || r.priority > out.priority)) {
+      out.matched = true;
+      out.priority = r.priority;
+      out.action = r.action;
+    }
+  }
+  return out;
+}
+
+} // namespace fluxtrace::acl

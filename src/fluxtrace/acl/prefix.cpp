@@ -1,0 +1,64 @@
+#include "fluxtrace/acl/prefix.hpp"
+
+#include <cassert>
+
+namespace fluxtrace::acl {
+
+std::vector<Prefix16> decompose_range(std::uint16_t lo, std::uint16_t hi) {
+  assert(lo <= hi);
+  std::vector<Prefix16> out;
+  std::uint32_t cur = lo;
+  const std::uint32_t end = static_cast<std::uint32_t>(hi) + 1;
+  while (cur < end) {
+    // Largest aligned block starting at cur that does not overshoot end.
+    std::uint32_t size = 1;
+    while (size < 0x10000u) {
+      const std::uint32_t next = size << 1;
+      if ((cur & (next - 1)) != 0) break;  // alignment bound
+      if (cur + next > end) break;         // range bound
+      size = next;
+    }
+    std::uint8_t len = 16;
+    for (std::uint32_t s = size; s > 1; s >>= 1) --len;
+    out.push_back(Prefix16{static_cast<std::uint16_t>(cur), len});
+    cur += size;
+  }
+  return out;
+}
+
+std::pair<ByteRange, ByteRange> prefix_bytes(const Prefix16& p) {
+  const std::uint16_t lo = p.lo();
+  const std::uint16_t hi = p.hi();
+  ByteRange high{static_cast<std::uint8_t>(lo >> 8),
+                 static_cast<std::uint8_t>(hi >> 8)};
+  ByteRange low{0, 0xff};
+  if (p.len >= 8) {
+    // High byte is fully determined (high.lo == high.hi); the low byte
+    // spans the within-block range.
+    low = ByteRange{static_cast<std::uint8_t>(lo & 0xff),
+                    static_cast<std::uint8_t>(hi & 0xff)};
+  }
+  // For len < 8 the block is aligned to >= 256 values, so the low byte is
+  // the full [0, 255] and the high byte a contiguous range — already set.
+  return {high, low};
+}
+
+std::array<ByteRange, 4> ipv4_prefix_bytes(std::uint32_t addr,
+                                           std::uint8_t len) {
+  assert(len <= 32);
+  const std::uint32_t mask = len == 0 ? 0u : (~0u << (32 - len));
+  const std::uint32_t lo = addr & mask;
+  const std::uint32_t hi = lo | ~mask;
+  std::array<ByteRange, 4> out;
+  for (int b = 0; b < 4; ++b) {
+    const int shift = 8 * (3 - b);
+    const auto blo = static_cast<std::uint8_t>(lo >> shift);
+    const auto bhi = static_cast<std::uint8_t>(hi >> shift);
+    // A prefix constrains a whole-byte boundary: every byte is either
+    // exact, a contiguous range (the partial byte), or full.
+    out[static_cast<std::size_t>(b)] = ByteRange{blo, bhi};
+  }
+  return out;
+}
+
+} // namespace fluxtrace::acl

@@ -1,0 +1,47 @@
+// Range → prefix decomposition for 16-bit port fields. A trie walks the
+// key byte-by-byte, so an arbitrary [lo, hi] port range must be expressed
+// as a minimal set of aligned power-of-two blocks (prefixes) before
+// insertion — the classic technique packet classifiers use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fluxtrace::acl {
+
+/// An aligned block of 2^(16-len) consecutive 16-bit values starting at
+/// `value` (whose low 16-len bits are zero).
+struct Prefix16 {
+  std::uint16_t value = 0;
+  std::uint8_t len = 16; ///< prefix length in bits; 16 = exact value
+
+  [[nodiscard]] std::uint16_t lo() const { return value; }
+  [[nodiscard]] std::uint16_t hi() const {
+    return static_cast<std::uint16_t>(value | (0xffffu >> len));
+  }
+  friend bool operator==(const Prefix16&, const Prefix16&) = default;
+};
+
+/// Decompose [lo, hi] (inclusive, lo <= hi) into the minimal ordered set
+/// of prefixes. At most 30 prefixes for any 16-bit range.
+[[nodiscard]] std::vector<Prefix16> decompose_range(std::uint16_t lo,
+                                                    std::uint16_t hi);
+
+/// Per-byte inclusive bounds a prefix imposes on the two bytes of a
+/// big-endian 16-bit field.
+struct ByteRange {
+  std::uint8_t lo = 0;
+  std::uint8_t hi = 0xff;
+  friend bool operator==(const ByteRange&, const ByteRange&) = default;
+};
+
+/// The two byte-ranges (high byte first) a Prefix16 constrains.
+[[nodiscard]] std::pair<ByteRange, ByteRange> prefix_bytes(const Prefix16& p);
+
+/// The four byte-ranges (big-endian) an IPv4 prefix addr/len constrains.
+[[nodiscard]] std::array<ByteRange, 4> ipv4_prefix_bytes(std::uint32_t addr,
+                                                         std::uint8_t len);
+
+} // namespace fluxtrace::acl

@@ -1,0 +1,41 @@
+// ACL rules over the 12-byte flow key: IPv4 prefixes for addresses, value
+// ranges for ports — the same rule shape DPDK's librte_acl supports for
+// the paper's firewall case study.
+#pragma once
+
+#include <cstdint>
+
+#include "fluxtrace/base/flow.hpp"
+
+namespace fluxtrace::acl {
+
+enum class Action : std::uint8_t { Permit, Drop };
+
+struct AclRule {
+  std::uint32_t src_addr = 0;
+  std::uint8_t src_len = 0; ///< 0 = match any
+  std::uint32_t dst_addr = 0;
+  std::uint8_t dst_len = 0;
+  std::uint16_t sport_lo = 0;
+  std::uint16_t sport_hi = 0xffff;
+  std::uint16_t dport_lo = 0;
+  std::uint16_t dport_hi = 0xffff;
+  std::int32_t priority = 0; ///< higher wins among matches
+  Action action = Action::Drop;
+
+  /// Semantic match — the oracle the trie is verified against.
+  [[nodiscard]] bool matches(const FlowKey& k) const {
+    const auto pfx_match = [](std::uint32_t addr, std::uint32_t rule_addr,
+                              std::uint8_t len) {
+      if (len == 0) return true;
+      const std::uint32_t mask = ~0u << (32 - len);
+      return (addr & mask) == (rule_addr & mask);
+    };
+    return pfx_match(k.src_addr, src_addr, src_len) &&
+           pfx_match(k.dst_addr, dst_addr, dst_len) &&
+           k.src_port >= sport_lo && k.src_port <= sport_hi &&
+           k.dst_port >= dport_lo && k.dst_port <= dport_hi;
+  }
+};
+
+} // namespace fluxtrace::acl

@@ -1,0 +1,111 @@
+#include "fluxtrace/acl/rulefile.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace fluxtrace::acl {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& why) {
+  throw RuleParseError("rule line " + std::to_string(lineno) + ": " + why);
+}
+
+std::uint32_t parse_addr(const std::string& tok, std::uint8_t& len,
+                         std::size_t lineno) {
+  const auto slash = tok.find('/');
+  if (slash == std::string::npos) fail(lineno, "missing /len in '" + tok + "'");
+  const std::uint32_t addr = ipv4(tok.substr(0, slash).c_str());
+  if (addr == 0 && tok.substr(0, slash) != "0.0.0.0") {
+    fail(lineno, "bad address '" + tok + "'");
+  }
+  const long l = std::strtol(tok.c_str() + slash + 1, nullptr, 10);
+  if (l < 0 || l > 32) fail(lineno, "bad prefix length in '" + tok + "'");
+  len = static_cast<std::uint8_t>(l);
+  return addr;
+}
+
+void parse_port_range(const std::string& tok, std::uint16_t& lo,
+                      std::uint16_t& hi, std::size_t lineno) {
+  const auto colon = tok.find(':');
+  if (colon == std::string::npos) {
+    fail(lineno, "missing : in port range '" + tok + "'");
+  }
+  const long a = std::strtol(tok.substr(0, colon).c_str(), nullptr, 10);
+  const long b = std::strtol(tok.c_str() + colon + 1, nullptr, 10);
+  if (a < 0 || a > 0xffff || b < 0 || b > 0xffff || a > b) {
+    fail(lineno, "bad port range '" + tok + "'");
+  }
+  lo = static_cast<std::uint16_t>(a);
+  hi = static_cast<std::uint16_t>(b);
+}
+
+} // namespace
+
+RuleSet parse_rules(std::istream& is) {
+  RuleSet rules;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::istringstream ls(line);
+    std::string src, dst, sports, dports, action;
+    ls >> src >> dst >> sports >> dports >> action;
+    if (src.empty() || src[0] != '@') {
+      fail(lineno, "rules must start with '@'");
+    }
+    if (action.empty()) fail(lineno, "missing fields");
+    std::string extra;
+    if (ls >> extra) fail(lineno, "trailing token '" + extra + "'");
+
+    AclRule r;
+    r.src_addr = parse_addr(src.substr(1), r.src_len, lineno);
+    r.dst_addr = parse_addr(dst, r.dst_len, lineno);
+    parse_port_range(sports, r.sport_lo, r.sport_hi, lineno);
+    parse_port_range(dports, r.dport_lo, r.dport_hi, lineno);
+    std::transform(action.begin(), action.end(), action.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (action == "drop" || action == "deny") {
+      r.action = Action::Drop;
+    } else if (action == "permit" || action == "allow" || action == "accept") {
+      r.action = Action::Permit;
+    } else {
+      fail(lineno, "unknown action '" + action + "'");
+    }
+    rules.push_back(r);
+  }
+  // Earlier lines win: assign descending priority by position.
+  const auto n = static_cast<std::int32_t>(rules.size());
+  for (std::int32_t i = 0; i < n; ++i) rules[static_cast<std::size_t>(i)].priority = n - i;
+  return rules;
+}
+
+RuleSet parse_rules(const std::string& text) {
+  std::istringstream is(text);
+  return parse_rules(is);
+}
+
+void write_rules(std::ostream& os, const RuleSet& rules) {
+  // Emit in priority order (highest first) so a round-trip preserves the
+  // earlier-line-wins semantics.
+  RuleSet sorted = rules;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const AclRule& a, const AclRule& b) {
+              return a.priority > b.priority;
+            });
+  for (const AclRule& r : sorted) {
+    os << '@' << ipv4_to_string(r.src_addr) << '/' << int(r.src_len) << ' '
+       << ipv4_to_string(r.dst_addr) << '/' << int(r.dst_len) << ' '
+       << r.sport_lo << ':' << r.sport_hi << ' ' << r.dport_lo << ':'
+       << r.dport_hi << ' '
+       << (r.action == Action::Drop ? "drop" : "permit") << '\n';
+  }
+}
+
+} // namespace fluxtrace::acl

@@ -1,0 +1,32 @@
+// Rule-file parsing, in the format of DPDK's ACL sample applications:
+//
+//     @<src>/<len> <dst>/<len> <sport-lo>:<sport-hi> <dport-lo>:<dport-hi> <action>
+//
+// one rule per line ('@' prefix as in l3fwd-acl), '#' comments, blank
+// lines ignored. Priority is assigned by position (earlier lines win),
+// matching DPDK's convention for its sample rule files.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "fluxtrace/acl/ruleset.hpp"
+
+namespace fluxtrace::acl {
+
+class RuleParseError : public std::runtime_error {
+ public:
+  explicit RuleParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Parse a rule stream; throws RuleParseError with the offending line
+/// number on malformed input.
+[[nodiscard]] RuleSet parse_rules(std::istream& is);
+[[nodiscard]] RuleSet parse_rules(const std::string& text);
+
+/// Serialize a rule set in the same format (round-trip safe).
+void write_rules(std::ostream& os, const RuleSet& rules);
+
+} // namespace fluxtrace::acl

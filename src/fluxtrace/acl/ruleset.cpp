@@ -1,0 +1,65 @@
+#include "fluxtrace/acl/ruleset.hpp"
+
+namespace fluxtrace::acl {
+
+RuleSet make_paper_ruleset(const PaperRulesetParams& p) {
+  RuleSet rules;
+  rules.reserve(static_cast<std::size_t>(p.full_src_ports) * p.dport_full +
+                p.dport_tail);
+  std::int32_t prio = 0;
+  const auto add = [&](std::uint16_t sp, std::uint16_t dp) {
+    AclRule r;
+    r.src_addr = p.src_net;
+    r.src_len = p.prefix_len;
+    r.dst_addr = p.dst_net;
+    r.dst_len = p.prefix_len;
+    r.sport_lo = r.sport_hi = sp;
+    r.dport_lo = r.dport_hi = dp;
+    r.priority = ++prio;
+    r.action = Action::Drop;
+    rules.push_back(r);
+  };
+  for (std::uint16_t sp = 1; sp <= p.full_src_ports; ++sp) {
+    for (std::uint16_t dp = 1; dp <= p.dport_full; ++dp) add(sp, dp);
+  }
+  for (std::uint16_t dp = 1; dp <= p.dport_tail; ++dp) add(p.tail_src_port, dp);
+  return rules;
+}
+
+RuleSet make_random_ruleset(std::size_t n, std::uint64_t seed) {
+  // splitmix64: small, deterministic, good enough for test workloads.
+  auto next = [state = seed]() mutable {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+
+  RuleSet rules;
+  rules.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AclRule r;
+    const std::uint64_t a = next();
+    const std::uint64_t b = next();
+    // Cluster sources into a handful of subnets so tries share structure.
+    r.src_addr = (ipv4("10.0.0.0") | (static_cast<std::uint32_t>(a) & 0x0007ff00u));
+    r.src_len = static_cast<std::uint8_t>(16 + (a >> 32) % 17); // 16..32
+    r.dst_addr = (ipv4("172.16.0.0") | (static_cast<std::uint32_t>(b) & 0x000fff00u));
+    r.dst_len = static_cast<std::uint8_t>(16 + (b >> 32) % 17);
+    const auto s1 = static_cast<std::uint16_t>(next() % 4096);
+    const auto s2 = static_cast<std::uint16_t>(s1 + next() % 512);
+    r.sport_lo = s1;
+    r.sport_hi = s2 < s1 ? s1 : s2;
+    const auto d1 = static_cast<std::uint16_t>(next() % 4096);
+    const auto d2 = static_cast<std::uint16_t>(d1 + next() % 512);
+    r.dport_lo = d1;
+    r.dport_hi = d2 < d1 ? d1 : d2;
+    r.priority = static_cast<std::int32_t>(i + 1);
+    r.action = (next() & 1) != 0 ? Action::Drop : Action::Permit;
+    rules.push_back(r);
+  }
+  return rules;
+}
+
+} // namespace fluxtrace::acl

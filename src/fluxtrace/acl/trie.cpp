@@ -1,0 +1,177 @@
+#include "fluxtrace/acl/trie.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxtrace::acl {
+
+ByteTrie::ByteTrie() {
+  new_node(); // root = node 0
+}
+
+ByteTrie::NodeId ByteTrie::new_node() {
+  nodes_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+ByteTrie::NodeId ByteTrie::clone_subtree(NodeId id) {
+  // Children are cloned before the parent so `nodes_` reallocation during
+  // recursion cannot invalidate a held reference.
+  std::vector<Edge> edges = nodes_[id].edges;
+  for (Edge& e : edges) e.child = clone_subtree(e.child);
+  const NodeId copy = new_node();
+  Node& n = nodes_[copy];
+  n.edges = std::move(edges);
+  n.priority = nodes_[id].priority;
+  n.action = nodes_[id].action;
+  n.terminal = nodes_[id].terminal;
+  return copy;
+}
+
+void ByteTrie::insert(const AclRule& rule) {
+  const auto src = ipv4_prefix_bytes(rule.src_addr, rule.src_len);
+  const auto dst = ipv4_prefix_bytes(rule.dst_addr, rule.dst_len);
+  const auto sports = decompose_range(rule.sport_lo, rule.sport_hi);
+  const auto dports = decompose_range(rule.dport_lo, rule.dport_hi);
+
+  std::array<ByteRange, kFlowKeyBytes> ranges;
+  for (std::size_t i = 0; i < 4; ++i) {
+    ranges[i] = src[i];
+    ranges[4 + i] = dst[i];
+  }
+  for (const Prefix16& sp : sports) {
+    const auto [sp_hi, sp_lo] = prefix_bytes(sp);
+    ranges[8] = sp_hi;
+    ranges[9] = sp_lo;
+    for (const Prefix16& dp : dports) {
+      const auto [dp_hi, dp_lo] = prefix_bytes(dp);
+      ranges[10] = dp_hi;
+      ranges[11] = dp_lo;
+      insert_path(0, ranges, 0, rule.priority, rule.action);
+    }
+  }
+  ++num_rules_;
+}
+
+void ByteTrie::insert_path(NodeId node,
+                           const std::array<ByteRange, kFlowKeyBytes>& ranges,
+                           std::size_t depth, std::int32_t priority,
+                           Action action) {
+  if (depth == kFlowKeyBytes) {
+    Node& n = nodes_[node];
+    if (!n.terminal || priority > n.priority) {
+      n.priority = priority;
+      n.action = action;
+    }
+    n.terminal = true;
+    return;
+  }
+
+  const ByteRange r = ranges[depth];
+  std::uint32_t cover = r.lo; // uint32 so cover can pass 255 cleanly
+
+  while (cover <= r.hi) {
+    // Work on a fresh view each iteration: recursion below may reallocate.
+    std::vector<Edge>& edges = nodes_[node].edges;
+    auto it = std::lower_bound(
+        edges.begin(), edges.end(), cover,
+        [](const Edge& e, std::uint32_t v) { return e.hi < v; });
+
+    if (it == edges.end() || it->lo > r.hi) {
+      // Pure gap up to r.hi (or up to the next edge).
+      const std::uint32_t gap_hi =
+          it == edges.end() ? r.hi
+                            : std::min<std::uint32_t>(r.hi, it->lo - 1);
+      const NodeId child = new_node(); // may invalidate `edges`/`it`
+      std::vector<Edge>& e2 = nodes_[node].edges;
+      auto pos = std::lower_bound(
+          e2.begin(), e2.end(), cover,
+          [](const Edge& e, std::uint32_t v) { return e.hi < v; });
+      pos = e2.insert(pos, Edge{static_cast<std::uint8_t>(cover),
+                                static_cast<std::uint8_t>(gap_hi), child});
+      insert_path(child, ranges, depth + 1, priority, action);
+      cover = gap_hi + 1;
+      continue;
+    }
+
+    if (it->lo > cover) {
+      // Gap before this edge.
+      const std::uint32_t gap_hi = std::min<std::uint32_t>(r.hi, it->lo - 1);
+      const NodeId child = new_node();
+      std::vector<Edge>& e2 = nodes_[node].edges;
+      auto pos = std::lower_bound(
+          e2.begin(), e2.end(), cover,
+          [](const Edge& e, std::uint32_t v) { return e.hi < v; });
+      pos = e2.insert(pos, Edge{static_cast<std::uint8_t>(cover),
+                                static_cast<std::uint8_t>(gap_hi), child});
+      insert_path(child, ranges, depth + 1, priority, action);
+      cover = gap_hi + 1;
+      continue;
+    }
+
+    // An existing edge covers `cover`.
+    if (it->lo < cover) {
+      // Split off the left part, which keeps the original subtree; the
+      // right part (about to be modified) gets its own clone.
+      const Edge old = *it;
+      const NodeId copy = clone_subtree(old.child); // may reallocate
+      std::vector<Edge>& e2 = nodes_[node].edges;
+      auto pos = std::lower_bound(
+          e2.begin(), e2.end(), old.lo,
+          [](const Edge& e, std::uint32_t v) { return e.hi < v; });
+      pos->hi = static_cast<std::uint8_t>(cover - 1); // left keeps original
+      e2.insert(pos + 1, Edge{static_cast<std::uint8_t>(cover), old.hi, copy});
+      continue; // re-enter: an edge now starts exactly at `cover`
+    }
+
+    // it->lo == cover.
+    if (it->hi > r.hi) {
+      // Split off the right part, which keeps the original subtree.
+      const Edge old = *it;
+      const NodeId copy = clone_subtree(old.child);
+      std::vector<Edge>& e2 = nodes_[node].edges;
+      auto pos = std::lower_bound(
+          e2.begin(), e2.end(), old.lo,
+          [](const Edge& e, std::uint32_t v) { return e.hi < v; });
+      pos->lo = static_cast<std::uint8_t>(r.hi + 1); // right keeps original
+      pos = e2.insert(pos, Edge{static_cast<std::uint8_t>(cover),
+                                static_cast<std::uint8_t>(r.hi), copy});
+      insert_path(copy, ranges, depth + 1, priority, action);
+      cover = static_cast<std::uint32_t>(r.hi) + 1;
+      continue;
+    }
+
+    // Edge fully inside [cover, r.hi]: descend as-is.
+    const std::uint32_t edge_hi = it->hi;
+    const NodeId child = it->child;
+    insert_path(child, ranges, depth + 1, priority, action);
+    cover = edge_hi + 1;
+  }
+}
+
+ByteTrie::LookupResult ByteTrie::lookup(
+    const std::array<std::uint8_t, kFlowKeyBytes>& key) const {
+  LookupResult res;
+  NodeId cur = 0;
+  for (std::size_t depth = 0; depth < kFlowKeyBytes; ++depth) {
+    ++res.nodes_visited;
+    const Node& n = nodes_[cur];
+    const std::uint8_t b = key[depth];
+    auto it = std::lower_bound(
+        n.edges.begin(), n.edges.end(), b,
+        [](const Edge& e, std::uint8_t v) { return e.hi < v; });
+    if (it == n.edges.end() || it->lo > b) {
+      return res; // early exit: no rule in this trie matches the key prefix
+    }
+    cur = it->child;
+  }
+  const Node& leaf = nodes_[cur];
+  if (leaf.terminal) {
+    res.matched = true;
+    res.priority = leaf.priority;
+    res.action = leaf.action;
+  }
+  return res;
+}
+
+} // namespace fluxtrace::acl

@@ -1,0 +1,69 @@
+// Byte-wise trie over the 12-byte flow key, modelling librte_acl's
+// per-trie matching behaviour (paper §IV-C1, design (3)): the key is
+// consumed part by part — source address, destination address, then the
+// port pair — and traversal stops at the first byte no rule in this trie
+// can match. That early exit is the root cause of the fluctuation the
+// paper diagnoses: packets whose prefixes match installed rules walk
+// deeper, in every trie.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "fluxtrace/acl/prefix.hpp"
+#include "fluxtrace/acl/rule.hpp"
+
+namespace fluxtrace::acl {
+
+class ByteTrie {
+ public:
+  ByteTrie();
+
+  /// Insert one rule. Port ranges are decomposed into prefixes; each
+  /// (sport-prefix × dport-prefix) combination becomes one 12-byte-range
+  /// path. Overlapping paths split existing edges, cloning the shared
+  /// subtree for the overlapped part so siblings stay independent.
+  void insert(const AclRule& rule);
+
+  struct LookupResult {
+    bool matched = false;
+    std::int32_t priority = std::numeric_limits<std::int32_t>::min();
+    Action action = Action::Permit;
+    std::uint32_t nodes_visited = 0; ///< byte lookups performed (1..12)
+  };
+
+  [[nodiscard]] LookupResult lookup(
+      const std::array<std::uint8_t, kFlowKeyBytes>& key) const;
+
+  [[nodiscard]] std::size_t num_rules() const { return num_rules_; }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  using NodeId = std::uint32_t;
+
+  struct Edge {
+    std::uint8_t lo = 0;
+    std::uint8_t hi = 0;
+    NodeId child = 0;
+  };
+
+  struct Node {
+    std::vector<Edge> edges; ///< sorted by lo, pairwise disjoint
+    std::int32_t priority = std::numeric_limits<std::int32_t>::min();
+    Action action = Action::Permit;
+    bool terminal = false;
+  };
+
+  NodeId new_node();
+  NodeId clone_subtree(NodeId id);
+  void insert_path(NodeId node,
+                   const std::array<ByteRange, kFlowKeyBytes>& ranges,
+                   std::size_t depth, std::int32_t priority, Action action);
+
+  std::vector<Node> nodes_;
+  std::size_t num_rules_ = 0;
+};
+
+} // namespace fluxtrace::acl

@@ -1,0 +1,130 @@
+// The realistic case study (§IV-C): a DPDK-style firewall with three
+// worker threads pinned to cores — RX pulls packets from NIC 0 into a
+// software ring, ACL classifies them against the installed rules (the
+// fluctuating function, rte_acl_classify), TX pushes the survivors out of
+// NIC 1. The ACL thread is the instrumented one: it logs the timestamp
+// right after retrieving a packet from the RX ring and right before
+// pushing it to the TX ring.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "fluxtrace/acl/classifier.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/core/batch.hpp"
+#include "fluxtrace/net/nic.hpp"
+#include "fluxtrace/rt/sim_channel.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::apps {
+
+struct AclFirewallConfig {
+  acl::MultiTrieConfig trie{acl::kPaperRulesPerTrie, 0};
+  acl::AclCostModel cost{};
+  /// Fraction of rte_acl_classify's time that is memory-bound stall
+  /// (trie-node loads) rather than retired work. The walk's total time is
+  /// unchanged; only the uop (and hence sample) rate inside it drops.
+  double classify_stall_fraction = 0.4;
+  std::uint64_t rx_uops = 900;   ///< per-packet NIC poll + ring push
+  std::uint64_t tx_uops = 900;   ///< per-packet ring pop + NIC push
+  std::uint64_t pop_uops = 350;  ///< ACL thread: retrieve from RX ring
+  std::uint64_t push_uops = 350; ///< ACL thread: hand to TX ring
+  std::uint64_t poll_uops = 120; ///< one empty poll in any busy loop
+  std::size_t ring_depth = 4096;
+  bool forward_dropped = false;  ///< also forward Drop verdicts (testing)
+  bool instrument = true;        ///< emit the ACL thread's markers
+  /// Also mark packets on the RX and TX threads (multi-core tracing: the
+  /// same item then has one window per core it crossed, and the
+  /// integrator reports per-core function times plus queueing gaps).
+  bool instrument_rx_tx = false;
+  /// When > 1, the ACL thread processes bursts of up to this many packets
+  /// under a single batch marker pair (§IV-C2 future work; see
+  /// core::BatchIntegrator for the expansion back to per-item estimates).
+  std::uint32_t batch_size = 1;
+};
+
+class AclFirewallApp {
+ public:
+  AclFirewallApp(SymbolTable& symtab, const acl::RuleSet& rules,
+                 AclFirewallConfig cfg = {});
+
+  /// Attach the three worker threads. NIC 0 is rx_nic() (feed it from a
+  /// TrafficGen), NIC 1 is tx_nic() (collect from it).
+  void attach(sim::Machine& m, std::uint32_t rx_core, std::uint32_t acl_core,
+              std::uint32_t tx_core);
+
+  /// The workers run until this many packets have been transmitted.
+  void expect_packets(std::uint64_t n) { expected_ = n; }
+
+  [[nodiscard]] net::Nic& rx_nic() { return nic0_; }
+  [[nodiscard]] net::Nic& tx_nic() { return nic1_; }
+  [[nodiscard]] const acl::MultiTrieClassifier& classifier() const {
+    return classifier_;
+  }
+
+  [[nodiscard]] SymbolId classify_symbol() const { return rte_acl_classify_; }
+  [[nodiscard]] SymbolId acl_loop_symbol() const { return acl_main_loop_; }
+
+  /// Batch membership registry (meaningful when cfg.batch_size > 1).
+  [[nodiscard]] const core::BatchTable& batch_table() const {
+    return batches_;
+  }
+
+  [[nodiscard]] std::uint64_t classified() const { return classified_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t transmitted() const { return transmitted_; }
+
+ private:
+  class RxTask final : public sim::Task {
+   public:
+    explicit RxTask(AclFirewallApp& app) : app_(app) {}
+    sim::StepStatus step(sim::Cpu& cpu) override;
+    [[nodiscard]] std::string_view name() const override { return "rx"; }
+
+   private:
+    AclFirewallApp& app_;
+    std::uint64_t forwarded_ = 0;
+  };
+
+  class AclTask final : public sim::Task {
+   public:
+    explicit AclTask(AclFirewallApp& app) : app_(app) {}
+    sim::StepStatus step(sim::Cpu& cpu) override;
+    [[nodiscard]] std::string_view name() const override { return "acl"; }
+
+   private:
+    AclFirewallApp& app_;
+  };
+
+  class TxTask final : public sim::Task {
+   public:
+    explicit TxTask(AclFirewallApp& app) : app_(app) {}
+    sim::StepStatus step(sim::Cpu& cpu) override;
+    [[nodiscard]] std::string_view name() const override { return "tx"; }
+
+   private:
+    AclFirewallApp& app_;
+  };
+
+  AclFirewallConfig cfg_;
+  acl::MultiTrieClassifier classifier_;
+
+  SymbolId rx_loop_, tx_loop_, acl_main_loop_, rte_acl_classify_;
+  net::Nic nic0_, nic1_;
+  rt::SimChannel<net::Packet> rx_to_acl_;
+  rt::SimChannel<net::Packet> acl_to_tx_;
+
+  RxTask rx_task_;
+  AclTask acl_task_;
+  TxTask tx_task_;
+
+  core::BatchTable batches_;
+  std::uint64_t expected_ = 0;
+  std::uint64_t classified_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t transmitted_ = 0;
+};
+
+} // namespace fluxtrace::apps

@@ -1,0 +1,170 @@
+#include "fluxtrace/apps/minidb_app.hpp"
+
+#include <algorithm>
+
+namespace fluxtrace::apps {
+
+namespace {
+std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+} // namespace
+
+MiniDbApp::MiniDbApp(SymbolTable& symtab, MiniDbAppConfig cfg)
+    : cfg_(cfg),
+      parse_(symtab.add("minidb::parse_query", 0x400)),
+      index_lookup_(symtab.add("minidb::index_lookup", 0x800)),
+      fetch_rows_(symtab.add("minidb::fetch_rows", 0x800)),
+      apply_insert_(symtab.add("minidb::apply_insert", 0x600)),
+      wal_append_(symtab.add("minidb::wal_append", 0x300)),
+      wal_flush_(symtab.add("minidb::wal_flush", 0x300)),
+      checkpoint_(symtab.add("minidb::checkpoint", 0x400)),
+      exec_loop_(symtab.add("minidb::executor_loop", 0x200)),
+      client_loop_(symtab.add("minidb::client_loop", 0x200)),
+      pool_(cfg.pool_frames),
+      table_(pool_, cfg.table),
+      wal_(cfg.wal_group),
+      ring_(1024),
+      client_(*this),
+      executor_(*this) {}
+
+void MiniDbApp::preload(std::size_t rows) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    (void)table_.insert(next_insert_key_++);
+  }
+}
+
+void MiniDbApp::submit(std::vector<DbQuery> queries) {
+  queries_ = std::move(queries);
+}
+
+void MiniDbApp::attach(sim::Machine& m, std::uint32_t client_core,
+                       std::uint32_t executor_core) {
+  m.attach(client_core, client_);
+  m.attach(executor_core, executor_);
+}
+
+std::vector<DbQuery> MiniDbApp::make_mixed_workload(
+    std::size_t n, std::uint64_t seed, std::uint64_t loaded_rows,
+    std::uint64_t hot_keys) {
+  std::uint64_t state = seed;
+  std::vector<DbQuery> out;
+  out.reserve(n);
+  // The hot set sits at the low end of the key space (oldest pages, the
+  // ones bulk loading left cold in the pool — they warm up quickly).
+  for (std::size_t i = 0; i < n; ++i) {
+    DbQuery q;
+    q.id = static_cast<ItemId>(i + 1);
+    const std::uint64_t dice = splitmix(state) % 100;
+    if (dice < 70) {
+      q.type = DbQueryType::Point;
+      q.key = splitmix(state) % hot_keys;
+    } else if (dice < 90) {
+      q.type = DbQueryType::Insert; // key assigned by the executor
+    } else {
+      q.type = DbQueryType::Range;
+      q.key = splitmix(state) % loaded_rows;
+      q.limit = 32 + static_cast<std::uint32_t>(splitmix(state) % 64);
+    }
+    out.push_back(q);
+  }
+  return out;
+}
+
+sim::StepStatus MiniDbApp::ClientTask::step(sim::Cpu& cpu) {
+  if (next_ >= app_.queries_.size()) return sim::StepStatus::Done;
+  if (cpu.now() < next_send_) return sim::StepStatus::Idle;
+  cpu.exec(app_.client_loop_, app_.cfg_.client_uops_per_query);
+  if (!app_.ring_.push(app_.queries_[next_], cpu.now())) {
+    return sim::StepStatus::Idle;
+  }
+  ++next_;
+  next_send_ = cpu.now() + cpu.spec().cycles(app_.cfg_.inter_query_gap_ns);
+  return sim::StepStatus::Progress;
+}
+
+void MiniDbApp::ExecutorTask::run_storage(sim::Cpu& cpu, SymbolId fn,
+                                          std::uint64_t uops,
+                                          const db::OpStats& st) {
+  // Storage waits (pool misses, dirty write-backs) are spent busy-polling
+  // the I/O completion queue (SPDK-style), so they retire uops inside the
+  // function that incurred them — the hybrid trace then attributes the
+  // wait to fetch_rows/apply_insert, which is how a diagnosis tells a
+  // cold buffer pool from a slow algorithm.
+  const double wait_ns = st.page_misses * app_.cfg_.page_read_ns +
+                         st.dirty_evictions * app_.cfg_.page_write_ns;
+  const auto wait_uops = static_cast<std::uint64_t>(
+      static_cast<double>(cpu.spec().cycles(wait_ns)) /
+      cpu.spec().cycles_per_uop);
+  cpu.exec(fn, uops + wait_uops);
+}
+
+sim::StepStatus MiniDbApp::ExecutorTask::step(sim::Cpu& cpu) {
+  if (processed_ >= app_.queries_.size()) return sim::StepStatus::Done;
+  auto q = app_.ring_.pop(cpu.now());
+  if (!q.has_value()) {
+    cpu.exec(app_.exec_loop_, app_.cfg_.poll_uops);
+    return sim::StepStatus::Idle;
+  }
+
+  const MiniDbAppConfig& c = app_.cfg_;
+  cpu.mark_enter(q->id);
+  cpu.exec(app_.parse_, c.parse_uops);
+
+  switch (q->type) {
+    case DbQueryType::Point: {
+      const db::OpStats st = app_.table_.point(q->key);
+      cpu.exec(app_.index_lookup_, st.index_nodes * c.per_index_node_uops);
+      run_storage(cpu, app_.fetch_rows_, st.rows * c.per_row_uops + 500, st);
+      break;
+    }
+    case DbQueryType::Range: {
+      const db::OpStats st = app_.table_.range(q->key, q->limit);
+      cpu.exec(app_.index_lookup_, st.index_nodes * c.per_index_node_uops);
+      run_storage(cpu, app_.fetch_rows_, st.rows * c.per_row_uops + 500, st);
+      break;
+    }
+    case DbQueryType::Insert: {
+      const db::OpStats st = app_.table_.insert(app_.next_insert_key_++);
+      cpu.exec(app_.index_lookup_, st.index_nodes * c.per_index_node_uops);
+      run_storage(cpu, app_.apply_insert_,
+                  st.rows * c.per_row_uops +
+                      st.index_splits * c.per_split_uops + 500,
+                  st);
+      const db::Wal::AppendResult wr = app_.wal_.append();
+      cpu.exec(app_.wal_append_, c.wal_append_uops);
+      if (wr.flushed) {
+        // Group commit: this unlucky insert pays the fsync (busy-polled).
+        const auto fsync_uops = static_cast<std::uint64_t>(
+            static_cast<double>(cpu.spec().cycles(c.wal_flush_ns)) /
+            cpu.spec().cycles_per_uop);
+        cpu.exec(app_.wal_flush_, c.wal_flush_uops + fsync_uops);
+      }
+      break;
+    }
+  }
+
+  // Periodic checkpoint: the unlucky query also pays for flushing every
+  // dirty page accumulated since the last one.
+  if (c.checkpoint_every > 0 && processed_ % c.checkpoint_every ==
+                                    c.checkpoint_every - 1) {
+    const std::size_t flushed = app_.pool_.flush_all();
+    const auto write_uops = static_cast<std::uint64_t>(
+        static_cast<double>(
+            cpu.spec().cycles(static_cast<double>(flushed) *
+                              c.page_write_ns)) /
+        cpu.spec().cycles_per_uop);
+    cpu.exec(app_.checkpoint_, c.checkpoint_uops + write_uops);
+  }
+
+  cpu.mark_leave(q->id);
+  ++processed_;
+  return processed_ >= app_.queries_.size() ? sim::StepStatus::Done
+                                            : sim::StepStatus::Progress;
+}
+
+} // namespace fluxtrace::apps

@@ -1,0 +1,142 @@
+// The database case study: a mini storage engine (B+ tree index, buffer
+// pool, WAL with group commit) behind a two-thread, self-switching query
+// pipeline — the architecture of Fig. 5 applied to the paper's other
+// motivating domain (§I, §II-A: Huang et al. measured TPC-C latencies
+// whose "standard deviation was twice the mean" on production engines).
+//
+// Fluctuation sources, all non-functional state:
+//   * buffer-pool warmth — an identical point query pays a storage read
+//     once a scan evicted its heap page;
+//   * group commit — the insert that fills the WAL buffer pays the whole
+//     group's flush;
+//   * index splits — an insert that overflows B+ tree nodes does extra
+//     structural work.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/db/bufferpool.hpp"
+#include "fluxtrace/db/table.hpp"
+#include "fluxtrace/db/wal.hpp"
+#include "fluxtrace/rt/sim_channel.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::apps {
+
+enum class DbQueryType : std::uint8_t { Point, Range, Insert };
+
+struct DbQuery {
+  ItemId id = kNoItem;
+  DbQueryType type = DbQueryType::Point;
+  std::uint64_t key = 0;
+  std::uint32_t limit = 0; ///< rows, for Range
+};
+
+struct MiniDbAppConfig {
+  std::size_t pool_frames = 96;
+  std::size_t wal_group = 64;
+  db::TableConfig table{};
+
+  // Executor cost model (uops of retired work / ns of storage stall).
+  std::uint64_t parse_uops = 3000;
+  std::uint64_t per_index_node_uops = 500;
+  std::uint64_t per_row_uops = 900;
+  std::uint64_t per_split_uops = 3500;
+  std::uint64_t wal_append_uops = 1200;
+  std::uint64_t wal_flush_uops = 2000;
+  double page_read_ns = 9000.0;   ///< NVMe page read on pool miss
+  double page_write_ns = 11000.0; ///< dirty-page write-back
+  double wal_flush_ns = 26000.0;  ///< group-commit fsync
+
+  /// Checkpoint every N queries (0 = never): flush all dirty pool pages,
+  /// a periodic stall whose cost scales with how much writing happened —
+  /// the fourth fluctuation source.
+  std::uint64_t checkpoint_every = 0;
+  std::uint64_t checkpoint_uops = 4000;
+
+  double inter_query_gap_ns = 8000.0;
+  std::uint64_t client_uops_per_query = 1500;
+  std::uint64_t poll_uops = 150;
+};
+
+class MiniDbApp {
+ public:
+  explicit MiniDbApp(SymbolTable& symtab, MiniDbAppConfig cfg = {});
+
+  /// Bulk-load `rows` sequential keys (a restored database). Costs no
+  /// simulated time; the buffer pool ends holding the most recently
+  /// loaded pages.
+  void preload(std::size_t rows);
+
+  void submit(std::vector<DbQuery> queries);
+  void attach(sim::Machine& m, std::uint32_t client_core,
+              std::uint32_t executor_core);
+
+  // The executor's functions, for trace queries.
+  [[nodiscard]] SymbolId parse() const { return parse_; }
+  [[nodiscard]] SymbolId index_lookup() const { return index_lookup_; }
+  [[nodiscard]] SymbolId fetch_rows() const { return fetch_rows_; }
+  [[nodiscard]] SymbolId apply_insert() const { return apply_insert_; }
+  [[nodiscard]] SymbolId wal_append() const { return wal_append_; }
+  [[nodiscard]] SymbolId wal_flush() const { return wal_flush_; }
+  [[nodiscard]] SymbolId checkpoint() const { return checkpoint_; }
+
+  [[nodiscard]] const db::BufferPool& pool() const { return pool_; }
+  [[nodiscard]] const db::Table& table() const { return table_; }
+  [[nodiscard]] const db::Wal& wal() const { return wal_; }
+  [[nodiscard]] std::uint64_t processed() const { return executor_.processed(); }
+
+  /// A TPC-C-flavoured mixed workload: mostly point lookups on a hot key
+  /// set, a stream of inserts, and occasional range scans whose page
+  /// pulls evict hot pages. Deterministic in `seed`.
+  [[nodiscard]] static std::vector<DbQuery> make_mixed_workload(
+      std::size_t n, std::uint64_t seed, std::uint64_t loaded_rows,
+      std::uint64_t hot_keys = 512);
+
+ private:
+  class ClientTask final : public sim::Task {
+   public:
+    explicit ClientTask(MiniDbApp& app) : app_(app) {}
+    sim::StepStatus step(sim::Cpu& cpu) override;
+    [[nodiscard]] std::string_view name() const override { return "db-client"; }
+
+   private:
+    MiniDbApp& app_;
+    std::size_t next_ = 0;
+    Tsc next_send_ = 0;
+  };
+
+  class ExecutorTask final : public sim::Task {
+   public:
+    explicit ExecutorTask(MiniDbApp& app) : app_(app) {}
+    sim::StepStatus step(sim::Cpu& cpu) override;
+    [[nodiscard]] std::string_view name() const override {
+      return "db-executor";
+    }
+    [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+   private:
+    void run_storage(sim::Cpu& cpu, SymbolId fn, std::uint64_t uops,
+                     const db::OpStats& st);
+    MiniDbApp& app_;
+    std::uint64_t processed_ = 0;
+  };
+
+  MiniDbAppConfig cfg_;
+  SymbolId parse_, index_lookup_, fetch_rows_, apply_insert_, wal_append_,
+      wal_flush_, checkpoint_, exec_loop_, client_loop_;
+  db::BufferPool pool_;
+  db::Table table_;
+  db::Wal wal_;
+  std::uint64_t next_insert_key_ = 0;
+  std::vector<DbQuery> queries_;
+  rt::SimChannel<DbQuery> ring_;
+  ClientTask client_;
+  ExecutorTask executor_;
+};
+
+} // namespace fluxtrace::apps

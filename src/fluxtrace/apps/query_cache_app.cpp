@@ -1,0 +1,128 @@
+#include "fluxtrace/apps/query_cache_app.hpp"
+
+#include <algorithm>
+
+namespace fluxtrace::apps {
+
+QueryCacheApp::QueryCacheApp(SymbolTable& symtab, QueryCacheAppConfig cfg)
+    : cfg_(cfg),
+      f1_(symtab.add("sample_app::f1_parse", 0x400)),
+      f2_(symtab.add("sample_app::f2_cache_lookup", 0x600)),
+      f3_(symtab.add("sample_app::f3_transform", 0x800)),
+      rx_loop_(symtab.add("sample_app::rx_loop", 0x200)),
+      worker_loop_(symtab.add("sample_app::worker_loop", 0x200)),
+      ring_(1024),
+      rx_(*this),
+      worker_(*this) {}
+
+void QueryCacheApp::submit(std::vector<Query> queries) {
+  queries_ = std::move(queries);
+}
+
+void QueryCacheApp::attach(sim::Machine& m, std::uint32_t rx_core,
+                           std::uint32_t worker_core) {
+  m.attach(rx_core, rx_);
+  m.attach(worker_core, worker_);
+}
+
+std::vector<Query> QueryCacheApp::paper_queries() {
+  const std::uint32_t ns[] = {3, 3, 4, 3, 5, 4, 5, 3, 5, 4};
+  std::vector<Query> out;
+  out.reserve(std::size(ns));
+  for (std::size_t i = 0; i < std::size(ns); ++i) {
+    out.push_back(Query{static_cast<ItemId>(i + 1), ns[i]});
+  }
+  return out;
+}
+
+sim::StepStatus QueryCacheApp::RxTask::step(sim::Cpu& cpu) {
+  if (next_ >= app_.queries_.size()) return sim::StepStatus::Done;
+  if (cpu.now() < next_send_) {
+    return sim::StepStatus::Idle; // pacing between incoming queries
+  }
+  // Receive + forward one query (Thread 0's work).
+  cpu.exec(app_.rx_loop_, app_.cfg_.rx_uops_per_query);
+  const bool ok = app_.ring_.push(app_.queries_[next_], cpu.now());
+  if (!ok) return sim::StepStatus::Idle; // queue full: retry later
+  ++next_;
+  next_send_ = cpu.now() + cpu.spec().cycles(app_.cfg_.inter_query_gap_ns);
+  return sim::StepStatus::Progress;
+}
+
+std::uint64_t QueryCacheApp::WorkerTask::count_uncached(
+    std::uint32_t n_chunks) {
+  const std::uint32_t cap = app_.cfg_.cache_capacity_chunks;
+  if (cap == 0) {
+    // Unbounded (the paper's app): points [0, high_water) stay cached.
+    const std::uint64_t points =
+        static_cast<std::uint64_t>(n_chunks) * app_.cfg_.points_per_n;
+    const std::uint64_t uncached_points =
+        points > high_water_ ? points - high_water_ : 0;
+    high_water_ = std::max<std::uint64_t>(high_water_, points);
+    return uncached_points / app_.cfg_.points_per_n;
+  }
+
+  // Bounded: LRU over chunk indices 0..n-1 (a query of n needs them all).
+  std::uint64_t uncached = 0;
+  for (std::uint32_t chunk = 0; chunk < n_chunks; ++chunk) {
+    auto it = std::find(lru_chunks_.begin(), lru_chunks_.end(), chunk);
+    if (it != lru_chunks_.end()) {
+      lru_chunks_.erase(it); // re-insert as MRU below
+    } else {
+      ++uncached;
+      if (lru_chunks_.size() >= cap) {
+        lru_chunks_.erase(lru_chunks_.begin()); // evict LRU
+        ++evictions_;
+      }
+    }
+    lru_chunks_.push_back(chunk);
+  }
+  return uncached;
+}
+
+sim::StepStatus QueryCacheApp::WorkerTask::step(sim::Cpu& cpu) {
+  if (processed_ >= app_.queries_.size()) return sim::StepStatus::Done;
+
+  const auto q = app_.ring_.pop(cpu.now());
+  if (!q.has_value()) {
+    // Top of the while loop: one empty poll of the input queue.
+    cpu.exec(app_.worker_loop_, app_.cfg_.poll_uops);
+    return sim::StepStatus::Idle;
+  }
+
+  const QueryCacheAppConfig& c = app_.cfg_;
+  const std::uint64_t points = q->n * c.points_per_n;
+  const std::uint64_t uncached_chunks = count_uncached(q->n);
+  const std::uint64_t uncached = uncached_chunks * c.points_per_n;
+  const std::uint64_t cached = points - uncached;
+
+  // --- data-item switch: enter (top of the while-loop body).
+  cpu.mark_enter(q->id);
+
+  // f1: parse/set up the query. Short — often below the sample interval,
+  // the case §V-B1 discusses.
+  cpu.exec(app_.f1_, c.f1_uops);
+
+  // f2: probe the results-cache index for every point (compact entries,
+  // so a cold index costs far less than recomputing the points).
+  sim::MemPattern probe{c.index_base, static_cast<std::uint32_t>(points),
+                        c.index_stride};
+  cpu.exec_mem(app_.f2_, points * c.f2_uops_per_point, probe);
+
+  // f3: transform the points that were not cached, then cache them.
+  if (uncached > 0) {
+    sim::MemPattern compute{c.points_base + cached * c.point_bytes,
+                            static_cast<std::uint32_t>(uncached),
+                            static_cast<std::uint32_t>(c.point_bytes)};
+    cpu.exec_mem(app_.f3_, uncached * c.f3_uops_per_point, compute);
+  }
+
+  // --- data-item switch: leave (bottom of the while-loop body).
+  cpu.mark_leave(q->id);
+
+  ++processed_;
+  return processed_ >= app_.queries_.size() ? sim::StepStatus::Done
+                                            : sim::StepStatus::Progress;
+}
+
+} // namespace fluxtrace::apps

@@ -1,0 +1,127 @@
+// The paper's proof-of-concept sample application (§IV-B, Figs. 7 & 8):
+// a query-answering app in the self-switching architecture. Thread 0
+// receives queries and passes them one by one over a software queue to
+// Thread 1, which applies linear transformations to N = n×1000 points. An
+// in-memory results cache makes performance fluctuate: points transformed
+// for an earlier query need not be recomputed, so two queries with the
+// same n can differ wildly (the 1st and 5th queries of Fig. 8).
+//
+// Thread 1's while loop calls three functions (f1, f2, f3); only the top
+// and bottom of the loop are instrumented with log(id, timestamp).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/rt/sim_channel.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::apps {
+
+struct Query {
+  ItemId id = kNoItem;
+  std::uint32_t n = 0; ///< work scale: N = n × points_per_n points
+};
+
+struct QueryCacheAppConfig {
+  std::uint64_t points_per_n = 1000;
+  // Per-function work. f1 parses the query (fixed), f2 probes the results
+  // cache (per point), f3 recomputes uncached points (per uncached point,
+  // dominant when cold).
+  std::uint64_t f1_uops = 18000;
+  std::uint64_t f2_uops_per_point = 6;
+  std::uint64_t f3_uops_per_point = 150;
+  std::uint64_t rx_uops_per_query = 1500;
+  double inter_query_gap_ns = 5000.0;
+  std::uint64_t poll_uops = 150; ///< one empty poll of the input ring
+  std::uint64_t point_bytes = 64;
+  std::uint64_t points_base = 0x10000000ull; ///< heap address of the pool
+  /// The cache-index structure f2 probes (compact: 8 bytes per point).
+  std::uint64_t index_base = 0x18000000ull;
+  std::uint32_t index_stride = 8;
+  /// Results-cache capacity in chunks of points_per_n points. 0 = the
+  /// paper's unbounded cache (only first touches are cold); a finite
+  /// capacity gives LRU evictions, so cold paths recur indefinitely —
+  /// closer to a production cache.
+  std::uint32_t cache_capacity_chunks = 0;
+};
+
+/// Builds the app's symbols and tasks. Attach rx_task() and worker_task()
+/// to two cores of a Machine, submit queries, run.
+class QueryCacheApp {
+ public:
+  QueryCacheApp(SymbolTable& symtab, QueryCacheAppConfig cfg = {});
+
+  void submit(std::vector<Query> queries);
+  void attach(sim::Machine& m, std::uint32_t rx_core,
+              std::uint32_t worker_core);
+
+  [[nodiscard]] SymbolId f1() const { return f1_; }
+  [[nodiscard]] SymbolId f2() const { return f2_; }
+  [[nodiscard]] SymbolId f3() const { return f3_; }
+  [[nodiscard]] SymbolId rx_loop() const { return rx_loop_; }
+  [[nodiscard]] SymbolId worker_loop() const { return worker_loop_; }
+
+  [[nodiscard]] std::uint64_t queries_processed() const {
+    return worker_.processed();
+  }
+  /// Highest point index transformed so far (the results cache), in the
+  /// unbounded configuration.
+  [[nodiscard]] std::uint64_t cache_high_water() const {
+    return worker_.high_water();
+  }
+  [[nodiscard]] std::uint64_t cache_evictions() const {
+    return worker_.evictions();
+  }
+  /// The Fig. 8 query sequence: n = 3,3,4,3,5,4,5,3,5,4 — queries 1 and 5
+  /// (1-based) hit a cold cache.
+  [[nodiscard]] static std::vector<Query> paper_queries();
+
+ private:
+  class RxTask final : public sim::Task {
+   public:
+    explicit RxTask(QueryCacheApp& app) : app_(app) {}
+    sim::StepStatus step(sim::Cpu& cpu) override;
+    [[nodiscard]] std::string_view name() const override { return "thread0-rx"; }
+
+   private:
+    QueryCacheApp& app_;
+    std::size_t next_ = 0;
+    Tsc next_send_ = 0;
+  };
+
+  class WorkerTask final : public sim::Task {
+   public:
+    explicit WorkerTask(QueryCacheApp& app) : app_(app) {}
+    sim::StepStatus step(sim::Cpu& cpu) override;
+    [[nodiscard]] std::string_view name() const override {
+      return "thread1-worker";
+    }
+    [[nodiscard]] std::uint64_t processed() const { return processed_; }
+    [[nodiscard]] std::uint64_t high_water() const { return high_water_; }
+    [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+   private:
+    /// Number of n-chunks NOT currently cached for a query of `n`
+    /// chunks, updating the cache (LRU when bounded).
+    std::uint64_t count_uncached(std::uint32_t n_chunks);
+
+    QueryCacheApp& app_;
+    std::uint64_t processed_ = 0;
+    std::uint64_t high_water_ = 0; ///< points [0, high_water_) are cached
+    std::uint64_t evictions_ = 0;
+    std::vector<std::uint32_t> lru_chunks_; ///< back = most recent (bounded mode)
+  };
+
+  QueryCacheAppConfig cfg_;
+  SymbolId f1_, f2_, f3_, rx_loop_, worker_loop_;
+  std::vector<Query> queries_;
+  rt::SimChannel<Query> ring_;
+  RxTask rx_;
+  WorkerTask worker_;
+};
+
+} // namespace fluxtrace::apps

@@ -1,0 +1,126 @@
+#include "fluxtrace/apps/rss_firewall_app.hpp"
+
+#include <cassert>
+
+namespace fluxtrace::apps {
+
+RssFirewallApp::RssFirewallApp(SymbolTable& symtab, const acl::RuleSet& rules,
+                               RssFirewallConfig cfg)
+    : cfg_(cfg),
+      classifier_(rules, cfg.trie),
+      rx_loop_(symtab.add("rss_fw::rx_dispatch", 0x300)),
+      tx_loop_(symtab.add("rss_fw::tx_merge", 0x300)),
+      acl_main_loop_(symtab.add("rss_fw::worker_loop", 0x400)),
+      rte_acl_classify_(symtab.add("rss_fw::rte_acl_classify", 0x1000)),
+      nic0_(cfg.ring_depth),
+      nic1_(cfg.ring_depth),
+      rx_task_(*this),
+      tx_task_(*this) {
+  assert(cfg_.num_workers >= 1);
+  for (std::uint32_t w = 0; w < cfg_.num_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(*this, cfg_.ring_depth));
+  }
+}
+
+void RssFirewallApp::attach(sim::Machine& m, std::uint32_t rx_core,
+                            std::uint32_t first_acl_core,
+                            std::uint32_t tx_core) {
+  m.attach(rx_core, rx_task_);
+  for (std::uint32_t w = 0; w < cfg_.num_workers; ++w) {
+    m.attach(first_acl_core + w, workers_[w]->task);
+  }
+  m.attach(tx_core, tx_task_);
+}
+
+std::uint32_t RssFirewallApp::dispatch_worker(const net::Packet& p) {
+  if (cfg_.dispatch == RssDispatch::FlowHash) {
+    // FNV-1a over the 12-byte key — what a NIC's RSS hash does in spirit.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::uint8_t b : p.key.key_bytes()) {
+      h = (h ^ b) * 0x100000001b3ull;
+    }
+    return static_cast<std::uint32_t>(h % cfg_.num_workers);
+  }
+  return 0; // RoundRobin handled by the caller (needs mutable state)
+}
+
+std::uint64_t RssFirewallApp::total_classified() const {
+  std::uint64_t n = 0;
+  for (const auto& w : workers_) n += w->classified;
+  return n;
+}
+
+sim::StepStatus RssFirewallApp::RxTask::step(sim::Cpu& cpu) {
+  if (app_.expected_ > 0 && forwarded_ >= app_.expected_) {
+    return sim::StepStatus::Done;
+  }
+  auto p = app_.nic0_.rx_poll(cpu.now());
+  if (!p.has_value()) {
+    cpu.exec(app_.rx_loop_, app_.cfg_.poll_uops);
+    return sim::StepStatus::Idle;
+  }
+  cpu.exec(app_.rx_loop_, app_.cfg_.rx_uops);
+  std::uint32_t target;
+  if (app_.cfg_.dispatch == RssDispatch::RoundRobin) {
+    target = next_rr_;
+    next_rr_ = (next_rr_ + 1) % app_.cfg_.num_workers;
+  } else {
+    target = app_.dispatch_worker(*p);
+  }
+  if (app_.worker_of_.size() <= p->id) {
+    app_.worker_of_.resize(p->id + 1, ~0u);
+  }
+  app_.worker_of_[p->id] = target;
+  app_.workers_[target]->in.push(std::move(*p), cpu.now());
+  ++forwarded_;
+  return sim::StepStatus::Progress;
+}
+
+sim::StepStatus RssFirewallApp::WorkerTask::step(sim::Cpu& cpu) {
+  if (app_.expected_ > 0 && app_.total_classified() >= app_.expected_) {
+    return sim::StepStatus::Done;
+  }
+  auto p = w_.in.pop(cpu.now());
+  if (!p.has_value()) {
+    cpu.exec(app_.acl_main_loop_, app_.cfg_.poll_uops);
+    return sim::StepStatus::Idle;
+  }
+  cpu.exec(app_.acl_main_loop_, app_.cfg_.pop_uops);
+  cpu.mark_enter(p->id);
+  const acl::ClassifyResult res = app_.classifier_.classify(p->key);
+  const std::uint64_t total_uops = app_.cfg_.cost.uops(res);
+  const auto work_uops = static_cast<std::uint64_t>(
+      static_cast<double>(total_uops) *
+      (1.0 - app_.cfg_.classify_stall_fraction));
+  const Tsc stall = cpu.spec().uop_cycles(total_uops - work_uops);
+  cpu.run(sim::ExecBlock{app_.rte_acl_classify_, work_uops, 0, {}, stall});
+  p->verdict = (res.matched && res.action == acl::Action::Drop)
+                   ? net::Verdict::Drop
+                   : net::Verdict::Permit;
+  ++w_.classified;
+  cpu.mark_leave(p->id);
+  cpu.exec(app_.acl_main_loop_, app_.cfg_.push_uops);
+  w_.out.push(std::move(*p), cpu.now());
+  return sim::StepStatus::Progress;
+}
+
+sim::StepStatus RssFirewallApp::TxTask::step(sim::Cpu& cpu) {
+  if (app_.expected_ > 0 && app_.transmitted_ >= app_.expected_) {
+    return sim::StepStatus::Done;
+  }
+  // Merge: poll the workers' output rings round-robin.
+  for (std::uint32_t i = 0; i < app_.cfg_.num_workers; ++i) {
+    const std::uint32_t w = (next_rr_ + i) % app_.cfg_.num_workers;
+    auto p = app_.workers_[w]->out.pop(cpu.now());
+    if (!p.has_value()) continue;
+    next_rr_ = (w + 1) % app_.cfg_.num_workers;
+    cpu.exec(app_.tx_loop_, app_.cfg_.tx_uops);
+    app_.nic1_.tx_push(std::move(*p), cpu.now());
+    ++app_.transmitted_;
+    return sim::StepStatus::Progress;
+  }
+  cpu.exec(app_.tx_loop_, app_.cfg_.poll_uops);
+  return sim::StepStatus::Idle;
+}
+
+} // namespace fluxtrace::apps

@@ -1,0 +1,132 @@
+// RSS-style firewall: RX spreads packets across N ACL worker cores (as a
+// NIC's receive-side scaling spreads flows across queues), a single TX
+// core merges the outputs. The same hybrid procedure runs on every worker
+// simultaneously (§III-D), and a new fluctuation appears that none of the
+// single-worker experiments have: *head-of-line blocking* — an identical
+// cheap packet is fast on one worker and slow on another purely because a
+// heavy packet sits ahead of it in that worker's queue. The per-core
+// windows separate queue wait from classify time, which is how the
+// diagnosis distinguishes load imbalance from a slow code path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/acl/classifier.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/net/nic.hpp"
+#include "fluxtrace/rt/sim_channel.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::apps {
+
+enum class RssDispatch : std::uint8_t {
+  RoundRobin, ///< packet i → worker i mod N
+  FlowHash,   ///< hash of the 12-byte key → worker (same flow, same worker)
+};
+
+struct RssFirewallConfig {
+  std::uint32_t num_workers = 2;
+  RssDispatch dispatch = RssDispatch::RoundRobin;
+  acl::MultiTrieConfig trie{acl::kPaperRulesPerTrie, 0};
+  acl::AclCostModel cost{};
+  double classify_stall_fraction = 0.4;
+  std::uint64_t rx_uops = 900;
+  std::uint64_t tx_uops = 900;
+  std::uint64_t pop_uops = 350;
+  std::uint64_t push_uops = 350;
+  std::uint64_t poll_uops = 120;
+  std::size_t ring_depth = 4096;
+};
+
+class RssFirewallApp {
+ public:
+  RssFirewallApp(SymbolTable& symtab, const acl::RuleSet& rules,
+                 RssFirewallConfig cfg = {});
+
+  /// Attach RX, the N workers (consecutive cores from `first_acl_core`),
+  /// and TX. Requires first_acl_core + num_workers <= tx_core.
+  void attach(sim::Machine& m, std::uint32_t rx_core,
+              std::uint32_t first_acl_core, std::uint32_t tx_core);
+
+  void expect_packets(std::uint64_t n) { expected_ = n; }
+
+  [[nodiscard]] net::Nic& rx_nic() { return nic0_; }
+  [[nodiscard]] net::Nic& tx_nic() { return nic1_; }
+  [[nodiscard]] SymbolId classify_symbol() const { return rte_acl_classify_; }
+  [[nodiscard]] std::uint32_t num_workers() const {
+    return cfg_.num_workers;
+  }
+  /// Worker index a packet id was dispatched to (filled during the run).
+  [[nodiscard]] std::uint32_t worker_of(ItemId id) const {
+    return id < worker_of_.size() ? worker_of_[id] : ~0u;
+  }
+  [[nodiscard]] std::uint64_t classified(std::uint32_t worker) const {
+    return workers_[worker]->classified;
+  }
+  [[nodiscard]] std::uint64_t transmitted() const { return transmitted_; }
+
+ private:
+  class RxTask final : public sim::Task {
+   public:
+    explicit RxTask(RssFirewallApp& app) : app_(app) {}
+    sim::StepStatus step(sim::Cpu& cpu) override;
+    [[nodiscard]] std::string_view name() const override { return "rss-rx"; }
+
+   private:
+    RssFirewallApp& app_;
+    std::uint64_t forwarded_ = 0;
+    std::uint32_t next_rr_ = 0;
+  };
+
+  struct Worker;
+
+  class WorkerTask final : public sim::Task {
+   public:
+    WorkerTask(RssFirewallApp& app, Worker& w) : app_(app), w_(w) {}
+    sim::StepStatus step(sim::Cpu& cpu) override;
+    [[nodiscard]] std::string_view name() const override { return "rss-acl"; }
+
+   private:
+    RssFirewallApp& app_;
+    Worker& w_;
+  };
+
+  struct Worker {
+    explicit Worker(RssFirewallApp& app, std::size_t ring_depth)
+        : in(ring_depth), out(ring_depth), task(app, *this) {}
+    rt::SimChannel<net::Packet> in;
+    rt::SimChannel<net::Packet> out;
+    WorkerTask task;
+    std::uint64_t classified = 0;
+  };
+
+  class TxTask final : public sim::Task {
+   public:
+    explicit TxTask(RssFirewallApp& app) : app_(app) {}
+    sim::StepStatus step(sim::Cpu& cpu) override;
+    [[nodiscard]] std::string_view name() const override { return "rss-tx"; }
+
+   private:
+    RssFirewallApp& app_;
+    std::uint32_t next_rr_ = 0;
+  };
+
+  [[nodiscard]] std::uint32_t dispatch_worker(const net::Packet& p);
+  [[nodiscard]] std::uint64_t total_classified() const;
+
+  RssFirewallConfig cfg_;
+  acl::MultiTrieClassifier classifier_;
+  SymbolId rx_loop_, tx_loop_, acl_main_loop_, rte_acl_classify_;
+  net::Nic nic0_, nic1_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  RxTask rx_task_;
+  TxTask tx_task_;
+  std::vector<std::uint32_t> worker_of_;
+  std::uint64_t expected_ = 0;
+  std::uint64_t transmitted_ = 0;
+};
+
+} // namespace fluxtrace::apps

@@ -1,0 +1,46 @@
+#include "fluxtrace/apps/timer_web_server.hpp"
+
+namespace fluxtrace::apps {
+
+namespace {
+rt::UlSchedulerConfig sched_config(const TimerWebServerConfig& cfg,
+                                   SymbolId switch_sym) {
+  rt::UlSchedulerConfig sc;
+  sc.timeslice = cfg.timeslice;
+  sc.scheduler_symbol = switch_sym;
+  return sc;
+}
+} // namespace
+
+TimerWebServer::TimerWebServer(SymbolTable& symtab, TimerWebServerConfig cfg)
+    : cfg_(cfg),
+      parse_(symtab.add("ngx_http_parse_request", 0x600)),
+      handler_(symtab.add("ngx_http_run_handler", 0x900)),
+      sendfile_(symtab.add("ngx_sendfile_stream", 0x900)),
+      log_(symtab.add("ngx_http_log_request", 0x300)),
+      switch_(symtab.add("ngx_event_switch", 0x100)),
+      sched_(sched_config(cfg, switch_)) {
+  // Every request: parse → handler (light or heavy sendfile) → log.
+  // Per-request jitter keeps identical-looking requests non-identical.
+  for (ItemId id = 1; id <= cfg_.requests; ++id) {
+    rt::UlWork w;
+    w.item = id;
+    const std::uint64_t jitter = (id * 2654435761u) % 3000;
+    w.blocks.push_back(sim::ExecBlock{parse_, 6000 + jitter, 20, {}});
+    if (is_heavy(id)) {
+      w.blocks.push_back(
+          sim::ExecBlock{sendfile_, cfg_.heavy_body_uops + jitter * 10, 0, {}});
+    } else {
+      w.blocks.push_back(
+          sim::ExecBlock{handler_, cfg_.light_body_uops + jitter * 3, 30, {}});
+    }
+    w.blocks.push_back(sim::ExecBlock{log_, 3000, 5, {}});
+    sched_.submit(std::move(w));
+  }
+}
+
+void TimerWebServer::attach(sim::Machine& m, std::uint32_t core) {
+  m.attach(core, sched_);
+}
+
+} // namespace fluxtrace::apps

@@ -1,0 +1,49 @@
+// A timer-switching web server — the architecture the paper assigns to
+// NGINX (§III-C type 2): a user-level scheduler forcibly switches between
+// in-flight requests when a timeslice expires, so a cheap request can
+// finish while an expensive download is still streaming. Marker windows
+// are useless here (they overlap); tracing uses the §V-A register-carried
+// request ids instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/rt/ulthread.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::apps {
+
+struct TimerWebServerConfig {
+  Tsc timeslice = 9000;            ///< ~3 us at 3 GHz
+  std::uint64_t requests = 60;
+  std::uint32_t heavy_every = 8;   ///< every Nth request streams a big file
+  std::uint64_t light_body_uops = 30000;  ///< ~4 us of handler work
+  std::uint64_t heavy_body_uops = 600000; ///< ~80 us of sendfile streaming
+};
+
+class TimerWebServer {
+ public:
+  explicit TimerWebServer(SymbolTable& symtab, TimerWebServerConfig cfg = {});
+
+  void attach(sim::Machine& m, std::uint32_t core);
+
+  [[nodiscard]] SymbolId parse_request() const { return parse_; }
+  [[nodiscard]] SymbolId run_handler() const { return handler_; }
+  [[nodiscard]] SymbolId sendfile() const { return sendfile_; }
+  [[nodiscard]] SymbolId write_log() const { return log_; }
+
+  [[nodiscard]] const rt::UlScheduler& scheduler() const { return sched_; }
+  [[nodiscard]] bool is_heavy(ItemId request) const {
+    return request % cfg_.heavy_every == 0;
+  }
+  [[nodiscard]] const TimerWebServerConfig& config() const { return cfg_; }
+
+ private:
+  TimerWebServerConfig cfg_;
+  SymbolId parse_, handler_, sendfile_, log_, switch_;
+  rt::UlScheduler sched_;
+};
+
+} // namespace fluxtrace::apps

@@ -1,0 +1,74 @@
+// The 12-byte flow key the DPDK ACL case study classifies on (paper
+// §IV-C1): source address (4 bytes), destination address (4 bytes), and
+// source + destination TCP ports (2 + 2 bytes). Shared between the packet
+// substrate and the ACL classifier.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace fluxtrace {
+
+/// Flow key in host byte order; key_bytes() yields the network-order byte
+/// string the tries walk.
+struct FlowKey {
+  std::uint32_t src_addr = 0;
+  std::uint32_t dst_addr = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  /// The trie key: src addr, dst addr, src port, dst port — each
+  /// big-endian, 12 bytes total (design (3) in §IV-C1).
+  [[nodiscard]] std::array<std::uint8_t, 12> key_bytes() const {
+    return {
+        static_cast<std::uint8_t>(src_addr >> 24),
+        static_cast<std::uint8_t>(src_addr >> 16),
+        static_cast<std::uint8_t>(src_addr >> 8),
+        static_cast<std::uint8_t>(src_addr),
+        static_cast<std::uint8_t>(dst_addr >> 24),
+        static_cast<std::uint8_t>(dst_addr >> 16),
+        static_cast<std::uint8_t>(dst_addr >> 8),
+        static_cast<std::uint8_t>(dst_addr),
+        static_cast<std::uint8_t>(src_port >> 8),
+        static_cast<std::uint8_t>(src_port),
+        static_cast<std::uint8_t>(dst_port >> 8),
+        static_cast<std::uint8_t>(dst_port),
+    };
+  }
+};
+
+inline constexpr std::size_t kFlowKeyBytes = 12;
+
+/// Parse dotted-quad notation ("192.168.10.4") to a host-order address.
+/// Returns 0 on malformed input (0.0.0.0 is not a useful address here).
+[[nodiscard]] constexpr std::uint32_t ipv4(const char* s) {
+  std::uint32_t addr = 0;
+  std::uint32_t octet = 0;
+  int octets = 0;
+  for (const char* p = s;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      octet = octet * 10 + static_cast<std::uint32_t>(*p - '0');
+      if (octet > 255) return 0;
+    } else if (*p == '.' || *p == '\0') {
+      addr = (addr << 8) | octet;
+      octet = 0;
+      ++octets;
+      if (*p == '\0') break;
+    } else {
+      return 0;
+    }
+  }
+  return octets == 4 ? addr : 0;
+}
+
+/// Format a host-order address as dotted-quad.
+[[nodiscard]] inline std::string ipv4_to_string(std::uint32_t a) {
+  return std::to_string((a >> 24) & 0xff) + '.' +
+         std::to_string((a >> 16) & 0xff) + '.' +
+         std::to_string((a >> 8) & 0xff) + '.' + std::to_string(a & 0xff);
+}
+
+} // namespace fluxtrace

@@ -1,0 +1,13 @@
+#include "fluxtrace/base/markers.hpp"
+
+namespace fluxtrace {
+
+std::vector<Marker> MarkerLog::for_core(std::uint32_t core) const {
+  std::vector<Marker> out;
+  for (const Marker& m : markers_) {
+    if (m.core == core) out.push_back(m);
+  }
+  return out;
+}
+
+} // namespace fluxtrace

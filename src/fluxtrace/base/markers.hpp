@@ -1,0 +1,64 @@
+// The coarse-grained instrumentation half of the hybrid approach: a
+// marking function called at *data-item switches* only — the code points
+// where a pinned worker thread starts or finishes processing one data-item
+// (paper §III-C). Each call records (timestamp, data-item id).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace {
+
+/// Identifier of a data-item (packet, query, request). 64-bit so apps can
+/// embed flow/sequence structure if they want.
+using ItemId = std::uint64_t;
+
+inline constexpr ItemId kNoItem = static_cast<ItemId>(-1);
+
+/// What a marker denotes: the item entering or leaving this core.
+enum class MarkerKind : std::uint8_t { Enter, Leave };
+
+/// One instrumentation record, as written by the marking function.
+struct Marker {
+  Tsc tsc = 0;
+  ItemId item = kNoItem;
+  std::uint32_t core = 0;
+  MarkerKind kind = MarkerKind::Enter;
+
+  friend bool operator==(const Marker&, const Marker&) = default;
+};
+
+/// Append-only log the marking function writes into. One global log is
+/// shared by all cores in the simulator (the machine serializes steps, so
+/// no synchronization is needed); records carry their core id.
+class MarkerLog {
+ public:
+  /// Optional live consumer, invoked on every record() — the hook online
+  /// processing (core::OnlineTracer) attaches to.
+  using Sink = std::function<void(const Marker&)>;
+
+  void record(std::uint32_t core, Tsc tsc, ItemId item, MarkerKind kind) {
+    markers_.push_back(Marker{tsc, item, core, kind});
+    if (sink_) sink_(markers_.back());
+  }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] const std::vector<Marker>& markers() const { return markers_; }
+  [[nodiscard]] std::size_t size() const { return markers_.size(); }
+  [[nodiscard]] bool empty() const { return markers_.empty(); }
+  void clear() { markers_.clear(); }
+
+  /// Markers recorded on one core, in record order (== time order, since a
+  /// core's TSC is monotone).
+  [[nodiscard]] std::vector<Marker> for_core(std::uint32_t core) const;
+
+ private:
+  std::vector<Marker> markers_;
+  Sink sink_;
+};
+
+} // namespace fluxtrace

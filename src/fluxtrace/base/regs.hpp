@@ -1,0 +1,40 @@
+// The x86-64 general-purpose register file, as captured by a PEBS record.
+// PEBS dumps the architectural GPRs verbatim; fluxtrace models the subset a
+// diagnosis consumer can use. In particular the timer-switching extension
+// (paper §V-A) reserves R13 to carry the data-item id across user-level
+// context switches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fluxtrace {
+
+/// x86-64 general-purpose register names, in PEBS record layout order.
+enum class Reg : std::uint8_t {
+  Rax, Rbx, Rcx, Rdx, Rsi, Rdi, Rbp, Rsp,
+  R8, R9, R10, R11, R12, R13, R14, R15,
+};
+
+inline constexpr std::size_t kNumRegs = 16;
+
+/// A snapshot of the general-purpose registers. Copyable POD; a PEBS
+/// record embeds one by value.
+struct RegisterFile {
+  std::array<std::uint64_t, kNumRegs> v{};
+
+  [[nodiscard]] std::uint64_t get(Reg r) const {
+    return v[static_cast<std::size_t>(r)];
+  }
+  void set(Reg r, std::uint64_t value) {
+    v[static_cast<std::size_t>(r)] = value;
+  }
+  friend bool operator==(const RegisterFile&, const RegisterFile&) = default;
+};
+
+/// Register reserved for the data-item id in the timer-switching
+/// architecture (§V-A): the paper verified that Linux and glibc build and
+/// run with R13 reserved via a compiler flag.
+inline constexpr Reg kItemIdReg = Reg::R13;
+
+} // namespace fluxtrace

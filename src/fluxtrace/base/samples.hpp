@@ -1,0 +1,31 @@
+// PEBS sample records. A real PEBS record (Skylake) carries the GPRs, the
+// instruction pointer, the TSC, and assorted fields irrelevant here
+// (paper §III-B). fluxtrace keeps exactly the fields the hybrid method
+// consumes, plus the core id attached when the buffer is drained.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fluxtrace/base/regs.hpp"
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace {
+
+/// Size of one raw PEBS record on disk. Skylake's PEBS record format is
+/// 96+ bytes; the paper's data-volume figures (§IV-C3) scale with this.
+inline constexpr std::uint64_t kPebsRecordBytes = 96;
+
+/// One PEBS sample: what the hardware wrote into the PEBS buffer.
+struct PebsSample {
+  Tsc tsc = 0;           ///< hardware timestamp of the sampled instruction
+  std::uint64_t ip = 0;  ///< instruction pointer
+  std::uint32_t core = 0;///< core whose counter overflowed (drain-time tag)
+  RegisterFile regs;     ///< architectural GPR snapshot
+
+  friend bool operator==(const PebsSample&, const PebsSample&) = default;
+};
+
+using SampleVec = std::vector<PebsSample>;
+
+} // namespace fluxtrace

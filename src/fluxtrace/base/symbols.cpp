@@ -1,0 +1,60 @@
+#include "fluxtrace/base/symbols.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxtrace {
+
+SymbolId SymbolTable::add(std::string_view name, std::uint64_t code_bytes) {
+  assert(code_bytes > 0 && "a function must occupy at least one byte");
+  Symbol s;
+  s.name = std::string(name);
+  s.lo = next_addr_;
+  s.hi = next_addr_ + code_bytes;
+  next_addr_ = s.hi;
+  symbols_.push_back(std::move(s));
+  return static_cast<SymbolId>(symbols_.size() - 1);
+}
+
+SymbolId SymbolTable::add_range(std::string_view name, std::uint64_t lo,
+                                std::uint64_t hi) {
+  assert(hi > lo && "a function must occupy at least one byte");
+  assert(lo >= (symbols_.empty() ? 0 : symbols_.back().hi) &&
+         "ranges must be ascending and disjoint");
+  Symbol s;
+  s.name = std::string(name);
+  s.lo = lo;
+  s.hi = hi;
+  next_addr_ = std::max(next_addr_, hi);
+  symbols_.push_back(std::move(s));
+  return static_cast<SymbolId>(symbols_.size() - 1);
+}
+
+std::optional<SymbolId> SymbolTable::resolve(std::uint64_t ip) const {
+  // Ranges are contiguous and sorted by construction: binary search on lo.
+  auto it = std::upper_bound(
+      symbols_.begin(), symbols_.end(), ip,
+      [](std::uint64_t v, const Symbol& s) { return v < s.lo; });
+  if (it == symbols_.begin()) return std::nullopt;
+  --it;
+  if (ip >= it->lo && ip < it->hi) {
+    return static_cast<SymbolId>(it - symbols_.begin());
+  }
+  return std::nullopt;
+}
+
+std::optional<SymbolId> SymbolTable::find(std::string_view name) const {
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i].name == name) return static_cast<SymbolId>(i);
+  }
+  return std::nullopt;
+}
+
+std::uint64_t SymbolTable::ip_at(SymbolId id, double frac) const {
+  const Symbol& s = symbols_[id];
+  if (frac < 0.0) frac = 0.0;
+  if (frac >= 1.0) frac = 0.999999;
+  return s.lo + static_cast<std::uint64_t>(frac * static_cast<double>(s.size()));
+}
+
+} // namespace fluxtrace

@@ -1,0 +1,74 @@
+// The symbol table of the traced binary: function names and the address
+// ranges of their machine code. Integration step 2 of the paper compares
+// each PEBS sample's instruction pointer against these ranges to recover
+// which function was executing when the sample was taken.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fluxtrace {
+
+/// Dense id of a function symbol; index into the SymbolTable.
+using SymbolId = std::uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = static_cast<SymbolId>(-1);
+
+/// One function's entry: [lo, hi) address range of its code.
+struct Symbol {
+  std::string name;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0; // exclusive
+
+  [[nodiscard]] std::uint64_t size() const { return hi - lo; }
+};
+
+/// Append-only symbol table. Functions are laid out contiguously from a
+/// base address, mirroring the text section of a real binary; lookup by
+/// instruction pointer is a binary search over the (sorted, disjoint)
+/// ranges.
+class SymbolTable {
+ public:
+  /// Text-section base; arbitrary but non-zero so that ip==0 is never valid.
+  static constexpr std::uint64_t kTextBase = 0x400000;
+
+  /// Register a function of `code_bytes` bytes of machine code; returns its
+  /// id. Names need not be unique, but usually are.
+  SymbolId add(std::string_view name, std::uint64_t code_bytes = 0x400);
+
+  /// Register a function at an explicit address range [lo, hi); ranges
+  /// must arrive in ascending, non-overlapping order (as a symbol-file
+  /// reader produces them). Subsequent add() calls continue after `hi`.
+  SymbolId add_range(std::string_view name, std::uint64_t lo,
+                     std::uint64_t hi);
+
+  /// Find the function containing instruction pointer `ip`, or nullopt if
+  /// `ip` falls outside every registered range.
+  [[nodiscard]] std::optional<SymbolId> resolve(std::uint64_t ip) const;
+
+  /// Find a symbol by exact name (first match), or nullopt.
+  [[nodiscard]] std::optional<SymbolId> find(std::string_view name) const;
+
+  [[nodiscard]] const Symbol& operator[](SymbolId id) const {
+    return symbols_[id];
+  }
+  [[nodiscard]] std::string_view name(SymbolId id) const {
+    return symbols_[id].name;
+  }
+  [[nodiscard]] std::size_t size() const { return symbols_.size(); }
+  [[nodiscard]] bool empty() const { return symbols_.empty(); }
+
+  /// Instruction pointer at fractional offset `frac` in [0,1) through the
+  /// function's code. The simulator uses this to synthesize the ip a PEBS
+  /// sample would carry at a given progress point.
+  [[nodiscard]] std::uint64_t ip_at(SymbolId id, double frac) const;
+
+ private:
+  std::vector<Symbol> symbols_;
+  std::uint64_t next_addr_ = kTextBase;
+};
+
+} // namespace fluxtrace

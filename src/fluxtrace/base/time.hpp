@@ -1,0 +1,44 @@
+// Simulated time: the machine counts TSC cycles exactly as an Intel core
+// does, and everything in fluxtrace (markers, PEBS samples, latencies) is
+// expressed in cycles of a single global clock domain. CpuSpec converts
+// between cycles and wall-clock nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace fluxtrace {
+
+/// Timestamp counter value, in CPU cycles. All cores share one clock domain
+/// (invariant TSC), as on the paper's Skylake evaluation machine.
+using Tsc = std::uint64_t;
+
+/// Signed cycle delta, for overflow-free subtraction in intermediate math.
+using TscDelta = std::int64_t;
+
+/// Static description of the simulated CPU. Defaults approximate the
+/// paper's Skylake Xeon testbed (Table II): ~3 GHz, 4-wide retirement.
+struct CpuSpec {
+  double freq_ghz = 3.0;       ///< TSC frequency.
+  double cycles_per_uop = 0.4; ///< average retirement cost of one micro-op
+                               ///< (Skylake retires up to 4 uops/cycle; real
+                               ///< code averages ~2.5 uops/cycle).
+  std::uint32_t num_cores = 4;
+  Tsc branch_miss_penalty = 15; ///< pipeline-flush stall per mispredict
+
+  /// Convert a duration in nanoseconds to cycles (rounded to nearest).
+  [[nodiscard]] constexpr Tsc cycles(double ns) const {
+    return static_cast<Tsc>(ns * freq_ghz + 0.5);
+  }
+  /// Convert a cycle count to nanoseconds.
+  [[nodiscard]] constexpr double ns(Tsc c) const {
+    return static_cast<double>(c) / freq_ghz;
+  }
+  /// Convert a cycle count to microseconds (the paper's reporting unit).
+  [[nodiscard]] constexpr double us(Tsc c) const { return ns(c) / 1000.0; }
+  /// Cycles taken to retire `uops` micro-ops at the base rate.
+  [[nodiscard]] constexpr Tsc uop_cycles(std::uint64_t uops) const {
+    return static_cast<Tsc>(static_cast<double>(uops) * cycles_per_uop + 0.5);
+  }
+};
+
+} // namespace fluxtrace

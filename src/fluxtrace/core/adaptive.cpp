@@ -1,0 +1,55 @@
+#include "fluxtrace/core/adaptive.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxtrace::core {
+
+AdaptiveReset::AdaptiveReset(AdaptiveResetConfig cfg,
+                             std::uint64_t initial_reset, const CpuSpec& spec,
+                             Reprogram reprogram)
+    : cfg_(cfg),
+      reset_(initial_reset),
+      spec_(spec),
+      reprogram_(std::move(reprogram)) {
+  assert(cfg_.target_interval_ns > 0.0);
+  assert(cfg_.window >= 2);
+  assert(initial_reset >= cfg_.min_reset && initial_reset <= cfg_.max_reset);
+}
+
+void AdaptiveReset::on_sample(const PebsSample& s) {
+  if (in_window_ == 0) {
+    window_start_ = s.tsc;
+  }
+  last_tsc_ = s.tsc;
+  ++in_window_;
+  if (in_window_ >= cfg_.window) {
+    maybe_adjust();
+    in_window_ = 0;
+  }
+}
+
+void AdaptiveReset::maybe_adjust() {
+  if (last_tsc_ <= window_start_) return;
+  const double achieved_ns =
+      spec_.ns(last_tsc_ - window_start_) /
+      static_cast<double>(cfg_.window - 1);
+  last_interval_ns_ = achieved_ns;
+  if (achieved_ns <= 0.0) return;
+
+  // interval ∝ R (the §V-C linearity): proportional correction.
+  const double factor = cfg_.target_interval_ns / achieved_ns;
+  if (factor < cfg_.min_adjust_ratio && factor > 1.0 / cfg_.min_adjust_ratio) {
+    return; // inside the dead-band
+  }
+  const auto proposed = static_cast<std::uint64_t>(
+      static_cast<double>(reset_) * factor + 0.5);
+  const std::uint64_t clamped =
+      std::clamp(proposed, cfg_.min_reset, cfg_.max_reset);
+  if (clamped == reset_) return;
+  reset_ = clamped;
+  ++adjustments_;
+  if (reprogram_) reprogram_(reset_);
+}
+
+} // namespace fluxtrace::core

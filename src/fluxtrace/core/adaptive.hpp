@@ -1,0 +1,61 @@
+// Closed-loop reset-value control — §V-C taken one step further. The
+// planner fits interval(R) offline; this controller holds a target sample
+// interval (equivalently, a target overhead fraction) *online*: it
+// watches the achieved interval over a window of recent samples and
+// reprograms R through the same proportional relationship the paper's
+// linearity observation justifies. Workload phase changes (a drop in
+// uops/cycle, a different packet mix) are absorbed within a few windows
+// instead of invalidating a hand-picked R.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fluxtrace/base/samples.hpp"
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::core {
+
+struct AdaptiveResetConfig {
+  double target_interval_ns = 1000.0; ///< what §V-C would aim R at
+  std::uint64_t window = 256;         ///< samples per adjustment decision
+  double min_adjust_ratio = 1.05;     ///< dead-band: skip tiny corrections
+  std::uint64_t min_reset = 64;
+  std::uint64_t max_reset = 1u << 22;
+};
+
+class AdaptiveReset {
+ public:
+  /// `reprogram` is invoked with the new reset value whenever the
+  /// controller decides to adjust (e.g. wire it to
+  /// `PebsUnit::configure` / the MSR module's PMC rewrite).
+  using Reprogram = std::function<void(std::uint64_t new_reset)>;
+
+  AdaptiveReset(AdaptiveResetConfig cfg, std::uint64_t initial_reset,
+                const CpuSpec& spec, Reprogram reprogram);
+
+  /// Feed each drained sample (per traced core; one controller per core).
+  void on_sample(const PebsSample& s);
+
+  [[nodiscard]] std::uint64_t current_reset() const { return reset_; }
+  [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
+  [[nodiscard]] double last_measured_interval_ns() const {
+    return last_interval_ns_;
+  }
+
+ private:
+  void maybe_adjust();
+
+  AdaptiveResetConfig cfg_;
+  std::uint64_t reset_;
+  CpuSpec spec_;
+  Reprogram reprogram_;
+
+  Tsc window_start_ = 0;
+  std::uint64_t in_window_ = 0;
+  Tsc last_tsc_ = 0;
+  double last_interval_ns_ = 0.0;
+  std::uint64_t adjustments_ = 0;
+};
+
+} // namespace fluxtrace::core

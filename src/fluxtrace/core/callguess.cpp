@@ -1,0 +1,40 @@
+#include "fluxtrace/core/callguess.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace fluxtrace::core {
+
+CallerGuess guess_callers(const SymbolTable& symtab,
+                          std::span<const PebsSample> samples,
+                          SymbolId utility) {
+  std::map<std::uint32_t, std::vector<PebsSample>> by_core;
+  for (const PebsSample& s : samples) by_core[s.core].push_back(s);
+
+  CallerGuess out;
+  for (auto& [core, ss] : by_core) {
+    std::sort(ss.begin(), ss.end(),
+              [](const PebsSample& a, const PebsSample& b) {
+                return a.tsc < b.tsc;
+              });
+    SymbolId last_other = kInvalidSymbol;
+    for (const PebsSample& s : ss) {
+      const auto fn = symtab.resolve(s.ip);
+      if (!fn.has_value()) continue;
+      if (*fn == utility) {
+        ++out.utility_samples;
+        if (last_other == kInvalidSymbol) {
+          ++out.unattributed;
+        } else {
+          ++out.by_caller[last_other];
+        }
+      } else {
+        last_other = *fn;
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace fluxtrace::core

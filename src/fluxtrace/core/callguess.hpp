@@ -1,0 +1,38 @@
+// Caller guessing — and its limits (§V-B2). PEBS records no call graph,
+// so when a sample lands in a small utility function g, the only
+// available heuristic is to attribute it to the function of the nearest
+// preceding sample ("g was probably called by f"). The paper warns this
+// "may lead to wrong understanding when a small utility function is
+// called many times"; this module implements the heuristic so its error
+// can be measured (bench/ext_call_graph).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "fluxtrace/base/samples.hpp"
+#include "fluxtrace/base/symbols.hpp"
+
+namespace fluxtrace::core {
+
+struct CallerGuess {
+  /// guessed caller symbol → number of `utility` samples attributed to it.
+  std::unordered_map<SymbolId, std::uint64_t> by_caller;
+  std::uint64_t utility_samples = 0;  ///< samples that landed in `utility`
+  std::uint64_t unattributed = 0;     ///< no preceding non-utility sample
+
+  [[nodiscard]] std::uint64_t attributed_to(SymbolId caller) const {
+    auto it = by_caller.find(caller);
+    return it == by_caller.end() ? 0 : it->second;
+  }
+};
+
+/// Attribute every sample inside `utility` to the nearest preceding
+/// sample's function on the same core. Samples are grouped per core and
+/// sorted by time internally.
+[[nodiscard]] CallerGuess guess_callers(const SymbolTable& symtab,
+                                        std::span<const PebsSample> samples,
+                                        SymbolId utility);
+
+} // namespace fluxtrace::core

@@ -1,0 +1,35 @@
+#include "fluxtrace/core/detector.hpp"
+
+namespace fluxtrace::core {
+
+bool FluctuationDetector::observe(ItemId item, SymbolId fn, Tsc elapsed) {
+  Welford& w = stats_[fn];
+  bool flagged = false;
+  if (w.n >= cfg_.warmup) {
+    const double sd = w.stddev();
+    const double x = static_cast<double>(elapsed);
+    if (sd > 0.0 && std::abs(x - w.mean) > cfg_.k_sigma * sd) {
+      anomalies_.push_back(Anomaly{item, fn, elapsed, w.mean, sd});
+      flagged = true;
+    }
+  }
+  w.add(static_cast<double>(elapsed));
+  return flagged;
+}
+
+double FluctuationDetector::mean(SymbolId fn) const {
+  auto it = stats_.find(fn);
+  return it == stats_.end() ? 0.0 : it->second.mean;
+}
+
+double FluctuationDetector::sigma(SymbolId fn) const {
+  auto it = stats_.find(fn);
+  return it == stats_.end() ? 0.0 : it->second.stddev();
+}
+
+std::uint64_t FluctuationDetector::count(SymbolId fn) const {
+  auto it = stats_.find(fn);
+  return it == stats_.end() ? 0 : it->second.n;
+}
+
+} // namespace fluxtrace::core

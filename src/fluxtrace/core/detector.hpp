@@ -1,0 +1,79 @@
+// Online fluctuation detection (paper §IV-C3's cost-amortization idea):
+// estimate each function's elapsed time per data-item online, and dump the
+// raw PEBS samples only when an estimate diverges from the function's
+// running statistics — so the 100s-of-MB/s raw stream need not hit
+// durable storage continuously.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::core {
+
+struct DetectorConfig {
+  double k_sigma = 3.0;      ///< flag |x − mean| > k·σ
+  std::uint64_t warmup = 8;  ///< observations per function before flagging
+};
+
+struct Anomaly {
+  ItemId item = kNoItem;
+  SymbolId fn = kInvalidSymbol;
+  Tsc elapsed = 0;
+  double mean = 0.0;
+  double sigma = 0.0;
+  /// How many sigmas the observation sits from the mean.
+  [[nodiscard]] double deviation() const {
+    return sigma > 0.0 ? (static_cast<double>(elapsed) - mean) / sigma : 0.0;
+  }
+};
+
+/// Streaming per-function Welford statistics with k-sigma outlier
+/// flagging. observe() returns true when the observation is anomalous —
+/// the signal to dump raw samples for later offline analysis.
+class FluctuationDetector {
+ public:
+  explicit FluctuationDetector(DetectorConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Feed one {item, function} elapsed-time estimate. Returns true when
+  /// the observation deviates more than k·σ from the function's running
+  /// mean (after warmup). The observation is folded into the statistics
+  /// either way.
+  bool observe(ItemId item, SymbolId fn, Tsc elapsed);
+
+  [[nodiscard]] const std::vector<Anomaly>& anomalies() const {
+    return anomalies_;
+  }
+  [[nodiscard]] double mean(SymbolId fn) const;
+  [[nodiscard]] double sigma(SymbolId fn) const;
+  [[nodiscard]] std::uint64_t count(SymbolId fn) const;
+  [[nodiscard]] const DetectorConfig& config() const { return cfg_; }
+
+ private:
+  struct Welford {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    void add(double x) {
+      ++n;
+      const double d = x - mean;
+      mean += d / static_cast<double>(n);
+      m2 += d * (x - mean);
+    }
+    [[nodiscard]] double variance() const {
+      return n >= 2 ? m2 / static_cast<double>(n - 1) : 0.0;
+    }
+    [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  };
+
+  DetectorConfig cfg_;
+  std::unordered_map<SymbolId, Welford> stats_;
+  std::vector<Anomaly> anomalies_;
+};
+
+} // namespace fluxtrace::core

@@ -1,0 +1,115 @@
+#include "fluxtrace/core/diagnosis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace fluxtrace::core {
+
+DiagnosisReport diagnose(const TraceTable& table, const CpuSpec& spec,
+                         DiagnosisConfig cfg) {
+  DiagnosisReport rep;
+  const std::vector<ItemId> items = table.items();
+  rep.items = items.size();
+  if (items.empty()) return rep;
+
+  // Distribution of window totals.
+  double sum = 0;
+  std::vector<double> totals;
+  totals.reserve(items.size());
+  for (const ItemId item : items) {
+    const double us = spec.us(table.item_window_total(item));
+    totals.push_back(us);
+    sum += us;
+  }
+  rep.mean_us = sum / static_cast<double>(totals.size());
+  double ss = 0;
+  for (const double x : totals) ss += (x - rep.mean_us) * (x - rep.mean_us);
+  rep.stddev_us = totals.size() >= 2
+                      ? std::sqrt(ss / static_cast<double>(totals.size() - 1))
+                      : 0.0;
+  std::vector<double> sorted = totals;
+  std::sort(sorted.begin(), sorted.end());
+  rep.p99_us = sorted[std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(
+          std::ceil(0.99 * static_cast<double>(sorted.size())) - 1))];
+
+  // Offline outlier criterion: robust z-score against median/MAD, so a
+  // fluctuation arriving first (the paper's query #1!) cannot poison its
+  // own baseline the way a cold streaming detector would.
+  const double median = sorted[sorted.size() / 2];
+  std::vector<double> devs;
+  devs.reserve(sorted.size());
+  for (const double x : sorted) devs.push_back(std::abs(x - median));
+  std::sort(devs.begin(), devs.end());
+  const double mad = devs[devs.size() / 2];
+  const double robust_sigma =
+      std::max(1.4826 * mad, std::max(1e-9, median * 1e-3));
+
+  struct Cand {
+    ItemId item;
+    Tsc total;
+    double z;
+  };
+  std::vector<Cand> found;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const double z = (totals[i] - median) / robust_sigma;
+    if (std::abs(z) > cfg.detector.k_sigma) {
+      found.push_back(
+          Cand{items[i], table.item_window_total(items[i]), z});
+    }
+  }
+  std::sort(found.begin(), found.end(), [](const Cand& a, const Cand& b) {
+    return std::abs(a.z) > std::abs(b.z);
+  });
+
+  for (const Cand& a : found) {
+    if (rep.outliers.size() >= cfg.max_outliers) break;
+    OutlierReport o;
+    o.item = a.item;
+    o.total = a.total;
+    o.sigmas = a.z;
+    const Tsc est_total = table.item_estimated_total(a.item);
+    for (const SymbolId fn : table.functions(a.item)) {
+      const Tsc e = table.elapsed(a.item, fn);
+      if (e > o.dominant_elapsed) {
+        o.dominant_elapsed = e;
+        o.dominant_fn = fn;
+      }
+    }
+    o.dominant_share =
+        est_total > 0 ? static_cast<double>(o.dominant_elapsed) /
+                            static_cast<double>(est_total)
+                      : 0.0;
+    rep.outliers.push_back(o);
+  }
+  return rep;
+}
+
+void DiagnosisReport::print(std::ostream& os, const SymbolTable& symtab) const {
+  os << "items: " << items << "  mean: " << mean_us
+     << " us  stddev: " << stddev_us << " us  p99: " << p99_us << " us\n";
+  if (outliers.empty()) {
+    os << "no outliers beyond the detector threshold\n";
+    return;
+  }
+  os << "outliers (most deviant first):\n";
+  for (const OutlierReport& o : outliers) {
+    os << "  item #" << o.item << ": " << o.sigmas << " sigma";
+    if (o.dominant_fn != kInvalidSymbol) {
+      os << ", dominated by " << symtab.name(o.dominant_fn) << " ("
+         << static_cast<int>(o.dominant_share * 100.0) << "% of its time)";
+    }
+    os << '\n';
+  }
+}
+
+std::string DiagnosisReport::str(const SymbolTable& symtab) const {
+  std::ostringstream os;
+  print(os, symtab);
+  return os.str();
+}
+
+} // namespace fluxtrace::core

@@ -1,0 +1,118 @@
+#include "fluxtrace/core/integrator.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace fluxtrace::core {
+
+std::vector<ItemWindow> TraceIntegrator::windows_from_markers(
+    std::span<const Marker> markers) {
+  // Group by core, keep time order within each core.
+  std::map<std::uint32_t, std::vector<Marker>> per_core;
+  for (const Marker& m : markers) per_core[m.core].push_back(m);
+
+  std::vector<ItemWindow> out;
+  for (auto& [core, ms] : per_core) {
+    std::stable_sort(ms.begin(), ms.end(),
+                     [](const Marker& a, const Marker& b) {
+                       return a.tsc < b.tsc;
+                     });
+    // Pair Enter → Leave by item id. In the self-switching architecture
+    // exactly one item is on a core at a time, so windows come out
+    // disjoint; under preemption (timer-switching) an item's window spans
+    // its whole lifetime and windows overlap — which is exactly the
+    // failure mode §V-A's register-carried ids fix. Leaves without a
+    // matching Enter and Enters never closed are dropped.
+    std::map<ItemId, Tsc> open;
+    for (const Marker& m : ms) {
+      if (m.kind == MarkerKind::Enter) {
+        open[m.item] = m.tsc;
+      } else {
+        auto oit = open.find(m.item);
+        if (oit != open.end()) {
+          out.push_back(ItemWindow{m.item, core, oit->second, m.tsc});
+          open.erase(oit);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TraceTable TraceIntegrator::integrate(std::span<const Marker> markers,
+                                      std::span<const PebsSample> samples) const {
+  TraceTable table;
+
+  // Per-core windows sorted by enter time, plus a prefix-max of leave
+  // times so the backward walk below can stop as soon as no earlier
+  // window can still cover the sample (O(1) for disjoint windows).
+  struct CoreWindows {
+    std::vector<ItemWindow> ws;
+    std::vector<Tsc> prefix_max_leave;
+  };
+  std::map<std::uint32_t, CoreWindows> win_by_core;
+  for (const ItemWindow& w : windows_from_markers(markers)) {
+    table.add_window(w);
+    win_by_core[w.core].ws.push_back(w);
+  }
+  for (auto& [core, cw] : win_by_core) {
+    std::sort(cw.ws.begin(), cw.ws.end(),
+              [](const ItemWindow& a, const ItemWindow& b) {
+                return a.enter < b.enter;
+              });
+    cw.prefix_max_leave.resize(cw.ws.size());
+    Tsc running = 0;
+    for (std::size_t i = 0; i < cw.ws.size(); ++i) {
+      running = std::max(running, cw.ws[i].leave);
+      cw.prefix_max_leave[i] = running;
+    }
+  }
+
+  for (const PebsSample& s : samples) {
+    // (1) item id — from the marker windows or from the sampled register.
+    ItemId item = kNoItem;
+    if (cfg_.use_register_ids) {
+      item = s.regs.get(cfg_.id_reg);
+    } else {
+      auto it = win_by_core.find(s.core);
+      if (it != win_by_core.end()) {
+        const std::vector<ItemWindow>& ws = it->second.ws;
+        const std::vector<Tsc>& pmax = it->second.prefix_max_leave;
+        // Most recent window with enter <= tsc whose leave has not
+        // passed. With disjoint windows (self-switching) this is one
+        // probe; with overlapping windows the walk finds the innermost
+        // cover — a heuristic that can be wrong, which is the point of
+        // the §V-A extension.
+        auto wit = std::upper_bound(
+            ws.begin(), ws.end(), s.tsc,
+            [](Tsc t, const ItemWindow& w) { return t < w.enter; });
+        while (wit != ws.begin()) {
+          const std::size_t idx =
+              static_cast<std::size_t>(wit - ws.begin()) - 1;
+          if (pmax[idx] < s.tsc) break; // nothing earlier can cover tsc
+          --wit;
+          if (s.tsc <= wit->leave) {
+            item = wit->item;
+            break;
+          }
+        }
+      }
+    }
+    if (item == kNoItem) {
+      table.count_unmatched_item();
+      continue;
+    }
+
+    // (2) function — from the symbol table.
+    const auto fn = symtab_.resolve(s.ip);
+    if (!fn.has_value()) {
+      table.count_unmatched_symbol();
+      continue;
+    }
+
+    table.add_sample(item, *fn, s.core, s.tsc);
+  }
+  return table;
+}
+
+} // namespace fluxtrace::core

@@ -1,0 +1,50 @@
+// Step 2 of the paper's procedure (§III-D): integrate the two data
+// streams. Each PEBS sample's timestamp is located inside a data-item
+// window recorded by the markers on the same core (t0 < ta < t1 ⇒ the
+// sample belongs to item #0), and its instruction pointer is located in
+// the symbol table to recover the function. The §V-A extension instead
+// reads the data-item id straight out of the sampled R13 register, which
+// survives user-level context switches (timer-switching architecture).
+#pragma once
+
+#include <span>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/regs.hpp"
+#include "fluxtrace/base/samples.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/core/trace_table.hpp"
+
+namespace fluxtrace::core {
+
+struct IntegratorConfig {
+  /// false: map samples to items via marker windows (self-switching
+  /// architecture, the paper's main procedure). true: take the item id
+  /// from the sampled register (timer-switching extension, §V-A).
+  bool use_register_ids = false;
+  Reg id_reg = kItemIdReg;
+};
+
+class TraceIntegrator {
+ public:
+  explicit TraceIntegrator(const SymbolTable& symtab,
+                           IntegratorConfig cfg = {})
+      : symtab_(symtab), cfg_(cfg) {}
+
+  /// Build the per-item, per-function table. Markers and samples may be in
+  /// any order; they are grouped by core and sorted internally.
+  [[nodiscard]] TraceTable integrate(std::span<const Marker> markers,
+                                     std::span<const PebsSample> samples) const;
+
+  /// Extract per-core item windows from a marker stream. Exposed for
+  /// tests and for window-level analyses. Unbalanced markers (Leave
+  /// without Enter, Enter without Leave at stream end) are dropped.
+  [[nodiscard]] static std::vector<ItemWindow> windows_from_markers(
+      std::span<const Marker> markers);
+
+ private:
+  const SymbolTable& symtab_;
+  IntegratorConfig cfg_;
+};
+
+} // namespace fluxtrace::core

@@ -1,0 +1,120 @@
+#include "fluxtrace/core/online.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fluxtrace::core {
+
+OnlineTracer::OnlineTracer(const SymbolTable& symtab, OnlineTracerConfig cfg)
+    : symtab_(symtab), cfg_(cfg), detector_(cfg.detector) {}
+
+void OnlineTracer::on_marker(const Marker& m) {
+  CoreState& cs = cores_[m.core];
+  if (m.kind == MarkerKind::Enter) {
+    // A still-open previous item means a malformed stream under the
+    // self-switching assumption; drop the dangling one.
+    if (!cs.items.empty() && !cs.items.back().closed) {
+      cs.items.pop_back();
+      ++dropped_;
+    }
+    PendingItem item;
+    item.id = m.item;
+    item.core = m.core;
+    item.enter = m.tsc;
+    cs.items.push_back(std::move(item));
+  } else {
+    if (cs.items.empty() || cs.items.back().closed ||
+        cs.items.back().id != m.item) {
+      ++dropped_; // Leave without a matching Enter
+      return;
+    }
+    cs.items.back().leave = m.tsc;
+    cs.items.back().closed = true;
+  }
+}
+
+void OnlineTracer::on_sample(const PebsSample& s) {
+  ++samples_seen_;
+  CoreState& cs = cores_[s.core];
+  cs.sample_watermark = std::max(cs.sample_watermark, s.tsc);
+
+  // The watermark proves older items complete: no further sample at or
+  // below their leave can arrive on this core.
+  finalize_ready(cs, s.tsc);
+
+  for (PendingItem& item : cs.items) {
+    if (s.tsc < item.enter) break; // items are in enter order
+    if (!item.closed || s.tsc <= item.leave) {
+      item.raw.push_back(s);
+      return;
+    }
+  }
+  ++unmatched_; // between windows, or before the oldest pending item
+}
+
+void OnlineTracer::finalize_ready(CoreState& cs, Tsc watermark) {
+  while (!cs.items.empty() && cs.items.front().closed &&
+         cs.items.front().leave < watermark) {
+    PendingItem item = std::move(cs.items.front());
+    cs.items.pop_front();
+    finalize(std::move(item));
+  }
+}
+
+void OnlineTracer::finalize(PendingItem&& item) {
+  OnlineResult res;
+  res.item = item.id;
+  res.core = item.core;
+  res.window = item.leave - item.enter;
+
+  // Per-function first/last spans from this item's raw samples.
+  std::unordered_map<SymbolId, BucketStat> buckets;
+  for (const PebsSample& s : item.raw) {
+    const auto fn = symtab_.resolve(s.ip);
+    if (!fn.has_value()) continue;
+    buckets[*fn].add(s.tsc);
+  }
+  for (const auto& [fn, stat] : buckets) {
+    if (stat.estimable()) res.fn_elapsed.emplace_back(fn, stat.elapsed());
+  }
+  std::sort(res.fn_elapsed.begin(), res.fn_elapsed.end());
+
+  // Online statistics: flag if any function (or the whole window)
+  // deviates from its running distribution.
+  bool flagged = false;
+  for (const auto& [fn, elapsed] : res.fn_elapsed) {
+    flagged |= detector_.observe(item.id, fn, elapsed);
+  }
+  if (cfg_.track_window_metric) {
+    flagged |= detector_.observe(item.id, kWindowMetric, res.window);
+  }
+  res.anomalous = flagged;
+
+  if (flagged) {
+    ++dumps_;
+    bytes_dumped_ += item.raw.size() * kPebsRecordBytes;
+    if (dump_) dump_(res, item.raw);
+  }
+
+  ++completed_;
+  if (cfg_.keep_results > 0) {
+    results_.push_back(std::move(res));
+    while (results_.size() > cfg_.keep_results) results_.pop_front();
+  }
+}
+
+void OnlineTracer::finish() {
+  for (auto& [core, cs] : cores_) {
+    while (!cs.items.empty()) {
+      PendingItem item = std::move(cs.items.front());
+      cs.items.pop_front();
+      if (item.closed) {
+        finalize(std::move(item));
+      } else {
+        ++dropped_; // Enter without Leave at stream end
+      }
+    }
+  }
+}
+
+} // namespace fluxtrace::core

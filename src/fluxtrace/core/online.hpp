@@ -1,0 +1,134 @@
+// Online trace processing — the cost-amortization idea of §IV-C3 made
+// concrete: instead of dumping the 100s-of-MB/s raw PEBS stream to
+// storage continuously, estimate each function's elapsed time per
+// data-item *as the streams arrive*, keep the raw samples only in a
+// short-lived in-memory window, and persist them solely for the items an
+// online detector flags as fluctuating.
+//
+// Input model (matching the real system): per core, markers arrive in
+// time order at marking time; samples arrive in time order but delayed in
+// batches (they reach software when a PEBS buffer is drained). An item is
+// finalized once a later sample on its core proves no more of its samples
+// can arrive.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/samples.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/core/detector.hpp"
+#include "fluxtrace/core/trace_table.hpp"
+
+namespace fluxtrace::core {
+
+/// Per-item output of the online pipeline.
+struct OnlineResult {
+  ItemId item = kNoItem;
+  std::uint32_t core = 0;
+  Tsc window = 0; ///< marker-window length
+  /// Estimable functions (>= 2 samples) with their elapsed estimates.
+  std::vector<std::pair<SymbolId, Tsc>> fn_elapsed;
+  bool anomalous = false;
+
+  [[nodiscard]] Tsc elapsed(SymbolId fn) const {
+    for (const auto& [f, t] : fn_elapsed) {
+      if (f == fn) return t;
+    }
+    return 0;
+  }
+};
+
+struct OnlineTracerConfig {
+  DetectorConfig detector{};
+  /// Keep the most recent N finalized results queryable (0 = keep none).
+  std::size_t keep_results = 64;
+  /// Also feed the whole-item window length to the detector (under the
+  /// pseudo-symbol kWindowMetric), so items fluctuate even when no single
+  /// function collects two samples.
+  bool track_window_metric = true;
+};
+
+class OnlineTracer {
+ public:
+  /// Pseudo-symbol id under which whole-item window lengths are tracked.
+  static constexpr SymbolId kWindowMetric = 0xfffffffeu;
+
+  explicit OnlineTracer(const SymbolTable& symtab,
+                        OnlineTracerConfig cfg = {});
+
+  // --- streaming inputs -------------------------------------------------
+  void on_marker(const Marker& m);
+  void on_sample(const PebsSample& s);
+  /// Finalize everything still pending (end of run).
+  void finish();
+
+  /// Called for every finalized item whose statistics the detector
+  /// flagged; receives the item's raw samples — the data a deployment
+  /// would persist for offline analysis.
+  using DumpFn = std::function<void(const OnlineResult&, const SampleVec&)>;
+  void set_dump_callback(DumpFn fn) { dump_ = std::move(fn); }
+
+  // --- observability -----------------------------------------------------
+  [[nodiscard]] const FluctuationDetector& detector() const {
+    return detector_;
+  }
+  [[nodiscard]] std::uint64_t items_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t dumps() const { return dumps_; }
+  [[nodiscard]] std::uint64_t samples_seen() const { return samples_seen_; }
+  [[nodiscard]] std::uint64_t samples_unmatched() const { return unmatched_; }
+  [[nodiscard]] std::uint64_t markers_dropped() const { return dropped_; }
+  /// Raw bytes persisted via the dump callback vs bytes seen in total —
+  /// the amortization ratio §IV-C3 argues for.
+  [[nodiscard]] std::uint64_t bytes_dumped() const {
+    return bytes_dumped_;
+  }
+  [[nodiscard]] std::uint64_t bytes_seen() const {
+    return samples_seen_ * kPebsRecordBytes;
+  }
+  /// The most recent finalized results (up to cfg.keep_results).
+  [[nodiscard]] const std::deque<OnlineResult>& recent() const {
+    return results_;
+  }
+
+ private:
+  struct PendingItem {
+    ItemId id = kNoItem;
+    std::uint32_t core = 0;
+    Tsc enter = 0;
+    Tsc leave = 0;
+    bool closed = false;
+    SampleVec raw;
+  };
+
+  struct CoreState {
+    std::deque<PendingItem> items; ///< open/closed items, in enter order
+    Tsc sample_watermark = 0;      ///< per-core sample time monotonicity
+  };
+
+  /// Finalize every closed item whose leave is strictly before the
+  /// watermark — per-core time order guarantees its samples are complete.
+  void finalize_ready(CoreState& cs, Tsc watermark);
+  void finalize(PendingItem&& item);
+
+  const SymbolTable& symtab_;
+  OnlineTracerConfig cfg_;
+  FluctuationDetector detector_;
+  std::map<std::uint32_t, CoreState> cores_;
+  DumpFn dump_;
+  std::deque<OnlineResult> results_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dumps_ = 0;
+  std::uint64_t samples_seen_ = 0;
+  std::uint64_t unmatched_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t bytes_dumped_ = 0;
+};
+
+} // namespace fluxtrace::core

@@ -1,0 +1,74 @@
+#include "fluxtrace/core/planner.hpp"
+
+#include <cmath>
+
+namespace fluxtrace::core {
+
+LinearFit ResetValuePlanner::fit() const {
+  LinearFit f;
+  const std::size_t n = points_.size();
+  if (n < 2) return f;
+
+  double sx = 0, sy = 0;
+  for (const CalibrationPoint& p : points_) {
+    sx += static_cast<double>(p.reset);
+    sy += p.interval_ns;
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (const CalibrationPoint& p : points_) {
+    const double dx = static_cast<double>(p.reset) - mx;
+    const double dy = p.interval_ns - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return f; // all reset values identical
+
+  f.a = sxy / sxx;
+  f.b = my - f.a * mx;
+  if (syy > 0.0) {
+    double ss_res = 0;
+    for (const CalibrationPoint& p : points_) {
+      const double pred = f.a * static_cast<double>(p.reset) + f.b;
+      ss_res += (p.interval_ns - pred) * (p.interval_ns - pred);
+    }
+    f.r2 = 1.0 - ss_res / syy;
+  } else {
+    f.r2 = 1.0;
+  }
+  return f;
+}
+
+double ResetValuePlanner::predict_interval_ns(std::uint64_t reset) const {
+  const LinearFit f = fit();
+  return f.a * static_cast<double>(reset) + f.b;
+}
+
+double ResetValuePlanner::predict_overhead(std::uint64_t reset,
+                                           double sample_cost_ns) const {
+  const double interval = predict_interval_ns(reset);
+  if (interval <= 0.0) return 1.0;
+  return sample_cost_ns / interval;
+}
+
+std::uint64_t ResetValuePlanner::recommend_for_overhead(
+    double max_overhead, double sample_cost_ns) const {
+  const LinearFit f = fit();
+  if (f.a <= 0.0 || max_overhead <= 0.0) return 0;
+  // overhead = c / (aR + b) <= max  ⇒  R >= (c/max − b)/a.
+  const double r = (sample_cost_ns / max_overhead - f.b) / f.a;
+  return r <= 1.0 ? 1 : static_cast<std::uint64_t>(std::ceil(r));
+}
+
+std::uint64_t ResetValuePlanner::recommend_for_interval(
+    double target_interval_ns) const {
+  const LinearFit f = fit();
+  if (f.a <= 0.0 || target_interval_ns <= f.b) return 0;
+  return static_cast<std::uint64_t>(
+      std::llround((target_interval_ns - f.b) / f.a));
+}
+
+} // namespace fluxtrace::core

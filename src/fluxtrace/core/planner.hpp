@@ -1,0 +1,67 @@
+// Choosing the reset value (paper §V-C). PEBS cannot target a time-based
+// interval directly, but the paper observes that the achieved sample
+// interval is strongly linear in the reset value for a given workload, and
+// that the tracing overhead is accurately predictable from the number of
+// samples taken (≈250 ns each, per the authors' ROSS'17 study). The
+// planner fits interval(R) = a·R + b from calibration points and inverts
+// it to recommend R for a target interval or a target overhead fraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fluxtrace::core {
+
+struct CalibrationPoint {
+  std::uint64_t reset = 0;
+  double interval_ns = 0.0; ///< measured mean sample interval
+};
+
+struct LinearFit {
+  double a = 0.0;  ///< ns per reset-value unit
+  double b = 0.0;  ///< ns intercept (per-sample fixed cost)
+  double r2 = 0.0; ///< coefficient of determination
+};
+
+class ResetValuePlanner {
+ public:
+  /// Overhead of one PEBS record; the paper's prior work measured ~250 ns.
+  static constexpr double kDefaultSampleCostNs = 250.0;
+
+  void add(std::uint64_t reset, double interval_ns) {
+    points_.push_back({reset, interval_ns});
+  }
+  void add(const CalibrationPoint& p) { points_.push_back(p); }
+  [[nodiscard]] const std::vector<CalibrationPoint>& points() const {
+    return points_;
+  }
+
+  /// Least-squares fit of interval(R) = a·R + b. Requires >= 2 points
+  /// with distinct reset values.
+  [[nodiscard]] LinearFit fit() const;
+
+  [[nodiscard]] double predict_interval_ns(std::uint64_t reset) const;
+
+  /// Overhead fraction = time spent on sampling / total time
+  /// ≈ sample_cost / interval(R).
+  [[nodiscard]] double predict_overhead(std::uint64_t reset,
+                                        double sample_cost_ns =
+                                            kDefaultSampleCostNs) const;
+
+  /// Smallest reset value whose predicted overhead fraction does not
+  /// exceed `max_overhead` (e.g. 0.01 for 1%). Returns 0 when the fit is
+  /// unusable (a <= 0).
+  [[nodiscard]] std::uint64_t recommend_for_overhead(
+      double max_overhead,
+      double sample_cost_ns = kDefaultSampleCostNs) const;
+
+  /// Reset value achieving approximately `target_interval_ns`. Returns 0
+  /// when unreachable (target below the intercept) or the fit is unusable.
+  [[nodiscard]] std::uint64_t recommend_for_interval(
+      double target_interval_ns) const;
+
+ private:
+  std::vector<CalibrationPoint> points_;
+};
+
+} // namespace fluxtrace::core

@@ -1,0 +1,55 @@
+#include "fluxtrace/core/profile.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fluxtrace::core {
+
+Profile Profile::from_samples(const SymbolTable& symtab,
+                              std::span<const PebsSample> samples,
+                              Tsc total_time) {
+  Profile p;
+  p.total_time_ = total_time;
+  std::unordered_map<SymbolId, std::uint64_t> counts;
+  for (const PebsSample& s : samples) {
+    const auto fn = symtab.resolve(s.ip);
+    if (!fn.has_value()) {
+      ++p.unresolved_;
+      continue;
+    }
+    ++counts[*fn];
+    ++p.total_;
+  }
+  p.entries_.reserve(counts.size());
+  for (const auto& [fn, n] : counts) {
+    ProfileEntry e;
+    e.fn = fn;
+    e.samples = n;
+    e.share = p.total_ == 0
+                  ? 0.0
+                  : static_cast<double>(n) / static_cast<double>(p.total_);
+    e.est_time = static_cast<Tsc>(e.share * static_cast<double>(total_time));
+    p.entries_.push_back(e);
+  }
+  std::sort(p.entries_.begin(), p.entries_.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.est_time > b.est_time;
+            });
+  return p;
+}
+
+Tsc Profile::est_time(SymbolId fn) const {
+  for (const ProfileEntry& e : entries_) {
+    if (e.fn == fn) return e.est_time;
+  }
+  return 0;
+}
+
+std::uint64_t Profile::samples(SymbolId fn) const {
+  for (const ProfileEntry& e : entries_) {
+    if (e.fn == fn) return e.samples;
+  }
+  return 0;
+}
+
+} // namespace fluxtrace::core

@@ -1,0 +1,50 @@
+// Profiles — the "averaged" view the paper contrasts with traces (Fig. 1,
+// §V-B1). A profile cannot show a fluctuation, but it can estimate the
+// mean elapsed time of functions *shorter* than the sample interval:
+// t(f) ≈ T · n_f / N, where T is total run time, n_f the samples landing
+// in f and N all samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fluxtrace/base/samples.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::core {
+
+struct ProfileEntry {
+  SymbolId fn = kInvalidSymbol;
+  std::uint64_t samples = 0;
+  double share = 0.0;   ///< n_f / N
+  Tsc est_time = 0;     ///< T · n_f / N
+};
+
+class Profile {
+ public:
+  /// Build from a sample stream. `total_time` is T (the run's length in
+  /// cycles); samples whose ip resolves to no symbol are dropped and
+  /// counted.
+  static Profile from_samples(const SymbolTable& symtab,
+                              std::span<const PebsSample> samples,
+                              Tsc total_time);
+
+  /// Entries sorted by descending estimated time.
+  [[nodiscard]] const std::vector<ProfileEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] Tsc est_time(SymbolId fn) const;
+  [[nodiscard]] std::uint64_t samples(SymbolId fn) const;
+  [[nodiscard]] std::uint64_t total_samples() const { return total_; }
+  [[nodiscard]] std::uint64_t unresolved() const { return unresolved_; }
+  [[nodiscard]] Tsc total_time() const { return total_time_; }
+
+ private:
+  std::vector<ProfileEntry> entries_;
+  std::uint64_t total_ = 0;
+  std::uint64_t unresolved_ = 0;
+  Tsc total_time_ = 0;
+};
+
+} // namespace fluxtrace::core

@@ -1,0 +1,76 @@
+#include "fluxtrace/core/trace_table.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace fluxtrace::core {
+
+void TraceTable::add_sample(ItemId item, SymbolId fn, std::uint32_t core,
+                            Tsc tsc) {
+  buckets_[item][inner_key(core, fn)].add(tsc);
+  ++total_samples_;
+}
+
+Tsc TraceTable::elapsed(ItemId item, SymbolId fn) const {
+  auto it = buckets_.find(item);
+  if (it == buckets_.end()) return 0;
+  Tsc sum = 0;
+  for (const auto& [key, stat] : it->second) {
+    if (static_cast<SymbolId>(key & 0xffffffffu) == fn) sum += stat.elapsed();
+  }
+  return sum;
+}
+
+std::uint64_t TraceTable::sample_count(ItemId item, SymbolId fn) const {
+  auto it = buckets_.find(item);
+  if (it == buckets_.end()) return 0;
+  std::uint64_t n = 0;
+  for (const auto& [key, stat] : it->second) {
+    if (static_cast<SymbolId>(key & 0xffffffffu) == fn) n += stat.samples;
+  }
+  return n;
+}
+
+std::vector<ItemId> TraceTable::items() const {
+  std::set<ItemId> ids;
+  for (const auto& [item, _] : buckets_) ids.insert(item);
+  for (const ItemWindow& w : windows_) ids.insert(w.item);
+  return {ids.begin(), ids.end()};
+}
+
+std::vector<SymbolId> TraceTable::functions(ItemId item) const {
+  std::set<SymbolId> fns;
+  auto it = buckets_.find(item);
+  if (it != buckets_.end()) {
+    for (const auto& [key, _] : it->second) {
+      fns.insert(static_cast<SymbolId>(key & 0xffffffffu));
+    }
+  }
+  return {fns.begin(), fns.end()};
+}
+
+Tsc TraceTable::item_estimated_total(ItemId item) const {
+  auto it = buckets_.find(item);
+  if (it == buckets_.end()) return 0;
+  Tsc sum = 0;
+  for (const auto& [_, stat] : it->second) sum += stat.elapsed();
+  return sum;
+}
+
+const ItemWindow* TraceTable::window_of(ItemId item,
+                                        std::uint32_t core) const {
+  for (const ItemWindow& w : windows_) {
+    if (w.item == item && w.core == core) return &w;
+  }
+  return nullptr;
+}
+
+Tsc TraceTable::item_window_total(ItemId item) const {
+  Tsc sum = 0;
+  for (const ItemWindow& w : windows_) {
+    if (w.item == item) sum += w.length();
+  }
+  return sum;
+}
+
+} // namespace fluxtrace::core

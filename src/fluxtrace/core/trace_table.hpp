@@ -1,0 +1,104 @@
+// The product of the hybrid method: a per-data-item, per-function trace.
+// Step 3 of the paper's procedure (§III-D) estimates the elapsed time of
+// function f for data-item #M as the span between the first and the last
+// PEBS sample in bucket {f, #M}.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::core {
+
+/// Sample statistics for one {function, data-item} bucket on one core.
+struct BucketStat {
+  Tsc first = std::numeric_limits<Tsc>::max();
+  Tsc last = 0;
+  std::uint64_t samples = 0;
+
+  void add(Tsc t) {
+    if (t < first) first = t;
+    if (t > last) last = t;
+    ++samples;
+  }
+  /// Elapsed-time estimate; needs >= 2 samples (paper §V-B1: a function
+  /// shorter than the sample interval cannot be estimated from a trace).
+  [[nodiscard]] Tsc elapsed() const { return samples >= 2 ? last - first : 0; }
+  [[nodiscard]] bool estimable() const { return samples >= 2; }
+};
+
+/// One data-item's residency on one core, delimited by markers.
+struct ItemWindow {
+  ItemId item = kNoItem;
+  std::uint32_t core = 0;
+  Tsc enter = 0;
+  Tsc leave = 0;
+  [[nodiscard]] Tsc length() const { return leave - enter; }
+};
+
+/// Integration result plus bookkeeping about what could not be attributed.
+class TraceTable {
+ public:
+  // --- construction (used by TraceIntegrator) -------------------------
+  void add_sample(ItemId item, SymbolId fn, std::uint32_t core, Tsc tsc);
+  void add_window(const ItemWindow& w) { windows_.push_back(w); }
+  void count_unmatched_item() { ++unmatched_item_; }
+  void count_unmatched_symbol() { ++unmatched_symbol_; }
+
+  // --- queries ---------------------------------------------------------
+  /// Estimated elapsed time of `fn` for `item`, summed over the cores the
+  /// pair appeared on. 0 when not estimable.
+  [[nodiscard]] Tsc elapsed(ItemId item, SymbolId fn) const;
+
+  /// Samples mapped to {item, fn} across all cores. With a PEBS event of
+  /// "cache misses", samples × reset-value approximates the number of
+  /// misses the function incurred for the item (paper §V-D).
+  [[nodiscard]] std::uint64_t sample_count(ItemId item, SymbolId fn) const;
+
+  /// All items observed (via samples or windows), sorted ascending.
+  [[nodiscard]] std::vector<ItemId> items() const;
+
+  /// Functions with at least one sample for `item`, sorted ascending.
+  [[nodiscard]] std::vector<SymbolId> functions(ItemId item) const;
+
+  /// Sum of elapsed() over all functions of the item.
+  [[nodiscard]] Tsc item_estimated_total(ItemId item) const;
+
+  /// Marker-window length of the item, summed over cores. This is what a
+  /// pure-instrumentation (service-level logging) measurement would see.
+  [[nodiscard]] Tsc item_window_total(ItemId item) const;
+
+  [[nodiscard]] const std::vector<ItemWindow>& windows() const {
+    return windows_;
+  }
+
+  /// The item's window on one core, if it crossed that core (first match).
+  [[nodiscard]] const ItemWindow* window_of(ItemId item,
+                                            std::uint32_t core) const;
+  [[nodiscard]] std::uint64_t total_samples() const { return total_samples_; }
+  [[nodiscard]] std::uint64_t unmatched_item() const { return unmatched_item_; }
+  [[nodiscard]] std::uint64_t unmatched_symbol() const {
+    return unmatched_symbol_;
+  }
+
+ private:
+  // Inner key packs (core, fn) so per-core spans never merge across cores
+  // (two cores' TSC regions for one item may interleave arbitrarily).
+  static std::uint64_t inner_key(std::uint32_t core, SymbolId fn) {
+    return (static_cast<std::uint64_t>(core) << 32) | fn;
+  }
+
+  std::unordered_map<ItemId, std::unordered_map<std::uint64_t, BucketStat>>
+      buckets_;
+  std::vector<ItemWindow> windows_;
+  std::uint64_t total_samples_ = 0;
+  std::uint64_t unmatched_item_ = 0;
+  std::uint64_t unmatched_symbol_ = 0;
+};
+
+} // namespace fluxtrace::core

@@ -1,0 +1,50 @@
+#include "fluxtrace/core/tracediff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+namespace fluxtrace::core {
+
+TraceDiff diff_traces(const TraceTable& a, const TraceTable& b) {
+  TraceDiff out;
+
+  const std::vector<ItemId> items_a = a.items();
+  const std::vector<ItemId> items_b = b.items();
+  std::vector<ItemId> matched;
+  std::set_intersection(items_a.begin(), items_a.end(), items_b.begin(),
+                        items_b.end(), std::back_inserter(matched));
+  out.matched_items = matched.size();
+  out.only_in_a = items_a.size() - matched.size();
+  out.only_in_b = items_b.size() - matched.size();
+  if (matched.empty()) return out;
+
+  // Union of functions seen for matched items in either run.
+  std::set<SymbolId> fns;
+  for (const ItemId item : matched) {
+    for (const SymbolId fn : a.functions(item)) fns.insert(fn);
+    for (const SymbolId fn : b.functions(item)) fns.insert(fn);
+  }
+
+  for (const SymbolId fn : fns) {
+    FnDelta d;
+    d.fn = fn;
+    d.items = matched.size();
+    double sa = 0, sb = 0;
+    for (const ItemId item : matched) {
+      sa += static_cast<double>(a.elapsed(item, fn));
+      sb += static_cast<double>(b.elapsed(item, fn));
+    }
+    d.mean_a = sa / static_cast<double>(matched.size());
+    d.mean_b = sb / static_cast<double>(matched.size());
+    out.functions.push_back(d);
+  }
+  std::sort(out.functions.begin(), out.functions.end(),
+            [](const FnDelta& x, const FnDelta& y) {
+              return std::abs(x.delta()) > std::abs(y.delta());
+            });
+  return out;
+}
+
+} // namespace fluxtrace::core

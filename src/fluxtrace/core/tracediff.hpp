@@ -1,0 +1,49 @@
+// A/B comparison of two traces — the workflow for contention-style
+// diagnoses: trace the same workload under two conditions (alone vs
+// co-scheduled, before vs after a change) and ask which functions'
+// per-item times moved. Items are matched by id; functions are compared
+// by their mean elapsed across matched items.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/core/trace_table.hpp"
+
+namespace fluxtrace::core {
+
+struct FnDelta {
+  SymbolId fn = kInvalidSymbol;
+  double mean_a = 0.0; ///< cycles, mean over matched items (A run)
+  double mean_b = 0.0; ///< cycles, mean over matched items (B run)
+  std::uint64_t items = 0;
+
+  /// Relative change B vs A; 0 when A has no time.
+  [[nodiscard]] double ratio() const {
+    return mean_a > 0.0 ? mean_b / mean_a : 0.0;
+  }
+  [[nodiscard]] double delta() const { return mean_b - mean_a; }
+};
+
+struct TraceDiff {
+  std::vector<FnDelta> functions; ///< sorted by |delta| descending
+  std::uint64_t matched_items = 0;
+  std::uint64_t only_in_a = 0;
+  std::uint64_t only_in_b = 0;
+
+  [[nodiscard]] const FnDelta* find(SymbolId fn) const {
+    for (const FnDelta& d : functions) {
+      if (d.fn == fn) return &d;
+    }
+    return nullptr;
+  }
+};
+
+/// Compare two integrated traces of the same item stream. Only items
+/// present in both tables contribute; per-function means are taken over
+/// the matched set (an item without samples for a function counts as 0,
+/// so "function disappeared" shows up as a drop).
+[[nodiscard]] TraceDiff diff_traces(const TraceTable& a, const TraceTable& b);
+
+} // namespace fluxtrace::core

@@ -1,0 +1,39 @@
+// Count-based work estimation. The first/last-sample span (§III-D step 3)
+// measures how long a function's samples *spread* — which equals its
+// elapsed time under run-to-completion, but under preemption
+// (timer-switching) or with a pooled event like cache misses the right
+// reading is the *count*: n samples of an event with reset value R ≈ n×R
+// events attributable to {f, item} (the §V-D argument, applied to uops:
+// n×R µops ≈ the function's retired work for the item).
+#pragma once
+
+#include <cstdint>
+
+#include "fluxtrace/base/time.hpp"
+#include "fluxtrace/core/trace_table.hpp"
+
+namespace fluxtrace::core {
+
+struct WorkEstimator {
+  std::uint64_t reset = 8000;  ///< the run's PEBS reset value
+  CpuSpec spec{};              ///< for event→time conversion (uops events)
+
+  /// Events attributed to {item, fn}: samples × R.
+  [[nodiscard]] std::uint64_t events(const TraceTable& t, ItemId item,
+                                     SymbolId fn) const {
+    return t.sample_count(item, fn) * reset;
+  }
+
+  /// Retired-work time estimate, valid when the sampled event is
+  /// UOPS_RETIRED: (samples × R) µops at the base retirement rate.
+  [[nodiscard]] Tsc work_cycles(const TraceTable& t, ItemId item,
+                                SymbolId fn) const {
+    return spec.uop_cycles(events(t, item, fn));
+  }
+  [[nodiscard]] double work_us(const TraceTable& t, ItemId item,
+                               SymbolId fn) const {
+    return spec.us(work_cycles(t, item, fn));
+  }
+};
+
+} // namespace fluxtrace::core

@@ -1,0 +1,182 @@
+#include "fluxtrace/db/btree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxtrace::db {
+
+BTree::BTree(std::uint32_t order) : order_(order) {
+  assert(order_ >= 3 && "order must allow a meaningful split");
+  root_ = std::make_unique<Node>();
+}
+
+BTree::FindResult BTree::find(std::uint64_t key) const {
+  FindResult res;
+  const Node* n = root_.get();
+  for (;;) {
+    ++res.nodes_visited;
+    if (n->leaf) {
+      const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+      if (it != n->keys.end() && *it == key) {
+        res.value = n->values[static_cast<std::size_t>(it - n->keys.begin())];
+      }
+      return res;
+    }
+    const auto it = std::upper_bound(n->keys.begin(), n->keys.end(), key);
+    n = n->children[static_cast<std::size_t>(it - n->keys.begin())].get();
+  }
+}
+
+BTree::ScanResult BTree::scan(std::uint64_t from, std::size_t limit) const {
+  ScanResult res;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    ++res.nodes_visited;
+    const auto it = std::upper_bound(n->keys.begin(), n->keys.end(), from);
+    n = n->children[static_cast<std::size_t>(it - n->keys.begin())].get();
+  }
+  // Walk the leaf chain.
+  auto it = std::lower_bound(n->keys.begin(), n->keys.end(), from);
+  std::size_t idx = static_cast<std::size_t>(it - n->keys.begin());
+  while (n != nullptr && res.rows.size() < limit) {
+    ++res.nodes_visited;
+    for (; idx < n->keys.size() && res.rows.size() < limit; ++idx) {
+      res.rows.emplace_back(n->keys[idx], n->values[idx]);
+    }
+    n = n->next;
+    idx = 0;
+  }
+  return res;
+}
+
+std::optional<BTree::SplitOut> BTree::insert_rec(Node* node,
+                                                 std::uint64_t key,
+                                                 std::uint64_t value,
+                                                 InsertResult& res) {
+  ++res.nodes_visited;
+  if (node->leaf) {
+    const auto it =
+        std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    const auto pos = static_cast<std::size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == key) {
+      return std::nullopt; // duplicate: res.inserted stays false
+    }
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + static_cast<std::ptrdiff_t>(pos),
+                        value);
+    res.inserted = true;
+    ++size_;
+
+    if (node->keys.size() <= order_) return std::nullopt;
+
+    // Leaf split: right half moves to a new node; separator = first key
+    // of the right node (B+ tree convention).
+    ++res.splits;
+    ++total_splits_;
+    const std::size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>();
+    right->leaf = true;
+    right->keys.assign(node->keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                       node->keys.end());
+    right->values.assign(
+        node->values.begin() + static_cast<std::ptrdiff_t>(mid),
+        node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    return SplitOut{right->keys.front(), std::move(right)};
+  }
+
+  const auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+  const auto child_idx = static_cast<std::size_t>(it - node->keys.begin());
+  auto split = insert_rec(node->children[child_idx].get(), key, value, res);
+  if (!split.has_value()) return std::nullopt;
+
+  node->keys.insert(node->keys.begin() + static_cast<std::ptrdiff_t>(child_idx),
+                    split->sep_key);
+  node->children.insert(
+      node->children.begin() + static_cast<std::ptrdiff_t>(child_idx) + 1,
+      std::move(split->right));
+
+  if (node->keys.size() <= order_) return std::nullopt;
+
+  // Internal split: the middle key moves UP (not copied right).
+  ++res.splits;
+  ++total_splits_;
+  const std::size_t mid = node->keys.size() / 2;
+  const std::uint64_t up = node->keys[mid];
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  right->keys.assign(node->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                     node->keys.end());
+  for (std::size_t i = mid + 1; i < node->children.size(); ++i) {
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  return SplitOut{up, std::move(right)};
+}
+
+BTree::InsertResult BTree::insert(std::uint64_t key, std::uint64_t value) {
+  InsertResult res;
+  auto split = insert_rec(root_.get(), key, value, res);
+  if (split.has_value()) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(split->sep_key);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+  return res;
+}
+
+bool BTree::check_rec(const Node* node, std::uint32_t depth,
+                      std::optional<std::uint64_t> lo,
+                      std::optional<std::uint64_t> hi) const {
+  if (!std::is_sorted(node->keys.begin(), node->keys.end())) return false;
+  if (std::adjacent_find(node->keys.begin(), node->keys.end()) !=
+      node->keys.end()) {
+    return false; // duplicate key inside a node
+  }
+  for (const std::uint64_t k : node->keys) {
+    if (lo.has_value() && k < *lo) return false;
+    if (hi.has_value() && k >= *hi) return false;
+  }
+  if (node->keys.size() > order_) return false;
+
+  if (node->leaf) {
+    if (node->values.size() != node->keys.size()) return false;
+    return depth + 1 == height_; // uniform leaf depth
+  }
+  if (node->children.size() != node->keys.size() + 1) return false;
+  for (std::size_t i = 0; i < node->children.size(); ++i) {
+    const auto clo = i == 0 ? lo : std::optional<std::uint64_t>(node->keys[i - 1]);
+    const auto chi =
+        i == node->keys.size() ? hi : std::optional<std::uint64_t>(node->keys[i]);
+    if (!check_rec(node->children[i].get(), depth + 1, clo, chi)) return false;
+  }
+  return true;
+}
+
+bool BTree::check_invariants() const {
+  if (!check_rec(root_.get(), 0, std::nullopt, std::nullopt)) return false;
+  // Leaf chain yields all keys in ascending order.
+  const Node* n = root_.get();
+  while (!n->leaf) n = n->children.front().get();
+  std::size_t seen = 0;
+  std::optional<std::uint64_t> prev;
+  while (n != nullptr) {
+    for (const std::uint64_t k : n->keys) {
+      if (prev.has_value() && k <= *prev) return false;
+      prev = k;
+      ++seen;
+    }
+    n = n->next;
+  }
+  return seen == size_;
+}
+
+} // namespace fluxtrace::db

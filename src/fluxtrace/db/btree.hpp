@@ -1,0 +1,83 @@
+// In-memory B+ tree — the index substrate of the mini database engine.
+// The paper's primary motivation (§I, §II-A) is database fluctuation:
+// identical queries taking wildly different times depending on
+// non-functional state. The tree reports per-operation structural costs
+// (nodes visited, splits performed) so the simulated executor can charge
+// exactly the work a query caused — splits are one of the fluctuation
+// sources the DB case study exposes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace fluxtrace::db {
+
+class BTree {
+ public:
+  /// `order` = max keys per node (fan-out − 1 for internals).
+  explicit BTree(std::uint32_t order = 64);
+
+  struct InsertResult {
+    bool inserted = false; ///< false when the key already existed
+    std::uint32_t nodes_visited = 0;
+    std::uint32_t splits = 0;
+  };
+  InsertResult insert(std::uint64_t key, std::uint64_t value);
+
+  struct FindResult {
+    std::optional<std::uint64_t> value;
+    std::uint32_t nodes_visited = 0;
+  };
+  [[nodiscard]] FindResult find(std::uint64_t key) const;
+
+  struct ScanResult {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> rows;
+    std::uint32_t nodes_visited = 0; ///< descent + leaf-chain hops
+  };
+  /// Up to `limit` rows with key >= from, in key order.
+  [[nodiscard]] ScanResult scan(std::uint64_t from, std::size_t limit) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+  [[nodiscard]] std::uint64_t total_splits() const { return total_splits_; }
+
+  /// Full structural validation (sorted keys, fill bounds, uniform leaf
+  /// depth, correct separators, intact leaf chain). For tests.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<std::uint64_t> keys;
+    // Internal: children.size() == keys.size() + 1.
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf payloads, parallel to keys.
+    std::vector<std::uint64_t> values;
+    Node* next = nullptr; ///< leaf chain
+  };
+
+  struct SplitOut {
+    std::uint64_t sep_key = 0;
+    std::unique_ptr<Node> right;
+  };
+
+  /// Insert into subtree; returns a split description when `node`
+  /// overflowed and divided.
+  std::optional<SplitOut> insert_rec(Node* node, std::uint64_t key,
+                                     std::uint64_t value, InsertResult& res);
+
+  bool check_rec(const Node* node, std::uint32_t depth,
+                 std::optional<std::uint64_t> lo,
+                 std::optional<std::uint64_t> hi) const;
+
+  std::uint32_t order_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  std::uint32_t height_ = 1;
+  std::uint64_t total_splits_ = 0;
+};
+
+} // namespace fluxtrace::db

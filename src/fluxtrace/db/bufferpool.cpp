@@ -1,0 +1,56 @@
+#include "fluxtrace/db/bufferpool.hpp"
+
+#include <cassert>
+
+namespace fluxtrace::db {
+
+BufferPool::BufferPool(std::size_t frames) : capacity_(frames) {
+  assert(capacity_ > 0);
+}
+
+BufferPool::FetchResult BufferPool::fetch(std::uint64_t page,
+                                          bool mark_dirty) {
+  FetchResult res;
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    res.hit = true;
+    ++hits_;
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos); // move to MRU
+    it->second.dirty |= mark_dirty;
+    return res;
+  }
+
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    const std::uint64_t victim = lru_.front();
+    lru_.pop_front();
+    auto vit = frames_.find(victim);
+    if (vit->second.dirty) {
+      res.evicted_dirty = true;
+      ++writebacks_;
+    }
+    frames_.erase(vit);
+  }
+  lru_.push_back(page);
+  frames_.emplace(page, Frame{std::prev(lru_.end()), mark_dirty});
+  return res;
+}
+
+bool BufferPool::dirty(std::uint64_t page) const {
+  auto it = frames_.find(page);
+  return it != frames_.end() && it->second.dirty;
+}
+
+std::size_t BufferPool::flush_all() {
+  std::size_t n = 0;
+  for (auto& [page, frame] : frames_) {
+    if (frame.dirty) {
+      frame.dirty = false;
+      ++n;
+      ++writebacks_;
+    }
+  }
+  return n;
+}
+
+} // namespace fluxtrace::db

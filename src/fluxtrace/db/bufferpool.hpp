@@ -1,0 +1,55 @@
+// Buffer pool — the database's page cache, and the main source of the
+// §IV-B-style fluctuation in the DB case study: the same point query is
+// fast while its heap page is pooled and pays a storage read once a scan
+// has evicted it. LRU over a fixed set of frames, with dirty-page
+// write-back accounting (an eviction of a dirty page costs a write before
+// the read).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace fluxtrace::db {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t frames);
+
+  struct FetchResult {
+    bool hit = false;
+    bool evicted_dirty = false; ///< eviction required a write-back
+  };
+
+  /// Bring `page` into the pool (LRU-touch it) and optionally dirty it.
+  FetchResult fetch(std::uint64_t page, bool mark_dirty = false);
+
+  [[nodiscard]] bool contains(std::uint64_t page) const {
+    return frames_.count(page) > 0;
+  }
+  [[nodiscard]] bool dirty(std::uint64_t page) const;
+
+  /// Write every dirty page back (checkpoint); returns how many.
+  std::size_t flush_all();
+
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t writebacks() const { return writebacks_; }
+
+ private:
+  struct Frame {
+    std::list<std::uint64_t>::iterator lru_pos;
+    bool dirty = false;
+  };
+
+  std::size_t capacity_;
+  std::list<std::uint64_t> lru_; ///< front = LRU victim, back = MRU
+  std::unordered_map<std::uint64_t, Frame> frames_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+} // namespace fluxtrace::db

@@ -1,0 +1,70 @@
+#include "fluxtrace/db/table.hpp"
+
+#include <cassert>
+
+namespace fluxtrace::db {
+
+Table::Table(BufferPool& pool, TableConfig cfg) : pool_(pool), cfg_(cfg) {
+  assert(cfg_.rows_per_page > 0 && cfg_.rows_per_page <= 256 &&
+         "slot fits in 8 bits of the packed row locator");
+}
+
+void Table::touch_page(std::uint64_t page, bool dirty, OpStats& st) {
+  const BufferPool::FetchResult r = pool_.fetch(page, dirty);
+  if (r.hit) {
+    ++st.page_hits;
+  } else {
+    ++st.page_misses;
+  }
+  if (r.evicted_dirty) ++st.dirty_evictions;
+}
+
+OpStats Table::insert(std::uint64_t key) {
+  OpStats st;
+  const std::uint64_t page = cfg_.first_page + next_page_offset_;
+  const BTree::InsertResult ir =
+      index_.insert(key, pack(RowLoc{page, next_slot_}));
+  st.index_nodes = ir.nodes_visited;
+  st.index_splits = ir.splits;
+  if (!ir.inserted) {
+    st.found = true; // duplicate key: nothing written
+    return st;
+  }
+  touch_page(page, /*dirty=*/true, st);
+  st.rows = 1;
+  if (++next_slot_ >= cfg_.rows_per_page) {
+    next_slot_ = 0;
+    ++next_page_offset_;
+  }
+  return st;
+}
+
+OpStats Table::point(std::uint64_t key) {
+  OpStats st;
+  const BTree::FindResult fr = index_.find(key);
+  st.index_nodes = fr.nodes_visited;
+  if (!fr.value.has_value()) return st;
+  st.found = true;
+  touch_page(unpack(*fr.value).page, /*dirty=*/false, st);
+  st.rows = 1;
+  return st;
+}
+
+OpStats Table::range(std::uint64_t from, std::size_t limit) {
+  OpStats st;
+  const BTree::ScanResult sr = index_.scan(from, limit);
+  st.index_nodes = sr.nodes_visited;
+  st.found = !sr.rows.empty();
+  std::uint64_t last_page = ~std::uint64_t{0};
+  for (const auto& [key, packed] : sr.rows) {
+    const std::uint64_t page = unpack(packed).page;
+    if (page != last_page) { // consecutive rows share pages
+      touch_page(page, /*dirty=*/false, st);
+      last_page = page;
+    }
+    ++st.rows;
+  }
+  return st;
+}
+
+} // namespace fluxtrace::db

@@ -1,0 +1,80 @@
+// Table = heap pages of fixed-size rows + a primary B+ tree index mapping
+// key → (page, slot), all accessed through the buffer pool. Every
+// operation reports exactly the structural work it caused — index nodes
+// visited, page hits/misses, dirty evictions, splits — which the
+// simulated executor converts into time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fluxtrace/db/btree.hpp"
+#include "fluxtrace/db/bufferpool.hpp"
+
+namespace fluxtrace::db {
+
+struct TableConfig {
+  std::uint32_t rows_per_page = 32;
+  std::uint64_t first_page = 1000; ///< heap page-id namespace
+};
+
+/// Per-operation structural cost; the executor's billing record.
+struct OpStats {
+  std::uint32_t index_nodes = 0;
+  std::uint32_t page_hits = 0;
+  std::uint32_t page_misses = 0;
+  std::uint32_t dirty_evictions = 0;
+  std::uint32_t rows = 0;        ///< rows touched/returned
+  std::uint32_t index_splits = 0;
+  bool found = false;
+
+  void merge(const OpStats& o) {
+    index_nodes += o.index_nodes;
+    page_hits += o.page_hits;
+    page_misses += o.page_misses;
+    dirty_evictions += o.dirty_evictions;
+    rows += o.rows;
+    index_splits += o.index_splits;
+  }
+};
+
+class Table {
+ public:
+  Table(BufferPool& pool, TableConfig cfg = {});
+
+  /// Insert a row; no-op (found=true) when the key exists.
+  OpStats insert(std::uint64_t key);
+
+  /// Point lookup by primary key.
+  OpStats point(std::uint64_t key);
+
+  /// Range scan: up to `limit` rows with key >= from, fetching each row's
+  /// heap page.
+  OpStats range(std::uint64_t from, std::size_t limit);
+
+  [[nodiscard]] std::size_t rows() const { return index_.size(); }
+  [[nodiscard]] const BTree& index() const { return index_; }
+  [[nodiscard]] std::uint64_t heap_pages() const { return next_page_offset_ + 1; }
+
+ private:
+  struct RowLoc {
+    std::uint64_t page;
+    std::uint32_t slot;
+  };
+  static std::uint64_t pack(const RowLoc& loc) {
+    return (loc.page << 8) | loc.slot;
+  }
+  [[nodiscard]] RowLoc unpack(std::uint64_t v) const {
+    return RowLoc{v >> 8, static_cast<std::uint32_t>(v & 0xff)};
+  }
+
+  void touch_page(std::uint64_t page, bool dirty, OpStats& st);
+
+  BufferPool& pool_;
+  TableConfig cfg_;
+  BTree index_;
+  std::uint64_t next_page_offset_ = 0;
+  std::uint32_t next_slot_ = 0;
+};
+
+} // namespace fluxtrace::db

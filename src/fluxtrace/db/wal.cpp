@@ -1,0 +1,33 @@
+#include "fluxtrace/db/wal.hpp"
+
+#include <cassert>
+
+namespace fluxtrace::db {
+
+Wal::Wal(std::size_t group_size) : group_size_(group_size) {
+  assert(group_size_ > 0);
+}
+
+Wal::AppendResult Wal::append() {
+  ++records_;
+  ++pending_;
+  AppendResult res;
+  if (pending_ >= group_size_) {
+    res.flushed = true;
+    res.records_flushed = pending_;
+    pending_ = 0;
+    ++flushes_;
+  }
+  return res;
+}
+
+std::size_t Wal::force_flush() {
+  const std::size_t n = pending_;
+  if (n > 0) {
+    pending_ = 0;
+    ++flushes_;
+  }
+  return n;
+}
+
+} // namespace fluxtrace::db

@@ -1,0 +1,36 @@
+// Write-ahead log with group commit — the third fluctuation source in the
+// DB case study: most inserts only append to the in-memory log buffer,
+// but the insert that fills it pays the whole group's flush (the classic
+// cause of periodic latency spikes that look random at the query level).
+#pragma once
+
+#include <cstdint>
+
+namespace fluxtrace::db {
+
+class Wal {
+ public:
+  /// `group_size` records are buffered before a flush is forced.
+  explicit Wal(std::size_t group_size = 128);
+
+  struct AppendResult {
+    bool flushed = false;          ///< this append triggered group commit
+    std::size_t records_flushed = 0;
+  };
+  AppendResult append();
+
+  /// Commit whatever is pending (transaction boundary / shutdown).
+  std::size_t force_flush();
+
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+  [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+
+ private:
+  std::size_t group_size_;
+  std::size_t pending_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+} // namespace fluxtrace::db

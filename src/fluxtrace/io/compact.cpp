@@ -1,0 +1,154 @@
+#include "fluxtrace/io/compact.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace fluxtrace::io {
+
+namespace {
+
+void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = is.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw TraceIoError("unexpected end of compact trace");
+    }
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return v;
+    shift += 7;
+    if (shift >= 64) throw TraceIoError("varint overflow");
+  }
+}
+
+template <typename T, typename TscOf>
+std::map<std::uint32_t, std::vector<const T*>> group_sorted(
+    const std::vector<T>& recs, TscOf tsc_of) {
+  std::map<std::uint32_t, std::vector<const T*>> by_core;
+  for (const T& r : recs) by_core[r.core].push_back(&r);
+  for (auto& [core, v] : by_core) {
+    std::stable_sort(v.begin(), v.end(), [&](const T* a, const T* b) {
+      return tsc_of(*a) < tsc_of(*b);
+    });
+  }
+  return by_core;
+}
+
+} // namespace
+
+void write_compact(std::ostream& os, const TraceData& data) {
+  put_varint(os, kCompactMagic);
+  put_varint(os, kCompactVersion);
+
+  // --- markers: per core, delta-encoded timestamps -----------------------
+  auto markers = group_sorted(data.markers,
+                              [](const Marker& m) { return m.tsc; });
+  put_varint(os, markers.size());
+  for (const auto& [core, ms] : markers) {
+    put_varint(os, core);
+    put_varint(os, ms.size());
+    Tsc prev = 0;
+    for (const Marker* m : ms) {
+      put_varint(os, m->tsc - prev);
+      prev = m->tsc;
+      put_varint(os, m->item);
+      put_varint(os, static_cast<std::uint64_t>(m->kind));
+    }
+  }
+
+  // --- samples: per core, delta timestamps + delta ips -------------------
+  auto samples = group_sorted(data.samples,
+                              [](const PebsSample& s) { return s.tsc; });
+  put_varint(os, samples.size());
+  for (const auto& [core, ss] : samples) {
+    put_varint(os, core);
+    put_varint(os, ss.size());
+    Tsc prev_t = 0;
+    std::uint64_t prev_ip = 0;
+    for (const PebsSample* s : ss) {
+      put_varint(os, s->tsc - prev_t);
+      prev_t = s->tsc;
+      // Zigzag the ip delta: consecutive samples usually sit nearby.
+      const std::int64_t d =
+          static_cast<std::int64_t>(s->ip) - static_cast<std::int64_t>(prev_ip);
+      put_varint(os, (static_cast<std::uint64_t>(d) << 1) ^
+                         static_cast<std::uint64_t>(d >> 63));
+      prev_ip = s->ip;
+      put_varint(os, s->regs.get(kItemIdReg) + 1); // kNoItem(-1) → 0
+    }
+  }
+  if (!os.good()) throw TraceIoError("stream failure writing compact trace");
+}
+
+TraceData read_compact(std::istream& is) {
+  if (get_varint(is) != kCompactMagic) {
+    throw TraceIoError("not a compact fluxtrace file (bad magic)");
+  }
+  const std::uint64_t version = get_varint(is);
+  if (version != kCompactVersion) {
+    throw TraceIoError("unsupported compact version " +
+                       std::to_string(version));
+  }
+
+  TraceData out;
+  const std::uint64_t marker_cores = get_varint(is);
+  for (std::uint64_t c = 0; c < marker_cores; ++c) {
+    const auto core = static_cast<std::uint32_t>(get_varint(is));
+    const std::uint64_t n = get_varint(is);
+    Tsc t = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      t += get_varint(is);
+      Marker m;
+      m.tsc = t;
+      m.core = core;
+      m.item = get_varint(is);
+      const std::uint64_t kind = get_varint(is);
+      if (kind > static_cast<std::uint64_t>(MarkerKind::Leave)) {
+        throw TraceIoError("corrupt compact marker kind");
+      }
+      m.kind = static_cast<MarkerKind>(kind);
+      out.markers.push_back(m);
+    }
+  }
+
+  const std::uint64_t sample_cores = get_varint(is);
+  for (std::uint64_t c = 0; c < sample_cores; ++c) {
+    const auto core = static_cast<std::uint32_t>(get_varint(is));
+    const std::uint64_t n = get_varint(is);
+    Tsc t = 0;
+    std::uint64_t ip = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      t += get_varint(is);
+      const std::uint64_t zz = get_varint(is);
+      const std::int64_t d = static_cast<std::int64_t>(zz >> 1) ^
+                             -static_cast<std::int64_t>(zz & 1);
+      ip = static_cast<std::uint64_t>(static_cast<std::int64_t>(ip) + d);
+      PebsSample s;
+      s.tsc = t;
+      s.core = core;
+      s.ip = ip;
+      s.regs.set(kItemIdReg, get_varint(is) - 1);
+      out.samples.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::uint64_t compact_size(const TraceData& data) {
+  std::ostringstream os;
+  write_compact(os, data);
+  return os.str().size();
+}
+
+} // namespace fluxtrace::io

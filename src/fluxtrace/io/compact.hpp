@@ -1,0 +1,35 @@
+// Compact trace encoding ("FLXZ"): the production format for the raw
+// stream whose volume §IV-C3 worries about. Exploits the streams'
+// structure instead of storing fixed 96-byte records:
+//
+//   * records sorted by (core, time); timestamps delta-encoded;
+//   * all integers LEB128 varints (a 1 µs sample gap is 2 bytes, not 8);
+//   * GPRs reduced to the registers a consumer can use (R13, the §V-A
+//     item-id register) — the full file format keeps everything, this one
+//     keeps what analyses read.
+//
+// Typical effect: ~6-10x smaller than the "FLXT" container for real
+// streams (measured in the round-trip tests). Lossy only in the GPRs
+// other than R13 (documented; choose write_trace() when they matter).
+#pragma once
+
+#include <iosfwd>
+
+#include "fluxtrace/io/trace_file.hpp"
+
+namespace fluxtrace::io {
+
+inline constexpr std::uint32_t kCompactMagic = 0x5a584c46; // "FLXZ"
+inline constexpr std::uint32_t kCompactVersion = 1;
+
+/// Serialize compactly. Records are re-sorted internally by (core, tsc);
+/// read_compact returns them in that order.
+void write_compact(std::ostream& os, const TraceData& data);
+
+/// Parse; throws TraceIoError on malformed input.
+[[nodiscard]] TraceData read_compact(std::istream& is);
+
+/// Size in bytes write_compact would produce (for volume accounting).
+[[nodiscard]] std::uint64_t compact_size(const TraceData& data);
+
+} // namespace fluxtrace::io

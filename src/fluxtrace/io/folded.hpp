@@ -1,0 +1,29 @@
+// Folded-stack export, the interchange format of Brendan Gregg's
+// flamegraph tools: one line per (data-item, function) bucket,
+//
+//     item_<id>;<function> <samples>
+//
+// so a recorded per-data-item trace can be rendered as a flame graph
+// whose first level is the data-item — fluctuating items literally stick
+// out of the picture.
+#pragma once
+
+#include <iosfwd>
+
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/core/trace_table.hpp"
+
+namespace fluxtrace::io {
+
+/// Write the table's buckets in folded form. `min_samples` suppresses
+/// single-sample buckets (which a trace cannot time anyway) when > 1.
+void write_folded(std::ostream& os, const core::TraceTable& table,
+                  const SymbolTable& symtab, std::uint64_t min_samples = 1);
+
+/// Write the integrated per-item, per-function table as CSV
+/// (item, function, samples, elapsed_us, window_us) — the plotting-ready
+/// form of the paper's Fig. 8/9 data.
+void write_table_csv(std::ostream& os, const core::TraceTable& table,
+                     const SymbolTable& symtab, const CpuSpec& spec);
+
+} // namespace fluxtrace::io

@@ -1,0 +1,61 @@
+#include "fluxtrace/io/symbols_file.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fluxtrace::io {
+
+void write_symbols(std::ostream& os, const SymbolTable& symtab) {
+  for (std::size_t i = 0; i < symtab.size(); ++i) {
+    const Symbol& s = symtab[static_cast<SymbolId>(i)];
+    os << std::hex << std::setw(16) << std::setfill('0') << s.lo << ' '
+       << std::setw(16) << s.size() << " T " << s.name << '\n';
+  }
+  if (!os.good()) throw TraceIoError("stream failure while writing symbols");
+}
+
+SymbolTable read_symbols(std::istream& is) {
+  SymbolTable out;
+  std::string line;
+  std::size_t lineno = 0;
+  std::uint64_t prev_hi = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t lo = 0, size = 0;
+    char type = 0;
+    std::string name;
+    ls >> std::hex >> lo >> size >> type;
+    std::getline(ls, name);
+    // Trim the single separating space.
+    if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+    if (ls.fail() || type != 'T' || name.empty() || size == 0) {
+      throw TraceIoError("malformed symbol line " + std::to_string(lineno) +
+                         ": '" + line + "'");
+    }
+    if (lo < prev_hi) {
+      throw TraceIoError("symbols out of order or overlapping at line " +
+                         std::to_string(lineno));
+    }
+    out.add_range(name, lo, lo + size);
+    prev_hi = lo + size;
+  }
+  return out;
+}
+
+void save_symbols(const std::string& path, const SymbolTable& symtab) {
+  std::ofstream os(path);
+  if (!os) throw TraceIoError("cannot open for writing: " + path);
+  write_symbols(os, symtab);
+}
+
+SymbolTable load_symbols(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw TraceIoError("cannot open for reading: " + path);
+  return read_symbols(is);
+}
+
+} // namespace fluxtrace::io

@@ -1,0 +1,25 @@
+// Symbol-table persistence, in an nm(1)-like text format:
+//
+//     <lo-hex> <size-hex> T <name>
+//
+// one line per function, sorted by address. Integration on an analysis
+// host needs exactly this (paper §III-D step 2: "symbols are the names of
+// functions and the addresses of their beginning and ending points that
+// are obtained from the binary of the target program").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/io/trace_file.hpp" // TraceIoError
+
+namespace fluxtrace::io {
+
+void write_symbols(std::ostream& os, const SymbolTable& symtab);
+[[nodiscard]] SymbolTable read_symbols(std::istream& is);
+
+void save_symbols(const std::string& path, const SymbolTable& symtab);
+[[nodiscard]] SymbolTable load_symbols(const std::string& path);
+
+} // namespace fluxtrace::io

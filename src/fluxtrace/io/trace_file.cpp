@@ -1,0 +1,143 @@
+#include "fluxtrace/io/trace_file.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "fluxtrace/report/csv.hpp"
+
+namespace fluxtrace::io {
+
+namespace {
+
+// Explicit little-endian encoding so files are host-independent.
+void put_u8(std::ostream& os, std::uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(os, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(os, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint8_t get_u8(std::istream& is) {
+  const int c = is.get();
+  if (c == std::char_traits<char>::eof()) {
+    throw TraceIoError("unexpected end of trace file");
+  }
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(get_u8(is)) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(get_u8(is)) << (8 * i);
+  return v;
+}
+
+} // namespace
+
+void write_trace(std::ostream& os, const TraceData& data) {
+  put_u32(os, kTraceMagic);
+  put_u32(os, kTraceVersion);
+  put_u64(os, data.markers.size());
+  put_u64(os, data.samples.size());
+
+  for (const Marker& m : data.markers) {
+    put_u64(os, m.tsc);
+    put_u64(os, m.item);
+    put_u32(os, m.core);
+    put_u8(os, static_cast<std::uint8_t>(m.kind));
+  }
+  for (const PebsSample& s : data.samples) {
+    put_u64(os, s.tsc);
+    put_u64(os, s.ip);
+    put_u32(os, s.core);
+    for (const std::uint64_t r : s.regs.v) put_u64(os, r);
+  }
+  if (!os.good()) throw TraceIoError("stream failure while writing trace");
+}
+
+TraceData read_trace(std::istream& is) {
+  if (get_u32(is) != kTraceMagic) {
+    throw TraceIoError("not a fluxtrace file (bad magic)");
+  }
+  const std::uint32_t version = get_u32(is);
+  if (version != kTraceVersion) {
+    throw TraceIoError("unsupported trace version " + std::to_string(version));
+  }
+  const std::uint64_t n_markers = get_u64(is);
+  const std::uint64_t n_samples = get_u64(is);
+
+  // Sanity bound: reject sizes that cannot fit in the stream (protects
+  // against allocating petabytes on a corrupt header).
+  constexpr std::uint64_t kMaxRecords = 1ull << 32;
+  if (n_markers > kMaxRecords || n_samples > kMaxRecords) {
+    throw TraceIoError("corrupt trace header (record count too large)");
+  }
+
+  TraceData data;
+  data.markers.reserve(n_markers);
+  for (std::uint64_t i = 0; i < n_markers; ++i) {
+    Marker m;
+    m.tsc = get_u64(is);
+    m.item = get_u64(is);
+    m.core = get_u32(is);
+    const std::uint8_t kind = get_u8(is);
+    if (kind > static_cast<std::uint8_t>(MarkerKind::Leave)) {
+      throw TraceIoError("corrupt marker record (bad kind)");
+    }
+    m.kind = static_cast<MarkerKind>(kind);
+    data.markers.push_back(m);
+  }
+  data.samples.reserve(n_samples);
+  for (std::uint64_t i = 0; i < n_samples; ++i) {
+    PebsSample s;
+    s.tsc = get_u64(is);
+    s.ip = get_u64(is);
+    s.core = get_u32(is);
+    for (std::uint64_t& r : s.regs.v) r = get_u64(is);
+    data.samples.push_back(s);
+  }
+  return data;
+}
+
+void save_trace(const std::string& path, const TraceData& data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw TraceIoError("cannot open for writing: " + path);
+  write_trace(os, data);
+}
+
+TraceData load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw TraceIoError("cannot open for reading: " + path);
+  return read_trace(is);
+}
+
+void write_markers_csv(std::ostream& os, const std::vector<Marker>& markers) {
+  report::CsvWriter w(os);
+  w.header({"tsc", "item", "core", "kind"});
+  for (const Marker& m : markers) {
+    w.row({std::to_string(m.tsc), std::to_string(m.item),
+           std::to_string(m.core),
+           m.kind == MarkerKind::Enter ? "enter" : "leave"});
+  }
+}
+
+void write_samples_csv(std::ostream& os, const SampleVec& samples) {
+  report::CsvWriter w(os);
+  w.header({"tsc", "ip", "core", "r13"});
+  for (const PebsSample& s : samples) {
+    w.row({std::to_string(s.tsc), std::to_string(s.ip),
+           std::to_string(s.core), std::to_string(s.regs.get(Reg::R13))});
+  }
+}
+
+} // namespace fluxtrace::io

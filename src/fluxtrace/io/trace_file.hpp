@@ -1,0 +1,57 @@
+// Trace persistence. The paper's prototype dumps raw PEBS samples and the
+// marker log to SSD for later offline integration (§III-E); this module
+// gives that dump a real format:
+//
+//   * a compact little-endian binary container ("FLXT") holding the
+//     marker and sample streams, with a versioned header and per-section
+//     counts, safe to read back on any host;
+//   * CSV export of both streams for ad-hoc analysis.
+//
+// Readers validate magic/version/section sizes and report malformed input
+// via TraceIoError rather than crashing on truncated files.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/samples.hpp"
+
+namespace fluxtrace::io {
+
+class TraceIoError : public std::runtime_error {
+ public:
+  explicit TraceIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Everything one tracing session produces.
+struct TraceData {
+  std::vector<Marker> markers;
+  SampleVec samples;
+
+  friend bool operator==(const TraceData&, const TraceData&) = default;
+};
+
+inline constexpr std::uint32_t kTraceMagic = 0x54584c46; // "FLXT"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Serialize to the binary container. Throws TraceIoError on stream
+/// failure.
+void write_trace(std::ostream& os, const TraceData& data);
+
+/// Parse the binary container. Throws TraceIoError on bad magic, version
+/// mismatch, truncation, or stream failure.
+[[nodiscard]] TraceData read_trace(std::istream& is);
+
+/// File-path conveniences.
+void save_trace(const std::string& path, const TraceData& data);
+[[nodiscard]] TraceData load_trace(const std::string& path);
+
+/// CSV export: one stream per call, RFC-4180 cells, header row included.
+void write_markers_csv(std::ostream& os, const std::vector<Marker>& markers);
+void write_samples_csv(std::ostream& os, const SampleVec& samples);
+
+} // namespace fluxtrace::io

@@ -1,0 +1,24 @@
+// Packets as seen by the simulated NICs and the firewall pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "fluxtrace/base/flow.hpp"
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::net {
+
+enum class Verdict : std::uint8_t { None, Permit, Drop };
+
+struct Packet {
+  ItemId id = kNoItem;       ///< data-item id (sequence number)
+  FlowKey key{};
+  std::uint16_t len = 64;    ///< bytes on the wire
+  std::uint32_t flow_idx = 0;///< which generator flow produced it
+  Tsc wire_arrival = 0;      ///< when it reaches the receiving NIC
+  Tsc egress = 0;            ///< when the app handed it to the TX NIC
+  Verdict verdict = Verdict::None;
+};
+
+} // namespace fluxtrace::net

@@ -1,0 +1,80 @@
+// Hardware traffic tester, modelled after GNET (paper §IV-C2): sends test
+// packets one by one with a configurable gap (so DPDK never batches them),
+// collects them after they pass the firewall, and measures per-packet
+// latency in hardware. Figure 10's overhead metric — the latency increase
+// caused by tracing — is exactly this tester's measurement.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/net/nic.hpp"
+#include "fluxtrace/net/packet.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::net {
+
+struct TrafficGenConfig {
+  double inter_packet_gap_ns = 30000; ///< pacing between bursts
+  double wire_latency_ns = 500;       ///< one-way link+NIC latency
+  std::uint64_t total_packets = 100;  ///< sends stop after this many
+  /// Packets per burst (1 = the paper's one-by-one sending). Packets in a
+  /// burst go on the wire back to back, separated only by
+  /// intra_burst_gap_ns — what makes the DUT batch.
+  std::uint32_t burst_size = 1;
+  double intra_burst_gap_ns = 100.0;
+};
+
+/// The tester occupies its own core; the simulated time it spends is
+/// pacing only (it is a hardware box, not part of the system under test).
+class TrafficGen final : public sim::Task {
+ public:
+  /// `to_dut` is the NIC the device-under-test receives on; `from_dut` the
+  /// NIC it transmits on. `flows` is cycled through round-robin.
+  TrafficGen(TrafficGenConfig cfg, Nic& to_dut, Nic& from_dut,
+             std::vector<FlowKey> flows);
+
+  sim::StepStatus step(sim::Cpu& cpu) override;
+  [[nodiscard]] std::string_view name() const override { return "gnet"; }
+
+  /// One measurement per received packet.
+  struct Record {
+    ItemId id = kNoItem;
+    std::uint32_t flow_idx = 0;
+    Tsc sent = 0;     ///< when the tester put it on the wire
+    Tsc received = 0; ///< when it came back
+    [[nodiscard]] Tsc latency() const { return received - sent; }
+  };
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t received() const { return records_.size(); }
+
+  /// Tell the tester how many of its packets the DUT will drop (a
+  /// firewall's job!), so completion does not wait for them forever.
+  void expect_drops(std::uint64_t n) { expected_drops_ = n; }
+  [[nodiscard]] std::uint64_t expected_drops() const {
+    return expected_drops_;
+  }
+  [[nodiscard]] bool complete() const {
+    return sent_ >= cfg_.total_packets &&
+           received() + expected_drops_ >= sent_;
+  }
+
+ private:
+  void collect(Tsc now);
+
+  TrafficGenConfig cfg_;
+  Nic& to_dut_;
+  Nic& from_dut_;
+  std::vector<FlowKey> flows_;
+  std::vector<Record> records_;
+  std::vector<Tsc> send_times_; ///< indexed by packet id
+  std::uint64_t sent_ = 0;
+  std::uint64_t expected_drops_ = 0;
+  Tsc next_send_ = 0;
+  Tsc spec_wire_ = 0; ///< wire latency in cycles, resolved on first step
+};
+
+} // namespace fluxtrace::net

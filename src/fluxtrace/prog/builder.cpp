@@ -1,0 +1,66 @@
+#include "fluxtrace/prog/builder.hpp"
+
+#include <cassert>
+
+namespace fluxtrace::prog {
+
+ProgramBuilder& ProgramBuilder::fn(std::string_view name,
+                                   std::uint64_t code_bytes) {
+  SymbolId id;
+  if (const auto existing = symtab_.find(name); existing.has_value()) {
+    id = *existing;
+  } else {
+    id = symtab_.add(name, code_bytes);
+  }
+  sim::ExecBlock blk;
+  blk.fn = id;
+  blocks_.push_back(blk);
+  return *this;
+}
+
+sim::ExecBlock& ProgramBuilder::current() {
+  assert(!blocks_.empty() && "call fn() before block attributes");
+  return blocks_.back();
+}
+
+ProgramBuilder& ProgramBuilder::uops(std::uint64_t n) {
+  current().uops = n;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::branch_misses(std::uint64_t n) {
+  current().branch_misses = n;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::loads(std::uint64_t base, std::uint32_t count,
+                                      std::uint32_t stride) {
+  current().mem = sim::MemPattern{base, count, stride};
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::stall(Tsc cycles) {
+  current().extra_stall = cycles;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::repeat(std::uint32_t times) {
+  assert(times >= 1);
+  const std::size_t group_begin = repeat_mark_;
+  const std::size_t group_end = blocks_.size();
+  for (std::uint32_t r = 1; r < times; ++r) {
+    for (std::size_t i = group_begin; i < group_end; ++i) {
+      blocks_.push_back(blocks_[i]);
+    }
+  }
+  repeat_mark_ = blocks_.size();
+  return *this;
+}
+
+SymbolId ProgramBuilder::symbol(std::string_view name) const {
+  const auto id = symtab_.find(name);
+  assert(id.has_value() && "symbol was never used in this builder");
+  return id.value_or(kInvalidSymbol);
+}
+
+} // namespace fluxtrace::prog

@@ -1,0 +1,58 @@
+// Fluent builder for simulated programs: registers symbols and assembles
+// exec-block sequences, so toy workloads and didactic benches read like
+// code instead of block lists.
+//
+//   auto prog = ProgramBuilder(symtab)
+//                   .fn("parse").uops(3000)
+//                   .fn("lookup").uops(500).loads(0x1000, 64, 64)
+//                   .fn("respond").uops(1500).branch_misses(10)
+//                   .blocks();
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/sim/cpu.hpp"
+
+namespace fluxtrace::prog {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(SymbolTable& symtab) : symtab_(symtab) {}
+
+  /// Start a new block attributed to `name` (symbol registered on first
+  /// use; repeated names reuse the symbol).
+  ProgramBuilder& fn(std::string_view name, std::uint64_t code_bytes = 0x400);
+
+  ProgramBuilder& uops(std::uint64_t n);
+  ProgramBuilder& branch_misses(std::uint64_t n);
+  ProgramBuilder& loads(std::uint64_t base, std::uint32_t count,
+                        std::uint32_t stride = 64);
+  ProgramBuilder& stall(Tsc cycles);
+
+  /// Repeat the blocks added since the previous repeat()/begin `times`
+  /// times in total (1 = no-op).
+  ProgramBuilder& repeat(std::uint32_t times);
+
+  /// The assembled block sequence.
+  [[nodiscard]] std::vector<sim::ExecBlock> blocks() const { return blocks_; }
+
+  /// Run the whole sequence on a core.
+  void run_on(sim::Cpu& cpu) const {
+    for (const sim::ExecBlock& b : blocks_) cpu.run(b);
+  }
+
+  /// Symbol id of a previously used function name.
+  [[nodiscard]] SymbolId symbol(std::string_view name) const;
+
+ private:
+  sim::ExecBlock& current();
+
+  SymbolTable& symtab_;
+  std::vector<sim::ExecBlock> blocks_;
+  std::size_t repeat_mark_ = 0; ///< first block of the current repeat group
+};
+
+} // namespace fluxtrace::prog

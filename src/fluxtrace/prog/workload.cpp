@@ -1,0 +1,67 @@
+#include "fluxtrace/prog/workload.hpp"
+
+namespace fluxtrace::prog {
+
+namespace {
+// Distinct, non-overlapping heap regions per workload so shared-L3
+// interactions stay interpretable in multi-workload experiments.
+constexpr std::uint64_t kAstarHeap = 0x100000000ull;
+constexpr std::uint64_t kBzip2Heap = 0x200000000ull;
+constexpr std::uint64_t kGccHeap = 0x300000000ull;
+} // namespace
+
+Workload make_astar(SymbolTable& symtab) {
+  Workload wl;
+  wl.name = "astar";
+  const SymbolId expand = symtab.add("astar::node_expand", 0x900);
+  const SymbolId heur = symtab.add("astar::heuristic", 0x500);
+  const SymbolId open = symtab.add("astar::openlist_update", 0x700);
+  // 24 MiB graph walked with poor locality: most loads miss L3.
+  wl.phases = {
+      Phase{expand, 6000, 40, {kAstarHeap, 180, 8192}},
+      Phase{heur, 3000, 10, {}},
+      Phase{open, 4000, 30, {kAstarHeap + 12 * 1024 * 1024, 120, 4096}},
+  };
+  return wl;
+}
+
+Workload make_bzip2(SymbolTable& symtab) {
+  Workload wl;
+  wl.name = "bzip2";
+  const SymbolId sort = symtab.add("bzip2::block_sort", 0xc00);
+  const SymbolId mtf = symtab.add("bzip2::mtf_encode", 0x600);
+  const SymbolId huff = symtab.add("bzip2::huffman", 0x800);
+  // 256 KiB block, L2-resident: compute dominates.
+  wl.phases = {
+      Phase{sort, 9000, 25, {kBzip2Heap, 60, 256}},
+      Phase{mtf, 5000, 8, {kBzip2Heap, 40, 64}},
+      Phase{huff, 6000, 12, {}},
+  };
+  return wl;
+}
+
+Workload make_gcc(SymbolTable& symtab) {
+  Workload wl;
+  wl.name = "gcc";
+  const SymbolId parse = symtab.add("gcc::parse", 0xa00);
+  const SymbolId opt = symtab.add("gcc::tree_ssa_opt", 0xe00);
+  const SymbolId ra = symtab.add("gcc::reg_alloc", 0x800);
+  // 4 MiB of IR with irregular access and heavy branching.
+  wl.phases = {
+      Phase{parse, 5000, 120, {kGccHeap, 70, 1024}},
+      Phase{opt, 7000, 160, {kGccHeap + 2 * 1024 * 1024, 90, 2048}},
+      Phase{ra, 4000, 90, {}},
+  };
+  return wl;
+}
+
+sim::StepStatus WorkloadTask::step(sim::Cpu& cpu) {
+  if (remaining_ == 0) return sim::StepStatus::Done;
+  for (const Phase& p : wl_.phases) {
+    cpu.run(sim::ExecBlock{p.fn, p.uops, p.branch_misses, p.mem});
+  }
+  --remaining_;
+  return remaining_ == 0 ? sim::StepStatus::Done : sim::StepStatus::Progress;
+}
+
+} // namespace fluxtrace::prog

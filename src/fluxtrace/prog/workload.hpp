@@ -1,0 +1,66 @@
+// Synthetic single-core workloads standing in for the SPEC CPU 2006
+// benchmarks of Figure 4 (astar, bzip2, gcc). What matters for the
+// figure is that the three programs retire uops at different average
+// rates — "the sample intervals for the same reset value are different
+// across benchmarks because the average instructions per cycle are
+// different" — so each kernel mixes compute, memory footprint and branch
+// mispredictions differently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::prog {
+
+/// One phase of a workload's steady-state loop.
+struct Phase {
+  SymbolId fn = kInvalidSymbol;
+  std::uint64_t uops = 0;
+  std::uint64_t branch_misses = 0;
+  sim::MemPattern mem{};
+};
+
+struct Workload {
+  std::string name;
+  std::vector<Phase> phases;
+
+  /// Uops per loop iteration, summed over phases.
+  [[nodiscard]] std::uint64_t uops_per_iteration() const {
+    std::uint64_t n = 0;
+    for (const Phase& p : phases) n += p.uops;
+    return n;
+  }
+};
+
+/// Pointer-chasing search: large working set, frequent LLC misses,
+/// low effective uop rate.
+[[nodiscard]] Workload make_astar(SymbolTable& symtab);
+
+/// Compression: compute-dense inner loops over an L1/L2-resident block,
+/// high uop rate.
+[[nodiscard]] Workload make_bzip2(SymbolTable& symtab);
+
+/// Compiler: branchy with a medium working set, mid uop rate.
+[[nodiscard]] Workload make_gcc(SymbolTable& symtab);
+
+/// Runs a workload's phase loop for `iterations` rounds.
+class WorkloadTask final : public sim::Task {
+ public:
+  WorkloadTask(Workload wl, std::uint64_t iterations)
+      : wl_(std::move(wl)), remaining_(iterations) {}
+
+  sim::StepStatus step(sim::Cpu& cpu) override;
+  [[nodiscard]] std::string_view name() const override { return wl_.name; }
+  [[nodiscard]] std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  Workload wl_;
+  std::uint64_t remaining_;
+};
+
+} // namespace fluxtrace::prog

@@ -1,0 +1,92 @@
+#include "fluxtrace/report/chart.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace fluxtrace::report {
+
+void BarChart::bar(std::string label, double value) {
+  entries_.push_back(Entry{std::move(label), value});
+}
+
+void BarChart::print(std::ostream& os) const {
+  if (entries_.empty()) return;
+  double vmax = 0;
+  std::size_t lmax = 0;
+  for (const Entry& e : entries_) {
+    vmax = std::max(vmax, e.value);
+    lmax = std::max(lmax, e.label.size());
+  }
+  for (const Entry& e : entries_) {
+    const auto w = vmax <= 0
+                       ? 0
+                       : static_cast<std::size_t>(e.value / vmax *
+                                                  static_cast<double>(max_width_));
+    os << std::left << std::setw(static_cast<int>(lmax)) << e.label << " |"
+       << std::string(w, '#') << ' ' << std::fixed << std::setprecision(2)
+       << e.value;
+    if (!unit_.empty()) os << ' ' << unit_;
+    os << '\n';
+  }
+}
+
+std::string BarChart::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void StackedBarChart::series(std::string name) {
+  assert(series_.size() < sizeof(kFills));
+  series_.push_back(std::move(name));
+}
+
+void StackedBarChart::bar(std::string label, std::vector<double> values) {
+  assert(values.size() == series_.size());
+  entries_.push_back(Entry{std::move(label), std::move(values)});
+}
+
+void StackedBarChart::print(std::ostream& os) const {
+  if (entries_.empty()) return;
+  double vmax = 0;
+  std::size_t lmax = 0;
+  for (const Entry& e : entries_) {
+    vmax = std::max(vmax,
+                    std::accumulate(e.values.begin(), e.values.end(), 0.0));
+    lmax = std::max(lmax, e.label.size());
+  }
+  // Legend.
+  os << "legend:";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    os << "  " << kFills[s] << " = " << series_[s];
+  }
+  os << '\n';
+  for (const Entry& e : entries_) {
+    os << std::left << std::setw(static_cast<int>(lmax)) << e.label << " |";
+    const double total =
+        std::accumulate(e.values.begin(), e.values.end(), 0.0);
+    for (std::size_t s = 0; s < e.values.size(); ++s) {
+      const auto w = vmax <= 0
+                         ? 0
+                         : static_cast<std::size_t>(
+                               e.values[s] / vmax *
+                               static_cast<double>(max_width_));
+      os << std::string(w, kFills[s]);
+    }
+    os << ' ' << std::fixed << std::setprecision(2) << total;
+    if (!unit_.empty()) os << ' ' << unit_;
+    os << '\n';
+  }
+}
+
+std::string StackedBarChart::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+} // namespace fluxtrace::report

@@ -1,0 +1,62 @@
+// ASCII charts for bench output: horizontal bars (Fig. 2-style
+// distributions) and stacked bars (Fig. 8's per-query function breakdown).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fluxtrace::report {
+
+/// Horizontal bar chart: one labelled bar per entry, scaled to fit.
+class BarChart {
+ public:
+  explicit BarChart(std::string value_unit = "", std::size_t max_width = 60)
+      : unit_(std::move(value_unit)), max_width_(max_width) {}
+
+  void bar(std::string label, double value);
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  struct Entry {
+    std::string label;
+    double value;
+  };
+  std::string unit_;
+  std::size_t max_width_;
+  std::vector<Entry> entries_;
+};
+
+/// Stacked horizontal bars: each bar is a labelled sequence of segments,
+/// each segment drawn with its own fill character and listed in a legend.
+class StackedBarChart {
+ public:
+  explicit StackedBarChart(std::string value_unit = "",
+                           std::size_t max_width = 70)
+      : unit_(std::move(value_unit)), max_width_(max_width) {}
+
+  /// Define a segment kind; order of definition = drawing order.
+  void series(std::string name);
+
+  /// Add one bar; `values` must align with the defined series.
+  void bar(std::string label, std::vector<double> values);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  static constexpr char kFills[] = {'#', '=', '.', '+', '*', 'o', '~', '%'};
+
+  std::string unit_;
+  std::size_t max_width_;
+  std::vector<std::string> series_;
+  struct Entry {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::vector<Entry> entries_;
+};
+
+} // namespace fluxtrace::report

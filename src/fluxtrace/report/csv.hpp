@@ -1,0 +1,35 @@
+// Minimal CSV writer so every bench can also emit machine-readable series
+// next to its human-readable table (for replotting the paper's figures).
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fluxtrace::report {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void header(const std::vector<std::string>& cols) { emit(cols); }
+  void row(const std::vector<std::string>& cells) { emit(cells); }
+
+  /// Quote-and-escape one cell per RFC 4180 when needed.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+  std::ostream& os_;
+};
+
+/// Open `path` and return a CSV writer bound to it (file kept alive by the
+/// returned pair).
+struct CsvFile {
+  explicit CsvFile(const std::string& path) : out(path), writer(out) {}
+  std::ofstream out;
+  CsvWriter writer;
+};
+
+} // namespace fluxtrace::report

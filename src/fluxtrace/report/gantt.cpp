@@ -1,0 +1,74 @@
+#include "fluxtrace/report/gantt.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace fluxtrace::report {
+
+Gantt::Row& Gantt::row_for(const std::string& name) {
+  for (Row& r : rows_) {
+    if (r.name == name) return r;
+  }
+  rows_.push_back(Row{name, {}});
+  return rows_.back();
+}
+
+void Gantt::span(const std::string& row, Tsc start, Tsc end, char glyph,
+                 const std::string& label) {
+  row_for(row).spans.push_back(Span{start, end, glyph, label});
+}
+
+void Gantt::print(std::ostream& os) const {
+  if (rows_.empty()) return;
+  Tsc lo = range_start_, hi = range_end_;
+  if (!explicit_range_) {
+    lo = ~Tsc{0};
+    hi = 0;
+    for (const Row& r : rows_) {
+      for (const Span& s : r.spans) {
+        lo = std::min(lo, s.start);
+        hi = std::max(hi, s.end);
+      }
+    }
+    if (lo > hi) return; // only empty rows
+  }
+  const double scale =
+      hi > lo ? static_cast<double>(width_) / static_cast<double>(hi - lo)
+              : 0.0;
+  const auto cell = [&](Tsc t) {
+    const Tsc off = t > lo ? t - lo : 0;
+    const auto c = static_cast<std::size_t>(static_cast<double>(off) * scale);
+    return std::min(c, width_ - 1);
+  };
+
+  std::size_t name_w = 0;
+  for (const Row& r : rows_) name_w = std::max(name_w, r.name.size());
+
+  for (const Row& r : rows_) {
+    std::string line(width_, '.');
+    for (const Span& s : r.spans) {
+      if (s.end < lo || s.start > hi) continue;
+      const std::size_t a = cell(std::max(s.start, lo));
+      const std::size_t b = std::max(a, cell(std::min(s.end, hi)));
+      for (std::size_t i = a; i <= b && i < width_; ++i) line[i] = s.glyph;
+      // Overlay the label when the span is wide enough.
+      if (!s.label.empty() && b > a && b - a + 1 >= s.label.size() + 2) {
+        const std::size_t mid = a + (b - a - s.label.size()) / 2 + 1;
+        for (std::size_t i = 0; i < s.label.size(); ++i) {
+          line[mid + i] = s.label[i];
+        }
+      }
+    }
+    os << r.name << std::string(name_w - r.name.size(), ' ') << " |" << line
+       << "|\n";
+  }
+}
+
+std::string Gantt::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+} // namespace fluxtrace::report

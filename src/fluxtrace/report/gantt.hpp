@@ -1,0 +1,55 @@
+// ASCII Gantt/timeline rendering: item windows (and any labelled spans)
+// per core over simulated time — the visual form of the paper's Fig. 6,
+// reconstructed from a recorded trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::report {
+
+class Gantt {
+ public:
+  explicit Gantt(std::size_t width = 72) : width_(width) {}
+
+  /// Add a span to `row` (rows are created on first use, displayed in
+  /// creation order). `glyph` fills the span's cells; the span's label is
+  /// printed inside when it fits.
+  void span(const std::string& row, Tsc start, Tsc end, char glyph,
+            const std::string& label = "");
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  /// The rendered time range (auto-fit to the spans unless set).
+  void set_range(Tsc start, Tsc end) {
+    range_start_ = start;
+    range_end_ = end;
+    explicit_range_ = true;
+  }
+
+ private:
+  struct Span {
+    Tsc start, end;
+    char glyph;
+    std::string label;
+  };
+  struct Row {
+    std::string name;
+    std::vector<Span> spans;
+  };
+
+  Row& row_for(const std::string& name);
+
+  std::size_t width_;
+  std::vector<Row> rows_;
+  Tsc range_start_ = 0;
+  Tsc range_end_ = 0;
+  bool explicit_range_ = false;
+};
+
+} // namespace fluxtrace::report

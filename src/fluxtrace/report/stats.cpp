@@ -1,0 +1,92 @@
+#include "fluxtrace/report/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace fluxtrace::report {
+
+void Distribution::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Distribution::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0;
+  for (const double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Distribution::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0;
+  for (const double x : xs_) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs_.size() - 1));
+}
+
+double Distribution::min() const {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.front();
+}
+
+double Distribution::max() const {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.back();
+}
+
+double Distribution::percentile(double p) const {
+  assert(p > 0.0 && p <= 100.0);
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  // Nearest-rank: ceil(p/100 * N), 1-based.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(xs_.size())));
+  return xs_[std::min(xs_.size(), std::max<std::size_t>(1, rank)) - 1];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    ++counts_[static_cast<std::size_t>((x - lo_) / width_)];
+  }
+}
+
+void Histogram::print(std::ostream& os, std::size_t max_width) const {
+  std::uint64_t cmax = 1;
+  for (const std::uint64_t c : counts_) cmax = std::max(cmax, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double b_lo = lo_ + static_cast<double>(i) * width_;
+    const auto w = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(cmax) *
+        static_cast<double>(max_width));
+    os << std::fixed << std::setprecision(1) << std::setw(8) << b_lo << "-"
+       << std::setw(7) << (b_lo + width_) << " |" << std::string(w, '#')
+       << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_ > 0) os << "   (underflow: " << underflow_ << ")\n";
+  if (overflow_ > 0) os << "   (overflow: " << overflow_ << ")\n";
+}
+
+std::string Histogram::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+} // namespace fluxtrace::report

@@ -1,0 +1,73 @@
+// Distribution statistics for bench reporting: exact percentiles over a
+// collected series and a log-bucketed histogram for compact display. Tail
+// percentiles are the paper's motivating metric (§II-A quotes Huang et
+// al.: "the 99th percentile was an order of magnitude greater than the
+// mean" on TPC-C).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fluxtrace::report {
+
+/// Collects a series of observations and answers distribution queries.
+/// Percentiles are exact (nearest-rank over the sorted series).
+class Distribution {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Nearest-rank percentile; p in (0, 100]. p50 = median, p99, p999 =
+  /// pass 99.9.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// The tail-amplification factor the paper's motivation quotes.
+  [[nodiscard]] double p99_over_mean() const {
+    const double m = mean();
+    return m > 0 ? percentile(99.0) / m : 0.0;
+  }
+
+  [[nodiscard]] const std::vector<double>& values() const { return xs_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-bucket histogram over [lo, hi) with an overflow bucket, rendered
+/// as ASCII rows.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  void print(std::ostream& os, std::size_t max_width = 50) const;
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i];
+  }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+} // namespace fluxtrace::report

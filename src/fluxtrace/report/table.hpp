@@ -1,0 +1,41 @@
+// Aligned plain-text tables for bench output — the rows/series the paper's
+// tables and figures report, printed in a terminal.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fluxtrace::report {
+
+enum class Align : std::uint8_t { Left, Right };
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& align(std::size_t col, Align a);
+
+  /// Add one row; must have exactly as many cells as there are headers.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 2);
+  /// Convenience: format any integer.
+  template <std::integral T>
+  static std::string num(T v) {
+    return std::to_string(v);
+  }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fluxtrace::report

@@ -1,0 +1,57 @@
+// Time-gated SPSC channel for simulated inter-thread queues. The machine
+// steps whole exec blocks at a time, so a producer's TSC can be far ahead
+// of a consumer's when an element lands in the underlying ring; gating
+// visibility on the producer's push timestamp keeps the discrete-event
+// schedule causal (a consumer can never observe data "before" it was
+// produced in simulated time).
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "fluxtrace/base/time.hpp"
+#include "fluxtrace/rt/spsc_ring.hpp"
+
+namespace fluxtrace::rt {
+
+template <typename T>
+class SimChannel {
+ public:
+  explicit SimChannel(std::size_t min_capacity = 1024)
+      : ring_(min_capacity) {}
+
+  /// Producer side: enqueue at producer-time `now`.
+  bool push(T value, Tsc now) {
+    return ring_.push(Stamped{std::move(value), now});
+  }
+
+  /// Consumer side: dequeue the head only once consumer-time `now` has
+  /// reached its push time.
+  std::optional<T> pop(Tsc now) {
+    const Stamped* head = ring_.front();
+    if (head == nullptr || head->ready > now) return std::nullopt;
+    auto v = ring_.pop();
+    return std::optional<T>(std::move(v->value));
+  }
+
+  /// True when nothing is queued at all (regardless of readiness).
+  [[nodiscard]] bool empty() const { return ring_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
+
+  /// Push time of the head element, if any (for schedulers/tests).
+  [[nodiscard]] std::optional<Tsc> head_ready() const {
+    const Stamped* head = ring_.front();
+    if (head == nullptr) return std::nullopt;
+    return head->ready;
+  }
+
+ private:
+  struct Stamped {
+    T value;
+    Tsc ready;
+  };
+  SpscRing<Stamped> ring_;
+};
+
+} // namespace fluxtrace::rt

@@ -1,0 +1,123 @@
+// Single-producer / single-consumer lock-free ring, the software queue of
+// the paper's target architecture (Fig. 5): pinned worker threads pass
+// data-items to each other through queues like DPDK's rte_ring. The
+// implementation is a real wait-free SPSC ring (acquire/release atomics,
+// power-of-two capacity, cache-line-separated indices); the simulator uses
+// it single-threadedly but tests exercise it from two real threads.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace fluxtrace::rt {
+
+/// Destructive-interference distance, pinned to 64 (x86-64) so the ABI
+/// does not drift with compiler tuning flags.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wait-free bounded SPSC queue. Capacity is rounded up to a power of two;
+/// one slot is sacrificed to distinguish full from empty.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity = 1024)
+      : mask_(round_up_pow2(min_capacity + 1) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full.
+  bool push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) {
+      return false; // full
+    }
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return std::nullopt; // empty
+    }
+    T value = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  /// Producer side, burst variant (rte_ring-style): enqueue up to
+  /// `count` elements from `src`; returns how many were enqueued (all or
+  /// as many as fit).
+  std::size_t push_burst(const T* src, std::size_t count) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t free_slots = mask_ - ((head - tail) & mask_);
+    const std::size_t n = count < free_slots ? count : free_slots;
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(head + i) & mask_] = src[i];
+    }
+    head_.store((head + n) & mask_, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer side, burst variant: dequeue up to `count` elements into
+  /// `dst`; returns how many were dequeued.
+  std::size_t pop_burst(T* dst, std::size_t count) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t avail = (head - tail) & mask_;
+    const std::size_t n = count < avail ? count : avail;
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    tail_.store((tail + n) & mask_, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer-side peek without dequeue.
+  [[nodiscard]] const T* front() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return nullptr;
+    return &slots_[tail];
+  }
+
+  [[nodiscard]] bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  /// Number of queued elements (racy across threads; exact when called
+  /// from a quiescent state or from the simulator's single thread).
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  /// Usable capacity (slots minus the full/empty sentinel).
+  [[nodiscard]] std::size_t capacity() const { return mask_; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0}; // producer writes
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0}; // consumer writes
+  const std::size_t mask_;
+  std::vector<T> slots_;
+};
+
+} // namespace fluxtrace::rt

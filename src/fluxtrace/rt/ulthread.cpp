@@ -1,0 +1,101 @@
+#include "fluxtrace/rt/ulthread.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxtrace::rt {
+
+UlScheduler::UlScheduler(UlSchedulerConfig cfg) : cfg_(cfg) {
+  assert(cfg_.timeslice > 0 && "timer-switching requires a timeslice");
+}
+
+void UlScheduler::submit(UlWork work) {
+  UlThread t;
+  t.work = std::move(work);
+  t.regs.set(kItemIdReg, t.work.item);
+  threads_.push_back(std::move(t));
+}
+
+bool UlScheduler::run_slice(sim::Cpu& cpu, UlThread& t) {
+  const Tsc slice_end = cpu.now() + cfg_.timeslice;
+  const double cpu_per_uop = cpu.spec().cycles_per_uop;
+
+  while (t.block_idx < t.work.blocks.size()) {
+    const sim::ExecBlock& b = t.work.blocks[t.block_idx];
+    const std::uint64_t uops_left = b.uops - t.uops_done;
+
+    const Tsc remaining = slice_end > cpu.now() ? slice_end - cpu.now() : 0;
+    const auto fit = static_cast<std::uint64_t>(
+        static_cast<double>(remaining) / cpu_per_uop);
+    if (fit == 0) return false; // timeslice exhausted mid-item → preempt
+
+    const std::uint64_t run_uops = std::min(uops_left, fit);
+
+    // Partial block: run a proportional slice, including a proportional
+    // window of its memory accesses so cache behaviour is preserved.
+    sim::ExecBlock part = b;
+    part.uops = run_uops;
+    part.branch_misses =
+        b.uops == 0 ? 0 : b.branch_misses * run_uops / b.uops;
+    if (b.mem.count > 0 && b.uops > 0) {
+      const auto c0 = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(b.mem.count) * t.uops_done / b.uops);
+      const auto c1 = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(b.mem.count) * (t.uops_done + run_uops) /
+          b.uops);
+      part.mem.count = c1 - c0;
+      part.mem.base =
+          b.mem.base + static_cast<std::uint64_t>(c0) * b.mem.stride;
+    }
+    cpu.run(part);
+
+    t.uops_done += run_uops;
+    if (t.uops_done >= b.uops) {
+      ++t.block_idx;
+      t.uops_done = 0;
+    }
+    if (cpu.now() >= slice_end) {
+      return t.block_idx >= t.work.blocks.size();
+    }
+  }
+  return true;
+}
+
+sim::StepStatus UlScheduler::step(sim::Cpu& cpu) {
+  if (threads_.empty()) return sim::StepStatus::Done;
+
+  UlThread t = std::move(threads_.front());
+  threads_.pop_front();
+
+  // Context-switch into the thread: the scheduler's own code runs first
+  // (with no item on the core), then the thread's register file — with
+  // R13 = its item id — is restored.
+  cpu.set_reg(kItemIdReg, kNoItem);
+  if (cfg_.scheduler_symbol != kInvalidSymbol) {
+    cpu.exec(cfg_.scheduler_symbol, cfg_.switch_uops);
+  }
+  cpu.regs() = t.regs;
+
+  if (!t.started && cfg_.record_markers) {
+    cpu.mark_enter(t.work.item);
+  }
+  t.started = true;
+
+  const bool finished = run_slice(cpu, t);
+
+  if (finished) {
+    if (cfg_.record_markers) cpu.mark_leave(t.work.item);
+    ++completed_;
+  } else {
+    t.regs = cpu.regs(); // save context (R13 still holds the item id)
+    threads_.push_back(std::move(t));
+    ++switches_;
+  }
+
+  // Back in the scheduler: no data-item is on the core.
+  cpu.set_reg(kItemIdReg, kNoItem);
+
+  return sim::StepStatus::Progress;
+}
+
+} // namespace fluxtrace::rt

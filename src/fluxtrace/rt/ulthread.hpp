@@ -1,0 +1,73 @@
+// User-level threading for the *timer-switching* architecture (paper
+// §III-C type 2 and §V-A): a scheduler on one core forcibly switches
+// between data-items when a timeslice expires, so a light item can finish
+// before a heavy one. Marker windows then no longer delimit items — the
+// paper's proposed fix is to dedicate a general-purpose register (R13) to
+// the current data-item id: the user-level context switch swaps register
+// files, so every PEBS sample automatically carries the right id.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::rt {
+
+/// The work one user-level thread performs for one data-item.
+struct UlWork {
+  ItemId item = kNoItem;
+  std::vector<sim::ExecBlock> blocks;
+};
+
+struct UlSchedulerConfig {
+  Tsc timeslice = 0;            ///< cycles before a forced switch (required)
+  SymbolId scheduler_symbol = kInvalidSymbol; ///< context-switch code
+  std::uint64_t switch_uops = 600;            ///< cost of one switch
+  bool record_markers = true;   ///< also emit enter/leave markers (so the
+                                ///< failure of marker-window mapping under
+                                ///< preemption can be demonstrated)
+};
+
+/// Round-robin preemptive user-level scheduler, itself a pinned Task.
+/// Each submitted UlWork runs as one user-level thread; R13 always holds
+/// the id of the item currently on the core.
+class UlScheduler final : public sim::Task {
+ public:
+  explicit UlScheduler(UlSchedulerConfig cfg);
+
+  void submit(UlWork work);
+
+  sim::StepStatus step(sim::Cpu& cpu) override;
+  [[nodiscard]] std::string_view name() const override {
+    return "ul-scheduler";
+  }
+
+  [[nodiscard]] std::size_t pending() const { return threads_.size(); }
+  [[nodiscard]] std::uint64_t context_switches() const { return switches_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+
+ private:
+  struct UlThread {
+    UlWork work;
+    std::size_t block_idx = 0;      ///< next block to (continue) executing
+    std::uint64_t uops_done = 0;    ///< progress inside blocks[block_idx]
+    bool started = false;
+    RegisterFile regs;              ///< saved register file (R13 = item id)
+  };
+
+  /// Run the current thread for at most one timeslice; returns true when
+  /// the thread completed all its work.
+  bool run_slice(sim::Cpu& cpu, UlThread& t);
+
+  UlSchedulerConfig cfg_;
+  std::deque<UlThread> threads_;
+  std::uint64_t switches_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+} // namespace fluxtrace::rt

@@ -1,0 +1,89 @@
+#include "fluxtrace/sim/cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxtrace::sim {
+
+CacheLevel::CacheLevel(const CacheLevelConfig& cfg) : cfg_(cfg) {
+  assert(cfg.line_bytes > 0 && cfg.ways > 0);
+  const std::uint64_t lines = cfg.size_bytes / cfg.line_bytes;
+  num_sets_ = static_cast<std::uint32_t>(std::max<std::uint64_t>(1, lines / cfg.ways));
+  sets_.resize(num_sets_);
+  for (Set& s : sets_) s.tags.reserve(cfg.ways);
+}
+
+bool CacheLevel::access(std::uint64_t addr) {
+  const std::uint64_t line = line_of(addr);
+  Set& set = sets_[line % num_sets_];
+  auto it = std::find(set.tags.begin(), set.tags.end(), line);
+  if (it != set.tags.end()) {
+    // Move to MRU position.
+    set.tags.erase(it);
+    set.tags.push_back(line);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (set.tags.size() >= cfg_.ways) {
+    set.tags.erase(set.tags.begin()); // evict LRU
+  }
+  set.tags.push_back(line);
+  return false;
+}
+
+bool CacheLevel::contains(std::uint64_t addr) const {
+  const std::uint64_t line = line_of(addr);
+  const Set& set = sets_[line % num_sets_];
+  return std::find(set.tags.begin(), set.tags.end(), line) != set.tags.end();
+}
+
+void CacheLevel::invalidate_all() {
+  for (Set& s : sets_) s.tags.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig& cfg,
+                               std::shared_ptr<CacheLevel> shared_l3)
+    : cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2), l3_(std::move(shared_l3)) {
+  assert(l3_ != nullptr);
+}
+
+CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig& cfg)
+    : CacheHierarchy(cfg, std::make_shared<CacheLevel>(cfg.l3)) {}
+
+AccessResult CacheHierarchy::access(std::uint64_t addr) {
+  if (l1_.access(addr)) {
+    return {cfg_.l1.hit_latency, false};
+  }
+  // A demand miss beyond L1 may trigger the next-line prefetch into
+  // L2 (and L3), modelling the L2 streamer.
+  const auto prefetch_next = [&] {
+    if (!cfg_.next_line_prefetch) return;
+    const std::uint64_t next = addr + cfg_.l1.line_bytes;
+    if (!l2_.contains(next)) {
+      (void)l2_.access(next);
+      (void)l3_->access(next);
+      ++prefetches_;
+    }
+  };
+  if (l2_.access(addr)) {
+    prefetch_next();
+    return {cfg_.l2.hit_latency, false};
+  }
+  if (l3_->access(addr)) {
+    prefetch_next();
+    return {cfg_.l3.hit_latency, false};
+  }
+  prefetch_next();
+  return {cfg_.dram_latency, true};
+}
+
+void CacheHierarchy::invalidate_all() {
+  l1_.invalidate_all();
+  l2_.invalidate_all();
+  l3_->invalidate_all();
+}
+
+} // namespace fluxtrace::sim

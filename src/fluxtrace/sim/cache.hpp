@@ -1,0 +1,106 @@
+// Set-associative cache hierarchy for the simulated machine. Memory
+// accesses issued by exec blocks walk L1 → L2 → shared L3 → DRAM; misses
+// add stall cycles to the issuing core and raise CacheMisses PMU events,
+// which PEBS can sample on (paper §V-D).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::sim {
+
+/// Geometry and hit latency of one cache level.
+struct CacheLevelConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t ways = 8;
+  std::uint32_t line_bytes = 64;
+  Tsc hit_latency = 4; ///< cycles, load-to-use
+};
+
+/// One set-associative, LRU-replacement cache level.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheLevelConfig& cfg);
+
+  /// Probe (and on miss, fill) the line containing `addr`.
+  /// Returns true on hit.
+  bool access(std::uint64_t addr);
+
+  /// Probe without filling; used by tests.
+  [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  void invalidate_all();
+
+  [[nodiscard]] const CacheLevelConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Set {
+    // Tags in LRU order: back = most recently used.
+    std::vector<std::uint64_t> tags;
+  };
+
+  [[nodiscard]] std::uint64_t line_of(std::uint64_t addr) const {
+    return addr / cfg_.line_bytes;
+  }
+
+  CacheLevelConfig cfg_;
+  std::uint32_t num_sets_;
+  std::vector<Set> sets_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Result of one load through the hierarchy.
+struct AccessResult {
+  Tsc latency = 0;      ///< cycles of load-to-use latency
+  bool llc_miss = false;///< true when the access went to DRAM
+};
+
+/// Skylake-like defaults: 32 KiB L1D, 1 MiB L2, 8 MiB shared L3.
+struct CacheHierarchyConfig {
+  CacheLevelConfig l1{32 * 1024, 8, 64, 4};
+  CacheLevelConfig l2{1024 * 1024, 16, 64, 14};
+  CacheLevelConfig l3{8 * 1024 * 1024, 16, 64, 44};
+  Tsc dram_latency = 190; ///< cycles
+  /// Next-line prefetcher (L2): a demand miss also fills line+1 into
+  /// L2/L3 at no charged latency — sequential sweeps then miss roughly
+  /// half as often, pointer chases gain nothing.
+  bool next_line_prefetch = false;
+};
+
+/// Per-core L1/L2 in front of a shared L3. The simulated machine creates
+/// one hierarchy per core, all pointing at the same L3 instance.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const CacheHierarchyConfig& cfg,
+                 std::shared_ptr<CacheLevel> shared_l3);
+
+  /// Convenience: builds a private L3 too (single-core experiments).
+  explicit CacheHierarchy(const CacheHierarchyConfig& cfg = {});
+
+  AccessResult access(std::uint64_t addr);
+
+  [[nodiscard]] std::uint64_t prefetches() const { return prefetches_; }
+
+  [[nodiscard]] CacheLevel& l1() { return l1_; }
+  [[nodiscard]] CacheLevel& l2() { return l2_; }
+  [[nodiscard]] CacheLevel& l3() { return *l3_; }
+  [[nodiscard]] std::shared_ptr<CacheLevel> l3_ptr() { return l3_; }
+
+  void invalidate_all();
+
+ private:
+  CacheHierarchyConfig cfg_;
+  CacheLevel l1_;
+  CacheLevel l2_;
+  std::shared_ptr<CacheLevel> l3_;
+  std::uint64_t prefetches_ = 0;
+};
+
+} // namespace fluxtrace::sim

@@ -1,0 +1,184 @@
+#include "fluxtrace/sim/cpu.hpp"
+
+#include <cassert>
+
+namespace fluxtrace::sim {
+
+Cpu::Cpu(std::uint32_t core, const CpuSpec& spec, const SymbolTable& symtab,
+         MarkerLog& log, CacheHierarchy cache, PebsDriver* driver,
+         CpuConfig cfg)
+    : core_(core),
+      spec_(spec),
+      symtab_(symtab),
+      log_(log),
+      cache_(std::move(cache)),
+      driver_(driver),
+      cfg_(cfg) {}
+
+Tsc Cpu::EventTimeline::offset_of(std::uint64_t j) const {
+  assert(j >= 1 && j <= count);
+  if (discrete != nullptr) return (*discrete)[j - 1];
+  // Uniform events: the j-th of `count` events lands at fraction j/count
+  // through the block.
+  return static_cast<Tsc>(static_cast<double>(duration) *
+                          (static_cast<double>(j) / static_cast<double>(count)));
+}
+
+template <typename Unit, typename OnSample>
+void Cpu::drive_sampler(Unit& unit, const EventTimeline& tl, OnSample&& on) {
+  std::uint64_t remaining = tl.count;
+  std::uint64_t consumed = 0;
+  while (remaining > 0) {
+    const std::uint64_t u = unit.until_overflow();
+    if (u > remaining) {
+      unit.count(remaining);
+      return;
+    }
+    consumed += u;
+    remaining -= u;
+    on(tl.offset_of(consumed)); // fires take_sample and re-arms the counter
+  }
+}
+
+void Cpu::run(const ExecBlock& blk) {
+  assert(blk.fn != kInvalidSymbol && "exec blocks must name a function");
+  const Tsc t0 = tsc_;
+  const Tsc compute = spec_.uop_cycles(blk.uops);
+
+  // ---- Phase A: memory walk. Each load lands at a definite cycle offset;
+  // misses add stall beyond the (hidden) L1 hit latency.
+  miss_offsets_.clear();
+  load_offsets_.clear();
+  Tsc mem_stall = 0;
+  std::uint64_t llc_misses = 0;
+  if (blk.mem.count > 0) {
+    const Tsc l1_lat = cache_.l1().config().hit_latency;
+    for (std::uint32_t i = 0; i < blk.mem.count; ++i) {
+      // Loads are spread through the compute work; stalls accumulate.
+      const Tsc issue =
+          static_cast<Tsc>(static_cast<double>(compute) *
+                           (static_cast<double>(i) + 0.5) /
+                           static_cast<double>(blk.mem.count)) +
+          mem_stall;
+      const AccessResult r = cache_.access(
+          blk.mem.base + static_cast<std::uint64_t>(i) * blk.mem.stride);
+      if (r.latency > l1_lat) mem_stall += r.latency - l1_lat;
+      load_offsets_.push_back(issue);
+      if (r.llc_miss) {
+        miss_offsets_.push_back(issue + r.latency);
+        ++llc_misses;
+      }
+    }
+  }
+  const Tsc br_stall = blk.branch_misses * spec_.branch_miss_penalty;
+  Tsc duration = compute + mem_stall + br_stall + blk.extra_stall;
+  if (speed_ != 1.0) {
+    // Invariant TSC: a throttled core retires the same work over more
+    // base-rate ticks.
+    duration = static_cast<Tsc>(static_cast<double>(duration) / speed_);
+  }
+
+  // ---- Free-running PMU counters (profile-style accounting).
+  stats_.events.add(HwEvent::UopsRetired, blk.uops);
+  stats_.events.add(HwEvent::BranchMisses, blk.branch_misses);
+  stats_.events.add(HwEvent::CacheMisses, llc_misses);
+  stats_.events.add(HwEvent::LoadsRetired, blk.mem.count);
+
+  // ---- Phase B: sampling. Build the event timeline each active sampler
+  // watches and let its counter fire at exact offsets. Overheads shift
+  // the core's wall time (block_shift_); samples taken later in the block
+  // observe earlier shifts, as on real hardware.
+  block_shift_ = 0;
+  auto timeline_for = [&](HwEvent e) -> EventTimeline {
+    switch (e) {
+      case HwEvent::UopsRetired:
+        return {blk.uops, duration, nullptr};
+      case HwEvent::BranchMisses:
+        return {blk.branch_misses, duration, nullptr};
+      case HwEvent::CacheMisses:
+        return {llc_misses, duration, &miss_offsets_};
+      case HwEvent::LoadsRetired:
+        return {blk.mem.count, duration, &load_offsets_};
+    }
+    return {};
+  };
+
+  if (pebs_.enabled()) {
+    const EventTimeline tl = timeline_for(pebs_.config().event);
+    if (tl.count > 0) {
+      const Tsc assist = spec_.cycles(pebs_.config().sample_cost_ns);
+      drive_sampler(pebs_, tl, [&](Tsc offset) {
+        const Tsc ts = t0 + offset + block_shift_;
+        if (pebs_.disarmed_at(ts)) {
+          // The helper program is still saving the previous buffer: the
+          // overflow fires but no record is written (§III-E).
+          pebs_.note_lost();
+          return;
+        }
+        const double frac =
+            duration == 0 ? 0.0
+                          : static_cast<double>(offset) /
+                                static_cast<double>(duration);
+        const bool full =
+            pebs_.take_sample(ts, symtab_.ip_at(blk.fn, frac), regs_);
+        block_shift_ += assist;
+        stats_.pebs_assist += assist;
+        if (full && driver_ != nullptr) {
+          const Tsc stall = driver_->on_buffer_full(pebs_, core_, ts);
+          block_shift_ += stall;
+          stats_.drain_stall += stall;
+        }
+      });
+    }
+  }
+
+  if (sw_.enabled()) {
+    const EventTimeline tl = timeline_for(sw_.config().event);
+    if (tl.count > 0) {
+      drive_sampler(sw_, tl, [&](Tsc offset) {
+        const double frac =
+            duration == 0 ? 0.0
+                          : static_cast<double>(offset) /
+                                static_cast<double>(duration);
+        const Tsc stall =
+            sw_.take_sample(t0 + offset + block_shift_,
+                            symtab_.ip_at(blk.fn, frac), core_, regs_);
+        block_shift_ += stall;
+        stats_.sw_stall += stall;
+      });
+    }
+  }
+
+  // ---- Commit.
+  tsc_ = t0 + duration + block_shift_;
+  stats_.busy_cycles += duration;
+  ++stats_.blocks;
+  if (stats_.fn_cycles.size() <= blk.fn) stats_.fn_cycles.resize(blk.fn + 1, 0);
+  stats_.fn_cycles[blk.fn] += duration;
+}
+
+void Cpu::mark(ItemId item, MarkerKind kind) {
+  log_.record(core_, tsc_, item, kind);
+  ++stats_.marker_count;
+  const Tsc before = tsc_;
+  if (cfg_.marker_symbol != kInvalidSymbol) {
+    // The marking function is real code: it retires uops and can itself be
+    // sampled (its time shows up under its own symbol).
+    run({cfg_.marker_symbol, cfg_.marker_uops, 0, {}});
+  } else {
+    tsc_ += spec_.cycles(cfg_.marker_cost_ns);
+  }
+  stats_.marker_overhead += tsc_ - before;
+}
+
+void Cpu::set_speed(double factor) {
+  assert(factor > 0.0 && factor <= 2.0 && "plausible DVFS range");
+  speed_ = factor;
+}
+
+void Cpu::advance(Tsc cycles) {
+  tsc_ += cycles;
+  stats_.idle_cycles += cycles;
+}
+
+} // namespace fluxtrace::sim

@@ -1,0 +1,169 @@
+// The per-core execution engine. Simulated programs advance time by
+// running *exec blocks*: "retire N uops inside function F, touching this
+// memory". Events (uops, branch misses, cache misses) accrue inside the
+// block at exact cycle offsets, so every sampler overflow maps to an exact
+// timestamp and an instruction pointer interpolated inside the function's
+// address range. Sampling overhead (PEBS microcode assists, buffer-drain
+// stalls, software-sampler interrupts) is injected into the core's
+// timeline, so the tracing overhead the paper measures in Figure 10
+// emerges from the mechanics instead of being asserted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/regs.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/base/time.hpp"
+#include "fluxtrace/sim/cache.hpp"
+#include "fluxtrace/sim/pebs.hpp"
+#include "fluxtrace/sim/swsampler.hpp"
+
+namespace fluxtrace::sim {
+
+/// A strided load pattern executed by an exec block.
+struct MemPattern {
+  std::uint64_t base = 0;
+  std::uint32_t count = 0;   ///< number of loads
+  std::uint32_t stride = 64; ///< bytes between consecutive loads
+};
+
+/// One unit of simulated execution, attributed to a single function.
+struct ExecBlock {
+  SymbolId fn = kInvalidSymbol;
+  std::uint64_t uops = 0;
+  std::uint64_t branch_misses = 0; ///< spread uniformly over the block
+  MemPattern mem{};                ///< optional loads through the cache
+  Tsc extra_stall = 0;             ///< abstract stall cycles (no events) for
+                                   ///< memory-bound code not modelled via mem
+};
+
+/// Per-core accounting, split so benches can report busy time, tracing
+/// overhead and idle time separately.
+struct CoreStats {
+  Tsc busy_cycles = 0;     ///< exec-block time excluding sampling overhead
+  Tsc idle_cycles = 0;     ///< advance()d (halted / waiting) time
+  Tsc pebs_assist = 0;     ///< 250 ns/record microcode assists
+  Tsc drain_stall = 0;     ///< buffer-full interrupt handling
+  Tsc sw_stall = 0;        ///< software-sampler interrupts
+  Tsc marker_overhead = 0; ///< instrumentation (marking function) time
+  std::uint64_t marker_count = 0;
+  std::uint64_t blocks = 0;
+  EventCounters events;
+  std::vector<Tsc> fn_cycles; ///< busy cycles by SymbolId
+
+  [[nodiscard]] Tsc fn_time(SymbolId id) const {
+    return id < fn_cycles.size() ? fn_cycles[id] : 0;
+  }
+  [[nodiscard]] Tsc tracing_overhead() const {
+    return pebs_assist + drain_stall + sw_stall + marker_overhead;
+  }
+};
+
+/// Knobs for the instrumentation half of the hybrid approach.
+struct CpuConfig {
+  /// Cost of one marking-function call when no marker symbol is set.
+  double marker_cost_ns = 150.0;
+  /// When valid, the marking function runs as a real exec block on this
+  /// symbol (so PEBS can sample inside it), retiring `marker_uops` uops.
+  SymbolId marker_symbol = kInvalidSymbol;
+  std::uint64_t marker_uops = 1200;
+};
+
+/// One simulated core: TSC, register file, PMU, PEBS unit, software
+/// sampler, private L1/L2 (+shared L3) — plus the execution engine.
+class Cpu {
+ public:
+  Cpu(std::uint32_t core, const CpuSpec& spec, const SymbolTable& symtab,
+      MarkerLog& log, CacheHierarchy cache, PebsDriver* driver,
+      CpuConfig cfg = {});
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+  Cpu(Cpu&&) = default;
+
+  /// Execute one block; advances the TSC by the block's duration plus any
+  /// sampling overhead incurred inside it.
+  void run(const ExecBlock& blk);
+
+  /// Pure-compute convenience wrapper.
+  void exec(SymbolId fn, std::uint64_t uops) { run({fn, uops, 0, {}}); }
+  /// Compute + memory convenience wrapper.
+  void exec_mem(SymbolId fn, std::uint64_t uops, const MemPattern& mem) {
+    run({fn, uops, 0, mem});
+  }
+
+  /// The instrumented marking function: records (timestamp, item id) at a
+  /// data-item switch, then pays the instrumentation cost.
+  void mark(ItemId item, MarkerKind kind);
+  void mark_enter(ItemId item) { mark(item, MarkerKind::Enter); }
+  void mark_leave(ItemId item) { mark(item, MarkerKind::Leave); }
+
+  /// Advance time with no retirement (halted wait / pacing). Use exec()
+  /// with a loop symbol for busy-polling, which does retire uops.
+  void advance(Tsc cycles);
+
+  /// Dynamic frequency scaling: `factor` < 1 models a throttled core
+  /// (turbo lost, thermal limit). The TSC is invariant — it ticks at the
+  /// base rate regardless — so the same work simply spans more TSC time,
+  /// which is exactly how DVFS fluctuations look to the hybrid tracer.
+  void set_speed(double factor);
+  [[nodiscard]] double speed() const { return speed_; }
+
+  [[nodiscard]] Tsc now() const { return tsc_; }
+  [[nodiscard]] std::uint32_t core_id() const { return core_; }
+  [[nodiscard]] const CpuSpec& spec() const { return spec_; }
+  [[nodiscard]] const SymbolTable& symtab() const { return symtab_; }
+
+  [[nodiscard]] RegisterFile& regs() { return regs_; }
+  void set_reg(Reg r, std::uint64_t v) { regs_.set(r, v); }
+
+  void enable_pebs(const PebsConfig& cfg) { pebs_.configure(cfg); }
+  void disable_pebs() { pebs_.set_enabled(false); }
+  void enable_sw_sampler(const SwSamplerConfig& cfg) {
+    sw_.configure(cfg, spec_);
+  }
+  void disable_sw_sampler() { sw_.set_enabled(false); }
+
+  [[nodiscard]] PebsUnit& pebs() { return pebs_; }
+  [[nodiscard]] SwSampler& sw_sampler() { return sw_; }
+  [[nodiscard]] CacheHierarchy& cache() { return cache_; }
+  [[nodiscard]] const CoreStats& stats() const { return stats_; }
+  [[nodiscard]] const CpuConfig& config() const { return cfg_; }
+
+ private:
+  /// Count of `event` occurrences in the block, and a position function
+  /// mapping the j-th occurrence (1-based) to its cycle offset.
+  struct EventTimeline {
+    std::uint64_t count = 0;
+    Tsc duration = 0;
+    const std::vector<Tsc>* discrete = nullptr; // for miss/load events
+    [[nodiscard]] Tsc offset_of(std::uint64_t j) const;
+  };
+
+  template <typename Unit, typename OnSample>
+  void drive_sampler(Unit& unit, const EventTimeline& tl, OnSample&& on);
+
+  std::uint32_t core_;
+  CpuSpec spec_;
+  const SymbolTable& symtab_;
+  MarkerLog& log_;
+  CacheHierarchy cache_;
+  PebsDriver* driver_;
+  CpuConfig cfg_;
+
+  Tsc tsc_ = 0;
+  double speed_ = 1.0;
+  RegisterFile regs_;
+  PebsUnit pebs_;
+  SwSampler sw_;
+  CoreStats stats_;
+
+  // Scratch reused across blocks to avoid per-block allocation.
+  std::vector<Tsc> miss_offsets_;
+  std::vector<Tsc> load_offsets_;
+  Tsc block_shift_ = 0; // sampling overhead accumulated inside current block
+};
+
+} // namespace fluxtrace::sim

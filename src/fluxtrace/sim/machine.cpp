@@ -1,0 +1,66 @@
+#include "fluxtrace/sim/machine.hpp"
+
+#include <cassert>
+
+namespace fluxtrace::sim {
+
+Machine::Machine(const SymbolTable& symtab, MachineConfig cfg)
+    : symtab_(symtab), cfg_(cfg), driver_(cfg.spec, cfg.driver) {
+  auto shared_l3 = std::make_shared<CacheLevel>(cfg_.cache.l3);
+  cpus_.reserve(cfg_.spec.num_cores);
+  for (std::uint32_t c = 0; c < cfg_.spec.num_cores; ++c) {
+    cpus_.push_back(std::make_unique<Cpu>(
+        c, cfg_.spec, symtab_, marker_log_,
+        CacheHierarchy(cfg_.cache, shared_l3), &driver_, cfg_.cpu));
+  }
+  slots_.resize(cfg_.spec.num_cores);
+}
+
+void Machine::attach(std::uint32_t core, Task& task) {
+  assert(core < slots_.size());
+  assert(slots_[core].task == nullptr && "one task per core (Fig. 5)");
+  slots_[core] = Slot{&task, false};
+}
+
+RunResult Machine::run(Tsc until) {
+  RunResult result;
+  for (;;) {
+    // Pick the runnable task on the core with the smallest TSC.
+    Cpu* next_cpu = nullptr;
+    Slot* next_slot = nullptr;
+    for (std::uint32_t c = 0; c < slots_.size(); ++c) {
+      Slot& s = slots_[c];
+      if (s.task == nullptr || s.done) continue;
+      if (next_cpu == nullptr || cpus_[c]->now() < next_cpu->now()) {
+        next_cpu = cpus_[c].get();
+        next_slot = &s;
+      }
+    }
+    if (next_cpu == nullptr) {
+      result.all_done = true;
+      break;
+    }
+    if (next_cpu->now() > until) break;
+
+    const StepStatus st = next_slot->task->step(*next_cpu);
+    ++result.steps;
+    if (st == StepStatus::Done) {
+      next_slot->done = true;
+    } else if (st == StepStatus::Idle) {
+      next_cpu->advance(cfg_.idle_grain);
+    }
+  }
+
+  for (const auto& c : cpus_) {
+    if (c->now() > result.end_tsc) result.end_tsc = c->now();
+  }
+  return result;
+}
+
+void Machine::flush_samples() {
+  for (auto& c : cpus_) {
+    driver_.flush(c->pebs(), c->core_id());
+  }
+}
+
+} // namespace fluxtrace::sim

@@ -1,0 +1,94 @@
+// The multi-core machine: a discrete-event scheduler over pinned tasks.
+// Mirrors the software architecture the paper targets (§III-C, Fig. 5):
+// one thread per core, threads connected by software queues, each thread
+// processing one data-item at a time. The scheduler always steps the
+// runnable task whose core has the smallest TSC, which makes inter-core
+// interaction through queues deterministic — tests can assert exact
+// timestamps.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/base/time.hpp"
+#include "fluxtrace/sim/cpu.hpp"
+
+namespace fluxtrace::sim {
+
+/// What one scheduling step of a task produced.
+enum class StepStatus : std::uint8_t {
+  Progress, ///< did simulated work (TSC advanced)
+  Idle,     ///< nothing to do right now (e.g. input queue empty)
+  Done,     ///< finished; do not schedule again
+};
+
+/// A simulated thread pinned to one core. step() performs a bounded chunk
+/// of work against the core's execution engine and returns.
+class Task {
+ public:
+  virtual ~Task() = default;
+  virtual StepStatus step(Cpu& cpu) = 0;
+  [[nodiscard]] virtual std::string_view name() const { return "task"; }
+};
+
+struct MachineConfig {
+  CpuSpec spec{};
+  CacheHierarchyConfig cache{};
+  PebsDriverConfig driver{};
+  CpuConfig cpu{};
+  /// TSC step applied to a core whose task reported Idle, so time always
+  /// makes progress (think of it as the granularity of an empty poll).
+  Tsc idle_grain = 200;
+};
+
+struct RunResult {
+  Tsc end_tsc = 0;      ///< max core TSC at stop
+  bool all_done = false;///< every attached task returned Done
+  std::uint64_t steps = 0;
+};
+
+/// Owns the cores (with their PEBS units and caches, L3 shared), the
+/// marker log, and the PEBS driver; schedules attached tasks.
+class Machine {
+ public:
+  Machine(const SymbolTable& symtab, MachineConfig cfg = {});
+
+  [[nodiscard]] Cpu& cpu(std::uint32_t core) { return *cpus_[core]; }
+  [[nodiscard]] std::uint32_t num_cores() const {
+    return static_cast<std::uint32_t>(cpus_.size());
+  }
+  [[nodiscard]] MarkerLog& marker_log() { return marker_log_; }
+  [[nodiscard]] PebsDriver& pebs_driver() { return driver_; }
+  [[nodiscard]] const CpuSpec& spec() const { return cfg_.spec; }
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+
+  /// Pin `task` to `core`. One task per core (the architecture of Fig. 5).
+  void attach(std::uint32_t core, Task& task);
+
+  /// Step tasks in TSC order until all are Done or simulated time passes
+  /// `until`.
+  RunResult run(Tsc until = std::numeric_limits<Tsc>::max());
+
+  /// Drain every core's partial PEBS buffer into the driver (end of run).
+  void flush_samples();
+
+ private:
+  struct Slot {
+    Task* task = nullptr;
+    bool done = false;
+  };
+
+  const SymbolTable& symtab_;
+  MachineConfig cfg_;
+  MarkerLog marker_log_;
+  PebsDriver driver_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  std::vector<Slot> slots_;
+};
+
+} // namespace fluxtrace::sim

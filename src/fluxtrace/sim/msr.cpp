@@ -1,0 +1,102 @@
+#include "fluxtrace/sim/msr.hpp"
+
+namespace fluxtrace::sim {
+
+std::uint64_t PerfEvtSel::encode() const {
+  std::uint64_t v = 0;
+  v |= static_cast<std::uint64_t>(event_select);
+  v |= static_cast<std::uint64_t>(umask) << 8;
+  if (usr) v |= 1ull << 16;
+  if (os) v |= 1ull << 17;
+  if (enable) v |= 1ull << 22;
+  return v;
+}
+
+PerfEvtSel PerfEvtSel::decode(std::uint64_t raw) {
+  PerfEvtSel s;
+  s.event_select = static_cast<std::uint8_t>(raw & 0xff);
+  s.umask = static_cast<std::uint8_t>((raw >> 8) & 0xff);
+  s.usr = (raw >> 16) & 1;
+  s.os = (raw >> 17) & 1;
+  s.enable = (raw >> 22) & 1;
+  return s;
+}
+
+EventEncoding encoding_of(HwEvent e) {
+  // SDM event codes for Skylake.
+  switch (e) {
+    case HwEvent::UopsRetired:  return {0xc2, 0x01}; // UOPS_RETIRED.ALL
+    case HwEvent::CacheMisses:  return {0xd1, 0x20}; // MEM_LOAD_RETIRED.L3_MISS
+    case HwEvent::BranchMisses: return {0xc5, 0x00}; // BR_MISP_RETIRED.ALL
+    case HwEvent::LoadsRetired: return {0xd0, 0x81}; // MEM_INST_RETIRED.ALL_LOADS
+  }
+  return {0, 0};
+}
+
+std::optional<HwEvent> event_from(std::uint8_t event_select,
+                                  std::uint8_t umask) {
+  for (const HwEvent e : {HwEvent::UopsRetired, HwEvent::CacheMisses,
+                          HwEvent::BranchMisses, HwEvent::LoadsRetired}) {
+    const EventEncoding enc = encoding_of(e);
+    if (enc.event_select == event_select && enc.umask == umask) return e;
+  }
+  return std::nullopt;
+}
+
+void SimplePebsModule::setup(HwEvent event, std::uint64_t reset,
+                             std::uint64_t ds_area,
+                             std::uint32_t buffer_capacity) {
+  buffer_capacity_ = buffer_capacity;
+  // The module's wrmsr sequence (simple-pebs order): DS area, counter,
+  // event selection, PEBS enable, global enable.
+  msrs_.write(kIa32DsArea, ds_area);
+  msrs_.write(kIa32Pmc0, (~reset + 1) & kCounterMask); // −R, 48-bit
+  const EventEncoding enc = encoding_of(event);
+  PerfEvtSel sel;
+  sel.event_select = enc.event_select;
+  sel.umask = enc.umask;
+  sel.usr = true;
+  sel.enable = true;
+  msrs_.write(kIa32PerfEvtSel0, sel.encode());
+  msrs_.write(kIa32PebsEnable, 1); // PEBS on PMC0
+  msrs_.write(kIa32PerfGlobalCtrl, 1); // PMC0 globally enabled
+  apply();
+}
+
+void SimplePebsModule::teardown() {
+  msrs_.write(kIa32PerfGlobalCtrl, 0);
+  msrs_.write(kIa32PebsEnable, 0);
+  apply();
+}
+
+bool SimplePebsModule::armed() const {
+  if ((msrs_.read(kIa32PebsEnable) & 1) == 0) return false;
+  if ((msrs_.read(kIa32PerfGlobalCtrl) & 1) == 0) return false;
+  const PerfEvtSel sel = PerfEvtSel::decode(msrs_.read(kIa32PerfEvtSel0));
+  if (!sel.enable) return false;
+  return configured_event().has_value();
+}
+
+std::optional<HwEvent> SimplePebsModule::configured_event() const {
+  const PerfEvtSel sel = PerfEvtSel::decode(msrs_.read(kIa32PerfEvtSel0));
+  return event_from(sel.event_select, sel.umask);
+}
+
+std::uint64_t SimplePebsModule::configured_reset() const {
+  const std::uint64_t pmc = msrs_.read(kIa32Pmc0) & kCounterMask;
+  return (~pmc + 1) & kCounterMask; // counter holds −R
+}
+
+void SimplePebsModule::apply() {
+  if (!armed()) {
+    unit_.set_enabled(false);
+    return;
+  }
+  PebsConfig cfg;
+  cfg.event = *configured_event();
+  cfg.reset = configured_reset();
+  cfg.buffer_capacity = buffer_capacity_;
+  unit_.configure(cfg);
+}
+
+} // namespace fluxtrace::sim

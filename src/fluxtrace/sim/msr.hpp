@@ -1,0 +1,101 @@
+// The MSR-level programming interface of the PEBS hardware, mirroring how
+// the paper's kernel module ("simple-pebs", §III-E) actually configures
+// it: write the DS-area pointer, program PERFEVTSEL0 with the event
+// code/umask, arm PMC0 with the two's complement of the reset value, set
+// the PEBS-enable and global-enable bits. Register addresses and bit
+// layouts follow the Intel SDM, so the driver logic here is the same code
+// one would write against real hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "fluxtrace/base/events.hpp"
+#include "fluxtrace/sim/pebs.hpp"
+
+namespace fluxtrace::sim {
+
+// --- architectural MSR addresses (Intel SDM vol. 4) ------------------
+inline constexpr std::uint32_t kIa32Pmc0 = 0x0c1;
+inline constexpr std::uint32_t kIa32PerfEvtSel0 = 0x186;
+inline constexpr std::uint32_t kIa32PerfGlobalCtrl = 0x38f;
+inline constexpr std::uint32_t kIa32PebsEnable = 0x3f1;
+inline constexpr std::uint32_t kIa32DsArea = 0x600;
+
+/// IA32_PERFEVTSELx bit layout (the fields the module uses).
+struct PerfEvtSel {
+  std::uint8_t event_select = 0; ///< bits 7:0
+  std::uint8_t umask = 0;        ///< bits 15:8
+  bool usr = true;               ///< bit 16: count user code
+  bool os = false;               ///< bit 17: count kernel code
+  bool enable = false;           ///< bit 22: counter enable
+
+  [[nodiscard]] std::uint64_t encode() const;
+  [[nodiscard]] static PerfEvtSel decode(std::uint64_t raw);
+  friend bool operator==(const PerfEvtSel&, const PerfEvtSel&) = default;
+};
+
+/// Event-code/umask pairs for the events the simulated PMU supports, as
+/// listed in the SDM for Skylake.
+struct EventEncoding {
+  std::uint8_t event_select;
+  std::uint8_t umask;
+};
+[[nodiscard]] EventEncoding encoding_of(HwEvent e);
+[[nodiscard]] std::optional<HwEvent> event_from(std::uint8_t event_select,
+                                                std::uint8_t umask);
+
+/// One core's MSR space: plain storage with rdmsr/wrmsr semantics.
+class MsrFile {
+ public:
+  [[nodiscard]] std::uint64_t read(std::uint32_t addr) const {
+    auto it = regs_.find(addr);
+    return it == regs_.end() ? 0 : it->second;
+  }
+  void write(std::uint32_t addr, std::uint64_t value) {
+    regs_[addr] = value;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> regs_;
+};
+
+/// The simple-pebs kernel module's per-core setup path, acting on a
+/// simulated MSR file and realizing the resulting configuration on the
+/// PEBS unit. `apply()` derives the unit state purely from MSR contents,
+/// so tests can verify the register semantics independent of the setup
+/// helper.
+class SimplePebsModule {
+ public:
+  SimplePebsModule(MsrFile& msrs, PebsUnit& unit)
+      : msrs_(msrs), unit_(unit) {}
+
+  /// The module's init: program everything and enable. `ds_area` is the
+  /// (simulated) kernel virtual address of the DS save area.
+  void setup(HwEvent event, std::uint64_t reset, std::uint64_t ds_area,
+             std::uint32_t buffer_capacity = 512);
+
+  /// The module's exit path: clear enables.
+  void teardown();
+
+  /// Realize the MSR contents on the PEBS unit: enabled iff PEBS_ENABLE
+  /// bit 0, GLOBAL_CTRL bit 0 and PERFEVTSEL0.enable are all set and the
+  /// event encoding is known; reset value = −(PMC0) interpreted as a
+  /// 48-bit counter.
+  void apply();
+
+  /// True when the MSR state decodes to an armed configuration.
+  [[nodiscard]] bool armed() const;
+  [[nodiscard]] std::optional<HwEvent> configured_event() const;
+  [[nodiscard]] std::uint64_t configured_reset() const;
+
+ private:
+  static constexpr std::uint64_t kCounterMask = (1ull << 48) - 1;
+
+  MsrFile& msrs_;
+  PebsUnit& unit_;
+  std::uint32_t buffer_capacity_ = 512;
+};
+
+} // namespace fluxtrace::sim

@@ -1,0 +1,90 @@
+#include "fluxtrace/sim/pebs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fluxtrace::sim {
+
+void PebsUnit::configure(const PebsConfig& cfg) {
+  assert(cfg.reset > 0 && "reset value must be positive");
+  assert(cfg.buffer_capacity > 0);
+  cfg_ = cfg;
+  counter_ = -static_cast<std::int64_t>(cfg.reset);
+  buffer_.clear();
+  buffer_.reserve(cfg.buffer_capacity);
+  total_samples_ = 0;
+  enabled_ = true;
+}
+
+bool PebsUnit::take_sample(Tsc tsc, std::uint64_t ip, const RegisterFile& regs) {
+  assert(enabled_);
+  assert(!buffer_full() && "events must be dropped while awaiting drain");
+  buffer_.push_back(PebsSample{tsc, ip, /*core=*/0, regs});
+  ++total_samples_;
+  counter_ = -static_cast<std::int64_t>(cfg_.reset);
+  return buffer_full();
+}
+
+SampleVec PebsUnit::drain() {
+  SampleVec out;
+  out.swap(buffer_);
+  buffer_.reserve(cfg_.buffer_capacity);
+  counter_ = -static_cast<std::int64_t>(cfg_.reset);
+  return out;
+}
+
+Tsc PebsDriver::on_buffer_full(PebsUnit& unit, std::uint32_t core, Tsc now) {
+  SampleVec drained = unit.drain();
+
+  // The traced core pays the interrupt dispatch (plus the buffer swap
+  // when double buffering). The copy and the SSD write happen in the
+  // helper program; until it reports the data safe, PEBS is disarmed.
+  const Tsc stall = cfg_.double_buffering
+                        ? spec_.cycles(cfg_.irq_entry_ns + cfg_.swap_ns)
+                        : spec_.cycles(cfg_.irq_entry_ns);
+  Tsc helper_cycles = 0;
+  if (!cfg_.double_buffering) {
+    const double copy =
+        cfg_.copy_ns_per_sample * static_cast<double>(drained.size());
+    const double bytes = static_cast<double>(drained.size()) *
+                         static_cast<double>(kPebsRecordBytes);
+    const double ssd_ns = bytes / cfg_.ssd_bandwidth_gbps; // GB/s == bytes/ns
+    helper_cycles = spec_.cycles(copy + ssd_ns);
+  }
+  unit.disarm_until(now + stall + helper_cycles);
+
+  for (PebsSample& s : drained) s.core = core;
+  if (sink_) {
+    for (const PebsSample& s : drained) sink_(s);
+  }
+  collected_.insert(collected_.end(), drained.begin(), drained.end());
+  ++drains_;
+  total_stall_ += stall;
+  return stall;
+}
+
+void PebsDriver::flush(PebsUnit& unit, std::uint32_t core) {
+  SampleVec drained = unit.drain();
+  for (PebsSample& s : drained) s.core = core;
+  if (sink_) {
+    for (const PebsSample& s : drained) sink_(s);
+  }
+  collected_.insert(collected_.end(), drained.begin(), drained.end());
+}
+
+SampleVec PebsDriver::samples_sorted_by_time() const {
+  SampleVec out = collected_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PebsSample& a, const PebsSample& b) {
+                     return a.tsc < b.tsc;
+                   });
+  return out;
+}
+
+void PebsDriver::clear() {
+  collected_.clear();
+  drains_ = 0;
+  total_stall_ = 0;
+}
+
+} // namespace fluxtrace::sim

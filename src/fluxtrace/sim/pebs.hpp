@@ -1,0 +1,163 @@
+// Precise Event Based Sampling, modelled after the Skylake implementation
+// the paper uses (§III-B, §III-E):
+//
+//  * A per-core counter register is armed with -R (the "reset value").
+//    Every occurrence of the configured hardware event increments it; on
+//    overflow the CPU microcode writes one record — GP registers,
+//    instruction pointer, TSC — into the PEBS buffer and re-arms to -R.
+//    Each record costs ~250 ns of the traced core's time [Akiyama &
+//    Hirofuchi, ROSS'17].
+//  * When (and only when) the buffer fills, the CPU raises an interrupt.
+//    The kernel module ("simple-pebs") dispatches it on the traced core
+//    (a short stall) and asks the helper program to copy the buffer to
+//    userspace and dump it to SSD; PEBS stays disarmed until the helper
+//    reports the data safe, so overflows in that window are lost.
+//    Double buffering (paper future work, §III-E) shrinks the disarmed
+//    window to a buffer swap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fluxtrace/base/events.hpp"
+#include "fluxtrace/base/regs.hpp"
+#include "fluxtrace/base/samples.hpp"
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::sim {
+
+/// Configuration of one core's PEBS unit.
+struct PebsConfig {
+  HwEvent event = HwEvent::UopsRetired; ///< sampled hardware event
+  std::uint64_t reset = 8000;           ///< R: events between samples
+  std::uint32_t buffer_capacity = 512;  ///< records before buffer-full IRQ
+  double sample_cost_ns = 250.0;        ///< microcode assist per record
+};
+
+/// One core's PEBS hardware: counter + buffer. The execution engine feeds
+/// it event counts; it reports the exact event offsets at which samples
+/// fire so the engine can place them on the timeline.
+class PebsUnit {
+ public:
+  void configure(const PebsConfig& cfg);
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] const PebsConfig& config() const { return cfg_; }
+
+  /// Events remaining until the counter overflows.
+  [[nodiscard]] std::uint64_t until_overflow() const {
+    return static_cast<std::uint64_t>(-counter_);
+  }
+
+  /// Count `n` events with no overflow (n < until_overflow()).
+  void count(std::uint64_t n) { counter_ += static_cast<std::int64_t>(n); }
+
+  /// Live reprogram of the reset value (what an adaptive controller
+  /// writes into PMC0): takes effect at the next re-arm; buffered records
+  /// and the in-flight count are preserved.
+  void set_reset(std::uint64_t reset) {
+    if (reset > 0) cfg_.reset = reset;
+  }
+
+  /// Record one sample at an overflow point and re-arm the counter.
+  /// Returns true when the buffer is now full and the unit raises the
+  /// buffer-full interrupt (sampling pauses until drained).
+  bool take_sample(Tsc tsc, std::uint64_t ip, const RegisterFile& regs);
+
+  /// True when the buffer is full and awaiting a drain; the unit drops
+  /// events while in this state (hardware behaviour: PEBS is disarmed
+  /// until the OS re-enables it).
+  [[nodiscard]] bool buffer_full() const {
+    return buffer_.size() >= cfg_.buffer_capacity;
+  }
+
+  /// Move the buffered records out (the kernel module's drain) and
+  /// re-arm the counter.
+  [[nodiscard]] SampleVec drain();
+
+  /// The helper program has not yet saved the previous buffer: PEBS stays
+  /// disarmed until `t` and overflows before then are lost (§III-E — the
+  /// module re-enables PEBS only after the helper reports the data safe).
+  void disarm_until(Tsc t) { disarmed_until_ = t; }
+  [[nodiscard]] bool disarmed_at(Tsc t) const { return t < disarmed_until_; }
+
+  /// Record that an overflow fired while disarmed; the counter re-arms
+  /// but no sample is written.
+  void note_lost() {
+    ++lost_;
+    counter_ = -static_cast<std::int64_t>(cfg_.reset);
+  }
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] std::uint64_t total_samples() const { return total_samples_; }
+  [[nodiscard]] std::uint64_t samples_lost() const { return lost_; }
+
+ private:
+  PebsConfig cfg_;
+  bool enabled_ = false;
+  std::int64_t counter_ = 0; ///< armed to -R; overflow at 0
+  Tsc disarmed_until_ = 0;
+  std::uint64_t lost_ = 0;
+  SampleVec buffer_;
+  std::uint64_t total_samples_ = 0;
+};
+
+/// Cost model and collection point for buffer drains — the simulated
+/// equivalent of the simple-pebs kernel module plus its helper program.
+struct PebsDriverConfig {
+  double irq_entry_ns = 2000.0;      ///< IRQ dispatch + helper wakeup
+  double copy_ns_per_sample = 10.0;  ///< PEBS buffer → userspace copy
+  double ssd_bandwidth_gbps = 0.5;   ///< synchronous dump (prototype mode)
+  bool double_buffering = false;     ///< §III-E future-work optimization
+  double swap_ns = 500.0;            ///< buffer-swap cost when double buffering
+};
+
+class PebsDriver {
+ public:
+  explicit PebsDriver(const CpuSpec& spec, PebsDriverConfig cfg = {})
+      : spec_(spec), cfg_(cfg) {}
+
+  /// Handle a buffer-full interrupt from `unit` on `core` at time `now`.
+  /// Returns the stall (cycles) the traced core pays — the interrupt
+  /// dispatch only. The copy + SSD dump run in the helper program while
+  /// the traced program continues, but PEBS stays disarmed until the
+  /// helper is done (disarm window set on the unit), so overflows in that
+  /// window are lost. Double buffering shrinks the disarm window to the
+  /// buffer swap.
+  Tsc on_buffer_full(PebsUnit& unit, std::uint32_t core, Tsc now);
+
+  /// Collect whatever is still buffered at end of run (no stall modelled;
+  /// the program has already finished).
+  void flush(PebsUnit& unit, std::uint32_t core);
+
+  /// All samples collected so far, in drain order. Within one core this is
+  /// time order; merge_sorted() gives a global time order.
+  [[nodiscard]] const SampleVec& samples() const { return collected_; }
+  [[nodiscard]] SampleVec samples_sorted_by_time() const;
+
+  [[nodiscard]] std::uint64_t bytes_collected() const {
+    return collected_.size() * kPebsRecordBytes;
+  }
+  [[nodiscard]] std::uint64_t drains() const { return drains_; }
+  [[nodiscard]] Tsc total_stall() const { return total_stall_; }
+  [[nodiscard]] const PebsDriverConfig& config() const { return cfg_; }
+
+  void clear();
+
+  /// Optional live consumer invoked for each sample as it is drained —
+  /// this is where online processing hooks in (the samples reach software
+  /// only at drain time, in per-core time order).
+  using Sink = std::function<void(const PebsSample&)>;
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+ private:
+  CpuSpec spec_;
+  PebsDriverConfig cfg_;
+  SampleVec collected_;
+  Sink sink_;
+  std::uint64_t drains_ = 0;
+  Tsc total_stall_ = 0;
+};
+
+} // namespace fluxtrace::sim

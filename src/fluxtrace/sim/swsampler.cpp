@@ -1,0 +1,32 @@
+#include "fluxtrace/sim/swsampler.hpp"
+
+#include <cassert>
+
+namespace fluxtrace::sim {
+
+void SwSampler::configure(const SwSamplerConfig& cfg, const CpuSpec& spec) {
+  assert(cfg.reset > 0);
+  cfg_ = cfg;
+  counter_ = -static_cast<std::int64_t>(cfg.reset);
+  cost_cycles_ = spec.cycles(cfg.interrupt_cost_ns);
+  samples_.clear();
+  total_stall_ = 0;
+  enabled_ = true;
+}
+
+Tsc SwSampler::take_sample(Tsc tsc, std::uint64_t ip, std::uint32_t core,
+                           const RegisterFile& regs) {
+  assert(enabled_);
+  samples_.push_back(PebsSample{tsc, ip, core, regs});
+  counter_ = -static_cast<std::int64_t>(cfg_.reset);
+  total_stall_ += cost_cycles_;
+  return cost_cycles_;
+}
+
+void SwSampler::clear() {
+  samples_.clear();
+  total_stall_ = 0;
+  counter_ = -static_cast<std::int64_t>(cfg_.reset);
+}
+
+} // namespace fluxtrace::sim

@@ -1,0 +1,179 @@
+#include "fluxtrace/acl/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::acl {
+namespace {
+
+TEST(MultiTrieClassifier, DerivesTrieCountFromMaxTries) {
+  const RuleSet rules = make_random_ruleset(100, 7);
+  MultiTrieClassifier c(rules, MultiTrieConfig{0, 8});
+  EXPECT_LE(c.num_tries(), 8u);
+  EXPECT_EQ(c.num_rules(), 100u);
+}
+
+TEST(MultiTrieClassifier, RulesPerTrieTakesPrecedence) {
+  const RuleSet rules = make_random_ruleset(100, 7);
+  MultiTrieClassifier c(rules, MultiTrieConfig{10, 0});
+  EXPECT_EQ(c.num_tries(), 10u);
+}
+
+TEST(MultiTrieClassifier, EmptyRuleSet) {
+  MultiTrieClassifier c(RuleSet{}, MultiTrieConfig{});
+  EXPECT_EQ(c.num_tries(), 0u);
+  const auto r = c.classify(FlowKey{1, 2, 3, 4});
+  EXPECT_FALSE(r.matched);
+  EXPECT_EQ(r.nodes_visited, 0u);
+}
+
+TEST(MultiTrieClassifier, AgreesWithLinearScan) {
+  const RuleSet rules = make_random_ruleset(200, 99);
+  MultiTrieClassifier trie(rules, MultiTrieConfig{25, 0});
+  LinearScanClassifier lin(rules);
+
+  std::uint64_t state = 0xabcdef;
+  auto rnd = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 16;
+  };
+  for (int i = 0; i < 500; ++i) {
+    const FlowKey k{static_cast<std::uint32_t>(rnd()),
+                    static_cast<std::uint32_t>(rnd()),
+                    static_cast<std::uint16_t>(rnd()),
+                    static_cast<std::uint16_t>(rnd())};
+    const auto a = trie.classify(k);
+    const auto b = lin.classify(k);
+    ASSERT_EQ(a.matched, b.matched) << "i=" << i;
+    if (a.matched) {
+      EXPECT_EQ(a.priority, b.priority);
+      EXPECT_EQ(a.action, b.action);
+    }
+  }
+}
+
+TEST(MultiTrieClassifier, VisitsScaleWithTrieCount) {
+  const RuleSet rules = make_paper_ruleset();
+  const PaperPackets pk;
+  MultiTrieClassifier few(rules, MultiTrieConfig{0, kVanillaMaxTries});
+  MultiTrieClassifier many(rules, MultiTrieConfig{kPaperRulesPerTrie, 0});
+  const auto rf = few.classify(pk.type_a);
+  const auto rm = many.classify(pk.type_a);
+  EXPECT_EQ(rf.tries_walked, few.num_tries());
+  EXPECT_EQ(rm.tries_walked, many.num_tries());
+  EXPECT_GT(rm.nodes_visited, 10 * rf.nodes_visited);
+}
+
+// --- the Table III / Table IV workload ---------------------------------
+
+struct PaperFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    rules = new RuleSet(make_paper_ruleset());
+    clf = new MultiTrieClassifier(*rules,
+                                  MultiTrieConfig{kPaperRulesPerTrie, 0});
+  }
+  static void TearDownTestSuite() {
+    delete clf;
+    delete rules;
+    clf = nullptr;
+    rules = nullptr;
+  }
+  static RuleSet* rules;
+  static MultiTrieClassifier* clf;
+};
+
+RuleSet* PaperFixture::rules = nullptr;
+MultiTrieClassifier* PaperFixture::clf = nullptr;
+
+TEST_F(PaperFixture, HasExactly50000Rules) {
+  // 666 × 750 + 500 (Table III).
+  EXPECT_EQ(rules->size(), 50000u);
+}
+
+TEST_F(PaperFixture, BuildsTo247Tries) {
+  EXPECT_EQ(clf->num_tries(), 247u); // ceil(50000 / 203)
+}
+
+TEST_F(PaperFixture, AllTestPacketTypesPassTheFirewall) {
+  // Table IV packets match no Drop rule (their ports are 10001/10002,
+  // outside every installed rule), so all three types are forwarded.
+  const PaperPackets pk;
+  for (const FlowKey& k : {pk.type_a, pk.type_b, pk.type_c}) {
+    EXPECT_FALSE(clf->classify(k).matched);
+  }
+}
+
+TEST_F(PaperFixture, InstalledPortPairsAreDropped) {
+  const FlowKey in_rules{ipv4("192.168.10.4"), ipv4("192.168.11.5"), 50, 300};
+  const auto r = clf->classify(in_rules);
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.action, Action::Drop);
+
+  const FlowKey tail{ipv4("192.168.10.4"), ipv4("192.168.11.5"), 67, 500};
+  EXPECT_TRUE(clf->classify(tail).matched);
+  const FlowKey past_tail{ipv4("192.168.10.4"), ipv4("192.168.11.5"), 67, 501};
+  EXPECT_FALSE(clf->classify(past_tail).matched);
+}
+
+TEST_F(PaperFixture, TraversalDepthOrdersTheThreeTypes) {
+  const PaperPackets pk;
+  const auto a = clf->classify(pk.type_a);
+  const auto b = clf->classify(pk.type_b);
+  const auto c = clf->classify(pk.type_c);
+  // Every trie contains the same src/24 and dst/24, so all tries walk
+  // deep for type A and shallow for type C.
+  EXPECT_EQ(a.nodes_visited, 9u * 247u);
+  EXPECT_EQ(b.nodes_visited, 7u * 247u);
+  EXPECT_EQ(c.nodes_visited, 3u * 247u);
+}
+
+TEST_F(PaperFixture, CostModelYieldsPaperLatencyBand) {
+  // With the default cost model and the ~3 GHz CpuSpec, type C should
+  // take ~6 µs and type A ~12–14 µs inside rte_acl_classify (Fig. 9).
+  const PaperPackets pk;
+  const AclCostModel cost;
+  const CpuSpec spec; // 3 GHz, 0.4 cycles/uop
+  const double us_a = spec.us(spec.uop_cycles(cost.uops(clf->classify(pk.type_a))));
+  const double us_b = spec.us(spec.uop_cycles(cost.uops(clf->classify(pk.type_b))));
+  const double us_c = spec.us(spec.uop_cycles(cost.uops(clf->classify(pk.type_c))));
+  EXPECT_GT(us_a, 11.0);
+  EXPECT_LT(us_a, 15.0);
+  EXPECT_GT(us_c, 5.0);
+  EXPECT_LT(us_c, 7.0);
+  EXPECT_GT(us_b, us_c);
+  EXPECT_LT(us_b, us_a);
+  // The headline: >100% fluctuation between identical-looking packets.
+  EXPECT_GT(us_a / us_c, 2.0);
+}
+
+TEST_F(PaperFixture, LinearScanOracleAgreesOnPaperPackets) {
+  LinearScanClassifier lin(*rules);
+  const PaperPackets pk;
+  for (const FlowKey& k : {pk.type_a, pk.type_b, pk.type_c}) {
+    EXPECT_EQ(clf->classify(k).matched, lin.classify(k).matched);
+  }
+  const FlowKey dropped{ipv4("192.168.10.1"), ipv4("192.168.11.1"), 5, 5};
+  EXPECT_EQ(clf->classify(dropped).matched, lin.classify(dropped).matched);
+  EXPECT_TRUE(lin.classify(dropped).matched);
+}
+
+TEST(LinearScanClassifier, PriorityTiebreak) {
+  RuleSet rules;
+  AclRule lo, hi;
+  lo.priority = 1;
+  lo.action = Action::Permit;
+  hi.priority = 2;
+  hi.action = Action::Drop;
+  rules.push_back(lo);
+  rules.push_back(hi);
+  LinearScanClassifier c(std::move(rules));
+  const auto r = c.classify(FlowKey{1, 1, 1, 1});
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.priority, 2);
+  EXPECT_EQ(r.action, Action::Drop);
+}
+
+} // namespace
+} // namespace fluxtrace::acl

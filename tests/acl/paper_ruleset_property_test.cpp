@@ -1,0 +1,109 @@
+// Exhaustive-boundary properties of the Table III rule set on the
+// multi-trie classifier: every installed (sport, dport) pair must drop,
+// every just-outside neighbour must pass, and the match must agree with
+// the linear-scan oracle at every probed corner.
+#include <gtest/gtest.h>
+
+#include "fluxtrace/acl/classifier.hpp"
+#include "fluxtrace/acl/ruleset.hpp"
+
+namespace fluxtrace::acl {
+namespace {
+
+struct PaperProperty : ::testing::Test {
+  static void SetUpTestSuite() {
+    rules = new RuleSet(make_paper_ruleset());
+    clf = new MultiTrieClassifier(*rules,
+                                  MultiTrieConfig{kPaperRulesPerTrie, 0});
+    lin = new LinearScanClassifier(*rules);
+  }
+  static void TearDownTestSuite() {
+    delete lin;
+    delete clf;
+    delete rules;
+    lin = nullptr;
+    clf = nullptr;
+    rules = nullptr;
+  }
+
+  static FlowKey key(std::uint16_t sp, std::uint16_t dp) {
+    return FlowKey{ipv4("192.168.10.200"), ipv4("192.168.11.1"), sp, dp};
+  }
+
+  static RuleSet* rules;
+  static MultiTrieClassifier* clf;
+  static LinearScanClassifier* lin;
+};
+
+RuleSet* PaperProperty::rules = nullptr;
+MultiTrieClassifier* PaperProperty::clf = nullptr;
+LinearScanClassifier* PaperProperty::lin = nullptr;
+
+TEST_F(PaperProperty, EveryInstalledCornerDrops) {
+  // Corners of the rule grid (sports 1..66 x dports 1..750, plus the
+  // 67/1..500 tail) — probe the extremes and a diagonal.
+  const std::uint16_t sps[] = {1, 2, 33, 65, 66};
+  const std::uint16_t dps[] = {1, 2, 375, 749, 750};
+  for (const std::uint16_t sp : sps) {
+    for (const std::uint16_t dp : dps) {
+      const auto r = clf->classify(key(sp, dp));
+      ASSERT_TRUE(r.matched) << sp << ":" << dp;
+      EXPECT_EQ(r.action, Action::Drop) << sp << ":" << dp;
+    }
+  }
+  EXPECT_TRUE(clf->classify(key(67, 1)).matched);
+  EXPECT_TRUE(clf->classify(key(67, 500)).matched);
+}
+
+TEST_F(PaperProperty, JustOutsideNeighboursPass) {
+  EXPECT_FALSE(clf->classify(key(0, 1)).matched);    // sport below
+  EXPECT_FALSE(clf->classify(key(68, 1)).matched);   // sport above tail
+  EXPECT_FALSE(clf->classify(key(1, 0)).matched);    // dport below
+  EXPECT_FALSE(clf->classify(key(1, 751)).matched);  // dport above
+  EXPECT_FALSE(clf->classify(key(67, 501)).matched); // tail dport above
+  // Outside the address prefixes entirely:
+  EXPECT_FALSE(clf->classify(FlowKey{ipv4("192.168.9.200"),
+                                     ipv4("192.168.11.1"), 1, 1})
+                   .matched);
+  EXPECT_FALSE(clf->classify(FlowKey{ipv4("192.168.10.200"),
+                                     ipv4("192.168.12.1"), 1, 1})
+                   .matched);
+}
+
+class PaperDiagonal : public PaperProperty,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(PaperDiagonal, TrieAgreesWithOracleOnRandomProbes) {
+  std::uint64_t state = static_cast<std::uint64_t>(GetParam());
+  auto rnd = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 16;
+  };
+  for (int i = 0; i < 400; ++i) {
+    // Concentrate probes around the rule boundaries.
+    const auto sp = static_cast<std::uint16_t>(rnd() % 90);
+    const auto dp = static_cast<std::uint16_t>(rnd() % 800);
+    const FlowKey k = key(sp, dp);
+    const auto a = clf->classify(k);
+    const auto b = lin->classify(k);
+    ASSERT_EQ(a.matched, b.matched) << sp << ":" << dp;
+    if (a.matched) {
+      EXPECT_EQ(a.priority, b.priority) << sp << ":" << dp;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperDiagonal, ::testing::Values(1, 2, 3, 4));
+
+TEST_F(PaperProperty, AddressWildcardByteWithinPrefix) {
+  // The /24 leaves the last address byte free: any host in the subnets
+  // behaves identically.
+  for (const std::uint8_t host : {0, 1, 100, 255}) {
+    const FlowKey k{ipv4("192.168.10.0") + host, ipv4("192.168.11.0") + host,
+                    5, 5};
+    EXPECT_TRUE(clf->classify(k).matched) << int(host);
+  }
+}
+
+} // namespace
+} // namespace fluxtrace::acl

@@ -1,0 +1,142 @@
+#include "fluxtrace/acl/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fluxtrace/base/flow.hpp"
+
+namespace fluxtrace::acl {
+namespace {
+
+TEST(DecomposeRange, ExactValueIsOnePrefix) {
+  const auto p = decompose_range(80, 80);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].value, 80u);
+  EXPECT_EQ(p[0].len, 16u);
+}
+
+TEST(DecomposeRange, FullRangeIsZeroPrefix) {
+  const auto p = decompose_range(0, 0xffff);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].value, 0u);
+  EXPECT_EQ(p[0].len, 0u);
+}
+
+TEST(DecomposeRange, AlignedBlock) {
+  const auto p = decompose_range(256, 511); // exactly 256..511 = 256/8
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].value, 256u);
+  EXPECT_EQ(p[0].len, 8u);
+}
+
+TEST(DecomposeRange, PaperDportRange) {
+  // Table III uses destination-port ranges [1, 750] and [1, 500].
+  for (const std::uint16_t hi : {750, 500}) {
+    const auto ps = decompose_range(1, hi);
+    // Coverage must be exact and disjoint.
+    std::uint32_t covered = 0;
+    std::uint32_t expect_next = 1;
+    for (const Prefix16& p : ps) {
+      EXPECT_EQ(p.lo(), expect_next);
+      covered += static_cast<std::uint32_t>(p.hi()) - p.lo() + 1;
+      expect_next = static_cast<std::uint32_t>(p.hi()) + 1;
+    }
+    EXPECT_EQ(covered, static_cast<std::uint32_t>(hi));
+  }
+}
+
+struct RangeParam {
+  std::uint16_t lo, hi;
+};
+
+class DecomposeRangeProperty : public ::testing::TestWithParam<RangeParam> {};
+
+TEST_P(DecomposeRangeProperty, PrefixesTileTheRangeExactly) {
+  const auto [lo, hi] = GetParam();
+  const auto ps = decompose_range(lo, hi);
+  ASSERT_FALSE(ps.empty());
+  EXPECT_LE(ps.size(), 30u); // theoretical bound for 16-bit ranges
+  std::uint32_t next = lo;
+  for (const Prefix16& p : ps) {
+    EXPECT_EQ(p.lo(), next) << "gap or overlap";
+    // Alignment: value has its low (16-len) bits clear.
+    if (p.len < 16) {
+      EXPECT_EQ(p.value & ((1u << (16 - p.len)) - 1), 0u);
+    }
+    next = static_cast<std::uint32_t>(p.hi()) + 1;
+  }
+  EXPECT_EQ(next, static_cast<std::uint32_t>(hi) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, DecomposeRangeProperty,
+    ::testing::Values(RangeParam{0, 0}, RangeParam{0xffff, 0xffff},
+                      RangeParam{1, 750}, RangeParam{1, 500},
+                      RangeParam{1, 65534}, RangeParam{1000, 2000},
+                      RangeParam{4095, 4097}, RangeParam{32767, 32769},
+                      RangeParam{3, 3}, RangeParam{0, 1}));
+
+TEST(PrefixBytes, ExactPortSplitsIntoTwoExactBytes) {
+  const auto [hi, lo] = prefix_bytes(Prefix16{10001, 16});
+  EXPECT_EQ(hi.lo, 10001 >> 8);
+  EXPECT_EQ(hi.hi, 10001 >> 8);
+  EXPECT_EQ(lo.lo, 10001 & 0xff);
+  EXPECT_EQ(lo.hi, 10001 & 0xff);
+}
+
+TEST(PrefixBytes, ShortPrefixFreesLowByte) {
+  // 0x1200/7 covers 0x1200..0x13ff: high byte in [0x12,0x13], low free.
+  const auto [hi, lo] = prefix_bytes(Prefix16{0x1200, 7});
+  EXPECT_EQ(hi.lo, 0x12);
+  EXPECT_EQ(hi.hi, 0x13);
+  EXPECT_EQ(lo.lo, 0x00);
+  EXPECT_EQ(lo.hi, 0xff);
+}
+
+TEST(PrefixBytes, MidPrefixConstrainsLowByteRange) {
+  // 0x1240/10 covers 0x1240..0x127f.
+  const auto [hi, lo] = prefix_bytes(Prefix16{0x1240, 10});
+  EXPECT_EQ(hi.lo, 0x12);
+  EXPECT_EQ(hi.hi, 0x12);
+  EXPECT_EQ(lo.lo, 0x40);
+  EXPECT_EQ(lo.hi, 0x7f);
+}
+
+TEST(Ipv4PrefixBytes, Slash24) {
+  const auto b = ipv4_prefix_bytes(ipv4("192.168.10.0"), 24);
+  EXPECT_EQ(b[0].lo, 192);
+  EXPECT_EQ(b[0].hi, 192);
+  EXPECT_EQ(b[1].lo, 168);
+  EXPECT_EQ(b[1].hi, 168);
+  EXPECT_EQ(b[2].lo, 10);
+  EXPECT_EQ(b[2].hi, 10);
+  EXPECT_EQ(b[3].lo, 0);
+  EXPECT_EQ(b[3].hi, 255);
+}
+
+TEST(Ipv4PrefixBytes, Slash20PartialByte) {
+  // 10.0.16.0/20 → third byte in [16, 31].
+  const auto b = ipv4_prefix_bytes(ipv4("10.0.16.0"), 20);
+  EXPECT_EQ(b[1].lo, 0);
+  EXPECT_EQ(b[1].hi, 0);
+  EXPECT_EQ(b[2].lo, 16);
+  EXPECT_EQ(b[2].hi, 31);
+  EXPECT_EQ(b[3].lo, 0);
+  EXPECT_EQ(b[3].hi, 255);
+}
+
+TEST(Ipv4PrefixBytes, Slash0MatchesEverything) {
+  const auto b = ipv4_prefix_bytes(0, 0);
+  for (const auto& br : b) {
+    EXPECT_EQ(br.lo, 0);
+    EXPECT_EQ(br.hi, 255);
+  }
+}
+
+TEST(Ipv4PrefixBytes, Slash32IsExact) {
+  const auto b = ipv4_prefix_bytes(ipv4("192.168.10.4"), 32);
+  EXPECT_EQ(b[3].lo, 4);
+  EXPECT_EQ(b[3].hi, 4);
+}
+
+} // namespace
+} // namespace fluxtrace::acl

@@ -1,0 +1,114 @@
+#include "fluxtrace/acl/rulefile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fluxtrace/acl/classifier.hpp"
+
+namespace fluxtrace::acl {
+namespace {
+
+TEST(RuleFile, ParsesDpdkStyleLines) {
+  const RuleSet rules = parse_rules(
+      "# firewall rules\n"
+      "@192.168.10.0/24 192.168.11.0/24 1:666 1:750 drop\n"
+      "\n"
+      "@0.0.0.0/0 0.0.0.0/0 0:65535 0:65535 permit  # default\n");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].src_addr, ipv4("192.168.10.0"));
+  EXPECT_EQ(rules[0].src_len, 24);
+  EXPECT_EQ(rules[0].sport_lo, 1);
+  EXPECT_EQ(rules[0].sport_hi, 666);
+  EXPECT_EQ(rules[0].dport_hi, 750);
+  EXPECT_EQ(rules[0].action, Action::Drop);
+  EXPECT_EQ(rules[1].action, Action::Permit);
+  // Earlier line wins.
+  EXPECT_GT(rules[0].priority, rules[1].priority);
+}
+
+TEST(RuleFile, EarlierLinesWinInClassification) {
+  const RuleSet rules = parse_rules(
+      "@10.0.0.0/8 0.0.0.0/0 0:65535 0:65535 drop\n"
+      "@0.0.0.0/0 0.0.0.0/0 0:65535 0:65535 permit\n");
+  const LinearScanClassifier clf(rules);
+  const auto hit = clf.classify(FlowKey{ipv4("10.1.2.3"), 1, 2, 3});
+  ASSERT_TRUE(hit.matched);
+  EXPECT_EQ(hit.action, Action::Drop);
+  const auto fallthrough = clf.classify(FlowKey{ipv4("11.1.2.3"), 1, 2, 3});
+  ASSERT_TRUE(fallthrough.matched);
+  EXPECT_EQ(fallthrough.action, Action::Permit);
+}
+
+TEST(RuleFile, ActionSynonyms) {
+  const RuleSet rules = parse_rules(
+      "@1.1.1.1/32 2.2.2.2/32 1:1 1:1 DENY\n"
+      "@1.1.1.1/32 2.2.2.2/32 2:2 2:2 Accept\n"
+      "@1.1.1.1/32 2.2.2.2/32 3:3 3:3 allow\n");
+  EXPECT_EQ(rules[0].action, Action::Drop);
+  EXPECT_EQ(rules[1].action, Action::Permit);
+  EXPECT_EQ(rules[2].action, Action::Permit);
+}
+
+TEST(RuleFile, RejectsMalformedLines) {
+  for (const char* bad : {
+           "192.168.1.0/24 0.0.0.0/0 1:2 1:2 drop\n", // no @
+           "@192.168.1.0 0.0.0.0/0 1:2 1:2 drop\n",   // no /len
+           "@192.168.1.0/24 0.0.0.0/0 1 1:2 drop\n",  // bad port range
+           "@192.168.1.0/24 0.0.0.0/0 5:2 1:2 drop\n",// inverted range
+           "@192.168.1.0/24 0.0.0.0/0 1:2 1:2 frobnicate\n", // bad action
+           "@192.168.1.0/24 0.0.0.0/0 1:2 1:2\n",     // missing action
+           "@192.168.1.0/33 0.0.0.0/0 1:2 1:2 drop\n",// bad prefix len
+           "@192.168.1.0/24 0.0.0.0/0 1:2 1:99999 drop\n", // port overflow
+           "@1.1.1.1/32 2.2.2.2/32 1:1 1:1 drop extra\n",  // trailing token
+       }) {
+    EXPECT_THROW((void)parse_rules(std::string(bad)), RuleParseError) << bad;
+  }
+}
+
+TEST(RuleFile, ErrorNamesTheLine) {
+  try {
+    (void)parse_rules("@1.1.1.1/32 2.2.2.2/32 1:1 1:1 drop\nbogus\n");
+    FAIL() << "expected RuleParseError";
+  } catch (const RuleParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(RuleFile, RoundTrip) {
+  const RuleSet original = parse_rules(
+      "@192.168.10.0/24 192.168.11.0/24 1:666 1:750 drop\n"
+      "@10.0.0.0/8 172.16.0.0/12 80:80 1024:65535 permit\n"
+      "@0.0.0.0/0 0.0.0.0/0 0:65535 0:65535 drop\n");
+  std::ostringstream os;
+  write_rules(os, original);
+  const RuleSet back = parse_rules(os.str());
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].src_addr, original[i].src_addr) << i;
+    EXPECT_EQ(back[i].src_len, original[i].src_len) << i;
+    EXPECT_EQ(back[i].sport_lo, original[i].sport_lo) << i;
+    EXPECT_EQ(back[i].dport_hi, original[i].dport_hi) << i;
+    EXPECT_EQ(back[i].action, original[i].action) << i;
+    EXPECT_EQ(back[i].priority, original[i].priority) << i;
+  }
+}
+
+TEST(RuleFile, ParsedRulesDriveTheClassifier) {
+  // A rule file equivalent of a mini Table III feeds the multi-trie path.
+  std::ostringstream src;
+  for (int sp = 1; sp <= 20; ++sp) {
+    src << "@192.168.10.0/24 192.168.11.0/24 " << sp << ':' << sp
+        << " 1:750 drop\n";
+  }
+  const RuleSet rules = parse_rules(src.str());
+  const MultiTrieClassifier clf(rules, MultiTrieConfig{5, 0});
+  EXPECT_EQ(clf.num_tries(), 4u);
+  const auto r = clf.classify(
+      FlowKey{ipv4("192.168.10.4"), ipv4("192.168.11.5"), 10, 300});
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.action, Action::Drop);
+}
+
+} // namespace
+} // namespace fluxtrace::acl

@@ -1,0 +1,179 @@
+#include "fluxtrace/acl/trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fluxtrace/acl/classifier.hpp"
+#include "fluxtrace/acl/ruleset.hpp"
+
+namespace fluxtrace::acl {
+namespace {
+
+AclRule rule(const char* src, std::uint8_t slen, const char* dst,
+             std::uint8_t dlen, std::uint16_t sp_lo, std::uint16_t sp_hi,
+             std::uint16_t dp_lo, std::uint16_t dp_hi, std::int32_t prio,
+             Action act = Action::Drop) {
+  AclRule r;
+  r.src_addr = ipv4(src);
+  r.src_len = slen;
+  r.dst_addr = ipv4(dst);
+  r.dst_len = dlen;
+  r.sport_lo = sp_lo;
+  r.sport_hi = sp_hi;
+  r.dport_lo = dp_lo;
+  r.dport_hi = dp_hi;
+  r.priority = prio;
+  r.action = act;
+  return r;
+}
+
+TEST(ByteTrie, EmptyTrieMatchesNothingAndExitsImmediately) {
+  ByteTrie t;
+  const FlowKey k{ipv4("1.2.3.4"), ipv4("5.6.7.8"), 1, 2};
+  const auto r = t.lookup(k.key_bytes());
+  EXPECT_FALSE(r.matched);
+  EXPECT_EQ(r.nodes_visited, 1u); // root lookup only
+}
+
+TEST(ByteTrie, ExactRuleMatches) {
+  ByteTrie t;
+  t.insert(rule("192.168.10.0", 24, "192.168.11.0", 24, 5, 5, 7, 7, 1));
+  const FlowKey hit{ipv4("192.168.10.9"), ipv4("192.168.11.200"), 5, 7};
+  const auto r = t.lookup(hit.key_bytes());
+  EXPECT_TRUE(r.matched);
+  EXPECT_EQ(r.priority, 1);
+  EXPECT_EQ(r.action, Action::Drop);
+  EXPECT_EQ(r.nodes_visited, 12u); // full key consumed
+}
+
+TEST(ByteTrie, EarlyExitDepthsMatchPacketTypes) {
+  // The §IV-C1 mechanism: traversal depth depends on how much of the key
+  // prefix any rule can match.
+  ByteTrie t;
+  t.insert(rule("192.168.10.0", 24, "192.168.11.0", 24, 5, 5, 7, 7, 1));
+  const PaperPackets pk;
+
+  const auto a = t.lookup(pk.type_a.key_bytes());
+  const auto b = t.lookup(pk.type_b.key_bytes());
+  const auto c = t.lookup(pk.type_c.key_bytes());
+  EXPECT_FALSE(a.matched);
+  EXPECT_FALSE(b.matched);
+  EXPECT_FALSE(c.matched);
+  // Type A: src+dst match, dies in the port part (byte 9: sport high
+  // byte 0x27 vs installed 0x00).
+  EXPECT_EQ(a.nodes_visited, 9u);
+  // Type B: src matches, dst dies at its third byte (22 vs 11) → 7 lookups.
+  EXPECT_EQ(b.nodes_visited, 7u);
+  // Type C: src dies at its third byte (12 vs 10) → 3 lookups.
+  EXPECT_EQ(c.nodes_visited, 3u);
+  EXPECT_GT(a.nodes_visited, b.nodes_visited);
+  EXPECT_GT(b.nodes_visited, c.nodes_visited);
+}
+
+TEST(ByteTrie, HighestPriorityWinsAtSameLeaf) {
+  ByteTrie t;
+  t.insert(rule("10.0.0.0", 8, "0.0.0.0", 0, 0, 0xffff, 0, 0xffff, 3,
+                Action::Permit));
+  t.insert(rule("10.0.0.0", 8, "0.0.0.0", 0, 0, 0xffff, 0, 0xffff, 9,
+                Action::Drop));
+  const FlowKey k{ipv4("10.1.2.3"), ipv4("9.9.9.9"), 1, 1};
+  const auto r = t.lookup(k.key_bytes());
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.priority, 9);
+  EXPECT_EQ(r.action, Action::Drop);
+}
+
+TEST(ByteTrie, OverlappingRangesSplitWithoutCorruption) {
+  ByteTrie t;
+  // Wide rule first, then a narrow overlapping rule with higher priority.
+  t.insert(rule("0.0.0.0", 0, "0.0.0.0", 0, 0, 0xffff, 0, 0xffff, 1,
+                Action::Permit));
+  t.insert(rule("0.0.0.0", 0, "0.0.0.0", 0, 100, 200, 0, 0xffff, 5,
+                Action::Drop));
+
+  const auto at = [&](std::uint16_t sp) {
+    const FlowKey k{1, 2, sp, 3};
+    return t.lookup(k.key_bytes());
+  };
+  EXPECT_EQ(at(99).priority, 1);
+  EXPECT_EQ(at(99).action, Action::Permit);
+  EXPECT_EQ(at(100).priority, 5);
+  EXPECT_EQ(at(150).priority, 5);
+  EXPECT_EQ(at(200).priority, 5);
+  EXPECT_EQ(at(201).priority, 1);
+  EXPECT_EQ(at(0xffff).priority, 1);
+}
+
+TEST(ByteTrie, NarrowThenWideInsertOrder) {
+  ByteTrie t;
+  t.insert(rule("0.0.0.0", 0, "0.0.0.0", 0, 100, 200, 0, 0xffff, 5,
+                Action::Drop));
+  t.insert(rule("0.0.0.0", 0, "0.0.0.0", 0, 0, 0xffff, 0, 0xffff, 1,
+                Action::Permit));
+  const auto at = [&](std::uint16_t sp) {
+    const FlowKey k{1, 2, sp, 3};
+    return t.lookup(k.key_bytes());
+  };
+  EXPECT_EQ(at(99).priority, 1);
+  EXPECT_EQ(at(150).priority, 5); // narrow rule still wins inside overlap
+  EXPECT_EQ(at(201).priority, 1);
+}
+
+TEST(ByteTrie, CountsRulesAndNodes) {
+  ByteTrie t;
+  EXPECT_EQ(t.num_rules(), 0u);
+  EXPECT_EQ(t.num_nodes(), 1u); // root
+  t.insert(rule("1.2.3.4", 32, "5.6.7.8", 32, 1, 1, 2, 2, 1));
+  EXPECT_EQ(t.num_rules(), 1u);
+  EXPECT_EQ(t.num_nodes(), 13u); // root + 12 levels
+}
+
+// --- property test: trie vs linear-scan oracle on random rule sets ------
+
+class TrieOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieOracleTest, AgreesWithLinearScanOnRandomKeys) {
+  const std::uint64_t seed = GetParam();
+  const RuleSet rules = make_random_ruleset(60, seed);
+  ByteTrie trie;
+  for (const AclRule& r : rules) trie.insert(r);
+  const LinearScanClassifier oracle(rules);
+
+  // Probe keys: random plus targeted probes around every rule's corners.
+  std::uint64_t state = seed ^ 0x1234567890abcdefull;
+  auto rnd = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 16;
+  };
+  std::vector<FlowKey> keys;
+  for (int i = 0; i < 300; ++i) {
+    keys.push_back(FlowKey{static_cast<std::uint32_t>(rnd()),
+                           static_cast<std::uint32_t>(rnd()),
+                           static_cast<std::uint16_t>(rnd()),
+                           static_cast<std::uint16_t>(rnd())});
+  }
+  for (const AclRule& r : rules) {
+    keys.push_back(FlowKey{r.src_addr, r.dst_addr, r.sport_lo, r.dport_lo});
+    keys.push_back(FlowKey{r.src_addr, r.dst_addr, r.sport_hi, r.dport_hi});
+    keys.push_back(FlowKey{r.src_addr + 1, r.dst_addr, r.sport_hi,
+                           static_cast<std::uint16_t>(r.dport_hi + 1)});
+  }
+
+  for (const FlowKey& k : keys) {
+    const auto want = oracle.classify(k);
+    const auto got = trie.lookup(k.key_bytes());
+    ASSERT_EQ(got.matched, want.matched)
+        << "seed=" << seed << " key=" << ipv4_to_string(k.src_addr) << "→"
+        << ipv4_to_string(k.dst_addr) << " sp=" << k.src_port
+        << " dp=" << k.dst_port;
+    if (want.matched) {
+      EXPECT_EQ(got.priority, want.priority);
+      EXPECT_EQ(got.action, want.action);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieOracleTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+} // namespace
+} // namespace fluxtrace::acl

@@ -1,0 +1,57 @@
+#include "fluxtrace/base/flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace {
+namespace {
+
+TEST(Ipv4, ParsesDottedQuad) {
+  EXPECT_EQ(ipv4("192.168.10.4"), 0xc0a80a04u);
+  EXPECT_EQ(ipv4("0.0.0.1"), 1u);
+  EXPECT_EQ(ipv4("255.255.255.255"), 0xffffffffu);
+}
+
+TEST(Ipv4, ParseIsConstexpr) {
+  static_assert(ipv4("10.0.0.1") == 0x0a000001u);
+  SUCCEED();
+}
+
+TEST(Ipv4, RejectsMalformed) {
+  EXPECT_EQ(ipv4("256.1.1.1"), 0u);
+  EXPECT_EQ(ipv4("1.2.3"), 0u);
+  EXPECT_EQ(ipv4("1.2.3.4.5"), 0u);
+  EXPECT_EQ(ipv4("a.b.c.d"), 0u);
+}
+
+TEST(Ipv4, FormatRoundTrip) {
+  for (const char* s : {"192.168.10.4", "10.0.0.1", "172.16.254.3"}) {
+    EXPECT_EQ(ipv4_to_string(ipv4(s)), s);
+  }
+}
+
+TEST(FlowKey, KeyBytesLayout) {
+  // §IV-C1 design (3): src addr (4B), dst addr (4B), src+dst ports (4B).
+  const FlowKey k{ipv4("192.168.10.4"), ipv4("192.168.11.5"), 10001, 10002};
+  const auto b = k.key_bytes();
+  EXPECT_EQ(b[0], 192);
+  EXPECT_EQ(b[1], 168);
+  EXPECT_EQ(b[2], 10);
+  EXPECT_EQ(b[3], 4);
+  EXPECT_EQ(b[4], 192);
+  EXPECT_EQ(b[5], 168);
+  EXPECT_EQ(b[6], 11);
+  EXPECT_EQ(b[7], 5);
+  EXPECT_EQ((b[8] << 8) | b[9], 10001);
+  EXPECT_EQ((b[10] << 8) | b[11], 10002);
+}
+
+TEST(FlowKey, Equality) {
+  const FlowKey a{1, 2, 3, 4};
+  FlowKey b = a;
+  EXPECT_EQ(a, b);
+  b.dst_port = 5;
+  EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace fluxtrace

@@ -1,0 +1,39 @@
+#include "fluxtrace/base/markers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace {
+namespace {
+
+TEST(MarkerLog, RecordsInOrder) {
+  MarkerLog log;
+  log.record(0, 100, 1, MarkerKind::Enter);
+  log.record(0, 200, 1, MarkerKind::Leave);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.markers()[0].tsc, 100u);
+  EXPECT_EQ(log.markers()[0].kind, MarkerKind::Enter);
+  EXPECT_EQ(log.markers()[1].kind, MarkerKind::Leave);
+}
+
+TEST(MarkerLog, ForCoreFilters) {
+  MarkerLog log;
+  log.record(0, 10, 1, MarkerKind::Enter);
+  log.record(1, 20, 2, MarkerKind::Enter);
+  log.record(0, 30, 1, MarkerKind::Leave);
+  const auto c0 = log.for_core(0);
+  ASSERT_EQ(c0.size(), 2u);
+  EXPECT_EQ(c0[0].item, 1u);
+  EXPECT_EQ(c0[1].tsc, 30u);
+  EXPECT_EQ(log.for_core(1).size(), 1u);
+  EXPECT_TRUE(log.for_core(7).empty());
+}
+
+TEST(MarkerLog, Clear) {
+  MarkerLog log;
+  log.record(0, 10, 1, MarkerKind::Enter);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}
+
+} // namespace
+} // namespace fluxtrace

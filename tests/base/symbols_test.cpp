@@ -1,0 +1,102 @@
+#include "fluxtrace/base/symbols.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace {
+namespace {
+
+TEST(SymbolTable, AddAssignsContiguousRanges) {
+  SymbolTable t;
+  const SymbolId a = t.add("f1", 0x100);
+  const SymbolId b = t.add("f2", 0x200);
+  EXPECT_EQ(t[a].lo, SymbolTable::kTextBase);
+  EXPECT_EQ(t[a].hi, SymbolTable::kTextBase + 0x100);
+  EXPECT_EQ(t[b].lo, t[a].hi);
+  EXPECT_EQ(t[b].size(), 0x200u);
+}
+
+TEST(SymbolTable, ResolveInsideRange) {
+  SymbolTable t;
+  const SymbolId a = t.add("f1", 0x100);
+  const SymbolId b = t.add("f2", 0x100);
+  EXPECT_EQ(t.resolve(t[a].lo), a);
+  EXPECT_EQ(t.resolve(t[a].hi - 1), a);
+  EXPECT_EQ(t.resolve(t[b].lo), b);
+  EXPECT_EQ(t.resolve(t[b].hi - 1), b);
+}
+
+TEST(SymbolTable, ResolveOutsideAnyRange) {
+  SymbolTable t;
+  t.add("f1", 0x100);
+  EXPECT_FALSE(t.resolve(0).has_value());
+  EXPECT_FALSE(t.resolve(SymbolTable::kTextBase - 1).has_value());
+  EXPECT_FALSE(t.resolve(SymbolTable::kTextBase + 0x100).has_value());
+}
+
+TEST(SymbolTable, ResolveOnEmptyTable) {
+  SymbolTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.resolve(SymbolTable::kTextBase).has_value());
+}
+
+TEST(SymbolTable, FindByName) {
+  SymbolTable t;
+  t.add("alpha");
+  const SymbolId b = t.add("beta");
+  EXPECT_EQ(t.find("beta"), b);
+  EXPECT_FALSE(t.find("gamma").has_value());
+}
+
+TEST(SymbolTable, FindReturnsFirstOfDuplicates) {
+  SymbolTable t;
+  const SymbolId first = t.add("dup");
+  t.add("dup");
+  EXPECT_EQ(t.find("dup"), first);
+}
+
+TEST(SymbolTable, IpAtFractions) {
+  SymbolTable t;
+  const SymbolId a = t.add("f", 0x1000);
+  EXPECT_EQ(t.ip_at(a, 0.0), t[a].lo);
+  EXPECT_EQ(t.ip_at(a, 0.5), t[a].lo + 0x800);
+  // frac >= 1 clamps inside the range.
+  EXPECT_LT(t.ip_at(a, 1.0), t[a].hi);
+  EXPECT_GE(t.ip_at(a, 1.0), t[a].lo);
+  // Negative clamps to the start.
+  EXPECT_EQ(t.ip_at(a, -0.5), t[a].lo);
+}
+
+TEST(SymbolTable, IpAtAlwaysResolvesBack) {
+  SymbolTable t;
+  const SymbolId a = t.add("f1", 0x37);  // odd sizes
+  const SymbolId b = t.add("f2", 0x211);
+  const SymbolId c = t.add("f3", 0x1);
+  for (const SymbolId id : {a, b, c}) {
+    for (const double frac : {0.0, 0.25, 0.5, 0.75, 0.999, 1.0}) {
+      EXPECT_EQ(t.resolve(t.ip_at(id, frac)), id)
+          << "id=" << id << " frac=" << frac;
+    }
+  }
+}
+
+class SymbolTableScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymbolTableScaleTest, ManySymbolsResolveCorrectly) {
+  const int n = GetParam();
+  SymbolTable t;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(t.add("fn_" + std::to_string(i), 0x10 + (i % 7) * 0x30));
+  }
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(n));
+  for (const SymbolId id : ids) {
+    EXPECT_EQ(t.resolve(t[id].lo), id);
+    EXPECT_EQ(t.resolve(t[id].hi - 1), id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymbolTableScaleTest,
+                         ::testing::Values(1, 2, 10, 100, 1000));
+
+} // namespace
+} // namespace fluxtrace

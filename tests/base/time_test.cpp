@@ -1,0 +1,61 @@
+#include "fluxtrace/base/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace {
+namespace {
+
+TEST(CpuSpec, CyclesFromNsAtThreeGhz) {
+  CpuSpec s;
+  s.freq_ghz = 3.0;
+  EXPECT_EQ(s.cycles(1000.0), 3000u); // 1 us = 3000 cycles
+  EXPECT_EQ(s.cycles(250.0), 750u);   // one PEBS assist
+  EXPECT_EQ(s.cycles(0.0), 0u);
+}
+
+TEST(CpuSpec, NsRoundTrip) {
+  CpuSpec s;
+  s.freq_ghz = 3.0;
+  EXPECT_DOUBLE_EQ(s.ns(3000), 1000.0);
+  EXPECT_DOUBLE_EQ(s.us(3000), 1.0);
+}
+
+TEST(CpuSpec, CyclesRoundsToNearest) {
+  CpuSpec s;
+  s.freq_ghz = 2.0;
+  EXPECT_EQ(s.cycles(0.3), 1u); // 0.6 cycles rounds up
+  EXPECT_EQ(s.cycles(0.2), 0u); // 0.4 cycles rounds down
+}
+
+TEST(CpuSpec, UopCycles) {
+  CpuSpec s;
+  s.cycles_per_uop = 0.4;
+  EXPECT_EQ(s.uop_cycles(10), 4u);
+  EXPECT_EQ(s.uop_cycles(8000), 3200u); // the paper's R=8000 at ~1.07 us
+  EXPECT_EQ(s.uop_cycles(0), 0u);
+}
+
+TEST(CpuSpec, UopCyclesRounds) {
+  CpuSpec s;
+  s.cycles_per_uop = 0.4;
+  EXPECT_EQ(s.uop_cycles(1), 0u); // 0.4 rounds down
+  EXPECT_EQ(s.uop_cycles(2), 1u); // 0.8 rounds up
+}
+
+class CpuSpecFreqTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CpuSpecFreqTest, NsCyclesInverse) {
+  CpuSpec s;
+  s.freq_ghz = GetParam();
+  for (const double ns : {1.0, 250.0, 1000.0, 9500.0, 1e6}) {
+    const Tsc c = s.cycles(ns);
+    EXPECT_NEAR(s.ns(c), ns, 1.0 / s.freq_ghz + 1e-9)
+        << "freq=" << s.freq_ghz << " ns=" << ns;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, CpuSpecFreqTest,
+                         ::testing::Values(1.0, 2.0, 2.6, 3.0, 3.7, 4.2));
+
+} // namespace
+} // namespace fluxtrace

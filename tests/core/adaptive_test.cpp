@@ -1,0 +1,103 @@
+#include "fluxtrace/core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+/// Feed `n` samples spaced `gap_ns` apart starting at `t0` (cycles).
+Tsc feed(AdaptiveReset& ar, const CpuSpec& spec, Tsc t0, double gap_ns,
+         std::uint64_t n) {
+  Tsc t = t0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PebsSample s;
+    s.tsc = t;
+    ar.on_sample(s);
+    t += spec.cycles(gap_ns);
+  }
+  return t;
+}
+
+struct AdaptiveFixture : ::testing::Test {
+  CpuSpec spec;
+  std::uint64_t programmed = 0;
+  std::uint64_t calls = 0;
+
+  AdaptiveReset make(double target_ns, std::uint64_t initial,
+                     std::uint64_t window = 64) {
+    AdaptiveResetConfig cfg;
+    cfg.target_interval_ns = target_ns;
+    cfg.window = window;
+    return AdaptiveReset(cfg, initial, spec, [this](std::uint64_t r) {
+      programmed = r;
+      ++calls;
+    });
+  }
+};
+
+TEST_F(AdaptiveFixture, NoAdjustmentWhenOnTarget) {
+  AdaptiveReset ar = make(1000.0, 8000);
+  feed(ar, spec, 0, 1000.0, 200);
+  EXPECT_EQ(ar.adjustments(), 0u);
+  EXPECT_EQ(ar.current_reset(), 8000u);
+}
+
+TEST_F(AdaptiveFixture, ScalesUpWhenSamplingTooFast) {
+  // Achieved 250 ns vs target 1000 ns → R should grow ~4x.
+  AdaptiveReset ar = make(1000.0, 2000);
+  feed(ar, spec, 0, 250.0, 64);
+  EXPECT_EQ(ar.adjustments(), 1u);
+  EXPECT_NEAR(static_cast<double>(ar.current_reset()), 8000.0, 200.0);
+  EXPECT_EQ(programmed, ar.current_reset());
+}
+
+TEST_F(AdaptiveFixture, ScalesDownWhenSamplingTooSlow) {
+  AdaptiveReset ar = make(1000.0, 32000);
+  feed(ar, spec, 0, 4000.0, 64);
+  EXPECT_NEAR(static_cast<double>(ar.current_reset()), 8000.0, 200.0);
+}
+
+TEST_F(AdaptiveFixture, ConvergesAcrossAPhaseChange) {
+  // Workload phase 1: intervals on target at R=8000. Phase 2: the uop
+  // rate halves (intervals double); the controller must settle back.
+  AdaptiveReset ar = make(1000.0, 8000);
+  Tsc t = feed(ar, spec, 0, 1000.0, 128);
+  EXPECT_EQ(ar.adjustments(), 0u);
+
+  // Model: interval scales with R and with the (halved) uop rate:
+  // gap_ns = R / 8000 * 2000ns during phase 2.
+  for (int rounds = 0; rounds < 6; ++rounds) {
+    const double gap =
+        static_cast<double>(ar.current_reset()) / 8000.0 * 2000.0;
+    t = feed(ar, spec, t, gap, 64);
+  }
+  // Settled near R = 4000 (half), achieving ~1000 ns again.
+  EXPECT_NEAR(static_cast<double>(ar.current_reset()), 4000.0, 400.0);
+  EXPECT_NEAR(ar.last_measured_interval_ns(), 1000.0, 150.0);
+}
+
+TEST_F(AdaptiveFixture, RespectsClampBounds) {
+  AdaptiveResetConfig cfg;
+  cfg.target_interval_ns = 1000.0;
+  cfg.window = 32;
+  cfg.min_reset = 1000;
+  cfg.max_reset = 16000;
+  AdaptiveReset ar(cfg, 8000, spec, {});
+  // Absurdly slow sampling → wants enormous R → clamped.
+  feed(ar, spec, 0, 10.0, 32);
+  EXPECT_EQ(ar.current_reset(), 16000u);
+  // Absurdly fast → clamped at the bottom.
+  feed(ar, spec, 1u << 30, 100000.0, 32);
+  EXPECT_EQ(ar.current_reset(), 1000u);
+}
+
+TEST_F(AdaptiveFixture, DeadBandSuppressesJitter) {
+  AdaptiveReset ar = make(1000.0, 8000);
+  feed(ar, spec, 0, 1030.0, 64); // 3% off: inside the 5% dead-band
+  EXPECT_EQ(ar.adjustments(), 0u);
+  feed(ar, spec, 1u << 28, 1100.0, 64); // 10% off: corrected
+  EXPECT_EQ(ar.adjustments(), 1u);
+}
+
+} // namespace
+} // namespace fluxtrace::core

@@ -1,0 +1,149 @@
+#include "fluxtrace/core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+struct BatchFixture : ::testing::Test {
+  BatchFixture() {
+    fa = symtab.add("fa", 0x100);
+    fb = symtab.add("fb", 0x100);
+  }
+
+  PebsSample sample(Tsc t, SymbolId fn, std::uint32_t core = 0) {
+    PebsSample s;
+    s.tsc = t;
+    s.core = core;
+    s.ip = symtab.ip_at(fn, 0.5);
+    return s;
+  }
+
+  SymbolTable symtab;
+  SymbolId fa, fb;
+};
+
+TEST(BatchTable, RegistersAndResolvesBatches) {
+  BatchTable t;
+  const ItemId b1 = t.new_batch({1, 2, 3});
+  const ItemId b2 = t.new_batch({4});
+  EXPECT_TRUE(BatchTable::is_batch_id(b1));
+  EXPECT_TRUE(BatchTable::is_batch_id(b2));
+  EXPECT_NE(b1, b2);
+  EXPECT_FALSE(BatchTable::is_batch_id(3));
+  ASSERT_NE(t.members(b1), nullptr);
+  EXPECT_EQ(t.members(b1)->size(), 3u);
+  EXPECT_EQ(t.members(99), nullptr);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST_F(BatchFixture, PooledDividesEvenly) {
+  BatchTable bt;
+  const ItemId batch = bt.new_batch({10, 11, 12});
+  const std::vector<Marker> ms = {
+      Marker{1000, batch, 0, MarkerKind::Enter},
+      Marker{4000, batch, 0, MarkerKind::Leave},
+  };
+  // fa spans 2400 cycles within the batch window.
+  const std::vector<PebsSample> ss = {
+      sample(1200, fa), sample(2000, fa), sample(3600, fa)};
+
+  BatchIntegrator integ(symtab, bt);
+  const auto est = integ.integrate(ms, ss, BatchPolicy::Pooled);
+  ASSERT_EQ(est.size(), 3u);
+  for (const auto& e : est) {
+    EXPECT_EQ(e.batch, batch);
+    EXPECT_EQ(e.window_share, 1000u);
+    EXPECT_EQ(e.elapsed(fa), 800u); // 2400 / 3
+  }
+  EXPECT_EQ(est[0].item, 10u);
+  EXPECT_EQ(est[2].item, 12u);
+}
+
+TEST_F(BatchFixture, SubWindowsAttributeByTimeSlice) {
+  BatchTable bt;
+  const ItemId batch = bt.new_batch({20, 21});
+  const std::vector<Marker> ms = {
+      Marker{0, batch, 0, MarkerKind::Enter},
+      Marker{1000, batch, 0, MarkerKind::Leave},
+  };
+  // Member 20 owns [0, 500), member 21 owns [500, 1000].
+  const std::vector<PebsSample> ss = {
+      sample(100, fa), sample(400, fa), // item 20's slice
+      sample(600, fb), sample(900, fb), // item 21's slice
+  };
+  BatchIntegrator integ(symtab, bt);
+  const auto est = integ.integrate(ms, ss, BatchPolicy::SubWindows);
+  ASSERT_EQ(est.size(), 2u);
+  EXPECT_EQ(est[0].item, 20u);
+  EXPECT_EQ(est[0].elapsed(fa), 300u);
+  EXPECT_EQ(est[0].elapsed(fb), 0u);
+  EXPECT_EQ(est[1].item, 21u);
+  EXPECT_EQ(est[1].elapsed(fb), 300u);
+  EXPECT_EQ(est[1].elapsed(fa), 0u);
+}
+
+TEST_F(BatchFixture, NonBatchMarkersIgnored) {
+  BatchTable bt;
+  const std::vector<Marker> ms = {
+      Marker{0, 5, 0, MarkerKind::Enter}, // plain item id, not a batch
+      Marker{100, 5, 0, MarkerKind::Leave},
+  };
+  const std::vector<PebsSample> ss = {sample(10, fa), sample(90, fa)};
+  BatchIntegrator integ(symtab, bt);
+  EXPECT_TRUE(integ.integrate(ms, ss, BatchPolicy::Pooled).empty());
+}
+
+TEST_F(BatchFixture, SamplesOutsideWindowExcluded) {
+  BatchTable bt;
+  const ItemId batch = bt.new_batch({1});
+  const std::vector<Marker> ms = {
+      Marker{100, batch, 0, MarkerKind::Enter},
+      Marker{200, batch, 0, MarkerKind::Leave},
+  };
+  const std::vector<PebsSample> ss = {
+      sample(50, fa), sample(120, fa), sample(180, fa), sample(250, fa)};
+  BatchIntegrator integ(symtab, bt);
+  const auto est = integ.integrate(ms, ss, BatchPolicy::Pooled);
+  ASSERT_EQ(est.size(), 1u);
+  EXPECT_EQ(est[0].elapsed(fa), 60u); // only the two inside [100, 200]
+}
+
+TEST_F(BatchFixture, SingleMemberBatchEqualsPlainAttribution) {
+  BatchTable bt;
+  const ItemId batch = bt.new_batch({7});
+  const std::vector<Marker> ms = {
+      Marker{0, batch, 0, MarkerKind::Enter},
+      Marker{1000, batch, 0, MarkerKind::Leave},
+  };
+  const std::vector<PebsSample> ss = {sample(100, fa), sample(900, fa)};
+  BatchIntegrator integ(symtab, bt);
+  for (const auto policy : {BatchPolicy::Pooled, BatchPolicy::SubWindows}) {
+    const auto est = integ.integrate(ms, ss, policy);
+    ASSERT_EQ(est.size(), 1u);
+    EXPECT_EQ(est[0].item, 7u);
+    EXPECT_EQ(est[0].elapsed(fa), 800u);
+  }
+}
+
+TEST_F(BatchFixture, HeterogeneousBatchPooledBlursButConservesTotal) {
+  // A heavy member next to light ones: pooled attribution divides the
+  // heavy member's time across everyone, but the per-batch total is
+  // conserved — the honest statement of the policy's accuracy.
+  BatchTable bt;
+  const ItemId batch = bt.new_batch({1, 2});
+  const std::vector<Marker> ms = {
+      Marker{0, batch, 0, MarkerKind::Enter},
+      Marker{3000, batch, 0, MarkerKind::Leave},
+  };
+  // fa runs only in member 1's (first) half, for 1400 cycles.
+  const std::vector<PebsSample> ss = {sample(100, fa), sample(1500, fa)};
+  BatchIntegrator integ(symtab, bt);
+  const auto est = integ.integrate(ms, ss, BatchPolicy::Pooled);
+  ASSERT_EQ(est.size(), 2u);
+  EXPECT_EQ(est[0].elapsed(fa) + est[1].elapsed(fa), 1400u);
+  EXPECT_EQ(est[0].elapsed(fa), est[1].elapsed(fa)); // blurred evenly
+}
+
+} // namespace
+} // namespace fluxtrace::core

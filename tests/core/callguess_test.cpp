@@ -1,0 +1,71 @@
+#include "fluxtrace/core/callguess.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+struct CallGuessFixture : ::testing::Test {
+  CallGuessFixture() {
+    f1 = symtab.add("f1", 0x100);
+    f2 = symtab.add("f2", 0x100);
+    util = symtab.add("util", 0x100);
+  }
+
+  PebsSample at(Tsc t, SymbolId fn, std::uint32_t core = 0) {
+    PebsSample s;
+    s.tsc = t;
+    s.core = core;
+    s.ip = symtab.ip_at(fn, 0.5);
+    return s;
+  }
+
+  SymbolTable symtab;
+  SymbolId f1, f2, util;
+};
+
+TEST_F(CallGuessFixture, AttributesToNearestPrecedingFunction) {
+  const std::vector<PebsSample> ss = {
+      at(10, f1), at(20, util), at(30, f2), at(40, util), at(50, util)};
+  const CallerGuess g = guess_callers(symtab, ss, util);
+  EXPECT_EQ(g.utility_samples, 3u);
+  EXPECT_EQ(g.attributed_to(f1), 1u);
+  EXPECT_EQ(g.attributed_to(f2), 2u);
+  EXPECT_EQ(g.unattributed, 0u);
+}
+
+TEST_F(CallGuessFixture, LeadingUtilitySamplesUnattributed) {
+  const std::vector<PebsSample> ss = {at(5, util), at(6, util), at(10, f1)};
+  const CallerGuess g = guess_callers(symtab, ss, util);
+  EXPECT_EQ(g.unattributed, 2u);
+}
+
+TEST_F(CallGuessFixture, CoresDoNotLeakContext) {
+  const std::vector<PebsSample> ss = {
+      at(10, f1, 0),
+      at(20, util, 1), // core 1 has no prior context
+  };
+  const CallerGuess g = guess_callers(symtab, ss, util);
+  EXPECT_EQ(g.unattributed, 1u);
+  EXPECT_EQ(g.attributed_to(f1), 0u);
+}
+
+TEST_F(CallGuessFixture, SortsOutOfOrderInput) {
+  const std::vector<PebsSample> ss = {at(40, util), at(10, f2), at(20, util),
+                                      at(30, f1)};
+  const CallerGuess g = guess_callers(symtab, ss, util);
+  EXPECT_EQ(g.attributed_to(f2), 1u); // sample at 20
+  EXPECT_EQ(g.attributed_to(f1), 1u); // sample at 40
+}
+
+TEST_F(CallGuessFixture, TheStaleNeighbourFailureMode) {
+  // §V-B2's warning, in miniature: f2 calls util, but the last sampled
+  // function before the util sample was f1 (the sampler skipped f2's
+  // short body entirely) — the guess is wrong by construction.
+  const std::vector<PebsSample> ss = {at(10, f1), at(50, util)};
+  const CallerGuess g = guess_callers(symtab, ss, util);
+  EXPECT_EQ(g.attributed_to(f1), 1u) << "heuristic can only guess f1";
+}
+
+} // namespace
+} // namespace fluxtrace::core

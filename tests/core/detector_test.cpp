@@ -1,0 +1,73 @@
+#include "fluxtrace/core/detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+TEST(FluctuationDetector, NoFlagsDuringWarmup) {
+  FluctuationDetector d(DetectorConfig{3.0, 8});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(d.observe(i, 1, 100 + (i % 2))); // warming up
+  }
+  EXPECT_TRUE(d.anomalies().empty());
+}
+
+TEST(FluctuationDetector, FlagsOutlierAfterWarmup) {
+  FluctuationDetector d(DetectorConfig{3.0, 8});
+  for (int i = 0; i < 20; ++i) d.observe(i, 1, 100 + (i % 3));
+  EXPECT_TRUE(d.observe(99, 1, 500));
+  ASSERT_EQ(d.anomalies().size(), 1u);
+  const Anomaly& a = d.anomalies()[0];
+  EXPECT_EQ(a.item, 99u);
+  EXPECT_EQ(a.fn, 1u);
+  EXPECT_EQ(a.elapsed, 500u);
+  EXPECT_GT(a.deviation(), 3.0);
+}
+
+TEST(FluctuationDetector, InlierNotFlagged) {
+  FluctuationDetector d(DetectorConfig{3.0, 4});
+  for (int i = 0; i < 20; ++i) d.observe(i, 1, 100 + (i % 10));
+  EXPECT_FALSE(d.observe(100, 1, 104));
+}
+
+TEST(FluctuationDetector, StatsPerFunctionAreIndependent) {
+  FluctuationDetector d;
+  for (int i = 0; i < 10; ++i) {
+    d.observe(i, 1, 100);
+    d.observe(i, 2, 10000);
+  }
+  EXPECT_DOUBLE_EQ(d.mean(1), 100.0);
+  EXPECT_DOUBLE_EQ(d.mean(2), 10000.0);
+  EXPECT_EQ(d.count(1), 10u);
+  EXPECT_EQ(d.count(99), 0u);
+}
+
+TEST(FluctuationDetector, WelfordMeanAndSigmaAreAccurate) {
+  FluctuationDetector d;
+  // 10, 20, ..., 100: mean 55, sample stddev ≈ 30.28.
+  for (int i = 1; i <= 10; ++i) d.observe(i, 7, i * 10);
+  EXPECT_NEAR(d.mean(7), 55.0, 1e-9);
+  EXPECT_NEAR(d.sigma(7), 30.2765, 1e-3);
+}
+
+TEST(FluctuationDetector, ZeroVarianceNeverFlags) {
+  FluctuationDetector d(DetectorConfig{3.0, 2});
+  for (int i = 0; i < 10; ++i) d.observe(i, 1, 100);
+  // Identical history: sigma is 0; even a big jump is not a k-sigma
+  // event (it would divide by zero) — the caller sees it next time once
+  // variance exists.
+  EXPECT_FALSE(d.observe(11, 1, 100));
+}
+
+TEST(FluctuationDetector, ColdCacheScenario) {
+  // The sample app's pattern: first item slow (cache cold), later items
+  // with the same n fast. Feeding the fast ones first lets the detector
+  // flag a subsequent slow occurrence online.
+  FluctuationDetector d(DetectorConfig{3.0, 4});
+  for (int i = 0; i < 12; ++i) d.observe(i, 3, 1000 + (i % 5));
+  EXPECT_TRUE(d.observe(50, 3, 60000)) << "cold-cache item must be flagged";
+}
+
+} // namespace
+} // namespace fluxtrace::core

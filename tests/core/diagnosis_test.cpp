@@ -1,0 +1,104 @@
+#include "fluxtrace/core/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+struct DiagFixture : ::testing::Test {
+  DiagFixture() {
+    fast_fn = symtab.add("fast_fn", 0x100);
+    slow_fn = symtab.add("slow_fn", 0x100);
+  }
+
+  /// Add an item whose window is `len` with samples in `fn` spanning
+  /// most of it.
+  void add_item(TraceTable& t, ItemId id, Tsc start, Tsc len, SymbolId fn) {
+    t.add_window(ItemWindow{id, 0, start, start + len});
+    t.add_sample(id, fn, 0, start + 5);
+    t.add_sample(id, fn, 0, start + len - 5);
+  }
+
+  SymbolTable symtab;
+  SymbolId fast_fn, slow_fn;
+};
+
+TEST_F(DiagFixture, FlagsTheOutlierAndNamesTheDominantFunction) {
+  TraceTable t;
+  Tsc at = 0;
+  for (ItemId id = 1; id <= 30; ++id) {
+    add_item(t, id, at, 1000 + (id % 4) * 10, fast_fn);
+    at += 2000;
+  }
+  add_item(t, 31, at, 50000, slow_fn); // the fluctuation
+
+  const CpuSpec spec;
+  const DiagnosisReport rep = diagnose(t, spec);
+  EXPECT_EQ(rep.items, 31u);
+  ASSERT_EQ(rep.outliers.size(), 1u);
+  EXPECT_EQ(rep.outliers[0].item, 31u);
+  EXPECT_GT(rep.outliers[0].sigmas, 3.0);
+  EXPECT_EQ(rep.outliers[0].dominant_fn, slow_fn);
+  EXPECT_GT(rep.outliers[0].dominant_share, 0.9);
+
+  const std::string text = rep.str(symtab);
+  EXPECT_NE(text.find("item #31"), std::string::npos);
+  EXPECT_NE(text.find("slow_fn"), std::string::npos);
+}
+
+TEST_F(DiagFixture, NoOutliersInSteadyTraffic) {
+  TraceTable t;
+  Tsc at = 0;
+  for (ItemId id = 1; id <= 40; ++id) {
+    add_item(t, id, at, 1000 + (id % 5) * 8, fast_fn);
+    at += 2000;
+  }
+  const DiagnosisReport rep = diagnose(t, CpuSpec{});
+  EXPECT_TRUE(rep.outliers.empty());
+  EXPECT_NE(rep.str(symtab).find("no outliers"), std::string::npos);
+}
+
+TEST_F(DiagFixture, DistributionStatsAreRight) {
+  TraceTable t;
+  Tsc at = 0;
+  // 10 items of exactly 3000 cycles = 1 us at 3 GHz.
+  for (ItemId id = 1; id <= 10; ++id) {
+    add_item(t, id, at, 3000, fast_fn);
+    at += 5000;
+  }
+  const DiagnosisReport rep = diagnose(t, CpuSpec{});
+  EXPECT_DOUBLE_EQ(rep.mean_us, 1.0);
+  EXPECT_DOUBLE_EQ(rep.stddev_us, 0.0);
+  EXPECT_DOUBLE_EQ(rep.p99_us, 1.0);
+}
+
+TEST_F(DiagFixture, MaxOutliersBounded) {
+  TraceTable t;
+  Tsc at = 0;
+  for (ItemId id = 1; id <= 40; ++id) {
+    add_item(t, id, at, 1000 + (id % 3), fast_fn);
+    at += 2000;
+  }
+  // Many spikes, growing in size.
+  for (ItemId id = 41; id <= 60; ++id) {
+    add_item(t, id, at, 20000 + id * 1000, slow_fn);
+    at += 40000;
+  }
+  DiagnosisConfig cfg;
+  cfg.max_outliers = 5;
+  const DiagnosisReport rep = diagnose(t, CpuSpec{}, cfg);
+  EXPECT_EQ(rep.outliers.size(), 5u);
+  // Most deviant first.
+  for (std::size_t i = 1; i < rep.outliers.size(); ++i) {
+    EXPECT_GE(rep.outliers[i - 1].sigmas, rep.outliers[i].sigmas);
+  }
+}
+
+TEST_F(DiagFixture, EmptyTable) {
+  const DiagnosisReport rep = diagnose(TraceTable{}, CpuSpec{});
+  EXPECT_EQ(rep.items, 0u);
+  EXPECT_TRUE(rep.outliers.empty());
+}
+
+} // namespace
+} // namespace fluxtrace::core

@@ -1,0 +1,114 @@
+// Robustness fuzz for the streaming pipeline: randomized windows and
+// samples delivered in randomized drain batches must always agree with
+// the offline integrator, item for item.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/online.hpp"
+
+namespace fluxtrace::core {
+namespace {
+
+class OnlineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineFuzz, BatchedDeliveryMatchesOffline) {
+  std::uint64_t state = GetParam();
+  auto rnd = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 16;
+  };
+
+  SymbolTable symtab;
+  std::vector<SymbolId> fns;
+  for (int i = 0; i < 6; ++i) {
+    fns.push_back(symtab.add("fn" + std::to_string(i), 0x200));
+  }
+
+  // Two cores, randomized disjoint windows and in-window samples.
+  std::vector<Marker> markers;
+  std::vector<PebsSample> samples_by_core[2];
+  ItemId next_id = 1;
+  for (int core = 0; core < 2; ++core) {
+    Tsc t = 100;
+    const int items = 25 + static_cast<int>(rnd() % 25);
+    for (int i = 0; i < items; ++i) {
+      const ItemId id = next_id++;
+      const Tsc enter = t;
+      const Tsc leave = enter + 30 + rnd() % 400;
+      markers.push_back(
+          Marker{enter, id, static_cast<std::uint32_t>(core),
+                 MarkerKind::Enter});
+      markers.push_back(
+          Marker{leave, id, static_cast<std::uint32_t>(core),
+                 MarkerKind::Leave});
+      const int n = static_cast<int>(rnd() % 8);
+      for (int s = 0; s < n; ++s) {
+        PebsSample smp;
+        smp.core = static_cast<std::uint32_t>(core);
+        smp.tsc = enter + rnd() % (leave - enter + 1);
+        smp.ip = symtab.ip_at(fns[rnd() % fns.size()],
+                              static_cast<double>(rnd() % 97) / 97.0);
+        samples_by_core[core].push_back(smp);
+      }
+      // Occasionally a stray sample between windows.
+      if (rnd() % 4 == 0) {
+        PebsSample stray;
+        stray.core = static_cast<std::uint32_t>(core);
+        stray.tsc = leave + 1 + rnd() % 10;
+        stray.ip = symtab.ip_at(fns[0], 0.5);
+        samples_by_core[core].push_back(stray);
+      }
+      t = leave + 12 + rnd() % 60;
+    }
+    std::sort(samples_by_core[core].begin(), samples_by_core[core].end(),
+              [](const PebsSample& a, const PebsSample& b) {
+                return a.tsc < b.tsc;
+              });
+  }
+
+  // Online: markers in global time order; samples per core in random-size
+  // batches, interleaved across cores (as independent drains would be).
+  OnlineTracerConfig cfg;
+  cfg.keep_results = 1u << 12;
+  OnlineTracer ot(symtab, cfg);
+  std::sort(markers.begin(), markers.end(),
+            [](const Marker& a, const Marker& b) { return a.tsc < b.tsc; });
+  for (const Marker& m : markers) ot.on_marker(m);
+  std::size_t pos[2] = {0, 0};
+  while (pos[0] < samples_by_core[0].size() ||
+         pos[1] < samples_by_core[1].size()) {
+    const int core = static_cast<int>(rnd() % 2);
+    const std::size_t batch = 1 + rnd() % 16;
+    for (std::size_t i = 0; i < batch && pos[core] < samples_by_core[core].size();
+         ++i) {
+      ot.on_sample(samples_by_core[core][pos[core]++]);
+    }
+  }
+  ot.finish();
+
+  // Offline oracle.
+  std::vector<PebsSample> all;
+  for (int core = 0; core < 2; ++core) {
+    all.insert(all.end(), samples_by_core[core].begin(),
+               samples_by_core[core].end());
+  }
+  TraceIntegrator integ(symtab);
+  const TraceTable offline = integ.integrate(markers, all);
+
+  EXPECT_EQ(ot.items_completed(), static_cast<std::uint64_t>(next_id - 1));
+  for (const OnlineResult& r : ot.recent()) {
+    EXPECT_EQ(r.window, offline.item_window_total(r.item)) << r.item;
+    for (const SymbolId fn : fns) {
+      EXPECT_EQ(r.elapsed(fn), offline.elapsed(r.item, fn))
+          << "item " << r.item << " fn " << fn;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineFuzz,
+                         ::testing::Values(7, 21, 63, 189, 567, 1701));
+
+} // namespace
+} // namespace fluxtrace::core

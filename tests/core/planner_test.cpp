@@ -1,0 +1,80 @@
+#include "fluxtrace/core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+TEST(ResetValuePlanner, RecoversExactLinearRelation) {
+  ResetValuePlanner p;
+  // interval = 0.133 ns/event × R + 40 ns.
+  for (const std::uint64_t r : {1000u, 2000u, 4000u, 8000u, 16000u}) {
+    p.add(r, 0.133 * static_cast<double>(r) + 40.0);
+  }
+  const LinearFit f = p.fit();
+  EXPECT_NEAR(f.a, 0.133, 1e-9);
+  EXPECT_NEAR(f.b, 40.0, 1e-6);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_NEAR(p.predict_interval_ns(12000), 0.133 * 12000 + 40.0, 1e-6);
+}
+
+TEST(ResetValuePlanner, FitWithNoiseKeepsHighR2) {
+  ResetValuePlanner p;
+  const double noise[] = {+3, -2, +1, -4, +2, 0};
+  int i = 0;
+  for (const std::uint64_t r : {1000u, 2000u, 4000u, 8000u, 16000u, 24000u}) {
+    p.add(r, 0.1 * static_cast<double>(r) + 50.0 + noise[i++]);
+  }
+  const LinearFit f = p.fit();
+  EXPECT_GT(f.r2, 0.999) << "§V-C: strong linearity with small deviations";
+  EXPECT_NEAR(f.a, 0.1, 0.01);
+}
+
+TEST(ResetValuePlanner, TooFewPointsGiveNullFit) {
+  ResetValuePlanner p;
+  EXPECT_EQ(p.fit().a, 0.0);
+  p.add(1000, 150.0);
+  EXPECT_EQ(p.fit().a, 0.0);
+}
+
+TEST(ResetValuePlanner, IdenticalResetValuesGiveNullFit) {
+  ResetValuePlanner p;
+  p.add(1000, 150.0);
+  p.add(1000, 160.0);
+  EXPECT_EQ(p.fit().a, 0.0);
+}
+
+TEST(ResetValuePlanner, RecommendForOverheadInvertsTheModel) {
+  ResetValuePlanner p;
+  for (const std::uint64_t r : {1000u, 8000u, 16000u}) {
+    p.add(r, 0.125 * static_cast<double>(r)); // no intercept
+  }
+  // overhead = 250 / (0.125 R) <= 0.02  ⇒  R >= 100000.
+  const std::uint64_t r = p.recommend_for_overhead(0.02, 250.0);
+  EXPECT_EQ(r, 100000u);
+  EXPECT_LE(p.predict_overhead(r, 250.0), 0.02 + 1e-12);
+  // A slightly smaller reset value must violate the budget.
+  EXPECT_GT(p.predict_overhead(r - 1000, 250.0), 0.02);
+}
+
+TEST(ResetValuePlanner, RecommendForInterval) {
+  ResetValuePlanner p;
+  for (const std::uint64_t r : {1000u, 8000u, 16000u}) {
+    p.add(r, 0.125 * static_cast<double>(r) + 30.0);
+  }
+  const std::uint64_t r = p.recommend_for_interval(1030.0); // 1 µs + b
+  EXPECT_EQ(r, 8000u);
+  // Unreachable target (below the intercept) → 0.
+  EXPECT_EQ(p.recommend_for_interval(10.0), 0u);
+}
+
+TEST(ResetValuePlanner, DegenerateBudgetsHandled) {
+  ResetValuePlanner p;
+  p.add(1000, 100.0);
+  p.add(2000, 200.0);
+  EXPECT_EQ(p.recommend_for_overhead(0.0), 0u);
+  EXPECT_GE(p.recommend_for_overhead(1.0), 1u); // any R works; clamps at 1
+}
+
+} // namespace
+} // namespace fluxtrace::core

@@ -1,0 +1,83 @@
+#include "fluxtrace/core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+struct ProfileFixture : ::testing::Test {
+  ProfileFixture() {
+    fa = symtab.add("fa", 0x100);
+    fb = symtab.add("fb", 0x100);
+    fc = symtab.add("fc", 0x100);
+  }
+
+  PebsSample at(SymbolId fn) {
+    PebsSample s;
+    s.ip = symtab.ip_at(fn, 0.5);
+    return s;
+  }
+
+  SymbolTable symtab;
+  SymbolId fa, fb, fc;
+};
+
+TEST_F(ProfileFixture, SharesAndEstimatesFollowTnOverN) {
+  // §V-B1: t(f) = T · n / N.
+  std::vector<PebsSample> ss;
+  for (int i = 0; i < 6; ++i) ss.push_back(at(fa));
+  for (int i = 0; i < 3; ++i) ss.push_back(at(fb));
+  for (int i = 0; i < 1; ++i) ss.push_back(at(fc));
+
+  const Profile p = Profile::from_samples(symtab, ss, /*total_time=*/1000);
+  EXPECT_EQ(p.total_samples(), 10u);
+  EXPECT_EQ(p.est_time(fa), 600u);
+  EXPECT_EQ(p.est_time(fb), 300u);
+  EXPECT_EQ(p.est_time(fc), 100u);
+  EXPECT_EQ(p.samples(fa), 6u);
+}
+
+TEST_F(ProfileFixture, EntriesSortedByDescendingTime) {
+  std::vector<PebsSample> ss;
+  ss.push_back(at(fc));
+  for (int i = 0; i < 5; ++i) ss.push_back(at(fb));
+  for (int i = 0; i < 2; ++i) ss.push_back(at(fa));
+  const Profile p = Profile::from_samples(symtab, ss, 800);
+  ASSERT_EQ(p.entries().size(), 3u);
+  EXPECT_EQ(p.entries()[0].fn, fb);
+  EXPECT_EQ(p.entries()[1].fn, fa);
+  EXPECT_EQ(p.entries()[2].fn, fc);
+}
+
+TEST_F(ProfileFixture, UnresolvedIpsCounted) {
+  std::vector<PebsSample> ss = {at(fa)};
+  PebsSample bogus;
+  bogus.ip = 1;
+  ss.push_back(bogus);
+  const Profile p = Profile::from_samples(symtab, ss, 100);
+  EXPECT_EQ(p.unresolved(), 1u);
+  EXPECT_EQ(p.total_samples(), 1u);
+  EXPECT_EQ(p.est_time(fa), 100u); // share computed over resolved only
+}
+
+TEST_F(ProfileFixture, EmptyStream) {
+  const Profile p = Profile::from_samples(symtab, {}, 100);
+  EXPECT_TRUE(p.entries().empty());
+  EXPECT_EQ(p.est_time(fa), 0u);
+}
+
+TEST_F(ProfileFixture, ProfileEstimatesShortFunctionsTracesCannot) {
+  // A function that only ever collects one sample per item cannot be
+  // estimated by a trace, but across many items the profile share still
+  // converges (the §V-B1 contrast).
+  std::vector<PebsSample> ss;
+  for (int item = 0; item < 100; ++item) {
+    ss.push_back(at(fa)); // one fa sample per "item"
+    for (int i = 0; i < 9; ++i) ss.push_back(at(fb));
+  }
+  const Profile p = Profile::from_samples(symtab, ss, 10000);
+  EXPECT_EQ(p.est_time(fa), 1000u); // 10% of the run
+}
+
+} // namespace
+} // namespace fluxtrace::core

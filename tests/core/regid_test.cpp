@@ -1,0 +1,66 @@
+#include "fluxtrace/core/regid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+PebsSample sample(Tsc t, ItemId reg_id, std::uint32_t core = 0) {
+  PebsSample s;
+  s.tsc = t;
+  s.core = core;
+  s.regs.set(kItemIdReg, reg_id);
+  return s;
+}
+
+TEST(RegisterIdMapper, GroupsByRegisterValue) {
+  RegisterIdMapper m;
+  const std::vector<PebsSample> ss = {
+      sample(10, 1), sample(20, 2), sample(30, 1), sample(40, kNoItem)};
+  const auto g = m.group(ss);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.at(1).size(), 2u);
+  EXPECT_EQ(g.at(2).size(), 1u);
+  EXPECT_EQ(g.count(kNoItem), 0u);
+}
+
+TEST(RegisterIdMapper, CustomRegister) {
+  RegisterIdMapper m(Reg::R12);
+  PebsSample s;
+  s.regs.set(Reg::R12, 5);
+  s.regs.set(Reg::R13, 9);
+  EXPECT_EQ(m.item_of(s), 5u);
+}
+
+TEST(RegisterIdMapper, ComparisonCountsDisagreements) {
+  // Windows say item 1 occupies [100, 300] on core 0, but preemption put
+  // item 2 on the core for part of that span — its samples carry 2 in R13.
+  const std::vector<Marker> ms = {
+      Marker{100, 1, 0, MarkerKind::Enter},
+      Marker{300, 1, 0, MarkerKind::Leave},
+  };
+  const std::vector<PebsSample> ss = {
+      sample(120, 1), // both agree
+      sample(200, 2), // window says 1, register says 2 → disagreement
+      sample(280, 2), // disagreement
+      sample(400, 3), // outside window: register-only
+  };
+  RegisterIdMapper m;
+  const auto c = m.compare_with_windows(ss, ms);
+  EXPECT_EQ(c.total, 4u);
+  EXPECT_EQ(c.by_register, 4u);
+  EXPECT_EQ(c.by_window, 3u);
+  EXPECT_EQ(c.disagree, 2u);
+}
+
+TEST(RegisterIdMapper, NoMarkersMeansNoWindowAttribution) {
+  RegisterIdMapper m;
+  const std::vector<PebsSample> ss = {sample(10, 1), sample(20, 2)};
+  const auto c = m.compare_with_windows(ss, {});
+  EXPECT_EQ(c.by_register, 2u);
+  EXPECT_EQ(c.by_window, 0u);
+  EXPECT_EQ(c.disagree, 0u);
+}
+
+} // namespace
+} // namespace fluxtrace::core

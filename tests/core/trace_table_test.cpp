@@ -1,0 +1,114 @@
+#include "fluxtrace/core/trace_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+TEST(BucketStat, ElapsedNeedsTwoSamples) {
+  BucketStat b;
+  EXPECT_FALSE(b.estimable());
+  b.add(100);
+  EXPECT_FALSE(b.estimable());
+  EXPECT_EQ(b.elapsed(), 0u); // §V-B1: one sample ⇒ no estimate
+  b.add(300);
+  EXPECT_TRUE(b.estimable());
+  EXPECT_EQ(b.elapsed(), 200u);
+}
+
+TEST(BucketStat, FirstLastTrackExtremes) {
+  BucketStat b;
+  b.add(200);
+  b.add(100);
+  b.add(350);
+  EXPECT_EQ(b.first, 100u);
+  EXPECT_EQ(b.last, 350u);
+  EXPECT_EQ(b.samples, 3u);
+  EXPECT_EQ(b.elapsed(), 250u);
+}
+
+TEST(TraceTable, ElapsedPerItemAndFunction) {
+  TraceTable t;
+  t.add_sample(1, 10, 0, 100);
+  t.add_sample(1, 10, 0, 180);
+  t.add_sample(1, 20, 0, 200);
+  t.add_sample(1, 20, 0, 260);
+  t.add_sample(2, 10, 0, 500);
+  t.add_sample(2, 10, 0, 510);
+  EXPECT_EQ(t.elapsed(1, 10), 80u);
+  EXPECT_EQ(t.elapsed(1, 20), 60u);
+  EXPECT_EQ(t.elapsed(2, 10), 10u);
+  EXPECT_EQ(t.elapsed(2, 20), 0u);
+  EXPECT_EQ(t.elapsed(3, 10), 0u);
+}
+
+TEST(TraceTable, SampleCounts) {
+  TraceTable t;
+  t.add_sample(1, 10, 0, 100);
+  t.add_sample(1, 10, 0, 110);
+  t.add_sample(1, 10, 0, 120);
+  EXPECT_EQ(t.sample_count(1, 10), 3u);
+  EXPECT_EQ(t.sample_count(1, 11), 0u);
+  EXPECT_EQ(t.total_samples(), 3u);
+}
+
+TEST(TraceTable, PerCoreSpansDoNotMergeAcrossCores) {
+  // One item, same function id, on two cores whose TSC regions interleave:
+  // the per-core spans (50 and 60) must be summed, not fused into one
+  // 100..560 span.
+  TraceTable t;
+  t.add_sample(1, 10, /*core=*/0, 100);
+  t.add_sample(1, 10, /*core=*/0, 150);
+  t.add_sample(1, 10, /*core=*/1, 500);
+  t.add_sample(1, 10, /*core=*/1, 560);
+  EXPECT_EQ(t.elapsed(1, 10), 50u + 60u);
+}
+
+TEST(TraceTable, ItemsSortedFromSamplesAndWindows) {
+  TraceTable t;
+  t.add_sample(5, 10, 0, 100);
+  t.add_sample(2, 10, 0, 200);
+  t.add_window(ItemWindow{9, 0, 0, 10});
+  const auto items = t.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], 2u);
+  EXPECT_EQ(items[1], 5u);
+  EXPECT_EQ(items[2], 9u);
+}
+
+TEST(TraceTable, FunctionsForItem) {
+  TraceTable t;
+  t.add_sample(1, 30, 0, 100);
+  t.add_sample(1, 10, 0, 110);
+  t.add_sample(1, 10, 1, 120);
+  const auto fns = t.functions(1);
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0], 10u);
+  EXPECT_EQ(fns[1], 30u);
+  EXPECT_TRUE(t.functions(99).empty());
+}
+
+TEST(TraceTable, ItemTotals) {
+  TraceTable t;
+  t.add_sample(1, 10, 0, 100);
+  t.add_sample(1, 10, 0, 150);
+  t.add_sample(1, 20, 0, 160);
+  t.add_sample(1, 20, 0, 200);
+  EXPECT_EQ(t.item_estimated_total(1), 50u + 40u);
+
+  t.add_window(ItemWindow{1, 0, 90, 210});
+  t.add_window(ItemWindow{1, 1, 300, 320});
+  EXPECT_EQ(t.item_window_total(1), 120u + 20u);
+}
+
+TEST(TraceTable, UnmatchedCounters) {
+  TraceTable t;
+  t.count_unmatched_item();
+  t.count_unmatched_item();
+  t.count_unmatched_symbol();
+  EXPECT_EQ(t.unmatched_item(), 2u);
+  EXPECT_EQ(t.unmatched_symbol(), 1u);
+}
+
+} // namespace
+} // namespace fluxtrace::core

@@ -1,0 +1,68 @@
+#include "fluxtrace/core/tracediff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+TraceTable make(std::initializer_list<std::tuple<ItemId, SymbolId, Tsc, Tsc>>
+                    buckets) {
+  TraceTable t;
+  for (const auto& [item, fn, first, last] : buckets) {
+    t.add_sample(item, fn, 0, first);
+    t.add_sample(item, fn, 0, last);
+  }
+  return t;
+}
+
+TEST(TraceDiff, DetectsRegression) {
+  // fn 1 doubled from A to B; fn 2 unchanged.
+  const TraceTable a = make({{1, 1, 0, 100}, {2, 1, 0, 100},
+                             {1, 2, 0, 50}, {2, 2, 0, 50}});
+  const TraceTable b = make({{1, 1, 0, 200}, {2, 1, 0, 200},
+                             {1, 2, 0, 50}, {2, 2, 0, 50}});
+  const TraceDiff d = diff_traces(a, b);
+  EXPECT_EQ(d.matched_items, 2u);
+  ASSERT_EQ(d.functions.size(), 2u);
+  // Largest delta first.
+  EXPECT_EQ(d.functions[0].fn, 1u);
+  EXPECT_DOUBLE_EQ(d.functions[0].mean_a, 100.0);
+  EXPECT_DOUBLE_EQ(d.functions[0].mean_b, 200.0);
+  EXPECT_DOUBLE_EQ(d.functions[0].ratio(), 2.0);
+  const FnDelta* f2 = d.find(2);
+  ASSERT_NE(f2, nullptr);
+  EXPECT_DOUBLE_EQ(f2->delta(), 0.0);
+}
+
+TEST(TraceDiff, UnmatchedItemsCounted) {
+  const TraceTable a = make({{1, 1, 0, 10}, {2, 1, 0, 10}, {3, 1, 0, 10}});
+  const TraceTable b = make({{2, 1, 0, 10}, {9, 1, 0, 10}});
+  const TraceDiff d = diff_traces(a, b);
+  EXPECT_EQ(d.matched_items, 1u);
+  EXPECT_EQ(d.only_in_a, 2u);
+  EXPECT_EQ(d.only_in_b, 1u);
+}
+
+TEST(TraceDiff, FunctionMissingInOneRunShowsAsDrop) {
+  const TraceTable a = make({{1, 5, 0, 80}});
+  const TraceTable b = make({{1, 6, 0, 80}}); // fn 5 vanished, fn 6 appeared
+  const TraceDiff d = diff_traces(a, b);
+  const FnDelta* gone = d.find(5);
+  ASSERT_NE(gone, nullptr);
+  EXPECT_DOUBLE_EQ(gone->mean_b, 0.0);
+  const FnDelta* born = d.find(6);
+  ASSERT_NE(born, nullptr);
+  EXPECT_DOUBLE_EQ(born->mean_a, 0.0);
+  EXPECT_DOUBLE_EQ(born->ratio(), 0.0) << "ratio undefined when A is 0";
+}
+
+TEST(TraceDiff, EmptyIntersection) {
+  const TraceTable a = make({{1, 1, 0, 10}});
+  const TraceTable b = make({{2, 1, 0, 10}});
+  const TraceDiff d = diff_traces(a, b);
+  EXPECT_EQ(d.matched_items, 0u);
+  EXPECT_TRUE(d.functions.empty());
+}
+
+} // namespace
+} // namespace fluxtrace::core

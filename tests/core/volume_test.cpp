@@ -1,0 +1,48 @@
+#include "fluxtrace/core/volume.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+TEST(DataVolumeModel, MbpsAtInterval) {
+  DataVolumeModel m;
+  // One 96-byte record every 1 µs = 96 MB/s.
+  EXPECT_NEAR(m.mbps_at_interval(1000.0), 96.0, 1e-9);
+  // Twice the rate, twice the volume.
+  EXPECT_NEAR(m.mbps_at_interval(500.0), 192.0, 1e-9);
+  EXPECT_EQ(m.mbps_at_interval(0.0), 0.0);
+}
+
+TEST(DataVolumeModel, VolumeScalesInverselyWithReset) {
+  // §IV-C3's table shape: the reported MB/s fall roughly as 1/R
+  // (270 → 106 MB/s for 8K → 24K).
+  DataVolumeModel m;
+  const double at_8k = m.mbps_at_interval(1000.0);
+  const double at_24k = m.mbps_at_interval(3000.0);
+  EXPECT_NEAR(at_8k / at_24k, 3.0, 1e-9);
+}
+
+TEST(DataVolumeModel, MeasuredMbps) {
+  DataVolumeModel m;
+  CpuSpec spec; // 3 GHz
+  // 1000 samples over 3e6 cycles (1 ms) → 96 kB / ms = 96 MB/s.
+  EXPECT_NEAR(m.measured_mbps(1000, 3000000, spec), 96.0, 1e-9);
+  EXPECT_EQ(m.measured_mbps(1000, 0, spec), 0.0);
+}
+
+TEST(DataVolumeModel, PerCpuAggregation) {
+  DataVolumeModel m; // 16 cores
+  EXPECT_NEAR(m.per_cpu_gbps(270.0), 4.32, 1e-9); // the paper's 4.3 GB/s
+}
+
+TEST(DataVolumeModel, MembwFractionUnderFourPercent) {
+  // The paper's argument: 4.3 GB/s is < 4% of 127.8 GB/s.
+  DataVolumeModel m;
+  const double frac = m.membw_fraction(m.per_cpu_gbps(270.0));
+  EXPECT_LT(frac, 0.04);
+  EXPECT_GT(frac, 0.03);
+}
+
+} // namespace
+} // namespace fluxtrace::core

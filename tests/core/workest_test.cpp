@@ -1,0 +1,36 @@
+#include "fluxtrace/core/workest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::core {
+namespace {
+
+TEST(WorkEstimator, CountTimesReset) {
+  TraceTable t;
+  for (int i = 0; i < 5; ++i) t.add_sample(1, 7, 0, 100 + i * 10);
+  WorkEstimator est{8000, CpuSpec{}};
+  EXPECT_EQ(est.events(t, 1, 7), 40000u);
+  EXPECT_EQ(est.work_cycles(t, 1, 7), CpuSpec{}.uop_cycles(40000));
+  EXPECT_EQ(est.events(t, 1, 8), 0u);
+  EXPECT_EQ(est.events(t, 2, 7), 0u);
+}
+
+TEST(WorkEstimator, AgreesWithSpanUnderRunToCompletion) {
+  // Uninterrupted execution at the base rate: the span estimate and the
+  // count estimate converge (within one interval of quantization).
+  CpuSpec spec;
+  const std::uint64_t reset = 1000;
+  const Tsc interval = spec.uop_cycles(reset);
+  TraceTable t;
+  for (int i = 1; i <= 50; ++i) {
+    t.add_sample(1, 3, 0, static_cast<Tsc>(i) * interval);
+  }
+  WorkEstimator est{reset, spec};
+  const Tsc span = t.elapsed(1, 3);
+  const Tsc work = est.work_cycles(t, 1, 3);
+  EXPECT_NEAR(static_cast<double>(span), static_cast<double>(work),
+              static_cast<double>(interval) + 1);
+}
+
+} // namespace
+} // namespace fluxtrace::core

@@ -1,0 +1,84 @@
+// Model-based fuzz of the Table layer: semantics (found/rows) against a
+// std::set oracle, and pool-accounting conservation laws.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fluxtrace/db/table.hpp"
+
+namespace fluxtrace::db {
+namespace {
+
+class TableOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TableOracle, MatchesSetSemantics) {
+  std::uint64_t state = GetParam();
+  auto rnd = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 16;
+  };
+
+  BufferPool pool(8); // tiny pool: constant eviction churn
+  TableConfig cfg;
+  cfg.rows_per_page = 4;
+  Table table(pool, cfg);
+  std::set<std::uint64_t> oracle;
+
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t key = rnd() % 900;
+    switch (rnd() % 3) {
+      case 0: { // insert
+        const OpStats st = table.insert(key);
+        const bool fresh = oracle.insert(key).second;
+        EXPECT_EQ(st.found, !fresh) << key;
+        EXPECT_EQ(st.rows, fresh ? 1u : 0u);
+        break;
+      }
+      case 1: { // point
+        const OpStats st = table.point(key);
+        EXPECT_EQ(st.found, oracle.count(key) == 1) << key;
+        if (st.found) {
+          EXPECT_EQ(st.page_hits + st.page_misses, 1u)
+              << "point touches exactly one heap page";
+        }
+        break;
+      }
+      default: { // range
+        const std::size_t limit = rnd() % 30;
+        const OpStats st = table.range(key, limit);
+        std::size_t expect = 0;
+        for (auto it = oracle.lower_bound(key);
+             it != oracle.end() && expect < limit; ++it) {
+          ++expect;
+        }
+        EXPECT_EQ(st.rows, expect) << "range from " << key;
+        break;
+      }
+    }
+    EXPECT_EQ(table.rows(), oracle.size());
+  }
+  EXPECT_TRUE(table.index().check_invariants());
+  // Pool accounting: the pool never exceeds its frame budget.
+  EXPECT_LE(pool.size(), pool.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableOracle,
+                         ::testing::Values(10, 20, 30, 40));
+
+TEST(TablePoolAccounting, HitsPlusMissesEqualsTouches) {
+  BufferPool pool(16);
+  Table t(pool);
+  std::uint64_t touches = 0;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const OpStats st = t.insert(k);
+    touches += st.page_hits + st.page_misses;
+  }
+  for (std::uint64_t k = 0; k < 200; k += 3) {
+    const OpStats st = t.point(k);
+    touches += st.page_hits + st.page_misses;
+  }
+  EXPECT_EQ(pool.hits() + pool.misses(), touches);
+}
+
+} // namespace
+} // namespace fluxtrace::db

@@ -1,0 +1,109 @@
+#include "fluxtrace/db/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::db {
+namespace {
+
+TEST(Table, InsertThenPoint) {
+  BufferPool pool(16);
+  Table t(pool);
+  const OpStats ins = t.insert(42);
+  EXPECT_FALSE(ins.found);
+  EXPECT_EQ(ins.rows, 1u);
+  EXPECT_GT(ins.index_nodes, 0u);
+
+  const OpStats pt = t.point(42);
+  EXPECT_TRUE(pt.found);
+  EXPECT_EQ(pt.rows, 1u);
+  EXPECT_EQ(pt.page_hits, 1u) << "just-written page is pooled";
+}
+
+TEST(Table, PointMissingKey) {
+  BufferPool pool(16);
+  Table t(pool);
+  t.insert(1);
+  const OpStats st = t.point(99);
+  EXPECT_FALSE(st.found);
+  EXPECT_EQ(st.rows, 0u);
+  EXPECT_EQ(st.page_hits + st.page_misses, 0u) << "no heap access on miss";
+}
+
+TEST(Table, DuplicateInsertTouchesNothing) {
+  BufferPool pool(16);
+  Table t(pool);
+  t.insert(5);
+  const std::size_t rows_before = t.rows();
+  const OpStats st = t.insert(5);
+  EXPECT_TRUE(st.found);
+  EXPECT_EQ(st.rows, 0u);
+  EXPECT_EQ(t.rows(), rows_before);
+}
+
+TEST(Table, RowsPackIntoPages) {
+  BufferPool pool(64);
+  TableConfig cfg;
+  cfg.rows_per_page = 8;
+  Table t(pool, cfg);
+  for (std::uint64_t k = 0; k < 64; ++k) t.insert(k);
+  EXPECT_EQ(t.rows(), 64u);
+  EXPECT_EQ(t.heap_pages(), 64u / 8 + 1);
+}
+
+TEST(Table, RangeSharesPages) {
+  BufferPool pool(64);
+  TableConfig cfg;
+  cfg.rows_per_page = 8;
+  Table t(pool, cfg);
+  for (std::uint64_t k = 0; k < 64; ++k) t.insert(k);
+  // Sequential keys land on sequential pages: 16 rows span 2-3 pages.
+  const OpStats st = t.range(8, 16);
+  EXPECT_EQ(st.rows, 16u);
+  EXPECT_LE(st.page_hits + st.page_misses, 3u);
+}
+
+TEST(Table, EvictedPageCostsAMissOnIdenticalQuery) {
+  // The core DB fluctuation: same query, different non-functional state.
+  BufferPool pool(4);
+  TableConfig cfg;
+  cfg.rows_per_page = 4;
+  Table t(pool, cfg);
+  for (std::uint64_t k = 0; k < 64; ++k) t.insert(k); // 16 pages, pool of 4
+
+  const OpStats warm_setup = t.point(0); // brings page 0 in
+  (void)warm_setup;
+  const OpStats warm = t.point(0);
+  EXPECT_EQ(warm.page_hits, 1u);
+  EXPECT_EQ(warm.page_misses, 0u);
+
+  (void)t.range(32, 32); // scan thrashes the pool
+
+  const OpStats cold = t.point(0); // identical query, now a storage read
+  EXPECT_EQ(cold.page_hits, 0u);
+  EXPECT_EQ(cold.page_misses, 1u);
+}
+
+TEST(Table, DirtyEvictionReported) {
+  BufferPool pool(1);
+  TableConfig cfg;
+  cfg.rows_per_page = 1; // every insert dirties a fresh page
+  Table t(pool, cfg);
+  t.insert(1);
+  const OpStats st = t.insert(2); // evicts page of row 1, dirty
+  EXPECT_EQ(st.dirty_evictions, 1u);
+}
+
+TEST(Table, SplitWorkSurfacesInStats) {
+  BufferPool pool(256);
+  Table t(pool);
+  std::uint32_t with_split = 0;
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    if (t.insert(k).index_splits > 0) ++with_split;
+  }
+  EXPECT_GT(with_split, 0u);
+  EXPECT_LT(with_split, 200u);
+  EXPECT_TRUE(t.index().check_invariants());
+}
+
+} // namespace
+} // namespace fluxtrace::db

@@ -1,0 +1,51 @@
+#include "fluxtrace/db/wal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::db {
+namespace {
+
+TEST(Wal, BuffersUntilGroupSize) {
+  Wal w(4);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(w.append().flushed);
+  }
+  EXPECT_EQ(w.pending(), 3u);
+  const auto r = w.append(); // 4th record fills the group
+  EXPECT_TRUE(r.flushed);
+  EXPECT_EQ(r.records_flushed, 4u);
+  EXPECT_EQ(w.pending(), 0u);
+  EXPECT_EQ(w.flushes(), 1u);
+}
+
+TEST(Wal, ExactlyOneAppendPerGroupPaysTheFlush) {
+  Wal w(16);
+  int flushed = 0;
+  for (int i = 0; i < 160; ++i) {
+    if (w.append().flushed) ++flushed;
+  }
+  EXPECT_EQ(flushed, 10);
+  EXPECT_EQ(w.records(), 160u);
+}
+
+TEST(Wal, ForceFlushDrainsPending) {
+  Wal w(100);
+  w.append();
+  w.append();
+  EXPECT_EQ(w.force_flush(), 2u);
+  EXPECT_EQ(w.pending(), 0u);
+  EXPECT_EQ(w.flushes(), 1u);
+  EXPECT_EQ(w.force_flush(), 0u) << "empty flush is a no-op";
+  EXPECT_EQ(w.flushes(), 1u);
+}
+
+TEST(Wal, GroupSizeOneFlushesEveryAppend) {
+  Wal w(1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(w.append().flushed);
+  }
+  EXPECT_EQ(w.flushes(), 5u);
+}
+
+} // namespace
+} // namespace fluxtrace::db

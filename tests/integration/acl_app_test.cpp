@@ -1,0 +1,177 @@
+// End-to-end reproduction of the §IV-C case study: Table III rules,
+// Table IV packets, RX/ACL/TX pipeline, GNET-style tester, PEBS on the
+// ACL core, hybrid integration.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/apps/acl_firewall_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/net/trafficgen.hpp"
+
+namespace fluxtrace {
+namespace {
+
+struct AclRun {
+  SymbolTable symtab;
+  std::unique_ptr<apps::AclFirewallApp> app;
+  std::unique_ptr<net::TrafficGen> tg;
+  std::unique_ptr<sim::Machine> machine;
+  core::TraceTable table;
+  // Mean estimated classify time (us) per packet type (0=A, 1=B, 2=C).
+  std::map<std::uint32_t, double> mean_est_us;
+  std::map<std::uint32_t, double> mean_latency_us;
+
+  explicit AclRun(std::uint64_t reset, std::uint64_t packets = 150,
+                  bool pebs = true, bool double_buffering = false) {
+    const acl::RuleSet rules = acl::make_paper_ruleset();
+    app = std::make_unique<apps::AclFirewallApp>(symtab, rules);
+    sim::MachineConfig mc;
+    mc.driver.double_buffering = double_buffering;
+    machine = std::make_unique<sim::Machine>(symtab, mc);
+
+    net::TrafficGenConfig tgc;
+    tgc.total_packets = packets;
+    tgc.inter_packet_gap_ns = 20000;
+    const acl::PaperPackets pk;
+    tg = std::make_unique<net::TrafficGen>(
+        tgc, app->rx_nic(), app->tx_nic(),
+        std::vector<FlowKey>{pk.type_a, pk.type_b, pk.type_c});
+
+    if (pebs) {
+      sim::PebsConfig pc;
+      pc.reset = reset;
+      machine->cpu(2).enable_pebs(pc); // the ACL core
+    }
+    app->expect_packets(packets);
+    machine->attach(0, *tg);
+    app->attach(*machine, /*rx=*/1, /*acl=*/2, /*tx=*/3);
+    const auto r = machine->run();
+    EXPECT_TRUE(r.all_done);
+    machine->flush_samples();
+
+    core::TraceIntegrator integ(symtab);
+    table = integ.integrate(machine->marker_log().markers(),
+                            machine->pebs_driver().samples());
+
+    const SymbolId clf = app->classify_symbol();
+    std::map<std::uint32_t, double> sum, cnt;
+    for (const auto& rec : tg->records()) {
+      sum[rec.flow_idx] +=
+          machine->spec().us(table.elapsed(rec.id, clf));
+      cnt[rec.flow_idx] += 1.0;
+      mean_latency_us[rec.flow_idx] +=
+          machine->spec().us(rec.latency());
+    }
+    for (auto& [flow, s] : sum) {
+      mean_est_us[flow] = s / cnt[flow];
+      mean_latency_us[flow] /= cnt[flow];
+    }
+  }
+};
+
+TEST(AclAppIntegration, AllPacketsForwardedAndMeasured) {
+  AclRun run(8000);
+  EXPECT_TRUE(run.tg->complete());
+  EXPECT_EQ(run.app->classified(), 150u);
+  EXPECT_EQ(run.app->dropped(), 0u); // Table IV packets pass the firewall
+  EXPECT_EQ(run.tg->records().size(), 150u);
+}
+
+TEST(AclAppIntegration, EstimatedClassifyTimeOrdersTypes) {
+  // Fig. 9's core claim: per-packet rte_acl_classify time fluctuates by
+  // more than 100% between type A and type C.
+  AclRun run(8000);
+  const double a = run.mean_est_us.at(0);
+  const double b = run.mean_est_us.at(1);
+  const double c = run.mean_est_us.at(2);
+  EXPECT_GT(a, b);
+  EXPECT_GT(b, c);
+  EXPECT_GT(a / c, 1.8) << "a=" << a << " c=" << c;
+}
+
+TEST(AclAppIntegration, EstimatesLandInPaperBand) {
+  AclRun run(8000);
+  // Type A ≈ 12–14 us, type C ≈ 6 us (allowing sampling truncation: the
+  // first/last-sample estimator loses up to ~2 intervals).
+  EXPECT_GT(run.mean_est_us.at(0), 9.0);
+  EXPECT_LT(run.mean_est_us.at(0), 15.0);
+  EXPECT_GT(run.mean_est_us.at(2), 3.5);
+  EXPECT_LT(run.mean_est_us.at(2), 7.0);
+}
+
+TEST(AclAppIntegration, EstimateApproachesBaselineAsResetShrinks) {
+  // The Fig. 9 trend: smaller reset values → estimates closer to the
+  // instrumented baseline (the marker-window length). Double buffering
+  // isolates the truncation effect from sync-SSD-dump sample loss, which
+  // at R = 2000 would blind PEBS for whole packets at a time.
+  AclRun fine(2000, 150, true, /*double_buffering=*/true);
+  AclRun coarse(24000, 150, true, /*double_buffering=*/true);
+  const SymbolId clf = fine.app->classify_symbol();
+
+  auto mean_ratio = [&](AclRun& run) {
+    double r = 0;
+    std::size_t n = 0;
+    for (const auto& rec : run.tg->records()) {
+      const Tsc est = run.table.elapsed(rec.id, clf);
+      const Tsc win = run.table.item_window_total(rec.id);
+      if (win == 0) continue;
+      r += static_cast<double>(est) / static_cast<double>(win);
+      ++n;
+    }
+    return r / static_cast<double>(n);
+  };
+  const double fine_ratio = mean_ratio(fine);
+  const double coarse_ratio = mean_ratio(coarse);
+  EXPECT_GT(fine_ratio, coarse_ratio);
+  EXPECT_GT(fine_ratio, 0.85);
+}
+
+TEST(AclAppIntegration, TesterLatencyOrdersTypes) {
+  AclRun run(8000, 150, /*pebs=*/false);
+  EXPECT_GT(run.mean_latency_us.at(0), run.mean_latency_us.at(2) + 4.0);
+}
+
+TEST(AclAppIntegration, TracingOverheadDecreasesWithReset) {
+  // Fig. 10: overhead (latency increase vs untraced) falls as R grows.
+  AclRun off(0, 150, /*pebs=*/false);
+  AclRun heavy(2000);
+  AclRun light(24000);
+  auto overall = [](AclRun& run) {
+    double s = 0;
+    for (const auto& [flow, v] : run.mean_latency_us) s += v;
+    return s / 3.0;
+  };
+  const double base = overall(off);
+  const double oh_heavy = overall(heavy) - base;
+  const double oh_light = overall(light) - base;
+  EXPECT_GT(oh_heavy, oh_light);
+  EXPECT_GT(oh_heavy, 0.0);
+}
+
+TEST(AclAppIntegration, DroppedPacketsNeverReachTx) {
+  // A flow whose port pair is inside Table III must be dropped.
+  SymbolTable symtab;
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  apps::AclFirewallApp app(symtab, rules);
+  sim::Machine m(symtab);
+
+  net::TrafficGenConfig tgc;
+  tgc.total_packets = 10;
+  const FlowKey dropped{ipv4("192.168.10.4"), ipv4("192.168.11.5"), 50, 300};
+  net::TrafficGen tg(tgc, app.rx_nic(), app.tx_nic(), {dropped});
+  tg.expect_drops(10); // a firewall's job: the tester must not wait forever
+  app.expect_packets(10);
+  m.attach(0, tg);
+  app.attach(m, 1, 2, 3);
+  const auto r = m.run();
+  EXPECT_TRUE(r.all_done) << "drop accounting lets the run terminate";
+  EXPECT_TRUE(tg.complete());
+  EXPECT_EQ(app.dropped(), 10u);
+  EXPECT_EQ(app.transmitted(), 0u);
+  EXPECT_EQ(tg.received(), 0u);
+}
+
+} // namespace
+} // namespace fluxtrace

@@ -1,0 +1,98 @@
+// End-to-end batch-mode firewall (§IV-C2 future work): the ACL thread
+// marks bursts instead of packets; BatchIntegrator recovers per-item
+// estimates.
+#include <gtest/gtest.h>
+
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/apps/acl_firewall_app.hpp"
+#include "fluxtrace/core/batch.hpp"
+#include "fluxtrace/net/trafficgen.hpp"
+
+namespace fluxtrace {
+namespace {
+
+struct BatchRun {
+  SymbolTable symtab;
+  std::unique_ptr<apps::AclFirewallApp> app;
+  std::unique_ptr<net::TrafficGen> tg;
+  std::unique_ptr<sim::Machine> machine;
+
+  explicit BatchRun(std::uint32_t batch_size, std::uint64_t packets = 120) {
+    const acl::RuleSet rules = acl::make_paper_ruleset();
+    apps::AclFirewallConfig cfg;
+    cfg.batch_size = batch_size;
+    app = std::make_unique<apps::AclFirewallApp>(symtab, rules, cfg);
+    machine = std::make_unique<sim::Machine>(symtab);
+    net::TrafficGenConfig tgc;
+    tgc.total_packets = packets;
+    tgc.inter_packet_gap_ns = 3000; // bursty: packets queue up
+    const acl::PaperPackets pk;
+    tg = std::make_unique<net::TrafficGen>(
+        tgc, app->rx_nic(), app->tx_nic(),
+        std::vector<FlowKey>{pk.type_a, pk.type_b, pk.type_c});
+    sim::PebsConfig pc;
+    pc.reset = 4000;
+    pc.buffer_capacity = 1u << 16;
+    machine->cpu(2).enable_pebs(pc);
+    app->expect_packets(packets);
+    machine->attach(0, *tg);
+    app->attach(*machine, 1, 2, 3);
+    const auto r = machine->run();
+    EXPECT_TRUE(r.all_done);
+    machine->flush_samples();
+  }
+};
+
+TEST(BatchFirewallIntegration, BurstsFormAndMembersAreRegistered) {
+  BatchRun run(/*batch_size=*/8);
+  const core::BatchTable& bt = run.app->batch_table();
+  EXPECT_GT(bt.size(), 0u);
+  EXPECT_LT(bt.size(), 120u) << "batching must actually coalesce";
+  // Markers: exactly two per batch, none per packet.
+  EXPECT_EQ(run.machine->marker_log().size(), 2 * bt.size());
+}
+
+TEST(BatchFirewallIntegration, EveryPacketRecoveredExactlyOnce) {
+  BatchRun run(8);
+  core::BatchIntegrator integ(run.symtab, run.app->batch_table());
+  const auto est = integ.integrate(run.machine->marker_log().markers(),
+                                   run.machine->pebs_driver().samples(),
+                                   core::BatchPolicy::SubWindows);
+  std::vector<bool> seen(121, false);
+  for (const auto& e : est) {
+    ASSERT_LT(e.item, 121u);
+    EXPECT_FALSE(seen[e.item]) << "duplicate item " << e.item;
+    seen[e.item] = true;
+  }
+  std::size_t total = 0;
+  for (const bool b : seen) total += b ? 1 : 0;
+  EXPECT_EQ(total, 120u);
+}
+
+TEST(BatchFirewallIntegration, PooledTotalsMatchBatchWork) {
+  BatchRun run(4);
+  core::BatchIntegrator integ(run.symtab, run.app->batch_table());
+  const SymbolId clf = run.app->classify_symbol();
+
+  const auto pooled = integ.integrate(run.machine->marker_log().markers(),
+                                      run.machine->pebs_driver().samples(),
+                                      core::BatchPolicy::Pooled);
+  // Within one batch all members get identical pooled estimates.
+  std::map<ItemId, std::vector<Tsc>> per_batch;
+  for (const auto& e : pooled) per_batch[e.batch].push_back(e.elapsed(clf));
+  for (const auto& [batch, vals] : per_batch) {
+    for (const Tsc v : vals) EXPECT_EQ(v, vals.front());
+  }
+}
+
+TEST(BatchFirewallIntegration, BatchModeIsCheaperPerPacket) {
+  BatchRun per_item(1), batched(8);
+  const auto markers_per_pkt = [](BatchRun& r) {
+    return static_cast<double>(r.machine->cpu(2).stats().marker_count) /
+           120.0;
+  };
+  EXPECT_LT(markers_per_pkt(batched), markers_per_pkt(per_item) / 2);
+}
+
+} // namespace
+} // namespace fluxtrace

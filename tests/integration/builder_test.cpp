@@ -1,0 +1,73 @@
+#include "fluxtrace/prog/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::prog {
+namespace {
+
+TEST(ProgramBuilder, BuildsBlocksWithAttributes) {
+  SymbolTable symtab;
+  auto prog = ProgramBuilder(symtab)
+                  .fn("a").uops(100).branch_misses(5)
+                  .fn("b").uops(200).loads(0x1000, 8, 64)
+                  .fn("c").uops(50).stall(77);
+  const auto blocks = prog.blocks();
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].uops, 100u);
+  EXPECT_EQ(blocks[0].branch_misses, 5u);
+  EXPECT_EQ(blocks[1].mem.count, 8u);
+  EXPECT_EQ(blocks[1].mem.base, 0x1000u);
+  EXPECT_EQ(blocks[2].extra_stall, 77u);
+  EXPECT_EQ(symtab.size(), 3u);
+}
+
+TEST(ProgramBuilder, ReusesSymbolsByName) {
+  SymbolTable symtab;
+  auto prog = ProgramBuilder(symtab)
+                  .fn("loop").uops(10)
+                  .fn("body").uops(20)
+                  .fn("loop").uops(10);
+  EXPECT_EQ(symtab.size(), 2u);
+  const auto blocks = prog.blocks();
+  EXPECT_EQ(blocks[0].fn, blocks[2].fn);
+  EXPECT_EQ(prog.symbol("loop"), blocks[0].fn);
+}
+
+TEST(ProgramBuilder, RepeatDuplicatesTheGroup) {
+  SymbolTable symtab;
+  auto prog = ProgramBuilder(symtab)
+                  .fn("x").uops(10)
+                  .fn("y").uops(20)
+                  .repeat(3);
+  const auto blocks = prog.blocks();
+  ASSERT_EQ(blocks.size(), 6u);
+  EXPECT_EQ(blocks[4].uops, 10u);
+  EXPECT_EQ(blocks[5].uops, 20u);
+}
+
+TEST(ProgramBuilder, RepeatGroupsAreIndependent) {
+  SymbolTable symtab;
+  auto prog = ProgramBuilder(symtab)
+                  .fn("x").uops(10).repeat(2) // x x
+                  .fn("y").uops(20).repeat(3); // y y y
+  const auto blocks = prog.blocks();
+  ASSERT_EQ(blocks.size(), 5u);
+  EXPECT_EQ(blocks[1].uops, 10u);
+  EXPECT_EQ(blocks[2].uops, 20u);
+  EXPECT_EQ(blocks[4].uops, 20u);
+}
+
+TEST(ProgramBuilder, RunOnExecutesEverything) {
+  SymbolTable symtab;
+  auto prog = ProgramBuilder(symtab)
+                  .fn("w").uops(1000).repeat(4);
+  sim::Machine m(symtab);
+  prog.run_on(m.cpu(0));
+  EXPECT_EQ(m.cpu(0).stats().events.get(HwEvent::UopsRetired), 4000u);
+  EXPECT_EQ(m.cpu(0).stats().blocks, 4u);
+}
+
+} // namespace
+} // namespace fluxtrace::prog

@@ -1,0 +1,209 @@
+// End-to-end: the hybrid method applied to the database engine — the
+// paper's primary motivating domain (§I quotes database fluctuation
+// studies first). Identical point queries fluctuate with buffer-pool
+// state; group-commit spikes attribute to wal_flush.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fluxtrace/apps/minidb_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/online.hpp"
+
+namespace fluxtrace {
+namespace {
+
+struct DbRun {
+  SymbolTable symtab;
+  std::unique_ptr<apps::MiniDbApp> app;
+  std::unique_ptr<sim::Machine> machine;
+  std::vector<apps::DbQuery> queries;
+  core::TraceTable table;
+
+  explicit DbRun(std::vector<apps::DbQuery> qs, std::uint64_t reset = 2000,
+                 apps::MiniDbAppConfig cfg = {}) {
+    app = std::make_unique<apps::MiniDbApp>(symtab, cfg);
+    app->preload(4096);
+    machine = std::make_unique<sim::Machine>(symtab);
+    sim::PebsConfig pc;
+    pc.reset = reset;
+    pc.buffer_capacity = 1u << 16;
+    machine->cpu(1).enable_pebs(pc);
+    queries = std::move(qs);
+    app->submit(queries);
+    app->attach(*machine, 0, 1);
+    const auto r = machine->run();
+    EXPECT_TRUE(r.all_done);
+    machine->flush_samples();
+    core::TraceIntegrator integ(symtab);
+    table = integ.integrate(machine->marker_log().markers(),
+                            machine->pebs_driver().samples());
+  }
+
+  double us(Tsc t) const { return machine->spec().us(t); }
+};
+
+std::vector<apps::DbQuery> seq(std::initializer_list<apps::DbQuery> qs) {
+  std::vector<apps::DbQuery> out;
+  ItemId id = 1;
+  for (apps::DbQuery q : qs) {
+    q.id = id++;
+    out.push_back(q);
+  }
+  return out;
+}
+
+TEST(MiniDbIntegration, IdenticalPointQueriesFluctuateWithPoolState) {
+  // point(7) warm; a big scan evicts; point(7) again — same query, very
+  // different time, and fetch_rows is where it went.
+  // The scan touches keys 1024..4095 = 96 heap pages — exactly the pool
+  // capacity — so every previously pooled page (including key 7's) is
+  // evicted.
+  DbRun run(seq({
+      {0, apps::DbQueryType::Point, 7, 0},   // #1 cold-ish (first touch)
+      {0, apps::DbQueryType::Point, 7, 0},   // #2 warm
+      {0, apps::DbQueryType::Range, 1024, 3072}, // #3 pool-thrashing scan
+      {0, apps::DbQueryType::Point, 7, 0},   // #4 identical to #2, now cold
+      {0, apps::DbQueryType::Point, 7, 0},   // #5 warm again
+  }));
+
+  const Tsc warm = run.table.item_window_total(2);
+  const Tsc cold = run.table.item_window_total(4);
+  const Tsc rewarm = run.table.item_window_total(5);
+  EXPECT_GT(cold, 3 * warm) << "evicted page must cost a storage read";
+  EXPECT_LT(rewarm, cold / 3) << "second touch is warm again";
+
+  // The per-function trace pins the difference on fetch_rows.
+  const SymbolId fetch = run.app->fetch_rows();
+  EXPECT_GT(run.table.elapsed(4, fetch), 2 * run.table.elapsed(2, fetch));
+}
+
+TEST(MiniDbIntegration, GroupCommitSpikesAttributeToWalFlush) {
+  apps::MiniDbAppConfig cfg;
+  cfg.wal_group = 8;
+  std::vector<apps::DbQuery> qs;
+  for (int i = 0; i < 24; ++i) {
+    qs.push_back(apps::DbQuery{static_cast<ItemId>(i + 1),
+                               apps::DbQueryType::Insert, 0, 0});
+  }
+  DbRun run(std::move(qs), 2000, cfg);
+
+  const SymbolId flush = run.app->wal_flush();
+  int flushing = 0;
+  for (ItemId id = 1; id <= 24; ++id) {
+    if (run.table.sample_count(id, flush) > 0) ++flushing;
+  }
+  EXPECT_EQ(flushing, 3) << "every 8th insert pays the group flush";
+  EXPECT_EQ(run.app->wal().flushes(), 3u);
+
+  // Flushing inserts are visibly slower than their neighbours.
+  const Tsc spike = run.table.item_window_total(8);
+  const Tsc plain = run.table.item_window_total(7);
+  EXPECT_GT(spike, plain + run.machine->spec().cycles(20000.0));
+}
+
+TEST(MiniDbIntegration, CheckpointSpikesAttributeToCheckpointFn) {
+  apps::MiniDbAppConfig cfg;
+  cfg.checkpoint_every = 10;
+  std::vector<apps::DbQuery> qs;
+  for (int i = 0; i < 30; ++i) {
+    // Inserts dirty pages, so each checkpoint has work to flush.
+    qs.push_back(apps::DbQuery{static_cast<ItemId>(i + 1),
+                               apps::DbQueryType::Insert, 0, 0});
+  }
+  DbRun run(std::move(qs), 2000, cfg);
+  const SymbolId ckpt = run.app->checkpoint();
+  int with_ckpt = 0;
+  for (ItemId id = 1; id <= 30; ++id) {
+    if (run.table.sample_count(id, ckpt) > 0) ++with_ckpt;
+  }
+  EXPECT_EQ(with_ckpt, 3) << "every 10th query pays the checkpoint";
+  // The checkpointing query is visibly slower than its neighbour.
+  EXPECT_GT(run.table.item_window_total(10),
+            run.table.item_window_total(9) +
+                run.machine->spec().cycles(10000.0));
+  // And the pool is clean afterwards.
+  EXPECT_EQ(run.app->pool().dirty(1000), false);
+}
+
+TEST(MiniDbIntegration, RangeScansCostScaleWithLimit) {
+  DbRun run(seq({
+      {0, apps::DbQueryType::Range, 100, 16},
+      {0, apps::DbQueryType::Range, 100, 256},
+  }));
+  EXPECT_GT(run.table.item_window_total(2),
+            3 * run.table.item_window_total(1));
+}
+
+TEST(MiniDbIntegration, AllQueriesTracedAndDeterministic) {
+  const auto wl = apps::MiniDbApp::make_mixed_workload(200, 7, 4096);
+  DbRun a(wl), b(wl);
+  EXPECT_EQ(a.app->processed(), 200u);
+  EXPECT_EQ(a.table.windows().size(), 200u);
+  for (ItemId id = 1; id <= 200; ++id) {
+    EXPECT_EQ(a.table.item_window_total(id), b.table.item_window_total(id));
+  }
+}
+
+TEST(MiniDbIntegration, EstimatesStayWithinWindows) {
+  const auto wl = apps::MiniDbApp::make_mixed_workload(150, 3, 4096);
+  DbRun run(wl);
+  for (const ItemId item : run.table.items()) {
+    EXPECT_LE(run.table.item_estimated_total(item),
+              run.table.item_window_total(item))
+        << "item " << item;
+  }
+}
+
+TEST(MiniDbIntegration, OnlineMonitoringFlagsGroupCommits) {
+  // Production monitoring on the database: the online tracer, fed from
+  // the live sinks, flags the group-commit inserts as they complete.
+  SymbolTable symtab;
+  apps::MiniDbAppConfig cfg;
+  cfg.wal_group = 16;
+  apps::MiniDbApp app(symtab, cfg);
+  app.preload(4096);
+  sim::MachineConfig mc;
+  mc.driver.double_buffering = true;
+  sim::Machine m(symtab, mc);
+  sim::PebsConfig pc;
+  pc.reset = 2000;
+  pc.buffer_capacity = 64;
+  m.cpu(1).enable_pebs(pc);
+
+  core::OnlineTracerConfig ocfg;
+  ocfg.detector = core::DetectorConfig{3.0, 12};
+  core::OnlineTracer online(symtab, ocfg);
+  std::vector<ItemId> flagged;
+  online.set_dump_callback(
+      [&flagged](const core::OnlineResult& r, const SampleVec&) {
+        flagged.push_back(r.item);
+      });
+  m.marker_log().set_sink(
+      [&online](const Marker& mk) { online.on_marker(mk); });
+  m.pebs_driver().set_sink(
+      [&online](const PebsSample& s) { online.on_sample(s); });
+
+  std::vector<apps::DbQuery> qs;
+  for (int i = 0; i < 64; ++i) {
+    qs.push_back(apps::DbQuery{static_cast<ItemId>(i + 1),
+                               apps::DbQueryType::Insert, 0, 0});
+  }
+  app.submit(qs);
+  app.attach(m, 0, 1);
+  m.run();
+  m.flush_samples();
+  online.finish();
+
+  // Inserts 16, 32, 48, 64 pay the fsync; the post-warmup ones must all
+  // be flagged. Other inserts may legitimately be flagged too — B+ tree
+  // splits and pool misses are real fluctuations — so the assertion is
+  // containment, not equality.
+  for (const ItemId commit : {16u, 32u, 48u, 64u}) {
+    EXPECT_EQ(std::count(flagged.begin(), flagged.end(), commit), 1)
+        << "group-commit insert " << commit << " must be flagged";
+  }
+}
+
+} // namespace
+} // namespace fluxtrace

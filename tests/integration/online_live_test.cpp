@@ -1,0 +1,106 @@
+// The online pipeline wired to a live machine via the marker/driver
+// sinks must reproduce the offline integration exactly — on a real
+// workload, with real drain batching.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fluxtrace/apps/query_cache_app.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/online.hpp"
+
+namespace fluxtrace {
+namespace {
+
+TEST(OnlineLive, MatchesOfflineOnTheQueryApp) {
+  SymbolTable symtab;
+  apps::QueryCacheApp app(symtab);
+  sim::MachineConfig mc;
+  mc.driver.double_buffering = true; // no sample loss: exact equivalence
+  sim::Machine m(symtab, mc);
+
+  sim::PebsConfig pc;
+  pc.reset = 4000;
+  pc.buffer_capacity = 32; // many small drains: stress the batching path
+  m.cpu(1).enable_pebs(pc);
+
+  core::OnlineTracerConfig ocfg;
+  ocfg.keep_results = 64;
+  core::OnlineTracer online(symtab, ocfg);
+  m.marker_log().set_sink(
+      [&online](const Marker& mk) { online.on_marker(mk); });
+  m.pebs_driver().set_sink(
+      [&online](const PebsSample& s) { online.on_sample(s); });
+
+  app.submit(apps::QueryCacheApp::paper_queries());
+  app.attach(m, 0, 1);
+  m.run();
+  m.flush_samples();
+  online.finish();
+
+  core::TraceIntegrator integ(symtab);
+  const core::TraceTable offline = integ.integrate(
+      m.marker_log().markers(), m.pebs_driver().samples());
+
+  EXPECT_EQ(online.items_completed(), 10u);
+  for (const core::OnlineResult& r : online.recent()) {
+    EXPECT_EQ(r.window, offline.item_window_total(r.item)) << r.item;
+    for (const SymbolId fn : {app.f1(), app.f2(), app.f3()}) {
+      EXPECT_EQ(r.elapsed(fn), offline.elapsed(r.item, fn))
+          << "item " << r.item << " fn " << symtab.name(fn);
+    }
+  }
+}
+
+TEST(OnlineLive, ColdQueriesFlaggedOnline) {
+  // Stream a long warm workload with two injected cold queries; the
+  // online detector must flag them as they complete.
+  SymbolTable symtab;
+  apps::QueryCacheAppConfig qcfg;
+  apps::QueryCacheApp app(symtab, qcfg);
+  sim::Machine m(symtab);
+  sim::PebsConfig pc;
+  pc.reset = 8000;
+  pc.buffer_capacity = 64;
+  m.cpu(1).enable_pebs(pc);
+
+  core::OnlineTracerConfig ocfg;
+  ocfg.detector = core::DetectorConfig{3.0, 8};
+  core::OnlineTracer online(symtab, ocfg);
+  std::vector<ItemId> flagged;
+  online.set_dump_callback(
+      [&flagged](const core::OnlineResult& r, const SampleVec&) {
+        flagged.push_back(r.item);
+      });
+  m.marker_log().set_sink(
+      [&online](const Marker& mk) { online.on_marker(mk); });
+  m.pebs_driver().set_sink(
+      [&online](const PebsSample& s) { online.on_sample(s); });
+
+  std::vector<apps::Query> queries;
+  ItemId id = 0;
+  queries.push_back(apps::Query{++id, 4}); // warms chunks 1..4
+  for (int i = 0; i < 30; ++i) {
+    queries.push_back(apps::Query{++id, static_cast<std::uint32_t>(2 + i % 3)});
+  }
+  const ItemId cold1 = ++id;
+  queries.push_back(apps::Query{cold1, 6}); // 2 new chunks
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(apps::Query{++id, 3});
+  }
+  const ItemId cold2 = ++id;
+  queries.push_back(apps::Query{cold2, 8}); // 2 more new chunks
+  app.submit(queries);
+  app.attach(m, 0, 1);
+  m.run();
+  m.flush_samples();
+  online.finish();
+
+  EXPECT_EQ(std::count(flagged.begin(), flagged.end(), cold1), 1)
+      << "first injected cold query flagged";
+  EXPECT_EQ(std::count(flagged.begin(), flagged.end(), cold2), 1)
+      << "second injected cold query flagged";
+}
+
+} // namespace
+} // namespace fluxtrace

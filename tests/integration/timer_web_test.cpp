@@ -1,0 +1,84 @@
+// The timer-switching web server (NGINX's architecture) traced with
+// register-carried request ids.
+#include <gtest/gtest.h>
+
+#include "fluxtrace/apps/timer_web_server.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/regid.hpp"
+
+namespace fluxtrace {
+namespace {
+
+struct WebRun {
+  SymbolTable symtab;
+  std::unique_ptr<apps::TimerWebServer> server;
+  std::unique_ptr<sim::Machine> machine;
+  core::TraceTable trace;
+
+  explicit WebRun(apps::TimerWebServerConfig cfg = {}) {
+    server = std::make_unique<apps::TimerWebServer>(symtab, cfg);
+    machine = std::make_unique<sim::Machine>(symtab);
+    sim::PebsConfig pc;
+    pc.reset = 2000;
+    pc.buffer_capacity = 1u << 16;
+    machine->cpu(0).enable_pebs(pc);
+    server->attach(*machine, 0);
+    const auto r = machine->run();
+    EXPECT_TRUE(r.all_done);
+    machine->flush_samples();
+    core::TraceIntegrator integ(symtab, core::IntegratorConfig{true});
+    trace = integ.integrate({}, machine->pebs_driver().samples());
+  }
+};
+
+TEST(TimerWebServer, AllRequestsComplete) {
+  apps::TimerWebServerConfig cfg;
+  cfg.requests = 30;
+  WebRun run(cfg);
+  EXPECT_EQ(run.server->scheduler().completed(), 30u);
+  EXPECT_GT(run.server->scheduler().context_switches(), 30u)
+      << "heavy requests must be preempted many times";
+}
+
+TEST(TimerWebServer, WorkAttributesToTheRightFunctionPerRequest) {
+  apps::TimerWebServerConfig cfg;
+  cfg.requests = 24;
+  WebRun run(cfg);
+  const CpuSpec& spec = run.machine->spec();
+  for (ItemId id = 1; id <= 24; ++id) {
+    const auto work_us = [&](SymbolId fn) {
+      return spec.us(
+          spec.uop_cycles(run.trace.sample_count(id, fn) * 2000));
+    };
+    if (run.server->is_heavy(id)) {
+      EXPECT_GT(work_us(run.server->sendfile()), 40.0) << "request " << id;
+      EXPECT_LT(work_us(run.server->run_handler()), 2.0) << "request " << id;
+    } else {
+      EXPECT_GT(work_us(run.server->run_handler()), 2.0) << "request " << id;
+      EXPECT_EQ(run.trace.sample_count(id, run.server->sendfile()), 0u)
+          << "request " << id;
+    }
+  }
+}
+
+TEST(TimerWebServer, LightRequestsFinishBeforeConcurrentHeavyOnes) {
+  // The defining property of the timer-switching architecture (§III-C).
+  apps::TimerWebServerConfig cfg;
+  cfg.requests = 16;
+  cfg.heavy_every = 16; // request 16 is the only heavy one... make it 8
+  cfg.heavy_every = 8;
+  WebRun run(cfg);
+  Tsc heavy_leave = 0, later_light_leave = 0;
+  for (const Marker& m : run.machine->marker_log().markers()) {
+    if (m.kind != MarkerKind::Leave) continue;
+    if (m.item == 8) heavy_leave = m.tsc;
+    if (m.item == 9) later_light_leave = m.tsc;
+  }
+  ASSERT_GT(heavy_leave, 0u);
+  ASSERT_GT(later_light_leave, 0u);
+  EXPECT_LT(later_light_leave, heavy_leave)
+      << "a light request submitted after the heavy one finishes first";
+}
+
+} // namespace
+} // namespace fluxtrace

@@ -1,0 +1,85 @@
+// Workload generators: determinism and the distribution shapes the
+// benches rely on.
+#include <gtest/gtest.h>
+
+#include "fluxtrace/apps/minidb_app.hpp"
+#include "fluxtrace/prog/workload.hpp"
+
+namespace fluxtrace {
+namespace {
+
+TEST(MiniDbWorkload, DeterministicInSeed) {
+  const auto a = apps::MiniDbApp::make_mixed_workload(500, 7, 4096);
+  const auto b = apps::MiniDbApp::make_mixed_workload(500, 7, 4096);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].limit, b[i].limit);
+  }
+  const auto c = apps::MiniDbApp::make_mixed_workload(500, 8, 4096);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].type != c[i].type || a[i].key != c[i].key;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds must differ";
+}
+
+TEST(MiniDbWorkload, MixMatchesConfiguredShares) {
+  const auto wl = apps::MiniDbApp::make_mixed_workload(5000, 3, 4096);
+  std::size_t point = 0, range = 0, insert = 0;
+  for (const auto& q : wl) {
+    switch (q.type) {
+      case apps::DbQueryType::Point: ++point; break;
+      case apps::DbQueryType::Range: ++range; break;
+      case apps::DbQueryType::Insert: ++insert; break;
+    }
+  }
+  // ~70 / 20 / 10 with sampling noise.
+  EXPECT_NEAR(static_cast<double>(point) / 5000.0, 0.70, 0.03);
+  EXPECT_NEAR(static_cast<double>(insert) / 5000.0, 0.20, 0.03);
+  EXPECT_NEAR(static_cast<double>(range) / 5000.0, 0.10, 0.03);
+}
+
+TEST(MiniDbWorkload, IdsAreSequential) {
+  const auto wl = apps::MiniDbApp::make_mixed_workload(100, 1, 4096);
+  for (std::size_t i = 0; i < wl.size(); ++i) {
+    EXPECT_EQ(wl[i].id, i + 1);
+  }
+}
+
+TEST(SpecWorkloads, DistinctUopRates) {
+  // Fig. 4's precondition: the three kernels retire uops at clearly
+  // different rates.
+  const auto rate = [](prog::Workload (*make)(SymbolTable&)) {
+    SymbolTable symtab;
+    const prog::Workload wl = make(symtab);
+    sim::Machine m(symtab);
+    prog::WorkloadTask t(wl, 500);
+    m.attach(0, t);
+    const auto r = m.run();
+    return static_cast<double>(
+               m.cpu(0).stats().events.get(HwEvent::UopsRetired)) /
+           static_cast<double>(r.end_tsc);
+  };
+  const double astar = rate(prog::make_astar);
+  const double bzip2 = rate(prog::make_bzip2);
+  const double gcc = rate(prog::make_gcc);
+  EXPECT_GT(bzip2, 1.5 * gcc);
+  EXPECT_GT(gcc, 1.2 * astar);
+}
+
+TEST(SpecWorkloads, TaskRunsExactIterations) {
+  SymbolTable symtab;
+  const prog::Workload wl = prog::make_bzip2(symtab);
+  sim::Machine m(symtab);
+  prog::WorkloadTask t(wl, 10);
+  m.attach(0, t);
+  m.run();
+  EXPECT_EQ(t.remaining(), 0u);
+  EXPECT_EQ(m.cpu(0).stats().events.get(HwEvent::UopsRetired),
+            10 * wl.uops_per_iteration());
+}
+
+} // namespace
+} // namespace fluxtrace

@@ -1,0 +1,153 @@
+#include "fluxtrace/io/compact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "fluxtrace/core/integrator.hpp"
+
+namespace fluxtrace::io {
+namespace {
+
+TraceData realistic_stream(std::size_t items, std::uint64_t seed) {
+  // Shaped like a real run: per-core monotone times, microsecond-scale
+  // gaps, ips inside a small text segment, item ids in R13.
+  auto rnd = [state = seed]() mutable {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 17;
+  };
+  TraceData d;
+  Tsc t = 1000;
+  for (std::size_t i = 0; i < items; ++i) {
+    const auto core = static_cast<std::uint32_t>(i % 3);
+    const Tsc enter = t;
+    const Tsc leave = enter + 2000 + rnd() % 30000;
+    d.markers.push_back(Marker{enter, i + 1, core, MarkerKind::Enter});
+    d.markers.push_back(Marker{leave, i + 1, core, MarkerKind::Leave});
+    Tsc st = enter;
+    while ((st += 2500 + rnd() % 700) < leave) {
+      PebsSample s;
+      s.tsc = st;
+      s.core = core;
+      s.ip = 0x400000 + rnd() % 0x8000;
+      s.regs.set(kItemIdReg, i + 1);
+      d.samples.push_back(s);
+    }
+    t = leave + 500 + rnd() % 2000;
+  }
+  return d;
+}
+
+/// Equality modulo record order and the non-R13 registers the compact
+/// format drops.
+void expect_equivalent(const TraceData& a, TraceData b) {
+  auto marker_key = [](const Marker& m) {
+    return std::tuple(m.core, m.tsc, m.item, m.kind);
+  };
+  auto sample_key = [](const PebsSample& s) {
+    return std::tuple(s.core, s.tsc, s.ip, s.regs.get(kItemIdReg));
+  };
+  auto ms_a = a.markers;
+  auto ms_b = b.markers;
+  std::sort(ms_a.begin(), ms_a.end(),
+            [&](auto& x, auto& y) { return marker_key(x) < marker_key(y); });
+  std::sort(ms_b.begin(), ms_b.end(),
+            [&](auto& x, auto& y) { return marker_key(x) < marker_key(y); });
+  ASSERT_EQ(ms_a.size(), ms_b.size());
+  for (std::size_t i = 0; i < ms_a.size(); ++i) {
+    EXPECT_EQ(marker_key(ms_a[i]), marker_key(ms_b[i])) << i;
+  }
+  auto ss_a = a.samples;
+  auto ss_b = b.samples;
+  std::sort(ss_a.begin(), ss_a.end(),
+            [&](auto& x, auto& y) { return sample_key(x) < sample_key(y); });
+  std::sort(ss_b.begin(), ss_b.end(),
+            [&](auto& x, auto& y) { return sample_key(x) < sample_key(y); });
+  ASSERT_EQ(ss_a.size(), ss_b.size());
+  for (std::size_t i = 0; i < ss_a.size(); ++i) {
+    EXPECT_EQ(sample_key(ss_a[i]), sample_key(ss_b[i])) << i;
+  }
+}
+
+TEST(CompactTrace, EmptyRoundTrip) {
+  std::stringstream ss;
+  write_compact(ss, TraceData{});
+  const TraceData back = read_compact(ss);
+  EXPECT_TRUE(back.markers.empty());
+  EXPECT_TRUE(back.samples.empty());
+}
+
+class CompactRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompactRoundTrip, PreservesEverythingAnalysesRead) {
+  const TraceData d = realistic_stream(60, GetParam());
+  std::stringstream ss;
+  write_compact(ss, d);
+  expect_equivalent(d, read_compact(ss));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactRoundTrip,
+                         ::testing::Values(1, 2, 3, 42, 777));
+
+TEST(CompactTrace, MuchSmallerThanFullContainer) {
+  const TraceData d = realistic_stream(200, 9);
+  std::stringstream full;
+  write_trace(full, d);
+  const std::uint64_t compact = compact_size(d);
+  EXPECT_LT(compact * 6, full.str().size())
+      << "compact " << compact << " vs full " << full.str().size();
+}
+
+TEST(CompactTrace, NoItemSentinelSurvives) {
+  TraceData d;
+  PebsSample s;
+  s.tsc = 100;
+  s.regs.set(kItemIdReg, kNoItem);
+  d.samples.push_back(s);
+  std::stringstream ss;
+  write_compact(ss, d);
+  const TraceData back = read_compact(ss);
+  ASSERT_EQ(back.samples.size(), 1u);
+  EXPECT_EQ(back.samples[0].regs.get(kItemIdReg), kNoItem);
+}
+
+TEST(CompactTrace, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("definitely not a trace");
+  EXPECT_THROW((void)read_compact(bad), TraceIoError);
+
+  const TraceData d = realistic_stream(10, 5);
+  std::stringstream ss;
+  write_compact(ss, d);
+  const std::string bytes = ss.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW((void)read_compact(cut), TraceIoError);
+}
+
+TEST(CompactTrace, RejectsVarintOverflow) {
+  // Ten continuation bytes exceed 64 bits: must be an error, not UB.
+  std::stringstream ss(std::string(12, '\xff'));
+  EXPECT_THROW((void)read_compact(ss), TraceIoError);
+}
+
+TEST(CompactTrace, IntegratesIdenticallyToFullFormat) {
+  // The analyses must not care which container the trace came through.
+  const TraceData d = realistic_stream(40, 11);
+  std::stringstream ss;
+  write_compact(ss, d);
+  const TraceData back = read_compact(ss);
+
+  SymbolTable symtab;
+  symtab.add("big_fn", 0x8000); // covers all generated ips
+  core::TraceIntegrator integ(symtab);
+  const auto t1 = integ.integrate(d.markers, d.samples);
+  const auto t2 = integ.integrate(back.markers, back.samples);
+  ASSERT_EQ(t1.items().size(), t2.items().size());
+  for (const ItemId item : t1.items()) {
+    EXPECT_EQ(t1.item_window_total(item), t2.item_window_total(item));
+    EXPECT_EQ(t1.item_estimated_total(item), t2.item_estimated_total(item));
+  }
+}
+
+} // namespace
+} // namespace fluxtrace::io

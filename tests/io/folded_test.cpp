@@ -1,0 +1,64 @@
+#include "fluxtrace/io/folded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fluxtrace::io {
+namespace {
+
+TEST(Folded, EmitsOneLinePerBucket) {
+  SymbolTable symtab;
+  const SymbolId fa = symtab.add("fa");
+  const SymbolId fb = symtab.add("fb");
+  core::TraceTable t;
+  t.add_sample(1, fa, 0, 10);
+  t.add_sample(1, fa, 0, 20);
+  t.add_sample(1, fb, 0, 30);
+  t.add_sample(2, fa, 0, 40);
+
+  std::ostringstream os;
+  write_folded(os, t, symtab);
+  EXPECT_EQ(os.str(),
+            "item_1;fa 2\n"
+            "item_1;fb 1\n"
+            "item_2;fa 1\n");
+}
+
+TEST(Folded, MinSamplesFilters) {
+  SymbolTable symtab;
+  const SymbolId fa = symtab.add("fa");
+  core::TraceTable t;
+  t.add_sample(1, fa, 0, 10);
+  t.add_sample(2, fa, 0, 20);
+  t.add_sample(2, fa, 0, 30);
+  std::ostringstream os;
+  write_folded(os, t, symtab, /*min_samples=*/2);
+  EXPECT_EQ(os.str(), "item_2;fa 2\n");
+}
+
+TEST(TableCsv, EmitsPlottingReadyRows) {
+  SymbolTable symtab;
+  const SymbolId fa = symtab.add("fa");
+  core::TraceTable t;
+  t.add_sample(3, fa, 0, 3000);
+  t.add_sample(3, fa, 0, 6000);
+  t.add_window(core::ItemWindow{3, 0, 0, 9000});
+  std::ostringstream os;
+  write_table_csv(os, t, symtab, CpuSpec{}); // 3 GHz
+  const std::string out = os.str();
+  EXPECT_NE(out.find("item,function,samples,elapsed_us,window_us"),
+            std::string::npos);
+  EXPECT_NE(out.find("3,fa,2,1.000000,3.000000"), std::string::npos) << out;
+}
+
+TEST(Folded, EmptyTableEmitsNothing) {
+  SymbolTable symtab;
+  core::TraceTable t;
+  std::ostringstream os;
+  write_folded(os, t, symtab);
+  EXPECT_TRUE(os.str().empty());
+}
+
+} // namespace
+} // namespace fluxtrace::io

@@ -1,0 +1,89 @@
+#include "fluxtrace/io/symbols_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fluxtrace::io {
+namespace {
+
+TEST(SymbolsFile, RoundTripPreservesRangesAndNames) {
+  SymbolTable t;
+  t.add("alpha", 0x100);
+  t.add("beta::gamma", 0x237);
+  t.add("rte_acl_classify", 0x1000);
+
+  std::stringstream ss;
+  write_symbols(ss, t);
+  const SymbolTable back = read_symbols(ss);
+
+  ASSERT_EQ(back.size(), t.size());
+  for (SymbolId i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back[i].name, t[i].name);
+    EXPECT_EQ(back[i].lo, t[i].lo);
+    EXPECT_EQ(back[i].hi, t[i].hi);
+  }
+  // Resolution behaves identically.
+  EXPECT_EQ(back.resolve(t[1].lo + 5), t.resolve(t[1].lo + 5));
+}
+
+TEST(SymbolsFile, NamesWithSpacesSurvive) {
+  SymbolTable t;
+  t.add("operator new(unsigned long)", 0x40);
+  std::stringstream ss;
+  write_symbols(ss, t);
+  const SymbolTable back = read_symbols(ss);
+  EXPECT_EQ(back[0].name, "operator new(unsigned long)");
+}
+
+TEST(SymbolsFile, SkipsCommentsAndBlankLines) {
+  std::stringstream ss;
+  ss << "# a comment\n\n"
+     << "0000000000400000 0000000000000100 T fn_a\n";
+  const SymbolTable t = read_symbols(ss);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].name, "fn_a");
+  EXPECT_EQ(t[0].lo, 0x400000u);
+  EXPECT_EQ(t[0].size(), 0x100u);
+}
+
+TEST(SymbolsFile, RejectsMalformedLines) {
+  for (const char* bad : {
+           "garbage\n",
+           "0000000000400000 0000000000000100 D data_sym\n", // not text
+           "0000000000400000 0000000000000000 T empty\n",    // zero size
+           "0000000000400000 0000000000000100 T\n",          // no name
+       }) {
+    std::stringstream ss;
+    ss << bad;
+    EXPECT_THROW((void)read_symbols(ss), TraceIoError) << bad;
+  }
+}
+
+TEST(SymbolsFile, RejectsOverlappingRanges) {
+  std::stringstream ss;
+  ss << "0000000000400000 0000000000000100 T a\n"
+     << "0000000000400080 0000000000000100 T b\n"; // overlaps a
+  EXPECT_THROW((void)read_symbols(ss), TraceIoError);
+}
+
+TEST(SymbolsFile, AllowsGapsBetweenFunctions) {
+  std::stringstream ss;
+  ss << "0000000000400000 0000000000000100 T a\n"
+     << "0000000000500000 0000000000000100 T b\n";
+  const SymbolTable t = read_symbols(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.resolve(0x450000).has_value()) << "gap is unmapped";
+  EXPECT_EQ(t.resolve(0x500000), SymbolId{1});
+}
+
+TEST(SymbolsFile, AddRangeThenAddContinues) {
+  SymbolTable t;
+  t.add_range("low", 0x1000, 0x2000);
+  const SymbolId next = t.add("appended", 0x100);
+  EXPECT_GE(t[next].lo, 0x2000u);
+  EXPECT_EQ(t.resolve(t[next].lo), next);
+}
+
+} // namespace
+} // namespace fluxtrace::io

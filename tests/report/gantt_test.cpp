@@ -1,0 +1,64 @@
+#include "fluxtrace/report/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::report {
+namespace {
+
+TEST(Gantt, RendersSpansAtScaledPositions) {
+  Gantt g(10);
+  g.set_range(0, 100);
+  g.span("core0", 0, 49, '#');
+  g.span("core0", 50, 100, '=');
+  const std::string s = g.str();
+  EXPECT_EQ(s, "core0 |#####=====|\n");
+}
+
+TEST(Gantt, RowsAlignAndKeepCreationOrder) {
+  Gantt g(8);
+  g.set_range(0, 80);
+  g.span("rx", 0, 39, 'r');
+  g.span("acl-core", 40, 80, 'a');
+  const std::string s = g.str();
+  EXPECT_EQ(s,
+            "rx       |rrrr....|\n"
+            "acl-core |....aaaa|\n");
+}
+
+TEST(Gantt, AutoRangeFitsSpans) {
+  Gantt g(10);
+  g.span("x", 1000, 1999, '#');
+  const std::string s = g.str();
+  EXPECT_EQ(s, "x |##########|\n");
+}
+
+TEST(Gantt, LabelsOverlayWideSpans) {
+  Gantt g(20);
+  g.set_range(0, 20);
+  g.span("w", 0, 20, '#', "job1");
+  const std::string s = g.str();
+  EXPECT_NE(s.find("job1"), std::string::npos);
+  // Narrow spans skip the label rather than corrupt neighbours.
+  Gantt n(20);
+  n.set_range(0, 200);
+  n.span("w", 0, 10, '#', "verylonglabel");
+  EXPECT_EQ(n.str().find("verylong"), std::string::npos);
+}
+
+TEST(Gantt, SpansOutsideExplicitRangeClippedOrDropped) {
+  Gantt g(10);
+  g.set_range(100, 200);
+  g.span("x", 0, 50, '!');    // entirely before: dropped
+  g.span("x", 150, 300, '#'); // clipped at the right edge
+  const std::string s = g.str();
+  EXPECT_EQ(s.find('!'), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Gantt, EmptyPrintsNothing) {
+  Gantt g;
+  EXPECT_TRUE(g.str().empty());
+}
+
+} // namespace
+} // namespace fluxtrace::report

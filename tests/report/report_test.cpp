@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fluxtrace/report/chart.hpp"
+#include "fluxtrace/report/csv.hpp"
+#include "fluxtrace/report/table.hpp"
+
+namespace fluxtrace::report {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Right-aligned numeric column: "22" ends at the same offset as "value".
+  std::istringstream is(s);
+  std::string header, sep, r1, r2;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, r1);
+  std::getline(is, r2);
+  EXPECT_EQ(header.size(), r2.size());
+  EXPECT_EQ(sep.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+TEST(BarChart, ScalesToMaxWidth) {
+  BarChart c("us", 10);
+  c.bar("big", 100.0);
+  c.bar("half", 50.0);
+  const std::string s = c.str();
+  // The 100-value bar renders 10 '#'; the 50-value bar 5.
+  EXPECT_NE(s.find("##########"), std::string::npos);
+  EXPECT_NE(s.find("#####"), std::string::npos);
+  EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+TEST(BarChart, EmptyChartPrintsNothing) {
+  BarChart c;
+  EXPECT_TRUE(c.str().empty());
+}
+
+TEST(StackedBarChart, LegendAndSegments) {
+  StackedBarChart c("us", 20);
+  c.series("f1");
+  c.series("f2");
+  c.bar("q1", {10.0, 10.0});
+  const std::string s = c.str();
+  EXPECT_NE(s.find("legend:"), std::string::npos);
+  EXPECT_NE(s.find("# = f1"), std::string::npos);
+  EXPECT_NE(s.find("= = f2"), std::string::npos);
+  EXPECT_NE(s.find("20.00 us"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"reset", "interval_us"});
+  w.row({"8000", "1.07"});
+  EXPECT_EQ(os.str(), "reset,interval_us\n8000,1.07\n");
+}
+
+} // namespace
+} // namespace fluxtrace::report

@@ -1,0 +1,78 @@
+#include "fluxtrace/report/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::report {
+namespace {
+
+TEST(Distribution, BasicMoments) {
+  Distribution d;
+  for (const double x : {10.0, 20.0, 30.0, 40.0, 50.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.mean(), 30.0);
+  EXPECT_NEAR(d.stddev(), 15.811, 1e-3);
+  EXPECT_DOUBLE_EQ(d.min(), 10.0);
+  EXPECT_DOUBLE_EQ(d.max(), 50.0);
+  EXPECT_EQ(d.count(), 5u);
+}
+
+TEST(Distribution, EmptyIsZero) {
+  Distribution d;
+  EXPECT_EQ(d.mean(), 0.0);
+  EXPECT_EQ(d.stddev(), 0.0);
+  EXPECT_EQ(d.percentile(50), 0.0);
+}
+
+TEST(Distribution, NearestRankPercentiles) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.add(i);
+  EXPECT_DOUBLE_EQ(d.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(d.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(d.percentile(1), 1.0);
+  EXPECT_DOUBLE_EQ(d.percentile(99.9), 100.0); // ceil(99.9) rank
+}
+
+TEST(Distribution, PercentileUnsortedInsertOrder) {
+  Distribution d;
+  for (const double x : {5.0, 1.0, 4.0, 2.0, 3.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.percentile(50), 3.0);
+  d.add(0.5); // interleave add after query
+  EXPECT_DOUBLE_EQ(d.min(), 0.5);
+}
+
+TEST(Distribution, TailAmplification) {
+  Distribution d;
+  for (int i = 0; i < 99; ++i) d.add(1.0);
+  d.add(100.0);
+  // mean ≈ 1.99, p99 = 1, p100 = 100.
+  EXPECT_NEAR(d.p99_over_mean(), 1.0 / 1.99, 0.01);
+  EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);  // bucket 0
+  h.add(1.9);  // bucket 0
+  h.add(2.0);  // bucket 1
+  h.add(9.99); // bucket 4
+  h.add(10.0); // overflow
+  h.add(-1.0); // underflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+}
+
+TEST(Histogram, RendersRows) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string s = h.str();
+  EXPECT_NE(s.find("##"), std::string::npos);
+  EXPECT_NE(s.find(" 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace fluxtrace::report

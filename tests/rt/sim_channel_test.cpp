@@ -1,0 +1,57 @@
+#include "fluxtrace/rt/sim_channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::rt {
+namespace {
+
+TEST(SimChannel, GatesOnPushTime) {
+  SimChannel<int> ch(8);
+  EXPECT_TRUE(ch.push(42, /*now=*/1000));
+  // A consumer whose clock has not reached the push time sees nothing —
+  // this is what keeps the discrete-event schedule causal.
+  EXPECT_FALSE(ch.pop(999).has_value());
+  EXPECT_FALSE(ch.empty());
+  const auto v = ch.pop(1000);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(SimChannel, FifoWithMonotoneTimes) {
+  SimChannel<int> ch(8);
+  ch.push(1, 10);
+  ch.push(2, 20);
+  ch.push(3, 30);
+  EXPECT_EQ(ch.size(), 3u);
+  EXPECT_EQ(ch.pop(100), 1);
+  EXPECT_EQ(ch.pop(100), 2);
+  EXPECT_EQ(ch.pop(100), 3);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(SimChannel, HeadBlocksTail) {
+  SimChannel<int> ch(8);
+  ch.push(1, 1000);
+  ch.push(2, 10); // pushed "later" in ring order despite smaller stamp
+  // FIFO order is preserved: the head's gate applies first.
+  EXPECT_FALSE(ch.pop(500).has_value());
+  EXPECT_EQ(ch.pop(1000), 1);
+  EXPECT_EQ(ch.pop(1000), 2);
+}
+
+TEST(SimChannel, HeadReady) {
+  SimChannel<int> ch(8);
+  EXPECT_FALSE(ch.head_ready().has_value());
+  ch.push(7, 123);
+  EXPECT_EQ(ch.head_ready(), 123u);
+}
+
+TEST(SimChannel, CapacityBound) {
+  SimChannel<int> ch(2);
+  std::size_t pushed = 0;
+  while (ch.push(1, 0)) ++pushed;
+  EXPECT_EQ(pushed, ch.capacity());
+}
+
+} // namespace
+} // namespace fluxtrace::rt

@@ -1,0 +1,228 @@
+#include "fluxtrace/rt/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace fluxtrace::rt {
+namespace {
+
+TEST(SpscRing, StartsEmpty) {
+  SpscRing<int> r(8);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.pop().has_value());
+  EXPECT_EQ(r.front(), nullptr);
+}
+
+TEST(SpscRing, PushPopFifo) {
+  SpscRing<int> r(8);
+  EXPECT_TRUE(r.push(1));
+  EXPECT_TRUE(r.push(2));
+  EXPECT_TRUE(r.push(3));
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.pop(), 1);
+  EXPECT_EQ(r.pop(), 2);
+  EXPECT_EQ(r.pop(), 3);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SpscRing, FrontPeeksWithoutDequeue) {
+  SpscRing<int> r(8);
+  r.push(42);
+  ASSERT_NE(r.front(), nullptr);
+  EXPECT_EQ(*r.front(), 42);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(SpscRing, CapacityIsAtLeastRequested) {
+  for (const std::size_t want : {1u, 2u, 3u, 100u, 1000u, 1024u}) {
+    SpscRing<int> r(want);
+    EXPECT_GE(r.capacity(), want) << "requested " << want;
+  }
+}
+
+TEST(SpscRing, FullRejectsPush) {
+  SpscRing<int> r(4);
+  std::size_t pushed = 0;
+  while (r.push(static_cast<int>(pushed))) ++pushed;
+  EXPECT_EQ(pushed, r.capacity());
+  EXPECT_FALSE(r.push(999));
+  // Popping one frees one slot.
+  EXPECT_TRUE(r.pop().has_value());
+  EXPECT_TRUE(r.push(999));
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<int> r(4);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(r.push(i));
+    ASSERT_EQ(r.pop(), i);
+  }
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> r(4);
+  r.push(std::make_unique<int>(5));
+  auto p = r.pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(**p, 5);
+}
+
+// Model-based test: a random single-threaded op sequence must behave like
+// a bounded std::deque.
+class SpscRingModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpscRingModelTest, MatchesDequeModel) {
+  std::uint64_t state = GetParam();
+  auto rnd = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  SpscRing<int> ring(16);
+  std::deque<int> model;
+  const std::size_t cap = ring.capacity();
+  for (int i = 0; i < 20000; ++i) {
+    if (rnd() % 2 == 0) {
+      const int v = static_cast<int>(rnd() % 1000);
+      const bool ok = ring.push(v);
+      EXPECT_EQ(ok, model.size() < cap);
+      if (ok) model.push_back(v);
+    } else {
+      const auto v = ring.pop();
+      if (model.empty()) {
+        EXPECT_FALSE(v.has_value());
+      } else {
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, model.front());
+        model.pop_front();
+      }
+    }
+    EXPECT_EQ(ring.size(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpscRingModelTest,
+                         ::testing::Values(1, 42, 0xdeadbeef, 777, 31337));
+
+TEST(SpscRing, BurstPushPop) {
+  SpscRing<int> r(16);
+  const int src[5] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(r.push_burst(src, 5), 5u);
+  int dst[8] = {};
+  EXPECT_EQ(r.pop_burst(dst, 8), 5u); // partial burst: all available
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dst[i], src[i]);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SpscRing, BurstPushRespectsCapacity) {
+  SpscRing<int> r(4);
+  std::vector<int> src(100, 7);
+  const std::size_t pushed = r.push_burst(src.data(), src.size());
+  EXPECT_EQ(pushed, r.capacity());
+  EXPECT_EQ(r.size(), r.capacity());
+  // A second burst push fits nothing.
+  EXPECT_EQ(r.push_burst(src.data(), 1), 0u);
+}
+
+TEST(SpscRing, BurstInterleavesWithSingleOps) {
+  SpscRing<int> r(8);
+  r.push(1);
+  const int src[2] = {2, 3};
+  EXPECT_EQ(r.push_burst(src, 2), 2u);
+  EXPECT_EQ(r.pop(), 1);
+  int dst[2];
+  EXPECT_EQ(r.pop_burst(dst, 2), 2u);
+  EXPECT_EQ(dst[0], 2);
+  EXPECT_EQ(dst[1], 3);
+}
+
+TEST(SpscRing, BurstWrapsAround) {
+  SpscRing<int> r(4);
+  int dst[4];
+  for (int round = 0; round < 50; ++round) {
+    const int src[3] = {round, round + 1, round + 2};
+    ASSERT_EQ(r.push_burst(src, 3), 3u);
+    ASSERT_EQ(r.pop_burst(dst, 3), 3u);
+    for (int i = 0; i < 3; ++i) ASSERT_EQ(dst[i], round + i);
+  }
+}
+
+// Concurrency property: with one real producer thread and one real
+// consumer thread, every value arrives exactly once, in order.
+TEST(SpscRing, TwoThreadsBurstPreserveOrderAndCount) {
+  constexpr int kN = 100000;
+  SpscRing<int> ring(1024);
+  std::vector<int> received;
+  received.reserve(kN);
+
+  std::thread producer([&ring] {
+    int next = 0;
+    int batch[64];
+    while (next < kN) {
+      int n = 0;
+      while (n < 64 && next + n < kN) {
+        batch[n] = next + n;
+        ++n;
+      }
+      std::size_t sent = 0;
+      while (sent < static_cast<std::size_t>(n)) {
+        sent += ring.push_burst(batch + sent, static_cast<std::size_t>(n) - sent);
+        if (sent < static_cast<std::size_t>(n)) std::this_thread::yield();
+      }
+      next += n;
+    }
+  });
+  std::thread consumer([&ring, &received] {
+    int batch[64];
+    while (static_cast<int>(received.size()) < kN) {
+      const std::size_t got = ring.pop_burst(batch, 64);
+      for (std::size_t i = 0; i < got; ++i) received.push_back(batch[i]);
+      if (got == 0) std::this_thread::yield();
+    }
+  });
+  producer.join();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(received[static_cast<std::size_t>(i)], i) << "at index " << i;
+  }
+}
+
+TEST(SpscRing, TwoThreadsPreserveOrderAndCount) {
+  constexpr int kN = 200000;
+  SpscRing<int> ring(1024);
+  std::vector<int> received;
+  received.reserve(kN);
+
+  std::thread producer([&ring] {
+    for (int i = 0; i < kN; ++i) {
+      while (!ring.push(i)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::thread consumer([&ring, &received] {
+    while (static_cast<int>(received.size()) < kN) {
+      if (auto v = ring.pop()) {
+        received.push_back(*v);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(received[static_cast<std::size_t>(i)], i) << "at index " << i;
+  }
+}
+
+} // namespace
+} // namespace fluxtrace::rt

@@ -1,0 +1,183 @@
+#include "fluxtrace/rt/ulthread.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::rt {
+namespace {
+
+struct UlFixture : ::testing::Test {
+  UlFixture() {
+    f = symtab.add("work_fn", 0x1000);
+    sched = symtab.add("ul_sched_switch", 0x200);
+  }
+
+  UlWork work(ItemId id, std::uint64_t uops) {
+    return UlWork{id, {sim::ExecBlock{f, uops, 0, {}}}};
+  }
+
+  SymbolTable symtab;
+  SymbolId f, sched;
+};
+
+TEST_F(UlFixture, SingleShortItemRunsToCompletion) {
+  sim::Machine m(symtab);
+  UlSchedulerConfig cfg;
+  cfg.timeslice = 10000;
+  cfg.scheduler_symbol = sched;
+  UlScheduler s(cfg);
+  s.submit(work(1, 100)); // 40 cycles ≪ timeslice
+  m.attach(0, s);
+  const auto r = m.run();
+  EXPECT_TRUE(r.all_done);
+  EXPECT_EQ(s.completed(), 1u);
+  EXPECT_EQ(s.context_switches(), 0u);
+}
+
+TEST_F(UlFixture, LongItemIsPreempted) {
+  sim::Machine m(symtab);
+  UlSchedulerConfig cfg;
+  cfg.timeslice = 1000; // 2500 uops per slice at 0.4 c/uop
+  cfg.scheduler_symbol = sched;
+  UlScheduler s(cfg);
+  s.submit(work(1, 10000)); // needs 4 slices
+  m.attach(0, s);
+  m.run();
+  EXPECT_EQ(s.completed(), 1u);
+  EXPECT_GE(s.context_switches(), 3u);
+}
+
+TEST_F(UlFixture, LightItemFinishesBeforeHeavyOne) {
+  // The defining property of timer-switching (§III-C): a light item can
+  // complete while a heavy one is still in flight.
+  sim::Machine m(symtab);
+  UlSchedulerConfig cfg;
+  cfg.timeslice = 1000;
+  cfg.scheduler_symbol = sched;
+  UlScheduler s(cfg);
+  s.submit(work(1, 50000)); // heavy, submitted first
+  s.submit(work(2, 500));   // light
+  m.attach(0, s);
+  m.run();
+
+  // Light item's Leave marker must precede the heavy item's.
+  Tsc leave_heavy = 0, leave_light = 0;
+  for (const Marker& mk : m.marker_log().markers()) {
+    if (mk.kind != MarkerKind::Leave) continue;
+    if (mk.item == 1) leave_heavy = mk.tsc;
+    if (mk.item == 2) leave_light = mk.tsc;
+  }
+  ASSERT_GT(leave_heavy, 0u);
+  ASSERT_GT(leave_light, 0u);
+  EXPECT_LT(leave_light, leave_heavy);
+}
+
+TEST_F(UlFixture, R13CarriesTheItemIdThroughSwitches) {
+  sim::Machine m(symtab);
+  sim::PebsConfig pc;
+  pc.reset = 500;
+  pc.sample_cost_ns = 0.0;
+  m.cpu(0).enable_pebs(pc);
+
+  UlSchedulerConfig cfg;
+  cfg.timeslice = 800;
+  cfg.scheduler_symbol = sched;
+  UlScheduler s(cfg);
+  s.submit(work(11, 20000));
+  s.submit(work(22, 20000));
+  m.attach(0, s);
+  m.run();
+  m.flush_samples();
+
+  // Every sample inside work_fn must carry one of the two item ids in
+  // R13; samples inside the scheduler must carry the no-item sentinel.
+  std::size_t work_samples = 0;
+  for (const PebsSample& smp : m.pebs_driver().samples()) {
+    const auto sym = symtab.resolve(smp.ip);
+    ASSERT_TRUE(sym.has_value());
+    const ItemId id = smp.regs.get(kItemIdReg);
+    if (*sym == f) {
+      EXPECT_TRUE(id == 11 || id == 22) << "ip in work_fn, R13=" << id;
+      ++work_samples;
+    } else if (*sym == sched) {
+      EXPECT_EQ(id, kNoItem);
+    }
+  }
+  EXPECT_GT(work_samples, 10u);
+}
+
+TEST_F(UlFixture, InterleavingAttributesWorkToBothItems) {
+  sim::Machine m(symtab);
+  sim::PebsConfig pc;
+  pc.reset = 200;
+  pc.sample_cost_ns = 0.0;
+  m.cpu(0).enable_pebs(pc);
+
+  UlSchedulerConfig cfg;
+  cfg.timeslice = 500;
+  cfg.scheduler_symbol = sched;
+  UlScheduler s(cfg);
+  s.submit(work(1, 15000));
+  s.submit(work(2, 15000));
+  m.attach(0, s);
+  m.run();
+  m.flush_samples();
+
+  std::size_t item1 = 0, item2 = 0;
+  for (const PebsSample& smp : m.pebs_driver().samples()) {
+    if (smp.regs.get(kItemIdReg) == 1) ++item1;
+    if (smp.regs.get(kItemIdReg) == 2) ++item2;
+  }
+  // Equal work → roughly equal sample counts.
+  EXPECT_GT(item1, 20u);
+  EXPECT_GT(item2, 20u);
+  const double ratio = static_cast<double>(item1) / static_cast<double>(item2);
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+TEST_F(UlFixture, MemoryBlocksSplitProportionally) {
+  // A preempted block must touch its remaining addresses when resumed,
+  // not restart from the beginning.
+  sim::Machine m(symtab);
+  UlSchedulerConfig cfg;
+  cfg.timeslice = 2000;
+  cfg.scheduler_symbol = sched;
+  UlScheduler s(cfg);
+  UlWork w;
+  w.item = 5;
+  w.blocks = {sim::ExecBlock{f, 40000, 0, sim::MemPattern{0x100000, 400, 64}}};
+  s.submit(std::move(w));
+  m.attach(0, s);
+  m.run();
+  // All 400 distinct lines were loaded exactly once → 400 cold misses.
+  EXPECT_EQ(m.cpu(0).stats().events.get(HwEvent::LoadsRetired), 400u);
+  EXPECT_EQ(m.cpu(0).stats().events.get(HwEvent::CacheMisses), 400u);
+}
+
+TEST_F(UlFixture, MarkersOverlapUnderPreemption) {
+  // The failure mode §V-A fixes: with preemption, marker windows of
+  // different items overlap in time on one core.
+  sim::Machine m(symtab);
+  UlSchedulerConfig cfg;
+  cfg.timeslice = 500;
+  cfg.scheduler_symbol = sched;
+  UlScheduler s(cfg);
+  s.submit(work(1, 20000));
+  s.submit(work(2, 20000));
+  m.attach(0, s);
+  m.run();
+
+  Tsc enter1 = 0, leave1 = 0, enter2 = 0, leave2 = 0;
+  for (const Marker& mk : m.marker_log().markers()) {
+    if (mk.item == 1 && mk.kind == MarkerKind::Enter) enter1 = mk.tsc;
+    if (mk.item == 1 && mk.kind == MarkerKind::Leave) leave1 = mk.tsc;
+    if (mk.item == 2 && mk.kind == MarkerKind::Enter) enter2 = mk.tsc;
+    if (mk.item == 2 && mk.kind == MarkerKind::Leave) leave2 = mk.tsc;
+  }
+  // Item 2 entered before item 1 left, and vice versa: overlapping windows.
+  EXPECT_LT(enter2, leave1);
+  EXPECT_LT(enter1, leave2);
+}
+
+} // namespace
+} // namespace fluxtrace::rt

@@ -1,0 +1,391 @@
+// Exactness tests for the execution engine: event placement, sample
+// timestamps/ips, overhead injection. The whole reproduction rests on
+// these semantics, so they are asserted cycle-exactly.
+#include "fluxtrace/sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::sim {
+namespace {
+
+struct CpuFixture : ::testing::Test {
+  CpuFixture() {
+    spec.freq_ghz = 3.0;
+    spec.cycles_per_uop = 0.4;
+    f = symtab.add("f", 0x1000);
+    g = symtab.add("g", 0x1000);
+  }
+
+  Cpu make_cpu(CpuConfig cfg = {}) {
+    return Cpu(0, spec, symtab, log, CacheHierarchy(cache_cfg), &driver, cfg);
+  }
+
+  CpuSpec spec;
+  SymbolTable symtab;
+  MarkerLog log;
+  CacheHierarchyConfig cache_cfg;
+  PebsDriver driver{CpuSpec{}};
+  SymbolId f, g;
+};
+
+TEST_F(CpuFixture, ExecAdvancesTscByUopCycles) {
+  Cpu cpu = make_cpu();
+  cpu.exec(f, 1000);
+  EXPECT_EQ(cpu.now(), 400u); // 1000 uops × 0.4 cycles
+  EXPECT_EQ(cpu.stats().busy_cycles, 400u);
+  EXPECT_EQ(cpu.stats().fn_time(f), 400u);
+  EXPECT_EQ(cpu.stats().events.get(HwEvent::UopsRetired), 1000u);
+}
+
+TEST_F(CpuFixture, FnCyclesAccumulatePerSymbol) {
+  Cpu cpu = make_cpu();
+  cpu.exec(f, 1000);
+  cpu.exec(g, 500);
+  cpu.exec(f, 1000);
+  EXPECT_EQ(cpu.stats().fn_time(f), 800u);
+  EXPECT_EQ(cpu.stats().fn_time(g), 200u);
+  EXPECT_EQ(cpu.stats().blocks, 3u);
+}
+
+TEST_F(CpuFixture, BranchMissesStallThePipeline) {
+  Cpu cpu = make_cpu();
+  cpu.run(ExecBlock{f, 1000, 10, {}});
+  EXPECT_EQ(cpu.now(), 400u + 10 * spec.branch_miss_penalty);
+  EXPECT_EQ(cpu.stats().events.get(HwEvent::BranchMisses), 10u);
+}
+
+TEST_F(CpuFixture, PebsSamplePlacementIsExact) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.reset = 100;
+  pc.sample_cost_ns = 0.0; // isolate placement from overhead
+  cpu.enable_pebs(pc);
+
+  cpu.exec(f, 250); // duration 100 cycles; overflows at events 100, 200
+  // Counter state checked before flushing (a drain re-arms the counter,
+  // as the kernel module does when re-enabling PEBS).
+  EXPECT_EQ(cpu.pebs().until_overflow(), 50u); // 250 − 200 events consumed
+  driver.flush(cpu.pebs(), 0);
+  const SampleVec& s = driver.samples();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].tsc, 40u); // event 100 of 250 → offset 100 × (100/250)
+  EXPECT_EQ(s[1].tsc, 80u);
+  // ip interpolates function progress: frac 0.4 and 0.8 through f's code.
+  EXPECT_EQ(s[0].ip, symtab[f].lo + 0x1000 * 2 / 5);
+  EXPECT_EQ(s[1].ip, symtab[f].lo + 0x1000 * 4 / 5);
+  EXPECT_EQ(cpu.now(), 100u); // zero-cost samples: no shift
+}
+
+TEST_F(CpuFixture, PebsAssistShiftsLaterSamplesAndEndOfBlock) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.reset = 100;
+  pc.sample_cost_ns = 250.0; // 750 cycles at 3 GHz
+  cpu.enable_pebs(pc);
+
+  cpu.exec(f, 250);
+  driver.flush(cpu.pebs(), 0);
+  const SampleVec& s = driver.samples();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].tsc, 40u);        // first sample unshifted
+  EXPECT_EQ(s[1].tsc, 80u + 750u); // second observes the first's assist
+  EXPECT_EQ(cpu.now(), 100u + 2 * 750u);
+  EXPECT_EQ(cpu.stats().pebs_assist, 2 * 750u);
+  EXPECT_EQ(cpu.stats().busy_cycles, 100u) << "assists are not busy time";
+}
+
+TEST_F(CpuFixture, PebsSamplesResolveToTheRightFunction) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.reset = 500;
+  cpu.enable_pebs(pc);
+  cpu.exec(f, 1000); // samples at events 500, 1000
+  cpu.exec(g, 1000); // samples at events 500, 1000 (counter continues)
+  driver.flush(cpu.pebs(), 0);
+  const SampleVec& s = driver.samples();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(symtab.resolve(s[0].ip), f);
+  EXPECT_EQ(symtab.resolve(s[1].ip), f);
+  EXPECT_EQ(symtab.resolve(s[2].ip), g);
+  EXPECT_EQ(symtab.resolve(s[3].ip), g);
+}
+
+TEST_F(CpuFixture, PebsBufferFullInterruptsAndDisarms) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.reset = 10;
+  pc.buffer_capacity = 2;
+  pc.sample_cost_ns = 0.0;
+  cpu.enable_pebs(pc);
+
+  // 3 overflows; the 2nd fills the buffer → IRQ stall on this core, and
+  // the 3rd overflow lands inside the helper's save window → lost.
+  cpu.exec(f, 30);
+  EXPECT_EQ(driver.drains(), 1u);
+  EXPECT_EQ(cpu.stats().drain_stall, spec.cycles(2000.0)); // IRQ only
+  EXPECT_EQ(cpu.now(), 12u + cpu.stats().drain_stall);
+  EXPECT_EQ(cpu.pebs().samples_lost(), 1u);
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), 2u);
+}
+
+TEST_F(CpuFixture, SamplingResumesAfterTheDisarmWindow) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.reset = 10;
+  pc.buffer_capacity = 2;
+  pc.sample_cost_ns = 0.0;
+  cpu.enable_pebs(pc);
+
+  cpu.exec(f, 20);      // fills the buffer (2 samples), IRQ fires
+  cpu.advance(100000);  // helper finishes well within this
+  cpu.exec(f, 20);      // two fresh samples
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), 4u);
+  EXPECT_EQ(cpu.pebs().samples_lost(), 0u);
+}
+
+TEST_F(CpuFixture, ColdLoadsStallWarmLoadsDoNot) {
+  Cpu cpu = make_cpu();
+  const MemPattern mem{0x10000, 4, 64};
+  cpu.exec_mem(f, 100, mem); // 4 DRAM misses
+  const Tsc cold = cpu.now();
+  const Tsc expected_stall =
+      4 * (cache_cfg.dram_latency - cache_cfg.l1.hit_latency);
+  EXPECT_EQ(cold, 40u + expected_stall);
+  EXPECT_EQ(cpu.stats().events.get(HwEvent::CacheMisses), 4u);
+  EXPECT_EQ(cpu.stats().events.get(HwEvent::LoadsRetired), 4u);
+
+  cpu.exec_mem(f, 100, mem); // warm: all L1 hits, no extra stall
+  EXPECT_EQ(cpu.now(), cold + 40u);
+  EXPECT_EQ(cpu.stats().events.get(HwEvent::CacheMisses), 4u);
+}
+
+TEST_F(CpuFixture, PebsOnCacheMissEventSamplesOnlyMisses) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.event = HwEvent::CacheMisses;
+  pc.reset = 2;
+  pc.sample_cost_ns = 0.0;
+  cpu.enable_pebs(pc);
+
+  cpu.exec_mem(f, 100, MemPattern{0x20000, 4, 64}); // 4 misses → 2 samples
+  cpu.exec_mem(f, 100, MemPattern{0x20000, 4, 64}); // warm → no samples
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), 2u);
+}
+
+TEST_F(CpuFixture, SwSamplerSuspendsTheProgram) {
+  Cpu cpu = make_cpu();
+  SwSamplerConfig sc;
+  sc.reset = 100;
+  sc.interrupt_cost_ns = 9500.0;
+  cpu.enable_sw_sampler(sc);
+
+  cpu.exec(f, 200); // overflows at events 100, 200
+  const Tsc per_irq = spec.cycles(9500.0);
+  EXPECT_EQ(cpu.now(), 80u + 2 * per_irq);
+  EXPECT_EQ(cpu.stats().sw_stall, 2 * per_irq);
+  ASSERT_EQ(cpu.sw_sampler().samples().size(), 2u);
+  // Second sample observes the first interrupt's suspension.
+  EXPECT_EQ(cpu.sw_sampler().samples()[0].tsc, 40u);
+  EXPECT_EQ(cpu.sw_sampler().samples()[1].tsc, 80u + per_irq);
+}
+
+TEST_F(CpuFixture, MarkersRecordWindowsAndCostTime) {
+  Cpu cpu = make_cpu();
+  cpu.mark_enter(7);
+  cpu.exec(f, 1000);
+  cpu.mark_leave(7);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.markers()[0].item, 7u);
+  EXPECT_EQ(log.markers()[0].kind, MarkerKind::Enter);
+  EXPECT_EQ(log.markers()[1].kind, MarkerKind::Leave);
+  EXPECT_LT(log.markers()[0].tsc, log.markers()[1].tsc);
+  EXPECT_EQ(cpu.stats().marker_overhead, 2 * spec.cycles(150.0));
+  EXPECT_EQ(cpu.stats().marker_count, 2u);
+}
+
+TEST_F(CpuFixture, MarkerSymbolMakesInstrumentationSampleable) {
+  CpuConfig cc;
+  cc.marker_symbol = symtab.add("fluxtrace_mark", 0x100);
+  cc.marker_uops = 1000;
+  Cpu cpu = make_cpu(cc);
+  PebsConfig pc;
+  pc.reset = 500;
+  pc.sample_cost_ns = 0.0;
+  cpu.enable_pebs(pc);
+
+  cpu.mark_enter(1); // runs as an exec block on the marker symbol
+  driver.flush(cpu.pebs(), 0);
+  ASSERT_EQ(driver.samples().size(), 2u);
+  EXPECT_EQ(symtab.resolve(driver.samples()[0].ip), cc.marker_symbol);
+  EXPECT_EQ(cpu.stats().marker_overhead, spec.uop_cycles(1000));
+}
+
+TEST_F(CpuFixture, AdvanceIsIdleTime) {
+  Cpu cpu = make_cpu();
+  cpu.advance(500);
+  EXPECT_EQ(cpu.now(), 500u);
+  EXPECT_EQ(cpu.stats().idle_cycles, 500u);
+  EXPECT_EQ(cpu.stats().busy_cycles, 0u);
+}
+
+TEST_F(CpuFixture, RegistersAreSampled) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.reset = 50;
+  cpu.enable_pebs(pc);
+  cpu.set_reg(Reg::R13, 99);
+  cpu.exec(f, 100);
+  driver.flush(cpu.pebs(), 0);
+  ASSERT_EQ(driver.samples().size(), 2u);
+  EXPECT_EQ(driver.samples()[0].regs.get(Reg::R13), 99u);
+}
+
+TEST_F(CpuFixture, SpeedFactorStretchesDurations) {
+  Cpu cpu = make_cpu();
+  cpu.exec(f, 1000); // 400 cycles at full speed
+  const Tsc full = cpu.now();
+  cpu.set_speed(0.5); // throttled: same work, twice the TSC time
+  cpu.exec(f, 1000);
+  EXPECT_EQ(cpu.now() - full, 800u);
+  cpu.set_speed(1.0);
+  cpu.exec(f, 1000);
+  EXPECT_EQ(cpu.now() - full - 800, 400u);
+  // Event counts are unaffected: the work retired is identical.
+  EXPECT_EQ(cpu.stats().events.get(HwEvent::UopsRetired), 3000u);
+}
+
+TEST_F(CpuFixture, ThrottledBlocksStillSampleCorrectly) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.reset = 250;
+  pc.sample_cost_ns = 0.0;
+  cpu.enable_pebs(pc);
+  cpu.set_speed(0.5);
+  cpu.exec(f, 1000); // 4 samples over a stretched 800-cycle block
+  driver.flush(cpu.pebs(), 0);
+  ASSERT_EQ(driver.samples().size(), 4u);
+  EXPECT_EQ(driver.samples()[0].tsc, 200u); // event 250/1000 × 800
+  EXPECT_EQ(driver.samples()[3].tsc, 800u);
+}
+
+// Randomized execution property: arbitrary block sequences keep the
+// engine's core invariants — monotone TSC, exact event totals, samples
+// inside their blocks with monotone timestamps.
+class CpuFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuFuzzTest, InvariantsHoldUnderRandomBlocks) {
+  std::uint64_t state = GetParam();
+  auto rnd = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 16;
+  };
+
+  CpuSpec spec;
+  SymbolTable symtab;
+  std::vector<SymbolId> fns;
+  for (int i = 0; i < 5; ++i) {
+    fns.push_back(symtab.add("fn" + std::to_string(i), 0x100 + (rnd() % 0x800)));
+  }
+  MarkerLog log;
+  PebsDriver driver(spec);
+  Cpu cpu(0, spec, symtab, log, CacheHierarchy(), &driver, {});
+  PebsConfig pc;
+  pc.reset = 500 + rnd() % 4000;
+  pc.buffer_capacity = 64;
+  cpu.enable_pebs(pc);
+
+  std::uint64_t total_uops = 0, total_branches = 0, total_loads = 0;
+  Tsc prev_tsc = 0;
+  for (int i = 0; i < 300; ++i) {
+    ExecBlock blk;
+    blk.fn = fns[rnd() % fns.size()];
+    blk.uops = 1 + rnd() % 20000;
+    blk.branch_misses = rnd() % 50;
+    if (rnd() % 3 == 0) {
+      blk.mem = MemPattern{0x100000 + (rnd() % 64) * 0x1000,
+                           static_cast<std::uint32_t>(rnd() % 64),
+                           static_cast<std::uint32_t>(8 << (rnd() % 5))};
+    }
+    if (rnd() % 4 == 0) blk.extra_stall = rnd() % 5000;
+    const Tsc before = cpu.now();
+    cpu.run(blk);
+    ASSERT_GE(cpu.now(), before) << "TSC must be monotone";
+    total_uops += blk.uops;
+    total_branches += blk.branch_misses;
+    total_loads += blk.mem.count;
+    prev_tsc = cpu.now();
+  }
+  (void)prev_tsc;
+
+  EXPECT_EQ(cpu.stats().events.get(HwEvent::UopsRetired), total_uops);
+  EXPECT_EQ(cpu.stats().events.get(HwEvent::BranchMisses), total_branches);
+  EXPECT_EQ(cpu.stats().events.get(HwEvent::LoadsRetired), total_loads);
+  EXPECT_LE(cpu.stats().busy_cycles, cpu.now());
+
+  driver.flush(cpu.pebs(), 0);
+  const SampleVec samples = driver.samples_sorted_by_time();
+  // Sample count: every overflow either recorded or explicitly lost.
+  EXPECT_EQ(samples.size() + cpu.pebs().samples_lost(),
+            total_uops / pc.reset);
+  Tsc prev = 0;
+  for (const PebsSample& smp : samples) {
+    EXPECT_GE(smp.tsc, prev);
+    prev = smp.tsc;
+    EXPECT_LE(smp.tsc, cpu.now());
+    EXPECT_TRUE(symtab.resolve(smp.ip).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuFuzzTest,
+                         ::testing::Values(3, 17, 99, 1234, 98765));
+
+// Property sweep: for any (reset, uops) the number of PEBS samples equals
+// floor(total_events / reset) when starting from a freshly armed counter,
+// and the counter residue is consistent.
+struct SweepParam {
+  std::uint64_t reset;
+  std::uint64_t uops;
+};
+
+class PebsCountingSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PebsCountingSweep, SampleCountMatchesEventMath) {
+  const auto [reset, uops] = GetParam();
+  CpuSpec spec;
+  SymbolTable symtab;
+  const SymbolId f = symtab.add("f");
+  MarkerLog log;
+  PebsDriver driver(spec);
+  Cpu cpu(0, spec, symtab, log, CacheHierarchy(), &driver, {});
+  PebsConfig pc;
+  pc.reset = reset;
+  pc.sample_cost_ns = 0.0;
+  pc.buffer_capacity = 1u << 20;
+  cpu.enable_pebs(pc);
+
+  // Split the work across blocks of varying size: counting must be
+  // continuous across block boundaries.
+  std::uint64_t left = uops;
+  std::uint64_t chunk = 17;
+  while (left > 0) {
+    const std::uint64_t n = std::min(left, chunk);
+    cpu.exec(f, n);
+    left -= n;
+    chunk = chunk * 3 + 1;
+  }
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), uops / reset);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PebsCountingSweep,
+    ::testing::Values(SweepParam{1, 100}, SweepParam{7, 1000},
+                      SweepParam{100, 100}, SweepParam{100, 99},
+                      SweepParam{8000, 100000}, SweepParam{24000, 1000000},
+                      SweepParam{333, 12345}));
+
+} // namespace
+} // namespace fluxtrace::sim

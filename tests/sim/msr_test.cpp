@@ -1,0 +1,149 @@
+#include "fluxtrace/sim/msr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fluxtrace/sim/cpu.hpp"
+
+namespace fluxtrace::sim {
+namespace {
+
+TEST(PerfEvtSel, EncodeDecodeRoundTrip) {
+  PerfEvtSel s;
+  s.event_select = 0xc2;
+  s.umask = 0x01;
+  s.usr = true;
+  s.os = false;
+  s.enable = true;
+  EXPECT_EQ(PerfEvtSel::decode(s.encode()), s);
+  // Known layout spot checks: EN is bit 22, USR bit 16.
+  EXPECT_EQ(s.encode() & 0xff, 0xc2u);
+  EXPECT_TRUE(s.encode() & (1ull << 22));
+  EXPECT_TRUE(s.encode() & (1ull << 16));
+  EXPECT_FALSE(s.encode() & (1ull << 17));
+}
+
+TEST(EventEncoding, SdmCodes) {
+  EXPECT_EQ(encoding_of(HwEvent::UopsRetired).event_select, 0xc2);
+  EXPECT_EQ(encoding_of(HwEvent::UopsRetired).umask, 0x01);
+  EXPECT_EQ(encoding_of(HwEvent::CacheMisses).event_select, 0xd1);
+  EXPECT_EQ(encoding_of(HwEvent::CacheMisses).umask, 0x20);
+}
+
+TEST(EventEncoding, ReverseLookup) {
+  for (const HwEvent e : {HwEvent::UopsRetired, HwEvent::CacheMisses,
+                          HwEvent::BranchMisses, HwEvent::LoadsRetired}) {
+    const EventEncoding enc = encoding_of(e);
+    EXPECT_EQ(event_from(enc.event_select, enc.umask), e);
+  }
+  EXPECT_FALSE(event_from(0x3c, 0x00).has_value()) << "unsupported event";
+}
+
+TEST(MsrFile, ReadsBackWrites) {
+  MsrFile m;
+  EXPECT_EQ(m.read(kIa32DsArea), 0u);
+  m.write(kIa32DsArea, 0xffff880012345000ull);
+  EXPECT_EQ(m.read(kIa32DsArea), 0xffff880012345000ull);
+}
+
+struct ModuleFixture : ::testing::Test {
+  MsrFile msrs;
+  PebsUnit unit;
+  SimplePebsModule mod{msrs, unit};
+};
+
+TEST_F(ModuleFixture, SetupArmsTheUnit) {
+  mod.setup(HwEvent::UopsRetired, 8000, 0xffff880000100000ull);
+  EXPECT_TRUE(mod.armed());
+  EXPECT_TRUE(unit.enabled());
+  EXPECT_EQ(unit.config().event, HwEvent::UopsRetired);
+  EXPECT_EQ(unit.config().reset, 8000u);
+  EXPECT_EQ(unit.until_overflow(), 8000u);
+  // The counter register really holds −R in 48-bit two's complement.
+  EXPECT_EQ(msrs.read(kIa32Pmc0), ((1ull << 48) - 8000));
+}
+
+TEST_F(ModuleFixture, TeardownDisarms) {
+  mod.setup(HwEvent::UopsRetired, 8000, 0x1000);
+  mod.teardown();
+  EXPECT_FALSE(mod.armed());
+  EXPECT_FALSE(unit.enabled());
+}
+
+TEST_F(ModuleFixture, GlobalCtrlGatesEverything) {
+  mod.setup(HwEvent::UopsRetired, 8000, 0x1000);
+  msrs.write(kIa32PerfGlobalCtrl, 0); // OS clears the global enable
+  mod.apply();
+  EXPECT_FALSE(unit.enabled());
+  msrs.write(kIa32PerfGlobalCtrl, 1);
+  mod.apply();
+  EXPECT_TRUE(unit.enabled());
+}
+
+TEST_F(ModuleFixture, PebsEnableBitGates) {
+  mod.setup(HwEvent::CacheMisses, 64, 0x1000);
+  msrs.write(kIa32PebsEnable, 0);
+  mod.apply();
+  EXPECT_FALSE(unit.enabled());
+}
+
+TEST_F(ModuleFixture, UnknownEventNeverArms) {
+  mod.setup(HwEvent::UopsRetired, 100, 0x1000);
+  PerfEvtSel sel;
+  sel.event_select = 0x3c; // CPU_CLK_UNHALTED: not PEBS-capable here
+  sel.umask = 0;
+  sel.enable = true;
+  msrs.write(kIa32PerfEvtSel0, sel.encode());
+  mod.apply();
+  EXPECT_FALSE(unit.enabled());
+}
+
+TEST_F(ModuleFixture, RewritingPmcChangesReset) {
+  mod.setup(HwEvent::UopsRetired, 8000, 0x1000);
+  msrs.write(kIa32Pmc0, ((1ull << 48) - 24000));
+  mod.apply();
+  EXPECT_EQ(unit.config().reset, 24000u);
+}
+
+TEST(ModuleEndToEnd, MsrProgrammedUnitDrivesRealSampling) {
+  // The full path: wrmsr sequence → armed unit → exec blocks produce
+  // samples at the programmed rate.
+  SymbolTable symtab;
+  const SymbolId f = symtab.add("f", 0x400);
+  MarkerLog log;
+  CpuSpec spec;
+  PebsDriver driver(spec);
+  Cpu cpu(0, spec, symtab, log, CacheHierarchy(), &driver, {});
+
+  MsrFile msrs;
+  SimplePebsModule mod(msrs, cpu.pebs());
+  mod.setup(HwEvent::UopsRetired, 500, /*ds_area=*/0xffff880000100000ull,
+            /*buffer_capacity=*/1u << 12);
+
+  cpu.exec(f, 5000); // 10 overflows at R = 500
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), 10u);
+
+  // Teardown stops sampling mid-run.
+  mod.teardown();
+  cpu.exec(f, 5000);
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), 10u);
+}
+
+TEST(ModuleEndToEnd, AdaptiveControllerReprogramsViaMsr) {
+  // The closed-loop controller writing PMC0 through the module, exactly
+  // as a kernel-side implementation would.
+  MsrFile msrs;
+  PebsUnit unit;
+  SimplePebsModule mod(msrs, unit);
+  mod.setup(HwEvent::UopsRetired, 8000, 0x1000);
+
+  // "Controller" decides on a new R and performs the MSR write.
+  msrs.write(kIa32Pmc0, ((1ull << 48) - 12345));
+  mod.apply();
+  EXPECT_EQ(unit.config().reset, 12345u);
+  EXPECT_TRUE(unit.enabled());
+}
+
+} // namespace
+} // namespace fluxtrace::sim

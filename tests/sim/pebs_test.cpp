@@ -1,0 +1,238 @@
+#include "fluxtrace/sim/pebs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fluxtrace::sim {
+namespace {
+
+PebsConfig cfg(std::uint64_t reset, std::uint32_t cap = 512) {
+  PebsConfig c;
+  c.reset = reset;
+  c.buffer_capacity = cap;
+  return c;
+}
+
+TEST(PebsUnit, ArmedToMinusReset) {
+  PebsUnit u;
+  u.configure(cfg(8000));
+  EXPECT_TRUE(u.enabled());
+  EXPECT_EQ(u.until_overflow(), 8000u);
+}
+
+TEST(PebsUnit, CountAdvancesCounter) {
+  PebsUnit u;
+  u.configure(cfg(100));
+  u.count(40);
+  EXPECT_EQ(u.until_overflow(), 60u);
+  u.count(59);
+  EXPECT_EQ(u.until_overflow(), 1u);
+}
+
+TEST(PebsUnit, TakeSampleRearms) {
+  PebsUnit u;
+  u.configure(cfg(100));
+  u.count(99);
+  RegisterFile regs;
+  EXPECT_FALSE(u.take_sample(1234, 0x400100, regs));
+  EXPECT_EQ(u.until_overflow(), 100u);
+  EXPECT_EQ(u.buffered(), 1u);
+  EXPECT_EQ(u.total_samples(), 1u);
+}
+
+TEST(PebsUnit, SampleCarriesRegisterSnapshot) {
+  PebsUnit u;
+  u.configure(cfg(10));
+  RegisterFile regs;
+  regs.set(Reg::R13, 42); // the §V-A item-id register
+  u.take_sample(5, 0x400000, regs);
+  const SampleVec s = u.drain();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].regs.get(Reg::R13), 42u);
+  EXPECT_EQ(s[0].tsc, 5u);
+  EXPECT_EQ(s[0].ip, 0x400000u);
+}
+
+TEST(PebsUnit, BufferFullSignalledAtCapacity) {
+  PebsUnit u;
+  u.configure(cfg(10, /*cap=*/3));
+  RegisterFile regs;
+  EXPECT_FALSE(u.take_sample(1, 0, regs));
+  EXPECT_FALSE(u.take_sample(2, 0, regs));
+  EXPECT_TRUE(u.take_sample(3, 0, regs)); // buffer-full interrupt
+  EXPECT_TRUE(u.buffer_full());
+}
+
+TEST(PebsUnit, DrainEmptiesAndRearms) {
+  PebsUnit u;
+  u.configure(cfg(10, 3));
+  RegisterFile regs;
+  u.count(4);
+  u.take_sample(1, 0, regs);
+  const SampleVec s = u.drain();
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(u.buffered(), 0u);
+  EXPECT_FALSE(u.buffer_full());
+  EXPECT_EQ(u.until_overflow(), 10u); // counter re-armed on drain
+}
+
+// ---- driver ---------------------------------------------------------------
+
+TEST(PebsDriver, CollectsAndTagsCore) {
+  CpuSpec spec;
+  PebsDriver d(spec);
+  PebsUnit u;
+  u.configure(cfg(10, 2));
+  RegisterFile regs;
+  u.take_sample(1, 0x400000, regs);
+  u.take_sample(2, 0x400001, regs);
+  const Tsc stall = d.on_buffer_full(u, /*core=*/3, /*now=*/100);
+  EXPECT_GT(stall, 0u);
+  ASSERT_EQ(d.samples().size(), 2u);
+  EXPECT_EQ(d.samples()[0].core, 3u);
+  EXPECT_EQ(d.drains(), 1u);
+  EXPECT_EQ(d.bytes_collected(), 2 * kPebsRecordBytes);
+}
+
+TEST(PebsDriver, StallIsOnlyTheInterruptDispatch) {
+  // §III-E model: the traced core pays the IRQ; the copy + SSD dump run
+  // in the helper program while the program continues.
+  CpuSpec spec;
+  PebsDriverConfig dcfg;
+  PebsDriver d(spec, dcfg);
+  PebsUnit u;
+  u.configure(cfg(10, 256));
+  RegisterFile regs;
+  for (int i = 0; i < 256; ++i) u.take_sample(i, 0, regs);
+  const Tsc stall = d.on_buffer_full(u, 0, /*now=*/1000);
+  EXPECT_EQ(stall, spec.cycles(dcfg.irq_entry_ns));
+}
+
+TEST(PebsDriver, DisarmWindowCoversHelperWork) {
+  CpuSpec spec;
+  PebsDriver d(spec);
+  PebsUnit u;
+  u.configure(cfg(10, 256));
+  RegisterFile regs;
+  for (int i = 0; i < 256; ++i) u.take_sample(i, 0, regs);
+  const Tsc now = 5000;
+  const Tsc stall = d.on_buffer_full(u, 0, now);
+  // Disarmed strictly beyond the stall: the helper's copy + SSD write.
+  EXPECT_TRUE(u.disarmed_at(now + stall));
+  // 256 records x 96 B at 0.5 GB/s is ~49 us; well before 1 ms it is over.
+  EXPECT_FALSE(u.disarmed_at(now + spec.cycles(1e6)));
+}
+
+TEST(PebsUnit, LostSamplesCounted) {
+  PebsUnit u;
+  u.configure(cfg(10, 4));
+  u.disarm_until(1000);
+  EXPECT_TRUE(u.disarmed_at(999));
+  EXPECT_FALSE(u.disarmed_at(1000));
+  u.note_lost();
+  EXPECT_EQ(u.samples_lost(), 1u);
+  EXPECT_EQ(u.until_overflow(), 10u); // counter re-armed
+  EXPECT_EQ(u.buffered(), 0u);        // nothing written
+}
+
+TEST(PebsDriver, DoubleBufferingShrinksTheDisarmWindow) {
+  CpuSpec spec;
+  PebsDriverConfig sync_cfg;           // helper dumps before re-enabling
+  PebsDriverConfig db_cfg;
+  db_cfg.double_buffering = true;      // §III-E future-work optimization
+
+  const auto disarm_cycles = [&](const PebsDriverConfig& dcfg) {
+    PebsDriver d(spec, dcfg);
+    PebsUnit u;
+    u.configure(cfg(10, 256));
+    RegisterFile regs;
+    for (int i = 0; i < 256; ++i) u.take_sample(i, 0, regs);
+    (void)d.on_buffer_full(u, 0, /*now=*/0);
+    // Find the first time the unit is armed again.
+    Tsc t = 0;
+    while (u.disarmed_at(t)) t += 100;
+    return t;
+  };
+  const Tsc sync_window = disarm_cycles(sync_cfg);
+  const Tsc db_window = disarm_cycles(db_cfg);
+  EXPECT_LT(db_window, sync_window / 4);
+}
+
+TEST(PebsDriver, DisarmWindowScalesWithBytes) {
+  CpuSpec spec;
+  const auto window_for = [&](int n) {
+    PebsDriver d(spec);
+    PebsUnit u;
+    u.configure(cfg(10, 512));
+    RegisterFile regs;
+    for (int i = 0; i < n; ++i) u.take_sample(i, 0, regs);
+    (void)d.on_buffer_full(u, 0, 0);
+    Tsc t = 0;
+    while (u.disarmed_at(t)) t += 100;
+    return t;
+  };
+  EXPECT_GT(window_for(512), window_for(64));
+}
+
+TEST(PebsDriver, FlushCollectsPartialBuffer) {
+  CpuSpec spec;
+  PebsDriver d(spec);
+  PebsUnit u;
+  u.configure(cfg(10, 512));
+  RegisterFile regs;
+  u.take_sample(7, 0, regs);
+  d.flush(u, 1);
+  ASSERT_EQ(d.samples().size(), 1u);
+  EXPECT_EQ(d.samples()[0].core, 1u);
+  EXPECT_EQ(d.total_stall(), 0u) << "flush happens after the run";
+}
+
+TEST(PebsDriver, SortedMergeAcrossCores) {
+  CpuSpec spec;
+  PebsDriver d(spec);
+  PebsUnit u0, u1;
+  u0.configure(cfg(10, 512));
+  u1.configure(cfg(10, 512));
+  RegisterFile regs;
+  u0.take_sample(30, 0, regs);
+  u1.take_sample(10, 0, regs);
+  u1.take_sample(20, 0, regs);
+  d.flush(u0, 0);
+  d.flush(u1, 1);
+  const SampleVec s = d.samples_sorted_by_time();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].tsc, 10u);
+  EXPECT_EQ(s[1].tsc, 20u);
+  EXPECT_EQ(s[2].tsc, 30u);
+}
+
+class PebsResetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PebsResetSweep, ExactlyOneSampleEveryResetEvents) {
+  const std::uint64_t reset = GetParam();
+  PebsUnit u;
+  u.configure(cfg(reset, 1u << 20));
+  RegisterFile regs;
+  // Feed events one by one like the hardware counter sees them.
+  const std::uint64_t total = reset * 5 + reset / 2;
+  std::uint64_t samples = 0;
+  std::uint64_t fed = 0;
+  while (fed < total) {
+    const std::uint64_t u_next = u.until_overflow();
+    if (fed + u_next <= total) {
+      fed += u_next;
+      u.take_sample(fed, 0, regs);
+      ++samples;
+    } else {
+      u.count(total - fed);
+      fed = total;
+    }
+  }
+  EXPECT_EQ(samples, 5u);
+  EXPECT_EQ(u.until_overflow(), reset - reset / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resets, PebsResetSweep,
+                         ::testing::Values(1, 2, 100, 8000, 24000));
+
+} // namespace
+} // namespace fluxtrace::sim

@@ -1,0 +1,126 @@
+// Sampling on the remaining event types (§V-D: "PEBS supports counting
+// various metrics for each core including the number of branch
+// mis-predictions and the number of load instructions"), and both
+// samplers active at once.
+#include <gtest/gtest.h>
+
+#include "fluxtrace/sim/cpu.hpp"
+
+namespace fluxtrace::sim {
+namespace {
+
+struct EventFixture : ::testing::Test {
+  EventFixture() {
+    f = symtab.add("f", 0x1000);
+  }
+  Cpu make_cpu() {
+    return Cpu(0, spec, symtab, log, CacheHierarchy(), &driver, {});
+  }
+  CpuSpec spec;
+  SymbolTable symtab;
+  MarkerLog log;
+  PebsDriver driver{CpuSpec{}};
+  SymbolId f;
+};
+
+TEST_F(EventFixture, SamplesOnLoadsRetired) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.event = HwEvent::LoadsRetired;
+  pc.reset = 3;
+  pc.sample_cost_ns = 0.0;
+  cpu.enable_pebs(pc);
+  cpu.exec_mem(f, 1000, MemPattern{0x1000, 9, 64}); // 9 loads → 3 samples
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), 3u);
+  // A compute-only block adds no loads → no samples.
+  cpu.exec(f, 100000);
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), 3u);
+}
+
+TEST_F(EventFixture, SamplesOnBranchMisses) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.event = HwEvent::BranchMisses;
+  pc.reset = 5;
+  pc.sample_cost_ns = 0.0;
+  cpu.enable_pebs(pc);
+  cpu.run(ExecBlock{f, 1000, 20, {}}); // 20 misses → 4 samples
+  driver.flush(cpu.pebs(), 0);
+  ASSERT_EQ(driver.samples().size(), 4u);
+  // Samples resolve into the block's function and lie inside the block.
+  for (const PebsSample& s : driver.samples()) {
+    EXPECT_EQ(symtab.resolve(s.ip), f);
+    EXPECT_LE(s.tsc, cpu.now());
+  }
+}
+
+TEST_F(EventFixture, LoadSamplesSitAtAccessOffsets) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.event = HwEvent::LoadsRetired;
+  pc.reset = 1; // sample every load
+  pc.sample_cost_ns = 0.0;
+  cpu.enable_pebs(pc);
+  cpu.exec_mem(f, 1000, MemPattern{0x1000, 4, 64});
+  driver.flush(cpu.pebs(), 0);
+  ASSERT_EQ(driver.samples().size(), 4u);
+  // Strictly increasing timestamps at distinct access points.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(driver.samples()[i].tsc, driver.samples()[i - 1].tsc);
+  }
+}
+
+TEST_F(EventFixture, PebsAndSwSamplerCoexist) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.reset = 1000;
+  cpu.enable_pebs(pc);
+  SwSamplerConfig sc;
+  sc.reset = 2000;
+  cpu.enable_sw_sampler(sc);
+
+  cpu.exec(f, 10000);
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), 10u);
+  EXPECT_EQ(cpu.sw_sampler().samples().size(), 5u);
+  // Both overheads are charged.
+  EXPECT_GT(cpu.stats().pebs_assist, 0u);
+  EXPECT_GT(cpu.stats().sw_stall, cpu.stats().pebs_assist);
+}
+
+TEST_F(EventFixture, DisableStopsSampling) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.reset = 100;
+  pc.sample_cost_ns = 0.0;
+  cpu.enable_pebs(pc);
+  cpu.exec(f, 1000);
+  cpu.disable_pebs();
+  cpu.exec(f, 10000); // no samples while disabled
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), 10u);
+}
+
+TEST_F(EventFixture, ReconfigureChangesEventMidRun) {
+  Cpu cpu = make_cpu();
+  PebsConfig pc;
+  pc.reset = 100;
+  pc.sample_cost_ns = 0.0;
+  cpu.enable_pebs(pc);
+  cpu.exec(f, 500); // 5 uop samples
+  driver.flush(cpu.pebs(), 0);
+  const std::size_t first = driver.samples().size();
+  EXPECT_EQ(first, 5u);
+
+  pc.event = HwEvent::CacheMisses;
+  pc.reset = 2;
+  cpu.enable_pebs(pc); // reconfigure re-arms
+  cpu.exec_mem(f, 100, MemPattern{0x90000, 4, 64}); // 4 misses → 2 samples
+  driver.flush(cpu.pebs(), 0);
+  EXPECT_EQ(driver.samples().size(), first + 2);
+}
+
+} // namespace
+} // namespace fluxtrace::sim

@@ -1,0 +1,63 @@
+#include "fluxtrace/sim/swsampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fluxtrace/sim/pebs.hpp"
+
+namespace fluxtrace::sim {
+namespace {
+
+TEST(SwSampler, ConfigureArms) {
+  SwSampler s;
+  CpuSpec spec;
+  s.configure({HwEvent::UopsRetired, 5000, 9500.0}, spec);
+  EXPECT_TRUE(s.enabled());
+  EXPECT_EQ(s.until_overflow(), 5000u);
+}
+
+TEST(SwSampler, SampleCostsAFullInterrupt) {
+  SwSampler s;
+  CpuSpec spec; // 3 GHz
+  s.configure({HwEvent::UopsRetired, 100, 9500.0}, spec);
+  RegisterFile regs;
+  const Tsc stall = s.take_sample(1000, 0x400000, 0, regs);
+  EXPECT_EQ(stall, spec.cycles(9500.0)); // ~9.5 us: why perf floors at 10 us
+  EXPECT_EQ(s.total_stall(), stall);
+  ASSERT_EQ(s.samples().size(), 1u);
+  EXPECT_EQ(s.samples()[0].tsc, 1000u);
+}
+
+TEST(SwSampler, InterruptIsOrdersOfMagnitudeAbovePebsAssist) {
+  CpuSpec spec;
+  SwSampler s;
+  s.configure({}, spec);
+  RegisterFile regs;
+  const Tsc sw_cost = s.take_sample(0, 0, 0, regs);
+  const Tsc pebs_cost = spec.cycles(PebsConfig{}.sample_cost_ns);
+  EXPECT_GT(sw_cost, 30 * pebs_cost); // 9.5 us vs 250 ns
+}
+
+TEST(SwSampler, RearmsAfterSample) {
+  SwSampler s;
+  CpuSpec spec;
+  s.configure({HwEvent::UopsRetired, 100, 9500.0}, spec);
+  s.count(60);
+  RegisterFile regs;
+  s.take_sample(0, 0, 0, regs);
+  EXPECT_EQ(s.until_overflow(), 100u);
+}
+
+TEST(SwSampler, ClearResets) {
+  SwSampler s;
+  CpuSpec spec;
+  s.configure({HwEvent::UopsRetired, 100, 9500.0}, spec);
+  RegisterFile regs;
+  s.take_sample(0, 0, 0, regs);
+  s.clear();
+  EXPECT_TRUE(s.samples().empty());
+  EXPECT_EQ(s.total_stall(), 0u);
+  EXPECT_EQ(s.until_overflow(), 100u);
+}
+
+} // namespace
+} // namespace fluxtrace::sim

@@ -1,0 +1,154 @@
+// Smoke tests for the command-line tools: generate a real trace + symbol
+// file, run each tool as a subprocess, and check exit codes and key
+// output. Tool paths come from the build system (FLXT_TOOL_DIR).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "fluxtrace/apps/query_cache_app.hpp"
+#include "fluxtrace/io/symbols_file.hpp"
+#include "fluxtrace/io/trace_file.hpp"
+
+#ifndef FLXT_TOOL_DIR
+#error "FLXT_TOOL_DIR must be defined by the build"
+#endif
+
+namespace fluxtrace {
+namespace {
+
+std::string run_capture(const std::string& cmd, int* rc) {
+  std::array<char, 4096> buf{};
+  std::string out;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    *rc = -1;
+    return out;
+  }
+  while (fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    out += buf.data();
+  }
+  *rc = pclose(pipe);
+  return out;
+}
+
+struct ToolsFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    trace_path = ::testing::TempDir() + "/tools_smoke.flxt";
+    syms_path = ::testing::TempDir() + "/tools_smoke.syms";
+    compact_path = ::testing::TempDir() + "/tools_smoke.flxz";
+
+    SymbolTable symtab;
+    apps::QueryCacheApp app(symtab);
+    sim::Machine m(symtab);
+    sim::PebsConfig pc;
+    pc.reset = 8000;
+    m.cpu(1).enable_pebs(pc);
+    app.submit(apps::QueryCacheApp::paper_queries());
+    app.attach(m, 0, 1);
+    m.run();
+    m.flush_samples();
+    io::save_trace(trace_path,
+                   {m.marker_log().markers(), m.pebs_driver().samples()});
+    io::save_symbols(syms_path, symtab);
+  }
+
+  static std::string tool(const std::string& name) {
+    return std::string(FLXT_TOOL_DIR) + "/" + name;
+  }
+
+  static std::string trace_path, syms_path, compact_path;
+};
+
+std::string ToolsFixture::trace_path;
+std::string ToolsFixture::syms_path;
+std::string ToolsFixture::compact_path;
+
+TEST_F(ToolsFixture, DumpSummarizes) {
+  int rc = -1;
+  const std::string out = run_capture(tool("flxt_dump") + " " + trace_path, &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("20 markers"), std::string::npos) << out;
+  EXPECT_NE(out.find("enter"), std::string::npos);
+}
+
+TEST_F(ToolsFixture, DumpCsvStreams) {
+  int rc = -1;
+  const std::string out =
+      run_capture(tool("flxt_dump") + " " + trace_path + " --csv markers", &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("tsc,item,core,kind"), std::string::npos);
+}
+
+TEST_F(ToolsFixture, ReportTableNamesFunctions) {
+  int rc = -1;
+  const std::string out = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path, &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("sample_app::f3_transform"), std::string::npos);
+}
+
+TEST_F(ToolsFixture, ReportDiagnoseFindsTheColdQueries) {
+  int rc = -1;
+  const std::string out = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path + " --diagnose",
+      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("item #1"), std::string::npos) << out;
+  EXPECT_NE(out.find("f3_transform"), std::string::npos);
+}
+
+TEST_F(ToolsFixture, ReportFoldedAndGanttModes) {
+  int rc = -1;
+  const std::string folded = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path + " --folded",
+      &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(folded.find("item_1;"), std::string::npos);
+  const std::string gantt = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path + " --gantt",
+      &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(gantt.find("core1"), std::string::npos);
+}
+
+TEST_F(ToolsFixture, ReportTableCsvMode) {
+  int rc = -1;
+  const std::string out = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path +
+          " --table-csv",
+      &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("item,function,samples,elapsed_us,window_us"),
+            std::string::npos);
+  EXPECT_NE(out.find("sample_app::f3_transform"), std::string::npos);
+}
+
+TEST_F(ToolsFixture, ConvertRoundTrip) {
+  int rc = -1;
+  run_capture(tool("flxt_convert") + " " + trace_path + " " + compact_path +
+                  " --to-compact",
+              &rc);
+  EXPECT_EQ(rc, 0);
+  const std::string back_path = ::testing::TempDir() + "/tools_smoke_back.flxt";
+  run_capture(tool("flxt_convert") + " " + compact_path + " " + back_path +
+                  " --to-full",
+              &rc);
+  EXPECT_EQ(rc, 0);
+  const io::TraceData back = io::load_trace(back_path);
+  EXPECT_EQ(back.markers.size(), 20u);
+}
+
+TEST_F(ToolsFixture, BadArgumentsExitNonZero) {
+  int rc = 0;
+  run_capture(tool("flxt_dump"), &rc);
+  EXPECT_NE(rc, 0);
+  run_capture(tool("flxt_report") + " /nonexistent.trace " + syms_path, &rc);
+  EXPECT_NE(rc, 0);
+  run_capture(tool("flxt_convert") + " a b --to-nothing", &rc);
+  EXPECT_NE(rc, 0);
+}
+
+} // namespace
+} // namespace fluxtrace

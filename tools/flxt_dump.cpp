@@ -1,0 +1,85 @@
+// flxt_dump — inspect a fluxtrace binary trace file.
+//
+//   flxt_dump <trace>                  summary + first records
+//   flxt_dump <trace> --head N         show N records of each stream
+//   flxt_dump <trace> --csv markers    full marker stream as CSV
+//   flxt_dump <trace> --csv samples    full sample stream as CSV
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "fluxtrace/io/trace_file.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace-file> [--head N] [--csv markers|samples]\n",
+               argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const char* path = argv[1];
+  std::size_t head = 10;
+  const char* csv = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--head") == 0 && i + 1 < argc) {
+      head = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  io::TraceData data;
+  try {
+    data = io::load_trace(path);
+  } catch (const io::TraceIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (csv != nullptr) {
+    if (std::strcmp(csv, "markers") == 0) {
+      io::write_markers_csv(std::cout, data.markers);
+    } else if (std::strcmp(csv, "samples") == 0) {
+      io::write_samples_csv(std::cout, data.samples);
+    } else {
+      return usage(argv[0]);
+    }
+    return 0;
+  }
+
+  std::printf("%s: %zu markers, %zu samples (%zu bytes of records)\n\n",
+              path, data.markers.size(), data.samples.size(),
+              data.samples.size() * kPebsRecordBytes);
+
+  std::printf("markers (first %zu):\n  %-16s %-12s %-4s %s\n", head, "tsc",
+              "item", "core", "kind");
+  for (std::size_t i = 0; i < data.markers.size() && i < head; ++i) {
+    const Marker& m = data.markers[i];
+    std::printf("  %-16llu %-12llu %-4u %s\n",
+                static_cast<unsigned long long>(m.tsc),
+                static_cast<unsigned long long>(m.item), m.core,
+                m.kind == MarkerKind::Enter ? "enter" : "leave");
+  }
+
+  std::printf("\nsamples (first %zu):\n  %-16s %-12s %-4s %s\n", head, "tsc",
+              "ip", "core", "r13");
+  for (std::size_t i = 0; i < data.samples.size() && i < head; ++i) {
+    const PebsSample& s = data.samples[i];
+    std::printf("  %-16llu 0x%-10llx %-4u %llu\n",
+                static_cast<unsigned long long>(s.tsc),
+                static_cast<unsigned long long>(s.ip), s.core,
+                static_cast<unsigned long long>(s.regs.get(Reg::R13)));
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// flxt_report — offline integration of a recorded trace (step 2+3 of the
+// paper's procedure, as a standalone analysis tool).
+//
+//   flxt_report <trace> <symbols>              per-item per-function table
+//   flxt_report <trace> <symbols> --profile    averaged profile instead
+//   flxt_report <trace> <symbols> --folded     flamegraph folded stacks
+//   flxt_report <trace> <symbols> --gantt      per-core item timeline
+//   flxt_report <trace> <symbols> --diagnose   outlier report
+//   flxt_report <trace> <symbols> --table-csv  integrated table as CSV
+//   flxt_report <trace> <symbols> --freq GHZ   TSC frequency (default 3.0)
+//   flxt_report <trace> <symbols> --regs       map items via R13 (§V-A)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "fluxtrace/core/diagnosis.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/profile.hpp"
+#include "fluxtrace/io/folded.hpp"
+#include "fluxtrace/report/gantt.hpp"
+#include "fluxtrace/io/symbols_file.hpp"
+#include "fluxtrace/io/trace_file.hpp"
+#include "fluxtrace/report/table.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <trace-file> <symbols-file> [--profile] [--folded] "
+      "[--regs] [--freq GHZ]\n",
+      argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  bool profile_mode = false;
+  bool folded_mode = false;
+  bool gantt_mode = false;
+  bool diagnose_mode = false;
+  bool table_csv_mode = false;
+  bool regs_mode = false;
+  CpuSpec spec;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      profile_mode = true;
+    } else if (std::strcmp(argv[i], "--folded") == 0) {
+      folded_mode = true;
+    } else if (std::strcmp(argv[i], "--gantt") == 0) {
+      gantt_mode = true;
+    } else if (std::strcmp(argv[i], "--diagnose") == 0) {
+      diagnose_mode = true;
+    } else if (std::strcmp(argv[i], "--table-csv") == 0) {
+      table_csv_mode = true;
+    } else if (std::strcmp(argv[i], "--regs") == 0) {
+      regs_mode = true;
+    } else if (std::strcmp(argv[i], "--freq") == 0 && i + 1 < argc) {
+      spec.freq_ghz = std::strtod(argv[++i], nullptr);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  io::TraceData data;
+  SymbolTable symtab;
+  try {
+    data = io::load_trace(argv[1]);
+    symtab = io::load_symbols(argv[2]);
+  } catch (const io::TraceIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (profile_mode) {
+    Tsc t_min = ~Tsc{0}, t_max = 0;
+    for (const PebsSample& s : data.samples) {
+      t_min = std::min(t_min, s.tsc);
+      t_max = std::max(t_max, s.tsc);
+    }
+    const core::Profile prof = core::Profile::from_samples(
+        symtab, data.samples, t_max > t_min ? t_max - t_min : 0);
+    report::Table tab({"function", "samples", "share", "time [us]"});
+    for (const auto& e : prof.entries()) {
+      tab.row({std::string(symtab.name(e.fn)), report::Table::num(e.samples),
+               report::Table::num(e.share * 100.0, 1) + "%",
+               report::Table::num(spec.us(e.est_time))});
+    }
+    tab.print(std::cout);
+    return 0;
+  }
+
+  core::IntegratorConfig icfg;
+  icfg.use_register_ids = regs_mode;
+  core::TraceIntegrator integ(symtab, icfg);
+  const core::TraceTable table = integ.integrate(data.markers, data.samples);
+
+  if (folded_mode) {
+    io::write_folded(std::cout, table, symtab);
+    return 0;
+  }
+
+  if (table_csv_mode) {
+    io::write_table_csv(std::cout, table, symtab, spec);
+    return 0;
+  }
+
+  if (diagnose_mode) {
+    const core::DiagnosisReport rep = core::diagnose(table, spec);
+    rep.print(std::cout, symtab);
+    return 0;
+  }
+
+  if (gantt_mode) {
+    report::Gantt gantt(80);
+    const char glyphs[] = "#=@%*o+x";
+    for (const core::ItemWindow& w : table.windows()) {
+      gantt.span("core" + std::to_string(w.core), w.enter, w.leave,
+                 glyphs[w.item % 8], "i" + std::to_string(w.item));
+    }
+    gantt.print(std::cout);
+    return 0;
+  }
+
+  report::Table tab({"item", "function", "samples", "elapsed [us]"});
+  for (const ItemId item : table.items()) {
+    for (const SymbolId fn : table.functions(item)) {
+      tab.row({"#" + std::to_string(item), std::string(symtab.name(fn)),
+               report::Table::num(table.sample_count(item, fn)),
+               report::Table::num(spec.us(table.elapsed(item, fn)))});
+    }
+  }
+  tab.print(std::cout);
+  std::printf("\n%llu samples outside any item window, %llu outside any "
+              "symbol\n",
+              static_cast<unsigned long long>(table.unmatched_item()),
+              static_cast<unsigned long long>(table.unmatched_symbol()));
+  return 0;
+}
