@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fig2_method.dir/abl_fig2_method.cpp.o"
+  "CMakeFiles/abl_fig2_method.dir/abl_fig2_method.cpp.o.d"
+  "abl_fig2_method"
+  "abl_fig2_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fig2_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

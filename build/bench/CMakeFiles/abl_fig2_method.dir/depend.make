@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_fig2_method.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sw_vs_pebs.dir/abl_sw_vs_pebs.cpp.o"
+  "CMakeFiles/abl_sw_vs_pebs.dir/abl_sw_vs_pebs.cpp.o.d"
+  "abl_sw_vs_pebs"
+  "abl_sw_vs_pebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sw_vs_pebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

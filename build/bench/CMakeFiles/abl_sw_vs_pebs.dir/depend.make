@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_sw_vs_pebs.
+# This may be replaced when dependencies are built.

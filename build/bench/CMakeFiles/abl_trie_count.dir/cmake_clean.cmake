@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_trie_count.dir/abl_trie_count.cpp.o"
+  "CMakeFiles/abl_trie_count.dir/abl_trie_count.cpp.o.d"
+  "abl_trie_count"
+  "abl_trie_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_trie_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

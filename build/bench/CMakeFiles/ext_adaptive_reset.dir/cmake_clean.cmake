@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_reset.dir/ext_adaptive_reset.cpp.o"
+  "CMakeFiles/ext_adaptive_reset.dir/ext_adaptive_reset.cpp.o.d"
+  "ext_adaptive_reset"
+  "ext_adaptive_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

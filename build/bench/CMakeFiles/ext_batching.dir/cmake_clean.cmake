@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_batching.dir/ext_batching.cpp.o"
+  "CMakeFiles/ext_batching.dir/ext_batching.cpp.o.d"
+  "ext_batching"
+  "ext_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

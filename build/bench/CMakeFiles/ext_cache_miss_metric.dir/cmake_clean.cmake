@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cache_miss_metric.dir/ext_cache_miss_metric.cpp.o"
+  "CMakeFiles/ext_cache_miss_metric.dir/ext_cache_miss_metric.cpp.o.d"
+  "ext_cache_miss_metric"
+  "ext_cache_miss_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cache_miss_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_cache_miss_metric.
+# This may be replaced when dependencies are built.

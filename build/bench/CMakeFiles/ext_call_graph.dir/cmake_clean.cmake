@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_call_graph.dir/ext_call_graph.cpp.o"
+  "CMakeFiles/ext_call_graph.dir/ext_call_graph.cpp.o.d"
+  "ext_call_graph"
+  "ext_call_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_call_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_db_fluctuation.dir/ext_db_fluctuation.cpp.o"
+  "CMakeFiles/ext_db_fluctuation.dir/ext_db_fluctuation.cpp.o.d"
+  "ext_db_fluctuation"
+  "ext_db_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_db_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

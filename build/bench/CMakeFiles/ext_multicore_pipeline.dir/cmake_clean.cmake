@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multicore_pipeline.dir/ext_multicore_pipeline.cpp.o"
+  "CMakeFiles/ext_multicore_pipeline.dir/ext_multicore_pipeline.cpp.o.d"
+  "ext_multicore_pipeline"
+  "ext_multicore_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicore_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

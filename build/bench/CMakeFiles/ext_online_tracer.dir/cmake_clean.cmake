@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_online_tracer.dir/ext_online_tracer.cpp.o"
+  "CMakeFiles/ext_online_tracer.dir/ext_online_tracer.cpp.o.d"
+  "ext_online_tracer"
+  "ext_online_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_online_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_reset_planner.dir/ext_reset_planner.cpp.o"
+  "CMakeFiles/ext_reset_planner.dir/ext_reset_planner.cpp.o.d"
+  "ext_reset_planner"
+  "ext_reset_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reset_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rss_hol.dir/ext_rss_hol.cpp.o"
+  "CMakeFiles/ext_rss_hol.dir/ext_rss_hol.cpp.o.d"
+  "ext_rss_hol"
+  "ext_rss_hol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rss_hol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

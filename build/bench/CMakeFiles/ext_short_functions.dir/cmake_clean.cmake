@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_short_functions.dir/ext_short_functions.cpp.o"
+  "CMakeFiles/ext_short_functions.dir/ext_short_functions.cpp.o.d"
+  "ext_short_functions"
+  "ext_short_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_short_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

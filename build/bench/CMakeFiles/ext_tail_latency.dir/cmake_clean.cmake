@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tail_latency.dir/ext_tail_latency.cpp.o"
+  "CMakeFiles/ext_tail_latency.dir/ext_tail_latency.cpp.o.d"
+  "ext_tail_latency"
+  "ext_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_timer_switching.dir/ext_timer_switching.cpp.o"
+  "CMakeFiles/ext_timer_switching.dir/ext_timer_switching.cpp.o.d"
+  "ext_timer_switching"
+  "ext_timer_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_timer_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_trace_vs_profile.dir/fig01_trace_vs_profile.cpp.o"
+  "CMakeFiles/fig01_trace_vs_profile.dir/fig01_trace_vs_profile.cpp.o.d"
+  "fig01_trace_vs_profile"
+  "fig01_trace_vs_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_trace_vs_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

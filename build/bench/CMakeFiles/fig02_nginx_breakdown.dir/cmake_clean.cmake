@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_nginx_breakdown.dir/fig02_nginx_breakdown.cpp.o"
+  "CMakeFiles/fig02_nginx_breakdown.dir/fig02_nginx_breakdown.cpp.o.d"
+  "fig02_nginx_breakdown"
+  "fig02_nginx_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_nginx_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sample_interval.dir/fig04_sample_interval.cpp.o"
+  "CMakeFiles/fig04_sample_interval.dir/fig04_sample_interval.cpp.o.d"
+  "fig04_sample_interval"
+  "fig04_sample_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sample_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

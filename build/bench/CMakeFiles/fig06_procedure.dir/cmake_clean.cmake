@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_procedure.dir/fig06_procedure.cpp.o"
+  "CMakeFiles/fig06_procedure.dir/fig06_procedure.cpp.o.d"
+  "fig06_procedure"
+  "fig06_procedure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_procedure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

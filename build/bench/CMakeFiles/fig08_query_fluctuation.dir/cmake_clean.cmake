@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_query_fluctuation.dir/fig08_query_fluctuation.cpp.o"
+  "CMakeFiles/fig08_query_fluctuation.dir/fig08_query_fluctuation.cpp.o.d"
+  "fig08_query_fluctuation"
+  "fig08_query_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_query_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

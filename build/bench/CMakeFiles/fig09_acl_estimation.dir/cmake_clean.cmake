@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_acl_estimation.dir/fig09_acl_estimation.cpp.o"
+  "CMakeFiles/fig09_acl_estimation.dir/fig09_acl_estimation.cpp.o.d"
+  "fig09_acl_estimation"
+  "fig09_acl_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_acl_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

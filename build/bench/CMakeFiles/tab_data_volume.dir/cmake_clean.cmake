@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_data_volume.dir/tab_data_volume.cpp.o"
+  "CMakeFiles/tab_data_volume.dir/tab_data_volume.cpp.o.d"
+  "tab_data_volume"
+  "tab_data_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_data_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_diagnosis.dir/db_diagnosis.cpp.o"
+  "CMakeFiles/db_diagnosis.dir/db_diagnosis.cpp.o.d"
+  "db_diagnosis"
+  "db_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

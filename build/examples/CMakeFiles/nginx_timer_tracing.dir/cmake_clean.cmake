@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nginx_timer_tracing.dir/nginx_timer_tracing.cpp.o"
+  "CMakeFiles/nginx_timer_tracing.dir/nginx_timer_tracing.cpp.o.d"
+  "nginx_timer_tracing"
+  "nginx_timer_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nginx_timer_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/plan_overhead.cpp" "examples/CMakeFiles/plan_overhead.dir/plan_overhead.cpp.o" "gcc" "examples/CMakeFiles/plan_overhead.dir/plan_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

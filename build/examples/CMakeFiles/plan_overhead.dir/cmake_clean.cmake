@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_overhead.dir/plan_overhead.cpp.o"
+  "CMakeFiles/plan_overhead.dir/plan_overhead.cpp.o.d"
+  "plan_overhead"
+  "plan_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

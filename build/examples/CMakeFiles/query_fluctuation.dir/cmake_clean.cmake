@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_fluctuation.dir/query_fluctuation.cpp.o"
+  "CMakeFiles/query_fluctuation.dir/query_fluctuation.cpp.o.d"
+  "query_fluctuation"
+  "query_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer_switching.dir/timer_switching.cpp.o"
+  "CMakeFiles/timer_switching.dir/timer_switching.cpp.o.d"
+  "timer_switching"
+  "timer_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

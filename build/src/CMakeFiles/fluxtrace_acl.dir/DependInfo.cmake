@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluxtrace/acl/classifier.cpp" "src/CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/classifier.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/classifier.cpp.o.d"
+  "/root/repo/src/fluxtrace/acl/prefix.cpp" "src/CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/prefix.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/prefix.cpp.o.d"
+  "/root/repo/src/fluxtrace/acl/rulefile.cpp" "src/CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/rulefile.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/rulefile.cpp.o.d"
+  "/root/repo/src/fluxtrace/acl/ruleset.cpp" "src/CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/ruleset.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/ruleset.cpp.o.d"
+  "/root/repo/src/fluxtrace/acl/trie.cpp" "src/CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/trie.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/classifier.cpp.o"
+  "CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/classifier.cpp.o.d"
+  "CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/prefix.cpp.o"
+  "CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/prefix.cpp.o.d"
+  "CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/rulefile.cpp.o"
+  "CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/rulefile.cpp.o.d"
+  "CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/ruleset.cpp.o"
+  "CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/ruleset.cpp.o.d"
+  "CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/trie.cpp.o"
+  "CMakeFiles/fluxtrace_acl.dir/fluxtrace/acl/trie.cpp.o.d"
+  "libfluxtrace_acl.a"
+  "libfluxtrace_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluxtrace/apps/acl_firewall_app.cpp" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/acl_firewall_app.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/acl_firewall_app.cpp.o.d"
+  "/root/repo/src/fluxtrace/apps/minidb_app.cpp" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/minidb_app.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/minidb_app.cpp.o.d"
+  "/root/repo/src/fluxtrace/apps/query_cache_app.cpp" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/query_cache_app.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/query_cache_app.cpp.o.d"
+  "/root/repo/src/fluxtrace/apps/rss_firewall_app.cpp" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/rss_firewall_app.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/rss_firewall_app.cpp.o.d"
+  "/root/repo/src/fluxtrace/apps/timer_web_server.cpp" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/timer_web_server.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/timer_web_server.cpp.o.d"
+  "/root/repo/src/fluxtrace/apps/webserver_model.cpp" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/webserver_model.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/webserver_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

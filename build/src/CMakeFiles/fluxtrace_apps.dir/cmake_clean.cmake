@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/acl_firewall_app.cpp.o"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/acl_firewall_app.cpp.o.d"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/minidb_app.cpp.o"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/minidb_app.cpp.o.d"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/query_cache_app.cpp.o"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/query_cache_app.cpp.o.d"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/rss_firewall_app.cpp.o"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/rss_firewall_app.cpp.o.d"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/timer_web_server.cpp.o"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/timer_web_server.cpp.o.d"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/webserver_model.cpp.o"
+  "CMakeFiles/fluxtrace_apps.dir/fluxtrace/apps/webserver_model.cpp.o.d"
+  "libfluxtrace_apps.a"
+  "libfluxtrace_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

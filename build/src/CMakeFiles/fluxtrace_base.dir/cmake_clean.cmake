@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_base.dir/fluxtrace/base/markers.cpp.o"
+  "CMakeFiles/fluxtrace_base.dir/fluxtrace/base/markers.cpp.o.d"
+  "CMakeFiles/fluxtrace_base.dir/fluxtrace/base/symbols.cpp.o"
+  "CMakeFiles/fluxtrace_base.dir/fluxtrace/base/symbols.cpp.o.d"
+  "libfluxtrace_base.a"
+  "libfluxtrace_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluxtrace/core/adaptive.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/adaptive.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/adaptive.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/batch.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/batch.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/batch.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/callguess.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/callguess.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/callguess.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/detector.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/detector.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/detector.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/diagnosis.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/diagnosis.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/diagnosis.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/integrator.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/integrator.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/integrator.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/online.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/online.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/online.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/planner.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/planner.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/planner.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/profile.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/profile.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/profile.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/regid.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/regid.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/regid.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/trace_table.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/trace_table.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/trace_table.cpp.o.d"
+  "/root/repo/src/fluxtrace/core/tracediff.cpp" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/tracediff.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_core.dir/fluxtrace/core/tracediff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/adaptive.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/adaptive.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/batch.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/batch.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/callguess.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/callguess.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/detector.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/detector.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/diagnosis.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/diagnosis.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/integrator.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/integrator.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/online.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/online.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/planner.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/planner.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/profile.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/profile.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/regid.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/regid.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/trace_table.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/trace_table.cpp.o.d"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/tracediff.cpp.o"
+  "CMakeFiles/fluxtrace_core.dir/fluxtrace/core/tracediff.cpp.o.d"
+  "libfluxtrace_core.a"
+  "libfluxtrace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluxtrace/db/btree.cpp" "src/CMakeFiles/fluxtrace_db.dir/fluxtrace/db/btree.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_db.dir/fluxtrace/db/btree.cpp.o.d"
+  "/root/repo/src/fluxtrace/db/bufferpool.cpp" "src/CMakeFiles/fluxtrace_db.dir/fluxtrace/db/bufferpool.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_db.dir/fluxtrace/db/bufferpool.cpp.o.d"
+  "/root/repo/src/fluxtrace/db/table.cpp" "src/CMakeFiles/fluxtrace_db.dir/fluxtrace/db/table.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_db.dir/fluxtrace/db/table.cpp.o.d"
+  "/root/repo/src/fluxtrace/db/wal.cpp" "src/CMakeFiles/fluxtrace_db.dir/fluxtrace/db/wal.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_db.dir/fluxtrace/db/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_db.dir/fluxtrace/db/btree.cpp.o"
+  "CMakeFiles/fluxtrace_db.dir/fluxtrace/db/btree.cpp.o.d"
+  "CMakeFiles/fluxtrace_db.dir/fluxtrace/db/bufferpool.cpp.o"
+  "CMakeFiles/fluxtrace_db.dir/fluxtrace/db/bufferpool.cpp.o.d"
+  "CMakeFiles/fluxtrace_db.dir/fluxtrace/db/table.cpp.o"
+  "CMakeFiles/fluxtrace_db.dir/fluxtrace/db/table.cpp.o.d"
+  "CMakeFiles/fluxtrace_db.dir/fluxtrace/db/wal.cpp.o"
+  "CMakeFiles/fluxtrace_db.dir/fluxtrace/db/wal.cpp.o.d"
+  "libfluxtrace_db.a"
+  "libfluxtrace_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

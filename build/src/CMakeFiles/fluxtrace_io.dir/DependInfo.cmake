@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluxtrace/io/compact.cpp" "src/CMakeFiles/fluxtrace_io.dir/fluxtrace/io/compact.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_io.dir/fluxtrace/io/compact.cpp.o.d"
+  "/root/repo/src/fluxtrace/io/folded.cpp" "src/CMakeFiles/fluxtrace_io.dir/fluxtrace/io/folded.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_io.dir/fluxtrace/io/folded.cpp.o.d"
+  "/root/repo/src/fluxtrace/io/symbols_file.cpp" "src/CMakeFiles/fluxtrace_io.dir/fluxtrace/io/symbols_file.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_io.dir/fluxtrace/io/symbols_file.cpp.o.d"
+  "/root/repo/src/fluxtrace/io/trace_file.cpp" "src/CMakeFiles/fluxtrace_io.dir/fluxtrace/io/trace_file.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_io.dir/fluxtrace/io/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

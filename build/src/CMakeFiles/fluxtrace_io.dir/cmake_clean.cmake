@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_io.dir/fluxtrace/io/compact.cpp.o"
+  "CMakeFiles/fluxtrace_io.dir/fluxtrace/io/compact.cpp.o.d"
+  "CMakeFiles/fluxtrace_io.dir/fluxtrace/io/folded.cpp.o"
+  "CMakeFiles/fluxtrace_io.dir/fluxtrace/io/folded.cpp.o.d"
+  "CMakeFiles/fluxtrace_io.dir/fluxtrace/io/symbols_file.cpp.o"
+  "CMakeFiles/fluxtrace_io.dir/fluxtrace/io/symbols_file.cpp.o.d"
+  "CMakeFiles/fluxtrace_io.dir/fluxtrace/io/trace_file.cpp.o"
+  "CMakeFiles/fluxtrace_io.dir/fluxtrace/io/trace_file.cpp.o.d"
+  "libfluxtrace_io.a"
+  "libfluxtrace_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluxtrace/net/trafficgen.cpp" "src/CMakeFiles/fluxtrace_net.dir/fluxtrace/net/trafficgen.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_net.dir/fluxtrace/net/trafficgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

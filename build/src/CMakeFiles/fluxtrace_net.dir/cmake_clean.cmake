@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_net.dir/fluxtrace/net/trafficgen.cpp.o"
+  "CMakeFiles/fluxtrace_net.dir/fluxtrace/net/trafficgen.cpp.o.d"
+  "libfluxtrace_net.a"
+  "libfluxtrace_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

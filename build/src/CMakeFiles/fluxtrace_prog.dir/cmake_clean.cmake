@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_prog.dir/fluxtrace/prog/builder.cpp.o"
+  "CMakeFiles/fluxtrace_prog.dir/fluxtrace/prog/builder.cpp.o.d"
+  "CMakeFiles/fluxtrace_prog.dir/fluxtrace/prog/workload.cpp.o"
+  "CMakeFiles/fluxtrace_prog.dir/fluxtrace/prog/workload.cpp.o.d"
+  "libfluxtrace_prog.a"
+  "libfluxtrace_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluxtrace/report/chart.cpp" "src/CMakeFiles/fluxtrace_report.dir/fluxtrace/report/chart.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_report.dir/fluxtrace/report/chart.cpp.o.d"
+  "/root/repo/src/fluxtrace/report/csv.cpp" "src/CMakeFiles/fluxtrace_report.dir/fluxtrace/report/csv.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_report.dir/fluxtrace/report/csv.cpp.o.d"
+  "/root/repo/src/fluxtrace/report/gantt.cpp" "src/CMakeFiles/fluxtrace_report.dir/fluxtrace/report/gantt.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_report.dir/fluxtrace/report/gantt.cpp.o.d"
+  "/root/repo/src/fluxtrace/report/stats.cpp" "src/CMakeFiles/fluxtrace_report.dir/fluxtrace/report/stats.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_report.dir/fluxtrace/report/stats.cpp.o.d"
+  "/root/repo/src/fluxtrace/report/table.cpp" "src/CMakeFiles/fluxtrace_report.dir/fluxtrace/report/table.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_report.dir/fluxtrace/report/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

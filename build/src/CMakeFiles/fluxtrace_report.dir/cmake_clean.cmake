@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_report.dir/fluxtrace/report/chart.cpp.o"
+  "CMakeFiles/fluxtrace_report.dir/fluxtrace/report/chart.cpp.o.d"
+  "CMakeFiles/fluxtrace_report.dir/fluxtrace/report/csv.cpp.o"
+  "CMakeFiles/fluxtrace_report.dir/fluxtrace/report/csv.cpp.o.d"
+  "CMakeFiles/fluxtrace_report.dir/fluxtrace/report/gantt.cpp.o"
+  "CMakeFiles/fluxtrace_report.dir/fluxtrace/report/gantt.cpp.o.d"
+  "CMakeFiles/fluxtrace_report.dir/fluxtrace/report/stats.cpp.o"
+  "CMakeFiles/fluxtrace_report.dir/fluxtrace/report/stats.cpp.o.d"
+  "CMakeFiles/fluxtrace_report.dir/fluxtrace/report/table.cpp.o"
+  "CMakeFiles/fluxtrace_report.dir/fluxtrace/report/table.cpp.o.d"
+  "libfluxtrace_report.a"
+  "libfluxtrace_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_rt.dir/fluxtrace/rt/ulthread.cpp.o"
+  "CMakeFiles/fluxtrace_rt.dir/fluxtrace/rt/ulthread.cpp.o.d"
+  "libfluxtrace_rt.a"
+  "libfluxtrace_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

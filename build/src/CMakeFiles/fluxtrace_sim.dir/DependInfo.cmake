@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluxtrace/sim/cache.cpp" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/cache.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/cache.cpp.o.d"
+  "/root/repo/src/fluxtrace/sim/cpu.cpp" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/cpu.cpp.o.d"
+  "/root/repo/src/fluxtrace/sim/machine.cpp" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/machine.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/machine.cpp.o.d"
+  "/root/repo/src/fluxtrace/sim/msr.cpp" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/msr.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/msr.cpp.o.d"
+  "/root/repo/src/fluxtrace/sim/pebs.cpp" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/pebs.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/pebs.cpp.o.d"
+  "/root/repo/src/fluxtrace/sim/swsampler.cpp" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/swsampler.cpp.o" "gcc" "src/CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/swsampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

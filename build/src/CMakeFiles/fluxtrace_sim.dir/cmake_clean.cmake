@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/cache.cpp.o"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/cache.cpp.o.d"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/cpu.cpp.o"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/cpu.cpp.o.d"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/machine.cpp.o"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/machine.cpp.o.d"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/msr.cpp.o"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/msr.cpp.o.d"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/pebs.cpp.o"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/pebs.cpp.o.d"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/swsampler.cpp.o"
+  "CMakeFiles/fluxtrace_sim.dir/fluxtrace/sim/swsampler.cpp.o.d"
+  "libfluxtrace_sim.a"
+  "libfluxtrace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluxtrace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfluxtrace_sim.a"
+)

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_tests.dir/acl/classifier_test.cpp.o"
+  "CMakeFiles/acl_tests.dir/acl/classifier_test.cpp.o.d"
+  "CMakeFiles/acl_tests.dir/acl/paper_ruleset_property_test.cpp.o"
+  "CMakeFiles/acl_tests.dir/acl/paper_ruleset_property_test.cpp.o.d"
+  "CMakeFiles/acl_tests.dir/acl/prefix_test.cpp.o"
+  "CMakeFiles/acl_tests.dir/acl/prefix_test.cpp.o.d"
+  "CMakeFiles/acl_tests.dir/acl/rulefile_test.cpp.o"
+  "CMakeFiles/acl_tests.dir/acl/rulefile_test.cpp.o.d"
+  "CMakeFiles/acl_tests.dir/acl/trie_test.cpp.o"
+  "CMakeFiles/acl_tests.dir/acl/trie_test.cpp.o.d"
+  "acl_tests"
+  "acl_tests.pdb"
+  "acl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

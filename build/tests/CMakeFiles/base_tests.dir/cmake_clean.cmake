@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_tests.dir/base/flow_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/flow_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/base/markers_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/markers_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/base/symbols_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/symbols_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/base/time_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/time_test.cpp.o.d"
+  "base_tests"
+  "base_tests.pdb"
+  "base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

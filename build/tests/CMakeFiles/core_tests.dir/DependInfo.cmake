@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adaptive_test.cpp" "tests/CMakeFiles/core_tests.dir/core/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/adaptive_test.cpp.o.d"
+  "/root/repo/tests/core/batch_test.cpp" "tests/CMakeFiles/core_tests.dir/core/batch_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/batch_test.cpp.o.d"
+  "/root/repo/tests/core/callguess_test.cpp" "tests/CMakeFiles/core_tests.dir/core/callguess_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/callguess_test.cpp.o.d"
+  "/root/repo/tests/core/detector_test.cpp" "tests/CMakeFiles/core_tests.dir/core/detector_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/detector_test.cpp.o.d"
+  "/root/repo/tests/core/diagnosis_test.cpp" "tests/CMakeFiles/core_tests.dir/core/diagnosis_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/diagnosis_test.cpp.o.d"
+  "/root/repo/tests/core/integrator_edge_test.cpp" "tests/CMakeFiles/core_tests.dir/core/integrator_edge_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/integrator_edge_test.cpp.o.d"
+  "/root/repo/tests/core/integrator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/integrator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/integrator_test.cpp.o.d"
+  "/root/repo/tests/core/online_fuzz_test.cpp" "tests/CMakeFiles/core_tests.dir/core/online_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/online_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/online_test.cpp" "tests/CMakeFiles/core_tests.dir/core/online_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/online_test.cpp.o.d"
+  "/root/repo/tests/core/planner_test.cpp" "tests/CMakeFiles/core_tests.dir/core/planner_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/planner_test.cpp.o.d"
+  "/root/repo/tests/core/profile_test.cpp" "tests/CMakeFiles/core_tests.dir/core/profile_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/profile_test.cpp.o.d"
+  "/root/repo/tests/core/regid_test.cpp" "tests/CMakeFiles/core_tests.dir/core/regid_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/regid_test.cpp.o.d"
+  "/root/repo/tests/core/trace_table_test.cpp" "tests/CMakeFiles/core_tests.dir/core/trace_table_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/trace_table_test.cpp.o.d"
+  "/root/repo/tests/core/tracediff_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tracediff_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tracediff_test.cpp.o.d"
+  "/root/repo/tests/core/volume_test.cpp" "tests/CMakeFiles/core_tests.dir/core/volume_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/volume_test.cpp.o.d"
+  "/root/repo/tests/core/workest_test.cpp" "tests/CMakeFiles/core_tests.dir/core/workest_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/workest_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

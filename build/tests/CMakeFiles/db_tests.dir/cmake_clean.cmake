@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_tests.dir/db/btree_test.cpp.o"
+  "CMakeFiles/db_tests.dir/db/btree_test.cpp.o.d"
+  "CMakeFiles/db_tests.dir/db/bufferpool_test.cpp.o"
+  "CMakeFiles/db_tests.dir/db/bufferpool_test.cpp.o.d"
+  "CMakeFiles/db_tests.dir/db/table_oracle_test.cpp.o"
+  "CMakeFiles/db_tests.dir/db/table_oracle_test.cpp.o.d"
+  "CMakeFiles/db_tests.dir/db/table_test.cpp.o"
+  "CMakeFiles/db_tests.dir/db/table_test.cpp.o.d"
+  "CMakeFiles/db_tests.dir/db/wal_test.cpp.o"
+  "CMakeFiles/db_tests.dir/db/wal_test.cpp.o.d"
+  "db_tests"
+  "db_tests.pdb"
+  "db_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/acl_app_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/acl_app_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/acl_app_test.cpp.o.d"
+  "/root/repo/tests/integration/batch_firewall_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/batch_firewall_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/batch_firewall_test.cpp.o.d"
+  "/root/repo/tests/integration/builder_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/builder_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/builder_test.cpp.o.d"
+  "/root/repo/tests/integration/minidb_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/minidb_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/minidb_test.cpp.o.d"
+  "/root/repo/tests/integration/online_live_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/online_live_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/online_live_test.cpp.o.d"
+  "/root/repo/tests/integration/query_app_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/query_app_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/query_app_test.cpp.o.d"
+  "/root/repo/tests/integration/rss_firewall_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/rss_firewall_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/rss_firewall_test.cpp.o.d"
+  "/root/repo/tests/integration/timer_switching_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/timer_switching_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/timer_switching_test.cpp.o.d"
+  "/root/repo/tests/integration/timer_web_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/timer_web_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/timer_web_test.cpp.o.d"
+  "/root/repo/tests/integration/webserver_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/webserver_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/webserver_test.cpp.o.d"
+  "/root/repo/tests/integration/workload_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/workload_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/acl_app_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/acl_app_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/batch_firewall_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/batch_firewall_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/builder_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/builder_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/minidb_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/minidb_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/online_live_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/online_live_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/query_app_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/query_app_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/rss_firewall_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/rss_firewall_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/timer_switching_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/timer_switching_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/timer_web_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/timer_web_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/webserver_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/webserver_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/workload_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/workload_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

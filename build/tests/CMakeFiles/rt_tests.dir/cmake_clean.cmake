@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_tests.dir/rt/sim_channel_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/sim_channel_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/rt/spsc_ring_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/spsc_ring_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/rt/ulthread_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/ulthread_test.cpp.o.d"
+  "rt_tests"
+  "rt_tests.pdb"
+  "rt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

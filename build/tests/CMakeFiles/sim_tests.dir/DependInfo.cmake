@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cache_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/cache_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/cache_test.cpp.o.d"
+  "/root/repo/tests/sim/cpu_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/cpu_test.cpp.o.d"
+  "/root/repo/tests/sim/machine_channel_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/machine_channel_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/machine_channel_test.cpp.o.d"
+  "/root/repo/tests/sim/machine_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/machine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/machine_test.cpp.o.d"
+  "/root/repo/tests/sim/msr_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/msr_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/msr_test.cpp.o.d"
+  "/root/repo/tests/sim/pebs_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/pebs_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/pebs_test.cpp.o.d"
+  "/root/repo/tests/sim/sampler_events_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/sampler_events_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/sampler_events_test.cpp.o.d"
+  "/root/repo/tests/sim/swsampler_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/swsampler_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/swsampler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fluxtrace_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_acl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fluxtrace_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

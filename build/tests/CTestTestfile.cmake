@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/rt_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/acl_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/db_tests[1]_include.cmake")
+include("/root/repo/build/tests/io_tests[1]_include.cmake")
+include("/root/repo/build/tests/report_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/tools_tests[1]_include.cmake")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;110;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_query_fluctuation "/root/repo/build/examples/query_fluctuation")
+set_tests_properties(example_query_fluctuation PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;110;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_acl_firewall "/root/repo/build/examples/acl_firewall")
+set_tests_properties(example_acl_firewall PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;110;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_timer_switching "/root/repo/build/examples/timer_switching")
+set_tests_properties(example_timer_switching PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;110;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_plan_overhead "/root/repo/build/examples/plan_overhead")
+set_tests_properties(example_plan_overhead PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;110;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_offline_analysis "/root/repo/build/examples/offline_analysis")
+set_tests_properties(example_offline_analysis PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;110;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_db_diagnosis "/root/repo/build/examples/db_diagnosis")
+set_tests_properties(example_db_diagnosis PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;110;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_nginx_timer_tracing "/root/repo/build/examples/nginx_timer_tracing")
+set_tests_properties(example_nginx_timer_tracing PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;110;add_test;/root/repo/tests/CMakeLists.txt;0;")

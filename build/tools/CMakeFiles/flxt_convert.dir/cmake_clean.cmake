@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flxt_convert.dir/flxt_convert.cpp.o"
+  "CMakeFiles/flxt_convert.dir/flxt_convert.cpp.o.d"
+  "flxt_convert"
+  "flxt_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flxt_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flxt_dump.dir/flxt_dump.cpp.o"
+  "CMakeFiles/flxt_dump.dir/flxt_dump.cpp.o.d"
+  "flxt_dump"
+  "flxt_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flxt_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flxt_report.dir/flxt_report.cpp.o"
+  "CMakeFiles/flxt_report.dir/flxt_report.cpp.o.d"
+  "flxt_report"
+  "flxt_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flxt_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

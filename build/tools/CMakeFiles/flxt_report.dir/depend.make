@@ -1,0 +1,2 @@
+# Empty dependencies file for flxt_report.
+# This may be replaced when dependencies are built.
