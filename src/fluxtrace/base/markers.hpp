@@ -40,12 +40,28 @@ class MarkerLog {
   /// processing (core::OnlineTracer) attaches to.
   using Sink = std::function<void(const Marker&)>;
 
+  /// Optional loss filter consulted before a record lands: return true to
+  /// drop it (the write was skipped under overload — sim::FaultPlan
+  /// installs its marker-loss decision here). Dropped records reach
+  /// neither the log nor the sink, exactly like a skipped store.
+  using DropFilter = std::function<bool(const Marker&)>;
+
   void record(std::uint32_t core, Tsc tsc, ItemId item, MarkerKind kind) {
-    markers_.push_back(Marker{tsc, item, core, kind});
+    const Marker m{tsc, item, core, kind};
+    if (drop_ && drop_(m)) {
+      ++dropped_;
+      return;
+    }
+    markers_.push_back(m);
     if (sink_) sink_(markers_.back());
   }
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_drop_filter(DropFilter f) { drop_ = std::move(f); }
+
+  /// Records the drop filter swallowed (what production would have lost
+  /// without ever knowing).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
   [[nodiscard]] const std::vector<Marker>& markers() const { return markers_; }
   [[nodiscard]] std::size_t size() const { return markers_.size(); }
@@ -59,6 +75,8 @@ class MarkerLog {
  private:
   std::vector<Marker> markers_;
   Sink sink_;
+  DropFilter drop_;
+  std::uint64_t dropped_ = 0;
 };
 
 } // namespace fluxtrace

@@ -28,4 +28,16 @@ struct PebsSample {
 
 using SampleVec = std::vector<PebsSample>;
 
+/// One lost sample, placed in time: the counter overflowed at `tsc` on
+/// `core` but no record reached software (PEBS disarmed during a drain,
+/// or loss injected by a fault plan). Carrying losses alongside the
+/// sample stream lets consumers attribute them to data-items instead of
+/// silently under-counting (§III-E).
+struct SampleLoss {
+  std::uint32_t core = 0;
+  Tsc tsc = 0;
+
+  friend bool operator==(const SampleLoss&, const SampleLoss&) = default;
+};
+
 } // namespace fluxtrace

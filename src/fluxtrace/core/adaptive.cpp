@@ -29,6 +29,18 @@ void AdaptiveReset::on_sample(const PebsSample& s) {
   }
 }
 
+void AdaptiveReset::nudge(double factor) {
+  assert(factor > 0.0);
+  const auto proposed = static_cast<std::uint64_t>(
+      static_cast<double>(reset_) * factor + 0.5);
+  const std::uint64_t clamped =
+      std::clamp(proposed, cfg_.min_reset, cfg_.max_reset);
+  if (clamped == reset_) return;
+  reset_ = clamped;
+  ++adjustments_;
+  if (reprogram_) reprogram_(reset_);
+}
+
 void AdaptiveReset::maybe_adjust() {
   if (last_tsc_ <= window_start_) return;
   const double achieved_ns =

@@ -37,6 +37,13 @@ class AdaptiveReset {
   /// Feed each drained sample (per traced core; one controller per core).
   void on_sample(const PebsSample& s);
 
+  /// Immediate out-of-band adjustment: multiply R by `factor` (> 1 sheds
+  /// load by lengthening the sample interval). This is what a backlogged
+  /// consumer (OnlineTracer's shed callback) invokes when drains fall
+  /// behind — graceful degradation by dropping *rate*, not records.
+  /// Clamped to [min_reset, max_reset]; reprograms on change.
+  void nudge(double factor);
+
   [[nodiscard]] std::uint64_t current_reset() const { return reset_; }
   [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
   [[nodiscard]] double last_measured_interval_ns() const {

@@ -2,21 +2,31 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 namespace fluxtrace::core {
 
-std::vector<ItemWindow> TraceIntegrator::windows_from_markers(
+namespace {
+
+std::map<std::uint32_t, std::vector<Marker>> markers_by_core(
     std::span<const Marker> markers) {
-  // Group by core, keep time order within each core.
   std::map<std::uint32_t, std::vector<Marker>> per_core;
   for (const Marker& m : markers) per_core[m.core].push_back(m);
-
-  std::vector<ItemWindow> out;
   for (auto& [core, ms] : per_core) {
     std::stable_sort(ms.begin(), ms.end(),
                      [](const Marker& a, const Marker& b) {
                        return a.tsc < b.tsc;
                      });
+  }
+  return per_core;
+}
+
+} // namespace
+
+std::vector<ItemWindow> TraceIntegrator::windows_from_markers(
+    std::span<const Marker> markers) {
+  std::vector<ItemWindow> out;
+  for (auto& [core, ms] : markers_by_core(markers)) {
     // Pair Enter → Leave by item id. In the self-switching architecture
     // exactly one item is on a core at a time, so windows come out
     // disjoint; under preemption (timer-switching) an item's window spans
@@ -39,8 +49,79 @@ std::vector<ItemWindow> TraceIntegrator::windows_from_markers(
   return out;
 }
 
+std::vector<ItemWindow> TraceIntegrator::windows_from_markers_degraded(
+    std::span<const Marker> markers,
+    const std::map<std::uint32_t, Tsc>& watermarks) {
+  std::vector<ItemWindow> out;
+  for (auto& [core, ms] : markers_by_core(markers)) {
+    // Self-switching: one item per core at a time, so a surviving edge
+    // bounds its lost partner. A lost Leave is proven passed by the next
+    // Enter on the core (the item was gone before the next one started);
+    // a lost Enter can have happened no earlier than the previous edge.
+    // Both bounds over-cover slightly — degraded, and tagged as such —
+    // which beats dropping the item entirely.
+    struct Open {
+      ItemId item = kNoItem;
+      Tsc enter = 0;
+      std::uint8_t synth = 0;
+    };
+    Open open;
+    bool has_open = false;
+    Tsc prev_edge = 0;
+    for (const Marker& m : ms) {
+      if (m.kind == MarkerKind::Enter) {
+        if (has_open) {
+          // The open item's Leave was lost; close it at this Enter.
+          out.push_back(ItemWindow{open.item, core, open.enter, m.tsc,
+                                   static_cast<std::uint8_t>(
+                                       open.synth | ItemWindow::kSynthLeave)});
+        }
+        open = Open{m.item, m.tsc, 0};
+        has_open = true;
+      } else if (has_open && open.item == m.item) {
+        out.push_back(ItemWindow{m.item, core, open.enter, m.tsc, open.synth});
+        has_open = false;
+      } else if (has_open) {
+        // Two losses at once (open item's Leave and this item's Enter):
+        // both items get the joint span, honestly tagged on both edges.
+        out.push_back(ItemWindow{open.item, core, open.enter, m.tsc,
+                                 static_cast<std::uint8_t>(
+                                     open.synth | ItemWindow::kSynthLeave)});
+        out.push_back(
+            ItemWindow{m.item, core, open.enter, m.tsc, static_cast<std::uint8_t>(
+                           ItemWindow::kSynthEnter)});
+        has_open = false;
+      } else {
+        // Leave whose Enter was lost: it started after the previous edge.
+        out.push_back(ItemWindow{m.item, core, prev_edge, m.tsc,
+                                 ItemWindow::kSynthEnter});
+      }
+      prev_edge = m.tsc;
+    }
+    if (has_open) {
+      // Open at stream end: no sample after the per-core watermark can
+      // belong to it, so the watermark closes it.
+      auto wit = watermarks.find(core);
+      const Tsc wm =
+          wit != watermarks.end() ? std::max(wit->second, open.enter)
+                                  : open.enter;
+      out.push_back(ItemWindow{open.item, core, open.enter, wm,
+                               static_cast<std::uint8_t>(
+                                   open.synth | ItemWindow::kSynthLeave)});
+    }
+  }
+  return out;
+}
+
+TraceTable TraceIntegrator::integrate(
+    std::span<const Marker> markers,
+    std::span<const PebsSample> samples) const {
+  return integrate(markers, samples, {});
+}
+
 TraceTable TraceIntegrator::integrate(std::span<const Marker> markers,
-                                      std::span<const PebsSample> samples) const {
+                                      std::span<const PebsSample> samples,
+                                      std::span<const SampleLoss> losses) const {
   TraceTable table;
 
   // Per-core windows sorted by enter time, plus a prefix-max of leave
@@ -51,9 +132,27 @@ TraceTable TraceIntegrator::integrate(std::span<const Marker> markers,
     std::vector<Tsc> prefix_max_leave;
   };
   std::map<std::uint32_t, CoreWindows> win_by_core;
-  for (const ItemWindow& w : windows_from_markers(markers)) {
+  std::set<ItemId> known_items;
+
+  std::vector<ItemWindow> windows;
+  if (cfg_.degraded) {
+    std::map<std::uint32_t, Tsc> watermarks;
+    for (const PebsSample& s : samples) {
+      Tsc& wm = watermarks[s.core];
+      wm = std::max(wm, s.tsc);
+    }
+    for (const SampleLoss& l : losses) {
+      Tsc& wm = watermarks[l.core];
+      wm = std::max(wm, l.tsc);
+    }
+    windows = windows_from_markers_degraded(markers, watermarks);
+  } else {
+    windows = windows_from_markers(markers);
+  }
+  for (const ItemWindow& w : windows) {
     table.add_window(w);
     win_by_core[w.core].ws.push_back(w);
+    known_items.insert(w.item);
   }
   for (auto& [core, cw] : win_by_core) {
     std::sort(cw.ws.begin(), cw.ws.end(),
@@ -68,33 +167,43 @@ TraceTable TraceIntegrator::integrate(std::span<const Marker> markers,
     }
   }
 
+  // Most recent window with enter <= tsc whose leave has not passed.
+  // With disjoint windows (self-switching) this is one probe; with
+  // overlapping windows the walk finds the innermost cover — a heuristic
+  // that can be wrong, which is the point of the §V-A extension.
+  auto locate = [&win_by_core](std::uint32_t core, Tsc tsc) -> ItemId {
+    auto it = win_by_core.find(core);
+    if (it == win_by_core.end()) return kNoItem;
+    const std::vector<ItemWindow>& ws = it->second.ws;
+    const std::vector<Tsc>& pmax = it->second.prefix_max_leave;
+    auto wit = std::upper_bound(
+        ws.begin(), ws.end(), tsc,
+        [](Tsc t, const ItemWindow& w) { return t < w.enter; });
+    while (wit != ws.begin()) {
+      const std::size_t idx = static_cast<std::size_t>(wit - ws.begin()) - 1;
+      if (pmax[idx] < tsc) break; // nothing earlier can cover tsc
+      --wit;
+      if (tsc <= wit->leave) return wit->item;
+    }
+    return kNoItem;
+  };
+
   for (const PebsSample& s : samples) {
     // (1) item id — from the marker windows or from the sampled register.
     ItemId item = kNoItem;
+    bool salvaged = false;
     if (cfg_.use_register_ids) {
       item = s.regs.get(cfg_.id_reg);
     } else {
-      auto it = win_by_core.find(s.core);
-      if (it != win_by_core.end()) {
-        const std::vector<ItemWindow>& ws = it->second.ws;
-        const std::vector<Tsc>& pmax = it->second.prefix_max_leave;
-        // Most recent window with enter <= tsc whose leave has not
-        // passed. With disjoint windows (self-switching) this is one
-        // probe; with overlapping windows the walk finds the innermost
-        // cover — a heuristic that can be wrong, which is the point of
-        // the §V-A extension.
-        auto wit = std::upper_bound(
-            ws.begin(), ws.end(), s.tsc,
-            [](Tsc t, const ItemWindow& w) { return t < w.enter; });
-        while (wit != ws.begin()) {
-          const std::size_t idx =
-              static_cast<std::size_t>(wit - ws.begin()) - 1;
-          if (pmax[idx] < s.tsc) break; // nothing earlier can cover tsc
-          --wit;
-          if (s.tsc <= wit->leave) {
-            item = wit->item;
-            break;
-          }
+      item = locate(s.core, s.tsc);
+      if (item == kNoItem && cfg_.degraded) {
+        // Orphan salvage: the sampled id register names the item
+        // directly; trust it when it matches an item the markers saw
+        // (guards against registers that never held an id).
+        const ItemId reg_item = s.regs.get(cfg_.id_reg);
+        if (reg_item != kNoItem && known_items.count(reg_item) > 0) {
+          item = reg_item;
+          salvaged = true;
         }
       }
     }
@@ -102,6 +211,7 @@ TraceTable TraceIntegrator::integrate(std::span<const Marker> markers,
       table.count_unmatched_item();
       continue;
     }
+    if (salvaged) table.note_sample_salvaged(item);
 
     // (2) function — from the symbol table.
     const auto fn = symtab_.resolve(s.ip);
@@ -111,6 +221,18 @@ TraceTable TraceIntegrator::integrate(std::span<const Marker> markers,
     }
 
     table.add_sample(item, *fn, s.core, s.tsc);
+  }
+
+  // (3) loss attribution: a lost sample whose timestamp lies inside an
+  // item's window degrades that item's confidence — the estimate may
+  // under-cover, and the table says so instead of staying silent.
+  for (const SampleLoss& l : losses) {
+    const ItemId item = locate(l.core, l.tsc);
+    if (item != kNoItem) {
+      table.note_sample_lost(item);
+    } else {
+      table.count_unattributed_loss();
+    }
   }
   return table;
 }

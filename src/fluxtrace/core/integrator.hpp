@@ -7,6 +7,7 @@
 // survives user-level context switches (timer-switching architecture).
 #pragma once
 
+#include <map>
 #include <span>
 
 #include "fluxtrace/base/markers.hpp"
@@ -23,6 +24,16 @@ struct IntegratorConfig {
   /// from the sampled register (timer-switching extension, §V-A).
   bool use_register_ids = false;
   Reg id_reg = kItemIdReg;
+
+  /// Degraded mode: tolerate a lossy capture pipeline instead of
+  /// silently mis-attributing. Unbalanced markers no longer drop their
+  /// item — the missing edge is synthesized (a lost Leave from the next
+  /// Enter on the core, a lost edge at stream end from the per-core
+  /// sample watermark) and the window is tagged as reconstructed. Orphan
+  /// samples matching no window are salvaged through the id register
+  /// when it names a known item. Every affected item carries loss
+  /// accounting in the table (never silently clean).
+  bool degraded = false;
 };
 
 class TraceIntegrator {
@@ -36,11 +47,27 @@ class TraceIntegrator {
   [[nodiscard]] TraceTable integrate(std::span<const Marker> markers,
                                      std::span<const PebsSample> samples) const;
 
+  /// Same, with known capture losses (sim::PebsDriver::losses()):
+  /// each loss is attributed to the item whose window covers its
+  /// timestamp, so affected items report non-zero
+  /// ItemQuality::samples_lost instead of quietly under-counting.
+  [[nodiscard]] TraceTable integrate(std::span<const Marker> markers,
+                                     std::span<const PebsSample> samples,
+                                     std::span<const SampleLoss> losses) const;
+
   /// Extract per-core item windows from a marker stream. Exposed for
   /// tests and for window-level analyses. Unbalanced markers (Leave
   /// without Enter, Enter without Leave at stream end) are dropped.
   [[nodiscard]] static std::vector<ItemWindow> windows_from_markers(
       std::span<const Marker> markers);
+
+  /// Degraded-mode variant: unbalanced markers synthesize the missing
+  /// edge instead of dropping the item. `watermarks` holds the per-core
+  /// highest observed sample time, used to close an item still open at
+  /// stream end (nothing later can belong to it).
+  [[nodiscard]] static std::vector<ItemWindow> windows_from_markers_degraded(
+      std::span<const Marker> markers,
+      const std::map<std::uint32_t, Tsc>& watermarks);
 
  private:
   const SymbolTable& symtab_;

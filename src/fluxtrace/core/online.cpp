@@ -11,17 +11,28 @@ OnlineTracer::OnlineTracer(const SymbolTable& symtab, OnlineTracerConfig cfg)
 void OnlineTracer::on_marker(const Marker& m) {
   CoreState& cs = cores_[m.core];
   if (m.kind == MarkerKind::Enter) {
-    // A still-open previous item means a malformed stream under the
-    // self-switching assumption; drop the dangling one.
+    // A still-open previous item means its Leave marker was lost (or the
+    // stream is malformed). Degraded mode synthesizes the Leave at this
+    // Enter — the item was gone before the next one started — instead of
+    // silently discarding the item and its samples.
     if (!cs.items.empty() && !cs.items.back().closed) {
-      cs.items.pop_back();
-      ++dropped_;
+      if (cfg_.synthesize_markers) {
+        PendingItem& dangling = cs.items.back();
+        dangling.leave = m.tsc;
+        dangling.closed = true;
+        dangling.synth_leave = true;
+        ++synthesized_;
+      } else {
+        cs.items.pop_back();
+        ++dropped_;
+      }
     }
     PendingItem item;
     item.id = m.item;
     item.core = m.core;
     item.enter = m.tsc;
     cs.items.push_back(std::move(item));
+    check_backlog(m.core, cs);
   } else {
     if (cs.items.empty() || cs.items.back().closed ||
         cs.items.back().id != m.item) {
@@ -52,6 +63,39 @@ void OnlineTracer::on_sample(const PebsSample& s) {
   ++unmatched_; // between windows, or before the oldest pending item
 }
 
+void OnlineTracer::on_sample_lost(const SampleLoss& l) {
+  ++samples_lost_;
+  auto cit = cores_.find(l.core);
+  if (cit != cores_.end()) {
+    for (PendingItem& item : cit->second.items) {
+      if (l.tsc < item.enter) break;
+      if (!item.closed || l.tsc <= item.leave) {
+        ++item.lost;
+        return;
+      }
+    }
+  }
+  ++losses_unattributed_; // between windows, or item already finalized
+}
+
+void OnlineTracer::check_backlog(std::uint32_t core, CoreState& cs) {
+  if (cfg_.shed_backlog == 0) return;
+  if (cs.items.size() >= cfg_.shed_backlog) {
+    if (cs.shed_armed) {
+      cs.shed_armed = false;
+      ++shed_events_;
+      if (shed_) shed_(core, cs.items.size());
+    }
+  } else if (cs.items.size() <= cfg_.shed_backlog / 2) {
+    cs.shed_armed = true; // backlog drained; re-arm the trigger
+  }
+}
+
+std::size_t OnlineTracer::backlog(std::uint32_t core) const {
+  auto it = cores_.find(core);
+  return it == cores_.end() ? 0 : it->second.items.size();
+}
+
 void OnlineTracer::finalize_ready(CoreState& cs, Tsc watermark) {
   while (!cs.items.empty() && cs.items.front().closed &&
          cs.items.front().leave < watermark) {
@@ -66,6 +110,13 @@ void OnlineTracer::finalize(PendingItem&& item) {
   res.item = item.id;
   res.core = item.core;
   res.window = item.leave - item.enter;
+  res.samples_lost = item.lost;
+  res.markers_synthesized = item.synth_leave ? 1 : 0;
+  if (item.synth_leave) {
+    res.confidence = Confidence::Reconstructed;
+  } else if (item.lost > 0) {
+    res.confidence = Confidence::Degraded;
+  }
 
   // Per-function first/last spans from this item's raw samples.
   std::unordered_map<SymbolId, BucketStat> buckets;
@@ -109,6 +160,14 @@ void OnlineTracer::finish() {
       PendingItem item = std::move(cs.items.front());
       cs.items.pop_front();
       if (item.closed) {
+        finalize(std::move(item));
+      } else if (cfg_.synthesize_markers) {
+        // Enter without Leave at stream end: the sample watermark bounds
+        // how long the item can still have been on the core.
+        item.leave = std::max(cs.sample_watermark, item.enter);
+        item.closed = true;
+        item.synth_leave = true;
+        ++synthesized_;
         finalize(std::move(item));
       } else {
         ++dropped_; // Enter without Leave at stream end

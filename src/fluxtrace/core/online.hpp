@@ -37,11 +37,20 @@ struct OnlineResult {
   std::vector<std::pair<SymbolId, Tsc>> fn_elapsed;
   bool anomalous = false;
 
+  // Loss accounting (degraded mode): estimates for a non-Clean item are
+  // flagged, never presented as exact.
+  std::uint64_t samples_lost = 0;        ///< losses inside this item's window
+  std::uint32_t markers_synthesized = 0; ///< window edges that are estimates
+  Confidence confidence = Confidence::Clean;
+
   [[nodiscard]] Tsc elapsed(SymbolId fn) const {
     for (const auto& [f, t] : fn_elapsed) {
       if (f == fn) return t;
     }
     return 0;
+  }
+  [[nodiscard]] bool degraded() const {
+    return confidence != Confidence::Clean;
   }
 };
 
@@ -53,6 +62,16 @@ struct OnlineTracerConfig {
   /// pseudo-symbol kWindowMetric), so items fluctuate even when no single
   /// function collects two samples.
   bool track_window_metric = true;
+  /// Degraded mode: when a new Enter arrives while the previous item is
+  /// still open (its Leave marker was lost), synthesize the Leave at the
+  /// new Enter's timestamp instead of dropping the item; items still
+  /// open at finish() close at the core's sample watermark. Synthesized
+  /// items are finalized with a Reconstructed confidence.
+  bool synthesize_markers = false;
+  /// Load shedding: when a core's pending-item backlog reaches this many
+  /// items (drains falling behind markers), invoke the shed callback —
+  /// wire it to AdaptiveReset::nudge to raise R. 0 = off.
+  std::size_t shed_backlog = 0;
 };
 
 class OnlineTracer {
@@ -66,6 +85,10 @@ class OnlineTracer {
   // --- streaming inputs -------------------------------------------------
   void on_marker(const Marker& m);
   void on_sample(const PebsSample& s);
+  /// Streaming loss accounting: a known lost sample (drain disarm window,
+  /// injected fault) is attributed to the pending item covering its
+  /// timestamp (wire sim::PebsDriver::set_loss_sink here).
+  void on_sample_lost(const SampleLoss& l);
   /// Finalize everything still pending (end of run).
   void finish();
 
@@ -74,6 +97,12 @@ class OnlineTracer {
   /// would persist for offline analysis.
   using DumpFn = std::function<void(const OnlineResult&, const SampleVec&)>;
   void set_dump_callback(DumpFn fn) { dump_ = std::move(fn); }
+
+  /// Called when a core's backlog crosses cfg.shed_backlog (re-armed
+  /// after it falls to half the threshold). The receiver is expected to
+  /// shed load, e.g. AdaptiveReset::nudge(2.0) to halve the sample rate.
+  using ShedFn = std::function<void(std::uint32_t core, std::size_t backlog)>;
+  void set_shed_callback(ShedFn fn) { shed_ = std::move(fn); }
 
   // --- observability -----------------------------------------------------
   [[nodiscard]] const FluctuationDetector& detector() const {
@@ -84,6 +113,16 @@ class OnlineTracer {
   [[nodiscard]] std::uint64_t samples_seen() const { return samples_seen_; }
   [[nodiscard]] std::uint64_t samples_unmatched() const { return unmatched_; }
   [[nodiscard]] std::uint64_t markers_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t markers_synthesized() const {
+    return synthesized_;
+  }
+  [[nodiscard]] std::uint64_t samples_lost() const { return samples_lost_; }
+  [[nodiscard]] std::uint64_t losses_unattributed() const {
+    return losses_unattributed_;
+  }
+  [[nodiscard]] std::uint64_t shed_events() const { return shed_events_; }
+  /// Current pending-item backlog on one core (drain lag indicator).
+  [[nodiscard]] std::size_t backlog(std::uint32_t core) const;
   /// Raw bytes persisted via the dump callback vs bytes seen in total —
   /// the amortization ratio §IV-C3 argues for.
   [[nodiscard]] std::uint64_t bytes_dumped() const {
@@ -104,30 +143,39 @@ class OnlineTracer {
     Tsc enter = 0;
     Tsc leave = 0;
     bool closed = false;
+    bool synth_leave = false; ///< leave was synthesized (degraded mode)
+    std::uint64_t lost = 0;   ///< known losses inside this item's span
     SampleVec raw;
   };
 
   struct CoreState {
     std::deque<PendingItem> items; ///< open/closed items, in enter order
     Tsc sample_watermark = 0;      ///< per-core sample time monotonicity
+    bool shed_armed = true;        ///< backlog-threshold edge trigger
   };
 
   /// Finalize every closed item whose leave is strictly before the
   /// watermark — per-core time order guarantees its samples are complete.
   void finalize_ready(CoreState& cs, Tsc watermark);
   void finalize(PendingItem&& item);
+  void check_backlog(std::uint32_t core, CoreState& cs);
 
   const SymbolTable& symtab_;
   OnlineTracerConfig cfg_;
   FluctuationDetector detector_;
   std::map<std::uint32_t, CoreState> cores_;
   DumpFn dump_;
+  ShedFn shed_;
   std::deque<OnlineResult> results_;
   std::uint64_t completed_ = 0;
   std::uint64_t dumps_ = 0;
   std::uint64_t samples_seen_ = 0;
   std::uint64_t unmatched_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t synthesized_ = 0;
+  std::uint64_t samples_lost_ = 0;
+  std::uint64_t losses_unattributed_ = 0;
+  std::uint64_t shed_events_ = 0;
   std::uint64_t bytes_dumped_ = 0;
 };
 

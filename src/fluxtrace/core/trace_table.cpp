@@ -11,6 +11,50 @@ void TraceTable::add_sample(ItemId item, SymbolId fn, std::uint32_t core,
   ++total_samples_;
 }
 
+void TraceTable::add_window(const ItemWindow& w) {
+  windows_.push_back(w);
+  if (w.synthesized()) {
+    ++windows_synthesized_;
+    ItemQuality& q = quality_[w.item];
+    q.markers_synthesized += static_cast<std::uint32_t>(
+        (w.synth & ItemWindow::kSynthEnter ? 1 : 0) +
+        (w.synth & ItemWindow::kSynthLeave ? 1 : 0));
+    degrade(w.item, Confidence::Reconstructed);
+  }
+}
+
+void TraceTable::note_sample_lost(ItemId item) {
+  ++quality_[item].samples_lost;
+  degrade(item, Confidence::Degraded);
+}
+
+void TraceTable::note_sample_salvaged(ItemId item) {
+  ++quality_[item].samples_salvaged;
+  degrade(item, Confidence::Degraded);
+}
+
+void TraceTable::degrade(ItemId item, Confidence floor) {
+  ItemQuality& q = quality_[item];
+  if (static_cast<std::uint8_t>(q.confidence) <
+      static_cast<std::uint8_t>(floor)) {
+    q.confidence = floor;
+  }
+}
+
+const ItemQuality& TraceTable::quality(ItemId item) const {
+  static const ItemQuality kClean{};
+  auto it = quality_.find(item);
+  return it == quality_.end() ? kClean : it->second;
+}
+
+std::vector<ItemId> TraceTable::degraded_items() const {
+  std::set<ItemId> ids;
+  for (const auto& [item, q] : quality_) {
+    if (!q.clean()) ids.insert(item);
+  }
+  return {ids.begin(), ids.end()};
+}
+
 Tsc TraceTable::elapsed(ItemId item, SymbolId fn) const {
   auto it = buckets_.find(item);
   if (it == buckets_.end()) return 0;

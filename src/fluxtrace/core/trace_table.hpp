@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -32,13 +33,52 @@ struct BucketStat {
   [[nodiscard]] bool estimable() const { return samples >= 2; }
 };
 
-/// One data-item's residency on one core, delimited by markers.
+/// One data-item's residency on one core, delimited by markers. Under
+/// degraded integration a lost marker's edge is synthesized (from the
+/// next Enter on the core, or the per-core watermark); `synth` records
+/// which edges are estimates rather than measurements.
 struct ItemWindow {
   ItemId item = kNoItem;
   std::uint32_t core = 0;
   Tsc enter = 0;
   Tsc leave = 0;
+  std::uint8_t synth = 0; ///< bitmask of kSynthEnter / kSynthLeave
+
+  static constexpr std::uint8_t kSynthEnter = 1;
+  static constexpr std::uint8_t kSynthLeave = 2;
+
   [[nodiscard]] Tsc length() const { return leave - enter; }
+  [[nodiscard]] bool synthesized() const { return synth != 0; }
+};
+
+/// How much an item's estimates can be trusted.
+enum class Confidence : std::uint8_t {
+  Clean,        ///< complete markers, no known sample loss
+  Degraded,     ///< real window, but samples were lost inside it
+  Reconstructed ///< at least one window edge was synthesized
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Confidence c) {
+  switch (c) {
+    case Confidence::Clean: return "clean";
+    case Confidence::Degraded: return "degraded";
+    case Confidence::Reconstructed: return "reconstructed";
+  }
+  return "?";
+}
+
+/// Per-item loss accounting: what the capture pipeline is known to have
+/// lost for this item. Estimates for items with a non-Clean confidence
+/// must never be presented as exact (ISSUE: flagged, not silently wrong).
+struct ItemQuality {
+  std::uint64_t samples_lost = 0;       ///< overflows that produced no record
+  std::uint32_t markers_synthesized = 0;///< window edges that are estimates
+  std::uint64_t samples_salvaged = 0;   ///< orphans re-attributed via R13
+  Confidence confidence = Confidence::Clean;
+
+  [[nodiscard]] bool clean() const {
+    return confidence == Confidence::Clean;
+  }
 };
 
 /// Integration result plus bookkeeping about what could not be attributed.
@@ -46,9 +86,12 @@ class TraceTable {
  public:
   // --- construction (used by TraceIntegrator) -------------------------
   void add_sample(ItemId item, SymbolId fn, std::uint32_t core, Tsc tsc);
-  void add_window(const ItemWindow& w) { windows_.push_back(w); }
+  void add_window(const ItemWindow& w);
   void count_unmatched_item() { ++unmatched_item_; }
   void count_unmatched_symbol() { ++unmatched_symbol_; }
+  void note_sample_lost(ItemId item);
+  void note_sample_salvaged(ItemId item);
+  void count_unattributed_loss() { ++unattributed_loss_; }
 
   // --- queries ---------------------------------------------------------
   /// Estimated elapsed time of `fn` for `item`, summed over the cores the
@@ -86,6 +129,20 @@ class TraceTable {
     return unmatched_symbol_;
   }
 
+  // --- loss accounting --------------------------------------------------
+  /// Quality of the item's estimates. Items never touched by loss report
+  /// the default (Clean) quality.
+  [[nodiscard]] const ItemQuality& quality(ItemId item) const;
+  /// Items whose confidence is not Clean, sorted ascending.
+  [[nodiscard]] std::vector<ItemId> degraded_items() const;
+  /// Known lost samples that no item window covered.
+  [[nodiscard]] std::uint64_t unattributed_loss() const {
+    return unattributed_loss_;
+  }
+  [[nodiscard]] std::uint64_t windows_synthesized() const {
+    return windows_synthesized_;
+  }
+
  private:
   // Inner key packs (core, fn) so per-core spans never merge across cores
   // (two cores' TSC regions for one item may interleave arbitrarily).
@@ -93,12 +150,19 @@ class TraceTable {
     return (static_cast<std::uint64_t>(core) << 32) | fn;
   }
 
+  /// Degrade the item's confidence to at least `floor` (Clean <
+  /// Degraded < Reconstructed; never upgraded).
+  void degrade(ItemId item, Confidence floor);
+
   std::unordered_map<ItemId, std::unordered_map<std::uint64_t, BucketStat>>
       buckets_;
   std::vector<ItemWindow> windows_;
+  std::unordered_map<ItemId, ItemQuality> quality_;
   std::uint64_t total_samples_ = 0;
   std::uint64_t unmatched_item_ = 0;
   std::uint64_t unmatched_symbol_ = 0;
+  std::uint64_t unattributed_loss_ = 0;
+  std::uint64_t windows_synthesized_ = 0;
 };
 
 } // namespace fluxtrace::core

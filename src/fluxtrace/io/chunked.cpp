@@ -1,0 +1,312 @@
+#include "fluxtrace/io/chunked.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace fluxtrace::io {
+
+namespace {
+
+constexpr std::size_t kChunkHeaderBytes = 21; // magic+type+count+size+2 CRCs
+constexpr std::uint8_t kChunkMarkers = 0;
+constexpr std::uint8_t kChunkSamples = 1;
+constexpr std::uint8_t kChunkEof = 2;
+
+constexpr std::size_t kMarkerBytes = 8 + 8 + 4 + 1;
+constexpr std::size_t kSampleBytes =
+    8 + 8 + 4 + sizeof(RegisterFile{}.v); // tsc + ip + core + GPRs
+
+// --- little-endian append/peek over an in-memory buffer ---------------
+
+void app_u8(std::string& b, std::uint8_t v) {
+  b.push_back(static_cast<char>(v));
+}
+
+void app_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) app_u8(b, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void app_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) app_u8(b, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint8_t peek_u8(const std::string& b, std::size_t at) {
+  return static_cast<std::uint8_t>(b[at]);
+}
+
+std::uint32_t peek_u32(const std::string& b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(peek_u8(b, at + static_cast<std::size_t>(i)))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t peek_u64(const std::string& b, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(peek_u8(b, at + static_cast<std::size_t>(i)))
+         << (8 * i);
+  }
+  return v;
+}
+
+// --- record encode/decode (v1 field layout) ---------------------------
+
+void encode_marker(std::string& b, const Marker& m) {
+  app_u64(b, m.tsc);
+  app_u64(b, m.item);
+  app_u32(b, m.core);
+  app_u8(b, static_cast<std::uint8_t>(m.kind));
+}
+
+void encode_sample(std::string& b, const PebsSample& s) {
+  app_u64(b, s.tsc);
+  app_u64(b, s.ip);
+  app_u32(b, s.core);
+  for (const std::uint64_t r : s.regs.v) app_u64(b, r);
+}
+
+bool decode_markers(const std::string& payload, std::uint32_t n,
+                    std::vector<Marker>& out) {
+  if (payload.size() != static_cast<std::size_t>(n) * kMarkerBytes) return false;
+  std::size_t at = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Marker m;
+    m.tsc = peek_u64(payload, at);
+    m.item = peek_u64(payload, at + 8);
+    m.core = peek_u32(payload, at + 16);
+    const std::uint8_t kind = peek_u8(payload, at + 20);
+    if (kind > static_cast<std::uint8_t>(MarkerKind::Leave)) return false;
+    m.kind = static_cast<MarkerKind>(kind);
+    out.push_back(m);
+    at += kMarkerBytes;
+  }
+  return true;
+}
+
+bool decode_samples(const std::string& payload, std::uint32_t n,
+                    SampleVec& out) {
+  if (payload.size() != static_cast<std::size_t>(n) * kSampleBytes) return false;
+  std::size_t at = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PebsSample s;
+    s.tsc = peek_u64(payload, at);
+    s.ip = peek_u64(payload, at + 8);
+    s.core = peek_u32(payload, at + 16);
+    std::size_t r_at = at + 20;
+    for (std::uint64_t& r : s.regs.v) {
+      r = peek_u64(payload, r_at);
+      r_at += 8;
+    }
+    out.push_back(s);
+    at += kSampleBytes;
+  }
+  return true;
+}
+
+void write_chunk(std::ostream& os, std::uint8_t type, std::uint32_t n_records,
+                 const std::string& payload) {
+  std::string header;
+  header.reserve(kChunkHeaderBytes);
+  app_u32(header, kChunkMagic);
+  app_u8(header, type);
+  app_u32(header, n_records);
+  app_u32(header, static_cast<std::uint32_t>(payload.size()));
+  app_u32(header, crc32(header.data(), header.size()));
+  app_u32(header, crc32(payload.data(), payload.size()));
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+std::string read_rest(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return std::move(buf).str();
+}
+
+} // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  // IEEE 802.3 reflected polynomial, byte-at-a-time table.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void write_trace_v2(std::ostream& os, const TraceData& data,
+                    std::size_t records_per_chunk) {
+  if (records_per_chunk == 0) records_per_chunk = 1;
+  std::string header;
+  app_u32(header, kTraceMagic);
+  app_u32(header, kTraceVersion2);
+  os.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+  std::string payload;
+  for (std::size_t at = 0; at < data.markers.size();
+       at += records_per_chunk) {
+    const std::size_t n =
+        std::min(records_per_chunk, data.markers.size() - at);
+    payload.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      encode_marker(payload, data.markers[at + i]);
+    }
+    write_chunk(os, kChunkMarkers, static_cast<std::uint32_t>(n), payload);
+  }
+  for (std::size_t at = 0; at < data.samples.size();
+       at += records_per_chunk) {
+    const std::size_t n =
+        std::min(records_per_chunk, data.samples.size() - at);
+    payload.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      encode_sample(payload, data.samples[at + i]);
+    }
+    write_chunk(os, kChunkSamples, static_cast<std::uint32_t>(n), payload);
+  }
+  // Torn-write detector: a crash cutting the file at an exact chunk
+  // boundary would otherwise look like a complete shorter file.
+  write_chunk(os, kChunkEof, 0, std::string{});
+  if (!os.good()) throw TraceIoError("stream failure while writing v2 trace");
+}
+
+SalvageReport salvage_trace(std::istream& is) {
+  SalvageReport rep;
+  const std::string buf = read_rest(is);
+
+  // File header: 8 bytes of magic + version. A damaged header does not
+  // stop salvage — chunks are self-delimiting — but it is reported.
+  std::size_t pos = 0;
+  if (buf.size() >= 8 && peek_u32(buf, 0) == kTraceMagic &&
+      peek_u32(buf, 4) == kTraceVersion2) {
+    rep.header_ok = true;
+    pos = 8;
+  }
+
+  while (pos < buf.size()) {
+    const std::size_t remaining = buf.size() - pos;
+    if (remaining < kChunkHeaderBytes) {
+      rep.bytes_truncated += remaining; // torn mid-header
+      break;
+    }
+    const bool magic_ok = peek_u32(buf, pos) == kChunkMagic;
+    const std::uint32_t header_crc = peek_u32(buf, pos + 13);
+    const bool header_ok =
+        magic_ok && header_crc == crc32(buf.data() + pos, 13);
+    if (!header_ok) {
+      // Damaged header: resynchronize at the next chunk magic. A false
+      // positive inside payload bytes fails its own header CRC and the
+      // scan simply continues.
+      const char magic_bytes[4] = {'C', 'H', 'N', 'K'};
+      const std::size_t next = buf.find(magic_bytes, pos + 1, 4);
+      ++rep.chunks_resynced;
+      if (next == std::string::npos) {
+        rep.bytes_truncated += remaining;
+        break;
+      }
+      rep.bytes_skipped += next - pos;
+      pos = next;
+      continue;
+    }
+
+    const std::uint8_t type = peek_u8(buf, pos + 4);
+    const std::uint32_t n_records = peek_u32(buf, pos + 5);
+    const std::uint32_t payload_bytes = peek_u32(buf, pos + 9);
+    const std::uint32_t payload_crc = peek_u32(buf, pos + 17);
+    if (remaining - kChunkHeaderBytes < payload_bytes) {
+      rep.bytes_truncated += remaining; // torn mid-payload
+      break;
+    }
+    const std::string payload =
+        buf.substr(pos + kChunkHeaderBytes, payload_bytes);
+    const std::size_t chunk_total = kChunkHeaderBytes + payload_bytes;
+    bool ok = payload_crc == crc32(payload.data(), payload.size());
+    if (ok && type == kChunkEof && n_records == 0 && payload_bytes == 0) {
+      rep.eof_ok = true;
+      pos += chunk_total;
+      continue;
+    }
+    if (ok) {
+      if (type == kChunkMarkers) {
+        ok = decode_markers(payload, n_records, rep.data.markers);
+      } else if (type == kChunkSamples) {
+        ok = decode_samples(payload, n_records, rep.data.samples);
+      } else {
+        ok = false; // unknown chunk type from a future writer: skip
+      }
+    }
+    if (ok) {
+      ++rep.chunks_ok;
+    } else {
+      ++rep.chunks_corrupt;
+      rep.bytes_skipped += chunk_total;
+    }
+    pos += chunk_total;
+  }
+  return rep;
+}
+
+SalvageReport salvage_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw TraceIoError("cannot open for reading: " + path + ": " +
+                       std::strerror(errno));
+  }
+  return salvage_trace(is);
+}
+
+TraceData read_trace_v2_body(std::istream& is) {
+  SalvageReport rep = salvage_trace(is);
+  rep.header_ok = true; // read_trace() already consumed and checked it
+  if (!rep.clean()) {
+    std::string why = std::to_string(rep.chunks_corrupt) +
+                      " corrupt chunks, " +
+                      std::to_string(rep.bytes_truncated) + " truncated bytes";
+    if (!rep.eof_ok) why += ", missing end-of-file sentinel (torn write)";
+    throw TraceIoError(
+        "damaged v2 trace (" + why +
+        "); use salvage_trace()/flxt_recover to recover " +
+        std::to_string(rep.chunks_ok) + " intact chunks");
+  }
+  return std::move(rep.data);
+}
+
+void save_trace_v2(const std::string& path, const TraceData& data,
+                   std::size_t records_per_chunk) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw TraceIoError("cannot open for writing: " + path + ": " +
+                       std::strerror(errno));
+  }
+  try {
+    write_trace_v2(os, data, records_per_chunk);
+  } catch (const TraceIoError& e) {
+    throw TraceIoError(std::string(e.what()) + ": " + path);
+  }
+  os.close();
+  if (!os) {
+    throw TraceIoError("write failed (close): " + path + ": " +
+                       std::strerror(errno));
+  }
+}
+
+} // namespace fluxtrace::io

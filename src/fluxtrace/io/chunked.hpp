@@ -1,0 +1,87 @@
+// Crash-safe trace persistence: the FLXT **v2 chunked** layout.
+//
+// The v1 container is a single monolithic stream — one torn write (a
+// crash mid-dump, a bit-rotted sector) poisons the whole file, and a
+// reader cannot even tell. v2 splits each stream into fixed-count record
+// chunks, each carrying its own CRC32-protected header and payload:
+//
+//   file   := u32 magic "FLXT" | u32 version=2 | chunk* | eof-chunk
+//   chunk  := u32 "CHNK" | u8 type (0=markers, 1=samples, 2=eof)
+//           | u32 n_records | u32 payload_bytes
+//           | u32 header_crc (over the 13 bytes above)
+//           | u32 payload_crc | payload
+//
+// The trailing eof chunk (type 2, no payload) is the torn-write
+// detector: without it, a crash that cut the file at an exact chunk
+// boundary would be indistinguishable from a complete shorter file.
+//
+// Records use the v1 field encoding (little-endian, fixed width), so an
+// intact chunk decodes byte-identically to what was written.
+//
+// Two readers:
+//   * read_trace() (trace_file.hpp) dispatches on the version field and
+//     parses v2 strictly — any damage throws TraceIoError;
+//   * salvage_trace() recovers every intact chunk from a truncated or
+//     corrupted file: damaged payloads are skipped and counted, damaged
+//     headers are resynchronized by scanning for the next chunk magic,
+//     and an incomplete tail (the torn write) is discarded — never
+//     returned as data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+#include "fluxtrace/io/trace_file.hpp"
+
+namespace fluxtrace::io {
+
+inline constexpr std::uint32_t kTraceVersion2 = 2;
+inline constexpr std::uint32_t kChunkMagic = 0x4b4e4843; // "CHNK"
+inline constexpr std::size_t kDefaultChunkRecords = 1024;
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) of `len` bytes.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len);
+
+/// Serialize in the v2 chunked layout, `records_per_chunk` records per
+/// chunk (smaller chunks = finer-grained crash recovery, more header
+/// overhead: 21 bytes per chunk). Throws TraceIoError on stream failure.
+void write_trace_v2(std::ostream& os, const TraceData& data,
+                    std::size_t records_per_chunk = kDefaultChunkRecords);
+
+/// File-path convenience; errors carry the path and errno context.
+void save_trace_v2(const std::string& path, const TraceData& data,
+                   std::size_t records_per_chunk = kDefaultChunkRecords);
+
+/// What salvage_trace() recovered and what it had to give up.
+struct SalvageReport {
+  TraceData data;                  ///< records from every intact chunk
+  std::size_t chunks_ok = 0;       ///< chunks recovered in full
+  std::size_t chunks_corrupt = 0;  ///< payload/type damage: skipped
+  std::size_t chunks_resynced = 0; ///< damaged headers scanned past
+  std::uint64_t bytes_skipped = 0; ///< damaged bytes passed over mid-file
+  std::uint64_t bytes_truncated = 0; ///< incomplete tail discarded
+  bool header_ok = false;          ///< file magic + version were intact
+  bool eof_ok = false;             ///< the trailing eof chunk was intact
+
+  /// True when the file was read back in full with no damage.
+  [[nodiscard]] bool clean() const {
+    return header_ok && eof_ok && chunks_corrupt == 0 &&
+           chunks_resynced == 0 && bytes_skipped == 0 &&
+           bytes_truncated == 0;
+  }
+};
+
+/// Best-effort reader: recovers every chunk whose header and payload
+/// check out, skipping damage instead of throwing. Only unreadable input
+/// (a stream that cannot be consumed at all) throws TraceIoError; a
+/// completely destroyed file simply reports zero recovered chunks.
+[[nodiscard]] SalvageReport salvage_trace(std::istream& is);
+[[nodiscard]] SalvageReport salvage_trace_file(const std::string& path);
+
+/// Strict v2 body parser used by read_trace() after the version field;
+/// throws TraceIoError on any damage. Exposed for the io layer, not a
+/// public entry point.
+[[nodiscard]] TraceData read_trace_v2_body(std::istream& is);
+
+} // namespace fluxtrace::io

@@ -1,6 +1,9 @@
 #include "fluxtrace/io/compact.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -143,6 +146,37 @@ TraceData read_compact(std::istream& is) {
     }
   }
   return out;
+}
+
+void save_compact(const std::string& path, const TraceData& data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw TraceIoError("cannot open for writing: " + path + ": " +
+                       std::strerror(errno));
+  }
+  try {
+    write_compact(os, data);
+  } catch (const TraceIoError& e) {
+    throw TraceIoError(std::string(e.what()) + ": " + path);
+  }
+  os.close();
+  if (!os) {
+    throw TraceIoError("write failed (close): " + path + ": " +
+                       std::strerror(errno));
+  }
+}
+
+TraceData load_compact(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw TraceIoError("cannot open for reading: " + path + ": " +
+                       std::strerror(errno));
+  }
+  try {
+    return read_compact(is);
+  } catch (const TraceIoError& e) {
+    throw TraceIoError(std::string(e.what()) + ": " + path);
+  }
 }
 
 std::uint64_t compact_size(const TraceData& data) {

@@ -29,6 +29,10 @@ void write_compact(std::ostream& os, const TraceData& data);
 /// Parse; throws TraceIoError on malformed input.
 [[nodiscard]] TraceData read_compact(std::istream& is);
 
+/// File-path conveniences; errors carry the path and errno context.
+void save_compact(const std::string& path, const TraceData& data);
+[[nodiscard]] TraceData load_compact(const std::string& path);
+
 /// Size in bytes write_compact would produce (for volume accounting).
 [[nodiscard]] std::uint64_t compact_size(const TraceData& data);
 

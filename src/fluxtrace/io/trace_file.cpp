@@ -1,8 +1,12 @@
 #include "fluxtrace/io/trace_file.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 
+#include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/report/csv.hpp"
 
 namespace fluxtrace::io {
@@ -70,6 +74,7 @@ TraceData read_trace(std::istream& is) {
     throw TraceIoError("not a fluxtrace file (bad magic)");
   }
   const std::uint32_t version = get_u32(is);
+  if (version == kTraceVersion2) return read_trace_v2_body(is);
   if (version != kTraceVersion) {
     throw TraceIoError("unsupported trace version " + std::to_string(version));
   }
@@ -83,8 +88,12 @@ TraceData read_trace(std::istream& is) {
     throw TraceIoError("corrupt trace header (record count too large)");
   }
 
+  // Grow past this incrementally: a header count is untrusted input, so a
+  // single reserve() of the full claimed size would let a 20-byte corrupt
+  // file allocate gigabytes before the parse loop hits EOF.
+  constexpr std::uint64_t kMaxReserve = 1ull << 16;
   TraceData data;
-  data.markers.reserve(n_markers);
+  data.markers.reserve(std::min(n_markers, kMaxReserve));
   for (std::uint64_t i = 0; i < n_markers; ++i) {
     Marker m;
     m.tsc = get_u64(is);
@@ -97,7 +106,7 @@ TraceData read_trace(std::istream& is) {
     m.kind = static_cast<MarkerKind>(kind);
     data.markers.push_back(m);
   }
-  data.samples.reserve(n_samples);
+  data.samples.reserve(std::min(n_samples, kMaxReserve));
   for (std::uint64_t i = 0; i < n_samples; ++i) {
     PebsSample s;
     s.tsc = get_u64(is);
@@ -111,14 +120,33 @@ TraceData read_trace(std::istream& is) {
 
 void save_trace(const std::string& path, const TraceData& data) {
   std::ofstream os(path, std::ios::binary);
-  if (!os) throw TraceIoError("cannot open for writing: " + path);
-  write_trace(os, data);
+  if (!os) {
+    throw TraceIoError("cannot open for writing: " + path + ": " +
+                       std::strerror(errno));
+  }
+  try {
+    write_trace(os, data);
+  } catch (const TraceIoError& e) {
+    throw TraceIoError(std::string(e.what()) + ": " + path);
+  }
+  os.close();
+  if (!os) {
+    throw TraceIoError("write failed (close): " + path + ": " +
+                       std::strerror(errno));
+  }
 }
 
 TraceData load_trace(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw TraceIoError("cannot open for reading: " + path);
-  return read_trace(is);
+  if (!is) {
+    throw TraceIoError("cannot open for reading: " + path + ": " +
+                       std::strerror(errno));
+  }
+  try {
+    return read_trace(is);
+  } catch (const TraceIoError& e) {
+    throw TraceIoError(std::string(e.what()) + ": " + path);
+  }
 }
 
 void write_markers_csv(std::ostream& os, const std::vector<Marker>& markers) {

@@ -111,8 +111,11 @@ void Cpu::run(const ExecBlock& blk) {
         const Tsc ts = t0 + offset + block_shift_;
         if (pebs_.disarmed_at(ts)) {
           // The helper program is still saving the previous buffer: the
-          // overflow fires but no record is written (§III-E).
+          // overflow fires but no record is written (§III-E). The driver
+          // logs the loss with its timestamp so consumers can attribute
+          // it to a data-item instead of silently under-counting.
           pebs_.note_lost();
+          if (driver_ != nullptr) driver_->note_lost(core_, ts);
           return;
         }
         const double frac =

@@ -1,0 +1,99 @@
+#include "fluxtrace/sim/fault.hpp"
+
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::sim {
+
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  // Distinct streams per decision kind so one knob never perturbs the
+  // others' draw sequence.
+  return seed ^ (0x9e3779b97f4a7c15ull * (stream + 1));
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(FaultPlanConfig cfg)
+    : cfg_(std::move(cfg)),
+      sample_rng_(mix_seed(cfg_.seed, 0)),
+      marker_rng_(mix_seed(cfg_.seed, 1)),
+      drain_rng_(mix_seed(cfg_.seed, 2)),
+      dump_rng_(mix_seed(cfg_.seed, 3)) {}
+
+double FaultPlan::next_unit(std::uint64_t& state) {
+  // splitmix64 (public domain, Vigna): a full-period 64-bit stream from
+  // any seed, good enough for loss decisions and fully deterministic.
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+bool FaultPlan::in_burst(
+    const std::vector<FaultPlanConfig::LossBurst>& bursts, std::uint32_t core,
+    Tsc tsc) {
+  for (const auto& b : bursts) {
+    if ((b.core == FaultPlanConfig::kAllCores || b.core == core) &&
+        tsc >= b.begin && tsc < b.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::lose_sample(const PebsSample& s) {
+  // Always draw so the stream position depends only on record count.
+  const double u = next_unit(sample_rng_);
+  const bool lose =
+      in_burst(cfg_.sample_bursts, s.core, s.tsc) || u < cfg_.sample_loss_rate;
+  if (lose) ++samples_dropped_;
+  return lose;
+}
+
+bool FaultPlan::lose_marker(const Marker& m) {
+  const double u = next_unit(marker_rng_);
+  const bool lose =
+      in_burst(cfg_.marker_bursts, m.core, m.tsc) || u < cfg_.marker_loss_rate;
+  if (lose) ++markers_dropped_;
+  return lose;
+}
+
+double FaultPlan::drain_delay_ns(std::size_t /*drained*/) {
+  double extra = cfg_.extra_drain_ns;
+  const double u = next_unit(drain_rng_);
+  if (u < cfg_.slow_drain_rate) extra += cfg_.slow_drain_ns;
+  if (extra > 0.0) ++drains_delayed_;
+  return extra;
+}
+
+std::size_t FaultPlan::apply_dump_faults(std::string& bytes) {
+  if (cfg_.dump_truncate_at != FaultPlanConfig::kNoTruncation &&
+      bytes.size() > cfg_.dump_truncate_at) {
+    bytes.resize(cfg_.dump_truncate_at);
+  }
+  std::size_t corrupted = 0;
+  if (cfg_.dump_corrupt_rate > 0.0) {
+    for (char& c : bytes) {
+      if (next_unit(dump_rng_) < cfg_.dump_corrupt_rate) {
+        const auto bit = static_cast<int>(next_unit(dump_rng_) * 8.0) & 7;
+        c = static_cast<char>(static_cast<unsigned char>(c) ^ (1u << bit));
+        ++corrupted;
+      }
+    }
+  }
+  return corrupted;
+}
+
+void FaultPlan::attach(Machine& m) {
+  m.marker_log().set_drop_filter(
+      [this](const Marker& mk) { return lose_marker(mk); });
+  m.pebs_driver().set_fault_hook(
+      [this](const PebsSample& s) { return lose_sample(s); });
+  m.pebs_driver().set_delay_hook(
+      [this](std::size_t drained) { return drain_delay_ns(drained); });
+}
+
+} // namespace fluxtrace::sim

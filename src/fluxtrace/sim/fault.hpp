@@ -1,0 +1,113 @@
+// Deterministic fault injection for the capture → persistence pipeline.
+// Production capture is lossy (§III-E: overflows during the drain's
+// disarm window are dropped; marker writes can be skipped under overload;
+// SSD dumps get truncated by crashes). A FaultPlan makes those losses
+// *reproducible*: every decision comes from a seeded PRNG or an explicit
+// schedule, so a test or bench can replay the exact same degraded stream
+// and assert how the consumers cope.
+//
+// Injection points:
+//   * sample loss    — drained PEBS records dropped before they reach
+//                      software (rate and/or scheduled per-core bursts);
+//   * marker loss    — marking-function calls that never land in the log;
+//   * drain delay    — the helper program is slow, stretching the disarm
+//                      window (which loses real overflows on top);
+//   * dump faults    — truncation/corruption applied to serialized trace
+//                      bytes (what a crash mid-dump leaves on the SSD).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/samples.hpp"
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace::sim {
+
+class Machine;
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1; ///< drives every probabilistic decision
+
+  /// Independent per-record loss probabilities in [0, 1].
+  double sample_loss_rate = 0.0;
+  double marker_loss_rate = 0.0;
+
+  /// A scheduled loss window: every record on `core` with
+  /// begin <= tsc < end is lost (core == kAllCores matches any core).
+  struct LossBurst {
+    std::uint32_t core = kAllCores;
+    Tsc begin = 0;
+    Tsc end = 0;
+  };
+  static constexpr std::uint32_t kAllCores = ~0u;
+  std::vector<LossBurst> sample_bursts;
+  std::vector<LossBurst> marker_bursts;
+
+  /// Extra helper-program latency added to every drain's disarm window.
+  double extra_drain_ns = 0.0;
+  /// Probability that a drain is a slow one (stalled SSD queue), paying
+  /// `slow_drain_ns` on top of `extra_drain_ns`.
+  double slow_drain_rate = 0.0;
+  double slow_drain_ns = 0.0;
+
+  /// Dump faults, applied by apply_dump_faults() to serialized bytes.
+  /// kNoTruncation = off; otherwise the byte offset the "crash" cut at.
+  static constexpr std::uint64_t kNoTruncation = ~0ull;
+  std::uint64_t dump_truncate_at = kNoTruncation;
+  /// Per-byte bit-flip probability (torn/bit-rotted sectors).
+  double dump_corrupt_rate = 0.0;
+};
+
+/// Stateful injector. Decisions are deterministic in (seed, call order):
+/// markers, samples and drains draw from three independent PRNG streams,
+/// so e.g. raising the sample rate never changes which markers drop.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig cfg);
+
+  /// True = this drained record is lost before reaching software.
+  [[nodiscard]] bool lose_sample(const PebsSample& s);
+  /// True = this marking-function call never reaches the log.
+  [[nodiscard]] bool lose_marker(const Marker& m);
+  /// Extra disarm-window nanoseconds for one drain of `drained` records.
+  [[nodiscard]] double drain_delay_ns(std::size_t drained);
+
+  /// Truncate and/or bit-flip serialized trace bytes in place (the
+  /// mid-dump crash model). Returns the number of bytes corrupted.
+  std::size_t apply_dump_faults(std::string& bytes);
+
+  /// Install the sample/marker/drain hooks on a machine's MarkerLog and
+  /// PebsDriver. The plan must outlive the machine's run.
+  void attach(Machine& m);
+
+  [[nodiscard]] const FaultPlanConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t samples_dropped() const {
+    return samples_dropped_;
+  }
+  [[nodiscard]] std::uint64_t markers_dropped() const {
+    return markers_dropped_;
+  }
+  [[nodiscard]] std::uint64_t drains_delayed() const {
+    return drains_delayed_;
+  }
+
+ private:
+  static bool in_burst(const std::vector<FaultPlanConfig::LossBurst>& bursts,
+                       std::uint32_t core, Tsc tsc);
+  /// splitmix64 step; returns a double in [0, 1).
+  static double next_unit(std::uint64_t& state);
+
+  FaultPlanConfig cfg_;
+  std::uint64_t sample_rng_;
+  std::uint64_t marker_rng_;
+  std::uint64_t drain_rng_;
+  std::uint64_t dump_rng_;
+  std::uint64_t samples_dropped_ = 0;
+  std::uint64_t markers_dropped_ = 0;
+  std::uint64_t drains_delayed_ = 0;
+};
+
+} // namespace fluxtrace::sim

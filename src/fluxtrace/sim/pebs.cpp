@@ -51,25 +51,37 @@ Tsc PebsDriver::on_buffer_full(PebsUnit& unit, std::uint32_t core, Tsc now) {
     const double ssd_ns = bytes / cfg_.ssd_bandwidth_gbps; // GB/s == bytes/ns
     helper_cycles = spec_.cycles(copy + ssd_ns);
   }
+  // An injected drain delay (slow helper) stretches the disarm window —
+  // losing real overflows on top of whatever the fault hook drops.
+  if (delay_) helper_cycles += spec_.cycles(delay_(drained.size()));
   unit.disarm_until(now + stall + helper_cycles);
 
-  for (PebsSample& s : drained) s.core = core;
-  if (sink_) {
-    for (const PebsSample& s : drained) sink_(s);
-  }
-  collected_.insert(collected_.end(), drained.begin(), drained.end());
+  deliver(std::move(drained), core);
   ++drains_;
   total_stall_ += stall;
   return stall;
 }
 
 void PebsDriver::flush(PebsUnit& unit, std::uint32_t core) {
-  SampleVec drained = unit.drain();
+  deliver(unit.drain(), core);
+}
+
+void PebsDriver::deliver(SampleVec&& drained, std::uint32_t core) {
   for (PebsSample& s : drained) s.core = core;
-  if (sink_) {
-    for (const PebsSample& s : drained) sink_(s);
+  for (const PebsSample& s : drained) {
+    if (fault_ && fault_(s)) {
+      ++injected_losses_;
+      note_lost(core, s.tsc);
+      continue;
+    }
+    if (sink_) sink_(s);
+    collected_.push_back(s);
   }
-  collected_.insert(collected_.end(), drained.begin(), drained.end());
+}
+
+void PebsDriver::note_lost(std::uint32_t core, Tsc tsc) {
+  losses_.push_back(SampleLoss{core, tsc});
+  if (loss_sink_) loss_sink_(losses_.back());
 }
 
 SampleVec PebsDriver::samples_sorted_by_time() const {
@@ -83,6 +95,8 @@ SampleVec PebsDriver::samples_sorted_by_time() const {
 
 void PebsDriver::clear() {
   collected_.clear();
+  losses_.clear();
+  injected_losses_ = 0;
   drains_ = 0;
   total_stall_ = 0;
 }

@@ -151,13 +151,53 @@ class PebsDriver {
   using Sink = std::function<void(const PebsSample&)>;
   void set_sink(Sink sink) { sink_ = std::move(sink); }
 
+  // --- fault injection & loss accounting --------------------------------
+
+  /// Loss filter consulted per drained record; true = the record is lost
+  /// before reaching software (sim::FaultPlan installs its decision
+  /// here). Lost records are logged as SampleLoss events, not collected.
+  using FaultHook = std::function<bool(const PebsSample&)>;
+  void set_fault_hook(FaultHook hook) { fault_ = std::move(hook); }
+
+  /// Extra helper-program nanoseconds added to a drain's disarm window
+  /// (a slow SSD queue); receives the drained record count.
+  using DelayHook = std::function<double(std::size_t drained)>;
+  void set_delay_hook(DelayHook hook) { delay_ = std::move(hook); }
+
+  /// Optional live consumer of loss events (what core::OnlineTracer uses
+  /// for streaming loss accounting).
+  using LossSink = std::function<void(const SampleLoss&)>;
+  void set_loss_sink(LossSink sink) { loss_sink_ = std::move(sink); }
+
+  /// Record a loss at a known time: disarm-window overflows (reported by
+  /// the Cpu alongside PebsUnit::note_lost) and fault-hook drops.
+  void note_lost(std::uint32_t core, Tsc tsc);
+
+  /// Every loss with a known timestamp, in occurrence order.
+  [[nodiscard]] const std::vector<SampleLoss>& losses() const {
+    return losses_;
+  }
+  /// Losses injected by the fault hook (subset of losses()).
+  [[nodiscard]] std::uint64_t injected_losses() const {
+    return injected_losses_;
+  }
+
  private:
   CpuSpec spec_;
   PebsDriverConfig cfg_;
   SampleVec collected_;
   Sink sink_;
+  FaultHook fault_;
+  DelayHook delay_;
+  LossSink loss_sink_;
+  std::vector<SampleLoss> losses_;
+  std::uint64_t injected_losses_ = 0;
   std::uint64_t drains_ = 0;
   Tsc total_stall_ = 0;
+
+  /// Run drained records through the fault hook, tag cores, deliver to
+  /// sink + collection.
+  void deliver(SampleVec&& drained, std::uint32_t core);
 };
 
 } // namespace fluxtrace::sim

@@ -1,0 +1,194 @@
+// FaultPlan: deterministic injected loss across the capture pipeline.
+#include "fluxtrace/sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fluxtrace/apps/query_cache_app.hpp"
+#include "fluxtrace/sim/machine.hpp"
+
+namespace fluxtrace::sim {
+namespace {
+
+PebsSample sample_at(Tsc tsc, std::uint32_t core = 0) {
+  PebsSample s;
+  s.tsc = tsc;
+  s.core = core;
+  return s;
+}
+
+Marker marker_at(Tsc tsc, std::uint32_t core = 0) {
+  return Marker{tsc, 1, core, MarkerKind::Enter};
+}
+
+TEST(FaultPlan, ZeroConfigDropsNothing) {
+  FaultPlan plan{FaultPlanConfig{}};
+  for (Tsc t = 0; t < 1000; ++t) {
+    EXPECT_FALSE(plan.lose_sample(sample_at(t)));
+    EXPECT_FALSE(plan.lose_marker(marker_at(t)));
+    EXPECT_EQ(plan.drain_delay_ns(16), 0.0);
+  }
+  EXPECT_EQ(plan.samples_dropped(), 0u);
+  EXPECT_EQ(plan.markers_dropped(), 0u);
+  EXPECT_EQ(plan.drains_delayed(), 0u);
+}
+
+TEST(FaultPlan, SameSeedSameDecisions) {
+  FaultPlanConfig cfg;
+  cfg.seed = 99;
+  cfg.sample_loss_rate = 0.3;
+  FaultPlan a{cfg}, b{cfg};
+  for (Tsc t = 0; t < 2000; ++t) {
+    EXPECT_EQ(a.lose_sample(sample_at(t)), b.lose_sample(sample_at(t)))
+        << "t=" << t;
+  }
+}
+
+TEST(FaultPlan, LossRateIsApproximatelyHonored) {
+  FaultPlanConfig cfg;
+  cfg.sample_loss_rate = 0.2;
+  cfg.marker_loss_rate = 0.05;
+  FaultPlan plan{cfg};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    (void)plan.lose_sample(sample_at(static_cast<Tsc>(i)));
+    (void)plan.lose_marker(marker_at(static_cast<Tsc>(i)));
+  }
+  EXPECT_NEAR(static_cast<double>(plan.samples_dropped()) / n, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(plan.markers_dropped()) / n, 0.05, 0.01);
+}
+
+TEST(FaultPlan, IndependentStreams) {
+  // Raising the sample rate must not change which markers drop.
+  FaultPlanConfig low;
+  low.marker_loss_rate = 0.1;
+  FaultPlanConfig high = low;
+  high.sample_loss_rate = 0.9;
+  FaultPlan a{low}, b{high};
+  for (Tsc t = 0; t < 2000; ++t) {
+    (void)a.lose_sample(sample_at(t));
+    (void)b.lose_sample(sample_at(t));
+    EXPECT_EQ(a.lose_marker(marker_at(t)), b.lose_marker(marker_at(t)))
+        << "t=" << t;
+  }
+}
+
+TEST(FaultPlan, BurstLosesEverythingInWindowOnTargetCore) {
+  FaultPlanConfig cfg;
+  cfg.sample_bursts.push_back({/*core=*/1, /*begin=*/100, /*end=*/200});
+  FaultPlan plan{cfg};
+  for (Tsc t = 0; t < 300; ++t) {
+    const bool in = t >= 100 && t < 200;
+    EXPECT_EQ(plan.lose_sample(sample_at(t, 1)), in) << "t=" << t;
+    EXPECT_FALSE(plan.lose_sample(sample_at(t, 2))) << "t=" << t;
+  }
+}
+
+TEST(FaultPlan, AllCoresBurstMatchesAnyCore) {
+  FaultPlanConfig cfg;
+  cfg.marker_bursts.push_back(
+      {FaultPlanConfig::kAllCores, /*begin=*/10, /*end=*/20});
+  FaultPlan plan{cfg};
+  EXPECT_TRUE(plan.lose_marker(marker_at(15, 0)));
+  EXPECT_TRUE(plan.lose_marker(marker_at(15, 7)));
+  EXPECT_FALSE(plan.lose_marker(marker_at(25, 7)));
+}
+
+TEST(FaultPlan, DrainDelays) {
+  FaultPlanConfig cfg;
+  cfg.extra_drain_ns = 500.0;
+  FaultPlan plan{cfg};
+  EXPECT_EQ(plan.drain_delay_ns(16), 500.0);
+
+  FaultPlanConfig slow;
+  slow.slow_drain_rate = 1.0;
+  slow.slow_drain_ns = 2000.0;
+  FaultPlan plan2{slow};
+  EXPECT_EQ(plan2.drain_delay_ns(16), 2000.0);
+  EXPECT_EQ(plan2.drains_delayed(), 1u);
+}
+
+TEST(FaultPlan, DumpTruncationAndCorruption) {
+  FaultPlanConfig cfg;
+  cfg.dump_truncate_at = 10;
+  cfg.dump_corrupt_rate = 1.0;
+  FaultPlan plan{cfg};
+  std::string bytes(100, 'a');
+  const std::size_t corrupted = plan.apply_dump_faults(bytes);
+  EXPECT_EQ(bytes.size(), 10u);
+  EXPECT_EQ(corrupted, 10u);
+  for (char c : bytes) EXPECT_NE(c, 'a'); // every byte got a bit flip
+}
+
+struct FaultedRun {
+  SymbolTable symtab;
+  apps::QueryCacheApp app{symtab};
+  Machine machine{symtab};
+  FaultPlan plan;
+
+  explicit FaultedRun(FaultPlanConfig cfg, std::uint32_t buffer_capacity = 512)
+      : plan(cfg) {
+    PebsConfig pc;
+    pc.reset = 8000;
+    pc.buffer_capacity = buffer_capacity;
+    machine.cpu(1).enable_pebs(pc);
+    plan.attach(machine);
+    app.submit(apps::QueryCacheApp::paper_queries());
+    app.attach(machine, /*rx_core=*/0, /*worker_core=*/1);
+    EXPECT_TRUE(machine.run().all_done);
+    machine.flush_samples();
+  }
+};
+
+TEST(FaultPlanMachine, AttachedPlanDropsSamplesAndMarkers) {
+  FaultPlanConfig cfg;
+  cfg.sample_loss_rate = 0.5;
+  cfg.marker_loss_rate = 0.3;
+  FaultedRun faulted(cfg);
+  FaultedRun clean(FaultPlanConfig{});
+
+  EXPECT_GT(faulted.plan.samples_dropped(), 0u);
+  EXPECT_GT(faulted.plan.markers_dropped(), 0u);
+  EXPECT_EQ(faulted.machine.marker_log().dropped(),
+            faulted.plan.markers_dropped());
+  EXPECT_LT(faulted.machine.pebs_driver().samples().size(),
+            clean.machine.pebs_driver().samples().size());
+  EXPECT_LT(faulted.machine.marker_log().markers().size(),
+            clean.machine.marker_log().markers().size());
+
+  // Every injected drop produced a timestamped loss event.
+  EXPECT_EQ(faulted.machine.pebs_driver().injected_losses(),
+            faulted.plan.samples_dropped());
+  EXPECT_GE(faulted.machine.pebs_driver().losses().size(),
+            faulted.plan.samples_dropped());
+}
+
+TEST(FaultPlanMachine, AttachedRunsAreDeterministic) {
+  FaultPlanConfig cfg;
+  cfg.seed = 7;
+  cfg.sample_loss_rate = 0.25;
+  cfg.marker_loss_rate = 0.1;
+  FaultedRun a(cfg), b(cfg);
+  EXPECT_EQ(a.machine.pebs_driver().samples().size(),
+            b.machine.pebs_driver().samples().size());
+  EXPECT_EQ(a.machine.marker_log().markers().size(),
+            b.machine.marker_log().markers().size());
+  EXPECT_EQ(a.plan.samples_dropped(), b.plan.samples_dropped());
+  EXPECT_EQ(a.plan.markers_dropped(), b.plan.markers_dropped());
+}
+
+TEST(FaultPlanMachine, DrainDelayLosesMoreOverflows) {
+  // A slower drain stretches the disarm window, so more real overflows
+  // are lost (§III-E) — visible as extra natural losses in the driver.
+  // A small buffer forces several buffer-full drains on this workload
+  // (the default 512-record buffer swallows the whole run in one flush).
+  FaultPlanConfig slow;
+  slow.extra_drain_ns = 50000.0;
+  FaultedRun delayed(slow, /*buffer_capacity=*/32);
+  FaultedRun clean(FaultPlanConfig{}, /*buffer_capacity=*/32);
+  EXPECT_GT(delayed.plan.drains_delayed(), 0u);
+  EXPECT_GT(delayed.machine.pebs_driver().losses().size(),
+            clean.machine.pebs_driver().losses().size());
+}
+
+} // namespace
+} // namespace fluxtrace::sim

@@ -7,7 +7,10 @@
 #include <cstdio>
 #include <string>
 
+#include <fstream>
+
 #include "fluxtrace/apps/query_cache_app.hpp"
+#include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/io/symbols_file.hpp"
 #include "fluxtrace/io/trace_file.hpp"
 
@@ -147,6 +150,111 @@ TEST_F(ToolsFixture, BadArgumentsExitNonZero) {
   run_capture(tool("flxt_report") + " /nonexistent.trace " + syms_path, &rc);
   EXPECT_NE(rc, 0);
   run_capture(tool("flxt_convert") + " a b --to-nothing", &rc);
+  EXPECT_NE(rc, 0);
+  run_capture(tool("flxt_recover"), &rc);
+  EXPECT_NE(rc, 0);
+}
+
+TEST_F(ToolsFixture, InvalidFlagValuesRejectedWithUsage) {
+  int rc = 0;
+  std::string out =
+      run_capture(tool("flxt_dump") + " " + trace_path + " --head banana", &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+  out = run_capture(tool("flxt_report") + " " + trace_path + " " + syms_path +
+                        " --freq zero",
+                    &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+  out = run_capture(tool("flxt_report") + " " + trace_path + " " + syms_path +
+                        " --freq -1",
+                    &rc);
+  EXPECT_NE(rc, 0);
+}
+
+TEST_F(ToolsFixture, ToolsSurviveGarbageInputFiles) {
+  const std::string garbage = ::testing::TempDir() + "/tools_garbage.bin";
+  {
+    std::ofstream os(garbage, std::ios::binary);
+    os << std::string(512, '\x5a');
+  }
+  int rc = 0;
+  std::string out = run_capture(tool("flxt_dump") + " " + garbage, &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  out = run_capture(tool("flxt_report") + " " + garbage + " " + syms_path, &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  out = run_capture(
+      tool("flxt_convert") + " " + garbage + " /tmp/x.out --to-compact", &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, ReportDegradedModeAddsConfidence) {
+  int rc = -1;
+  const std::string out = run_capture(tool("flxt_report") + " " + trace_path +
+                                          " " + syms_path + " --degraded",
+                                      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("confidence"), std::string::npos) << out;
+  EXPECT_NE(out.find("degraded items"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, RecoverSalvagesATruncatedV2File) {
+  // Write a v2 trace, tear off the tail, and recover it.
+  const io::TraceData full = io::load_trace(trace_path);
+  const std::string v2_path = ::testing::TempDir() + "/tools_smoke_v2.flxt";
+  io::save_trace_v2(v2_path, full, /*records_per_chunk=*/64);
+
+  std::string bytes;
+  {
+    std::ifstream is(v2_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    bytes = std::move(buf).str();
+  }
+  const std::string torn_path = ::testing::TempDir() + "/tools_smoke_torn.flxt";
+  {
+    std::ofstream os(torn_path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() * 2 / 3));
+  }
+
+  // The strict reader refuses the torn file…
+  int rc = 0;
+  std::string out = run_capture(tool("flxt_dump") + " " + torn_path, &rc);
+  EXPECT_NE(rc, 0);
+
+  // …--salvage reads what is intact…
+  out = run_capture(tool("flxt_dump") + " " + torn_path + " --salvage", &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("salvage:"), std::string::npos) << out;
+
+  // …and flxt_recover writes a clean v2 file from it.
+  const std::string rec_path = ::testing::TempDir() + "/tools_smoke_rec.flxt";
+  out = run_capture(
+      tool("flxt_recover") + " " + torn_path + " " + rec_path, &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("recovered"), std::string::npos) << out;
+
+  const io::TraceData rec = io::load_trace(rec_path);
+  EXPECT_FALSE(rec.markers.empty());
+  EXPECT_LE(rec.markers.size(), full.markers.size());
+  // Recovered records are an exact prefix of the original streams.
+  for (std::size_t i = 0; i < rec.markers.size(); ++i) {
+    EXPECT_EQ(rec.markers[i], full.markers[i]);
+  }
+  for (std::size_t i = 0; i < rec.samples.size(); ++i) {
+    EXPECT_EQ(rec.samples[i], full.samples[i]);
+  }
+
+  // A fully destroyed file exits 1.
+  const std::string dead_path = ::testing::TempDir() + "/tools_smoke_dead.flxt";
+  {
+    std::ofstream os(dead_path, std::ios::binary);
+    os << std::string(64, '\x11');
+  }
+  run_capture(tool("flxt_recover") + " " + dead_path, &rc);
   EXPECT_NE(rc, 0);
 }
 

@@ -40,13 +40,9 @@ int main(int argc, char** argv) {
     io::TraceData data;
     if (to_compact) {
       data = io::load_trace(argv[1]);
-      std::ofstream os(argv[2], std::ios::binary);
-      if (!os) throw io::TraceIoError("cannot open output");
-      io::write_compact(os, data);
+      io::save_compact(argv[2], data);
     } else {
-      std::ifstream is(argv[1], std::ios::binary);
-      if (!is) throw io::TraceIoError("cannot open input");
-      data = io::read_compact(is);
+      data = io::load_compact(argv[1]);
       io::save_trace(argv[2], data);
     }
     const std::uint64_t in_sz = file_size(argv[1]);
@@ -59,7 +55,7 @@ int main(int argc, char** argv) {
                            : 0.0);
     std::printf("%zu markers, %zu samples\n", data.markers.size(),
                 data.samples.size());
-  } catch (const io::TraceIoError& e) {
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }

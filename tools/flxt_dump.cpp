@@ -4,11 +4,15 @@
 //   flxt_dump <trace> --head N         show N records of each stream
 //   flxt_dump <trace> --csv markers    full marker stream as CSV
 //   flxt_dump <trace> --csv samples    full sample stream as CSV
+//   flxt_dump <trace> --salvage        best-effort read of a damaged v2
+//                                      file (recovers intact chunks)
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
+#include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/io/trace_file.hpp"
 
 using namespace fluxtrace;
@@ -17,23 +21,40 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <trace-file> [--head N] [--csv markers|samples]\n",
+               "usage: %s <trace-file> [--head N] [--csv markers|samples] "
+               "[--salvage]\n",
                argv0);
   return 2;
 }
 
+bool parse_count(const char* arg, std::size_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
 } // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   if (argc < 2) return usage(argv[0]);
   const char* path = argv[1];
   std::size_t head = 10;
   const char* csv = nullptr;
+  bool salvage = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--head") == 0 && i + 1 < argc) {
-      head = std::strtoull(argv[++i], nullptr, 10);
+      if (!parse_count(argv[++i], head)) {
+        std::fprintf(stderr, "error: --head expects a number, got '%s'\n",
+                     argv[i]);
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv = argv[++i];
+    } else if (std::strcmp(argv[i], "--salvage") == 0) {
+      salvage = true;
     } else {
       return usage(argv[0]);
     }
@@ -41,7 +62,19 @@ int main(int argc, char** argv) {
 
   io::TraceData data;
   try {
-    data = io::load_trace(path);
+    if (salvage) {
+      io::SalvageReport rep = io::salvage_trace_file(path);
+      std::fprintf(stderr,
+                   "salvage: %zu chunks ok, %zu corrupt, %zu resynced, "
+                   "%llu bytes skipped, %llu bytes truncated%s\n",
+                   rep.chunks_ok, rep.chunks_corrupt, rep.chunks_resynced,
+                   static_cast<unsigned long long>(rep.bytes_skipped),
+                   static_cast<unsigned long long>(rep.bytes_truncated),
+                   rep.clean() ? " (file was clean)" : "");
+      data = std::move(rep.data);
+    } else {
+      data = io::load_trace(path);
+    }
   } catch (const io::TraceIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -82,4 +115,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.regs.get(Reg::R13)));
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

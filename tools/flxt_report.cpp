@@ -9,6 +9,10 @@
 //   flxt_report <trace> <symbols> --table-csv  integrated table as CSV
 //   flxt_report <trace> <symbols> --freq GHZ   TSC frequency (default 3.0)
 //   flxt_report <trace> <symbols> --regs       map items via R13 (§V-A)
+//   flxt_report <trace> <symbols> --degraded   salvage orphan samples,
+//                                              synthesize lost markers,
+//                                              flag degraded items
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,14 +35,15 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <trace-file> <symbols-file> [--profile] [--folded] "
-      "[--regs] [--freq GHZ]\n",
+      "[--gantt] [--diagnose] [--table-csv] [--regs] [--degraded] "
+      "[--freq GHZ]\n",
       argv0);
   return 2;
 }
 
 } // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   if (argc < 3) return usage(argv[0]);
   bool profile_mode = false;
   bool folded_mode = false;
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
   bool diagnose_mode = false;
   bool table_csv_mode = false;
   bool regs_mode = false;
+  bool degraded_mode = false;
   CpuSpec spec;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0) {
@@ -60,8 +66,19 @@ int main(int argc, char** argv) {
       table_csv_mode = true;
     } else if (std::strcmp(argv[i], "--regs") == 0) {
       regs_mode = true;
+    } else if (std::strcmp(argv[i], "--degraded") == 0) {
+      degraded_mode = true;
     } else if (std::strcmp(argv[i], "--freq") == 0 && i + 1 < argc) {
-      spec.freq_ghz = std::strtod(argv[++i], nullptr);
+      char* end = nullptr;
+      errno = 0;
+      spec.freq_ghz = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || errno == ERANGE ||
+          spec.freq_ghz <= 0.0) {
+        std::fprintf(stderr, "error: --freq expects a positive GHz value, "
+                             "got '%s'\n",
+                     argv[i]);
+        return usage(argv[0]);
+      }
     } else {
       return usage(argv[0]);
     }
@@ -72,7 +89,7 @@ int main(int argc, char** argv) {
   try {
     data = io::load_trace(argv[1]);
     symtab = io::load_symbols(argv[2]);
-  } catch (const io::TraceIoError& e) {
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
@@ -97,6 +114,7 @@ int main(int argc, char** argv) {
 
   core::IntegratorConfig icfg;
   icfg.use_register_ids = regs_mode;
+  icfg.degraded = degraded_mode;
   core::TraceIntegrator integ(symtab, icfg);
   const core::TraceTable table = integ.integrate(data.markers, data.samples);
 
@@ -127,12 +145,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  report::Table tab({"item", "function", "samples", "elapsed [us]"});
+  report::Table tab({"item", "function", "samples", "elapsed [us]",
+                     "confidence"});
   for (const ItemId item : table.items()) {
+    const core::ItemQuality& q = table.quality(item);
     for (const SymbolId fn : table.functions(item)) {
       tab.row({"#" + std::to_string(item), std::string(symtab.name(fn)),
                report::Table::num(table.sample_count(item, fn)),
-               report::Table::num(spec.us(table.elapsed(item, fn)))});
+               report::Table::num(spec.us(table.elapsed(item, fn))),
+               std::string(core::to_string(q.confidence))});
     }
   }
   tab.print(std::cout);
@@ -140,5 +161,20 @@ int main(int argc, char** argv) {
               "symbol\n",
               static_cast<unsigned long long>(table.unmatched_item()),
               static_cast<unsigned long long>(table.unmatched_symbol()));
+  if (degraded_mode) {
+    std::uint64_t lost = table.unattributed_loss();
+    for (const ItemId item : table.items()) {
+      lost += table.quality(item).samples_lost;
+    }
+    std::printf("%zu degraded items, %llu samples lost, %llu markers "
+                "synthesized, %llu losses unattributed\n",
+                table.degraded_items().size(),
+                static_cast<unsigned long long>(lost),
+                static_cast<unsigned long long>(table.windows_synthesized()),
+                static_cast<unsigned long long>(table.unattributed_loss()));
+  }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }
