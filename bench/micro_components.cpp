@@ -3,11 +3,18 @@
 // integration, detector updates, cache-model accesses.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
 #include "fluxtrace/acl/classifier.hpp"
 #include "fluxtrace/acl/ruleset.hpp"
 #include "fluxtrace/core/detector.hpp"
 #include "fluxtrace/core/integrator.hpp"
 #include "fluxtrace/core/online.hpp"
+#include "fluxtrace/core/parallel_integrator.hpp"
+#include "fluxtrace/io/trace_reader.hpp"
 #include "fluxtrace/db/btree.hpp"
 #include "fluxtrace/db/bufferpool.hpp"
 #include "fluxtrace/rt/sim_channel.hpp"
@@ -92,6 +99,93 @@ void BM_IntegrateSamples(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_IntegrateSamples)->Arg(1000)->Arg(10000);
+
+// End-to-end analysis pipeline: open + decode + integrate a one-million
+// sample, 8-core FLXT v2 trace through the io::TraceReader facade and
+// core::ParallelIntegrator. Built once; the fixture also asserts, once,
+// that the 4-thread pipeline produces bit-identical TraceData and
+// TraceTable to the sequential one — a benchmark of a wrong answer would
+// be worthless.
+struct EndToEndTrace {
+  SymbolTable symtab;
+  std::string v2_bytes;
+  std::int64_t n_samples = 0;
+};
+
+const EndToEndTrace& end_to_end_trace() {
+  static const EndToEndTrace fx = [] {
+    EndToEndTrace f;
+    std::vector<SymbolId> fns;
+    for (int i = 0; i < 8; ++i) {
+      fns.push_back(f.symtab.add("fn" + std::to_string(i), 0x400));
+    }
+    constexpr std::uint32_t kCores = 8;
+    constexpr std::size_t kItemsPerCore = 5000;
+    constexpr std::size_t kSamplesPerItem = 25; // 8 * 5000 * 25 = 1M samples
+    io::TraceData d;
+    ItemId item = 1;
+    for (std::uint32_t core = 0; core < kCores; ++core) {
+      Tsc t = 1000 + core;
+      for (std::size_t k = 0; k < kItemsPerCore; ++k, ++item) {
+        d.markers.push_back(Marker{t, item, core, MarkerKind::Enter});
+        for (std::size_t s = 0; s < kSamplesPerItem; ++s) {
+          PebsSample smp;
+          smp.tsc = t + 10 + static_cast<Tsc>(s) * 30;
+          smp.core = core;
+          smp.ip = f.symtab.ip_at(fns[(k + s) % fns.size()], 0.5);
+          d.samples.push_back(smp);
+        }
+        t += 10 + kSamplesPerItem * 30;
+        d.markers.push_back(Marker{t, item, core, MarkerKind::Leave});
+        t += 50;
+      }
+    }
+    f.n_samples = static_cast<std::int64_t>(d.samples.size());
+    std::ostringstream os;
+    io::write_trace_v2(os, d);
+    f.v2_bytes = std::move(os).str();
+
+    const io::TraceReader r = io::open_trace_bytes(std::string(f.v2_bytes));
+    const io::TraceData seq = r.read();
+    if (!(r.read_parallel(4) == seq)) {
+      std::fprintf(stderr, "FATAL: parallel v2 decode != sequential decode\n");
+      std::abort();
+    }
+    const core::TraceTable table_seq =
+        core::TraceIntegrator(f.symtab).integrate(seq.markers, seq.samples);
+    const core::TraceTable table_par =
+        core::ParallelIntegrator(f.symtab, {}, 4)
+            .integrate(seq.markers, seq.samples);
+    if (!(table_par == table_seq)) {
+      std::fprintf(stderr,
+                   "FATAL: ParallelIntegrator result != sequential result\n");
+      std::abort();
+    }
+    return f;
+  }();
+  return fx;
+}
+
+void BM_TraceReadEndToEnd(benchmark::State& state) {
+  const EndToEndTrace& fx = end_to_end_trace();
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const io::TraceReader reader =
+        io::open_trace_bytes(std::string(fx.v2_bytes));
+    const io::TraceData data = reader.read_parallel(threads);
+    core::ParallelIntegrator integ(fx.symtab, {}, threads);
+    benchmark::DoNotOptimize(integ.integrate(data.markers, data.samples));
+  }
+  state.SetItemsProcessed(state.iterations() * fx.n_samples);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.v2_bytes.size()));
+}
+BENCHMARK(BM_TraceReadEndToEnd)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DetectorObserve(benchmark::State& state) {
   core::FluctuationDetector det;

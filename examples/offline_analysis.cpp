@@ -13,7 +13,7 @@
 
 #include "fluxtrace/apps/query_cache_app.hpp"
 #include "fluxtrace/core/integrator.hpp"
-#include "fluxtrace/io/trace_file.hpp"
+#include "fluxtrace/io/trace_reader.hpp"
 
 using namespace fluxtrace;
 
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
   }
 
   // ---- "analysis host": load and integrate, no live system needed -----
-  const io::TraceData loaded = io::load_trace(path);
+  const io::TraceData loaded = io::open_trace(path).read();
   core::TraceIntegrator integrator(symtab);
   const core::TraceTable trace =
       integrator.integrate(loaded.markers, loaded.samples);

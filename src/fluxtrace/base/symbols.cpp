@@ -12,6 +12,8 @@ SymbolId SymbolTable::add(std::string_view name, std::uint64_t code_bytes) {
   s.lo = next_addr_;
   s.hi = next_addr_ + code_bytes;
   next_addr_ = s.hi;
+  lo_.push_back(s.lo);
+  hi_.push_back(s.hi);
   symbols_.push_back(std::move(s));
   return static_cast<SymbolId>(symbols_.size() - 1);
 }
@@ -26,19 +28,20 @@ SymbolId SymbolTable::add_range(std::string_view name, std::uint64_t lo,
   s.lo = lo;
   s.hi = hi;
   next_addr_ = std::max(next_addr_, hi);
+  lo_.push_back(s.lo);
+  hi_.push_back(s.hi);
   symbols_.push_back(std::move(s));
   return static_cast<SymbolId>(symbols_.size() - 1);
 }
 
 std::optional<SymbolId> SymbolTable::resolve(std::uint64_t ip) const {
-  // Ranges are contiguous and sorted by construction: binary search on lo.
-  auto it = std::upper_bound(
-      symbols_.begin(), symbols_.end(), ip,
-      [](std::uint64_t v, const Symbol& s) { return v < s.lo; });
-  if (it == symbols_.begin()) return std::nullopt;
-  --it;
-  if (ip >= it->lo && ip < it->hi) {
-    return static_cast<SymbolId>(it - symbols_.begin());
+  // Ranges are sorted and disjoint by construction: binary search over the
+  // flat lo_ array (8 bounds per cache line), then confirm against hi_.
+  auto it = std::upper_bound(lo_.begin(), lo_.end(), ip);
+  if (it == lo_.begin()) return std::nullopt;
+  const std::size_t idx = static_cast<std::size_t>(it - lo_.begin()) - 1;
+  if (ip < hi_[idx]) {
+    return static_cast<SymbolId>(idx);
   }
   return std::nullopt;
 }

@@ -132,7 +132,7 @@ TraceTable TraceIntegrator::integrate(std::span<const Marker> markers,
     std::vector<Tsc> prefix_max_leave;
   };
   std::map<std::uint32_t, CoreWindows> win_by_core;
-  std::set<ItemId> known_items;
+  std::set<ItemId> window_items;
 
   std::vector<ItemWindow> windows;
   if (cfg_.degraded) {
@@ -152,8 +152,12 @@ TraceTable TraceIntegrator::integrate(std::span<const Marker> markers,
   for (const ItemWindow& w : windows) {
     table.add_window(w);
     win_by_core[w.core].ws.push_back(w);
-    known_items.insert(w.item);
+    window_items.insert(w.item);
   }
+  // Items a salvaged register id may name: this call's window items, or
+  // the injected global set when integrating one shard of a parallel run.
+  const std::set<ItemId>& known_items =
+      cfg_.salvage_items != nullptr ? *cfg_.salvage_items : window_items;
   for (auto& [core, cw] : win_by_core) {
     std::sort(cw.ws.begin(), cw.ws.end(),
               [](const ItemWindow& a, const ItemWindow& b) {

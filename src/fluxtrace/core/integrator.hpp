@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <span>
 
 #include "fluxtrace/base/markers.hpp"
@@ -34,6 +35,14 @@ struct IntegratorConfig {
   /// when it names a known item. Every affected item carries loss
   /// accounting in the table (never silently clean).
   bool degraded = false;
+
+  /// Degraded-mode orphan salvage trusts a register-carried id only when
+  /// it names an item "the markers saw" — by default, the items of this
+  /// call's own windows. A core-sharded parallel run (ParallelIntegrator)
+  /// injects the *global* item set here so each shard salvages exactly
+  /// like the sequential pass would; the pointee must outlive the
+  /// integrate() call. Leave null for normal use.
+  const std::set<ItemId>* salvage_items = nullptr;
 };
 
 class TraceIntegrator {

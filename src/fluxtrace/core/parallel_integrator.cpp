@@ -1,0 +1,72 @@
+#include "fluxtrace/core/parallel_integrator.hpp"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "fluxtrace/rt/thread_pool.hpp"
+
+namespace fluxtrace::core {
+
+TraceTable ParallelIntegrator::integrate(
+    std::span<const Marker> markers,
+    std::span<const PebsSample> samples) const {
+  return integrate(markers, samples, {});
+}
+
+TraceTable ParallelIntegrator::integrate(
+    std::span<const Marker> markers, std::span<const PebsSample> samples,
+    std::span<const SampleLoss> losses) const {
+  // Shard every stream by core. std::map keeps the shards in ascending
+  // core order — the same order the sequential integrator's per-core map
+  // walks, which is what makes the merged window list identical.
+  struct Shard {
+    std::vector<Marker> markers;
+    SampleVec samples;
+    std::vector<SampleLoss> losses;
+  };
+  std::map<std::uint32_t, Shard> shards;
+  for (const Marker& m : markers) shards[m.core].markers.push_back(m);
+  for (const PebsSample& s : samples) shards[s.core].samples.push_back(s);
+  for (const SampleLoss& l : losses) shards[l.core].losses.push_back(l);
+
+  // The one cross-core coupling: degraded orphan salvage trusts register
+  // ids naming items the markers saw *anywhere*. In degraded mode every
+  // marker's item ends up owning at least one window, so the global
+  // window-item set equals the global marker-item set — precompute it and
+  // inject it into every shard.
+  IntegratorConfig cfg = cfg_;
+  std::set<ItemId> global_items;
+  if (cfg.degraded && !cfg.use_register_ids && cfg.salvage_items == nullptr) {
+    for (const Marker& m : markers) global_items.insert(m.item);
+    cfg.salvage_items = &global_items;
+  }
+
+  unsigned n = n_threads_;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  n = static_cast<unsigned>(
+      std::min<std::size_t>(n, std::max<std::size_t>(1, shards.size())));
+
+  if (n <= 1 || shards.size() <= 1) {
+    // Single shard or single thread: one ordinary sequential pass.
+    return TraceIntegrator(symtab_, cfg).integrate(markers, samples, losses);
+  }
+
+  rt::ThreadPool pool(n);
+  std::vector<std::future<TraceTable>> futs;
+  futs.reserve(shards.size());
+  for (auto& [core, shard] : shards) {
+    const Shard* sh = &shard;
+    futs.push_back(pool.submit([this, cfg, sh] {
+      return TraceIntegrator(symtab_, cfg)
+          .integrate(sh->markers, sh->samples, sh->losses);
+    }));
+  }
+  TraceTable out;
+  for (std::future<TraceTable>& f : futs) out.merge_from(f.get());
+  return out;
+}
+
+} // namespace fluxtrace::core

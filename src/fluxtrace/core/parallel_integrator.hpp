@@ -1,0 +1,45 @@
+// Sharded multi-core trace analysis (ROADMAP: "as fast as the hardware
+// allows"). PEBS capture emits 100+ MB/s per core (§IV-C3), so at scale
+// the offline integration step — not capture — becomes the bottleneck.
+// ParallelIntegrator shards the marker and sample streams by *core*, the
+// natural key: an ItemWindow never spans cores, sample→item lookup only
+// consults same-core windows, and per-core watermarks are core-local.
+// Each shard runs an ordinary TraceIntegrator pass on a work-stealing
+// rt::ThreadPool; the shard TraceTables are then merged in ascending core
+// order, which reproduces the sequential result *exactly* (TraceTable
+// operator==), including degraded-mode ItemQuality accounting. The one
+// cross-core coupling — degraded orphan salvage consulting the set of
+// known items — is handled by precomputing the global item set and
+// injecting it into every shard (IntegratorConfig::salvage_items).
+// docs/parallel_analysis.md spells out the full determinism argument.
+#pragma once
+
+#include <span>
+
+#include "fluxtrace/core/integrator.hpp"
+
+namespace fluxtrace::core {
+
+class ParallelIntegrator {
+ public:
+  /// n_threads == 0 picks the hardware concurrency. Whatever the thread
+  /// count, the result is identical to TraceIntegrator over the same
+  /// input and configuration.
+  explicit ParallelIntegrator(const SymbolTable& symtab,
+                              IntegratorConfig cfg = {},
+                              unsigned n_threads = 0)
+      : symtab_(symtab), cfg_(cfg), n_threads_(n_threads) {}
+
+  [[nodiscard]] TraceTable integrate(std::span<const Marker> markers,
+                                     std::span<const PebsSample> samples) const;
+  [[nodiscard]] TraceTable integrate(std::span<const Marker> markers,
+                                     std::span<const PebsSample> samples,
+                                     std::span<const SampleLoss> losses) const;
+
+ private:
+  const SymbolTable& symtab_;
+  IntegratorConfig cfg_;
+  unsigned n_threads_;
+};
+
+} // namespace fluxtrace::core

@@ -41,6 +41,35 @@ void TraceTable::degrade(ItemId item, Confidence floor) {
   }
 }
 
+void TraceTable::merge_from(TraceTable&& other) {
+  for (auto& [item, inner] : other.buckets_) {
+    auto& mine = buckets_[item];
+    for (auto& [key, stat] : inner) {
+      BucketStat& b = mine[key];
+      b.first = std::min(b.first, stat.first);
+      b.last = std::max(b.last, stat.last);
+      b.samples += stat.samples;
+    }
+  }
+  windows_.insert(windows_.end(), other.windows_.begin(),
+                  other.windows_.end());
+  for (auto& [item, q] : other.quality_) {
+    ItemQuality& mine = quality_[item];
+    mine.samples_lost += q.samples_lost;
+    mine.markers_synthesized += q.markers_synthesized;
+    mine.samples_salvaged += q.samples_salvaged;
+    if (static_cast<std::uint8_t>(mine.confidence) <
+        static_cast<std::uint8_t>(q.confidence)) {
+      mine.confidence = q.confidence;
+    }
+  }
+  total_samples_ += other.total_samples_;
+  unmatched_item_ += other.unmatched_item_;
+  unmatched_symbol_ += other.unmatched_symbol_;
+  unattributed_loss_ += other.unattributed_loss_;
+  windows_synthesized_ += other.windows_synthesized_;
+}
+
 const ItemQuality& TraceTable::quality(ItemId item) const {
   static const ItemQuality kClean{};
   auto it = quality_.find(item);

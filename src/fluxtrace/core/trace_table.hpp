@@ -27,6 +27,7 @@ struct BucketStat {
     if (t > last) last = t;
     ++samples;
   }
+  friend bool operator==(const BucketStat&, const BucketStat&) = default;
   /// Elapsed-time estimate; needs >= 2 samples (paper §V-B1: a function
   /// shorter than the sample interval cannot be estimated from a trace).
   [[nodiscard]] Tsc elapsed() const { return samples >= 2 ? last - first : 0; }
@@ -49,6 +50,7 @@ struct ItemWindow {
 
   [[nodiscard]] Tsc length() const { return leave - enter; }
   [[nodiscard]] bool synthesized() const { return synth != 0; }
+  friend bool operator==(const ItemWindow&, const ItemWindow&) = default;
 };
 
 /// How much an item's estimates can be trusted.
@@ -79,6 +81,7 @@ struct ItemQuality {
   [[nodiscard]] bool clean() const {
     return confidence == Confidence::Clean;
   }
+  friend bool operator==(const ItemQuality&, const ItemQuality&) = default;
 };
 
 /// Integration result plus bookkeeping about what could not be attributed.
@@ -92,6 +95,14 @@ class TraceTable {
   void note_sample_lost(ItemId item);
   void note_sample_salvaged(ItemId item);
   void count_unattributed_loss() { ++unattributed_loss_; }
+
+  /// Fold another table into this one (used by ParallelIntegrator to
+  /// combine per-core shards). Bucket stats are (min, max, count) — a
+  /// commutative merge; counters are summed; per-item confidence takes
+  /// the worst of the two; `other`'s windows are appended in order, so
+  /// merging shards in ascending core order reproduces the sequential
+  /// window order exactly.
+  void merge_from(TraceTable&& other);
 
   // --- queries ---------------------------------------------------------
   /// Estimated elapsed time of `fn` for `item`, summed over the cores the
@@ -142,6 +153,10 @@ class TraceTable {
   [[nodiscard]] std::uint64_t windows_synthesized() const {
     return windows_synthesized_;
   }
+
+  /// Full structural equality — every bucket, window, counter and quality
+  /// record. The parallel/sequential equivalence suite relies on this.
+  friend bool operator==(const TraceTable&, const TraceTable&) = default;
 
  private:
   // Inner key packs (core, fn) so per-core spans never merge across cores

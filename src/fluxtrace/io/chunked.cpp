@@ -1,12 +1,17 @@
 #include "fluxtrace/io/chunked.hpp"
 
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/rt/thread_pool.hpp"
 
 namespace fluxtrace::io {
 
@@ -35,11 +40,11 @@ void app_u64(std::string& b, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) app_u8(b, static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-std::uint8_t peek_u8(const std::string& b, std::size_t at) {
+std::uint8_t peek_u8(std::string_view b, std::size_t at) {
   return static_cast<std::uint8_t>(b[at]);
 }
 
-std::uint32_t peek_u32(const std::string& b, std::size_t at) {
+std::uint32_t peek_u32(std::string_view b, std::size_t at) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(peek_u8(b, at + static_cast<std::size_t>(i)))
@@ -48,7 +53,7 @@ std::uint32_t peek_u32(const std::string& b, std::size_t at) {
   return v;
 }
 
-std::uint64_t peek_u64(const std::string& b, std::size_t at) {
+std::uint64_t peek_u64(std::string_view b, std::size_t at) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(peek_u8(b, at + static_cast<std::size_t>(i)))
@@ -73,7 +78,7 @@ void encode_sample(std::string& b, const PebsSample& s) {
   for (const std::uint64_t r : s.regs.v) app_u64(b, r);
 }
 
-bool decode_markers(const std::string& payload, std::uint32_t n,
+bool decode_markers(std::string_view payload, std::uint32_t n,
                     std::vector<Marker>& out) {
   if (payload.size() != static_cast<std::size_t>(n) * kMarkerBytes) return false;
   std::size_t at = 0;
@@ -91,7 +96,7 @@ bool decode_markers(const std::string& payload, std::uint32_t n,
   return true;
 }
 
-bool decode_samples(const std::string& payload, std::uint32_t n,
+bool decode_samples(std::string_view payload, std::uint32_t n,
                     SampleVec& out) {
   if (payload.size() != static_cast<std::size_t>(n) * kSampleBytes) return false;
   std::size_t at = 0;
@@ -190,8 +195,11 @@ void write_trace_v2(std::ostream& os, const TraceData& data,
 }
 
 SalvageReport salvage_trace(std::istream& is) {
+  return salvage_trace(std::string_view(read_rest(is)));
+}
+
+SalvageReport salvage_trace(std::string_view buf) {
   SalvageReport rep;
-  const std::string buf = read_rest(is);
 
   // File header: 8 bytes of magic + version. A damaged header does not
   // stop salvage — chunks are self-delimiting — but it is reported.
@@ -219,7 +227,7 @@ SalvageReport salvage_trace(std::istream& is) {
       const char magic_bytes[4] = {'C', 'H', 'N', 'K'};
       const std::size_t next = buf.find(magic_bytes, pos + 1, 4);
       ++rep.chunks_resynced;
-      if (next == std::string::npos) {
+      if (next == std::string_view::npos) {
         rep.bytes_truncated += remaining;
         break;
       }
@@ -236,7 +244,7 @@ SalvageReport salvage_trace(std::istream& is) {
       rep.bytes_truncated += remaining; // torn mid-payload
       break;
     }
-    const std::string payload =
+    const std::string_view payload =
         buf.substr(pos + kChunkHeaderBytes, payload_bytes);
     const std::size_t chunk_total = kChunkHeaderBytes + payload_bytes;
     bool ok = payload_crc == crc32(payload.data(), payload.size());
@@ -275,7 +283,11 @@ SalvageReport salvage_trace_file(const std::string& path) {
 }
 
 TraceData read_trace_v2_body(std::istream& is) {
-  SalvageReport rep = salvage_trace(is);
+  return read_trace_v2_body(std::string_view(read_rest(is)));
+}
+
+TraceData read_trace_v2_body(std::string_view body) {
+  SalvageReport rep = salvage_trace(body);
   rep.header_ok = true; // read_trace() already consumed and checked it
   if (!rep.clean()) {
     std::string why = std::to_string(rep.chunks_corrupt) +
@@ -288,6 +300,96 @@ TraceData read_trace_v2_body(std::istream& is) {
         std::to_string(rep.chunks_ok) + " intact chunks");
   }
   return std::move(rep.data);
+}
+
+TraceData read_trace_v2_body_parallel(std::string_view body,
+                                      rt::ThreadPool& pool) {
+  // Index pass: walk the chunk headers sequentially (header CRCs are 13
+  // bytes each — negligible next to payload work) and record where every
+  // payload lives. Any irregularity whatsoever — bad magic, bad header
+  // CRC, truncation, unknown chunk type, missing eof sentinel — drops to
+  // the sequential strict parser so damaged files produce byte-identical
+  // diagnostics either way.
+  struct ChunkRef {
+    std::uint8_t type;
+    std::uint32_t n_records;
+    std::size_t payload_at;
+    std::uint32_t payload_bytes;
+    std::uint32_t payload_crc;
+  };
+  std::vector<ChunkRef> chunks;
+  bool eof_seen = false;
+  bool irregular = false;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t remaining = body.size() - pos;
+    if (remaining < kChunkHeaderBytes) {
+      irregular = true;
+      break;
+    }
+    if (peek_u32(body, pos) != kChunkMagic ||
+        peek_u32(body, pos + 13) != crc32(body.data() + pos, 13)) {
+      irregular = true;
+      break;
+    }
+    const std::uint8_t type = peek_u8(body, pos + 4);
+    const std::uint32_t n_records = peek_u32(body, pos + 5);
+    const std::uint32_t payload_bytes = peek_u32(body, pos + 9);
+    const std::uint32_t payload_crc = peek_u32(body, pos + 17);
+    if (remaining - kChunkHeaderBytes < payload_bytes) {
+      irregular = true; // torn mid-payload
+      break;
+    }
+    if (type == kChunkEof && n_records == 0 && payload_bytes == 0 &&
+        payload_crc == crc32(body.data(), 0)) {
+      eof_seen = true;
+    } else if (type == kChunkMarkers || type == kChunkSamples) {
+      chunks.push_back({type, n_records, pos + kChunkHeaderBytes,
+                        payload_bytes, payload_crc});
+    } else {
+      irregular = true; // unknown type (or malformed eof) is corrupt
+      break;
+    }
+    pos += kChunkHeaderBytes + payload_bytes;
+  }
+  if (irregular || !eof_seen) return read_trace_v2_body(body);
+
+  // Payload pass: CRC + decode of each chunk is independent; results land
+  // in per-chunk slots and are concatenated in chunk order, which is
+  // exactly the order the sequential parser appends them in.
+  struct Part {
+    std::vector<Marker> markers;
+    SampleVec samples;
+  };
+  std::vector<Part> parts(chunks.size());
+  std::atomic<bool> any_bad{false};
+  pool.parallel_for(chunks.size(), [&](std::size_t i) {
+    const ChunkRef& c = chunks[i];
+    const std::string_view payload = body.substr(c.payload_at, c.payload_bytes);
+    bool ok = c.payload_crc == crc32(payload.data(), payload.size());
+    if (ok) {
+      ok = c.type == kChunkMarkers
+               ? decode_markers(payload, c.n_records, parts[i].markers)
+               : decode_samples(payload, c.n_records, parts[i].samples);
+    }
+    if (!ok) any_bad.store(true, std::memory_order_relaxed);
+  });
+  if (any_bad.load()) return read_trace_v2_body(body);
+
+  std::size_t n_markers = 0;
+  std::size_t n_samples = 0;
+  for (const Part& p : parts) {
+    n_markers += p.markers.size();
+    n_samples += p.samples.size();
+  }
+  TraceData out;
+  out.markers.reserve(n_markers);
+  out.samples.reserve(n_samples);
+  for (Part& p : parts) {
+    out.markers.insert(out.markers.end(), p.markers.begin(), p.markers.end());
+    out.samples.insert(out.samples.end(), p.samples.begin(), p.samples.end());
+  }
+  return out;
 }
 
 void save_trace_v2(const std::string& path, const TraceData& data,

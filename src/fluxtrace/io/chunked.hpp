@@ -31,8 +31,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <string_view>
 
 #include "fluxtrace/io/trace_file.hpp"
+
+namespace fluxtrace::rt {
+class ThreadPool;
+}
 
 namespace fluxtrace::io {
 
@@ -79,9 +84,26 @@ struct SalvageReport {
 [[nodiscard]] SalvageReport salvage_trace(std::istream& is);
 [[nodiscard]] SalvageReport salvage_trace_file(const std::string& path);
 
+/// Buffer-based salvage over a whole file image (the stream overload
+/// reads the stream to the end and delegates here). TraceReader uses
+/// this directly on its in-memory file bytes.
+[[nodiscard]] SalvageReport salvage_trace(std::string_view buf);
+
 /// Strict v2 body parser used by read_trace() after the version field;
 /// throws TraceIoError on any damage. Exposed for the io layer, not a
 /// public entry point.
 [[nodiscard]] TraceData read_trace_v2_body(std::istream& is);
+
+/// Buffer-based strict v2 body parse (`body` = the bytes after the
+/// 8-byte magic + version header). io-internal, used by TraceReader.
+[[nodiscard]] TraceData read_trace_v2_body(std::string_view body);
+
+/// Chunk-parallel strict v2 body parse: one sequential index pass over
+/// the chunk headers, then payload CRC checks and record decodes run
+/// concurrently on `pool`, concatenated in chunk order — the result (and
+/// any damage error) is identical to the sequential parse. io-internal,
+/// used by TraceReader::read_parallel.
+[[nodiscard]] TraceData read_trace_v2_body_parallel(std::string_view body,
+                                                    rt::ThreadPool& pool);
 
 } // namespace fluxtrace::io

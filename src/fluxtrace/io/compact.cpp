@@ -8,6 +8,11 @@
 #include <ostream>
 #include <sstream>
 
+// The io layer still implements the deprecated entry points; suppress the
+// self-referential warnings here only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace fluxtrace::io {
 
 namespace {
@@ -186,3 +191,5 @@ std::uint64_t compact_size(const TraceData& data) {
 }
 
 } // namespace fluxtrace::io
+
+#pragma GCC diagnostic pop

@@ -1,6 +1,7 @@
 #include "fluxtrace/io/trace_file.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -8,6 +9,12 @@
 
 #include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/report/csv.hpp"
+#include "fluxtrace/rt/thread_pool.hpp"
+
+// The io layer still implements the deprecated entry points; suppress the
+// self-referential warnings here only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace fluxtrace::io {
 
@@ -44,6 +51,83 @@ std::uint64_t get_u64(std::istream& is) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(get_u8(is)) << (8 * i);
   return v;
+}
+
+// Buffer-based little-endian peeks for the in-memory body parsers.
+std::uint8_t peek_u8(std::string_view b, std::size_t at) {
+  return static_cast<std::uint8_t>(b[at]);
+}
+
+std::uint32_t peek_u32(std::string_view b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(peek_u8(b, at + static_cast<std::size_t>(i)))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t peek_u64(std::string_view b, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(peek_u8(b, at + static_cast<std::size_t>(i)))
+         << (8 * i);
+  }
+  return v;
+}
+
+constexpr std::size_t kV1MarkerBytes = 8 + 8 + 4 + 1;
+constexpr std::size_t kV1SampleBytes = 8 + 8 + 4 + sizeof(RegisterFile{}.v);
+
+// Decodes one v1 marker record at `at`; false on an invalid kind byte.
+bool peek_marker(std::string_view b, std::size_t at, Marker& m) {
+  m.tsc = peek_u64(b, at);
+  m.item = peek_u64(b, at + 8);
+  m.core = peek_u32(b, at + 16);
+  const std::uint8_t kind = peek_u8(b, at + 20);
+  if (kind > static_cast<std::uint8_t>(MarkerKind::Leave)) return false;
+  m.kind = static_cast<MarkerKind>(kind);
+  return true;
+}
+
+void peek_sample(std::string_view b, std::size_t at, PebsSample& s) {
+  s.tsc = peek_u64(b, at);
+  s.ip = peek_u64(b, at + 8);
+  s.core = peek_u32(b, at + 16);
+  std::size_t r_at = at + 20;
+  for (std::uint64_t& r : s.regs.v) {
+    r = peek_u64(b, r_at);
+    r_at += 8;
+  }
+}
+
+// Shared header validation for the v1 body parsers: returns the two
+// record counts after bounding them and checking the body actually holds
+// that many records (same diagnostics as the stream reader).
+struct V1Layout {
+  std::uint64_t n_markers;
+  std::uint64_t n_samples;
+  std::size_t markers_at;
+  std::size_t samples_at;
+};
+
+V1Layout v1_layout(std::string_view body) {
+  if (body.size() < 16) throw TraceIoError("unexpected end of trace file");
+  V1Layout l{};
+  l.n_markers = peek_u64(body, 0);
+  l.n_samples = peek_u64(body, 8);
+  constexpr std::uint64_t kMaxRecords = 1ull << 32;
+  if (l.n_markers > kMaxRecords || l.n_samples > kMaxRecords) {
+    throw TraceIoError("corrupt trace header (record count too large)");
+  }
+  l.markers_at = 16;
+  l.samples_at = 16 + static_cast<std::size_t>(l.n_markers) * kV1MarkerBytes;
+  const std::uint64_t needed = 16 + l.n_markers * kV1MarkerBytes +
+                               l.n_samples * kV1SampleBytes;
+  // Trailing bytes past the counted records are ignored, like the stream
+  // reader (which simply never consumes them).
+  if (body.size() < needed) throw TraceIoError("unexpected end of trace file");
+  return l;
 }
 
 } // namespace
@@ -118,6 +202,73 @@ TraceData read_trace(std::istream& is) {
   return data;
 }
 
+TraceData read_trace_v1_body(std::string_view body) {
+  const V1Layout l = v1_layout(body);
+  TraceData data;
+  // Unlike the stream reader, the layout check above already proved the
+  // buffer holds every counted record, so full-size allocation is safe —
+  // a corrupt header cannot trigger an allocation bomb here.
+  data.markers.reserve(static_cast<std::size_t>(l.n_markers));
+  data.samples.reserve(static_cast<std::size_t>(l.n_samples));
+  for (std::uint64_t i = 0; i < l.n_markers; ++i) {
+    Marker m;
+    if (!peek_marker(body,
+                     l.markers_at + static_cast<std::size_t>(i) * kV1MarkerBytes,
+                     m)) {
+      throw TraceIoError("corrupt marker record (bad kind)");
+    }
+    data.markers.push_back(m);
+  }
+  for (std::uint64_t i = 0; i < l.n_samples; ++i) {
+    PebsSample s;
+    peek_sample(body,
+                l.samples_at + static_cast<std::size_t>(i) * kV1SampleBytes, s);
+    data.samples.push_back(s);
+  }
+  return data;
+}
+
+TraceData read_trace_v1_body_parallel(std::string_view body,
+                                      rt::ThreadPool& pool) {
+  const V1Layout l = v1_layout(body);
+  TraceData data;
+  data.markers.resize(static_cast<std::size_t>(l.n_markers));
+  data.samples.resize(static_cast<std::size_t>(l.n_samples));
+
+  // Fixed-count record blocks; each task fills a disjoint slice of the
+  // pre-sized output vectors, so no synchronization is needed beyond the
+  // shared bad-record flag.
+  constexpr std::size_t kBlockRecords = 1u << 16;
+  const std::size_t m_blocks =
+      (data.markers.size() + kBlockRecords - 1) / kBlockRecords;
+  const std::size_t s_blocks =
+      (data.samples.size() + kBlockRecords - 1) / kBlockRecords;
+  std::atomic<bool> bad_kind{false};
+  pool.parallel_for(m_blocks + s_blocks, [&](std::size_t b) {
+    if (b < m_blocks) {
+      const std::size_t begin = b * kBlockRecords;
+      const std::size_t end =
+          std::min(begin + kBlockRecords, data.markers.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        if (!peek_marker(body, l.markers_at + i * kV1MarkerBytes,
+                         data.markers[i])) {
+          bad_kind.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    } else {
+      const std::size_t begin = (b - m_blocks) * kBlockRecords;
+      const std::size_t end =
+          std::min(begin + kBlockRecords, data.samples.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        peek_sample(body, l.samples_at + i * kV1SampleBytes, data.samples[i]);
+      }
+    }
+  });
+  if (bad_kind.load()) throw TraceIoError("corrupt marker record (bad kind)");
+  return data;
+}
+
 void save_trace(const std::string& path, const TraceData& data) {
   std::ofstream os(path, std::ios::binary);
   if (!os) {
@@ -169,3 +320,5 @@ void write_samples_csv(std::ostream& os, const SampleVec& samples) {
 }
 
 } // namespace fluxtrace::io
+
+#pragma GCC diagnostic pop

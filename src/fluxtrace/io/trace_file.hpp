@@ -15,10 +15,15 @@
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fluxtrace/base/markers.hpp"
 #include "fluxtrace/base/samples.hpp"
+
+namespace fluxtrace::rt {
+class ThreadPool;
+}
 
 namespace fluxtrace::io {
 
@@ -44,11 +49,27 @@ void write_trace(std::ostream& os, const TraceData& data);
 
 /// Parse the binary container. Throws TraceIoError on bad magic, version
 /// mismatch, truncation, or stream failure.
+[[deprecated("open traces via io::open_trace() (io/trace_reader.hpp)")]]
 [[nodiscard]] TraceData read_trace(std::istream& is);
 
 /// File-path conveniences.
 void save_trace(const std::string& path, const TraceData& data);
+[[deprecated("open traces via io::open_trace() (io/trace_reader.hpp)")]]
 [[nodiscard]] TraceData load_trace(const std::string& path);
+
+/// Buffer-based strict v1 body parse (`body` = the bytes after the 8-byte
+/// magic + version header: both record counts, then the two record
+/// streams). Trailing bytes beyond the counted records are ignored, like
+/// the stream reader. io-internal, used by TraceReader.
+[[nodiscard]] TraceData read_trace_v1_body(std::string_view body);
+
+/// Parallel v1 body parse: the counted header makes every record's offset
+/// known up front, so fixed-size record blocks decode concurrently into
+/// disjoint ranges of the output vectors. Result and error behaviour are
+/// identical to read_trace_v1_body(). io-internal, used by
+/// TraceReader::read_parallel.
+[[nodiscard]] TraceData read_trace_v1_body_parallel(std::string_view body,
+                                                    rt::ThreadPool& pool);
 
 /// CSV export: one stream per call, RFC-4180 cells, header row included.
 void write_markers_csv(std::ostream& os, const std::vector<Marker>& markers);

@@ -1,0 +1,157 @@
+#include "fluxtrace/io/trace_reader.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "fluxtrace/io/compact.hpp"
+#include "fluxtrace/rt/thread_pool.hpp"
+
+// The facade is the supported entry point; it is allowed to sit on the
+// deprecated plumbing it replaces.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace fluxtrace::io {
+
+namespace {
+
+std::uint32_t peek_u32(std::string_view b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(b[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+// LEB128 probe for the FLXZ header, which (unlike FLXT's raw u32s) writes
+// its magic and version as varints. Advances `pos` past the value.
+std::optional<std::uint64_t> probe_varint(std::string_view b,
+                                          std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (pos < b.size() && shift < 64) {
+    const auto c = static_cast<std::uint8_t>(b[pos++]);
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+TraceFormat detect(std::string_view bytes) {
+  if (bytes.size() >= 8 && peek_u32(bytes, 0) == kTraceMagic) {
+    const std::uint32_t version = peek_u32(bytes, 4);
+    if (version == kTraceVersion) return TraceFormat::FlxtV1;
+    if (version == kTraceVersion2) return TraceFormat::FlxtV2;
+    return TraceFormat::Unknown;
+  }
+  std::size_t pos = 0;
+  const auto magic = probe_varint(bytes, pos);
+  const auto version = probe_varint(bytes, pos);
+  if (magic == kCompactMagic && version == kCompactVersion) {
+    return TraceFormat::Flxz;
+  }
+  return TraceFormat::Unknown;
+}
+
+} // namespace
+
+TraceReader::TraceReader(std::string bytes, std::string path)
+    : bytes_(std::move(bytes)), path_(std::move(path)),
+      format_(detect(bytes_)) {}
+
+TraceData TraceReader::read() const {
+  try {
+    const std::string_view body = std::string_view(bytes_).substr(
+        std::min<std::size_t>(8, bytes_.size()));
+    switch (format_) {
+      case TraceFormat::FlxtV1: return read_trace_v1_body(body);
+      case TraceFormat::FlxtV2: return read_trace_v2_body(body);
+      case TraceFormat::Flxz: {
+        std::istringstream is(bytes_);
+        return read_compact(is);
+      }
+      case TraceFormat::Unknown: break;
+    }
+    // Unknown format: reproduce the legacy read_trace() diagnostics.
+    if (bytes_.size() >= 8 && peek_u32(bytes_, 0) == kTraceMagic) {
+      throw TraceIoError("unsupported trace version " +
+                         std::to_string(peek_u32(bytes_, 4)));
+    }
+    throw TraceIoError("not a fluxtrace file (bad magic)");
+  } catch (const TraceIoError& e) {
+    if (path_.empty()) throw;
+    throw TraceIoError(std::string(e.what()) + ": " + path_);
+  }
+}
+
+TraceData TraceReader::read_parallel(unsigned n_threads) const {
+  unsigned n = n_threads != 0
+                   ? n_threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  // FLXZ carries decoder state (deltas, per-core runs) through the whole
+  // stream, so it cannot be split; Unknown throws the same error either
+  // way. Both take the sequential path, as does a one-thread request.
+  if (n <= 1 || format_ == TraceFormat::Flxz ||
+      format_ == TraceFormat::Unknown) {
+    return read();
+  }
+  try {
+    const std::string_view body = std::string_view(bytes_).substr(8);
+    rt::ThreadPool pool(n);
+    return format_ == TraceFormat::FlxtV1
+               ? read_trace_v1_body_parallel(body, pool)
+               : read_trace_v2_body_parallel(body, pool);
+  } catch (const TraceIoError& e) {
+    if (path_.empty()) throw;
+    throw TraceIoError(std::string(e.what()) + ": " + path_);
+  }
+}
+
+SalvageReport TraceReader::salvage() const {
+  // v2 recovers chunk by chunk. Unknown bytes get the same scan: they may
+  // be a v2 file whose 8-byte header was destroyed, and the chunk-magic
+  // resync finds the surviving chunks regardless.
+  if (format_ == TraceFormat::FlxtV2 || format_ == TraceFormat::Unknown) {
+    return salvage_trace(std::string_view(bytes_));
+  }
+  // v1 and FLXZ are monolithic streams with no internal checksums: any
+  // damage is unlocatable, so recovery is all-or-nothing.
+  SalvageReport rep;
+  rep.header_ok = true; // the format was recognized
+  try {
+    rep.data = read();
+    rep.eof_ok = true;
+    rep.chunks_ok = 1; // the single monolithic section, read in full
+  } catch (const TraceIoError&) {
+    rep.chunks_corrupt = 1;
+    rep.bytes_truncated = bytes_.size();
+  }
+  return rep;
+}
+
+TraceReader open_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw TraceIoError("cannot open for reading: " + path + ": " +
+                       std::strerror(errno));
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return {std::move(buf).str(), path};
+}
+
+TraceReader open_trace_bytes(std::string bytes) {
+  return {std::move(bytes), std::string{}};
+}
+
+} // namespace fluxtrace::io
+
+#pragma GCC diagnostic pop

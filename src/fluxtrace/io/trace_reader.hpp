@@ -1,0 +1,92 @@
+// The one way in: a format-autodetecting facade over every trace
+// container fluxtrace can persist (FLXT v1 monolithic, FLXT v2 chunked,
+// FLXZ compact). Callers stopped caring which writer produced a file the
+// moment three formats existed — open_trace() probes the leading bytes
+// and hands back a TraceReader that can
+//
+//   * read()            — strict parse, TraceIoError on any damage;
+//   * read_parallel(n)  — same result, decoded on n threads (v1 splits
+//                         into fixed-size record blocks, v2 decodes
+//                         chunks concurrently; FLXZ is a delta-coded
+//                         varint stream with carried state, so it falls
+//                         back to the sequential parse);
+//   * salvage()         — best-effort recovery, never throws on damage
+//                         (v2 recovers per chunk; v1/FLXZ are all-or-
+//                         nothing monolithic streams).
+//
+// The legacy free functions (read_trace / load_trace / read_compact /
+// load_compact) are [[deprecated]] and remain only as io-internal
+// plumbing under this facade.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fluxtrace/io/chunked.hpp"
+#include "fluxtrace/io/trace_file.hpp"
+
+namespace fluxtrace::io {
+
+/// What the leading bytes of the file claim it is.
+enum class TraceFormat : std::uint8_t {
+  Unknown, ///< no recognizable magic — read() throws, salvage() scans
+  FlxtV1,  ///< monolithic v1 container (trace_file.hpp)
+  FlxtV2,  ///< CRC-chunked v2 container (chunked.hpp)
+  Flxz,    ///< compact varint container (compact.hpp); lossy GPRs
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TraceFormat f) {
+  switch (f) {
+    case TraceFormat::Unknown: return "unknown";
+    case TraceFormat::FlxtV1: return "flxt-v1";
+    case TraceFormat::FlxtV2: return "flxt-v2";
+    case TraceFormat::Flxz: return "flxz";
+  }
+  return "?";
+}
+
+/// An opened trace: the file image plus its detected format. Construct
+/// via open_trace() / open_trace_bytes(). The reader owns the bytes, so
+/// it stays valid after the file changes on disk; all methods are const
+/// and safe to call repeatedly.
+class TraceReader {
+ public:
+  [[nodiscard]] TraceFormat format() const { return format_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t size_bytes() const { return bytes_.size(); }
+
+  /// Strict parse of the whole trace. Throws TraceIoError on damage or an
+  /// unrecognized format; errors carry the path when one is known.
+  [[nodiscard]] TraceData read() const;
+
+  /// read() decoded on `n_threads` workers (0 = hardware concurrency).
+  /// Returns exactly what read() returns — the thread count is never
+  /// observable in the result. n_threads <= 1 and FLXZ input run the
+  /// sequential parse.
+  [[nodiscard]] TraceData read_parallel(unsigned n_threads = 0) const;
+
+  /// Best-effort recovery; never throws on damaged content. FLXT v2 (and
+  /// Unknown input, which may be a v2 file with a destroyed header)
+  /// recovers chunk by chunk; the monolithic v1/FLXZ formats parse
+  /// strictly and report either the full trace or nothing.
+  [[nodiscard]] SalvageReport salvage() const;
+
+  // Prefer the open_trace() free functions; this is their plumbing.
+  TraceReader(std::string bytes, std::string path);
+
+ private:
+  std::string bytes_;
+  std::string path_;   // empty when opened from memory
+  TraceFormat format_ = TraceFormat::Unknown;
+};
+
+/// Open a trace file, detect its format. Throws TraceIoError only when
+/// the file cannot be read at all (message carries path and errno);
+/// unrecognized content still opens, as TraceFormat::Unknown.
+[[nodiscard]] TraceReader open_trace(const std::string& path);
+
+/// Same, over an in-memory file image (tests, network transports).
+[[nodiscard]] TraceReader open_trace_bytes(std::string bytes);
+
+} // namespace fluxtrace::io

@@ -1,0 +1,197 @@
+// ParallelIntegrator's whole contract is one sentence: whatever the
+// thread count, the result is structurally identical (TraceTable
+// operator==) to the sequential TraceIntegrator over the same input.
+// The suite checks that across thread counts {1,2,4,8}, on clean and
+// 20%-loss degraded traces, with and without register-carried item ids,
+// including the one genuinely cross-core case: orphan samples on a core
+// that never saw a marker, salvageable only because another core's
+// markers knew the item.
+#include "fluxtrace/core/parallel_integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fluxtrace::core {
+namespace {
+
+struct Trace {
+  std::vector<Marker> markers;
+  SampleVec samples;
+  std::vector<SampleLoss> losses;
+};
+
+// Multi-core trace shaped like the simulator's output: per-core monotone
+// times, overlapping item windows across cores, R13 carrying the item
+// id. `loss_pct` drops that share of samples into the loss stream
+// (capture overflow), which is what degraded mode exists for.
+Trace make_trace(std::size_t n_cores, std::size_t items_per_core,
+                 unsigned loss_pct, std::uint64_t seed) {
+  auto rnd = [state = seed]() mutable {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 17;
+  };
+  Trace t;
+  ItemId next_item = 1;
+  for (std::uint32_t core = 0; core < n_cores; ++core) {
+    Tsc now = 1000 + core * 37;
+    for (std::size_t k = 0; k < items_per_core; ++k) {
+      const ItemId item = next_item++;
+      const Tsc enter = now;
+      const Tsc leave = enter + 4000 + rnd() % 20000;
+      t.markers.push_back(Marker{enter, item, core, MarkerKind::Enter});
+      // Every third item loses its Leave marker: degraded mode has to
+      // synthesize the edge, sequentially and in every shard alike.
+      if (k % 3 != 2) {
+        t.markers.push_back(Marker{leave, item, core, MarkerKind::Leave});
+      }
+      for (Tsc st = enter + 100; st < leave; st += 900 + rnd() % 400) {
+        if (loss_pct != 0 && rnd() % 100 < loss_pct) {
+          t.losses.push_back(SampleLoss{core, st});
+          continue;
+        }
+        PebsSample s;
+        s.tsc = st;
+        s.core = core;
+        s.ip = 0x400000 + rnd() % 0x3000;
+        s.regs.set(kItemIdReg, item);
+        t.samples.push_back(s);
+      }
+      now = leave + 200 + rnd() % 800;
+    }
+  }
+  return t;
+}
+
+SymbolTable three_functions() {
+  SymbolTable symtab;
+  symtab.add("fn_a", 0x1000);
+  symtab.add("fn_b", 0x1000);
+  symtab.add("fn_c", 0x1000);
+  return symtab;
+}
+
+void expect_equivalent_at_all_thread_counts(const Trace& t,
+                                            IntegratorConfig cfg) {
+  const SymbolTable symtab = three_functions();
+  const TraceTable seq =
+      TraceIntegrator(symtab, cfg).integrate(t.markers, t.samples, t.losses);
+  for (const unsigned n : {1u, 2u, 4u, 8u}) {
+    const TraceTable par = ParallelIntegrator(symtab, cfg, n)
+                               .integrate(t.markers, t.samples, t.losses);
+    EXPECT_EQ(par, seq) << "threads=" << n;
+  }
+}
+
+TEST(ParallelIntegrator, MatchesSequentialOnCleanTrace) {
+  expect_equivalent_at_all_thread_counts(make_trace(8, 6, 0, 1), {});
+}
+
+TEST(ParallelIntegrator, MatchesSequentialWithRegisterIds) {
+  IntegratorConfig cfg;
+  cfg.use_register_ids = true;
+  expect_equivalent_at_all_thread_counts(make_trace(8, 6, 0, 2), cfg);
+}
+
+TEST(ParallelIntegrator, MatchesSequentialOnDegradedTrace) {
+  IntegratorConfig cfg;
+  cfg.degraded = true;
+  expect_equivalent_at_all_thread_counts(make_trace(8, 6, 20, 3), cfg);
+}
+
+TEST(ParallelIntegrator, MatchesSequentialDegradedWithRegisterIds) {
+  IntegratorConfig cfg;
+  cfg.degraded = true;
+  cfg.use_register_ids = true;
+  expect_equivalent_at_all_thread_counts(make_trace(8, 6, 20, 4), cfg);
+}
+
+TEST(ParallelIntegrator, MatchesSequentialAcrossSeeds) {
+  IntegratorConfig cfg;
+  cfg.degraded = true;
+  for (const std::uint64_t seed : {7ull, 42ull, 1234ull}) {
+    expect_equivalent_at_all_thread_counts(make_trace(4, 10, 20, seed), cfg);
+  }
+}
+
+TEST(ParallelIntegrator, EmptyInput) {
+  const SymbolTable symtab = three_functions();
+  const TraceTable par = ParallelIntegrator(symtab, {}, 4).integrate({}, {});
+  EXPECT_EQ(par, TraceIntegrator(symtab).integrate({}, {}));
+  EXPECT_EQ(par.total_samples(), 0u);
+}
+
+TEST(ParallelIntegrator, SingleCoreDegeneratesToSequential) {
+  expect_equivalent_at_all_thread_counts(make_trace(1, 12, 0, 5), {});
+}
+
+TEST(ParallelIntegrator, MoreThreadsThanCores) {
+  const Trace t = make_trace(2, 4, 0, 6);
+  const SymbolTable symtab = three_functions();
+  const TraceTable seq =
+      TraceIntegrator(symtab).integrate(t.markers, t.samples);
+  EXPECT_EQ(ParallelIntegrator(symtab, {}, 64).integrate(t.markers, t.samples),
+            seq);
+}
+
+TEST(ParallelIntegrator, CrossCoreOrphanSalvageMatchesSequential) {
+  // The one coupling between shards: core 3 has samples but not a single
+  // marker, and their R13 names an item only core 0's markers know. The
+  // sequential pass salvages them (the item is in its global window set);
+  // a naive per-core shard would see no windows on core 3 and count the
+  // samples as unattributed. ParallelIntegrator must inject the global
+  // item set so both agree.
+  Trace t;
+  t.markers.push_back(Marker{1000, 77, 0, MarkerKind::Enter});
+  t.markers.push_back(Marker{9000, 77, 0, MarkerKind::Leave});
+  for (Tsc st = 2000; st < 8000; st += 500) {
+    PebsSample s;
+    s.tsc = st;
+    s.core = 3; // markerless core
+    s.ip = 0x400100;
+    s.regs.set(kItemIdReg, 77);
+    t.samples.push_back(s);
+  }
+  IntegratorConfig cfg;
+  cfg.degraded = true;
+  const SymbolTable symtab = three_functions();
+  const TraceTable seq =
+      TraceIntegrator(symtab, cfg).integrate(t.markers, t.samples);
+  ASSERT_GT(seq.quality(77).samples_salvaged, 0u)
+      << "test premise: the sequential pass must salvage the orphans";
+  for (const unsigned n : {2u, 4u}) {
+    EXPECT_EQ(ParallelIntegrator(symtab, cfg, n)
+                  .integrate(t.markers, t.samples),
+              seq)
+        << "threads=" << n;
+  }
+}
+
+TEST(ParallelIntegrator, CallerProvidedSalvageItemsAreRespected) {
+  // A caller can already pin salvage_items (e.g. replaying a known item
+  // universe); the parallel run must not overwrite it.
+  Trace t;
+  t.markers.push_back(Marker{1000, 5, 0, MarkerKind::Enter});
+  t.markers.push_back(Marker{4000, 5, 0, MarkerKind::Leave});
+  PebsSample s;
+  s.tsc = 2000;
+  s.core = 1;
+  s.ip = 0x400100;
+  s.regs.set(kItemIdReg, 999); // not a marker item
+  t.samples.push_back(s);
+
+  const std::set<ItemId> pinned{999};
+  IntegratorConfig cfg;
+  cfg.degraded = true;
+  cfg.salvage_items = &pinned;
+  const SymbolTable symtab = three_functions();
+  const TraceTable seq =
+      TraceIntegrator(symtab, cfg).integrate(t.markers, t.samples);
+  const TraceTable par =
+      ParallelIntegrator(symtab, cfg, 4).integrate(t.markers, t.samples);
+  EXPECT_EQ(par, seq);
+  EXPECT_GT(seq.quality(999).samples_salvaged, 0u);
+}
+
+} // namespace
+} // namespace fluxtrace::core

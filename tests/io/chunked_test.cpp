@@ -7,6 +7,11 @@
 
 #include <sstream>
 
+// Deprecation coverage: these tests deliberately exercise the legacy
+// read_trace() dispatch that io::open_trace() replaced.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace fluxtrace::io {
 namespace {
 
@@ -216,3 +221,5 @@ TEST(ChunkedTrace, StrictReadOfDamagedFileThrows) {
 
 } // namespace
 } // namespace fluxtrace::io
+
+#pragma GCC diagnostic pop

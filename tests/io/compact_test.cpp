@@ -7,6 +7,12 @@
 
 #include "fluxtrace/core/integrator.hpp"
 
+// Deprecation coverage: these tests deliberately exercise the legacy
+// read_compact()/load_compact() entry points that io::open_trace()
+// replaced.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace fluxtrace::io {
 namespace {
 
@@ -151,3 +157,5 @@ TEST(CompactTrace, IntegratesIdenticallyToFullFormat) {
 
 } // namespace
 } // namespace fluxtrace::io
+
+#pragma GCC diagnostic pop

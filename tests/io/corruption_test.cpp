@@ -10,6 +10,11 @@
 #include "fluxtrace/io/compact.hpp"
 #include "fluxtrace/io/trace_file.hpp"
 
+// Deprecation coverage: these tests deliberately exercise the legacy
+// read_*()/load_*() entry points that io::open_trace() replaced.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace fluxtrace::io {
 namespace {
 
@@ -164,3 +169,5 @@ TEST(TraceCorruption, CompactSaveLoadRoundTrip) {
 
 } // namespace
 } // namespace fluxtrace::io
+
+#pragma GCC diagnostic pop

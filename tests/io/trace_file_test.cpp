@@ -4,6 +4,11 @@
 
 #include <sstream>
 
+// Deprecation coverage: these tests deliberately exercise the legacy
+// read_trace()/load_trace() entry points that io::open_trace() replaced.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace fluxtrace::io {
 namespace {
 
@@ -143,3 +148,5 @@ TEST(TraceFile, CsvExports) {
 
 } // namespace
 } // namespace fluxtrace::io
+
+#pragma GCC diagnostic pop

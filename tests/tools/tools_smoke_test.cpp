@@ -12,7 +12,7 @@
 #include "fluxtrace/apps/query_cache_app.hpp"
 #include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/io/symbols_file.hpp"
-#include "fluxtrace/io/trace_file.hpp"
+#include "fluxtrace/io/trace_reader.hpp"
 
 #ifndef FLXT_TOOL_DIR
 #error "FLXT_TOOL_DIR must be defined by the build"
@@ -139,8 +139,20 @@ TEST_F(ToolsFixture, ConvertRoundTrip) {
                   " --to-full",
               &rc);
   EXPECT_EQ(rc, 0);
-  const io::TraceData back = io::load_trace(back_path);
+  const io::TraceData back = io::open_trace(back_path).read();
   EXPECT_EQ(back.markers.size(), 20u);
+}
+
+TEST_F(ToolsFixture, ConvertToV2RoundTrip) {
+  int rc = -1;
+  const std::string v2_path = ::testing::TempDir() + "/tools_smoke_conv.flxt2";
+  run_capture(tool("flxt_convert") + " " + trace_path + " " + v2_path +
+                  " --to-v2",
+              &rc);
+  EXPECT_EQ(rc, 0);
+  const io::TraceReader reader = io::open_trace(v2_path);
+  EXPECT_EQ(reader.format(), io::TraceFormat::FlxtV2);
+  EXPECT_EQ(reader.read(), io::open_trace(trace_path).read());
 }
 
 TEST_F(ToolsFixture, BadArgumentsExitNonZero) {
@@ -201,9 +213,27 @@ TEST_F(ToolsFixture, ReportDegradedModeAddsConfidence) {
   EXPECT_NE(out.find("degraded items"), std::string::npos) << out;
 }
 
+TEST_F(ToolsFixture, ReportThreadsFlagMatchesSequentialOutput) {
+  // --threads must never change what the analysis prints.
+  int rc = -1;
+  const std::string seq = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path, &rc);
+  EXPECT_EQ(rc, 0) << seq;
+  const std::string par = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path +
+          " --threads 4",
+      &rc);
+  EXPECT_EQ(rc, 0) << par;
+  EXPECT_EQ(seq, par);
+  const std::string dump = run_capture(
+      tool("flxt_dump") + " " + trace_path + " --threads 4", &rc);
+  EXPECT_EQ(rc, 0) << dump;
+  EXPECT_NE(dump.find("20 markers"), std::string::npos) << dump;
+}
+
 TEST_F(ToolsFixture, RecoverSalvagesATruncatedV2File) {
   // Write a v2 trace, tear off the tail, and recover it.
-  const io::TraceData full = io::load_trace(trace_path);
+  const io::TraceData full = io::open_trace(trace_path).read();
   const std::string v2_path = ::testing::TempDir() + "/tools_smoke_v2.flxt";
   io::save_trace_v2(v2_path, full, /*records_per_chunk=*/64);
 
@@ -237,7 +267,7 @@ TEST_F(ToolsFixture, RecoverSalvagesATruncatedV2File) {
   EXPECT_EQ(rc, 0) << out;
   EXPECT_NE(out.find("recovered"), std::string::npos) << out;
 
-  const io::TraceData rec = io::load_trace(rec_path);
+  const io::TraceData rec = io::open_trace(rec_path).read();
   EXPECT_FALSE(rec.markers.empty());
   EXPECT_LE(rec.markers.size(), full.markers.size());
   // Recovered records are an exact prefix of the original streams.
@@ -256,6 +286,47 @@ TEST_F(ToolsFixture, RecoverSalvagesATruncatedV2File) {
   }
   run_capture(tool("flxt_recover") + " " + dead_path, &rc);
   EXPECT_NE(rc, 0);
+}
+
+TEST_F(ToolsFixture, ConvertSalvageRecoversADamagedV2File) {
+  // A torn v2 file converts end-to-end with --salvage: whatever the
+  // chunk scan recovers comes out as a clean v1 file.
+  const io::TraceData full = io::open_trace(trace_path).read();
+  const std::string v2_path = ::testing::TempDir() + "/tools_smoke_cs.flxt2";
+  io::save_trace_v2(v2_path, full, /*records_per_chunk=*/64);
+  std::string bytes;
+  {
+    std::ifstream is(v2_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    bytes = std::move(buf).str();
+  }
+  const std::string torn_path = ::testing::TempDir() + "/tools_smoke_cs_torn";
+  {
+    std::ofstream os(torn_path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() * 2 / 3));
+  }
+
+  const std::string out_path = ::testing::TempDir() + "/tools_smoke_cs_out";
+  int rc = -1;
+  // Without --salvage the conversion refuses the damaged input…
+  std::string out = run_capture(tool("flxt_convert") + " " + torn_path + " " +
+                                    out_path + " --to-full",
+                                &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  // …with it, the recovered prefix converts cleanly.
+  out = run_capture(tool("flxt_convert") + " " + torn_path + " " + out_path +
+                        " --to-full --salvage",
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("salvage:"), std::string::npos) << out;
+
+  const io::TraceData back = io::open_trace(out_path).read();
+  EXPECT_FALSE(back.markers.empty());
+  for (std::size_t i = 0; i < back.markers.size(); ++i) {
+    EXPECT_EQ(back.markers[i], full.markers[i]);
+  }
 }
 
 } // namespace

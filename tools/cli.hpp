@@ -1,0 +1,155 @@
+// Shared argv parsing for the flxt_* tools. Each tool used to hand-roll
+// the same strcmp/strtoull loop; this keeps the conventions in one place:
+//
+//   * positionals first (validated count), then --flags in any order;
+//   * value flags consume the next argv entry;
+//   * an unknown flag or wrong positional count silently fails parse()
+//     (the tool prints usage and exits 2, as before);
+//   * a malformed value prints "error: --flag expects ..." first, so the
+//     user learns *why* before the usage text.
+//
+// Header-only on purpose: the tools are single-file programs and this is
+// their only shared code.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace fluxtrace::tools {
+
+class Cli {
+ public:
+  /// `usage_text` is the full "usage: ..." line, without trailing newline.
+  Cli(int argc, char** argv, std::string usage_text)
+      : argc_(argc), argv_(argv), usage_(std::move(usage_text)) {}
+
+  /// Boolean switch: presence sets *out to true.
+  void flag(const char* name, bool* out) {
+    flags_.push_back({name, Kind::Bool, out});
+  }
+  /// --name N, unsigned decimal.
+  void flag_count(const char* name, std::size_t* out) {
+    flags_.push_back({name, Kind::Count, out});
+  }
+  void flag_uint(const char* name, unsigned* out) {
+    flags_.push_back({name, Kind::Uint, out});
+  }
+  /// --name GHZ, strictly positive double.
+  void flag_ghz(const char* name, double* out) {
+    flags_.push_back({name, Kind::Ghz, out});
+  }
+  /// --name VALUE, raw string.
+  void flag_str(const char* name, const char** out) {
+    flags_.push_back({name, Kind::Str, out});
+  }
+
+  /// Consume argv. False on any problem; the caller should then
+  /// `return usage();`. Positional args (non-flag leading args) must
+  /// number within [min_pos, max_pos].
+  [[nodiscard]] bool parse(std::size_t min_pos, std::size_t max_pos) {
+    int i = 1;
+    while (i < argc_ && std::strncmp(argv_[i], "--", 2) != 0) {
+      pos_.push_back(argv_[i]);
+      ++i;
+    }
+    if (pos_.size() < min_pos || pos_.size() > max_pos) return false;
+    for (; i < argc_; ++i) {
+      Flag* f = find(argv_[i]);
+      if (f == nullptr) return false;
+      if (f->kind == Kind::Bool) {
+        *static_cast<bool*>(f->out) = true;
+        continue;
+      }
+      if (i + 1 >= argc_) return false;
+      const char* value = argv_[++i];
+      if (!set_value(*f, value)) return false;
+    }
+    return true;
+  }
+
+  /// Print the usage line to stderr; returns the conventional exit code 2.
+  int usage() const {
+    std::fprintf(stderr, "%s\n", usage_.c_str());
+    return 2;
+  }
+
+  [[nodiscard]] std::size_t n_pos() const { return pos_.size(); }
+  [[nodiscard]] const char* pos(std::size_t i) const { return pos_[i]; }
+
+ private:
+  enum class Kind { Bool, Count, Uint, Ghz, Str };
+  struct Flag {
+    const char* name;
+    Kind kind;
+    void* out;
+  };
+
+  Flag* find(const char* arg) {
+    for (Flag& f : flags_) {
+      if (std::strcmp(arg, f.name) == 0) return &f;
+    }
+    return nullptr;
+  }
+
+  static bool parse_ull(const char* arg, unsigned long long& out) {
+    char* end = nullptr;
+    errno = 0;
+    out = std::strtoull(arg, &end, 10);
+    return end != arg && *end == '\0' && errno != ERANGE;
+  }
+
+  bool set_value(Flag& f, const char* value) {
+    switch (f.kind) {
+      case Kind::Bool: return false; // unreachable: handled in parse()
+      case Kind::Count: {
+        unsigned long long v = 0;
+        if (!parse_ull(value, v)) {
+          std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                       f.name, value);
+          return false;
+        }
+        *static_cast<std::size_t*>(f.out) = static_cast<std::size_t>(v);
+        return true;
+      }
+      case Kind::Uint: {
+        unsigned long long v = 0;
+        if (!parse_ull(value, v) || v > 0xffffffffull) {
+          std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                       f.name, value);
+          return false;
+        }
+        *static_cast<unsigned*>(f.out) = static_cast<unsigned>(v);
+        return true;
+      }
+      case Kind::Ghz: {
+        char* end = nullptr;
+        errno = 0;
+        const double v = std::strtod(value, &end);
+        if (end == value || *end != '\0' || errno == ERANGE || v <= 0.0) {
+          std::fprintf(stderr,
+                       "error: %s expects a positive GHz value, got '%s'\n",
+                       f.name, value);
+          return false;
+        }
+        *static_cast<double*>(f.out) = v;
+        return true;
+      }
+      case Kind::Str:
+        *static_cast<const char**>(f.out) = value;
+        return true;
+    }
+    return false;
+  }
+
+  int argc_;
+  char** argv_;
+  std::string usage_;
+  std::vector<Flag> flags_;
+  std::vector<const char*> pos_;
+};
+
+} // namespace fluxtrace::tools

@@ -1,27 +1,27 @@
-// flxt_convert — convert between the full ("FLXT") and compact ("FLXZ")
-// trace containers, printing the size ratio. The compact format keeps
-// everything the analyses read (timestamps, ips, cores, R13) at a
-// fraction of the bytes — the practical answer to §IV-C3's data-volume
-// concern when raw streams must be retained.
+// flxt_convert — convert between the fluxtrace trace containers,
+// printing the size ratio. Input format is autodetected (FLXT v1, FLXT
+// v2 chunked, FLXZ compact); the output format is chosen by flag. The
+// compact format keeps everything the analyses read (timestamps, ips,
+// cores, R13) at a fraction of the bytes — the practical answer to
+// §IV-C3's data-volume concern when raw streams must be retained.
 //
-//   flxt_convert <in> <out> --to-compact
-//   flxt_convert <in> <out> --to-full
+//   flxt_convert <in> <out> --to-compact        any input -> FLXZ
+//   flxt_convert <in> <out> --to-full           any input -> FLXT v1
+//   flxt_convert <in> <out> --to-v2             any input -> FLXT v2
+//   flxt_convert <in> <out> --to-full --salvage damaged input: convert
+//                                               whatever is recoverable
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <string>
 
+#include "cli.hpp"
+#include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/io/compact.hpp"
-#include "fluxtrace/io/trace_file.hpp"
+#include "fluxtrace/io/trace_reader.hpp"
 
 using namespace fluxtrace;
 
 namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s <in> <out> --to-compact|--to-full\n",
-               argv0);
-  return 2;
-}
 
 std::uint64_t file_size(const char* path) {
   std::ifstream f(path, std::ios::binary | std::ios::ate);
@@ -30,25 +30,54 @@ std::uint64_t file_size(const char* path) {
 
 } // namespace
 
-int main(int argc, char** argv) {
-  if (argc != 4) return usage(argv[0]);
-  const bool to_compact = std::strcmp(argv[3], "--to-compact") == 0;
-  const bool to_full = std::strcmp(argv[3], "--to-full") == 0;
-  if (!to_compact && !to_full) return usage(argv[0]);
+int main(int argc, char** argv) try {
+  tools::Cli cli(argc, argv,
+                 std::string("usage: ") + argv[0] +
+                     " <in> <out> --to-compact|--to-full|--to-v2 "
+                     "[--salvage]");
+  bool to_compact = false;
+  bool to_full = false;
+  bool to_v2 = false;
+  bool salvage = false;
+  cli.flag("--to-compact", &to_compact);
+  cli.flag("--to-full", &to_full);
+  cli.flag("--to-v2", &to_v2);
+  cli.flag("--salvage", &salvage);
+  if (!cli.parse(2, 2)) return cli.usage();
+  if (static_cast<int>(to_compact) + static_cast<int>(to_full) +
+          static_cast<int>(to_v2) !=
+      1) {
+    return cli.usage();
+  }
+  const char* in = cli.pos(0);
+  const char* out = cli.pos(1);
 
   try {
+    const io::TraceReader reader = io::open_trace(in);
     io::TraceData data;
-    if (to_compact) {
-      data = io::load_trace(argv[1]);
-      io::save_compact(argv[2], data);
+    if (salvage) {
+      io::SalvageReport rep = reader.salvage();
+      std::printf("salvage: %zu chunks ok, %zu corrupt, %zu resynced, "
+                  "%llu bytes skipped, %llu bytes truncated%s\n",
+                  rep.chunks_ok, rep.chunks_corrupt, rep.chunks_resynced,
+                  static_cast<unsigned long long>(rep.bytes_skipped),
+                  static_cast<unsigned long long>(rep.bytes_truncated),
+                  rep.clean() ? " (file was clean)" : "");
+      data = std::move(rep.data);
     } else {
-      data = io::load_compact(argv[1]);
-      io::save_trace(argv[2], data);
+      data = reader.read();
     }
-    const std::uint64_t in_sz = file_size(argv[1]);
-    const std::uint64_t out_sz = file_size(argv[2]);
-    std::printf("%s (%llu bytes) -> %s (%llu bytes), ratio %.2fx\n", argv[1],
-                static_cast<unsigned long long>(in_sz), argv[2],
+    if (to_compact) {
+      io::save_compact(out, data);
+    } else if (to_v2) {
+      io::save_trace_v2(out, data);
+    } else {
+      io::save_trace(out, data);
+    }
+    const std::uint64_t in_sz = file_size(in);
+    const std::uint64_t out_sz = file_size(out);
+    std::printf("%s (%llu bytes) -> %s (%llu bytes), ratio %.2fx\n", in,
+                static_cast<unsigned long long>(in_sz), out,
                 static_cast<unsigned long long>(out_sz),
                 out_sz > 0 ? static_cast<double>(in_sz) /
                                  static_cast<double>(out_sz)
@@ -60,4 +89,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
 }

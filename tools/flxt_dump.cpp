@@ -1,69 +1,44 @@
-// flxt_dump — inspect a fluxtrace binary trace file.
+// flxt_dump — inspect a fluxtrace binary trace file. Any container the
+// io::TraceReader facade understands (FLXT v1/v2, FLXZ compact) works.
 //
 //   flxt_dump <trace>                  summary + first records
 //   flxt_dump <trace> --head N         show N records of each stream
 //   flxt_dump <trace> --csv markers    full marker stream as CSV
 //   flxt_dump <trace> --csv samples    full sample stream as CSV
-//   flxt_dump <trace> --salvage        best-effort read of a damaged v2
+//   flxt_dump <trace> --salvage        best-effort read of a damaged
 //                                      file (recovers intact chunks)
-#include <cerrno>
+//   flxt_dump <trace> --threads N      decode on N threads (0 = all)
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 
-#include "fluxtrace/io/chunked.hpp"
-#include "fluxtrace/io/trace_file.hpp"
+#include "cli.hpp"
+#include "fluxtrace/io/trace_reader.hpp"
 
 using namespace fluxtrace;
 
-namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <trace-file> [--head N] [--csv markers|samples] "
-               "[--salvage]\n",
-               argv0);
-  return 2;
-}
-
-bool parse_count(const char* arg, std::size_t& out) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(arg, &end, 10);
-  if (end == arg || *end != '\0' || errno == ERANGE) return false;
-  out = static_cast<std::size_t>(v);
-  return true;
-}
-
-} // namespace
-
 int main(int argc, char** argv) try {
-  if (argc < 2) return usage(argv[0]);
-  const char* path = argv[1];
+  tools::Cli cli(argc, argv,
+                 std::string("usage: ") + argv[0] +
+                     " <trace-file> [--head N] [--csv markers|samples] "
+                     "[--salvage] [--threads N]");
   std::size_t head = 10;
   const char* csv = nullptr;
   bool salvage = false;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--head") == 0 && i + 1 < argc) {
-      if (!parse_count(argv[++i], head)) {
-        std::fprintf(stderr, "error: --head expects a number, got '%s'\n",
-                     argv[i]);
-        return usage(argv[0]);
-      }
-    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-      csv = argv[++i];
-    } else if (std::strcmp(argv[i], "--salvage") == 0) {
-      salvage = true;
-    } else {
-      return usage(argv[0]);
-    }
-  }
+  unsigned threads = 1;
+  cli.flag_count("--head", &head);
+  cli.flag_str("--csv", &csv);
+  cli.flag("--salvage", &salvage);
+  cli.flag_uint("--threads", &threads);
+  if (!cli.parse(1, 1)) return cli.usage();
+  const char* path = cli.pos(0);
 
   io::TraceData data;
   try {
+    const io::TraceReader reader = io::open_trace(path);
     if (salvage) {
-      io::SalvageReport rep = io::salvage_trace_file(path);
+      io::SalvageReport rep = reader.salvage();
       std::fprintf(stderr,
                    "salvage: %zu chunks ok, %zu corrupt, %zu resynced, "
                    "%llu bytes skipped, %llu bytes truncated%s\n",
@@ -73,7 +48,7 @@ int main(int argc, char** argv) try {
                    rep.clean() ? " (file was clean)" : "");
       data = std::move(rep.data);
     } else {
-      data = io::load_trace(path);
+      data = reader.read_parallel(threads);
     }
   } catch (const io::TraceIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -86,7 +61,7 @@ int main(int argc, char** argv) try {
     } else if (std::strcmp(csv, "samples") == 0) {
       io::write_samples_csv(std::cout, data.samples);
     } else {
-      return usage(argv[0]);
+      return cli.usage();
     }
     return 0;
   }

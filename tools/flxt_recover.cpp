@@ -1,36 +1,32 @@
-// flxt_recover — salvage a damaged FLXT v2 trace (a crash mid-dump, a
-// bit-rotted sector). Recovers every chunk whose header and payload CRCs
-// check out and rewrites them as a clean v2 file; damage is reported,
-// never silently returned as data.
+// flxt_recover — salvage a damaged trace (a crash mid-dump, a bit-rotted
+// sector). FLXT v2 input recovers every chunk whose header and payload
+// CRCs check out — even when the file header itself is destroyed — and
+// rewrites them as a clean v2 file; damage is reported, never silently
+// returned as data. Monolithic formats (v1, FLXZ) recover all-or-nothing.
 //
 //   flxt_recover <damaged> [<out>]     report only, or also write <out>
 //
 // Exit status: 0 when at least one chunk was recovered, 1 when nothing
 // was recoverable (or on error), 2 on bad usage.
 #include <cstdio>
-#include <cstring>
 #include <iostream>
+#include <string>
 
-#include "fluxtrace/io/chunked.hpp"
+#include "cli.hpp"
+#include "fluxtrace/io/trace_reader.hpp"
 
 using namespace fluxtrace;
 
-namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s <damaged-trace> [<recovered-out>]\n",
-               argv0);
-  return 2;
-}
-
-} // namespace
-
 int main(int argc, char** argv) try {
-  if (argc < 2 || argc > 3) return usage(argv[0]);
+  tools::Cli cli(argc, argv,
+                 std::string("usage: ") + argv[0] +
+                     " <damaged-trace> [<recovered-out>]");
+  if (!cli.parse(1, 2)) return cli.usage();
+  const char* path = cli.pos(0);
 
   io::SalvageReport rep;
   try {
-    rep = io::salvage_trace_file(argv[1]);
+    rep = io::open_trace(path).salvage();
   } catch (const io::TraceIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -38,7 +34,7 @@ int main(int argc, char** argv) try {
 
   std::printf("%s: %s header; %zu chunks ok, %zu corrupt, %zu resynced, "
               "%llu bytes skipped, %llu bytes truncated\n",
-              argv[1], rep.header_ok ? "intact" : "damaged", rep.chunks_ok,
+              path, rep.header_ok ? "intact" : "damaged", rep.chunks_ok,
               rep.chunks_corrupt, rep.chunks_resynced,
               static_cast<unsigned long long>(rep.bytes_skipped),
               static_cast<unsigned long long>(rep.bytes_truncated));
@@ -52,14 +48,14 @@ int main(int argc, char** argv) try {
     return 1;
   }
 
-  if (argc == 3) {
+  if (cli.n_pos() == 2) {
     try {
-      io::save_trace_v2(argv[2], rep.data);
+      io::save_trace_v2(cli.pos(1), rep.data);
     } catch (const io::TraceIoError& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
-    std::printf("wrote %s\n", argv[2]);
+    std::printf("wrote %s\n", cli.pos(1));
   }
   return 0;
 } catch (const std::exception& e) {

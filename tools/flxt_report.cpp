@@ -12,39 +12,31 @@
 //   flxt_report <trace> <symbols> --degraded   salvage orphan samples,
 //                                              synthesize lost markers,
 //                                              flag degraded items
-#include <cerrno>
+//   flxt_report <trace> <symbols> --threads N  decode + integrate on N
+//                                              threads (0 = all cores);
+//                                              the result is identical
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
+#include <string>
 
+#include "cli.hpp"
 #include "fluxtrace/core/diagnosis.hpp"
-#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/parallel_integrator.hpp"
 #include "fluxtrace/core/profile.hpp"
 #include "fluxtrace/io/folded.hpp"
 #include "fluxtrace/report/gantt.hpp"
 #include "fluxtrace/io/symbols_file.hpp"
-#include "fluxtrace/io/trace_file.hpp"
+#include "fluxtrace/io/trace_reader.hpp"
 #include "fluxtrace/report/table.hpp"
 
 using namespace fluxtrace;
 
-namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s <trace-file> <symbols-file> [--profile] [--folded] "
-      "[--gantt] [--diagnose] [--table-csv] [--regs] [--degraded] "
-      "[--freq GHZ]\n",
-      argv0);
-  return 2;
-}
-
-} // namespace
-
 int main(int argc, char** argv) try {
-  if (argc < 3) return usage(argv[0]);
+  tools::Cli cli(argc, argv,
+                 std::string("usage: ") + argv[0] +
+                     " <trace-file> <symbols-file> [--profile] [--folded] "
+                     "[--gantt] [--diagnose] [--table-csv] [--regs] "
+                     "[--degraded] [--freq GHZ] [--threads N]");
   bool profile_mode = false;
   bool folded_mode = false;
   bool gantt_mode = false;
@@ -52,43 +44,24 @@ int main(int argc, char** argv) try {
   bool table_csv_mode = false;
   bool regs_mode = false;
   bool degraded_mode = false;
+  unsigned threads = 1;
   CpuSpec spec;
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--profile") == 0) {
-      profile_mode = true;
-    } else if (std::strcmp(argv[i], "--folded") == 0) {
-      folded_mode = true;
-    } else if (std::strcmp(argv[i], "--gantt") == 0) {
-      gantt_mode = true;
-    } else if (std::strcmp(argv[i], "--diagnose") == 0) {
-      diagnose_mode = true;
-    } else if (std::strcmp(argv[i], "--table-csv") == 0) {
-      table_csv_mode = true;
-    } else if (std::strcmp(argv[i], "--regs") == 0) {
-      regs_mode = true;
-    } else if (std::strcmp(argv[i], "--degraded") == 0) {
-      degraded_mode = true;
-    } else if (std::strcmp(argv[i], "--freq") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      errno = 0;
-      spec.freq_ghz = std::strtod(argv[++i], &end);
-      if (end == argv[i] || *end != '\0' || errno == ERANGE ||
-          spec.freq_ghz <= 0.0) {
-        std::fprintf(stderr, "error: --freq expects a positive GHz value, "
-                             "got '%s'\n",
-                     argv[i]);
-        return usage(argv[0]);
-      }
-    } else {
-      return usage(argv[0]);
-    }
-  }
+  cli.flag("--profile", &profile_mode);
+  cli.flag("--folded", &folded_mode);
+  cli.flag("--gantt", &gantt_mode);
+  cli.flag("--diagnose", &diagnose_mode);
+  cli.flag("--table-csv", &table_csv_mode);
+  cli.flag("--regs", &regs_mode);
+  cli.flag("--degraded", &degraded_mode);
+  cli.flag_ghz("--freq", &spec.freq_ghz);
+  cli.flag_uint("--threads", &threads);
+  if (!cli.parse(2, 2)) return cli.usage();
 
   io::TraceData data;
   SymbolTable symtab;
   try {
-    data = io::load_trace(argv[1]);
-    symtab = io::load_symbols(argv[2]);
+    data = io::open_trace(cli.pos(0)).read_parallel(threads);
+    symtab = io::load_symbols(cli.pos(1));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -115,7 +88,7 @@ int main(int argc, char** argv) try {
   core::IntegratorConfig icfg;
   icfg.use_register_ids = regs_mode;
   icfg.degraded = degraded_mode;
-  core::TraceIntegrator integ(symtab, icfg);
+  const core::ParallelIntegrator integ(symtab, icfg, threads);
   const core::TraceTable table = integ.integrate(data.markers, data.samples);
 
   if (folded_mode) {
