@@ -1,6 +1,11 @@
 // Component micro-benchmarks (google-benchmark): the real-time cost of
 // the library's hot paths — ring operations, trie classification, trace
 // integration, detector updates, cache-model accesses.
+//
+// Besides the console table, every run is teed into BENCH_results.json
+// ({name, iters, ns_per_op, p99_ns}) so CI can diff runs numerically;
+// the heavyweight benchmarks also time each iteration into an
+// obs::Histogram and report its p99.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -15,6 +20,9 @@
 #include "fluxtrace/core/online.hpp"
 #include "fluxtrace/core/parallel_integrator.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
+#include "json_out.hpp"
 #include "fluxtrace/db/btree.hpp"
 #include "fluxtrace/db/bufferpool.hpp"
 #include "fluxtrace/rt/sim_channel.hpp"
@@ -93,10 +101,14 @@ void BM_IntegrateSamples(benchmark::State& state) {
     t += 50;
   }
   core::TraceIntegrator integ(symtab);
+  obs::Histogram lat;
   for (auto _ : state) {
+    const std::uint64_t t0 = obs::steady_now_ns();
     benchmark::DoNotOptimize(integ.integrate(markers, samples));
+    lat.observe(obs::steady_now_ns() - t0);
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["p99_ns"] = lat.snapshot().quantile(0.99);
 }
 BENCHMARK(BM_IntegrateSamples)->Arg(1000)->Arg(10000);
 
@@ -169,14 +181,18 @@ const EndToEndTrace& end_to_end_trace() {
 void BM_TraceReadEndToEnd(benchmark::State& state) {
   const EndToEndTrace& fx = end_to_end_trace();
   const unsigned threads = static_cast<unsigned>(state.range(0));
+  obs::Histogram lat;
   for (auto _ : state) {
+    const std::uint64_t t0 = obs::steady_now_ns();
     const io::TraceReader reader =
         io::open_trace_bytes(std::string(fx.v2_bytes));
     const io::TraceData data = reader.read_parallel(threads);
     core::ParallelIntegrator integ(fx.symtab, {}, threads);
     benchmark::DoNotOptimize(integ.integrate(data.markers, data.samples));
+    lat.observe(obs::steady_now_ns() - t0);
   }
   state.SetItemsProcessed(state.iterations() * fx.n_samples);
+  state.counters["p99_ns"] = lat.snapshot().quantile(0.99);
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(fx.v2_bytes.size()));
 }
@@ -275,6 +291,38 @@ void BM_OnlineTracerPerItem(benchmark::State& state) {
 }
 BENCHMARK(BM_OnlineTracerPerItem);
 
+// Console output plus BENCH_results.json: each finished run is teed to
+// the JSON sink with its cpu ns/op and, when the benchmark measured one,
+// its p99_ns user counter.
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TeeReporter(bench::BenchJson& out) : out_(out) {}
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters = static_cast<double>(run.iterations);
+      const double ns_per_op =
+          iters > 0 ? run.cpu_accumulated_time * 1e9 / iters : 0.0;
+      const auto p99 = run.counters.find("p99_ns");
+      out_.add(run.benchmark_name(), iters, ns_per_op,
+               p99 != run.counters.end() ? p99->second.value : -1.0);
+    }
+  }
+
+ private:
+  bench::BenchJson& out_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchJson json("results");
+  TeeReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json.write();
+  return 0;
+}

@@ -13,6 +13,7 @@
 
 #include "fluxtrace/apps/query_cache_app.hpp"
 #include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/io/symbols_file.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
 
 using namespace fluxtrace;
@@ -38,7 +39,11 @@ int main(int argc, char** argv) {
     data.markers = machine.marker_log().markers();
     data.samples = machine.pebs_driver().samples();
     io::save_trace(path, data);
-    std::printf("recorded %zu markers + %zu samples -> %s\n",
+    // The symbol table travels with the trace so the analysis host (or
+    // the flxt_* tools, e.g. in the CI telemetry smoke job) can resolve
+    // instruction pointers without re-running anything.
+    io::save_symbols(path + ".syms", symtab);
+    std::printf("recorded %zu markers + %zu samples -> %s (+ .syms)\n",
                 data.markers.size(), data.samples.size(), path.c_str());
   }
 
@@ -59,6 +64,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\nqueries 1 and 5 fluctuated; f3 (the recompute path) is\n"
               "responsible — diagnosed entirely from the stored trace.\n");
-  std::remove(path.c_str());
+  if (argc <= 1) {
+    // Default temp files are cleaned up; an explicit path is kept so
+    // scripts (CI) can hand the trace to the flxt_* tools afterwards.
+    std::remove(path.c_str());
+    std::remove((path + ".syms").c_str());
+  }
   return 0;
 }

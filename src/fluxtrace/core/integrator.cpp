@@ -4,9 +4,26 @@
 #include <map>
 #include <set>
 
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
+
 namespace fluxtrace::core {
 
 namespace {
+
+// Self-telemetry (ISSUE 3). ParallelIntegrator runs one TraceIntegrator
+// pass per shard, so counting here (and only here) makes shard sums equal
+// the totals — no double counting at the parallel layer.
+struct IntegratorMetrics {
+  obs::Counter& items = obs::metrics().counter("core.integrate.items");
+  obs::Counter& degraded =
+      obs::metrics().counter("core.integrate.degraded_items");
+
+  static IntegratorMetrics& get() {
+    static IntegratorMetrics m;
+    return m;
+  }
+};
 
 std::map<std::uint32_t, std::vector<Marker>> markers_by_core(
     std::span<const Marker> markers) {
@@ -122,6 +139,7 @@ TraceTable TraceIntegrator::integrate(
 TraceTable TraceIntegrator::integrate(std::span<const Marker> markers,
                                       std::span<const PebsSample> samples,
                                       std::span<const SampleLoss> losses) const {
+  OBS_SPAN("core.integrate");
   TraceTable table;
 
   // Per-core windows sorted by enter time, plus a prefix-max of leave
@@ -238,6 +256,8 @@ TraceTable TraceIntegrator::integrate(std::span<const Marker> markers,
       table.count_unattributed_loss();
     }
   }
+  IntegratorMetrics::get().items.inc(table.items().size());
+  IntegratorMetrics::get().degraded.inc(table.degraded_items().size());
   return table;
 }
 

@@ -3,7 +3,32 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "fluxtrace/obs/metrics.hpp"
+
 namespace fluxtrace::core {
+
+namespace {
+
+// Self-telemetry (ISSUE 3): the streaming tracer's health at a glance —
+// how many items finalized (and how degraded), how big their windows run,
+// and how much the capture side is known to have lost.
+struct OnlineMetrics {
+  obs::Counter& items = obs::metrics().counter("core.online.items");
+  obs::Counter& degraded = obs::metrics().counter("core.online.degraded");
+  obs::Counter& dumps = obs::metrics().counter("core.online.dumps");
+  obs::Counter& lost = obs::metrics().counter("core.online.samples_lost");
+  obs::Histogram& window =
+      obs::metrics().histogram("core.online.window_cycles");
+  obs::Histogram& per_item =
+      obs::metrics().histogram("core.online.samples_per_item");
+
+  static OnlineMetrics& get() {
+    static OnlineMetrics m;
+    return m;
+  }
+};
+
+} // namespace
 
 OnlineTracer::OnlineTracer(const SymbolTable& symtab, OnlineTracerConfig cfg)
     : symtab_(symtab), cfg_(cfg), detector_(cfg.detector) {}
@@ -65,6 +90,7 @@ void OnlineTracer::on_sample(const PebsSample& s) {
 
 void OnlineTracer::on_sample_lost(const SampleLoss& l) {
   ++samples_lost_;
+  OnlineMetrics::get().lost.inc();
   auto cit = cores_.find(l.core);
   if (cit != cores_.end()) {
     for (PendingItem& item : cit->second.items) {
@@ -144,10 +170,16 @@ void OnlineTracer::finalize(PendingItem&& item) {
   if (flagged) {
     ++dumps_;
     bytes_dumped_ += item.raw.size() * kPebsRecordBytes;
+    OnlineMetrics::get().dumps.inc();
     if (dump_) dump_(res, item.raw);
   }
 
   ++completed_;
+  OnlineMetrics& om = OnlineMetrics::get();
+  om.items.inc();
+  if (res.confidence != Confidence::Clean) om.degraded.inc();
+  om.window.observe(res.window);
+  om.per_item.observe(item.raw.size());
   if (cfg_.keep_results > 0) {
     results_.push_back(std::move(res));
     while (results_.size() > cfg_.keep_results) results_.pop_front();

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
 #include "fluxtrace/rt/thread_pool.hpp"
 
 namespace fluxtrace::core {
@@ -19,6 +21,13 @@ TraceTable ParallelIntegrator::integrate(
 TraceTable ParallelIntegrator::integrate(
     std::span<const Marker> markers, std::span<const PebsSample> samples,
     std::span<const SampleLoss> losses) const {
+  // Item/degraded counters live in TraceIntegrator::integrate — the
+  // per-shard passes below sum to the totals, so only the span (and the
+  // run counter) belongs at this layer.
+  OBS_SPAN("core.integrate_parallel");
+  static obs::Counter& runs =
+      obs::metrics().counter("core.integrate.parallel_runs");
+  runs.inc();
   // Shard every stream by core. std::map keeps the shards in ascending
   // core order — the same order the sequential integrator's per-core map
   // walks, which is what makes the merged window list identical.

@@ -11,11 +11,25 @@
 #include <string_view>
 #include <vector>
 
+#include "fluxtrace/obs/metrics.hpp"
 #include "fluxtrace/rt/thread_pool.hpp"
 
 namespace fluxtrace::io {
 
 namespace {
+
+// Self-telemetry (ISSUE 3): parallel decode effectiveness — chunks that
+// actually went wide vs. times we had to drop back to the strict
+// sequential parser.
+struct V2Metrics {
+  obs::Counter& chunks = obs::metrics().counter("io.v2.chunks_decoded");
+  obs::Counter& fallbacks = obs::metrics().counter("io.v2.parallel_fallbacks");
+
+  static V2Metrics& get() {
+    static V2Metrics m;
+    return m;
+  }
+};
 
 constexpr std::size_t kChunkHeaderBytes = 21; // magic+type+count+size+2 CRCs
 constexpr std::uint8_t kChunkMarkers = 0;
@@ -352,7 +366,10 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
     }
     pos += kChunkHeaderBytes + payload_bytes;
   }
-  if (irregular || !eof_seen) return read_trace_v2_body(body);
+  if (irregular || !eof_seen) {
+    V2Metrics::get().fallbacks.inc();
+    return read_trace_v2_body(body);
+  }
 
   // Payload pass: CRC + decode of each chunk is independent; results land
   // in per-chunk slots and are concatenated in chunk order, which is
@@ -374,7 +391,11 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
     }
     if (!ok) any_bad.store(true, std::memory_order_relaxed);
   });
-  if (any_bad.load()) return read_trace_v2_body(body);
+  if (any_bad.load()) {
+    V2Metrics::get().fallbacks.inc();
+    return read_trace_v2_body(body);
+  }
+  V2Metrics::get().chunks.inc(chunks.size());
 
   std::size_t n_markers = 0;
   std::size_t n_samples = 0;

@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "fluxtrace/io/compact.hpp"
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
 #include "fluxtrace/rt/thread_pool.hpp"
 
 // The facade is the supported entry point; it is allowed to sit on the
@@ -61,6 +63,17 @@ TraceFormat detect(std::string_view bytes) {
   return TraceFormat::Unknown;
 }
 
+// Self-telemetry (ISSUE 3): decode throughput and format mix.
+struct IoMetrics {
+  obs::Counter& reads = obs::metrics().counter("io.reads");
+  obs::Counter& bytes = obs::metrics().counter("io.bytes_decoded");
+
+  static IoMetrics& get() {
+    static IoMetrics m;
+    return m;
+  }
+};
+
 } // namespace
 
 TraceReader::TraceReader(std::string bytes, std::string path)
@@ -68,6 +81,9 @@ TraceReader::TraceReader(std::string bytes, std::string path)
       format_(detect(bytes_)) {}
 
 TraceData TraceReader::read() const {
+  OBS_SPAN("io.read");
+  IoMetrics::get().reads.inc();
+  IoMetrics::get().bytes.inc(bytes_.size());
   try {
     const std::string_view body = std::string_view(bytes_).substr(
         std::min<std::size_t>(8, bytes_.size()));
@@ -103,6 +119,9 @@ TraceData TraceReader::read_parallel(unsigned n_threads) const {
       format_ == TraceFormat::Unknown) {
     return read();
   }
+  OBS_SPAN("io.read_parallel");
+  IoMetrics::get().reads.inc();
+  IoMetrics::get().bytes.inc(bytes_.size());
   try {
     const std::string_view body = std::string_view(bytes_).substr(8);
     rt::ThreadPool pool(n);
@@ -116,6 +135,7 @@ TraceData TraceReader::read_parallel(unsigned n_threads) const {
 }
 
 SalvageReport TraceReader::salvage() const {
+  OBS_SPAN("io.salvage");
   // v2 recovers chunk by chunk. Unknown bytes get the same scan: they may
   // be a v2 file whose 8-byte header was destroyed, and the chunk-magic
   // resync finds the surviving chunks regardless.

@@ -1,0 +1,172 @@
+#include "fluxtrace/obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fluxtrace::obs {
+
+namespace {
+
+constexpr int kSteadyPid = 1;
+constexpr int kVirtualPid = 2;
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Chrome "ts" is microseconds. Steady spans carry ns; virtual spans
+/// carry cycles exported as if ns — either way /1000 with ns precision.
+std::string ts_us(std::uint64_t t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", t / 1000,
+                static_cast<unsigned>(t % 1000));
+  return buf;
+}
+
+class EventSink {
+ public:
+  explicit EventSink(std::ostream& os) : os_(os) { os_ << "{\"traceEvents\":["; }
+  void meta(int pid, int tid, const char* what, const std::string& name) {
+    sep();
+    os_ << "{\"ph\":\"M\",\"pid\":" << pid;
+    if (tid >= 0) os_ << ",\"tid\":" << tid;
+    os_ << ",\"name\":\"" << what << "\",\"args\":{\"name\":\"" << name
+        << "\"}}";
+  }
+  void begin(int pid, std::uint32_t tid, std::uint64_t ts, const char* name) {
+    sep();
+    os_ << "{\"ph\":\"B\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"ts\":" << ts_us(ts) << ",\"name\":\"" << json_escape(name)
+        << "\"}";
+  }
+  void end(int pid, std::uint32_t tid, std::uint64_t ts, const char* name) {
+    sep();
+    os_ << "{\"ph\":\"E\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"ts\":" << ts_us(ts) << ",\"name\":\"" << json_escape(name)
+        << "\"}";
+  }
+  void close() { os_ << "],\"displayTimeUnit\":\"ms\"}\n"; }
+
+ private:
+  void sep() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+  }
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+} // namespace
+
+void write_chrome_trace(std::ostream& os, std::vector<SpanEvent> spans) {
+  // Group by (clock, track): each group becomes one pid/tid timeline.
+  std::map<std::pair<int, std::uint32_t>, std::vector<SpanEvent>> tracks;
+  for (SpanEvent& s : spans) {
+    const int pid = s.clock == SpanClock::Steady ? kSteadyPid : kVirtualPid;
+    tracks[{pid, s.track}].push_back(s);
+  }
+
+  EventSink sink(os);
+  bool steady_seen = false;
+  bool virtual_seen = false;
+  for (const auto& [key, _] : tracks) {
+    (key.first == kSteadyPid ? steady_seen : virtual_seen) = true;
+  }
+  if (steady_seen) sink.meta(kSteadyPid, -1, "process_name", "fluxtrace");
+  if (virtual_seen) {
+    sink.meta(kVirtualPid, -1, "process_name", "fluxtrace sim (virtual tsc)");
+  }
+  for (const auto& [key, _] : tracks) {
+    const char* kind = key.first == kSteadyPid ? "thread " : "core ";
+    sink.meta(key.first, static_cast<int>(key.second), "thread_name",
+              kind + std::to_string(key.second));
+  }
+
+  for (auto& [key, evs] : tracks) {
+    const auto [pid, tid] = key;
+    // Outermost-first order: begin ascending, longer span first on ties.
+    // RAII guarantees spans on one track nest or are disjoint, so a
+    // simple sweep with a stack emits a correctly paired, ts-monotone
+    // B/E stream.
+    std::sort(evs.begin(), evs.end(),
+              [](const SpanEvent& a, const SpanEvent& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.end > b.end;
+              });
+    std::vector<const SpanEvent*> stack;
+    for (const SpanEvent& s : evs) {
+      while (!stack.empty() && stack.back()->end <= s.begin) {
+        sink.end(pid, tid, stack.back()->end, stack.back()->name);
+        stack.pop_back();
+      }
+      sink.begin(pid, tid, s.begin, s.name);
+      stack.push_back(&s);
+    }
+    while (!stack.empty()) {
+      sink.end(pid, tid, stack.back()->end, stack.back()->name);
+      stack.pop_back();
+    }
+  }
+  sink.close();
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = "fluxtrace_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+} // namespace
+
+void write_prometheus(std::ostream& os, const Registry::Snapshot& snap) {
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " summary\n";
+    os << n << "{quantile=\"0.5\"} " << prom_num(h.quantile(0.5)) << "\n";
+    os << n << "{quantile=\"0.95\"} " << prom_num(h.quantile(0.95)) << "\n";
+    os << n << "{quantile=\"0.99\"} " << prom_num(h.quantile(0.99)) << "\n";
+    os << n << "_sum " << h.sum << "\n";
+    os << n << "_count " << h.count << "\n";
+  }
+}
+
+} // namespace fluxtrace::obs

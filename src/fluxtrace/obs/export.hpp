@@ -1,0 +1,34 @@
+// Self-telemetry, part 3: exporters.
+//
+//   * write_chrome_trace() — Chrome trace-event JSON (the "JSON Array
+//     Format" every Perfetto / chrome://tracing build loads): paired
+//     "B"/"E" duration events per track, with process/thread metadata.
+//     Steady-clock spans appear under pid 1 ("fluxtrace"), one tid per
+//     thread, ts in microseconds. Virtual-TSC spans appear under pid 2
+//     ("fluxtrace sim (virtual tsc)"), one tid per simulated core, with
+//     cycles exported as if nanoseconds (ts = cycles/1000) — a separate
+//     process so the two time axes are never misread as one.
+//   * write_prometheus() — plain-text exposition of a registry snapshot:
+//     counters and gauges verbatim, histograms as summaries with
+//     quantile="0.5|0.95|0.99" plus _sum/_count. Metric names are
+//     prefixed "fluxtrace_" and sanitized to [a-zA-Z0-9_:].
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
+
+namespace fluxtrace::obs {
+
+/// Write `spans` (any order; sorted per track internally) as Chrome
+/// trace-event JSON. Every "B" gets a matching "E" with the same name on
+/// the same pid/tid, properly nested — the validity test parses the
+/// output back and asserts exactly that.
+void write_chrome_trace(std::ostream& os, std::vector<SpanEvent> spans);
+
+/// Prometheus text exposition of a metrics snapshot.
+void write_prometheus(std::ostream& os, const Registry::Snapshot& snap);
+
+} // namespace fluxtrace::obs

@@ -1,0 +1,127 @@
+#include "fluxtrace/obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace fluxtrace::obs {
+
+namespace detail {
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+} // namespace detail
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  double target = q * static_cast<double>(count);
+  if (target < 1.0) target = 1.0;
+  if (target > static_cast<double>(count)) target = static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    const std::uint64_t n = buckets[i];
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) >= target) {
+      const std::uint64_t lo = hist_bucket_lo(i);
+      const std::uint64_t hi = hist_bucket_hi(i);
+      const double width = static_cast<double>(hi - lo) + 1.0;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(n);
+      double v = static_cast<double>(lo) + frac * width;
+      if (v < static_cast<double>(min)) v = static_cast<double>(min);
+      if (v > static_cast<double>(max)) v = static_cast<double>(max);
+      return v;
+    }
+    cum += n;
+  }
+  return static_cast<double>(max); // unreachable when counts are consistent
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  std::uint64_t mn = ~std::uint64_t{0};
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const std::uint64_t smin = s.min.load(std::memory_order_relaxed);
+    if (smin < mn) mn = smin;
+    const std::uint64_t smax = s.max.load(std::memory_order_relaxed);
+    if (smax > out.max) out.max = smax;
+  }
+  for (const std::uint64_t n : out.buckets) out.count += n;
+  out.min = out.count == 0 ? 0 : mn;
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry; // leaked: handles must outlive atexit
+  return *r;
+}
+
+void Registry::claim(std::string_view name, Kind kind) {
+  const auto it = kinds_.find(name);
+  if (it == kinds_.end()) {
+    kinds_.emplace(std::string(name), kind);
+  } else if (it->second != kind) {
+    throw std::logic_error("obs metric '" + std::string(name) +
+                           "' registered twice with different kinds");
+  }
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  claim(name, Kind::Counter);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  claim(name, Kind::Gauge);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  claim(name, Kind::Histogram);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+} // namespace fluxtrace::obs

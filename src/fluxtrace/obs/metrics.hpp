@@ -1,0 +1,234 @@
+// Self-telemetry, part 1: the metrics registry. The tracer diagnoses
+// other programs' fluctuations; this subsystem lets it diagnose its own
+// (ISSUE 3) with the same always-on, low-overhead discipline the paper
+// demands of production tracing:
+//
+//   * Counter / Gauge / Histogram are thread-sharded: every mutation is
+//     one relaxed atomic RMW on a cache-line-private slot, so hot paths
+//     (thread-pool tasks, chunk decodes, PEBS drains) never contend.
+//   * Handles are plain references into the registry, valid forever (the
+//     registry is a leaky singleton); instrumented code looks a metric up
+//     once and keeps the reference.
+//   * snapshot() sums the shards — values are eventually consistent
+//     across threads, exact once the writers are quiescent.
+//   * Histograms are log-bucketed (one bucket per power of two) and
+//     derive p50/p95/p99 from the bucket counts; exact min/max/sum ride
+//     along so all-equal distributions report exact quantiles.
+//
+// Defining FLUXTRACE_OBS_NOOP compiles every mutation out entirely; the
+// default build keeps metrics always-on (they are cheap) and gates only
+// the clock-reading span layer (span.hpp) behind obs::enabled().
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fluxtrace::obs {
+
+/// Runtime switch for the *timed* telemetry paths (spans, task latency
+/// timing). Off by default: the disabled configuration must cost <2% on
+/// the end-to-end read benchmark.
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Shard count per metric. Threads hash onto shards; 16 slots keeps the
+/// worst case (more threads than shards) at 2-3 writers per line while
+/// bounding per-metric memory.
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+
+inline constexpr std::size_t kLineBytes = 64;
+
+/// Stable per-thread shard slot, assigned round-robin at first use.
+[[nodiscard]] std::size_t shard_index();
+
+struct alignas(kLineBytes) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+struct alignas(kLineBytes) PaddedI64 {
+  std::atomic<std::int64_t> v{0};
+};
+
+} // namespace detail
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+#ifndef FLUXTRACE_OBS_NOOP
+    shards_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedU64, kMetricShards> shards_;
+};
+
+/// Signed level tracked as a sum of sharded deltas (queue depths, open
+/// resources): add() on one thread and sub() on another still sum to the
+/// true level.
+class Gauge {
+ public:
+  void add(std::int64_t d) {
+#ifndef FLUXTRACE_OBS_NOOP
+    shards_[detail::shard_index()].v.fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
+#endif
+  }
+  void sub(std::int64_t d) { add(-d); }
+  [[nodiscard]] std::int64_t value() const {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedI64, kMetricShards> shards_;
+};
+
+/// Bucket count for the log-bucketed histogram: bucket 0 holds the value
+/// 0; bucket k (1..64) holds [2^(k-1), 2^k - 1].
+inline constexpr std::size_t kHistBuckets = 65;
+
+[[nodiscard]] constexpr std::size_t hist_bucket(std::uint64_t v) {
+  return v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v));
+}
+[[nodiscard]] constexpr std::uint64_t hist_bucket_lo(std::size_t i) {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+[[nodiscard]] constexpr std::uint64_t hist_bucket_hi(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << i) - 1;
+}
+
+/// Point-in-time view of a histogram, with the quantile math. The
+/// quantile definition (tested exactly in tests/obs/metrics_test.cpp):
+/// q <= 0 returns the minimum; otherwise
+/// target rank t = q*count (clamped to [1, count]); find the first
+/// bucket whose cumulative count reaches t; interpolate linearly inside
+/// it as lo + (t - cum_before)/n_bucket * (hi - lo + 1); clamp the
+/// result into [min, max] so degenerate distributions are exact.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0; ///< 0 when empty
+  std::uint64_t max = 0;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Log-bucketed latency/size histogram with sharded buckets.
+class Histogram {
+ public:
+  void observe(std::uint64_t v) {
+#ifndef FLUXTRACE_OBS_NOOP
+    Shard& s = shards_[detail::shard_index()];
+    s.buckets[hist_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    update_min(s.min, v);
+    update_max(s.max, v);
+#else
+    (void)v;
+#endif
+  }
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  struct alignas(detail::kLineBytes) Shard {
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max{0};
+  };
+
+  static void update_min(std::atomic<std::uint64_t>& m, std::uint64_t v) {
+    std::uint64_t cur = m.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void update_max(std::atomic<std::uint64_t>& m, std::uint64_t v) {
+    std::uint64_t cur = m.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Named metric families. Lookup takes a mutex — instrumented code is
+/// expected to resolve its handles once (a function-local static, a
+/// member set in a constructor) and mutate through the references, which
+/// never invalidate. Names are dotted ("rt.pool.tasks_executed"); each
+/// name owns exactly one kind — asking for an existing name as a
+/// different kind throws std::logic_error (a wiring bug, not input).
+class Registry {
+ public:
+  Registry() = default; ///< tests may build private registries
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every subsystem reports into. Never
+  /// destroyed, so handles stay valid during static teardown.
+  static Registry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  };
+  /// Name-sorted sums of every shard; exact once writers are quiescent.
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+  void claim(std::string_view name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind, std::less<>> kinds_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthand for Registry::global().
+[[nodiscard]] inline Registry& metrics() { return Registry::global(); }
+
+} // namespace fluxtrace::obs

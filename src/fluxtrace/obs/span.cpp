@@ -1,0 +1,91 @@
+#include "fluxtrace/obs/span.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "fluxtrace/rt/spsc_ring.hpp"
+
+namespace fluxtrace::obs {
+
+std::uint64_t steady_now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+struct SpanLog::ThreadBuffer {
+  ThreadBuffer(std::size_t capacity, std::uint32_t track_id)
+      : ring(capacity), track(track_id) {}
+  rt::SpscRing<SpanEvent> ring;
+  std::uint32_t track;
+};
+
+struct SpanLog::Impl {
+  std::mutex mu; ///< guards the buffer list and drain
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<std::uint32_t> next_track{0};
+  std::atomic<std::size_t> capacity{8192};
+  Counter& drops = Registry::global().counter("obs.spans_dropped");
+};
+
+SpanLog::SpanLog() : impl_(new Impl) {}
+
+SpanLog& SpanLog::global() {
+  static SpanLog* log = new SpanLog; // leaked: spans may record at exit
+  return *log;
+}
+
+SpanLog::ThreadBuffer& SpanLog::local() {
+  thread_local std::shared_ptr<ThreadBuffer> tl = [this] {
+    auto buf = std::make_shared<ThreadBuffer>(
+        impl_->capacity.load(std::memory_order_relaxed),
+        impl_->next_track.fetch_add(1, std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->buffers.push_back(buf);
+    return buf;
+  }();
+  return *tl;
+}
+
+void SpanLog::record(const char* name, std::uint64_t begin_ns,
+                     std::uint64_t end_ns) {
+  ThreadBuffer& b = local();
+  if (!b.ring.push(
+          SpanEvent{name, begin_ns, end_ns, b.track, SpanClock::Steady})) {
+    impl_->drops.inc();
+  }
+}
+
+void SpanLog::record_virtual(const char* name, std::uint64_t begin_tsc,
+                             std::uint64_t end_tsc, std::uint32_t core) {
+  ThreadBuffer& b = local();
+  if (!b.ring.push(
+          SpanEvent{name, begin_tsc, end_tsc, core, SpanClock::VirtualTsc})) {
+    impl_->drops.inc();
+  }
+}
+
+std::vector<SpanEvent> SpanLog::drain() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<SpanEvent> out;
+  SpanEvent batch[256];
+  for (const auto& buf : impl_->buffers) {
+    for (;;) {
+      const std::size_t n = buf->ring.pop_burst(batch, 256);
+      if (n == 0) break;
+      out.insert(out.end(), batch, batch + n);
+    }
+  }
+  return out;
+}
+
+std::uint64_t SpanLog::dropped() const { return impl_->drops.value(); }
+
+void SpanLog::set_thread_capacity(std::size_t spans) {
+  impl_->capacity.store(spans == 0 ? 1 : spans, std::memory_order_relaxed);
+}
+
+} // namespace fluxtrace::obs

@@ -1,0 +1,112 @@
+// Self-telemetry, part 2: scoped spans. OBS_SPAN("decode_chunk") records
+// one begin/end interval for the enclosing scope into a per-thread
+// wait-free ring (rt::SpscRing — the owning thread produces, the
+// exporter drains), so the tracer can show its *own* timeline in
+// Perfetto/chrome://tracing next to the workloads it analyses.
+//
+// Two clock domains, never mixed (ISSUE 3: determinism preserved):
+//   * Steady     — std::chrono::steady_clock, ns since the first use in
+//                  this process; what the analysis layer (io, core, rt)
+//                  stamps. Tracks are per-thread.
+//   * VirtualTsc — the simulator's cycle clock; what the sim layer
+//                  stamps (PEBS drains). Tracks are per simulated core,
+//                  and the export puts them under a separate process so
+//                  the timelines cannot be misread as one axis.
+//
+// Everything is gated on obs::enabled(): a disabled span is one relaxed
+// load and no clock read. A full ring drops the span and counts the drop
+// (obs.spans_dropped) — self-telemetry must never block the hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fluxtrace/obs/metrics.hpp"
+
+namespace fluxtrace::obs {
+
+enum class SpanClock : std::uint8_t {
+  Steady,     ///< steady_clock ns since process-local epoch
+  VirtualTsc, ///< simulated TSC cycles
+};
+
+/// One closed interval. `name` must be a static-lifetime string (the
+/// macro passes literals); `track` is the obs thread id (Steady) or the
+/// simulated core (VirtualTsc).
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint32_t track = 0;
+  SpanClock clock = SpanClock::Steady;
+};
+
+/// Nanoseconds on the steady clock since this process first asked.
+[[nodiscard]] std::uint64_t steady_now_ns();
+
+/// The process-wide span collector: per-thread SPSC rings, registered on
+/// first use, drained by the exporter.
+class SpanLog {
+ public:
+  static SpanLog& global();
+
+  /// Record a closed Steady span on the calling thread's ring.
+  void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
+  /// Record a closed VirtualTsc span (sim layer; `core` is the track).
+  void record_virtual(const char* name, std::uint64_t begin_tsc,
+                      std::uint64_t end_tsc, std::uint32_t core);
+
+  /// Pop everything recorded so far, in no particular global order (the
+  /// exporter sorts per track). One drainer at a time.
+  [[nodiscard]] std::vector<SpanEvent> drain();
+
+  /// Spans discarded because a thread's ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Ring capacity for threads that register *after* this call
+  /// (existing rings keep their size). Default 8192 spans per thread.
+  void set_thread_capacity(std::size_t spans);
+
+ private:
+  SpanLog();
+  struct ThreadBuffer;
+  ThreadBuffer& local();
+
+  struct Impl;
+  Impl* impl_; // leaked with the singleton
+};
+
+/// RAII span: stamps begin at construction, records at destruction.
+/// Disabled telemetry makes both ends a no-op (no clock read).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (enabled()) {
+      name_ = name;
+      begin_ = steady_now_ns();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      SpanLog::global().record(name_, begin_, steady_now_ns());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t begin_ = 0;
+};
+
+} // namespace fluxtrace::obs
+
+#define FLUXTRACE_OBS_CONCAT2(a, b) a##b
+#define FLUXTRACE_OBS_CONCAT(a, b) FLUXTRACE_OBS_CONCAT2(a, b)
+
+#ifndef FLUXTRACE_OBS_NOOP
+#define OBS_SPAN(name)                                                        \
+  ::fluxtrace::obs::ScopedSpan FLUXTRACE_OBS_CONCAT(obs_span_, __LINE__)(name)
+#else
+#define OBS_SPAN(name) ((void)0)
+#endif

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
+
 namespace fluxtrace::rt {
+
+namespace {
+
+// Self-telemetry (ISSUE 3): one set of process-wide pool metrics —
+// pools are created per read_parallel()/integrate() call, so per-pool
+// metrics would fragment the registry. Resolved once, kept forever.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::metrics().counter("rt.pool.tasks_executed");
+  obs::Counter& steals = obs::metrics().counter("rt.pool.steals");
+  obs::Gauge& depth = obs::metrics().gauge("rt.pool.queue_depth");
+  obs::Histogram& task_ns = obs::metrics().histogram("rt.pool.task_ns");
+
+  static PoolMetrics& get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned n_threads) {
   if (n_threads == 0) {
@@ -38,6 +60,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
     std::lock_guard<std::mutex> lk(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
+  PoolMetrics::get().depth.add(1);
   wake_.notify_one();
 }
 
@@ -60,6 +83,7 @@ bool ThreadPool::try_take(std::size_t id, std::function<void()>& out) {
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
+      PoolMetrics::get().steals.inc();
       return true;
     }
   }
@@ -74,7 +98,16 @@ void ThreadPool::worker_loop(std::size_t id) {
         std::lock_guard<std::mutex> lk(wake_mu_);
         --pending_;
       }
-      task();
+      PoolMetrics& pm = PoolMetrics::get();
+      pm.depth.sub(1);
+      if (obs::enabled()) {
+        const std::uint64_t t0 = obs::steady_now_ns();
+        task();
+        pm.task_ns.observe(obs::steady_now_ns() - t0);
+      } else {
+        task();
+      }
+      pm.tasks.inc();
       continue;
     }
     std::unique_lock<std::mutex> lk(wake_mu_);

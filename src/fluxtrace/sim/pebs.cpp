@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
+
 namespace fluxtrace::sim {
+
+namespace {
+
+// Self-telemetry (ISSUE 3): capture-side pressure — drains, samples
+// delivered, and samples known lost (injected faults included).
+struct PebsMetrics {
+  obs::Counter& drains = obs::metrics().counter("sim.pebs.drains");
+  obs::Counter& samples = obs::metrics().counter("sim.pebs.samples");
+  obs::Counter& lost = obs::metrics().counter("sim.pebs.lost");
+
+  static PebsMetrics& get() {
+    static PebsMetrics m;
+    return m;
+  }
+};
+
+} // namespace
 
 void PebsUnit::configure(const PebsConfig& cfg) {
   assert(cfg.reset > 0 && "reset value must be positive");
@@ -56,6 +76,14 @@ Tsc PebsDriver::on_buffer_full(PebsUnit& unit, std::uint32_t core, Tsc now) {
   if (delay_) helper_cycles += spec_.cycles(delay_(drained.size()));
   unit.disarm_until(now + stall + helper_cycles);
 
+  // The drain's span lives on the simulated clock: stamped in virtual
+  // TSC cycles on the core's own track, never mixed with steady time.
+  if (obs::enabled()) {
+    obs::SpanLog::global().record_virtual("sim.pebs.drain", now,
+                                          now + stall + helper_cycles, core);
+  }
+  PebsMetrics::get().drains.inc();
+
   deliver(std::move(drained), core);
   ++drains_;
   total_stall_ += stall;
@@ -76,10 +104,12 @@ void PebsDriver::deliver(SampleVec&& drained, std::uint32_t core) {
     }
     if (sink_) sink_(s);
     collected_.push_back(s);
+    PebsMetrics::get().samples.inc();
   }
 }
 
 void PebsDriver::note_lost(std::uint32_t core, Tsc tsc) {
+  PebsMetrics::get().lost.inc();
   losses_.push_back(SampleLoss{core, tsc});
   if (loss_sink_) loss_sink_(losses_.back());
 }

@@ -1,0 +1,199 @@
+// Metrics registry: bucket boundaries, exact quantiles on synthetic
+// distributions, sharded correctness under threads, and the registry's
+// name/kind contract.
+#include "fluxtrace/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace fluxtrace::obs {
+namespace {
+
+TEST(HistBucket, BoundariesArePowersOfTwo) {
+  // Bucket 0 holds the value 0; bucket k (k >= 1) holds [2^(k-1), 2^k-1].
+  EXPECT_EQ(hist_bucket(0), 0u);
+  EXPECT_EQ(hist_bucket(1), 1u);
+  EXPECT_EQ(hist_bucket(2), 2u);
+  EXPECT_EQ(hist_bucket(3), 2u);
+  EXPECT_EQ(hist_bucket(4), 3u);
+  EXPECT_EQ(hist_bucket(7), 3u);
+  EXPECT_EQ(hist_bucket(8), 4u);
+  EXPECT_EQ(hist_bucket(~std::uint64_t{0}), 64u);
+
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    EXPECT_EQ(hist_bucket(hist_bucket_lo(i)), i) << "bucket " << i;
+    EXPECT_EQ(hist_bucket(hist_bucket_hi(i)), i) << "bucket " << i;
+  }
+  EXPECT_EQ(hist_bucket_lo(0), 0u);
+  EXPECT_EQ(hist_bucket_hi(0), 0u);
+  EXPECT_EQ(hist_bucket_lo(4), 8u);
+  EXPECT_EQ(hist_bucket_hi(4), 15u);
+  EXPECT_EQ(hist_bucket_hi(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, ObserveFillsExpectedBuckets) {
+  Histogram h;
+  for (const std::uint64_t v : {0, 1, 2, 3, 4, 7, 8}) h.observe(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 7u);
+  EXPECT_EQ(s.sum, 25u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 8u);
+  EXPECT_EQ(s.buckets[0], 1u); // {0}
+  EXPECT_EQ(s.buckets[1], 1u); // {1}
+  EXPECT_EQ(s.buckets[2], 2u); // {2, 3}
+  EXPECT_EQ(s.buckets[3], 2u); // {4, 7}
+  EXPECT_EQ(s.buckets[4], 1u); // {8}
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  const HistogramSnapshot s = Histogram{}.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, AllEqualDistributionHasExactQuantiles) {
+  // min/max clamping makes every quantile of a constant exact even
+  // though the value sits inside a wide bucket.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.observe(777);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.quantile(0.0), 777.0);
+  EXPECT_EQ(s.quantile(0.5), 777.0);
+  EXPECT_EQ(s.quantile(0.99), 777.0);
+  EXPECT_EQ(s.quantile(1.0), 777.0);
+  EXPECT_EQ(s.mean(), 777.0);
+}
+
+TEST(Histogram, UniformPowerQuantilesAreExact) {
+  // {1..8}, one observation per value. Documented formula:
+  //   target rank t = q*count clamped to [1, count];
+  //   first bucket whose cumulative count reaches t;
+  //   lo + (t - cum_before)/n * (hi - lo + 1), clamped to [min, max].
+  // p50: t = 4 -> bucket [4,7] (4 obs, cum_before = 3):
+  //   4 + (4-3)/4 * 4 = 5.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 8; ++v) h.observe(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  // p100 = max exactly.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 8.0);
+  // p0 is the minimum by definition.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, BimodalTailQuantiles) {
+  // 90 observations of 10 and 10 of 1000.
+  //   bucket(10) = 4 ([8,15], 90 obs); bucket(1000) = 10 ([512,1023], 10).
+  //   p50: t = 50 -> bucket 4: 8 + (50-0)/90 * 8 = 8 + 400/90.
+  //   p95: t = 95 -> bucket 10: 512 + (95-90)/10 * 512 = 768.
+  //   p99: t = 99 -> bucket 10: 512 + (99-90)/10 * 512 = 972.8.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(10);
+  for (int i = 0; i < 10; ++i) h.observe(1000);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 8.0 + 400.0 / 90.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.95), 768.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 972.8);
+  EXPECT_EQ(s.min, 10u);
+  EXPECT_EQ(s.max, 1000u);
+}
+
+TEST(Counter, SumsAcrossThreads) {
+  Registry reg;
+  Counter& c = reg.counter("test.counter");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : ts) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, AddAndSubOnDifferentThreadsStillBalance) {
+  Registry reg;
+  Gauge& g = reg.gauge("test.gauge");
+  std::thread up([&g] {
+    for (int i = 0; i < 5000; ++i) g.add(2);
+  });
+  std::thread down([&g] {
+    for (int i = 0; i < 5000; ++i) g.sub(1);
+  });
+  up.join();
+  down.join();
+  EXPECT_EQ(g.value(), 5000);
+}
+
+TEST(Histogram, ConcurrentObserversSumExactly) {
+  Registry reg;
+  Histogram& h = reg.histogram("test.hist");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (std::thread& t : ts) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_EQ(s.sum, (1u + 2u + 3u + 4u) * kPerThread);
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Registry, NameOwnsOneKind) {
+  Registry reg;
+  (void)reg.counter("taken");
+  EXPECT_THROW((void)reg.gauge("taken"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("taken"), std::logic_error);
+  (void)reg.counter("taken"); // same kind is fine
+}
+
+TEST(Registry, SnapshotIsNameSortedAndComplete) {
+  Registry reg;
+  reg.counter("b.count").inc(2);
+  reg.counter("a.count").inc(1);
+  reg.gauge("depth").add(-4);
+  reg.histogram("lat").observe(16);
+  const Registry::Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "a.count");
+  EXPECT_EQ(s.counters[0].second, 1u);
+  EXPECT_EQ(s.counters[1].first, "b.count");
+  EXPECT_EQ(s.counters[1].second, 2u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].second, -4);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].second.count, 1u);
+  EXPECT_EQ(s.histograms[0].second.sum, 16u);
+}
+
+TEST(Registry, GlobalIsStable) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+  EXPECT_EQ(&metrics(), &Registry::global());
+}
+
+} // namespace
+} // namespace fluxtrace::obs

@@ -1,0 +1,364 @@
+// Span self-tracing and the Chrome trace-event export. The export test
+// is the contract check the header promises: parse the JSON back with a
+// minimal recursive-descent parser and assert every "B" has a matching
+// "E" (same name, same pid/tid, properly nested) and that timestamps are
+// monotone per track.
+#include "fluxtrace/obs/export.hpp"
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fluxtrace::obs {
+namespace {
+
+// --- minimal JSON parser (objects, arrays, strings, numbers, literals) -
+
+struct Json {
+  enum class Type { Null, Bool, Num, Str, Arr, Obj } type = Type::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    static const Json null;
+    auto it = obj.find(key);
+    return it == obj.end() ? null : it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  Json parse() {
+    const Json v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, s_.size()) << "trailing bytes after JSON value";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, s_.size()) << "unexpected end of JSON";
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+
+  Json value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return literal_bool();
+    if (c == 'n') return literal_null();
+    return number();
+  }
+
+  Json object() {
+    Json v;
+    v.type = Json::Type::Obj;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      Json key = string_value();
+      expect(':');
+      v.obj.emplace(std::move(key.str), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.type = Json::Type::Arr;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json string_value() {
+    Json v;
+    v.type = Json::Type::Str;
+    expect('"');
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        EXPECT_LT(pos_, s_.size());
+        if (s_[pos_] == 'u') {
+          pos_ += 4; // \uXXXX — tests only assert presence, not value
+          v.str += '?';
+        } else {
+          v.str += s_[pos_];
+        }
+      } else {
+        v.str += s_[pos_];
+      }
+      ++pos_;
+    }
+    expect('"');
+    return v;
+  }
+
+  Json literal_bool() {
+    Json v;
+    v.type = Json::Type::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.b = true;
+      pos_ += 4;
+    } else {
+      EXPECT_EQ(s_.compare(pos_, 5, "false"), 0);
+      pos_ += 5;
+    }
+    return v;
+  }
+
+  Json literal_null() {
+    EXPECT_EQ(s_.compare(pos_, 4, "null"), 0);
+    pos_ += 4;
+    return Json{};
+  }
+
+  Json number() {
+    Json v;
+    v.type = Json::Type::Num;
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) != 0 ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    EXPECT_GT(end, pos_) << "not a number at byte " << pos_;
+    v.num = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Parse an export and assert the trace-event contract: per (pid, tid),
+/// B/E events pair up stack-wise with matching names and non-decreasing
+/// timestamps. Returns duration-event count per (pid, tid).
+std::map<std::pair<int, int>, int> check_chrome_contract(
+    const std::string& json_text) {
+  Parser parser(json_text);
+  const Json root = parser.parse();
+  EXPECT_EQ(root.type, Json::Type::Obj);
+  EXPECT_TRUE(root.has("traceEvents"));
+  const Json& events = root.at("traceEvents");
+  EXPECT_EQ(events.type, Json::Type::Arr);
+
+  struct Open {
+    std::string name;
+    double ts;
+  };
+  std::map<std::pair<int, int>, std::vector<Open>> stacks;
+  std::map<std::pair<int, int>, double> last_ts;
+  std::map<std::pair<int, int>, int> n_events;
+  for (const Json& e : events.arr) {
+    EXPECT_EQ(e.type, Json::Type::Obj);
+    const std::string ph = e.at("ph").str;
+    if (ph == "M") continue; // metadata carries no timestamp
+    EXPECT_TRUE(ph == "B" || ph == "E") << "unexpected phase " << ph;
+    const std::pair<int, int> key{static_cast<int>(e.at("pid").num),
+                                  static_cast<int>(e.at("tid").num)};
+    const double ts = e.at("ts").num;
+    auto lit = last_ts.find(key);
+    if (lit != last_ts.end()) {
+      EXPECT_GE(ts, lit->second) << "ts must be monotone per track";
+    }
+    last_ts[key] = ts;
+    ++n_events[key];
+    std::vector<Open>& stack = stacks[key];
+    if (ph == "B") {
+      stack.push_back(Open{e.at("name").str, ts});
+    } else {
+      EXPECT_FALSE(stack.empty()) << "E without open B";
+      if (stack.empty()) continue; // ASSERT needs void; bail per-event
+      EXPECT_EQ(stack.back().name, e.at("name").str)
+          << "E must close the innermost open B";
+      EXPECT_GE(ts, stack.back().ts);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [key, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed B events on pid " << key.first
+                               << " tid " << key.second;
+  }
+  return n_events;
+}
+
+std::string export_to_string(std::vector<SpanEvent> spans) {
+  std::ostringstream os;
+  write_chrome_trace(os, std::move(spans));
+  return os.str();
+}
+
+TEST(ChromeExport, EmptyTraceIsValidJson) {
+  const std::string out = export_to_string({});
+  EXPECT_TRUE(check_chrome_contract(out).empty());
+}
+
+TEST(ChromeExport, NestedAndDisjointSpansPairCorrectly) {
+  // One track: outer [0,100] containing inner [10,40] and inner2
+  // [50,60], then a disjoint tail [200,300]. Another track overlaps in
+  // time — tracks must be validated independently.
+  std::vector<SpanEvent> spans;
+  spans.push_back(SpanEvent{"outer", 0, 100000, 0, SpanClock::Steady});
+  spans.push_back(SpanEvent{"inner", 10000, 40000, 0, SpanClock::Steady});
+  spans.push_back(SpanEvent{"inner2", 50000, 60000, 0, SpanClock::Steady});
+  spans.push_back(SpanEvent{"tail", 200000, 300000, 0, SpanClock::Steady});
+  spans.push_back(SpanEvent{"other_thread", 5000, 250000, 1,
+                            SpanClock::Steady});
+  const auto n = check_chrome_contract(export_to_string(std::move(spans)));
+  EXPECT_EQ(n.at({1, 0}), 8); // 4 spans -> 4 B + 4 E
+  EXPECT_EQ(n.at({1, 1}), 2);
+}
+
+TEST(ChromeExport, ShuffledInputStillNestsPerTrack) {
+  // The exporter must sort; hand it spans in adversarial order.
+  std::vector<SpanEvent> spans;
+  spans.push_back(SpanEvent{"c", 50000, 60000, 0, SpanClock::Steady});
+  spans.push_back(SpanEvent{"a", 0, 100000, 0, SpanClock::Steady});
+  spans.push_back(SpanEvent{"b", 10000, 40000, 0, SpanClock::Steady});
+  const auto n = check_chrome_contract(export_to_string(std::move(spans)));
+  EXPECT_EQ(n.at({1, 0}), 6);
+}
+
+TEST(ChromeExport, VirtualSpansLiveInSeparateProcess) {
+  std::vector<SpanEvent> spans;
+  spans.push_back(SpanEvent{"io.read", 1000, 2000, 0, SpanClock::Steady});
+  spans.push_back(
+      SpanEvent{"sim.pebs.drain", 500, 900, 3, SpanClock::VirtualTsc});
+  const std::string out = export_to_string(std::move(spans));
+  const auto n = check_chrome_contract(out);
+  EXPECT_EQ(n.at({1, 0}), 2); // steady clock -> pid 1
+  EXPECT_EQ(n.at({2, 3}), 2); // virtual tsc -> pid 2, tid = core
+  EXPECT_NE(out.find("fluxtrace sim (virtual tsc)"), std::string::npos);
+  EXPECT_NE(out.find("core 3"), std::string::npos);
+}
+
+TEST(ChromeExport, EscapesNamesAndSurvivesReparse) {
+  std::vector<SpanEvent> spans;
+  spans.push_back(
+      SpanEvent{"weird\"name\\with\nstuff", 0, 10, 0, SpanClock::Steady});
+  const auto n = check_chrome_contract(export_to_string(std::move(spans)));
+  EXPECT_EQ(n.at({1, 0}), 2);
+}
+
+// --- the live span log ------------------------------------------------
+
+TEST(SpanLog, ScopedSpansRecordNestedIntervals) {
+  set_enabled(true);
+  (void)SpanLog::global().drain(); // clean slate
+  {
+    OBS_SPAN("outer");
+    OBS_SPAN("inner"); // same scope: strictly inside outer's lifetime
+  }
+  set_enabled(false);
+  const std::vector<SpanEvent> spans = SpanLog::global().drain();
+  ASSERT_EQ(spans.size(), 2u);
+  // Destruction order records inner first.
+  const SpanEvent& inner =
+      std::string(spans[0].name) == "inner" ? spans[0] : spans[1];
+  const SpanEvent& outer =
+      std::string(spans[0].name) == "inner" ? spans[1] : spans[0];
+  EXPECT_EQ(std::string(outer.name), "outer");
+  EXPECT_EQ(inner.clock, SpanClock::Steady);
+  EXPECT_GE(inner.begin, outer.begin);
+  EXPECT_LE(inner.end, outer.end);
+  EXPECT_EQ(inner.track, outer.track);
+  // And the export of the real recording passes the contract check.
+  std::vector<SpanEvent> copy = {outer, inner};
+  check_chrome_contract(export_to_string(std::move(copy)));
+}
+
+TEST(SpanLog, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  (void)SpanLog::global().drain();
+  {
+    OBS_SPAN("should_not_appear");
+  }
+  EXPECT_TRUE(SpanLog::global().drain().empty());
+}
+
+TEST(SpanLog, FullRingDropsAndCounts) {
+  set_enabled(true);
+  (void)SpanLog::global().drain();
+  // rt::SpscRing(min_capacity) rounds up to a power-of-two slot count
+  // with one full/empty sentinel: min_capacity 4 -> 8 slots, 7 usable.
+  SpanLog::global().set_thread_capacity(4);
+  const std::uint64_t dropped_before = SpanLog::global().dropped();
+  // A fresh thread registers a fresh (tiny) ring; nobody drains while
+  // it floods, so all but the first 7 spans must be dropped — and
+  // counted, never blocked on.
+  std::thread flood([] {
+    for (int i = 0; i < 100; ++i) {
+      SpanLog::global().record("flood", 0, 1);
+    }
+  });
+  flood.join();
+  SpanLog::global().set_thread_capacity(8192); // restore for later tests
+  set_enabled(false);
+  const std::uint64_t dropped = SpanLog::global().dropped() - dropped_before;
+  const std::vector<SpanEvent> spans = SpanLog::global().drain();
+  EXPECT_EQ(dropped, 93u);
+  EXPECT_EQ(spans.size(), 7u);
+}
+
+TEST(SpanLog, VirtualRecordKeepsCoreAsTrack) {
+  set_enabled(true);
+  (void)SpanLog::global().drain();
+  SpanLog::global().record_virtual("drain", 100, 200, 7);
+  set_enabled(false);
+  const std::vector<SpanEvent> spans = SpanLog::global().drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].clock, SpanClock::VirtualTsc);
+  EXPECT_EQ(spans[0].track, 7u);
+  EXPECT_EQ(spans[0].begin, 100u);
+  EXPECT_EQ(spans[0].end, 200u);
+}
+
+} // namespace
+} // namespace fluxtrace::obs

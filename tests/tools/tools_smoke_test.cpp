@@ -231,6 +231,60 @@ TEST_F(ToolsFixture, ReportThreadsFlagMatchesSequentialOutput) {
   EXPECT_NE(dump.find("20 markers"), std::string::npos) << dump;
 }
 
+TEST_F(ToolsFixture, DumpPrintsSummaryFooter) {
+  int rc = -1;
+  const std::string out =
+      run_capture(tool("flxt_dump") + " " + trace_path, &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("summary:"), std::string::npos) << out;
+  // 20 markers = 10 fully paired items on this clean trace.
+  EXPECT_NE(out.find("items:    10 (10 windows paired, 0 enters "
+                     "unterminated, 0 orphan leaves)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("quality:  10 clean"), std::string::npos) << out;
+  EXPECT_NE(out.find("tsc span:"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, TelemetryFlagWritesChromeTraceJson) {
+  const std::string tel_path = ::testing::TempDir() + "/tools_smoke_tel.json";
+  int rc = -1;
+  const std::string out = run_capture(tool("flxt_report") + " " + trace_path +
+                                          " " + syms_path + " --threads 2" +
+                                          " --telemetry " + tel_path +
+                                          " --metrics",
+                                      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  // --metrics dumps the registry as Prometheus text on stderr.
+  EXPECT_NE(out.find("# TYPE fluxtrace_io_reads counter"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("fluxtrace_rt_pool_tasks_executed"), std::string::npos)
+      << out;
+
+  std::ifstream is(tel_path);
+  ASSERT_TRUE(is.good());
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string json = std::move(buf).str();
+  // Structural spot-checks; the exhaustive JSON validity test lives in
+  // tests/obs/span_trace_test.cpp.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("io.read_parallel"), std::string::npos) << json;
+  EXPECT_NE(json.find("core.integrate"), std::string::npos) << json;
+}
+
+TEST_F(ToolsFixture, TelemetryToUnwritablePathFails) {
+  int rc = -1;
+  const std::string out = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path +
+          " --telemetry /nonexistent_dir/out.json",
+      &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("cannot write telemetry file"), std::string::npos) << out;
+}
+
 TEST_F(ToolsFixture, RecoverSalvagesATruncatedV2File) {
   // Write a v2 trace, tear off the tail, and recover it.
   const io::TraceData full = io::open_trace(trace_path).read();

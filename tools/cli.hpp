@@ -16,8 +16,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
+
+#include "fluxtrace/obs/export.hpp"
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
 
 namespace fluxtrace::tools {
 
@@ -150,6 +156,52 @@ class Cli {
   std::string usage_;
   std::vector<Flag> flags_;
   std::vector<const char*> pos_;
+};
+
+/// Shared self-telemetry flags for every flxt_* tool:
+///
+///   --telemetry FILE   enable span tracing; write Chrome trace-event
+///                      JSON (Perfetto / chrome://tracing loadable) to
+///                      FILE on exit
+///   --metrics          enable telemetry; dump the metrics registry as
+///                      Prometheus text to stderr on exit
+///
+/// Usage: attach(cli) before parse(); start() after a successful parse;
+/// `return tel.finish();` at every success exit (it returns 0, or 1 if
+/// the telemetry file cannot be written).
+class Telemetry {
+ public:
+  void attach(Cli& cli) {
+    cli.flag_str("--telemetry", &out_);
+    cli.flag("--metrics", &metrics_);
+  }
+
+  void start() {
+    if (out_ != nullptr || metrics_) obs::set_enabled(true);
+  }
+
+  [[nodiscard]] int finish() {
+    if (out_ != nullptr) {
+      std::ofstream os(out_);
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write telemetry file: %s\n", out_);
+        return 1;
+      }
+      obs::write_chrome_trace(os, obs::SpanLog::global().drain());
+      if (!os) {
+        std::fprintf(stderr, "error: telemetry write failed: %s\n", out_);
+        return 1;
+      }
+    }
+    if (metrics_) {
+      obs::write_prometheus(std::cerr, obs::metrics().snapshot());
+    }
+    return 0;
+  }
+
+ private:
+  const char* out_ = nullptr;
+  bool metrics_ = false;
 };
 
 } // namespace fluxtrace::tools

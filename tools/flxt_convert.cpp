@@ -34,7 +34,7 @@ int main(int argc, char** argv) try {
   tools::Cli cli(argc, argv,
                  std::string("usage: ") + argv[0] +
                      " <in> <out> --to-compact|--to-full|--to-v2 "
-                     "[--salvage]");
+                     "[--salvage] [--telemetry FILE] [--metrics]");
   bool to_compact = false;
   bool to_full = false;
   bool to_v2 = false;
@@ -43,12 +43,15 @@ int main(int argc, char** argv) try {
   cli.flag("--to-full", &to_full);
   cli.flag("--to-v2", &to_v2);
   cli.flag("--salvage", &salvage);
+  tools::Telemetry tel;
+  tel.attach(cli);
   if (!cli.parse(2, 2)) return cli.usage();
   if (static_cast<int>(to_compact) + static_cast<int>(to_full) +
           static_cast<int>(to_v2) !=
       1) {
     return cli.usage();
   }
+  tel.start();
   const char* in = cli.pos(0);
   const char* out = cli.pos(1);
 
@@ -88,7 +91,7 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
+  return tel.finish();
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

@@ -8,21 +8,115 @@
 //   flxt_dump <trace> --salvage        best-effort read of a damaged
 //                                      file (recovers intact chunks)
 //   flxt_dump <trace> --threads N      decode on N threads (0 = all)
+//
+// Every mode ends with a per-trace summary footer: item count with a
+// pairing/confidence breakdown, sample coverage, and the trace's TSC
+// span — the quick "is this capture healthy?" read.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "cli.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
 
 using namespace fluxtrace;
 
+namespace {
+
+// Pair Enter -> Leave per core, the way the strict integrator does, and
+// classify everything that does not pair. An item is "clean" when every
+// one of its edges paired; any unterminated Enter or orphan Leave means
+// a degraded-mode read would have to synthesize the missing edge.
+void print_summary_footer(const io::TraceData& data) {
+  std::map<std::uint32_t, std::vector<const Marker*>> per_core;
+  for (const Marker& m : data.markers) per_core[m.core].push_back(&m);
+
+  struct Window {
+    Tsc enter, leave;
+  };
+  std::map<std::uint32_t, std::vector<Window>> windows;
+  std::set<ItemId> items, dirty_items;
+  std::size_t paired = 0, unterminated = 0, orphan_leaves = 0;
+  for (auto& [core, ms] : per_core) {
+    std::stable_sort(ms.begin(), ms.end(),
+                     [](const Marker* a, const Marker* b) {
+                       return a->tsc < b->tsc;
+                     });
+    std::map<ItemId, Tsc> open;
+    for (const Marker* m : ms) {
+      items.insert(m->item);
+      if (m->kind == MarkerKind::Enter) {
+        open[m->item] = m->tsc;
+      } else {
+        auto oit = open.find(m->item);
+        if (oit != open.end()) {
+          windows[core].push_back(Window{oit->second, m->tsc});
+          open.erase(oit);
+          ++paired;
+        } else {
+          ++orphan_leaves;
+          dirty_items.insert(m->item);
+        }
+      }
+    }
+    unterminated += open.size();
+    for (const auto& [item, enter] : open) dirty_items.insert(item);
+  }
+
+  std::size_t covered = 0;
+  for (const PebsSample& s : data.samples) {
+    auto wit = windows.find(s.core);
+    if (wit == windows.end()) continue;
+    for (const Window& w : wit->second) {
+      if (s.tsc >= w.enter && s.tsc <= w.leave) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  const std::size_t uncovered = data.samples.size() - covered;
+
+  Tsc t_min = ~Tsc{0}, t_max = 0;
+  for (const Marker& m : data.markers) {
+    t_min = std::min(t_min, m.tsc);
+    t_max = std::max(t_max, m.tsc);
+  }
+  for (const PebsSample& s : data.samples) {
+    t_min = std::min(t_min, s.tsc);
+    t_max = std::max(t_max, s.tsc);
+  }
+
+  std::printf("\nsummary:\n");
+  std::printf("  items:    %zu (%zu windows paired, %zu enters unterminated, "
+              "%zu orphan leaves)\n",
+              items.size(), paired, unterminated, orphan_leaves);
+  std::printf("  quality:  %zu clean, %zu would need edge synthesis "
+              "(--degraded)\n",
+              items.size() - dirty_items.size(), dirty_items.size());
+  std::printf("  samples:  %zu inside item windows, %zu outside (loss "
+              "suspects)\n",
+              covered, uncovered);
+  if (t_max >= t_min && (!data.markers.empty() || !data.samples.empty())) {
+    std::printf("  tsc span: %llu .. %llu (%llu cycles)\n",
+                static_cast<unsigned long long>(t_min),
+                static_cast<unsigned long long>(t_max),
+                static_cast<unsigned long long>(t_max - t_min));
+  }
+}
+
+} // namespace
+
 int main(int argc, char** argv) try {
   tools::Cli cli(argc, argv,
                  std::string("usage: ") + argv[0] +
                      " <trace-file> [--head N] [--csv markers|samples] "
-                     "[--salvage] [--threads N]");
+                     "[--salvage] [--threads N] [--telemetry FILE] "
+                     "[--metrics]");
   std::size_t head = 10;
   const char* csv = nullptr;
   bool salvage = false;
@@ -31,7 +125,10 @@ int main(int argc, char** argv) try {
   cli.flag_str("--csv", &csv);
   cli.flag("--salvage", &salvage);
   cli.flag_uint("--threads", &threads);
+  tools::Telemetry tel;
+  tel.attach(cli);
   if (!cli.parse(1, 1)) return cli.usage();
+  tel.start();
   const char* path = cli.pos(0);
 
   io::TraceData data;
@@ -63,7 +160,7 @@ int main(int argc, char** argv) try {
     } else {
       return cli.usage();
     }
-    return 0;
+    return tel.finish();
   }
 
   std::printf("%s: %zu markers, %zu samples (%zu bytes of records)\n\n",
@@ -89,7 +186,8 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(s.ip), s.core,
                 static_cast<unsigned long long>(s.regs.get(Reg::R13)));
   }
-  return 0;
+  print_summary_footer(data);
+  return tel.finish();
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

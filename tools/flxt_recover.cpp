@@ -20,8 +20,12 @@ using namespace fluxtrace;
 int main(int argc, char** argv) try {
   tools::Cli cli(argc, argv,
                  std::string("usage: ") + argv[0] +
-                     " <damaged-trace> [<recovered-out>]");
+                     " <damaged-trace> [<recovered-out>] "
+                     "[--telemetry FILE] [--metrics]");
+  tools::Telemetry tel;
+  tel.attach(cli);
   if (!cli.parse(1, 2)) return cli.usage();
+  tel.start();
   const char* path = cli.pos(0);
 
   io::SalvageReport rep;
@@ -57,7 +61,7 @@ int main(int argc, char** argv) try {
     }
     std::printf("wrote %s\n", cli.pos(1));
   }
-  return 0;
+  return tel.finish();
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

@@ -36,7 +36,8 @@ int main(int argc, char** argv) try {
                  std::string("usage: ") + argv[0] +
                      " <trace-file> <symbols-file> [--profile] [--folded] "
                      "[--gantt] [--diagnose] [--table-csv] [--regs] "
-                     "[--degraded] [--freq GHZ] [--threads N]");
+                     "[--degraded] [--freq GHZ] [--threads N] "
+                     "[--telemetry FILE] [--metrics]");
   bool profile_mode = false;
   bool folded_mode = false;
   bool gantt_mode = false;
@@ -55,7 +56,10 @@ int main(int argc, char** argv) try {
   cli.flag("--degraded", &degraded_mode);
   cli.flag_ghz("--freq", &spec.freq_ghz);
   cli.flag_uint("--threads", &threads);
+  tools::Telemetry tel;
+  tel.attach(cli);
   if (!cli.parse(2, 2)) return cli.usage();
+  tel.start();
 
   io::TraceData data;
   SymbolTable symtab;
@@ -82,7 +86,7 @@ int main(int argc, char** argv) try {
                report::Table::num(spec.us(e.est_time))});
     }
     tab.print(std::cout);
-    return 0;
+    return tel.finish();
   }
 
   core::IntegratorConfig icfg;
@@ -93,18 +97,18 @@ int main(int argc, char** argv) try {
 
   if (folded_mode) {
     io::write_folded(std::cout, table, symtab);
-    return 0;
+    return tel.finish();
   }
 
   if (table_csv_mode) {
     io::write_table_csv(std::cout, table, symtab, spec);
-    return 0;
+    return tel.finish();
   }
 
   if (diagnose_mode) {
     const core::DiagnosisReport rep = core::diagnose(table, spec);
     rep.print(std::cout, symtab);
-    return 0;
+    return tel.finish();
   }
 
   if (gantt_mode) {
@@ -115,7 +119,7 @@ int main(int argc, char** argv) try {
                  glyphs[w.item % 8], "i" + std::to_string(w.item));
     }
     gantt.print(std::cout);
-    return 0;
+    return tel.finish();
   }
 
   report::Table tab({"item", "function", "samples", "elapsed [us]",
@@ -146,7 +150,7 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(table.windows_synthesized()),
                 static_cast<unsigned long long>(table.unattributed_loss()));
   }
-  return 0;
+  return tel.finish();
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;
