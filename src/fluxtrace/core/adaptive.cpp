@@ -31,6 +31,10 @@ void AdaptiveReset::on_sample(const PebsSample& s) {
 
 void AdaptiveReset::nudge(double factor) {
   assert(factor > 0.0);
+  // Samples accumulated so far were taken at the *old* R; a windowed
+  // adjustment computed over them would partially undo this nudge.
+  // Restart the window so the next decision sees only post-nudge data.
+  in_window_ = 0;
   const auto proposed = static_cast<std::uint64_t>(
       static_cast<double>(reset_) * factor + 0.5);
   const std::uint64_t clamped =

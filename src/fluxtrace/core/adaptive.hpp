@@ -41,7 +41,9 @@ class AdaptiveReset {
   /// load by lengthening the sample interval). This is what a backlogged
   /// consumer (OnlineTracer's shed callback) invokes when drains fall
   /// behind — graceful degradation by dropping *rate*, not records.
-  /// Clamped to [min_reset, max_reset]; reprograms on change.
+  /// Clamped to [min_reset, max_reset]; reprograms on change. Restarts
+  /// the measurement window, so a mid-window nudge is never undone by an
+  /// adjustment computed from stale pre-nudge intervals.
   void nudge(double factor);
 
   [[nodiscard]] std::uint64_t current_reset() const { return reset_; }

@@ -122,6 +122,14 @@ std::size_t OnlineTracer::backlog(std::uint32_t core) const {
   return it == cores_.end() ? 0 : it->second.items.size();
 }
 
+std::size_t OnlineTracer::max_backlog() const {
+  std::size_t worst = 0;
+  for (const auto& [core, cs] : cores_) {
+    worst = std::max(worst, cs.items.size());
+  }
+  return worst;
+}
+
 void OnlineTracer::finalize_ready(CoreState& cs, Tsc watermark) {
   while (!cs.items.empty() && cs.items.front().closed &&
          cs.items.front().leave < watermark) {
@@ -136,6 +144,8 @@ void OnlineTracer::finalize(PendingItem&& item) {
   res.item = item.id;
   res.core = item.core;
   res.window = item.leave - item.enter;
+  res.enter = item.enter;
+  res.leave = item.leave;
   res.samples_lost = item.lost;
   res.markers_synthesized = item.synth_leave ? 1 : 0;
   if (item.synth_leave) {

@@ -33,6 +33,8 @@ struct OnlineResult {
   ItemId item = kNoItem;
   std::uint32_t core = 0;
   Tsc window = 0; ///< marker-window length
+  Tsc enter = 0;  ///< absolute item bounds — lets a spooler (the session
+  Tsc leave = 0;  ///< supervisor) re-emit the item's markers alongside it
   /// Estimable functions (>= 2 samples) with their elapsed estimates.
   std::vector<std::pair<SymbolId, Tsc>> fn_elapsed;
   bool anomalous = false;
@@ -123,6 +125,8 @@ class OnlineTracer {
   [[nodiscard]] std::uint64_t shed_events() const { return shed_events_; }
   /// Current pending-item backlog on one core (drain lag indicator).
   [[nodiscard]] std::size_t backlog(std::uint32_t core) const;
+  /// Largest per-core backlog right now (the watchdog's pressure signal).
+  [[nodiscard]] std::size_t max_backlog() const;
   /// Raw bytes persisted via the dump callback vs bytes seen in total —
   /// the amortization ratio §IV-C3 argues for.
   [[nodiscard]] std::uint64_t bytes_dumped() const {

@@ -1,0 +1,294 @@
+#include "fluxtrace/core/session.hpp"
+
+#include <sstream>
+
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
+
+namespace fluxtrace::core {
+
+namespace {
+
+struct SessionMetrics {
+  obs::Counter& transitions =
+      obs::metrics().counter("core.session.transitions");
+  obs::Counter& escalations =
+      obs::metrics().counter("core.session.escalations");
+  obs::Counter& deescalations =
+      obs::metrics().counter("core.session.deescalations");
+  obs::Counter& stalls = obs::metrics().counter("core.session.stalls");
+  obs::Gauge& state = obs::metrics().gauge("core.session.state");
+
+  static SessionMetrics& get() {
+    static SessionMetrics m;
+    return m;
+  }
+};
+
+/// Static-lifetime span names, one per state (SpanLog keeps the pointer).
+const char* span_name(SessionState s) {
+  switch (s) {
+    case SessionState::Healthy: return "session.healthy";
+    case SessionState::Backpressured: return "session.backpressured";
+    case SessionState::Shedding: return "session.shedding";
+    case SessionState::Degraded: return "session.degraded";
+    case SessionState::Halted: return "session.halted";
+  }
+  return "session.?";
+}
+
+} // namespace
+
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::Healthy: return "healthy";
+    case SessionState::Backpressured: return "backpressured";
+    case SessionState::Shedding: return "shedding";
+    case SessionState::Degraded: return "degraded";
+    case SessionState::Halted: return "halted";
+  }
+  return "?";
+}
+
+SessionSupervisor::SessionSupervisor(OnlineTracer& tracer,
+                                     io::ResilientWriter& writer,
+                                     SessionSupervisorConfig cfg,
+                                     AdaptiveReset* reset)
+    : tracer_(tracer), writer_(writer), cfg_(cfg), reset_(reset) {
+  // Anomalous items flow straight into the resilient spool: the item's
+  // window markers (so flxt_report can rebuild the item offline) plus
+  // its raw samples.
+  tracer_.set_dump_callback(
+      [this](const OnlineResult& res, const SampleVec& raw) {
+        Marker ms[2];
+        ms[0].kind = MarkerKind::Enter;
+        ms[0].core = res.core;
+        ms[0].tsc = res.enter;
+        ms[0].item = res.item;
+        ms[1].kind = MarkerKind::Leave;
+        ms[1].core = res.core;
+        ms[1].tsc = res.leave;
+        ms[1].item = res.item;
+        writer_.add_markers(ms, 2, last_now_ns_);
+        if (!raw.empty()) {
+          writer_.add_samples(raw.data(), raw.size(), last_now_ns_);
+        }
+      });
+  // The tracer's own backlog trigger is a second escalation source: it
+  // fires mid-burst, between watchdog ticks.
+  tracer_.set_shed_callback([this](std::uint32_t /*core*/,
+                                   std::size_t /*backlog*/) {
+    escalate(last_now_ns_);
+  });
+}
+
+void SessionSupervisor::on_marker(const Marker& m, std::uint64_t now_ns) {
+  last_now_ns_ = now_ns;
+  tracer_.on_marker(m);
+}
+
+void SessionSupervisor::on_sample(const PebsSample& s, std::uint64_t now_ns) {
+  last_now_ns_ = now_ns;
+  if (reset_ != nullptr) reset_->on_sample(s);
+  // Every sample observed while R is raised stands for shed_multiplier
+  // samples at the un-shed rate; the difference is the R-shed estimate
+  // (§V-C linearity: interval ∝ R).
+  if (shed_steps_ > 0) rshed_estimate_ += shed_multiplier_ - 1.0;
+  tracer_.on_sample(s);
+}
+
+void SessionSupervisor::on_sample_lost(const SampleLoss& l,
+                                       std::uint64_t now_ns) {
+  last_now_ns_ = now_ns;
+  tracer_.on_sample_lost(l);
+}
+
+void SessionSupervisor::escalate(std::uint64_t now_ns) {
+  if (reset_ == nullptr || shed_steps_ >= cfg_.max_shed_steps) return;
+  if (escalations_ > 0 && now_ns - last_escalate_ns_ < cfg_.escalate_gap_ns) {
+    return; // rate-limited: one step per gap
+  }
+  const std::uint64_t before = reset_->current_reset();
+  reset_->nudge(cfg_.shed_factor);
+  if (reset_->current_reset() == before) return; // clamped at max_reset
+  ++shed_steps_;
+  shed_multiplier_ *= cfg_.shed_factor;
+  ++escalations_;
+  last_escalate_ns_ = now_ns;
+  SessionMetrics::get().escalations.inc();
+}
+
+void SessionSupervisor::deescalate(std::uint64_t now_ns) {
+  if (reset_ == nullptr || shed_steps_ == 0) return;
+  reset_->nudge(1.0 / cfg_.shed_factor);
+  --shed_steps_;
+  shed_multiplier_ /= cfg_.shed_factor;
+  ++deescalations_;
+  SessionMetrics::get().deescalations.inc();
+  (void)now_ns;
+}
+
+SessionState SessionSupervisor::compute_state(std::uint64_t now_ns) const {
+  const auto& ws = writer_.stats();
+  if (ws.exhausted) return SessionState::Halted;
+  if (dropping_) return SessionState::Degraded;
+  if (shed_steps_ > 0) return SessionState::Shedding;
+  if (stalled_ || tracer_.max_backlog() >= cfg_.backlog_high ||
+      ws.queue_depth >= cfg_.queue_high || writer_.backing_off(now_ns)) {
+    return SessionState::Backpressured;
+  }
+  return SessionState::Healthy;
+}
+
+void SessionSupervisor::set_state(std::uint64_t now_ns, SessionState next,
+                                  const char* reason) {
+  if (next == state_) return;
+  transitions_.push_back({now_ns, state_, next, reason});
+  SessionMetrics& sm = SessionMetrics::get();
+  sm.transitions.inc();
+  sm.state.add(static_cast<std::int64_t>(next) -
+               static_cast<std::int64_t>(state_));
+  if (obs::enabled() && now_ns > state_since_ns_) {
+    obs::SpanLog::global().record_virtual(span_name(state_), state_since_ns_,
+                                          now_ns, 0);
+  }
+  state_ = next;
+  state_since_ns_ = now_ns;
+}
+
+void SessionSupervisor::refresh(std::uint64_t now_ns, const char* reason) {
+  const SessionState next = compute_state(now_ns);
+  if (reason == nullptr) {
+    switch (next) {
+      case SessionState::Halted: reason = "sinks-exhausted"; break;
+      case SessionState::Degraded: reason = "records-dropping"; break;
+      case SessionState::Shedding: reason = "rate-shed-active"; break;
+      case SessionState::Backpressured: reason = "pressure-high"; break;
+      case SessionState::Healthy: reason = "pressure-cleared"; break;
+    }
+  }
+  set_state(now_ns, next, reason);
+}
+
+void SessionSupervisor::tick(std::uint64_t now_ns) {
+  last_now_ns_ = now_ns;
+  ++ticks_;
+  writer_.pump(now_ns);
+  const auto& ws = writer_.stats();
+
+  // Watchdog: staged chunks with no commit progress past the deadline is
+  // a stalled sink (the drain-side deadline miss §III-E warns about).
+  if (ws.chunks_committed != last_committed_ || ws.queue_depth == 0) {
+    last_committed_ = ws.chunks_committed;
+    progress_at_ns_ = now_ns;
+    stalled_ = false;
+  } else if (now_ns - progress_at_ns_ >= cfg_.stall_deadline_ns) {
+    if (!stalled_) {
+      ++stalls_;
+      SessionMetrics::get().stalls.inc();
+    }
+    stalled_ = true;
+  }
+
+  const std::uint64_t dropped_now =
+      ws.records_dropped_queue + ws.records_lost_sink;
+  dropping_ = dropped_now != last_dropped_;
+  last_dropped_ = dropped_now;
+
+  const std::size_t backlog = tracer_.max_backlog();
+  const bool pressure = stalled_ || backlog >= cfg_.backlog_high ||
+                        ws.queue_depth >= cfg_.queue_high;
+  const bool calm = !stalled_ && backlog <= cfg_.backlog_low &&
+                    ws.queue_depth <= cfg_.queue_low;
+  if (pressure) {
+    was_calm_ = false;
+    escalate(now_ns);
+  } else if (calm) {
+    if (shed_steps_ > 0) {
+      if (!was_calm_) {
+        was_calm_ = true;
+        calm_since_ns_ = now_ns;
+      } else if (now_ns - calm_since_ns_ >= cfg_.calm_hold_ns) {
+        deescalate(now_ns);
+        calm_since_ns_ = now_ns; // one restoring step per calm hold
+      }
+    } else {
+      was_calm_ = true;
+    }
+  } else {
+    was_calm_ = false;
+  }
+
+  refresh(now_ns, nullptr);
+}
+
+SessionSupervisor::Report SessionSupervisor::finish(std::uint64_t now_ns) {
+  last_now_ns_ = now_ns;
+  if (!finished_) {
+    finished_ = true;
+    tracer_.finish(); // late dumps flow into the writer via the callback
+    writer_.close(now_ns);
+    const auto& ws = writer_.stats();
+    const std::uint64_t dropped_now =
+        ws.records_dropped_queue + ws.records_lost_sink;
+    dropping_ = dropped_now != last_dropped_;
+    last_dropped_ = dropped_now;
+    stalled_ = false; // the queue is settled now, one way or the other
+    refresh(now_ns, "finish");
+    // Close out the final state's span interval.
+    if (obs::enabled() && now_ns > state_since_ns_) {
+      obs::SpanLog::global().record_virtual(span_name(state_), state_since_ns_,
+                                            now_ns, 0);
+      state_since_ns_ = now_ns;
+    }
+  }
+
+  Report r;
+  r.final_state = state_;
+  r.transitions = transitions_;
+  r.ticks = ticks_;
+  r.stalls = stalls_;
+  r.escalations = escalations_;
+  r.deescalations = deescalations_;
+  r.shed_steps_final = shed_steps_;
+  r.samples_seen = tracer_.samples_seen();
+  r.samples_lost = tracer_.samples_lost();
+  r.rshed_estimate = rshed_estimate_;
+  r.writer = writer_.stats();
+  r.reconciled = writer_.stats().reconciled();
+  return r;
+}
+
+std::string SessionSupervisor::Report::summary() const {
+  std::ostringstream os;
+  os << "session: final=" << to_string(final_state)
+     << " transitions=" << transitions.size() << " ticks=" << ticks
+     << " stalls=" << stalls << "\n";
+  for (const auto& t : transitions) {
+    os << "  @" << t.at_ns << "  " << to_string(t.from) << " -> "
+       << to_string(t.to) << "  (" << t.reason << ")\n";
+  }
+  os << "shedding: escalations=" << escalations
+     << " deescalations=" << deescalations
+     << " steps-at-finish=" << shed_steps_final
+     << " r-shed-estimate=" << rshed_estimate << "\n";
+  os << "capture: samples-seen=" << samples_seen
+     << " samples-lost=" << samples_lost << "\n";
+  os << "spool: enqueued=" << writer.records_enqueued
+     << " committed=" << writer.records_committed
+     << " queue-dropped=" << writer.records_dropped_queue
+     << " sink-lost=" << writer.records_lost_sink
+     << " (chunks " << writer.chunks_committed << "/"
+     << writer.chunks_enqueued << ")\n";
+  os << "spool: retries=" << writer.retries
+     << " backoff-ns=" << writer.backoff_ns
+     << " sync-failures=" << writer.sync_failures
+     << " failovers=" << writer.failovers
+     << " breaker-opens=" << writer.breaker_opens
+     << " blocked=" << writer.blocked_enqueues << "\n";
+  os << "reconciled: " << (reconciled ? "exact" : "MISMATCH")
+     << " clean-close=" << (writer.closed_clean ? "yes" : "no") << "\n";
+  return os.str();
+}
+
+} // namespace fluxtrace::core

@@ -1,0 +1,176 @@
+// Supervised capture sessions (ISSUE 4): the control loop that keeps a
+// long-running OnlineTracer capture alive through the failures §III-E
+// says production tracing must expect — drains falling behind markers,
+// a spool disk that stalls or fills, bursty overload.
+//
+// The supervisor runs the tracer + io::ResilientWriter pair as one
+// *session* with an explicit health state machine:
+//
+//   healthy ──▶ backpressured ──▶ shedding ──▶ degraded ──▶ halted
+//      ▲             │  queue/backlog   │  R raised   │ records    │ every
+//      └─────────────┴──── watermarks ──┴─ (nudge) ───┴─ dropping ─┘ sink dead
+//
+// and the arrows run both ways: states are recomputed every watchdog
+// tick, so a transient stall heals back to healthy without operator
+// action. Degradation is ordered deliberately (the paper's §V-C knob
+// first): under pressure the watchdog sheds *sample rate* — raising the
+// PEBS reset R through AdaptiveReset::nudge() — before the writer is
+// ever allowed to shed *records*; when the backlog clears, R is restored
+// step by step within a bounded number of calm ticks.
+//
+// Every transition, escalation, and stall is visible through obs
+// counters and a per-state span track, so `--telemetry` captures the
+// session's own degradation story alongside the workload's.
+//
+// Clock: the supervisor is single-threaded and driven by tick(now) with
+// the same caller-supplied monotonic ns clock the writer uses (virtual
+// TSC-derived ns in simulation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fluxtrace/core/adaptive.hpp"
+#include "fluxtrace/core/online.hpp"
+#include "fluxtrace/io/resilient.hpp"
+
+namespace fluxtrace::core {
+
+enum class SessionState : std::uint8_t {
+  Healthy,       ///< everything flowing, no pressure
+  Backpressured, ///< queue/backlog above the high watermark, nothing lost
+  Shedding,      ///< R raised (sample rate shed) to relieve pressure
+  Degraded,      ///< records are being dropped (queue overflow or sink loss)
+  Halted,        ///< every sink circuit open: the session cannot persist
+};
+
+[[nodiscard]] const char* to_string(SessionState s);
+
+struct SessionSupervisorConfig {
+  /// Pressure watermarks: tracer pending-item backlog (items) and writer
+  /// staging queue (chunks). Crossing `high` raises pressure; the session
+  /// only relaxes once both are at or below `low` (hysteresis).
+  std::size_t backlog_high = 64;
+  std::size_t backlog_low = 16;
+  std::size_t queue_high = 48;
+  std::size_t queue_low = 8;
+
+  /// Watchdog: with staged chunks waiting, this long without a single
+  /// chunk committing means the sink is stalled (deadline miss).
+  std::uint64_t stall_deadline_ns = 5'000'000;
+
+  /// Escalation: each step multiplies R by shed_factor (nudge); at most
+  /// max_shed_steps steps, no two steps closer than escalate_gap_ns.
+  double shed_factor = 2.0;
+  std::uint32_t max_shed_steps = 4;
+  std::uint64_t escalate_gap_ns = 1'000'000;
+  /// De-escalation: one restoring step per calm_hold_ns of the session
+  /// staying at or below the low watermarks — bounded recovery time.
+  std::uint64_t calm_hold_ns = 2'000'000;
+};
+
+/// One recorded state change.
+struct SessionTransition {
+  std::uint64_t at_ns = 0;
+  SessionState from = SessionState::Healthy;
+  SessionState to = SessionState::Healthy;
+  const char* reason = ""; ///< static string, e.g. "backlog>=high"
+};
+
+class SessionSupervisor {
+ public:
+  /// `reset` may be null (no rate shedding available; the session then
+  /// escalates straight from backpressured to degraded under pressure).
+  /// The tracer's dump and shed callbacks are taken over by the
+  /// supervisor; the tracer/writer/reset must outlive it.
+  SessionSupervisor(OnlineTracer& tracer, io::ResilientWriter& writer,
+                    SessionSupervisorConfig cfg = {},
+                    AdaptiveReset* reset = nullptr);
+
+  // --- streaming inputs (forwarded to the tracer) -----------------------
+  void on_marker(const Marker& m, std::uint64_t now_ns);
+  void on_sample(const PebsSample& s, std::uint64_t now_ns);
+  void on_sample_lost(const SampleLoss& l, std::uint64_t now_ns);
+
+  /// Watchdog heartbeat: pump the writer, check deadlines/watermarks,
+  /// escalate or de-escalate, recompute the state. Call at least a few
+  /// times per stall_deadline_ns.
+  void tick(std::uint64_t now_ns);
+
+  /// End of session: finalize the tracer, close the writer (eof
+  /// sentinel), settle the final state.
+  struct Report;
+  Report finish(std::uint64_t now_ns);
+
+  // --- observability ----------------------------------------------------
+  struct Report {
+    SessionState final_state = SessionState::Healthy;
+    std::vector<SessionTransition> transitions;
+
+    std::uint64_t ticks = 0;
+    std::uint64_t stalls = 0;           ///< watchdog deadline misses
+    std::uint64_t escalations = 0;      ///< nudge steps up (R raised)
+    std::uint64_t deescalations = 0;    ///< nudge steps down (R restored)
+    std::uint32_t shed_steps_final = 0; ///< steps still applied at finish
+
+    /// Record accounting (the reconciliation the chaos soak asserts):
+    /// every unrecorded sample is attributed to exactly one cause.
+    std::uint64_t samples_seen = 0;     ///< reached the tracer
+    std::uint64_t samples_lost = 0;     ///< counted capture losses (drain)
+    double rshed_estimate = 0.0;        ///< samples never taken due to
+                                        ///< raised R (factor model)
+    io::ResilientWriter::Stats writer;  ///< committed/dropped/lost ledger
+    bool reconciled = false;            ///< writer ledger adds up exactly
+
+    [[nodiscard]] std::string summary() const;
+  };
+
+  [[nodiscard]] SessionState state() const { return state_; }
+  [[nodiscard]] const std::vector<SessionTransition>& transitions() const {
+    return transitions_;
+  }
+  [[nodiscard]] std::uint32_t shed_steps() const { return shed_steps_; }
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
+
+ private:
+  void escalate(std::uint64_t now_ns);
+  void deescalate(std::uint64_t now_ns);
+  void set_state(std::uint64_t now_ns, SessionState next, const char* reason);
+  [[nodiscard]] SessionState compute_state(std::uint64_t now_ns) const;
+  void refresh(std::uint64_t now_ns, const char* reason);
+
+  OnlineTracer& tracer_;
+  io::ResilientWriter& writer_;
+  SessionSupervisorConfig cfg_;
+  AdaptiveReset* reset_;
+
+  SessionState state_ = SessionState::Healthy;
+  std::uint64_t state_since_ns_ = 0;
+  std::vector<SessionTransition> transitions_;
+
+  std::uint32_t shed_steps_ = 0;
+  double shed_multiplier_ = 1.0; ///< shed_factor^shed_steps_ (cached)
+  std::uint64_t last_escalate_ns_ = 0;
+  std::uint64_t calm_since_ns_ = 0;
+  bool was_calm_ = false;
+
+  // Watchdog progress tracking.
+  std::uint64_t last_committed_ = 0;
+  std::uint64_t progress_at_ns_ = 0;
+  bool stalled_ = false;
+
+  // Tick-delta bookkeeping for "records are dropping right now".
+  std::uint64_t last_dropped_ = 0;
+  bool dropping_ = false;
+
+  std::uint64_t ticks_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t deescalations_ = 0;
+  double rshed_estimate_ = 0.0;
+  std::uint64_t last_now_ns_ = 0; ///< clock hint for callback-driven events
+  bool finished_ = false;
+};
+
+} // namespace fluxtrace::core

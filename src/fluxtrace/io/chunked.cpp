@@ -130,18 +130,24 @@ bool decode_samples(std::string_view payload, std::uint32_t n,
   return true;
 }
 
+std::string make_chunk(std::uint8_t type, std::uint32_t n_records,
+                       const std::string& payload) {
+  std::string out;
+  out.reserve(kChunkHeaderBytes + payload.size());
+  app_u32(out, kChunkMagic);
+  app_u8(out, type);
+  app_u32(out, n_records);
+  app_u32(out, static_cast<std::uint32_t>(payload.size()));
+  app_u32(out, crc32(out.data(), out.size()));
+  app_u32(out, crc32(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
 void write_chunk(std::ostream& os, std::uint8_t type, std::uint32_t n_records,
                  const std::string& payload) {
-  std::string header;
-  header.reserve(kChunkHeaderBytes);
-  app_u32(header, kChunkMagic);
-  app_u8(header, type);
-  app_u32(header, n_records);
-  app_u32(header, static_cast<std::uint32_t>(payload.size()));
-  app_u32(header, crc32(header.data(), header.size()));
-  app_u32(header, crc32(payload.data(), payload.size()));
-  os.write(header.data(), static_cast<std::streamsize>(header.size()));
-  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const std::string chunk = make_chunk(type, n_records, payload);
+  os.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
 }
 
 std::string read_rest(std::istream& is) {
@@ -173,13 +179,49 @@ std::uint32_t crc32(const void* data, std::size_t len) {
   return crc ^ 0xffffffffu;
 }
 
+std::string encode_v2_file_header() {
+  std::string header;
+  app_u32(header, kTraceMagic);
+  app_u32(header, kTraceVersion2);
+  return header;
+}
+
+std::string encode_marker_chunk(const Marker* ms, std::size_t n) {
+  std::string payload;
+  payload.reserve(n * kMarkerBytes);
+  for (std::size_t i = 0; i < n; ++i) encode_marker(payload, ms[i]);
+  return make_chunk(kChunkMarkers, static_cast<std::uint32_t>(n), payload);
+}
+
+std::string encode_sample_chunk(const PebsSample* ss, std::size_t n) {
+  std::string payload;
+  payload.reserve(n * kSampleBytes);
+  for (std::size_t i = 0; i < n; ++i) encode_sample(payload, ss[i]);
+  return make_chunk(kChunkSamples, static_cast<std::uint32_t>(n), payload);
+}
+
+std::string encode_eof_chunk() {
+  return make_chunk(kChunkEof, 0, std::string{});
+}
+
 void write_trace_v2(std::ostream& os, const TraceData& data,
                     std::size_t records_per_chunk) {
   if (records_per_chunk == 0) records_per_chunk = 1;
+  // As in write_trace: surface the failing section with the errno text
+  // instead of leaving a silently truncated file (save_trace_v2 appends
+  // the path).
+  const auto check = [&os](const char* section) {
+    if (os.good()) return;
+    std::string msg = std::string("write failed (") + section + ")";
+    if (errno != 0) msg += std::string(": ") + std::strerror(errno);
+    throw TraceIoError(msg);
+  };
+  errno = 0;
   std::string header;
   app_u32(header, kTraceMagic);
   app_u32(header, kTraceVersion2);
   os.write(header.data(), static_cast<std::streamsize>(header.size()));
+  check("header");
 
   std::string payload;
   for (std::size_t at = 0; at < data.markers.size();
@@ -192,6 +234,7 @@ void write_trace_v2(std::ostream& os, const TraceData& data,
     }
     write_chunk(os, kChunkMarkers, static_cast<std::uint32_t>(n), payload);
   }
+  check("marker chunks");
   for (std::size_t at = 0; at < data.samples.size();
        at += records_per_chunk) {
     const std::size_t n =
@@ -202,10 +245,12 @@ void write_trace_v2(std::ostream& os, const TraceData& data,
     }
     write_chunk(os, kChunkSamples, static_cast<std::uint32_t>(n), payload);
   }
+  check("sample chunks");
   // Torn-write detector: a crash cutting the file at an exact chunk
   // boundary would otherwise look like a complete shorter file.
   write_chunk(os, kChunkEof, 0, std::string{});
-  if (!os.good()) throw TraceIoError("stream failure while writing v2 trace");
+  os.flush();
+  check("eof chunk");
 }
 
 SalvageReport salvage_trace(std::istream& is) {

@@ -130,13 +130,26 @@ V1Layout v1_layout(std::string_view body) {
   return l;
 }
 
+// A failed stream write would otherwise leave a silently truncated file;
+// report *which* section failed, with the errno text when the OS has one
+// (matching the reader's "cannot open: path: reason" convention — the
+// save_* wrappers append the path).
+void check_write(std::ostream& os, const char* section) {
+  if (os.good()) return;
+  std::string msg = std::string("write failed (") + section + ")";
+  if (errno != 0) msg += std::string(": ") + std::strerror(errno);
+  throw TraceIoError(msg);
+}
+
 } // namespace
 
 void write_trace(std::ostream& os, const TraceData& data) {
+  errno = 0;
   put_u32(os, kTraceMagic);
   put_u32(os, kTraceVersion);
   put_u64(os, data.markers.size());
   put_u64(os, data.samples.size());
+  check_write(os, "header");
 
   for (const Marker& m : data.markers) {
     put_u64(os, m.tsc);
@@ -144,13 +157,16 @@ void write_trace(std::ostream& os, const TraceData& data) {
     put_u32(os, m.core);
     put_u8(os, static_cast<std::uint8_t>(m.kind));
   }
+  check_write(os, "markers");
   for (const PebsSample& s : data.samples) {
     put_u64(os, s.tsc);
     put_u64(os, s.ip);
     put_u32(os, s.core);
     for (const std::uint64_t r : s.regs.v) put_u64(os, r);
   }
-  if (!os.good()) throw TraceIoError("stream failure while writing trace");
+  check_write(os, "samples");
+  os.flush();
+  check_write(os, "flush");
 }
 
 TraceData read_trace(std::istream& is) {

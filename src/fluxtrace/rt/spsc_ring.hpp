@@ -32,11 +32,14 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
-  /// Producer side. Returns false when the ring is full.
+  /// Producer side. Returns false when the ring is full (the rejection
+  /// is counted in dropped()).
   bool push(T value) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t next = (head + 1) & mask_;
     if (next == tail_.load(std::memory_order_acquire)) {
+      drops_.store(drops_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
       return false; // full
     }
     slots_[head] = std::move(value);
@@ -57,7 +60,7 @@ class SpscRing {
 
   /// Producer side, burst variant (rte_ring-style): enqueue up to
   /// `count` elements from `src`; returns how many were enqueued (all or
-  /// as many as fit).
+  /// as many as fit). Elements that did not fit are counted in dropped().
   std::size_t push_burst(const T* src, std::size_t count) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t tail = tail_.load(std::memory_order_acquire);
@@ -67,6 +70,10 @@ class SpscRing {
       slots_[(head + i) & mask_] = src[i];
     }
     head_.store((head + n) & mask_, std::memory_order_release);
+    if (n < count) {
+      drops_.store(drops_.load(std::memory_order_relaxed) + (count - n),
+                   std::memory_order_relaxed);
+    }
     return n;
   }
 
@@ -107,6 +114,15 @@ class SpscRing {
   /// Usable capacity (slots minus the full/empty sentinel).
   [[nodiscard]] std::size_t capacity() const { return mask_; }
 
+  /// Elements rejected because the ring was full — the overflow ledger a
+  /// supervising watchdog reconciles against (§III-E loss accounting).
+  /// Monotone; written only by the producer (plain load+store is a
+  /// single-writer increment, so no RMW is needed on the hot path),
+  /// readable from any thread.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
  private:
   static std::size_t round_up_pow2(std::size_t v) {
     std::size_t p = 1;
@@ -115,6 +131,7 @@ class SpscRing {
   }
 
   alignas(kCacheLine) std::atomic<std::size_t> head_{0}; // producer writes
+  alignas(kCacheLine) std::atomic<std::uint64_t> drops_{0}; // producer writes
   alignas(kCacheLine) std::atomic<std::size_t> tail_{0}; // consumer writes
   const std::size_t mask_;
   std::vector<T> slots_;

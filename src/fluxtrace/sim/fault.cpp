@@ -19,7 +19,8 @@ FaultPlan::FaultPlan(FaultPlanConfig cfg)
       sample_rng_(mix_seed(cfg_.seed, 0)),
       marker_rng_(mix_seed(cfg_.seed, 1)),
       drain_rng_(mix_seed(cfg_.seed, 2)),
-      dump_rng_(mix_seed(cfg_.seed, 3)) {}
+      dump_rng_(mix_seed(cfg_.seed, 3)),
+      sink_rng_(mix_seed(cfg_.seed, 4)) {}
 
 double FaultPlan::next_unit(std::uint64_t& state) {
   // splitmix64 (public domain, Vigna): a full-period 64-bit stream from
@@ -85,6 +86,29 @@ std::size_t FaultPlan::apply_dump_faults(std::string& bytes) {
     }
   }
   return corrupted;
+}
+
+SinkFaultKind FaultPlan::sink_fault(std::size_t bytes) {
+  const std::uint64_t attempt = sink_writes_++;
+  // Always draw so the stream position depends only on attempt count.
+  const double u = next_unit(sink_rng_);
+  if (cfg_.sink_enospc_after_bytes != FaultPlanConfig::kNoLimit &&
+      sink_bytes_accepted_ >= cfg_.sink_enospc_after_bytes) {
+    ++sink_enospc_hits_;
+    return SinkFaultKind::NoSpace;
+  }
+  for (const auto& w : cfg_.sink_stuck) {
+    if (attempt >= w.from_write && attempt < w.from_write + w.writes) {
+      ++sink_stuck_hits_;
+      return SinkFaultKind::Stuck;
+    }
+  }
+  if (u < cfg_.sink_transient_rate) {
+    ++sink_transients_;
+    return SinkFaultKind::Transient;
+  }
+  sink_bytes_accepted_ += bytes;
+  return SinkFaultKind::None;
 }
 
 void FaultPlan::attach(Machine& m) {

@@ -13,7 +13,11 @@
 //   * drain delay    — the helper program is slow, stretching the disarm
 //                      window (which loses real overflows on top);
 //   * dump faults    — truncation/corruption applied to serialized trace
-//                      bytes (what a crash mid-dump leaves on the SSD).
+//                      bytes (what a crash mid-dump leaves on the SSD);
+//   * sink faults    — write(2)-level failures on the live spool path:
+//                      one-shot transient errors, a stuck sink wedged for
+//                      a scheduled window of writes, and ENOSPC once a
+//                      byte budget is spent (ISSUE 4).
 #pragma once
 
 #include <cstdint>
@@ -59,6 +63,31 @@ struct FaultPlanConfig {
   std::uint64_t dump_truncate_at = kNoTruncation;
   /// Per-byte bit-flip probability (torn/bit-rotted sectors).
   double dump_corrupt_rate = 0.0;
+
+  /// --- sink faults (live spool write path, ISSUE 4) -------------------
+  /// Probability that one write attempt fails with a retryable error.
+  double sink_transient_rate = 0.0;
+  /// Scheduled wedge: write attempts [from_write, from_write + writes)
+  /// (counted across *attempts*, so retries advance the schedule and a
+  /// stuck sink eventually unsticks) all fail as retryable.
+  struct StuckWindow {
+    std::uint64_t from_write = 0;
+    std::uint64_t writes = 0;
+  };
+  std::vector<StuckWindow> sink_stuck;
+  /// Device-full model: once this many payload bytes have been accepted,
+  /// every further write fails fatally. kNoLimit = unlimited space.
+  static constexpr std::uint64_t kNoLimit = ~0ull;
+  std::uint64_t sink_enospc_after_bytes = kNoLimit;
+};
+
+/// Verdict for one injected sink write attempt (mirrored by
+/// io::SinkFault; sim cannot depend on io, so adapt with a lambda).
+enum class SinkFaultKind : std::uint8_t {
+  None,      ///< the write proceeds
+  Transient, ///< one-shot retryable failure
+  Stuck,     ///< inside a scheduled wedge window (retryable)
+  NoSpace,   ///< byte budget spent: fatal from here on
 };
 
 /// Stateful injector. Decisions are deterministic in (seed, call order):
@@ -79,6 +108,12 @@ class FaultPlan {
   /// mid-dump crash model). Returns the number of bytes corrupted.
   std::size_t apply_dump_faults(std::string& bytes);
 
+  /// Verdict for the next spool write attempt of `bytes` payload bytes.
+  /// Every call advances the write-attempt index (so stuck windows are
+  /// schedules over attempts) and, on None, charges `bytes` against the
+  /// ENOSPC budget. Draws from its own PRNG stream.
+  [[nodiscard]] SinkFaultKind sink_fault(std::size_t bytes);
+
   /// Install the sample/marker/drain hooks on a machine's MarkerLog and
   /// PebsDriver. The plan must outlive the machine's run.
   void attach(Machine& m);
@@ -93,6 +128,15 @@ class FaultPlan {
   [[nodiscard]] std::uint64_t drains_delayed() const {
     return drains_delayed_;
   }
+  [[nodiscard]] std::uint64_t sink_transients() const {
+    return sink_transients_;
+  }
+  [[nodiscard]] std::uint64_t sink_stuck_hits() const {
+    return sink_stuck_hits_;
+  }
+  [[nodiscard]] std::uint64_t sink_enospc_hits() const {
+    return sink_enospc_hits_;
+  }
 
  private:
   static bool in_burst(const std::vector<FaultPlanConfig::LossBurst>& bursts,
@@ -105,9 +149,15 @@ class FaultPlan {
   std::uint64_t marker_rng_;
   std::uint64_t drain_rng_;
   std::uint64_t dump_rng_;
+  std::uint64_t sink_rng_;
   std::uint64_t samples_dropped_ = 0;
   std::uint64_t markers_dropped_ = 0;
   std::uint64_t drains_delayed_ = 0;
+  std::uint64_t sink_writes_ = 0;        ///< write-attempt index
+  std::uint64_t sink_bytes_accepted_ = 0;
+  std::uint64_t sink_transients_ = 0;
+  std::uint64_t sink_stuck_hits_ = 0;
+  std::uint64_t sink_enospc_hits_ = 0;
 };
 
 } // namespace fluxtrace::sim

@@ -91,6 +91,49 @@ TEST_F(AdaptiveFixture, RespectsClampBounds) {
   EXPECT_EQ(ar.current_reset(), 1000u);
 }
 
+TEST_F(AdaptiveFixture, NudgeClampsAtBothBoundsWithoutPhantomReprograms) {
+  AdaptiveResetConfig cfg;
+  cfg.target_interval_ns = 1000.0;
+  cfg.min_reset = 1000;
+  cfg.max_reset = 16000;
+  AdaptiveReset ar(cfg, 8000, spec, [this](std::uint64_t r) {
+    programmed = r;
+    ++calls;
+  });
+
+  ar.nudge(2.0); // 8000 → 16000: hits the ceiling exactly
+  EXPECT_EQ(ar.current_reset(), 16000u);
+  EXPECT_EQ(calls, 1u);
+
+  ar.nudge(2.0); // would be 32000 → clamped back to 16000: a no-op
+  EXPECT_EQ(ar.current_reset(), 16000u);
+  EXPECT_EQ(calls, 1u); // no reprogram when the value didn't change
+  EXPECT_EQ(ar.adjustments(), 1u);
+
+  ar.nudge(1.0 / 64.0); // 250 → clamped up to the floor
+  EXPECT_EQ(ar.current_reset(), 1000u);
+  EXPECT_EQ(calls, 2u);
+  ar.nudge(0.5); // 500 → still the floor: another no-op
+  EXPECT_EQ(ar.current_reset(), 1000u);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST_F(AdaptiveFixture, MidWindowNudgeIsNotUndoneByStaleIntervals) {
+  // 32 too-fast samples accumulate mid-window, then a backlogged consumer
+  // nudges R up. The stale 250 ns intervals must not feed a later windowed
+  // adjustment — post-nudge sampling is on target, so R must hold.
+  AdaptiveReset ar = make(1000.0, 2000);
+  Tsc t = feed(ar, spec, 0, 250.0, 32);
+  ar.nudge(2.0);
+  EXPECT_EQ(ar.current_reset(), 4000u);
+  EXPECT_EQ(ar.adjustments(), 1u);
+
+  t = feed(ar, spec, t, 1000.0, 64); // a full on-target window post-nudge
+  EXPECT_EQ(ar.current_reset(), 4000u) << "stale pre-nudge intervals "
+                                          "leaked into the adjustment";
+  EXPECT_EQ(ar.adjustments(), 1u);
+}
+
 TEST_F(AdaptiveFixture, DeadBandSuppressesJitter) {
   AdaptiveReset ar = make(1000.0, 8000);
   feed(ar, spec, 0, 1030.0, 64); // 3% off: inside the 5% dead-band

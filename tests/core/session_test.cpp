@@ -1,0 +1,242 @@
+// core::SessionSupervisor: the capture-session state machine. These
+// tests drive the supervisor with a synthetic clock and scripted sinks,
+// so every transition — escalate under backlog, de-escalate after calm,
+// stall detection, halt on dead sinks — is deterministic.
+#include "fluxtrace/core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fluxtrace/io/chunked.hpp"
+
+namespace fluxtrace::core {
+namespace {
+
+/// Always-accepting in-memory sink (the healthy disk).
+struct CollectSink final : io::SpoolSink {
+  std::string bytes;
+  io::SinkResult write(const char* d, std::size_t n) override {
+    bytes.append(d, n);
+    return {io::SinkStatus::Ok, n};
+  }
+  bool sync() override { return true; }
+  [[nodiscard]] std::string describe() const override { return "collect"; }
+};
+
+/// Always-failing sink with a switchable verdict.
+struct BrokenSink final : io::SpoolSink {
+  io::SinkStatus verdict = io::SinkStatus::Transient;
+  io::SinkResult write(const char*, std::size_t) override {
+    return {verdict, 0};
+  }
+  bool sync() override { return false; }
+  [[nodiscard]] std::string describe() const override { return "broken"; }
+};
+
+Marker mk(MarkerKind kind, Tsc tsc, ItemId item, std::uint32_t core = 1) {
+  Marker m;
+  m.kind = kind;
+  m.tsc = tsc;
+  m.item = item;
+  m.core = core;
+  return m;
+}
+
+PebsSample smp(Tsc tsc, std::uint32_t core = 1) {
+  PebsSample s;
+  s.tsc = tsc;
+  s.ip = 0x1000;
+  s.core = core;
+  return s;
+}
+
+struct Fixture {
+  SymbolTable symtab;
+  OnlineTracer tracer;
+  std::unique_ptr<io::ResilientWriter> writer;
+  CollectSink* sink = nullptr;
+
+  explicit Fixture(OnlineTracerConfig ocfg = {},
+                   io::ResilientWriterConfig wcfg = {})
+      : tracer(symtab, ocfg) {
+    auto s = std::make_unique<CollectSink>();
+    sink = s.get();
+    writer = std::make_unique<io::ResilientWriter>(wcfg, std::move(s));
+  }
+};
+
+TEST(SessionSupervisor, EscalatesUnderBacklogAndRestoresAfterCalm) {
+  OnlineTracerConfig ocfg;
+  ocfg.shed_backlog = 8;
+  Fixture fx(ocfg);
+
+  std::vector<std::uint64_t> reprogrammed;
+  AdaptiveResetConfig acfg;
+  acfg.min_reset = 64;
+  acfg.max_reset = 1u << 20;
+  AdaptiveReset ar(acfg, 1000, CpuSpec{},
+                   [&](std::uint64_t r) { reprogrammed.push_back(r); });
+
+  SessionSupervisorConfig scfg;
+  scfg.backlog_high = 8;
+  scfg.backlog_low = 2;
+  scfg.queue_high = 48;
+  scfg.queue_low = 8;
+  scfg.escalate_gap_ns = 100;
+  scfg.calm_hold_ns = 1000;
+  scfg.max_shed_steps = 3;
+  SessionSupervisor sup(fx.tracer, *fx.writer, scfg, &ar);
+
+  // Pile up closed-but-unfinalized items (samples lagging far behind
+  // markers — the drain-falling-behind shape).
+  std::uint64_t now = 0;
+  for (ItemId i = 1; i <= 20; ++i) {
+    now = i * 100;
+    sup.on_marker(mk(MarkerKind::Enter, now, i), now);
+    sup.on_marker(mk(MarkerKind::Leave, now + 50, i), now + 50);
+    sup.tick(now + 60);
+  }
+  EXPECT_EQ(sup.shed_steps(), 3u); // capped at max_shed_steps
+  EXPECT_EQ(ar.current_reset(), 8000u);
+  EXPECT_EQ(sup.state(), SessionState::Shedding);
+
+  // One late sample whose watermark finalizes everything: backlog clears.
+  now = 10'000;
+  sup.on_sample(smp(now), now);
+  EXPECT_EQ(fx.tracer.max_backlog(), 0u);
+
+  // Calm watchdog ticks restore R one step per calm_hold window —
+  // bounded recovery, no operator action.
+  for (int k = 0; k < 5; ++k) {
+    now += scfg.calm_hold_ns + 1;
+    sup.tick(now);
+  }
+  EXPECT_EQ(sup.shed_steps(), 0u);
+  EXPECT_EQ(ar.current_reset(), 1000u);
+  EXPECT_EQ(sup.state(), SessionState::Healthy);
+  ASSERT_EQ(reprogrammed.size(), 6u);
+  const std::vector<std::uint64_t> expect = {2000, 4000, 8000,
+                                             4000, 2000, 1000};
+  EXPECT_EQ(reprogrammed, expect);
+
+  // Transitions walked through shedding and back.
+  const auto report = sup.finish(now + 1);
+  EXPECT_EQ(report.final_state, SessionState::Healthy);
+  EXPECT_EQ(report.escalations, 3u);
+  EXPECT_EQ(report.deescalations, 3u);
+  EXPECT_TRUE(report.reconciled);
+  bool saw_shedding = false;
+  for (const auto& t : report.transitions) {
+    saw_shedding |= t.to == SessionState::Shedding;
+  }
+  EXPECT_TRUE(saw_shedding);
+}
+
+TEST(SessionSupervisor, WatchdogFlagsStalledSinkViaDeadlineMiss) {
+  io::ResilientWriterConfig wcfg;
+  wcfg.records_per_chunk = 2;
+  SymbolTable symtab;
+  OnlineTracer tracer(symtab);
+  auto broken = std::make_unique<BrokenSink>();
+  io::ResilientWriter writer(wcfg, std::move(broken));
+
+  AdaptiveReset ar({}, 1000, CpuSpec{}, nullptr);
+  SessionSupervisorConfig scfg;
+  scfg.stall_deadline_ns = 1000;
+  scfg.escalate_gap_ns = 100;
+  SessionSupervisor sup(tracer, writer, scfg, &ar);
+
+  // Stage work the wedged sink will never take.
+  std::vector<Marker> ms = {mk(MarkerKind::Enter, 1, 1),
+                            mk(MarkerKind::Leave, 2, 1)};
+  writer.add_markers(ms.data(), ms.size(), 0);
+
+  std::uint64_t now = 0;
+  for (int i = 0; i < 10; ++i) {
+    now += 500;
+    sup.tick(now);
+  }
+  EXPECT_GE(sup.stalls(), 1u);
+  EXPECT_GT(sup.shed_steps(), 0u); // stall pressure sheds rate first
+  EXPECT_TRUE(sup.state() == SessionState::Shedding ||
+              sup.state() == SessionState::Backpressured);
+}
+
+TEST(SessionSupervisor, HaltsWhenEverySinkIsDead) {
+  io::ResilientWriterConfig wcfg;
+  wcfg.records_per_chunk = 2;
+  SymbolTable symtab;
+  OnlineTracer tracer(symtab);
+  auto broken = std::make_unique<BrokenSink>();
+  broken->verdict = io::SinkStatus::Fatal;
+  io::ResilientWriter writer(wcfg, std::move(broken));
+  SessionSupervisor sup(tracer, writer, {}, nullptr);
+
+  std::vector<Marker> ms = {mk(MarkerKind::Enter, 1, 1),
+                            mk(MarkerKind::Leave, 2, 1)};
+  writer.add_markers(ms.data(), ms.size(), 0);
+  sup.tick(100);
+  EXPECT_EQ(sup.state(), SessionState::Halted);
+
+  // Even a halted session's ledger adds up: everything is counted lost.
+  const auto report = sup.finish(200);
+  EXPECT_EQ(report.final_state, SessionState::Halted);
+  EXPECT_TRUE(report.reconciled);
+  EXPECT_EQ(report.writer.records_lost_sink, 2u);
+  EXPECT_FALSE(report.writer.closed_clean);
+}
+
+TEST(SessionSupervisor, AnomalousItemsAreSpooledWithTheirMarkers) {
+  OnlineTracerConfig ocfg;
+  ocfg.detector = DetectorConfig{3.0, 8};
+  io::ResilientWriterConfig wcfg;
+  wcfg.records_per_chunk = 2;
+  Fixture fx(ocfg, wcfg);
+  SessionSupervisor sup(fx.tracer, *fx.writer, {}, nullptr);
+
+  // A stable-but-not-constant window population (the detector needs
+  // sd > 0 to flag), then one enormous outlier.
+  std::uint64_t now = 0;
+  for (ItemId i = 1; i <= 20; ++i) {
+    now = i * 1000;
+    const Tsc width = 50 + i % 5;
+    sup.on_marker(mk(MarkerKind::Enter, now, i), now);
+    sup.on_marker(mk(MarkerKind::Leave, now + width, i), now + width);
+  }
+  const ItemId outlier = 21;
+  now = 21'000;
+  sup.on_marker(mk(MarkerKind::Enter, now, outlier), now);
+  sup.on_marker(mk(MarkerKind::Leave, now + 5000, outlier), now + 5000);
+  // Watermark far beyond: everything finalizes through the live path.
+  sup.on_sample(smp(40'000), 40'000);
+  sup.tick(41'000);
+
+  const auto report = sup.finish(42'000);
+  EXPECT_TRUE(report.reconciled);
+  ASSERT_GE(report.writer.records_committed, 2u);
+
+  // The spool is a clean v2 file holding the outlier's marker pair.
+  const io::SalvageReport rep =
+      io::salvage_trace(std::string_view(fx.sink->bytes));
+  EXPECT_TRUE(rep.clean());
+  bool enter_seen = false;
+  bool leave_seen = false;
+  for (const Marker& m : rep.data.markers) {
+    if (m.item == outlier && m.kind == MarkerKind::Enter &&
+        m.tsc == 21'000u) {
+      enter_seen = true;
+    }
+    if (m.item == outlier && m.kind == MarkerKind::Leave &&
+        m.tsc == 26'000u) {
+      leave_seen = true;
+    }
+  }
+  EXPECT_TRUE(enter_seen);
+  EXPECT_TRUE(leave_seen);
+}
+
+} // namespace
+} // namespace fluxtrace::core

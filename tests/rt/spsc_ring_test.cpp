@@ -151,6 +151,84 @@ TEST(SpscRing, BurstWrapsAround) {
   }
 }
 
+// Overflow accounting: every rejected element lands in dropped(), the
+// ledger a supervising watchdog reconciles unrecorded samples against.
+TEST(SpscRing, DroppedCountsEachRejectedPush) {
+  SpscRing<int> r(4);
+  EXPECT_EQ(r.dropped(), 0u);
+  while (r.push(1)) {
+  }
+  EXPECT_EQ(r.dropped(), 1u); // the terminating failed push
+  for (int i = 0; i < 9; ++i) EXPECT_FALSE(r.push(i));
+  EXPECT_EQ(r.dropped(), 10u);
+  // Accepted pushes never touch the counter.
+  ASSERT_TRUE(r.pop().has_value());
+  EXPECT_TRUE(r.push(2));
+  EXPECT_EQ(r.dropped(), 10u);
+}
+
+TEST(SpscRing, DroppedCountsBurstShortfall) {
+  SpscRing<int> r(4);
+  std::vector<int> src(10, 7);
+  const std::size_t cap = r.capacity();
+  EXPECT_EQ(r.push_burst(src.data(), src.size()), cap);
+  EXPECT_EQ(r.dropped(), 10u - cap);
+  // A full burst into a full ring charges everything.
+  EXPECT_EQ(r.push_burst(src.data(), 3), 0u);
+  EXPECT_EQ(r.dropped(), 10u - cap + 3u);
+  // A burst that fits exactly charges nothing.
+  int dst[8];
+  EXPECT_EQ(r.pop_burst(dst, 8), cap);
+  EXPECT_EQ(r.push_burst(src.data(), cap), cap);
+  EXPECT_EQ(r.dropped(), 10u - cap + 3u);
+}
+
+// With a stalled consumer the drop counter is monotone and, combined
+// with what was accepted, accounts for every offered element.
+TEST(SpscRing, StalledConsumerOverflowLedgerReconciles) {
+  SpscRing<int> r(8);
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t last_dropped = 0;
+  for (int round = 0; round < 100; ++round) {
+    const int burst[3] = {round, round, round};
+    offered += 3;
+    accepted += r.push_burst(burst, 3);
+    const std::uint64_t d = r.dropped();
+    ASSERT_GE(d, last_dropped) << "drop counter went backwards";
+    last_dropped = d;
+    ASSERT_EQ(accepted + d, offered) << "unaccounted overflow";
+  }
+  EXPECT_EQ(accepted, r.capacity());
+  EXPECT_EQ(r.dropped(), offered - r.capacity());
+}
+
+// Two real threads: producer hammers a tiny ring while the consumer
+// drains slowly; dropped() read from the consumer side must reconcile.
+// (Also the TSan exercise for the relaxed single-writer counter.)
+TEST(SpscRing, TwoThreadsDropAccountingReconciles) {
+  constexpr std::uint64_t kOffered = 100000;
+  SpscRing<int> ring(16);
+  std::atomic<bool> done{false};
+  std::uint64_t consumed = 0;
+
+  std::thread consumer([&ring, &done, &consumed] {
+    int dst[8];
+    while (!done.load(std::memory_order_acquire) || !ring.empty()) {
+      consumed += ring.pop_burst(dst, 8);
+    }
+  });
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 0; i < kOffered; ++i) {
+    if (ring.push(static_cast<int>(i))) ++accepted;
+  }
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(consumed, accepted);
+  EXPECT_EQ(accepted + ring.dropped(), kOffered);
+}
+
 // Concurrency property: with one real producer thread and one real
 // consumer thread, every value arrives exactly once, in order.
 TEST(SpscRing, TwoThreadsBurstPreserveOrderAndCount) {

@@ -119,6 +119,74 @@ TEST(FaultPlan, DumpTruncationAndCorruption) {
   for (char c : bytes) EXPECT_NE(c, 'a'); // every byte got a bit flip
 }
 
+TEST(FaultPlan, SinkFaultsOffByDefault) {
+  FaultPlan plan{FaultPlanConfig{}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(plan.sink_fault(64), SinkFaultKind::None);
+  }
+  EXPECT_EQ(plan.sink_transients(), 0u);
+  EXPECT_EQ(plan.sink_stuck_hits(), 0u);
+  EXPECT_EQ(plan.sink_enospc_hits(), 0u);
+}
+
+TEST(FaultPlan, SinkTransientsAreSeededAndApproximatelyRated) {
+  FaultPlanConfig cfg;
+  cfg.seed = 5;
+  cfg.sink_transient_rate = 0.25;
+  FaultPlan a{cfg}, b{cfg};
+  const int n = 20000;
+  int transients = 0;
+  for (int i = 0; i < n; ++i) {
+    const SinkFaultKind ka = a.sink_fault(64);
+    EXPECT_EQ(ka, b.sink_fault(64)) << "i=" << i;
+    transients += ka == SinkFaultKind::Transient ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(transients) / n, 0.25, 0.02);
+  EXPECT_EQ(a.sink_transients(), static_cast<std::uint64_t>(transients));
+}
+
+TEST(FaultPlan, SinkStreamIsIndependentOfSampleStream) {
+  // Raising the sample loss rate must not change which writes fault.
+  FaultPlanConfig low;
+  low.sink_transient_rate = 0.2;
+  FaultPlanConfig high = low;
+  high.sample_loss_rate = 0.9;
+  FaultPlan a{low}, b{high};
+  for (Tsc t = 0; t < 2000; ++t) {
+    (void)a.lose_sample(sample_at(t));
+    (void)b.lose_sample(sample_at(t));
+    EXPECT_EQ(a.sink_fault(64), b.sink_fault(64)) << "t=" << t;
+  }
+}
+
+TEST(FaultPlan, SinkStuckWindowIsIndexedByWriteAttempt) {
+  // Attempts 3..6 wedge; retries advance the attempt index, so a real
+  // writer retrying through the window eventually gets through.
+  FaultPlanConfig cfg;
+  cfg.sink_stuck.push_back({/*from_write=*/3, /*writes=*/4});
+  FaultPlan plan{cfg};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const bool in = i >= 3 && i < 7;
+    EXPECT_EQ(plan.sink_fault(64),
+              in ? SinkFaultKind::Stuck : SinkFaultKind::None)
+        << "attempt " << i;
+  }
+  EXPECT_EQ(plan.sink_stuck_hits(), 4u);
+}
+
+TEST(FaultPlan, SinkRunsOutOfSpaceAfterByteBudget) {
+  FaultPlanConfig cfg;
+  cfg.sink_enospc_after_bytes = 256;
+  FaultPlan plan{cfg};
+  // 100-byte writes: two fit (200 accepted), the third crosses 256.
+  EXPECT_EQ(plan.sink_fault(100), SinkFaultKind::None);
+  EXPECT_EQ(plan.sink_fault(100), SinkFaultKind::None);
+  EXPECT_EQ(plan.sink_fault(100), SinkFaultKind::None); // 300 > 256 accepted
+  EXPECT_EQ(plan.sink_fault(100), SinkFaultKind::NoSpace);
+  EXPECT_EQ(plan.sink_fault(1), SinkFaultKind::NoSpace); // it stays full
+  EXPECT_EQ(plan.sink_enospc_hits(), 2u);
+}
+
 struct FaultedRun {
   SymbolTable symtab;
   apps::QueryCacheApp app{symtab};

@@ -383,5 +383,81 @@ TEST_F(ToolsFixture, ConvertSalvageRecoversADamagedV2File) {
   }
 }
 
+TEST_F(ToolsFixture, SessionHealsUnderChaosAndReconciles) {
+  const std::string spool = ::testing::TempDir() + "/tools_session.flxt";
+  const std::string second = ::testing::TempDir() + "/tools_session_2nd.flxt";
+  int rc = -1;
+  const std::string out = run_capture(
+      tool("flxt_session") + " " + spool + " --secondary " + second +
+          " --queries 150 --drain-loss 0.2 --sink-transient 0.1"
+          " --stuck-at 5 --stuck-for 8",
+      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("session: final="), std::string::npos) << out;
+  EXPECT_NE(out.find("reconciled: exact"), std::string::npos) << out;
+  EXPECT_NE(out.find("clean-close=yes"), std::string::npos) << out;
+  // Faulted writes really happened and were retried, not ignored.
+  EXPECT_EQ(out.find("retries=0 "), std::string::npos) << out;
+
+  // The spool survived the chaos as a well-formed v2 trace.
+  const std::string dump = run_capture(tool("flxt_dump") + " " + spool, &rc);
+  EXPECT_EQ(rc, 0) << dump;
+}
+
+TEST_F(ToolsFixture, SessionRejectsInvalidNumericFlags) {
+  const std::string spool = ::testing::TempDir() + "/tools_session_bad.flxt";
+  int rc = 0;
+  // Zero where only a positive count makes sense.
+  std::string out =
+      run_capture(tool("flxt_session") + " " + spool + " --queries 0", &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("positive whole number"), std::string::npos) << out;
+  // Negative values must not wrap through strtoull.
+  out = run_capture(tool("flxt_session") + " " + spool + " --reset -5", &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  // Overflow is reported as out of range, not silently truncated.
+  out = run_capture(
+      tool("flxt_session") + " " + spool + " --queue 99999999999999999999999",
+      &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("out of range"), std::string::npos) << out;
+  // Rates live in [0, 1].
+  out = run_capture(
+      tool("flxt_session") + " " + spool + " --drain-loss 1.5", &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("rate in [0, 1]"), std::string::npos) << out;
+  // Unknown overflow policies name the valid set.
+  out = run_capture(
+      tool("flxt_session") + " " + spool + " --policy sideways", &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("block|drop-oldest|drop-newest"), std::string::npos)
+      << out;
+}
+
+TEST_F(ToolsFixture, SessionCrashLeavesRecoverableSpool) {
+  // Simulated kill -9 mid-capture: no close, no eof sentinel. The
+  // fsync-per-chunk discipline means flxt_recover salvages every
+  // committed chunk with zero CRC failures.
+  const std::string spool = ::testing::TempDir() + "/tools_session_crash.flxt";
+  int rc = 0;
+  std::string out = run_capture(
+      tool("flxt_session") + " " + spool +
+          " --queries 200 --chunk-records 16 --crash-after 5",
+      &rc);
+  EXPECT_NE(rc, 0) << out; // the "kill" exits 137
+  EXPECT_NE(out.find("crash-after reached"), std::string::npos) << out;
+
+  const std::string rec = ::testing::TempDir() + "/tools_session_rec.flxt";
+  out = run_capture(tool("flxt_recover") + " " + spool + " " + rec, &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("0 corrupt"), std::string::npos) << out;
+  EXPECT_NE(out.find("recovered"), std::string::npos) << out;
+
+  // The recovered file reads strictly clean.
+  out = run_capture(tool("flxt_dump") + " " + rec, &rc);
+  EXPECT_EQ(rc, 0) << out;
+}
+
 } // namespace
 } // namespace fluxtrace

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -37,12 +38,24 @@ class Cli {
   void flag(const char* name, bool* out) {
     flags_.push_back({name, Kind::Bool, out});
   }
-  /// --name N, unsigned decimal.
+  /// --name N, unsigned decimal (zero allowed; e.g. --threads 0 = auto).
   void flag_count(const char* name, std::size_t* out) {
     flags_.push_back({name, Kind::Count, out});
   }
   void flag_uint(const char* name, unsigned* out) {
     flags_.push_back({name, Kind::Uint, out});
+  }
+  /// --name N, strictly positive decimal (zero is rejected with a clear
+  /// error; use for sizes/rates where 0 is meaningless).
+  void flag_count_pos(const char* name, std::size_t* out) {
+    flags_.push_back({name, Kind::CountPos, out});
+  }
+  void flag_uint_pos(const char* name, unsigned* out) {
+    flags_.push_back({name, Kind::UintPos, out});
+  }
+  /// --name X, double in [0, 1] (probabilities/rates).
+  void flag_rate(const char* name, double* out) {
+    flags_.push_back({name, Kind::Rate, out});
   }
   /// --name GHZ, strictly positive double.
   void flag_ghz(const char* name, double* out) {
@@ -87,7 +100,7 @@ class Cli {
   [[nodiscard]] const char* pos(std::size_t i) const { return pos_[i]; }
 
  private:
-  enum class Kind { Bool, Count, Uint, Ghz, Str };
+  enum class Kind { Bool, Count, CountPos, Uint, UintPos, Ghz, Rate, Str };
   struct Flag {
     const char* name;
     Kind kind;
@@ -101,33 +114,68 @@ class Cli {
     return nullptr;
   }
 
-  static bool parse_ull(const char* arg, unsigned long long& out) {
+  /// Strict unsigned decimal: digits only. strtoull on its own silently
+  /// *accepts* "-1" (it wraps to ULLONG_MAX — a --threads 18446744073...
+  /// time bomb), leading '+', and embedded whitespace; none of those are
+  /// numbers a tool flag should take.
+  enum class NumErr { Ok, Malformed, Overflow };
+  static NumErr parse_ull(const char* arg, unsigned long long& out) {
+    if (*arg == '\0') return NumErr::Malformed;
+    for (const char* p = arg; *p != '\0'; ++p) {
+      if (*p < '0' || *p > '9') return NumErr::Malformed;
+    }
     char* end = nullptr;
     errno = 0;
     out = std::strtoull(arg, &end, 10);
-    return end != arg && *end == '\0' && errno != ERANGE;
+    if (errno == ERANGE) return NumErr::Overflow;
+    return NumErr::Ok;
+  }
+
+  /// One-line diagnostics naming the flag, the expectation, and the
+  /// offending value — printed before the usage text.
+  bool fail_num(const Flag& f, const char* value, NumErr err,
+                bool need_pos) const {
+    if (err == NumErr::Overflow) {
+      std::fprintf(stderr, "error: %s value out of range: '%s'\n", f.name,
+                   value);
+    } else if (need_pos) {
+      std::fprintf(stderr,
+                   "error: %s expects a positive whole number, got '%s'\n",
+                   f.name, value);
+    } else {
+      std::fprintf(stderr,
+                   "error: %s expects an unsigned whole number, got '%s'\n",
+                   f.name, value);
+    }
+    return false;
   }
 
   bool set_value(Flag& f, const char* value) {
     switch (f.kind) {
       case Kind::Bool: return false; // unreachable: handled in parse()
-      case Kind::Count: {
+      case Kind::Count:
+      case Kind::CountPos: {
+        const bool pos = f.kind == Kind::CountPos;
         unsigned long long v = 0;
-        if (!parse_ull(value, v)) {
-          std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
-                       f.name, value);
-          return false;
+        const NumErr err = parse_ull(value, v);
+        if (err != NumErr::Ok) return fail_num(f, value, err, pos);
+        if (v > std::numeric_limits<std::size_t>::max()) {
+          return fail_num(f, value, NumErr::Overflow, pos);
         }
+        if (pos && v == 0) return fail_num(f, value, NumErr::Malformed, pos);
         *static_cast<std::size_t*>(f.out) = static_cast<std::size_t>(v);
         return true;
       }
-      case Kind::Uint: {
+      case Kind::Uint:
+      case Kind::UintPos: {
+        const bool pos = f.kind == Kind::UintPos;
         unsigned long long v = 0;
-        if (!parse_ull(value, v) || v > 0xffffffffull) {
-          std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
-                       f.name, value);
-          return false;
+        const NumErr err = parse_ull(value, v);
+        if (err != NumErr::Ok) return fail_num(f, value, err, pos);
+        if (v > 0xffffffffull) {
+          return fail_num(f, value, NumErr::Overflow, pos);
         }
+        if (pos && v == 0) return fail_num(f, value, NumErr::Malformed, pos);
         *static_cast<unsigned*>(f.out) = static_cast<unsigned>(v);
         return true;
       }
@@ -138,6 +186,20 @@ class Cli {
         if (end == value || *end != '\0' || errno == ERANGE || v <= 0.0) {
           std::fprintf(stderr,
                        "error: %s expects a positive GHz value, got '%s'\n",
+                       f.name, value);
+          return false;
+        }
+        *static_cast<double*>(f.out) = v;
+        return true;
+      }
+      case Kind::Rate: {
+        char* end = nullptr;
+        errno = 0;
+        const double v = std::strtod(value, &end);
+        if (end == value || *end != '\0' || errno == ERANGE || v < 0.0 ||
+            v > 1.0) {
+          std::fprintf(stderr,
+                       "error: %s expects a rate in [0, 1], got '%s'\n",
                        f.name, value);
           return false;
         }
