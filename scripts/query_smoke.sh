@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# CI query smoke (ISSUE 5): record the deterministic example trace,
+# convert it to a multi-chunk FLXT v2 container, run the canned
+# flxt_query pipelines, and byte-diff each against its golden CSV in
+# tests/golden/. A second pass re-runs one selective query so the FLXI
+# sidecar written by the first pass must actually prune chunks — and
+# must not change a single output byte.
+#
+# Usage: scripts/query_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+GOLDEN=tests/golden
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/examples/offline_analysis" "$TMP/smoke.flxt" > /dev/null
+"$BUILD/tools/flxt_convert" "$TMP/smoke.flxt" "$TMP/smoke_v2.flxt" \
+  --to-v2 --chunk-records 16 > /dev/null
+TRACE="$TMP/smoke_v2.flxt"
+SYMS="$TMP/smoke.flxt.syms"
+
+declare -A QUERIES=(
+  [group_func]='group func: count, sum(dur), p95(dur)'
+  [filter_item]='filter item == 1 | group func: count'
+  [topk_items]='group item: count, max(ts) | top 3 by count'
+  [select_rows]='filter func == "sample_app::f3_transform" && core == 1 | select item, ts | limit 5'
+  [outliers]='outliers k=1.0 warmup=3'
+)
+
+fail=0
+for name in group_func filter_item topk_items select_rows outliers; do
+  "$BUILD/tools/flxt_query" "$TRACE" "$SYMS" "${QUERIES[$name]}" --csv \
+    > "$TMP/$name.csv"
+  if ! diff -u "$GOLDEN/query_$name.csv" "$TMP/$name.csv"; then
+    echo "FAIL: $name diverges from $GOLDEN/query_$name.csv" >&2
+    fail=1
+  else
+    echo "ok: $name"
+  fi
+done
+
+# Second pass: the sidecar from the first pass must prune, and pruned
+# output must be byte-identical to the golden (i.e. to the full scan).
+"$BUILD/tools/flxt_query" "$TRACE" "$SYMS" "${QUERIES[filter_item]}" \
+  --csv --stats > "$TMP/pruned.csv" 2> "$TMP/pruned.stats"
+grep -q 'pruned [1-9]' "$TMP/pruned.stats" || {
+  echo "FAIL: second pass did not prune: $(cat "$TMP/pruned.stats")" >&2
+  fail=1
+}
+diff -u "$GOLDEN/query_filter_item.csv" "$TMP/pruned.csv" || {
+  echo "FAIL: pruned scan changed the output" >&2
+  fail=1
+}
+grep -q 'index' "$TMP/pruned.stats" && echo "ok: pruned pass ($(cat "$TMP/pruned.stats"))"
+
+exit "$fail"

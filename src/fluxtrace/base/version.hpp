@@ -1,0 +1,17 @@
+// The single source of truth for the fluxtrace version. Everything that
+// reports a version — the flxt_* tools' shared --version flag
+// (tools/cli.hpp), docs, packaging — reads these constants; nothing else
+// may hard-code a version string.
+#pragma once
+
+#include <string_view>
+
+namespace fluxtrace {
+
+inline constexpr int kVersionMajor = 0;
+inline constexpr int kVersionMinor = 5;
+inline constexpr int kVersionPatch = 0;
+
+inline constexpr std::string_view kVersionString = "0.5.0";
+
+} // namespace fluxtrace

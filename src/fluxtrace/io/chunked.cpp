@@ -361,6 +361,68 @@ TraceData read_trace_v2_body(std::string_view body) {
   return std::move(rep.data);
 }
 
+std::vector<V2ChunkRef> index_trace_v2(std::string_view file) {
+  if (file.size() < 8 || peek_u32(file, 0) != kTraceMagic ||
+      peek_u32(file, 4) != kTraceVersion2) {
+    throw TraceIoError("not a v2 chunked trace (bad file header)");
+  }
+  std::vector<V2ChunkRef> out;
+  std::size_t pos = 8;
+  bool saw_eof = false;
+  while (pos < file.size()) {
+    if (saw_eof) throw TraceIoError("data past the v2 eof sentinel");
+    if (file.size() - pos < kChunkHeaderBytes) {
+      throw TraceIoError("truncated v2 chunk header");
+    }
+    if (peek_u32(file, pos) != kChunkMagic ||
+        peek_u32(file, pos + 13) != crc32(file.data() + pos, 13)) {
+      throw TraceIoError("damaged v2 chunk header");
+    }
+    const std::uint8_t type = peek_u8(file, pos + 4);
+    const std::uint32_t n_records = peek_u32(file, pos + 5);
+    const std::uint32_t payload_bytes = peek_u32(file, pos + 9);
+    if (file.size() - pos - kChunkHeaderBytes < payload_bytes) {
+      throw TraceIoError("truncated v2 chunk payload");
+    }
+    if (type == kChunkEof) {
+      if (n_records != 0 || payload_bytes != 0) {
+        throw TraceIoError("malformed v2 eof sentinel");
+      }
+      saw_eof = true;
+    } else if (type == kChunkMarkers || type == kChunkSamples) {
+      out.push_back(V2ChunkRef{pos, type, n_records, payload_bytes});
+    } else {
+      throw TraceIoError("unknown v2 chunk type");
+    }
+    pos += kChunkHeaderBytes + payload_bytes;
+  }
+  if (!saw_eof) {
+    throw TraceIoError("missing v2 end-of-file sentinel (torn write)");
+  }
+  return out;
+}
+
+void decode_trace_v2_chunk(std::string_view file, const V2ChunkRef& ref,
+                           TraceData& out) {
+  if (ref.offset + kChunkHeaderBytes > file.size() ||
+      file.size() - ref.offset - kChunkHeaderBytes < ref.payload_bytes) {
+    throw TraceIoError("chunk ref outside the file image");
+  }
+  const std::string_view payload =
+      file.substr(ref.offset + kChunkHeaderBytes, ref.payload_bytes);
+  if (peek_u32(file, ref.offset + 17) !=
+      crc32(payload.data(), payload.size())) {
+    throw TraceIoError("v2 chunk payload CRC mismatch");
+  }
+  bool ok = false;
+  if (ref.type == kChunkMarkers) {
+    ok = decode_markers(payload, ref.n_records, out.markers);
+  } else if (ref.type == kChunkSamples) {
+    ok = decode_samples(payload, ref.n_records, out.samples);
+  }
+  if (!ok) throw TraceIoError("malformed v2 chunk records");
+}
+
 TraceData read_trace_v2_body_parallel(std::string_view body,
                                       rt::ThreadPool& pool) {
   // Index pass: walk the chunk headers sequentially (header CRCs are 13

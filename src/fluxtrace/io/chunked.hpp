@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string_view>
+#include <vector>
 
 #include "fluxtrace/io/trace_file.hpp"
 
@@ -112,6 +113,38 @@ struct SalvageReport {
 /// Buffer-based strict v2 body parse (`body` = the bytes after the
 /// 8-byte magic + version header). io-internal, used by TraceReader.
 [[nodiscard]] TraceData read_trace_v2_body(std::string_view body);
+
+// --- selective chunk access -------------------------------------------
+// The query engine (query/engine.cpp) decodes *subsets* of a v2 file:
+// its FLXI zone maps tell it which sample chunks a query can possibly
+// match, and it skips the rest. These two calls expose the strict
+// reader's chunk walk without forcing a full decode.
+
+inline constexpr std::uint8_t kChunkTypeMarkers = 0;
+inline constexpr std::uint8_t kChunkTypeSamples = 1;
+inline constexpr std::uint8_t kChunkTypeEof = 2;
+
+/// One chunk's location in a v2 *file image* (header + chunks).
+struct V2ChunkRef {
+  std::uint64_t offset = 0; ///< of the chunk header, within the file image
+  std::uint8_t type = 0;    ///< kChunkTypeMarkers / kChunkTypeSamples
+  std::uint32_t n_records = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
+/// Strict header walk over a whole v2 file image: validates the file
+/// header, every chunk header CRC, and the trailing eof sentinel, and
+/// returns the data chunks in file order (the eof chunk is consumed, not
+/// returned). Payload CRCs are *not* checked here — that is per-chunk
+/// work decode_trace_v2_chunk() does on the chunks actually read. Throws
+/// TraceIoError on any structural damage.
+[[nodiscard]] std::vector<V2ChunkRef> index_trace_v2(std::string_view file);
+
+/// Decode one indexed chunk's records into `out` (markers or samples,
+/// appended in order). Validates the payload CRC; throws TraceIoError on
+/// damage or a ref that does not match `file`.
+void decode_trace_v2_chunk(std::string_view file, const V2ChunkRef& ref,
+                           TraceData& out);
 
 /// Chunk-parallel strict v2 body parse: one sequential index pass over
 /// the chunk headers, then payload CRC checks and record decodes run

@@ -7,23 +7,27 @@
 namespace fluxtrace::io {
 
 void write_folded(std::ostream& os, const core::TraceTable& table,
-                  const SymbolTable& symtab, std::uint64_t min_samples) {
+                  const SymbolTable& symtab, std::uint64_t min_samples,
+                  const BucketFilter& keep) {
   for (const ItemId item : table.items()) {
     for (const SymbolId fn : table.functions(item)) {
       const std::uint64_t n = table.sample_count(item, fn);
       if (n < min_samples) continue;
+      if (keep && !keep(item, fn)) continue;
       os << "item_" << item << ';' << symtab.name(fn) << ' ' << n << '\n';
     }
   }
 }
 
 void write_table_csv(std::ostream& os, const core::TraceTable& table,
-                     const SymbolTable& symtab, const CpuSpec& spec) {
+                     const SymbolTable& symtab, const CpuSpec& spec,
+                     const BucketFilter& keep) {
   report::CsvWriter w(os);
   w.header({"item", "function", "samples", "elapsed_us", "window_us"});
   for (const ItemId item : table.items()) {
     const double window = spec.us(table.item_window_total(item));
     for (const SymbolId fn : table.functions(item)) {
+      if (keep && !keep(item, fn)) continue;
       w.row({std::to_string(item), std::string(symtab.name(fn)),
              std::to_string(table.sample_count(item, fn)),
              std::to_string(spec.us(table.elapsed(item, fn))),

@@ -8,6 +8,7 @@
 // out of the picture.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 
 #include "fluxtrace/base/symbols.hpp"
@@ -15,15 +16,23 @@
 
 namespace fluxtrace::io {
 
+/// Bucket predicate for the exporters below: return false to drop one
+/// (item, function) bucket. An empty function keeps everything.
+/// flxt_report compiles its --filter expression into one of these, so io
+/// stays independent of the query subsystem.
+using BucketFilter = std::function<bool(ItemId, SymbolId)>;
+
 /// Write the table's buckets in folded form. `min_samples` suppresses
 /// single-sample buckets (which a trace cannot time anyway) when > 1.
 void write_folded(std::ostream& os, const core::TraceTable& table,
-                  const SymbolTable& symtab, std::uint64_t min_samples = 1);
+                  const SymbolTable& symtab, std::uint64_t min_samples = 1,
+                  const BucketFilter& keep = {});
 
 /// Write the integrated per-item, per-function table as CSV
 /// (item, function, samples, elapsed_us, window_us) — the plotting-ready
 /// form of the paper's Fig. 8/9 data.
 void write_table_csv(std::ostream& os, const core::TraceTable& table,
-                     const SymbolTable& symtab, const CpuSpec& spec);
+                     const SymbolTable& symtab, const CpuSpec& spec,
+                     const BucketFilter& keep = {});
 
 } // namespace fluxtrace::io

@@ -55,6 +55,10 @@ class TraceReader {
   [[nodiscard]] TraceFormat format() const { return format_; }
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::size_t size_bytes() const { return bytes_.size(); }
+  /// The raw file image the reader owns. Consumers that walk the
+  /// container themselves (the query engine's selective chunk decode)
+  /// read it through io::index_trace_v2 / decode_trace_v2_chunk.
+  [[nodiscard]] const std::string& bytes() const { return bytes_; }
 
   /// Strict parse of the whole trace. Throws TraceIoError on damage or an
   /// unrecognized format; errors carry the path when one is known.

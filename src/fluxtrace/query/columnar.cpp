@@ -1,0 +1,146 @@
+#include "fluxtrace/query/columnar.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "fluxtrace/base/regs.hpp"
+#include "fluxtrace/core/integrator.hpp"
+#include "fluxtrace/core/trace_table.hpp"
+#include "fluxtrace/obs/span.hpp"
+
+namespace fluxtrace::query {
+
+namespace {
+
+// Per-core windows with the same innermost-cover probe the integrator
+// uses (integrator.cpp `locate`), so `item` here always agrees with what
+// flxt_report would print for the same trace.
+struct CoreWindows {
+  std::vector<core::ItemWindow> ws;
+  std::vector<Tsc> prefix_max_leave;
+};
+
+std::map<std::uint32_t, CoreWindows> windows_by_core(
+    const std::vector<Marker>& markers) {
+  std::map<std::uint32_t, CoreWindows> out;
+  for (const core::ItemWindow& w :
+       core::TraceIntegrator::windows_from_markers(markers)) {
+    out[w.core].ws.push_back(w);
+  }
+  for (auto& [c, cw] : out) {
+    std::sort(cw.ws.begin(), cw.ws.end(),
+              [](const core::ItemWindow& a, const core::ItemWindow& b) {
+                return a.enter < b.enter;
+              });
+    cw.prefix_max_leave.resize(cw.ws.size());
+    Tsc running = 0;
+    for (std::size_t i = 0; i < cw.ws.size(); ++i) {
+      running = std::max(running, cw.ws[i].leave);
+      cw.prefix_max_leave[i] = running;
+    }
+  }
+  return out;
+}
+
+ItemId locate(const std::map<std::uint32_t, CoreWindows>& win_by_core,
+              std::uint32_t core, Tsc tsc) {
+  auto it = win_by_core.find(core);
+  if (it == win_by_core.end()) return kNoItem;
+  const std::vector<core::ItemWindow>& ws = it->second.ws;
+  const std::vector<Tsc>& pmax = it->second.prefix_max_leave;
+  auto wit = std::upper_bound(
+      ws.begin(), ws.end(), tsc,
+      [](Tsc t, const core::ItemWindow& w) { return t < w.enter; });
+  while (wit != ws.begin()) {
+    const std::size_t idx = static_cast<std::size_t>(wit - ws.begin()) - 1;
+    if (pmax[idx] < tsc) break;
+    --wit;
+    if (tsc <= wit->leave) return wit->item;
+  }
+  return kNoItem;
+}
+
+} // namespace
+
+ColumnarTrace ColumnarTrace::build(const io::TraceData& data,
+                                   const SymbolTable& symtab,
+                                   const BuildOptions& opts) {
+  OBS_SPAN("query.columnar_build");
+  ColumnarTrace t;
+  const std::size_t n = data.samples.size();
+  t.item_.resize(n);
+  t.func_.resize(n);
+  t.core_.resize(n);
+  t.ts_.resize(n);
+  t.dur_.resize(n);
+  t.ip_.resize(n);
+
+  const auto win_by_core = windows_by_core(data.markers);
+
+  // Pass 1: attribute item + func per row, and accumulate the per-core
+  // {item, func} bucket spans the dur column derives from.
+  struct Span {
+    Tsc first = std::numeric_limits<Tsc>::max();
+    Tsc last = 0;
+    std::uint64_t samples = 0;
+  };
+  // Key: (item, func) outer, core inner — mirrors TraceTable's layout so
+  // dur sums per-core spans exactly like TraceTable::elapsed.
+  struct PairHash {
+    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p)
+        const {
+      return std::hash<std::uint64_t>{}(p.first * 0x9e3779b97f4a7c15ull ^
+                                        p.second);
+    }
+  };
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>,
+                     std::map<std::uint32_t, Span>, PairHash>
+      buckets;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const PebsSample& s = data.samples[i];
+    t.ts_[i] = static_cast<std::int64_t>(s.tsc);
+    t.ip_[i] = static_cast<std::int64_t>(s.ip);
+    t.core_[i] = static_cast<std::int64_t>(s.core);
+
+    const ItemId item = opts.use_register_ids
+                            ? s.regs.get(kItemIdReg)
+                            : locate(win_by_core, s.core, s.tsc);
+    t.item_[i] = static_cast<std::int64_t>(item);
+
+    const auto fn = symtab.resolve(s.ip);
+    t.func_[i] = fn.has_value() ? static_cast<std::int64_t>(*fn) : -1;
+
+    if (item != kNoItem && fn.has_value()) {
+      Span& sp = buckets[{item, *fn}][s.core];
+      sp.first = std::min(sp.first, s.tsc);
+      sp.last = std::max(sp.last, s.tsc);
+      ++sp.samples;
+    }
+  }
+
+  // Pass 2: per-bucket elapsed (>=2 samples per core, summed over cores),
+  // then broadcast onto the rows.
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t,
+                     PairHash>
+      elapsed;
+  elapsed.reserve(buckets.size());
+  for (const auto& [key, cores] : buckets) {
+    std::uint64_t total = 0;
+    for (const auto& [c, sp] : cores) {
+      if (sp.samples >= 2) total += sp.last - sp.first;
+    }
+    elapsed.emplace(key, static_cast<std::int64_t>(total));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t.item_[i] != -1 && t.func_[i] != -1) {
+      const auto it = elapsed.find({static_cast<std::uint64_t>(t.item_[i]),
+                                    static_cast<std::uint64_t>(t.func_[i])});
+      if (it != elapsed.end()) t.dur_[i] = it->second;
+    }
+  }
+  return t;
+}
+
+} // namespace fluxtrace::query

@@ -1,0 +1,79 @@
+// The columnar in-memory store the query engine scans (ISSUE 5): one row
+// per PEBS sample, struct-of-arrays so a scan touches only the columns
+// the query references. Attribution happens at build time, mirroring
+// core::TraceIntegrator exactly:
+//
+//   item — the innermost marker window covering (core, ts), or the
+//          sampled id register in use_register_ids mode; kNoItem → -1
+//   func — SymbolTable::resolve(ip); unresolved → -1
+//   dur  — the elapsed-time estimate of the row's {item, func} bucket
+//          (first-to-last sample per core, summed over cores, exactly
+//          core::TraceTable::elapsed); rows in unestimable buckets
+//          (fewer than two samples on every core) carry 0
+//
+// All columns are int64 so expression evaluation (expr.hpp) indexes them
+// uniformly; ItemId 2^64-1 (kNoItem) reads back as -1, which is also how
+// a query spells it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/io/trace_file.hpp"
+#include "fluxtrace/query/expr.hpp"
+
+namespace fluxtrace::query {
+
+struct BuildOptions {
+  /// Take item ids from the sampled register (§V-A timer-switching
+  /// architecture) instead of locating samples in marker windows.
+  bool use_register_ids = false;
+};
+
+class ColumnarTrace {
+ public:
+  /// Attribute and columnarize `data`. Marker records are consumed for
+  /// window construction only; rows correspond 1:1, in order, to
+  /// data.samples.
+  static ColumnarTrace build(const io::TraceData& data,
+                             const SymbolTable& symtab,
+                             const BuildOptions& opts = {});
+
+  [[nodiscard]] std::size_t rows() const { return ts_.size(); }
+
+  [[nodiscard]] std::int64_t field(Field f, std::size_t i) const {
+    switch (f) {
+      case Field::Item: return item_[i];
+      case Field::Func: return func_[i];
+      case Field::Core: return core_[i];
+      case Field::Ts: return ts_[i];
+      case Field::Dur: return dur_[i];
+      case Field::Ip: return ip_[i];
+    }
+    return 0;
+  }
+
+  /// Fill one row's FieldVals (all six fields).
+  void row(std::size_t i, FieldVals& out) const {
+    out.set(Field::Item, item_[i]);
+    out.set(Field::Func, func_[i]);
+    out.set(Field::Core, core_[i]);
+    out.set(Field::Ts, ts_[i]);
+    out.set(Field::Dur, dur_[i]);
+    out.set(Field::Ip, ip_[i]);
+  }
+
+  [[nodiscard]] const std::vector<std::int64_t>& items() const {
+    return item_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& funcs() const {
+    return func_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& tss() const { return ts_; }
+
+ private:
+  std::vector<std::int64_t> item_, func_, core_, ts_, dur_, ip_;
+};
+
+} // namespace fluxtrace::query

@@ -1,0 +1,762 @@
+#include "fluxtrace/query/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "fluxtrace/io/chunked.hpp"
+#include "fluxtrace/obs/metrics.hpp"
+#include "fluxtrace/obs/span.hpp"
+#include "fluxtrace/query/lex.hpp"
+#include "fluxtrace/rt/thread_pool.hpp"
+
+namespace fluxtrace::query {
+
+namespace {
+
+using detail::Lexer;
+using detail::Tok;
+using detail::Token;
+
+// Self-telemetry: what the engine scans and what the index saves it.
+struct QueryMetrics {
+  obs::Counter& runs = obs::metrics().counter("query.runs");
+  obs::Counter& rows_scanned = obs::metrics().counter("query.rows_scanned");
+  obs::Counter& rows_matched = obs::metrics().counter("query.rows_matched");
+  obs::Counter& chunks_pruned = obs::metrics().counter("query.chunks_pruned");
+  obs::Counter& index_hits = obs::metrics().counter("query.index_hits");
+  obs::Counter& index_writes = obs::metrics().counter("query.index_writes");
+
+  static QueryMetrics& get() {
+    static QueryMetrics m;
+    return m;
+  }
+};
+
+} // namespace
+
+// --- pipeline parsing ---------------------------------------------------
+
+std::string Aggregate::name() const {
+  switch (kind) {
+    case Kind::Count: return "count";
+    case Kind::Sum: return "sum_" + std::string(to_string(field));
+    case Kind::Min: return "min_" + std::string(to_string(field));
+    case Kind::Max: return "max_" + std::string(to_string(field));
+    case Kind::P50: return "p50_" + std::string(to_string(field));
+    case Kind::P95: return "p95_" + std::string(to_string(field));
+    case Kind::P99: return "p99_" + std::string(to_string(field));
+  }
+  return "?";
+}
+
+unsigned Query::fields_used() const {
+  unsigned bits = filter ? filter->fields_used() : 0;
+  for (const Field f : select) bits |= field_bit(f);
+  for (const Field f : group_keys) bits |= field_bit(f);
+  for (const Aggregate& a : aggs) {
+    if (a.kind != Aggregate::Kind::Count) bits |= field_bit(a.field);
+  }
+  if (outliers.has_value()) {
+    bits |= field_bit(Field::Item) | field_bit(Field::Func) |
+            field_bit(Field::Dur);
+  }
+  // Row mode with no projection outputs every column.
+  if (select.empty() && aggs.empty() && !outliers.has_value()) {
+    bits = kAllFields;
+  }
+  return bits;
+}
+
+bool Query::references_dur() const {
+  return (fields_used() & field_bit(Field::Dur)) != 0;
+}
+
+namespace {
+
+Field expect_field(Lexer& lex) {
+  const Token t = lex.expect(Tok::Ident, "a column name");
+  const auto f = field_from_name(t.text);
+  if (!f.has_value()) {
+    throw ParseError("unknown column '" + t.text +
+                         "' (have: item func core ts dur ip)",
+                     t.pos);
+  }
+  return *f;
+}
+
+std::vector<Field> parse_field_list(Lexer& lex) {
+  std::vector<Field> out;
+  out.push_back(expect_field(lex));
+  while (lex.accept(Tok::Comma)) out.push_back(expect_field(lex));
+  return out;
+}
+
+Aggregate parse_agg(Lexer& lex) {
+  const Token t = lex.expect(Tok::Ident, "an aggregate (count/sum/min/max/"
+                                         "p50/p95/p99)");
+  Aggregate a;
+  if (t.text == "count") {
+    a.kind = Aggregate::Kind::Count;
+    return a;
+  }
+  if (t.text == "sum") a.kind = Aggregate::Kind::Sum;
+  else if (t.text == "min") a.kind = Aggregate::Kind::Min;
+  else if (t.text == "max") a.kind = Aggregate::Kind::Max;
+  else if (t.text == "p50") a.kind = Aggregate::Kind::P50;
+  else if (t.text == "p95") a.kind = Aggregate::Kind::P95;
+  else if (t.text == "p99") a.kind = Aggregate::Kind::P99;
+  else {
+    throw ParseError("unknown aggregate '" + t.text +
+                         "' (have: count sum min max p50 p95 p99)",
+                     t.pos);
+  }
+  lex.expect(Tok::LParen, "'(' after the aggregate name");
+  a.field = expect_field(lex);
+  lex.expect(Tok::RParen, "')'");
+  return a;
+}
+
+std::uint64_t expect_count(Lexer& lex, const char* what) {
+  const Token t = lex.expect(Tok::Number, what);
+  if (t.is_float || t.num <= 0) {
+    throw ParseError(std::string("expected a positive integer for ") + what,
+                     t.pos);
+  }
+  return static_cast<std::uint64_t>(t.num);
+}
+
+} // namespace
+
+Query parse_query(std::string_view text, const SymbolTable* symtab) {
+  Query q;
+  q.text = std::string(text);
+  Lexer lex(text);
+  if (lex.at(Tok::End)) return q; // empty query: every row, every column
+
+  // Canonical stage order, each at most once: filter < one of
+  // select/group/outliers < top < limit.
+  int last_rank = -1;
+  for (;;) {
+    const Token t = lex.expect(
+        Tok::Ident, "a stage (filter/select/group/outliers/top/limit)");
+    int rank = -1;
+    if (t.text == "filter") {
+      rank = 0;
+      q.filter = detail::parse_expr_tokens(lex, symtab);
+    } else if (t.text == "select") {
+      rank = 1;
+      q.select = parse_field_list(lex);
+    } else if (t.text == "group") {
+      rank = 1;
+      q.group_keys = parse_field_list(lex);
+      lex.expect(Tok::Colon, "':' between group keys and aggregates");
+      q.aggs.push_back(parse_agg(lex));
+      while (lex.accept(Tok::Comma)) q.aggs.push_back(parse_agg(lex));
+    } else if (t.text == "outliers") {
+      rank = 1;
+      OutliersSpec spec;
+      while (lex.at(Tok::Ident)) {
+        const Token p = lex.next();
+        lex.expect(Tok::Assign, "'=' after the outliers parameter");
+        const Token v = lex.expect(Tok::Number, "a parameter value");
+        if (p.text == "k") {
+          if (v.fnum <= 0.0) {
+            throw ParseError("outliers k must be positive", v.pos);
+          }
+          spec.config.k_sigma = v.fnum;
+        } else if (p.text == "warmup") {
+          if (v.is_float || v.num < 0) {
+            throw ParseError("outliers warmup must be a non-negative integer",
+                             v.pos);
+          }
+          spec.config.warmup = static_cast<std::uint64_t>(v.num);
+        } else {
+          throw ParseError("unknown outliers parameter '" + p.text +
+                               "' (have: k warmup)",
+                           p.pos);
+        }
+      }
+      q.outliers = spec;
+    } else if (t.text == "top") {
+      rank = 2;
+      TopK tk;
+      tk.n = expect_count(lex, "the top-N count");
+      const Token by = lex.expect(Tok::Ident, "'by'");
+      if (by.text != "by") {
+        throw ParseError("expected 'by' after the top-N count", by.pos);
+      }
+      tk.by = lex.expect(Tok::Ident, "an output column name").text;
+      q.topk = tk;
+    } else if (t.text == "limit") {
+      rank = 3;
+      q.limit = expect_count(lex, "the limit count");
+    } else {
+      throw ParseError("unknown stage '" + t.text +
+                           "' (have: filter select group outliers top limit)",
+                       t.pos);
+    }
+    if (rank <= last_rank) {
+      throw ParseError(
+          "stage '" + t.text +
+              "' out of order (filter | select/group/outliers | top | limit, "
+              "each at most once)",
+          t.pos);
+    }
+    last_rank = rank;
+    if (lex.accept(Tok::Pipe)) continue;
+    if (lex.at(Tok::End)) break;
+    throw ParseError("expected '|' or end of query at '" +
+                         Lexer::describe(lex.peek()) + "'",
+                     lex.peek().pos);
+  }
+  return q;
+}
+
+// --- cells --------------------------------------------------------------
+
+Cell Cell::of_int(std::int64_t v) {
+  Cell c;
+  c.kind = Kind::Int;
+  c.i = v;
+  return c;
+}
+
+Cell Cell::of_real(double v) {
+  Cell c;
+  c.kind = Kind::Real;
+  c.d = v;
+  return c;
+}
+
+Cell Cell::of_text(std::string v) {
+  Cell c;
+  c.kind = Kind::Text;
+  c.s = std::move(v);
+  return c;
+}
+
+std::string Cell::str() const {
+  switch (kind) {
+    case Kind::Int: return std::to_string(i);
+    case Kind::Real: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.6g", d);
+      return buf;
+    }
+    case Kind::Text: return s;
+  }
+  return {};
+}
+
+bool Cell::less(const Cell& other) const {
+  if (kind != other.kind) return kind < other.kind;
+  switch (kind) {
+    case Kind::Int: return i < other.i;
+    case Kind::Real: return d < other.d;
+    case Kind::Text: return s < other.s;
+  }
+  return false;
+}
+
+// --- engine -------------------------------------------------------------
+
+QueryEngine::QueryEngine(io::TraceReader reader, SymbolTable symtab,
+                         EngineOptions opts)
+    : reader_(std::move(reader)), symtab_(std::move(symtab)), opts_(opts) {
+  if (opts_.block_rows == 0) opts_.block_rows = 65536;
+}
+
+QueryEngine QueryEngine::open(const std::string& path, SymbolTable symtab,
+                              EngineOptions opts) {
+  return QueryEngine(io::open_trace(path), std::move(symtab), opts);
+}
+
+QueryEngine QueryEngine::from_data(const io::TraceData& data,
+                                   SymbolTable symtab, EngineOptions opts) {
+  std::ostringstream os;
+  io::write_trace_v2(os, data);
+  return QueryEngine(io::open_trace_bytes(std::move(os).str()),
+                     std::move(symtab), opts);
+}
+
+void QueryEngine::ensure_full_loaded() {
+  if (full_.has_value()) return;
+  OBS_SPAN("query.load_full");
+  io::TraceData data;
+  try {
+    data = reader_.read_parallel(opts_.threads);
+  } catch (const io::TraceIoError&) {
+    data = std::move(reader_.salvage().data);
+    full_salvaged_ = true;
+  }
+  full_ = ColumnarTrace::build(data, symtab_,
+                               BuildOptions{opts_.use_register_ids});
+  try_build_index();
+}
+
+void QueryEngine::try_build_index() {
+  // An index is only meaningful over a *clean* v2 image: salvaged rows do
+  // not line up with the chunk layout, and other formats have no chunks.
+  if (index_.has_value() || full_salvaged_ ||
+      reader_.format() != io::TraceFormat::FlxtV2 || !full_.has_value()) {
+    return;
+  }
+  std::vector<io::V2ChunkRef> refs;
+  try {
+    refs = io::index_trace_v2(reader_.bytes());
+  } catch (const io::TraceIoError&) {
+    return; // strict read succeeded but the walk did not: stay indexless
+  }
+
+  FlxiIndex idx;
+  idx.trace_size = reader_.bytes().size();
+  idx.trace_crc = io::crc32(reader_.bytes().data(), reader_.bytes().size());
+  idx.symtab_crc = query::symtab_crc(symtab_);
+
+  const ColumnarTrace& t = *full_;
+  std::size_t row = 0;
+  for (const io::V2ChunkRef& ref : refs) {
+    if (ref.type != io::kChunkTypeSamples) continue;
+    FlxiChunk c;
+    c.offset = ref.offset;
+    c.n_records = ref.n_records;
+    c.min_ts = std::numeric_limits<std::int64_t>::max();
+    c.max_ts = std::numeric_limits<std::int64_t>::min();
+    c.min_item = std::numeric_limits<std::int64_t>::max();
+    c.max_item = std::numeric_limits<std::int64_t>::min();
+    std::map<std::uint32_t, std::uint32_t> funcs;
+    for (std::uint32_t k = 0; k < ref.n_records; ++k, ++row) {
+      if (row >= t.rows()) return; // layout/row mismatch: no index
+      c.min_ts = std::min(c.min_ts, t.tss()[row]);
+      c.max_ts = std::max(c.max_ts, t.tss()[row]);
+      c.min_item = std::min(c.min_item, t.items()[row]);
+      c.max_item = std::max(c.max_item, t.items()[row]);
+      const std::int64_t fn = t.funcs()[row];
+      if (fn >= 0) ++funcs[static_cast<std::uint32_t>(fn)];
+    }
+    if (c.n_records == 0) {
+      c.min_ts = c.min_item = 0;
+      c.max_ts = c.max_item = -1;
+    }
+    c.func_counts.assign(funcs.begin(), funcs.end());
+    idx.chunks.push_back(std::move(c));
+  }
+  if (row != t.rows()) return; // samples outside the walked chunks
+  chunks_total_ = idx.chunks.size();
+  index_ = std::move(idx);
+
+  if (opts_.write_index && !reader_.path().empty() && !index_written_) {
+    if (save_flxi(flxi_path(reader_.path()), *index_)) {
+      index_written_ = true;
+      QueryMetrics::get().index_writes.inc();
+    }
+  }
+}
+
+QueryEngine::Loaded QueryEngine::load_for(const Query& q,
+                                          std::optional<ColumnarTrace>& scratch) {
+  OBS_SPAN("query.load");
+  Loaded out;
+  out.stats.threads = opts_.threads == 0
+                          ? std::max(1u, std::thread::hardware_concurrency())
+                          : opts_.threads;
+
+  const PruneHints hints =
+      q.filter ? extract_prune_hints(*q.filter) : PruneHints{};
+  const bool may_prune = opts_.use_index && !q.outliers.has_value() &&
+                         reader_.format() == io::TraceFormat::FlxtV2 &&
+                         hints.selective() && !full_.has_value();
+
+  if (may_prune && !index_.has_value() && !index_load_tried_ &&
+      !reader_.path().empty()) {
+    index_load_tried_ = true;
+    if (auto idx = load_flxi(flxi_path(reader_.path()))) {
+      const bool fresh =
+          idx->trace_size == reader_.bytes().size() &&
+          idx->trace_crc ==
+              io::crc32(reader_.bytes().data(), reader_.bytes().size()) &&
+          idx->symtab_crc == query::symtab_crc(symtab_);
+      if (fresh) {
+        chunks_total_ = idx->chunks.size();
+        index_ = std::move(*idx);
+        index_written_ = true; // already on disk, do not rewrite
+      }
+    }
+  }
+
+  if (may_prune && index_.has_value()) {
+    const bool no_ts_prune = q.references_dur();
+    std::vector<io::V2ChunkRef> refs;
+    bool layout_ok = true;
+    try {
+      refs = io::index_trace_v2(reader_.bytes());
+    } catch (const io::TraceIoError&) {
+      layout_ok = false;
+    }
+    // The validated index must describe exactly the sample chunks the
+    // walk sees; anything else means it lied and a full scan is safer.
+    std::vector<const io::V2ChunkRef*> sample_refs;
+    if (layout_ok) {
+      for (const io::V2ChunkRef& r : refs) {
+        if (r.type == io::kChunkTypeSamples) sample_refs.push_back(&r);
+      }
+      if (sample_refs.size() != index_->chunks.size()) layout_ok = false;
+      for (std::size_t i = 0; layout_ok && i < sample_refs.size(); ++i) {
+        if (sample_refs[i]->offset != index_->chunks[i].offset) {
+          layout_ok = false;
+        }
+      }
+    }
+    if (layout_ok) {
+      io::TraceData subset;
+      bool decode_ok = true;
+      std::size_t kept = 0;
+      try {
+        for (const io::V2ChunkRef& r : refs) {
+          if (r.type == io::kChunkTypeMarkers) {
+            io::decode_trace_v2_chunk(reader_.bytes(), r, subset);
+          }
+        }
+        for (std::size_t i = 0; i < sample_refs.size(); ++i) {
+          const FlxiChunk& c = index_->chunks[i];
+          bool keep = c.n_records > 0;
+          if (keep && !no_ts_prune && !hints.ts.full()) {
+            keep = !hints.ts.empty() &&
+                   hints.ts.intersects(c.min_ts, c.max_ts);
+          }
+          if (keep && !hints.item.full()) {
+            keep = !hints.item.empty() &&
+                   hints.item.intersects(c.min_item, c.max_item);
+          }
+          if (keep && hints.funcs.has_value()) {
+            bool any = false;
+            auto it = hints.funcs->begin();
+            for (const auto& [fn, cnt] : c.func_counts) {
+              while (it != hints.funcs->end() && *it < fn) ++it;
+              if (it == hints.funcs->end()) break;
+              if (*it == fn) {
+                any = true;
+                break;
+              }
+            }
+            keep = any;
+          }
+          if (!keep) continue;
+          ++kept;
+          io::decode_trace_v2_chunk(reader_.bytes(), *sample_refs[i],
+                                    subset);
+        }
+      } catch (const io::TraceIoError&) {
+        decode_ok = false; // index was stale after all: full scan below
+      }
+      if (decode_ok) {
+        scratch = ColumnarTrace::build(subset, symtab_,
+                                       BuildOptions{opts_.use_register_ids});
+        out.table = &*scratch;
+        out.stats.chunks_total = index_->chunks.size();
+        out.stats.chunks_read = kept;
+        out.stats.chunks_pruned = index_->chunks.size() - kept;
+        out.stats.index_used = true;
+        QueryMetrics::get().index_hits.inc();
+        QueryMetrics::get().chunks_pruned.inc(out.stats.chunks_pruned);
+        return out;
+      }
+    }
+  }
+
+  ensure_full_loaded();
+  out.table = &*full_;
+  out.stats.chunks_total = chunks_total_;
+  out.stats.chunks_read = chunks_total_;
+  out.stats.salvaged = full_salvaged_;
+  out.stats.index_written = index_written_;
+  return out;
+}
+
+// --- execution ----------------------------------------------------------
+
+namespace {
+
+constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
+
+/// Nearest-rank percentile over a sorted, non-empty vector.
+std::int64_t percentile_sorted(const std::vector<std::int64_t>& sorted,
+                               unsigned p) {
+  const std::size_t n = sorted.size();
+  std::size_t rank = (static_cast<std::size_t>(p) * n + 99) / 100;
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+/// Per-group accumulator for one aggregate column. Only the slots the
+/// aggregate kind uses are touched; sums wrap through uint64 like all
+/// query arithmetic, so merge order cannot matter.
+struct AggAcc {
+  std::uint64_t sum = 0;
+  std::int64_t mn = kI64Max;
+  std::int64_t mx = kI64Min;
+  std::vector<std::int64_t> coll; ///< percentile collections
+
+  void observe(const Aggregate& a, std::int64_t v) {
+    switch (a.kind) {
+      case Aggregate::Kind::Count: break;
+      case Aggregate::Kind::Sum: sum += static_cast<std::uint64_t>(v); break;
+      case Aggregate::Kind::Min: mn = std::min(mn, v); break;
+      case Aggregate::Kind::Max: mx = std::max(mx, v); break;
+      case Aggregate::Kind::P50:
+      case Aggregate::Kind::P95:
+      case Aggregate::Kind::P99: coll.push_back(v); break;
+    }
+  }
+
+  void merge(const Aggregate& a, AggAcc&& other) {
+    switch (a.kind) {
+      case Aggregate::Kind::Count: break;
+      case Aggregate::Kind::Sum: sum += other.sum; break;
+      case Aggregate::Kind::Min: mn = std::min(mn, other.mn); break;
+      case Aggregate::Kind::Max: mx = std::max(mx, other.mx); break;
+      case Aggregate::Kind::P50:
+      case Aggregate::Kind::P95:
+      case Aggregate::Kind::P99:
+        coll.insert(coll.end(), other.coll.begin(), other.coll.end());
+        break;
+    }
+  }
+
+  [[nodiscard]] std::int64_t finish(const Aggregate& a,
+                                    std::uint64_t count) {
+    switch (a.kind) {
+      case Aggregate::Kind::Count:
+        return static_cast<std::int64_t>(count);
+      case Aggregate::Kind::Sum: return static_cast<std::int64_t>(sum);
+      case Aggregate::Kind::Min: return mn;
+      case Aggregate::Kind::Max: return mx;
+      case Aggregate::Kind::P50:
+      case Aggregate::Kind::P95:
+      case Aggregate::Kind::P99: {
+        std::sort(coll.begin(), coll.end());
+        const unsigned p = a.kind == Aggregate::Kind::P50   ? 50
+                           : a.kind == Aggregate::Kind::P95 ? 95
+                                                            : 99;
+        return coll.empty() ? 0 : percentile_sorted(coll, p);
+      }
+    }
+    return 0;
+  }
+};
+
+struct GroupAcc {
+  std::uint64_t count = 0;
+  std::vector<AggAcc> aggs;
+};
+
+/// One scan block's private results; merged in block-index order so the
+/// final result is independent of which thread ran which block.
+struct BlockOut {
+  std::size_t matched = 0;
+  std::vector<std::size_t> rows; ///< row mode: matched row indices
+  std::map<std::vector<std::int64_t>, GroupAcc> groups;
+  /// outliers mode: {item, func} -> dur (identical for every row of a
+  /// bucket, so last-write-wins is deterministic)
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> buckets;
+};
+
+enum class Mode : std::uint8_t { Rows, Group, Outliers };
+
+void scan_block(const Query& q, const ColumnarTrace& t, Mode mode,
+                std::size_t begin, std::size_t end, BlockOut& out) {
+  FieldVals vals;
+  for (std::size_t i = begin; i < end; ++i) {
+    t.row(i, vals);
+    if (q.filter && !q.filter->test(vals)) continue;
+    ++out.matched;
+    switch (mode) {
+      case Mode::Rows: out.rows.push_back(i); break;
+      case Mode::Group: {
+        std::vector<std::int64_t> key;
+        key.reserve(q.group_keys.size());
+        for (const Field f : q.group_keys) key.push_back(vals.get(f));
+        GroupAcc& g = out.groups[std::move(key)];
+        if (g.aggs.empty()) g.aggs.resize(q.aggs.size());
+        ++g.count;
+        for (std::size_t a = 0; a < q.aggs.size(); ++a) {
+          g.aggs[a].observe(q.aggs[a], vals.get(q.aggs[a].field));
+        }
+        break;
+      }
+      case Mode::Outliers: {
+        const std::int64_t item = vals.get(Field::Item);
+        const std::int64_t fn = vals.get(Field::Func);
+        if (item >= 0 && fn >= 0) {
+          out.buckets[{item, fn}] = vals.get(Field::Dur);
+        }
+        break;
+      }
+    }
+  }
+}
+
+} // namespace
+
+QueryResult QueryEngine::run(std::string_view query_text) {
+  return run(parse_query(query_text, &symtab_));
+}
+
+QueryResult QueryEngine::run(const Query& q) {
+  OBS_SPAN("query.run");
+  QueryMetrics::get().runs.inc();
+
+  std::optional<ColumnarTrace> scratch;
+  Loaded loaded = load_for(q, scratch);
+  const ColumnarTrace& t = *loaded.table;
+
+  const Mode mode = q.outliers.has_value() ? Mode::Outliers
+                    : !q.aggs.empty()      ? Mode::Group
+                                           : Mode::Rows;
+
+  // Fixed-size blocks, merged in block order: the thread count never
+  // shows in the result bytes.
+  const std::size_t n = t.rows();
+  const std::size_t block = opts_.block_rows;
+  const std::size_t n_blocks = n == 0 ? 0 : (n + block - 1) / block;
+  std::vector<BlockOut> parts(n_blocks);
+  {
+    OBS_SPAN("query.scan");
+    const auto run_block = [&](std::size_t b) {
+      const std::size_t begin = b * block;
+      const std::size_t end = std::min(n, begin + block);
+      scan_block(q, t, mode, begin, end, parts[b]);
+    };
+    if (loaded.stats.threads > 1 && n_blocks > 1) {
+      rt::ThreadPool pool(loaded.stats.threads);
+      pool.parallel_for(n_blocks, run_block);
+    } else {
+      for (std::size_t b = 0; b < n_blocks; ++b) run_block(b);
+    }
+  }
+
+  QueryResult res;
+  res.stats = loaded.stats;
+  res.stats.rows_scanned = n;
+  for (const BlockOut& p : parts) res.stats.rows_matched += p.matched;
+  QueryMetrics::get().rows_scanned.inc(n);
+  QueryMetrics::get().rows_matched.inc(res.stats.rows_matched);
+
+  // Render func ids as names so results read like flxt_report output;
+  // unresolved ids (-1) stay numeric.
+  const auto func_cell = [&](std::int64_t id) {
+    if (id >= 0 && static_cast<std::size_t>(id) < symtab_.size()) {
+      return Cell::of_text(
+          std::string(symtab_.name(static_cast<SymbolId>(id))));
+    }
+    return Cell::of_int(id);
+  };
+  const auto field_cell = [&](Field f, std::int64_t v) {
+    return f == Field::Func ? func_cell(v) : Cell::of_int(v);
+  };
+
+  switch (mode) {
+    case Mode::Rows: {
+      const std::vector<Field> cols =
+          q.select.empty()
+              ? std::vector<Field>{Field::Item, Field::Func, Field::Core,
+                                   Field::Ts,   Field::Dur,  Field::Ip}
+              : q.select;
+      for (const Field f : cols) {
+        res.columns.emplace_back(to_string(f));
+      }
+      FieldVals vals;
+      for (const BlockOut& p : parts) {
+        for (const std::size_t i : p.rows) {
+          t.row(i, vals);
+          std::vector<Cell> row;
+          row.reserve(cols.size());
+          for (const Field f : cols) row.push_back(field_cell(f, vals.get(f)));
+          res.rows.push_back(std::move(row));
+        }
+      }
+      break;
+    }
+    case Mode::Group: {
+      for (const Field f : q.group_keys) {
+        res.columns.emplace_back(to_string(f));
+      }
+      for (const Aggregate& a : q.aggs) res.columns.push_back(a.name());
+      std::map<std::vector<std::int64_t>, GroupAcc> merged;
+      for (BlockOut& p : parts) {
+        for (auto& [key, acc] : p.groups) {
+          auto [it, inserted] = merged.try_emplace(key, std::move(acc));
+          if (!inserted) {
+            it->second.count += acc.count;
+            for (std::size_t a = 0; a < q.aggs.size(); ++a) {
+              it->second.aggs[a].merge(q.aggs[a], std::move(acc.aggs[a]));
+            }
+          }
+        }
+      }
+      for (auto& [key, acc] : merged) {
+        std::vector<Cell> row;
+        row.reserve(key.size() + q.aggs.size());
+        for (std::size_t k = 0; k < key.size(); ++k) {
+          row.push_back(field_cell(q.group_keys[k], key[k]));
+        }
+        for (std::size_t a = 0; a < q.aggs.size(); ++a) {
+          row.push_back(Cell::of_int(acc.aggs[a].finish(q.aggs[a],
+                                                        acc.count)));
+        }
+        res.rows.push_back(std::move(row));
+      }
+      break;
+    }
+    case Mode::Outliers: {
+      res.columns = {"item", "func", "elapsed", "mean", "sigma", "sigmas"};
+      std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> merged;
+      for (BlockOut& p : parts) merged.merge(p.buckets);
+      core::FluctuationDetector det(q.outliers->config);
+      for (const auto& [key, dur] : merged) {
+        det.observe(static_cast<ItemId>(key.first),
+                    static_cast<SymbolId>(key.second),
+                    static_cast<Tsc>(dur));
+      }
+      for (const core::Anomaly& a : det.anomalies()) {
+        std::vector<Cell> row;
+        row.push_back(Cell::of_int(static_cast<std::int64_t>(a.item)));
+        row.push_back(func_cell(static_cast<std::int64_t>(a.fn)));
+        row.push_back(Cell::of_int(static_cast<std::int64_t>(a.elapsed)));
+        row.push_back(Cell::of_real(a.mean));
+        row.push_back(Cell::of_real(a.sigma));
+        row.push_back(Cell::of_real(a.deviation()));
+        res.rows.push_back(std::move(row));
+      }
+      break;
+    }
+  }
+
+  if (q.topk.has_value()) {
+    const auto it =
+        std::find(res.columns.begin(), res.columns.end(), q.topk->by);
+    if (it == res.columns.end()) {
+      throw ParseError("top: unknown output column '" + q.topk->by + "'", 0);
+    }
+    const std::size_t ci = static_cast<std::size_t>(it - res.columns.begin());
+    std::stable_sort(res.rows.begin(), res.rows.end(),
+                     [ci](const std::vector<Cell>& x,
+                          const std::vector<Cell>& y) {
+                       return y[ci].less(x[ci]);
+                     });
+    if (res.rows.size() > q.topk->n) res.rows.resize(q.topk->n);
+  }
+  if (q.limit.has_value() && res.rows.size() > *q.limit) {
+    res.rows.resize(*q.limit);
+  }
+  return res;
+}
+
+} // namespace fluxtrace::query

@@ -1,0 +1,213 @@
+// The trace query engine (ISSUE 5): parse a pipeline of stages over the
+// columnar store and execute it with a block-parallel scan whose result
+// is bit-identical to the sequential one.
+//
+// Pipeline grammar (stages separated by `|`, each at most once, in this
+// order; `select`, `group` and `outliers` are mutually exclusive):
+//
+//   query  := [stage ('|' stage)*]
+//   stage  := 'filter' expr
+//           | 'select' field (',' field)*
+//           | 'group' field (',' field)* ':' agg (',' agg)*
+//           | 'outliers' [('k' '=' number) | ('warmup' '=' integer)]*
+//           | 'top' integer 'by' column
+//           | 'limit' integer
+//   agg    := 'count' | fn '(' field ')'        fn := sum min max p50 p95 p99
+//
+// Execution semantics:
+//   * filter — rows where the predicate (expr.hpp) is nonzero.
+//   * select — project columns; without select/group, all six columns.
+//   * group  — one output row per distinct key tuple, sorted by key;
+//     aggregate columns are named count / sum_dur / p95_dur / ….
+//     Percentiles are nearest-rank over the exact matched values; sums
+//     wrap like every other query arithmetic.
+//   * outliers — replay the matched rows' {item, func} elapsed estimates
+//     (the dur column) through core::FluctuationDetector in (item, func)
+//     order and emit the anomalies (item, func, elapsed, mean, sigma,
+//     sigmas). Statistics are cross-item per function, which is why this
+//     stage disables chunk pruning entirely.
+//   * top N by col — stable sort descending on an output column, keep N.
+//   * limit N — keep the first N rows.
+//
+// Determinism: scans run over fixed 64Ki-row blocks regardless of thread
+// count; per-block partials merge in block order, and every aggregate is
+// order-independent (wrapping sums, min/max, percentiles over sorted
+// collected values) — so `threads=1` and `threads=N` produce the same
+// bytes, which the test suite asserts on fuzzed traces.
+//
+// FLXI pruning: when a valid sidecar (flxi.hpp) is available and the
+// query's prune hints are selective, sample chunks whose zone maps
+// cannot satisfy the filter are never decoded. Soundness rules:
+//   * the `outliers` stage disables all pruning;
+//   * a query that outputs or references `dur` disables ts-pruning
+//     (a time-sliced chunk set would truncate the first-to-last spans
+//     dur derives from), while item/func pruning stays on — those hints
+//     only ever drop *whole* {item, func} buckets of rows the filter
+//     already rejects;
+//   * marker chunks are always decoded (attribution needs all windows).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/core/detector.hpp"
+#include "fluxtrace/io/trace_reader.hpp"
+#include "fluxtrace/query/columnar.hpp"
+#include "fluxtrace/query/expr.hpp"
+#include "fluxtrace/query/flxi.hpp"
+
+namespace fluxtrace::query {
+
+/// One aggregate column of a `group` stage.
+struct Aggregate {
+  enum class Kind : std::uint8_t { Count, Sum, Min, Max, P50, P95, P99 };
+  Kind kind = Kind::Count;
+  Field field = Field::Dur; ///< ignored for Count
+
+  /// Output column name: "count", "sum_dur", "p95_dur", …
+  [[nodiscard]] std::string name() const;
+};
+
+struct TopK {
+  std::uint64_t n = 0;
+  std::string by; ///< output column name, resolved at execution
+};
+
+struct OutliersSpec {
+  core::DetectorConfig config;
+};
+
+/// A parsed pipeline. Build with parse_query(); immutable afterwards.
+struct Query {
+  std::string text; ///< original query string
+  std::unique_ptr<Expr> filter;  ///< null when no filter stage
+  std::vector<Field> select;     ///< empty = all columns (row mode)
+  std::vector<Field> group_keys; ///< group mode when aggs is non-empty
+  std::vector<Aggregate> aggs;
+  std::optional<OutliersSpec> outliers;
+  std::optional<TopK> topk;
+  std::optional<std::uint64_t> limit;
+
+  /// Bitmask of every column the query reads or outputs.
+  [[nodiscard]] unsigned fields_used() const;
+  /// True when any part of the result depends on the dur column.
+  [[nodiscard]] bool references_dur() const;
+};
+
+/// Parse one pipeline. `symtab` resolves `func == "name"`; pass nullptr
+/// to reject string comparisons. Throws ParseError.
+[[nodiscard]] Query parse_query(std::string_view text,
+                                const SymbolTable* symtab);
+
+/// One result cell. Int carries ids/cycles/counts; Real carries detector
+/// statistics; Text carries resolved function names.
+struct Cell {
+  enum class Kind : std::uint8_t { Int, Real, Text };
+  Kind kind = Kind::Int;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+
+  [[nodiscard]] static Cell of_int(std::int64_t v);
+  [[nodiscard]] static Cell of_real(double v);
+  [[nodiscard]] static Cell of_text(std::string v);
+
+  /// Canonical printable form (Real uses %.6g).
+  [[nodiscard]] std::string str() const;
+  /// Ordering for `top by` (descending sort): Int/Real by value, Text
+  /// lexicographic; mixed kinds order Int < Real < Text.
+  [[nodiscard]] bool less(const Cell& other) const;
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+/// Where the rows came from, for `--stats` and the pruning assertions in
+/// bench/ext_query_scan.
+struct ScanStats {
+  std::size_t chunks_total = 0;  ///< sample chunks in the trace (0: not v2)
+  std::size_t chunks_read = 0;   ///< sample chunks actually decoded
+  std::size_t chunks_pruned = 0; ///< skipped via the FLXI zone maps
+  std::size_t rows_scanned = 0;  ///< rows the filter was evaluated over
+  std::size_t rows_matched = 0;
+  bool index_used = false;    ///< a valid FLXI sidecar pruned this scan
+  bool index_written = false; ///< this run persisted a fresh sidecar
+  bool salvaged = false;      ///< strict read failed; rows are best-effort
+  unsigned threads = 1;
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Cell>> rows;
+  ScanStats stats;
+};
+
+struct EngineOptions {
+  unsigned threads = 0;           ///< scan workers; 0 = hardware, 1 = sequential
+  std::size_t block_rows = 65536; ///< fixed scan block (determinism unit)
+  bool use_register_ids = false;  ///< columnar BuildOptions passthrough
+  bool use_index = true;          ///< consult a FLXI sidecar for pruning
+  bool write_index = true;        ///< persist FLXI after a clean full scan
+};
+
+/// A trace opened for querying. Holds the raw file image (via
+/// io::TraceReader), the symbol table, and a cache of the fully decoded
+/// columnar store plus its FLXI index, so a REPL session pays the full
+/// decode at most once and prunes afterwards.
+class QueryEngine {
+ public:
+  /// Open a trace file (any format TraceReader detects). Throws
+  /// TraceIoError only when the file cannot be read at all; damaged
+  /// content is salvaged at query time, never fatal here.
+  [[nodiscard]] static QueryEngine open(const std::string& path,
+                                        SymbolTable symtab,
+                                        EngineOptions opts = {});
+
+  /// Query an in-memory trace (tests, live captures). The data is
+  /// re-encoded into the v2 chunked image internally so pruning and the
+  /// in-memory index behave exactly as for an on-disk trace.
+  [[nodiscard]] static QueryEngine from_data(const io::TraceData& data,
+                                             SymbolTable symtab,
+                                             EngineOptions opts = {});
+
+  /// Parse + execute. Throws ParseError on a bad query; execution itself
+  /// never throws on trace damage (it salvages).
+  QueryResult run(std::string_view query_text);
+  QueryResult run(const Query& q);
+
+  [[nodiscard]] const SymbolTable& symtab() const { return symtab_; }
+  [[nodiscard]] const io::TraceReader& reader() const { return reader_; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+
+ private:
+  QueryEngine(io::TraceReader reader, SymbolTable symtab, EngineOptions opts);
+
+  struct Loaded {
+    const ColumnarTrace* table = nullptr; ///< full_ or &pruned scratch
+    ScanStats stats;
+  };
+
+  /// Decode (full or FLXI-pruned) the rows this query needs. `scratch`
+  /// owns the pruned build when one happens.
+  Loaded load_for(const Query& q, std::optional<ColumnarTrace>& scratch);
+  void ensure_full_loaded();
+  void try_build_index();
+
+  io::TraceReader reader_;
+  SymbolTable symtab_;
+  EngineOptions opts_;
+
+  std::optional<ColumnarTrace> full_; ///< cached full decode
+  bool full_salvaged_ = false;
+  std::optional<FlxiIndex> index_;    ///< cached/validated sidecar
+  bool index_load_tried_ = false;     ///< sidecar file probed once per open
+  bool index_written_ = false;
+  std::size_t chunks_total_ = 0;      ///< sample chunks (0: not clean v2)
+};
+
+} // namespace fluxtrace::query

@@ -1,0 +1,546 @@
+#include "fluxtrace/query/expr.hpp"
+
+#include <algorithm>
+
+#include "fluxtrace/query/lex.hpp"
+
+namespace fluxtrace::query {
+
+namespace {
+
+using detail::Lexer;
+using detail::Tok;
+using detail::Token;
+
+// Wrap-around signed arithmetic: queries must never fault, and signed
+// overflow is UB, so all arithmetic goes through uint64 two's-complement.
+std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+std::int64_t wrap_neg(std::int64_t a) {
+  return static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(a));
+}
+std::int64_t safe_div(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return a;
+  return a / b;
+}
+std::int64_t safe_mod(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return 0;
+  return a % b;
+}
+
+std::unique_ptr<Expr> make_lit(std::int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Lit;
+  e->lit = v;
+  return e;
+}
+
+std::unique_ptr<Expr> make_binary(Expr::Op op, std::unique_ptr<Expr> lhs,
+                                  std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Binary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+class ExprParser {
+ public:
+  ExprParser(Lexer& lex, const SymbolTable* symtab)
+      : lex_(lex), symtab_(symtab) {}
+
+  std::unique_ptr<Expr> parse() { return parse_or(); }
+
+ private:
+  static bool is_cmp(Tok k) {
+    return k == Tok::EqEq || k == Tok::Ne || k == Tok::Lt || k == Tok::Le ||
+           k == Tok::Gt || k == Tok::Ge;
+  }
+
+  static Expr::Op cmp_op(Tok k) {
+    switch (k) {
+      case Tok::EqEq: return Expr::Op::Eq;
+      case Tok::Ne: return Expr::Op::Ne;
+      case Tok::Lt: return Expr::Op::Lt;
+      case Tok::Le: return Expr::Op::Le;
+      case Tok::Gt: return Expr::Op::Gt;
+      default: return Expr::Op::Ge;
+    }
+  }
+
+  std::unique_ptr<Expr> parse_or() {
+    auto lhs = parse_and();
+    while (lex_.accept(Tok::OrOr)) {
+      lhs = make_binary(Expr::Op::Or, std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_and() {
+    auto lhs = parse_cmp();
+    while (lex_.accept(Tok::AndAnd)) {
+      lhs = make_binary(Expr::Op::And, std::move(lhs), parse_cmp());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> make_func_match(const Token& str, bool negate) {
+    if (symtab_ == nullptr) {
+      throw ParseError("function-name comparison needs a symbol table, "
+                       "which this context does not provide",
+                       str.pos);
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::FuncMatch;
+    e->func_name = str.text;
+    e->negate = negate;
+    for (SymbolId id = 0; id < symtab_->size(); ++id) {
+      if ((*symtab_)[id].name == str.text) e->func_ids.push_back(id);
+    }
+    return e;
+  }
+
+  static bool is_field_ref(const Expr& e, Field f) {
+    return e.kind == Expr::Kind::FieldRef && e.field == f;
+  }
+
+  std::unique_ptr<Expr> parse_cmp() {
+    // String on the left: "name" ==/!= func.
+    if (lex_.at(Tok::Str)) {
+      const Token str = lex_.next();
+      const Token op = lex_.next();
+      if (!is_cmp(op.kind) ||
+          (cmp_op(op.kind) != Expr::Op::Eq && cmp_op(op.kind) != Expr::Op::Ne)) {
+        throw ParseError("string literal only valid in ==/!= against func",
+                         str.pos);
+      }
+      auto rhs = parse_sum();
+      if (!is_field_ref(*rhs, Field::Func)) {
+        throw ParseError("string literal only valid in ==/!= against func",
+                         str.pos);
+      }
+      return make_func_match(str, cmp_op(op.kind) == Expr::Op::Ne);
+    }
+
+    auto lhs = parse_sum();
+    if (!is_cmp(lex_.peek().kind)) return lhs;
+    const Token op = lex_.next();
+
+    // func ==/!= "name".
+    if (lex_.at(Tok::Str)) {
+      const Token str = lex_.next();
+      const Expr::Op o = cmp_op(op.kind);
+      if (!is_field_ref(*lhs, Field::Func) ||
+          (o != Expr::Op::Eq && o != Expr::Op::Ne)) {
+        throw ParseError("string literal only valid in ==/!= against func",
+                         str.pos);
+      }
+      return make_func_match(str, o == Expr::Op::Ne);
+    }
+
+    auto rhs = parse_sum();
+    if (is_cmp(lex_.peek().kind)) {
+      throw ParseError("chained comparison; parenthesize and combine with &&",
+                       lex_.peek().pos);
+    }
+    return make_binary(cmp_op(op.kind), std::move(lhs), std::move(rhs));
+  }
+
+  std::unique_ptr<Expr> parse_sum() {
+    auto lhs = parse_term();
+    while (lex_.at(Tok::Plus) || lex_.at(Tok::Minus)) {
+      const Tok k = lex_.next().kind;
+      lhs = make_binary(k == Tok::Plus ? Expr::Op::Add : Expr::Op::Sub,
+                        std::move(lhs), parse_term());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_term() {
+    auto lhs = parse_unary();
+    while (lex_.at(Tok::Star) || lex_.at(Tok::Slash) || lex_.at(Tok::Percent)) {
+      const Tok k = lex_.next().kind;
+      const Expr::Op op = k == Tok::Star    ? Expr::Op::Mul
+                          : k == Tok::Slash ? Expr::Op::Div
+                                            : Expr::Op::Mod;
+      lhs = make_binary(op, std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_unary() {
+    if (lex_.accept(Tok::Not)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Unary;
+      e->op = Expr::Op::Not;
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (lex_.accept(Tok::Minus)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::Unary;
+      e->op = Expr::Op::Neg;
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_primary();
+  }
+
+  std::unique_ptr<Expr> parse_primary() {
+    if (lex_.at(Tok::Number)) {
+      const Token t = lex_.next();
+      if (t.is_float) {
+        throw ParseError("floating-point literals are not valid in "
+                         "expressions (integer cycles only)",
+                         t.pos);
+      }
+      return make_lit(t.num);
+    }
+    if (lex_.at(Tok::Ident)) {
+      const Token t = lex_.next();
+      const auto f = field_from_name(t.text);
+      if (!f.has_value()) {
+        throw ParseError("unknown field '" + t.text +
+                             "' (have: item func core ts dur ip)",
+                         t.pos);
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::FieldRef;
+      e->field = *f;
+      return e;
+    }
+    if (lex_.accept(Tok::LParen)) {
+      auto e = parse_or();
+      lex_.expect(Tok::RParen, "')'");
+      return e;
+    }
+    throw ParseError("expected a value at '" +
+                         Lexer::describe(lex_.peek()) + "'",
+                     lex_.peek().pos);
+  }
+
+  Lexer& lex_;
+  const SymbolTable* symtab_;
+};
+
+} // namespace
+
+std::optional<Field> field_from_name(std::string_view name) {
+  if (name == "item") return Field::Item;
+  if (name == "func") return Field::Func;
+  if (name == "core") return Field::Core;
+  if (name == "ts") return Field::Ts;
+  if (name == "dur") return Field::Dur;
+  if (name == "ip") return Field::Ip;
+  return std::nullopt;
+}
+
+std::int64_t Expr::eval(const FieldVals& row) const {
+  switch (kind) {
+    case Kind::Lit: return lit;
+    case Kind::FieldRef: return row.get(field);
+    case Kind::FuncMatch: {
+      const std::int64_t f = row.get(Field::Func);
+      const bool in =
+          f >= 0 && std::binary_search(func_ids.begin(), func_ids.end(),
+                                       static_cast<SymbolId>(f));
+      return (in != negate) ? 1 : 0;
+    }
+    case Kind::Unary: {
+      const std::int64_t a = lhs->eval(row);
+      return op == Op::Not ? (a == 0 ? 1 : 0) : wrap_neg(a);
+    }
+    case Kind::Binary: break;
+  }
+  // Logical ops short-circuit so `core != 0 && ts / core > 5`-style
+  // guards behave as written.
+  if (op == Op::And) {
+    return (lhs->test(row) && rhs->test(row)) ? 1 : 0;
+  }
+  if (op == Op::Or) {
+    return (lhs->test(row) || rhs->test(row)) ? 1 : 0;
+  }
+  const std::int64_t a = lhs->eval(row);
+  const std::int64_t b = rhs->eval(row);
+  switch (op) {
+    case Op::Add: return wrap_add(a, b);
+    case Op::Sub: return wrap_sub(a, b);
+    case Op::Mul: return wrap_mul(a, b);
+    case Op::Div: return safe_div(a, b);
+    case Op::Mod: return safe_mod(a, b);
+    case Op::Eq: return a == b ? 1 : 0;
+    case Op::Ne: return a != b ? 1 : 0;
+    case Op::Lt: return a < b ? 1 : 0;
+    case Op::Le: return a <= b ? 1 : 0;
+    case Op::Gt: return a > b ? 1 : 0;
+    case Op::Ge: return a >= b ? 1 : 0;
+    case Op::And:
+    case Op::Or:
+    case Op::Not:
+    case Op::Neg: break; // handled above
+  }
+  return 0;
+}
+
+unsigned Expr::fields_used() const {
+  switch (kind) {
+    case Kind::Lit: return 0;
+    case Kind::FieldRef: return field_bit(field);
+    case Kind::FuncMatch: return field_bit(Field::Func);
+    case Kind::Unary: return lhs->fields_used();
+    case Kind::Binary: return lhs->fields_used() | rhs->fields_used();
+  }
+  return 0;
+}
+
+void Expr::bind_check(unsigned available, std::string_view context) const {
+  const unsigned missing = fields_used() & ~available;
+  if (missing == 0) return;
+  for (std::size_t i = 0; i < kNumFields; ++i) {
+    if ((missing & (1u << i)) != 0) {
+      throw ParseError("field '" +
+                           std::string(to_string(static_cast<Field>(i))) +
+                           "' is not available in " + std::string(context),
+                       0);
+    }
+  }
+}
+
+bool Expr::equals(const Expr& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::Lit: return lit == other.lit;
+    case Kind::FieldRef: return field == other.field;
+    case Kind::FuncMatch:
+      return func_name == other.func_name && negate == other.negate &&
+             func_ids == other.func_ids;
+    case Kind::Unary: return op == other.op && lhs->equals(*other.lhs);
+    case Kind::Binary:
+      return op == other.op && lhs->equals(*other.lhs) &&
+             rhs->equals(*other.rhs);
+  }
+  return false;
+}
+
+std::unique_ptr<Expr> Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->op = op;
+  e->lit = lit;
+  e->field = field;
+  e->func_ids = func_ids;
+  e->func_name = func_name;
+  e->negate = negate;
+  if (lhs) e->lhs = lhs->clone();
+  if (rhs) e->rhs = rhs->clone();
+  return e;
+}
+
+std::unique_ptr<Expr> parse_expr(std::string_view text,
+                                 const SymbolTable* symtab) {
+  detail::Lexer lex(text);
+  ExprParser p(lex, symtab);
+  auto e = p.parse();
+  if (!lex.at(detail::Tok::End)) {
+    throw ParseError("trailing input at '" +
+                         detail::Lexer::describe(lex.peek()) + "'",
+                     lex.peek().pos);
+  }
+  return e;
+}
+
+namespace detail {
+
+std::unique_ptr<Expr> parse_expr_tokens(Lexer& lex,
+                                        const SymbolTable* symtab) {
+  ExprParser p(lex, symtab);
+  return p.parse();
+}
+
+} // namespace detail
+
+namespace {
+
+std::string_view op_text(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::Add: return "+";
+    case Expr::Op::Sub: return "-";
+    case Expr::Op::Mul: return "*";
+    case Expr::Op::Div: return "/";
+    case Expr::Op::Mod: return "%";
+    case Expr::Op::Eq: return "==";
+    case Expr::Op::Ne: return "!=";
+    case Expr::Op::Lt: return "<";
+    case Expr::Op::Le: return "<=";
+    case Expr::Op::Gt: return ">";
+    case Expr::Op::Ge: return ">=";
+    case Expr::Op::And: return "&&";
+    case Expr::Op::Or: return "||";
+    case Expr::Op::Not: return "!";
+    case Expr::Op::Neg: return "-";
+  }
+  return "?";
+}
+
+void print_expr(std::string& out, const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::Lit:
+      out += std::to_string(e.lit);
+      return;
+    case Expr::Kind::FieldRef:
+      out += to_string(e.field);
+      return;
+    case Expr::Kind::FuncMatch:
+      out += "func ";
+      out += e.negate ? "!=" : "==";
+      out += " \"";
+      for (const char c : e.func_name) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return;
+    case Expr::Kind::Unary:
+      out += op_text(e.op);
+      out += '(';
+      print_expr(out, *e.lhs);
+      out += ')';
+      return;
+    case Expr::Kind::Binary:
+      out += '(';
+      print_expr(out, *e.lhs);
+      out += ' ';
+      out += op_text(e.op);
+      out += ' ';
+      print_expr(out, *e.rhs);
+      out += ')';
+      return;
+  }
+}
+
+} // namespace
+
+std::string to_string(const Expr& e) {
+  std::string out;
+  print_expr(out, e);
+  return out;
+}
+
+namespace {
+
+constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+
+void narrow(Interval& iv, Expr::Op op, std::int64_t lit) {
+  switch (op) {
+    case Expr::Op::Eq:
+      iv.lo = std::max(iv.lo, lit);
+      iv.hi = std::min(iv.hi, lit);
+      break;
+    case Expr::Op::Lt:
+      if (lit == kI64Min) {
+        iv.lo = 0;
+        iv.hi = -1; // provably empty
+      } else {
+        iv.hi = std::min(iv.hi, lit - 1);
+      }
+      break;
+    case Expr::Op::Le: iv.hi = std::min(iv.hi, lit); break;
+    case Expr::Op::Gt:
+      if (lit == kI64Max) {
+        iv.lo = 0;
+        iv.hi = -1;
+      } else {
+        iv.lo = std::max(iv.lo, lit + 1);
+      }
+      break;
+    case Expr::Op::Ge: iv.lo = std::max(iv.lo, lit); break;
+    default: break;
+  }
+}
+
+Expr::Op mirror(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::Lt: return Expr::Op::Gt;
+    case Expr::Op::Le: return Expr::Op::Ge;
+    case Expr::Op::Gt: return Expr::Op::Lt;
+    case Expr::Op::Ge: return Expr::Op::Le;
+    default: return op;
+  }
+}
+
+void mine_conjunct(const Expr& e, PruneHints& hints) {
+  if (e.kind == Expr::Kind::FuncMatch && !e.negate) {
+    std::vector<SymbolId> ids = e.func_ids;
+    if (hints.funcs.has_value()) {
+      std::vector<SymbolId> both;
+      std::set_intersection(hints.funcs->begin(), hints.funcs->end(),
+                            ids.begin(), ids.end(), std::back_inserter(both));
+      hints.funcs = std::move(both);
+    } else {
+      hints.funcs = std::move(ids);
+    }
+    return;
+  }
+  if (e.kind != Expr::Kind::Binary) return;
+
+  // field <cmp> literal (either orientation).
+  const Expr* fe = nullptr;
+  const Expr* le = nullptr;
+  Expr::Op op = e.op;
+  if (e.lhs->kind == Expr::Kind::FieldRef && e.rhs->kind == Expr::Kind::Lit) {
+    fe = e.lhs.get();
+    le = e.rhs.get();
+  } else if (e.lhs->kind == Expr::Kind::Lit &&
+             e.rhs->kind == Expr::Kind::FieldRef) {
+    fe = e.rhs.get();
+    le = e.lhs.get();
+    op = mirror(op);
+  } else {
+    return;
+  }
+  if (op != Expr::Op::Eq && op != Expr::Op::Lt && op != Expr::Op::Le &&
+      op != Expr::Op::Gt && op != Expr::Op::Ge) {
+    return;
+  }
+  if (fe->field == Field::Ts) {
+    narrow(hints.ts, op, le->lit);
+  } else if (fe->field == Field::Item) {
+    narrow(hints.item, op, le->lit);
+  }
+}
+
+} // namespace
+
+PruneHints extract_prune_hints(const Expr& e) {
+  PruneHints hints;
+  // Walk the top-level AND chain; anything that is not a recognized
+  // conjunct shape is simply skipped (widening, never narrowing).
+  std::vector<const Expr*> stack{&e};
+  while (!stack.empty()) {
+    const Expr* cur = stack.back();
+    stack.pop_back();
+    if (cur->kind == Expr::Kind::Binary && cur->op == Expr::Op::And) {
+      stack.push_back(cur->lhs.get());
+      stack.push_back(cur->rhs.get());
+      continue;
+    }
+    mine_conjunct(*cur, hints);
+  }
+  return hints;
+}
+
+} // namespace fluxtrace::query

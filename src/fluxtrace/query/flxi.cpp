@@ -1,0 +1,172 @@
+#include "fluxtrace/query/flxi.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "fluxtrace/io/chunked.hpp" // io::crc32
+
+namespace fluxtrace::query {
+
+namespace {
+
+void app_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+void app_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    b.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+void app_i64(std::string& b, std::int64_t v) {
+  app_u64(b, static_cast<std::uint64_t>(v));
+}
+
+// Cursor-based reads that fail closed: any read past the end flips
+// `ok` and returns 0, and the caller bails once at the end.
+struct Reader {
+  std::string_view b;
+  std::size_t at = 0;
+  bool ok = true;
+
+  std::uint32_t u32() {
+    if (at + 4 > b.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[at + i]))
+           << (8 * i);
+    }
+    at += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (at + 8 > b.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(b[at + i]))
+           << (8 * i);
+    }
+    at += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+};
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4 + 4 + 4;
+// Sanity cap: a v2 chunk is at least 21 bytes on disk, so no real trace
+// has more chunks than bytes; this bound just stops a hostile n_chunks
+// from driving allocation.
+constexpr std::uint32_t kMaxChunks = 1u << 26;
+constexpr std::uint32_t kMaxFuncs = 1u << 24;
+
+} // namespace
+
+std::uint32_t symtab_crc(const SymbolTable& symtab) {
+  std::string buf;
+  for (SymbolId id = 0; id < symtab.size(); ++id) {
+    const Symbol& s = symtab[id];
+    buf += s.name;
+    buf.push_back('\0');
+    app_u64(buf, s.lo);
+    app_u64(buf, s.hi);
+  }
+  return io::crc32(buf.data(), buf.size());
+}
+
+std::string encode_flxi(const FlxiIndex& index) {
+  std::string body;
+  for (const FlxiChunk& c : index.chunks) {
+    app_u64(body, c.offset);
+    app_u32(body, c.n_records);
+    app_i64(body, c.min_ts);
+    app_i64(body, c.max_ts);
+    app_i64(body, c.min_item);
+    app_i64(body, c.max_item);
+    app_u32(body, static_cast<std::uint32_t>(c.func_counts.size()));
+    for (const auto& [fn, count] : c.func_counts) {
+      app_u32(body, fn);
+      app_u32(body, count);
+    }
+  }
+  std::string out;
+  out.reserve(kHeaderBytes + body.size());
+  app_u32(out, kFlxiMagic);
+  app_u32(out, kFlxiVersion);
+  app_u64(out, index.trace_size);
+  app_u32(out, index.trace_crc);
+  app_u32(out, index.symtab_crc);
+  app_u32(out, static_cast<std::uint32_t>(index.chunks.size()));
+  app_u32(out, io::crc32(body.data(), body.size()));
+  out += body;
+  return out;
+}
+
+std::optional<FlxiIndex> decode_flxi(std::string_view bytes) {
+  Reader r{bytes};
+  if (r.u32() != kFlxiMagic || r.u32() != kFlxiVersion) return std::nullopt;
+  FlxiIndex index;
+  index.trace_size = r.u64();
+  index.trace_crc = r.u32();
+  index.symtab_crc = r.u32();
+  const std::uint32_t n_chunks = r.u32();
+  const std::uint32_t body_crc = r.u32();
+  if (!r.ok || n_chunks > kMaxChunks) return std::nullopt;
+
+  const std::string_view body = bytes.substr(std::min(r.at, bytes.size()));
+  if (body_crc != io::crc32(body.data(), body.size())) return std::nullopt;
+
+  index.chunks.reserve(n_chunks);
+  for (std::uint32_t i = 0; i < n_chunks; ++i) {
+    FlxiChunk c;
+    c.offset = r.u64();
+    c.n_records = r.u32();
+    c.min_ts = r.i64();
+    c.max_ts = r.i64();
+    c.min_item = r.i64();
+    c.max_item = r.i64();
+    const std::uint32_t n_funcs = r.u32();
+    if (!r.ok || n_funcs > kMaxFuncs) return std::nullopt;
+    c.func_counts.reserve(n_funcs);
+    for (std::uint32_t j = 0; j < n_funcs; ++j) {
+      const std::uint32_t fn = r.u32();
+      const std::uint32_t count = r.u32();
+      if (!r.ok) return std::nullopt;
+      c.func_counts.emplace_back(fn, count);
+    }
+    index.chunks.push_back(std::move(c));
+  }
+  if (!r.ok || r.at != bytes.size()) return std::nullopt; // trailing garbage
+  return index;
+}
+
+bool save_flxi(const std::string& path, const FlxiIndex& index) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  const std::string bytes = encode_flxi(index);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.close();
+  return static_cast<bool>(os);
+}
+
+std::optional<FlxiIndex> load_flxi(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (!is) return std::nullopt;
+  const std::string bytes = std::move(buf).str();
+  return decode_flxi(bytes);
+}
+
+} // namespace fluxtrace::query

@@ -1,0 +1,83 @@
+// The FLXI index sidecar (ISSUE 5): a compact per-chunk summary of a
+// FLXT v2 trace that lets selective queries skip most of the file. The
+// analysis path writes it opportunistically (the first full scan knows
+// everything the index records); a reopen validates it and prunes.
+//
+//   file  := u32 magic "FLXI" | u32 version=1
+//          | u64 trace_size | u32 trace_crc | u32 symtab_crc
+//          | u32 n_chunks | u32 body_crc | body
+//   body  := chunk*
+//   chunk := u64 offset | u32 n_records
+//          | i64 min_ts | i64 max_ts | i64 min_item | i64 max_item
+//          | u32 n_funcs | (u32 func_id, u32 samples)*
+//
+// Only *sample* chunks are indexed: marker chunks are always decoded in
+// full (windows are needed for item attribution no matter what is
+// pruned). min/max item are the *attributed* ids — they depend on the
+// marker stream and, like func ids, on the symbol table, which is why
+// the header pins both the trace bytes (size + CRC32) and the symbol
+// table (symtab_crc): any mismatch invalidates the sidecar and the
+// engine falls back to a full scan. CRC discipline matches FLXT v2 —
+// a truncated, bit-flipped, or hostile sidecar is *detected*, never
+// trusted (decode_flxi returns nullopt; nothing throws on damage).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "fluxtrace/base/symbols.hpp"
+
+namespace fluxtrace::query {
+
+inline constexpr std::uint32_t kFlxiMagic = 0x49584c46; // "FLXI"
+inline constexpr std::uint32_t kFlxiVersion = 1;
+
+/// Summary of one FLXT v2 sample chunk.
+struct FlxiChunk {
+  std::uint64_t offset = 0; ///< chunk header offset in the trace file
+  std::uint32_t n_records = 0;
+  std::int64_t min_ts = 0, max_ts = 0;
+  /// Attributed item-id range (kNoItem rows read as -1). min > max means
+  /// the chunk is empty.
+  std::int64_t min_item = 0, max_item = 0;
+  /// (func id, samples) pairs, sorted by id; unresolved ips are omitted.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> func_counts;
+
+  friend bool operator==(const FlxiChunk&, const FlxiChunk&) = default;
+};
+
+struct FlxiIndex {
+  std::uint64_t trace_size = 0;
+  std::uint32_t trace_crc = 0;  ///< io::crc32 over the whole trace image
+  std::uint32_t symtab_crc = 0; ///< symtab_crc() of the attributing table
+  std::vector<FlxiChunk> chunks; ///< sample chunks, in file order
+
+  friend bool operator==(const FlxiIndex&, const FlxiIndex&) = default;
+};
+
+/// Fingerprint of a symbol table (names + address ranges).
+[[nodiscard]] std::uint32_t symtab_crc(const SymbolTable& symtab);
+
+/// Serialize / parse the sidecar image. decode_flxi returns nullopt on
+/// *any* irregularity — bad magic/version, truncation, CRC mismatch,
+/// counts inconsistent with the byte budget, trailing garbage.
+[[nodiscard]] std::string encode_flxi(const FlxiIndex& index);
+[[nodiscard]] std::optional<FlxiIndex> decode_flxi(std::string_view bytes);
+
+/// Sidecar path convention: the trace path plus ".flxi".
+[[nodiscard]] inline std::string flxi_path(const std::string& trace_path) {
+  return trace_path + ".flxi";
+}
+
+/// File conveniences. save_flxi returns false (no throw) when the file
+/// cannot be written — index persistence is opportunistic, never a
+/// failure of the analysis itself. load_flxi returns nullopt for a
+/// missing or damaged file alike.
+bool save_flxi(const std::string& path, const FlxiIndex& index);
+[[nodiscard]] std::optional<FlxiIndex> load_flxi(const std::string& path);
+
+} // namespace fluxtrace::query

@@ -1,0 +1,271 @@
+// Internal lexer shared by the expression parser (expr.cpp) and the
+// query pipeline parser (engine.cpp). Not part of the public query API.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "fluxtrace/query/expr.hpp" // ParseError
+
+namespace fluxtrace::query::detail {
+
+enum class Tok : std::uint8_t {
+  End,
+  Number, ///< integer, or float when `is_float` (only `outliers` takes floats)
+  Ident,
+  Str, ///< quoted string, text holds the unescaped content
+  Plus, Minus, Star, Slash, Percent,
+  EqEq, Ne, Le, Ge, Lt, Gt,
+  AndAnd, OrOr, Not,
+  LParen, RParen,
+  Pipe, Comma, Colon, Assign,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;     ///< identifier/string content
+  std::size_t pos = 0;  ///< byte offset in the source
+  std::int64_t num = 0; ///< Number value (integer part for floats)
+  double fnum = 0.0;    ///< Number value as double
+  bool is_float = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return cur_; }
+
+  Token next() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+  [[nodiscard]] bool at(Tok k) const { return cur_.kind == k; }
+
+  /// Consume the current token if it matches `k`.
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    advance();
+    return true;
+  }
+
+  Token expect(Tok k, const char* what) {
+    if (!at(k))
+
+      throw ParseError(std::string("expected ") + what + " at '" +
+                           describe(cur_) + "'",
+                       cur_.pos);
+    return next();
+  }
+
+  [[nodiscard]] static std::string describe(const Token& t) {
+    switch (t.kind) {
+      case Tok::End: return "end of query";
+      case Tok::Number: return t.text;
+      case Tok::Ident: return t.text;
+      case Tok::Str: return "\"" + t.text + "\"";
+      case Tok::Plus: return "+";
+      case Tok::Minus: return "-";
+      case Tok::Star: return "*";
+      case Tok::Slash: return "/";
+      case Tok::Percent: return "%";
+      case Tok::EqEq: return "==";
+      case Tok::Ne: return "!=";
+      case Tok::Le: return "<=";
+      case Tok::Ge: return ">=";
+      case Tok::Lt: return "<";
+      case Tok::Gt: return ">";
+      case Tok::AndAnd: return "&&";
+      case Tok::OrOr: return "||";
+      case Tok::Not: return "!";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::Pipe: return "|";
+      case Tok::Comma: return ",";
+      case Tok::Colon: return ":";
+      case Tok::Assign: return "=";
+    }
+    return "?";
+  }
+
+ private:
+  void advance() {
+    while (at_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[at_])) != 0) {
+      ++at_;
+    }
+    cur_ = Token{};
+    cur_.pos = at_;
+    if (at_ >= src_.size()) {
+      cur_.kind = Tok::End;
+      return;
+    }
+    const char c = src_[at_];
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      lex_number();
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      const std::size_t start = at_;
+      while (at_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[at_])) != 0 ||
+              src_[at_] == '_')) {
+        ++at_;
+      }
+      cur_.kind = Tok::Ident;
+      cur_.text = std::string(src_.substr(start, at_ - start));
+      return;
+    }
+    if (c == '"' || c == '\'') {
+      lex_string(c);
+      return;
+    }
+    auto two = [&](char a, char b, Tok k) {
+      if (src_[at_] == a && at_ + 1 < src_.size() && src_[at_ + 1] == b) {
+        cur_.kind = k;
+        at_ += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two('=', '=', Tok::EqEq) || two('!', '=', Tok::Ne) ||
+        two('<', '=', Tok::Le) || two('>', '=', Tok::Ge) ||
+        two('&', '&', Tok::AndAnd) || two('|', '|', Tok::OrOr)) {
+      return;
+    }
+    ++at_;
+    switch (c) {
+      case '+': cur_.kind = Tok::Plus; return;
+      case '-': cur_.kind = Tok::Minus; return;
+      case '*': cur_.kind = Tok::Star; return;
+      case '/': cur_.kind = Tok::Slash; return;
+      case '%': cur_.kind = Tok::Percent; return;
+      case '<': cur_.kind = Tok::Lt; return;
+      case '>': cur_.kind = Tok::Gt; return;
+      case '!': cur_.kind = Tok::Not; return;
+      case '(': cur_.kind = Tok::LParen; return;
+      case ')': cur_.kind = Tok::RParen; return;
+      case '|': cur_.kind = Tok::Pipe; return;
+      case ',': cur_.kind = Tok::Comma; return;
+      case ':': cur_.kind = Tok::Colon; return;
+      case '=': cur_.kind = Tok::Assign; return;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         cur_.pos);
+    }
+  }
+
+  void lex_number() {
+    const std::size_t start = at_;
+    std::uint64_t v = 0;
+    bool overflow = false;
+    if (src_[at_] == '0' && at_ + 1 < src_.size() &&
+        (src_[at_ + 1] == 'x' || src_[at_ + 1] == 'X')) {
+      at_ += 2;
+      const std::size_t digits_start = at_;
+      while (at_ < src_.size() &&
+             std::isxdigit(static_cast<unsigned char>(src_[at_])) != 0) {
+        const char d = src_[at_];
+        const auto dv = static_cast<std::uint64_t>(
+            std::isdigit(static_cast<unsigned char>(d)) != 0
+                ? d - '0'
+                : std::tolower(static_cast<unsigned char>(d)) - 'a' + 10);
+        if (v > (std::numeric_limits<std::uint64_t>::max() >> 4)) {
+          overflow = true;
+        }
+        v = (v << 4) | dv;
+        ++at_;
+      }
+      if (at_ == digits_start) {
+        throw ParseError("malformed hex literal", start);
+      }
+    } else {
+      while (at_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[at_])) != 0) {
+        const auto dv = static_cast<std::uint64_t>(src_[at_] - '0');
+        if (v > (std::numeric_limits<std::uint64_t>::max() - dv) / 10) {
+          overflow = true;
+        }
+        v = v * 10 + dv;
+        ++at_;
+      }
+      if (at_ < src_.size() && src_[at_] == '.') {
+        // Fractional literal: only the `outliers k=` stage accepts these;
+        // the expression grammar rejects them at use.
+        ++at_;
+        double frac = 0.0, scale = 0.1;
+        while (at_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[at_])) != 0) {
+          frac += scale * (src_[at_] - '0');
+          scale /= 10.0;
+          ++at_;
+        }
+        cur_.kind = Tok::Number;
+        cur_.is_float = true;
+        cur_.fnum = static_cast<double>(v) + frac;
+        cur_.num = static_cast<std::int64_t>(v);
+        cur_.text = std::string(src_.substr(start, at_ - start));
+        return;
+      }
+    }
+    if (overflow ||
+        v > static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max())) {
+      // One value past int64 max is allowed so `item == -1`-style
+      // sentinels can also be written as 18446744073709551615 / 0xffff...;
+      // it wraps to the same bit pattern the columns store.
+      if (!overflow) {
+        cur_.kind = Tok::Number;
+        cur_.num = static_cast<std::int64_t>(v);
+        cur_.fnum = static_cast<double>(v);
+        cur_.text = std::string(src_.substr(start, at_ - start));
+        return;
+      }
+      throw ParseError("integer literal out of range", start);
+    }
+    cur_.kind = Tok::Number;
+    cur_.num = static_cast<std::int64_t>(v);
+    cur_.fnum = static_cast<double>(v);
+    cur_.text = std::string(src_.substr(start, at_ - start));
+  }
+
+  void lex_string(char quote) {
+    const std::size_t start = at_;
+    ++at_; // opening quote
+    std::string out;
+    while (at_ < src_.size() && src_[at_] != quote) {
+      char c = src_[at_];
+      if (c == '\\' && at_ + 1 < src_.size()) {
+        ++at_;
+        c = src_[at_];
+      }
+      out.push_back(c);
+      ++at_;
+    }
+    if (at_ >= src_.size()) {
+      throw ParseError("unterminated string literal", start);
+    }
+    ++at_; // closing quote
+    cur_.kind = Tok::Str;
+    cur_.text = std::move(out);
+  }
+
+  std::string_view src_;
+  std::size_t at_ = 0;
+  Token cur_;
+};
+
+/// Parse one expression from an already-positioned lexer, stopping at the
+/// first token the expression grammar cannot consume — which is how the
+/// pipeline parser (engine.cpp) reads a `filter` stage up to its `|`.
+/// Defined in expr.cpp.
+[[nodiscard]] std::unique_ptr<Expr> parse_expr_tokens(
+    Lexer& lex, const SymbolTable* symtab);
+
+} // namespace fluxtrace::query::detail

@@ -1,0 +1,105 @@
+#include "fluxtrace/query/render.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "fluxtrace/report/csv.hpp"
+#include "fluxtrace/report/table.hpp"
+
+namespace fluxtrace::query {
+
+void print_table(std::ostream& os, const QueryResult& res) {
+  report::Table table(res.columns);
+  // Right-align any column that is numeric in every row; name-bearing
+  // columns (func) stay left.
+  for (std::size_t c = 0; c < res.columns.size(); ++c) {
+    bool numeric = true;
+    for (const auto& row : res.rows) {
+      if (row[c].kind == Cell::Kind::Text) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) table.align(c, report::Align::Right);
+  }
+  for (const auto& row : res.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Cell& cell : row) cells.push_back(cell.str());
+    table.row(std::move(cells));
+  }
+  table.print(os);
+}
+
+void print_csv(std::ostream& os, const QueryResult& res) {
+  report::CsvWriter csv(os);
+  csv.header(res.columns);
+  for (const auto& row : res.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Cell& cell : row) cells.push_back(cell.str());
+    csv.row(cells);
+  }
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+} // namespace
+
+void print_json(std::ostream& os, const QueryResult& res) {
+  os << "{\"columns\":[";
+  for (std::size_t c = 0; c < res.columns.size(); ++c) {
+    if (c != 0) os << ',';
+    json_escape(os, res.columns[c]);
+  }
+  os << "],\"rows\":[";
+  for (std::size_t r = 0; r < res.rows.size(); ++r) {
+    if (r != 0) os << ',';
+    os << '[';
+    for (std::size_t c = 0; c < res.rows[r].size(); ++c) {
+      if (c != 0) os << ',';
+      const Cell& cell = res.rows[r][c];
+      if (cell.kind == Cell::Kind::Text) {
+        json_escape(os, cell.s);
+      } else {
+        os << cell.str();
+      }
+    }
+    os << ']';
+  }
+  os << "]}\n";
+}
+
+void print_stats(std::ostream& os, const ScanStats& stats) {
+  os << "rows " << stats.rows_scanned << " matched " << stats.rows_matched
+     << ", chunks " << stats.chunks_total << " read " << stats.chunks_read
+     << " pruned " << stats.chunks_pruned;
+  if (stats.index_used) os << " (index)";
+  if (stats.index_written) os << " (index written)";
+  if (stats.salvaged) os << " (salvaged)";
+  os << ", threads " << stats.threads << "\n";
+}
+
+} // namespace fluxtrace::query

@@ -1,0 +1,29 @@
+// Result rendering for the query engine: the three output shapes
+// flxt_query exposes (aligned table, CSV, JSON) plus the --stats
+// footer. All of them print the same QueryResult cells — Cell::str()
+// is the single formatting point, so the golden-CSV smoke test pins
+// every shape at once.
+#pragma once
+
+#include <iosfwd>
+
+#include "fluxtrace/query/engine.hpp"
+
+namespace fluxtrace::query {
+
+/// Aligned plain-text table (report::Table), numeric columns
+/// right-aligned.
+void print_table(std::ostream& os, const QueryResult& res);
+
+/// RFC-4180 CSV with a header row (report::CsvWriter).
+void print_csv(std::ostream& os, const QueryResult& res);
+
+/// One JSON object: {"columns": [...], "rows": [[...], ...]}. Int/Real
+/// cells are JSON numbers, Text cells are strings.
+void print_json(std::ostream& os, const QueryResult& res);
+
+/// Human-readable scan statistics ("rows 1000000 matched 4096, chunks
+/// 977 read 31 pruned 946 (index), threads 8").
+void print_stats(std::ostream& os, const ScanStats& stats);
+
+} // namespace fluxtrace::query

@@ -42,12 +42,24 @@ double Distribution::max() const {
 }
 
 double Distribution::percentile(double p) const {
-  assert(p > 0.0 && p <= 100.0);
   if (xs_.empty()) return 0.0;
   ensure_sorted();
-  // Nearest-rank: ceil(p/100 * N), 1-based.
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(xs_.size())));
+  // Out-of-domain p is clamped, never UB: the old assert let p <= 0
+  // through in NDEBUG builds, and casting a negative ceil() result to
+  // size_t is undefined. NaN fails the first comparison and lands on
+  // the minimum too.
+  if (!(p > 0.0)) return xs_.front();
+  if (p >= 100.0) return xs_.back();
+  // Nearest-rank: smallest 1-based k with k >= p/100 * N. The rank is
+  // snapped to a nearby integer before ceil() so a p that is not
+  // exactly representable does not overshoot: 99.9 is stored as
+  // 99.9000000000000057, and over 1000 samples the raw product is
+  // 999.00000000000006 — ceil of that is 1000, silently turning p999
+  // into the maximum.
+  double r = p / 100.0 * static_cast<double>(xs_.size());
+  const double nearest = std::round(r);
+  if (nearest > 0.0 && std::abs(r - nearest) <= 1e-9 * nearest) r = nearest;
+  const auto rank = static_cast<std::size_t>(std::ceil(r));
   return xs_[std::min(xs_.size(), std::max<std::size_t>(1, rank)) - 1];
 }
 

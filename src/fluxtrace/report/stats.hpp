@@ -27,8 +27,13 @@ class Distribution {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
-  /// Nearest-rank percentile; p in (0, 100]. p50 = median, p99, p999 =
-  /// pass 99.9.
+  /// Nearest-rank percentile: the smallest value with at least p% of
+  /// the observations at or below it. p50 = median, p99, p999 = pass
+  /// 99.9. Every edge is defined rather than UB: an empty series
+  /// returns 0.0, p <= 0 (or NaN) returns the minimum, p >= 100 the
+  /// maximum, and a single-sample or all-equal series returns that
+  /// value for any p. Ranks are computed with an integer snap so an
+  /// inexactly-representable p (e.g. 99.9) hits its intended rank.
   [[nodiscard]] double percentile(double p) const;
 
   /// The tail-amplification factor the paper's motivation quotes.

@@ -1,0 +1,230 @@
+// Query expression language: evaluation semantics (total, wrapping,
+// 0/1 comparisons), the to_string round-trip guarantee, rejection of
+// malformed input, and the soundness of the mined prune hints.
+#include "fluxtrace/query/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace fluxtrace::query {
+namespace {
+
+std::int64_t eval(const std::string& text, const FieldVals& row,
+                  const SymbolTable* symtab = nullptr) {
+  return parse_expr(text, symtab)->eval(row);
+}
+
+FieldVals row_of(std::int64_t item, std::int64_t func, std::int64_t core,
+                 std::int64_t ts, std::int64_t dur, std::int64_t ip) {
+  FieldVals r;
+  r.set(Field::Item, item);
+  r.set(Field::Func, func);
+  r.set(Field::Core, core);
+  r.set(Field::Ts, ts);
+  r.set(Field::Dur, dur);
+  r.set(Field::Ip, ip);
+  return r;
+}
+
+TEST(QueryExpr, ArithmeticAndPrecedence) {
+  const FieldVals r = row_of(7, 2, 1, 1000, 50, 0x400000);
+  EXPECT_EQ(eval("1 + 2 * 3", r), 7);
+  EXPECT_EQ(eval("(1 + 2) * 3", r), 9);
+  EXPECT_EQ(eval("10 - 4 - 3", r), 3); // left associative
+  EXPECT_EQ(eval("17 % 5", r), 2);
+  EXPECT_EQ(eval("-item", r), -7);
+  EXPECT_EQ(eval("item * 2 + core", r), 15);
+  EXPECT_EQ(eval("ts / 100", r), 10);
+}
+
+TEST(QueryExpr, TotalSemanticsNeverFault) {
+  const FieldVals r = row_of(1, 0, 0, 0, 0, 0);
+  // Division and modulo by zero evaluate to 0 — a query must never
+  // fault on data.
+  EXPECT_EQ(eval("5 / 0", r), 0);
+  EXPECT_EQ(eval("5 % 0", r), 0);
+  EXPECT_EQ(eval("5 / (item - 1)", r), 0);
+  // INT64_MIN / -1 and overflowing arithmetic wrap instead of trapping.
+  EXPECT_EQ(eval("(0 - 9223372036854775807 - 1) / (0 - 1)", r),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(eval("9223372036854775807 + 1", r),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(eval("-(0 - 9223372036854775807 - 1)", r),
+            std::numeric_limits<std::int64_t>::min());
+  // Decimal literals above INT64_MAX wrap like all query arithmetic —
+  // the full uint64 range must stay spellable for ip constants.
+  EXPECT_EQ(eval("9223372036854775808", r),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(eval("18446744073709551615", r), -1);
+}
+
+TEST(QueryExpr, ComparisonsYieldZeroOne) {
+  const FieldVals r = row_of(7, 2, 1, 1000, 50, 0);
+  EXPECT_EQ(eval("item == 7", r), 1);
+  EXPECT_EQ(eval("item != 7", r), 0);
+  EXPECT_EQ(eval("ts < 1000", r), 0);
+  EXPECT_EQ(eval("ts <= 1000", r), 1);
+  EXPECT_EQ(eval("dur > 49", r), 1);
+  EXPECT_EQ(eval("dur >= 51", r), 0);
+  // Comparison results are plain integers and compose arithmetically.
+  EXPECT_EQ(eval("(item == 7) + (core == 1)", r), 2);
+}
+
+TEST(QueryExpr, LogicalOpsAndNot) {
+  const FieldVals r = row_of(7, 2, 1, 1000, 50, 0);
+  EXPECT_EQ(eval("item == 7 && core == 1", r), 1);
+  EXPECT_EQ(eval("item == 8 || core == 1", r), 1);
+  EXPECT_EQ(eval("item == 8 && core == 1", r), 0);
+  EXPECT_EQ(eval("!(item == 8)", r), 1);
+  EXPECT_EQ(eval("!!item", r), 1);
+  // && / || normalize any nonzero operand to 0/1.
+  EXPECT_EQ(eval("5 && 9", r), 1);
+  EXPECT_EQ(eval("0 || 3", r), 1);
+  // Short-circuit: the right side's division by zero is never reached,
+  // but even if it were, it is total anyway.
+  EXPECT_EQ(eval("0 && (1 / 0)", r), 0);
+}
+
+TEST(QueryExpr, FuncNameComparisonResolvesToIds) {
+  SymbolTable symtab;
+  const SymbolId parse = symtab.add("app::parse");
+  symtab.add("app::lookup");
+  FieldVals r = row_of(0, parse, 0, 0, 0, 0);
+  EXPECT_EQ(eval("func == \"app::parse\"", r, &symtab), 1);
+  EXPECT_EQ(eval("func != \"app::parse\"", r, &symtab), 0);
+  r.set(Field::Func, parse + 1);
+  EXPECT_EQ(eval("func == \"app::parse\"", r, &symtab), 0);
+  EXPECT_EQ(eval("func != \"app::parse\"", r, &symtab), 1);
+  // Unresolved rows (func == -1) never match ==, always match !=.
+  r.set(Field::Func, -1);
+  EXPECT_EQ(eval("func == \"app::parse\"", r, &symtab), 0);
+  EXPECT_EQ(eval("func != \"app::parse\"", r, &symtab), 1);
+  // An unknown name is an empty match set, not an error: matches no row.
+  EXPECT_EQ(eval("func == \"no::such::fn\"", r, &symtab), 0);
+}
+
+TEST(QueryExpr, ToStringRoundTripsStructurally) {
+  SymbolTable symtab;
+  symtab.add("app::parse");
+  const char* cases[] = {
+      "1",
+      "item",
+      "-item + 3 * (ts - 7)",
+      "item == 7 && (core == 1 || core == 2)",
+      "!(dur > 100) || ip % 4096 == 0",
+      "func == \"app::parse\"",
+      "func != \"app::parse\"",
+      "ts / 0 == 0",
+  };
+  for (const char* text : cases) {
+    const auto e = parse_expr(text, &symtab);
+    const std::string printed = to_string(*e);
+    const auto reparsed = parse_expr(printed, &symtab);
+    EXPECT_TRUE(e->equals(*reparsed))
+        << text << " -> " << printed << " -> " << to_string(*reparsed);
+  }
+}
+
+TEST(QueryExpr, CloneIsStructurallyEqual) {
+  SymbolTable symtab;
+  symtab.add("app::parse");
+  const auto e =
+      parse_expr("item == 3 && func == \"app::parse\" || ts > 10", &symtab);
+  const auto c = e->clone();
+  EXPECT_TRUE(e->equals(*c));
+  EXPECT_EQ(to_string(*e), to_string(*c));
+}
+
+TEST(QueryExpr, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",              // empty
+      "item ==",       // missing rhs
+      "(item == 1",    // unbalanced paren
+      "item === 1",    // bad operator
+      "1 < 2 < 3",     // chained comparison (ambiguous, rejected)
+      "bogus == 1",    // unknown column
+      "item & 1",      // lone & is not an operator
+      "item == 1 extra", // trailing garbage
+      "\"name\" == func", // strings only on the rhs of func comparisons
+      "ts == \"name\"",   // strings never compare with other columns
+      "func < \"name\"",  // only == / != for names
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)parse_expr(text, nullptr), ParseError) << text;
+  }
+  // String comparison requires a symbol table.
+  EXPECT_THROW((void)parse_expr("func == \"x\"", nullptr), ParseError);
+}
+
+TEST(QueryExpr, ParseErrorCarriesOffset) {
+  try {
+    (void)parse_expr("item == bogus", nullptr);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.pos(), 8u);
+  }
+}
+
+TEST(QueryExpr, BindCheckRejectsUnavailableFields) {
+  const auto e = parse_expr("item == 1 && dur > 5", nullptr);
+  EXPECT_NO_THROW(e->bind_check(kAllFields, "test"));
+  EXPECT_NO_THROW(e->bind_check(
+      field_bit(Field::Item) | field_bit(Field::Dur), "test"));
+  EXPECT_THROW(e->bind_check(field_bit(Field::Item), "test"), ParseError);
+  EXPECT_EQ(e->fields_used(),
+            field_bit(Field::Item) | field_bit(Field::Dur));
+}
+
+TEST(QueryExpr, PruneHintsFromConjuncts) {
+  SymbolTable symtab;
+  const SymbolId parse = symtab.add("app::parse");
+  {
+    const auto e = parse_expr("item == 5", nullptr);
+    const PruneHints h = extract_prune_hints(*e);
+    EXPECT_EQ(h.item.lo, 5);
+    EXPECT_EQ(h.item.hi, 5);
+    EXPECT_TRUE(h.ts.full());
+    EXPECT_FALSE(h.funcs.has_value());
+    EXPECT_TRUE(h.selective());
+  }
+  {
+    const auto e =
+        parse_expr("ts >= 100 && ts < 200 && item <= 3", nullptr);
+    const PruneHints h = extract_prune_hints(*e);
+    EXPECT_EQ(h.ts.lo, 100);
+    EXPECT_EQ(h.ts.hi, 199);
+    EXPECT_EQ(h.item.hi, 3);
+  }
+  {
+    const auto e = parse_expr("func == \"app::parse\" && dur > 0", &symtab);
+    const PruneHints h = extract_prune_hints(*e);
+    ASSERT_TRUE(h.funcs.has_value());
+    ASSERT_EQ(h.funcs->size(), 1u);
+    EXPECT_EQ((*h.funcs)[0], parse);
+  }
+}
+
+TEST(QueryExpr, PruneHintsWidenOnAnythingElse) {
+  // OR chains, negations, and arithmetic must not narrow the hints —
+  // pruning on them would be unsound.
+  for (const char* text : {"item == 5 || ts > 10", "!(item == 5)",
+                           "item + 1 == 5", "item != 5"}) {
+    const auto e = parse_expr(text, nullptr);
+    const PruneHints h = extract_prune_hints(*e);
+    EXPECT_TRUE(h.ts.full()) << text;
+    EXPECT_TRUE(h.item.full()) << text;
+    EXPECT_FALSE(h.funcs.has_value()) << text;
+    EXPECT_FALSE(h.selective()) << text;
+  }
+}
+
+TEST(QueryExpr, ContradictoryConjunctsGiveEmptyInterval) {
+  const auto e = parse_expr("item >= 10 && item <= 5", nullptr);
+  const PruneHints h = extract_prune_hints(*e);
+  EXPECT_TRUE(h.item.empty());
+  EXPECT_TRUE(h.selective());
+}
+
+} // namespace
+} // namespace fluxtrace::query

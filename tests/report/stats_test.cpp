@@ -1,5 +1,7 @@
 #include "fluxtrace/report/stats.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace fluxtrace::report {
@@ -20,6 +22,54 @@ TEST(Distribution, EmptyIsZero) {
   EXPECT_EQ(d.mean(), 0.0);
   EXPECT_EQ(d.stddev(), 0.0);
   EXPECT_EQ(d.percentile(50), 0.0);
+  EXPECT_EQ(d.percentile(0), 0.0);
+  EXPECT_EQ(d.percentile(-5), 0.0);
+  EXPECT_EQ(d.percentile(200), 0.0);
+  EXPECT_EQ(d.p99_over_mean(), 0.0);
+}
+
+TEST(Distribution, SingleSampleEveryPercentile) {
+  Distribution d;
+  d.add(42.0);
+  for (const double p : {0.001, 1.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(d.percentile(p), 42.0) << "p=" << p;
+  }
+  EXPECT_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, AllEqualSeries) {
+  Distribution d;
+  for (int i = 0; i < 1000; ++i) d.add(7.5);
+  for (const double p : {0.1, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(d.percentile(p), 7.5) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(d.p99_over_mean(), 1.0);
+}
+
+TEST(Distribution, OutOfDomainPClampsInsteadOfUb) {
+  Distribution d;
+  for (int i = 1; i <= 10; ++i) d.add(i);
+  // p <= 0 lands on the minimum (the old assert let these through in
+  // NDEBUG builds and cast a negative ceil() to size_t — UB).
+  EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.percentile(-3.0), 1.0);
+  // p >= 100 lands on the maximum.
+  EXPECT_DOUBLE_EQ(d.percentile(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.percentile(150.0), 10.0);
+  // NaN never orders above 0, so it lands on the minimum too.
+  EXPECT_DOUBLE_EQ(d.percentile(std::nan("")), 1.0);
+}
+
+TEST(Distribution, InexactPercentileHitsIntendedRank) {
+  // 99.9 is stored as 99.9000000000000057; the naive rank computation
+  // ceils 999.00000000000006 to 1000 and silently returns the maximum.
+  // Nearest-rank p99.9 over exactly 1000 samples must be rank 999.
+  Distribution d;
+  for (int i = 1; i <= 1000; ++i) d.add(i);
+  EXPECT_DOUBLE_EQ(d.percentile(99.9), 999.0);
+  EXPECT_DOUBLE_EQ(d.percentile(50.0), 500.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(d.percentile(100.0), 1000.0);
 }
 
 TEST(Distribution, NearestRankPercentiles) {

@@ -435,6 +435,143 @@ TEST_F(ToolsFixture, SessionRejectsInvalidNumericFlags) {
       << out;
 }
 
+TEST_F(ToolsFixture, EveryToolAnswersVersion) {
+  // --version works argument-free, prints the one version string from
+  // base/version.hpp, and exits 0 — same flag, same source, all tools.
+  for (const char* name : {"flxt_dump", "flxt_report", "flxt_convert",
+                           "flxt_recover", "flxt_session", "flxt_query"}) {
+    int rc = -1;
+    const std::string out = run_capture(tool(name) + " --version", &rc);
+    EXPECT_EQ(rc, 0) << name << ": " << out;
+    EXPECT_NE(out.find(std::string(name) + " "), std::string::npos) << out;
+    EXPECT_NE(out.find("0.5.0"), std::string::npos) << out;
+  }
+}
+
+TEST_F(ToolsFixture, QueryGroupByAndFilter) {
+  int rc = -1;
+  const std::string out = run_capture(
+      tool("flxt_query") + " " + trace_path + " " + syms_path +
+          " 'group func: count | top 1 by count' --stats",
+      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  // The paper workload's hottest function dominates the samples.
+  EXPECT_NE(out.find("sample_app::f3_transform"), std::string::npos) << out;
+  EXPECT_NE(out.find("rows 145 matched 145"), std::string::npos) << out;
+
+  const std::string filtered = run_capture(
+      tool("flxt_query") + " " + trace_path + " " + syms_path +
+          " 'filter item == 1 | group func: count' --csv",
+      &rc);
+  EXPECT_EQ(rc, 0) << filtered;
+  EXPECT_NE(filtered.find("func,count"), std::string::npos) << filtered;
+}
+
+TEST_F(ToolsFixture, QueryJsonShape) {
+  int rc = -1;
+  const std::string out = run_capture(
+      tool("flxt_query") + " " + trace_path + " " + syms_path +
+          " 'group core: count' --json",
+      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("{\"columns\":[\"core\",\"count\"]"), std::string::npos)
+      << out;
+}
+
+TEST_F(ToolsFixture, QueryReplRunsFromAPipe) {
+  int rc = -1;
+  const std::string out = run_capture(
+      "printf 'group core: count\\nquit\\n' | " + tool("flxt_query") + " " +
+          trace_path + " " + syms_path + " --repl --csv",
+      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("core,count"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, QueryErrorsExitTwoWithOffset) {
+  int rc = 0;
+  std::string out = run_capture(tool("flxt_query") + " " + trace_path + " " +
+                                    syms_path + " 'group bogus: count'",
+                                &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  EXPECT_NE(out.find("at offset"), std::string::npos) << out;
+  // One-shot query and --repl are mutually exclusive; neither is also
+  // an error.
+  run_capture(tool("flxt_query") + " " + trace_path + " " + syms_path +
+                  " 'select ts' --repl",
+              &rc);
+  EXPECT_NE(rc, 0);
+  run_capture(tool("flxt_query") + " " + trace_path + " " + syms_path, &rc);
+  EXPECT_NE(rc, 0);
+  run_capture(tool("flxt_query") + " " + trace_path + " " + syms_path +
+                  " 'select ts' --csv --json",
+              &rc);
+  EXPECT_NE(rc, 0);
+}
+
+TEST_F(ToolsFixture, ReportFilterFlagsComposeAndReject) {
+  int rc = -1;
+  // --item N is sugar for --filter 'item == N': identical output.
+  const std::string sugar = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path + " --item 1",
+      &rc);
+  EXPECT_EQ(rc, 0) << sugar;
+  const std::string spelled = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path +
+          " --filter 'item == 1'",
+      &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(sugar, spelled);
+  EXPECT_NE(sugar.find("#1"), std::string::npos) << sugar;
+  EXPECT_EQ(sugar.find("#2"), std::string::npos) << sugar;
+
+  // --func keeps only that function's buckets in the folded export.
+  const std::string folded = run_capture(
+      tool("flxt_report") + " " + trace_path + " " + syms_path +
+          " --folded --func sample_app::f1_parse",
+      &rc);
+  EXPECT_EQ(rc, 0) << folded;
+  EXPECT_NE(folded.find("f1_parse"), std::string::npos) << folded;
+  EXPECT_EQ(folded.find("f3_transform"), std::string::npos) << folded;
+
+  // A filter over columns the report cannot bind is rejected cleanly.
+  std::string out = run_capture(tool("flxt_report") + " " + trace_path + " " +
+                                    syms_path + " --filter 'ts > 100'",
+                                &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("bad filter"), std::string::npos) << out;
+  // And so are modes the filter does not apply to.
+  out = run_capture(tool("flxt_report") + " " + trace_path + " " + syms_path +
+                        " --diagnose --item 1",
+                    &rc);
+  EXPECT_NE(rc, 0);
+  out = run_capture(tool("flxt_report") + " " + trace_path + " " + syms_path +
+                        " --filter 'item =='",
+                    &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("bad filter"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, ConvertChunkRecordsControlsV2Granularity) {
+  int rc = -1;
+  const std::string fine = ::testing::TempDir() + "/tools_smoke_fine.flxt2";
+  const std::string coarse = ::testing::TempDir() + "/tools_smoke_coarse.flxt2";
+  run_capture(tool("flxt_convert") + " " + trace_path + " " + fine +
+                  " --to-v2 --chunk-records 8",
+              &rc);
+  EXPECT_EQ(rc, 0);
+  run_capture(tool("flxt_convert") + " " + trace_path + " " + coarse +
+                  " --to-v2",
+              &rc);
+  EXPECT_EQ(rc, 0);
+  // Same records, more chunk headers.
+  std::ifstream fa(fine, std::ios::binary | std::ios::ate);
+  std::ifstream fb(coarse, std::ios::binary | std::ios::ate);
+  EXPECT_GT(fa.tellg(), fb.tellg());
+  EXPECT_EQ(io::open_trace(fine).read(), io::open_trace(coarse).read());
+}
+
 TEST_F(ToolsFixture, SessionCrashLeavesRecoverableSpool) {
   // Simulated kill -9 mid-capture: no close, no eof sentinel. The
   // fsync-per-chunk discipline means flxt_recover salvages every

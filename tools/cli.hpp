@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "fluxtrace/base/version.hpp"
 #include "fluxtrace/obs/export.hpp"
 #include "fluxtrace/obs/metrics.hpp"
 #include "fluxtrace/obs/span.hpp"
@@ -69,7 +70,21 @@ class Cli {
   /// Consume argv. False on any problem; the caller should then
   /// `return usage();`. Positional args (non-flag leading args) must
   /// number within [min_pos, max_pos].
+  ///
+  /// `--version` anywhere in argv prints "<tool> <version>" (the version
+  /// is base/version.hpp, the one source of truth) and exits 0 — checked
+  /// first so it works without the otherwise-required positionals.
   [[nodiscard]] bool parse(std::size_t min_pos, std::size_t max_pos) {
+    for (int v = 1; v < argc_; ++v) {
+      if (std::strcmp(argv_[v], "--version") == 0) {
+        const char* prog = argv_[0];
+        if (const char* slash = std::strrchr(prog, '/')) prog = slash + 1;
+        std::printf("%s %.*s\n", prog,
+                    static_cast<int>(kVersionString.size()),
+                    kVersionString.data());
+        std::exit(0);
+      }
+    }
     int i = 1;
     while (i < argc_ && std::strncmp(argv_[i], "--", 2) != 0) {
       pos_.push_back(argv_[i]);

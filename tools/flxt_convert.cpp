@@ -8,6 +8,10 @@
 //   flxt_convert <in> <out> --to-compact        any input -> FLXZ
 //   flxt_convert <in> <out> --to-full           any input -> FLXT v1
 //   flxt_convert <in> <out> --to-v2             any input -> FLXT v2
+//   flxt_convert <in> <out> --to-v2 --chunk-records N
+//                                               v2 with N records per
+//                                               chunk (smaller chunks =
+//                                               finer flxt_query pruning)
 //   flxt_convert <in> <out> --to-full --salvage damaged input: convert
 //                                               whatever is recoverable
 #include <cstdio>
@@ -34,15 +38,18 @@ int main(int argc, char** argv) try {
   tools::Cli cli(argc, argv,
                  std::string("usage: ") + argv[0] +
                      " <in> <out> --to-compact|--to-full|--to-v2 "
-                     "[--salvage] [--telemetry FILE] [--metrics]");
+                     "[--chunk-records N] [--salvage] [--telemetry FILE] "
+                     "[--metrics] [--version]");
   bool to_compact = false;
   bool to_full = false;
   bool to_v2 = false;
   bool salvage = false;
+  unsigned chunk_records = 0;
   cli.flag("--to-compact", &to_compact);
   cli.flag("--to-full", &to_full);
   cli.flag("--to-v2", &to_v2);
   cli.flag("--salvage", &salvage);
+  cli.flag_uint("--chunk-records", &chunk_records);
   tools::Telemetry tel;
   tel.attach(cli);
   if (!cli.parse(2, 2)) return cli.usage();
@@ -73,7 +80,9 @@ int main(int argc, char** argv) try {
     if (to_compact) {
       io::save_compact(out, data);
     } else if (to_v2) {
-      io::save_trace_v2(out, data);
+      io::save_trace_v2(out, data,
+                        chunk_records > 0 ? chunk_records
+                                          : io::kDefaultChunkRecords);
     } else {
       io::save_trace(out, data);
     }

@@ -116,7 +116,7 @@ int main(int argc, char** argv) try {
                  std::string("usage: ") + argv[0] +
                      " <trace-file> [--head N] [--csv markers|samples] "
                      "[--salvage] [--threads N] [--telemetry FILE] "
-                     "[--metrics]");
+                     "[--metrics] [--version]");
   std::size_t head = 10;
   const char* csv = nullptr;
   bool salvage = false;

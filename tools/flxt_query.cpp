@@ -1,0 +1,134 @@
+// flxt_query — ad-hoc queries over a recorded trace (ISSUE 5).
+//
+//   flxt_query <trace> <symbols> 'filter item == 7 | group func: count'
+//   flxt_query <trace> <symbols> --repl         interactive session
+//
+// The query is a pipeline of stages over the attributed sample columns
+// (item, func, core, ts, dur, ip):
+//
+//   filter <predicate> | select cols | group keys: aggs
+//   | outliers k=3 warmup=8 | top N by col | limit N
+//
+// Flags:
+//   --csv / --json   machine-readable output (default: aligned table)
+//   --stats          scan statistics (rows, chunks pruned) to stderr
+//   --no-index       ignore and do not write the FLXI sidecar
+//   --threads N      scan worker threads (0 = all cores; the result is
+//                    bit-identical regardless)
+//   --regs           attribute items via the sampled R13 register (§V-A)
+//                    instead of marker windows
+//
+// Results are identical with and without the index, and identical for
+// any thread count — the sidecar and the pool only change how much work
+// the scan does, never what it returns.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cli.hpp"
+#include "fluxtrace/io/symbols_file.hpp"
+#include "fluxtrace/query/engine.hpp"
+#include "fluxtrace/query/render.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+enum class Shape : std::uint8_t { Table, Csv, Json };
+
+int run_one(query::QueryEngine& engine, const std::string& text, Shape shape,
+            bool stats) {
+  query::QueryResult res;
+  try {
+    res = engine.run(text);
+  } catch (const query::ParseError& e) {
+    std::fprintf(stderr, "error: %s (at offset %zu)\n", e.what(), e.pos());
+    return 2;
+  }
+  switch (shape) {
+    case Shape::Table: query::print_table(std::cout, res); break;
+    case Shape::Csv: query::print_csv(std::cout, res); break;
+    case Shape::Json: query::print_json(std::cout, res); break;
+  }
+  if (stats) query::print_stats(std::cerr, res.stats);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
+  tools::Cli cli(argc, argv,
+                 std::string("usage: ") + argv[0] +
+                     " <trace-file> <symbols-file> [QUERY] [--repl] "
+                     "[--csv] [--json] [--stats] [--no-index] "
+                     "[--threads N] [--regs] [--telemetry FILE] "
+                     "[--metrics] [--version]");
+  bool repl = false;
+  bool csv = false;
+  bool json = false;
+  bool stats = false;
+  bool no_index = false;
+  bool regs = false;
+  unsigned threads = 0;
+  cli.flag("--repl", &repl);
+  cli.flag("--csv", &csv);
+  cli.flag("--json", &json);
+  cli.flag("--stats", &stats);
+  cli.flag("--no-index", &no_index);
+  cli.flag("--regs", &regs);
+  cli.flag_uint("--threads", &threads);
+  tools::Telemetry tel;
+  tel.attach(cli);
+  if (!cli.parse(2, 3)) return cli.usage();
+  if (csv && json) {
+    std::fprintf(stderr, "error: --csv and --json are exclusive\n");
+    return 2;
+  }
+  if ((cli.n_pos() == 3) == repl) {
+    // Exactly one of: a one-shot query, or --repl.
+    return cli.usage();
+  }
+  tel.start();
+  const Shape shape = csv ? Shape::Csv : json ? Shape::Json : Shape::Table;
+
+  query::EngineOptions opts;
+  opts.threads = threads;
+  opts.use_register_ids = regs;
+  opts.use_index = !no_index;
+  opts.write_index = !no_index;
+
+  SymbolTable symtab;
+  std::optional<query::QueryEngine> engine;
+  try {
+    symtab = io::load_symbols(cli.pos(1));
+    engine = query::QueryEngine::open(cli.pos(0), std::move(symtab), opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (!repl) {
+    const int rc = run_one(*engine, cli.pos(2), shape, stats);
+    if (rc != 0) return rc;
+    return tel.finish();
+  }
+
+  // REPL: one query per line; the engine caches the decoded trace, so
+  // follow-up queries only pay the scan. Prompt on stderr so piped
+  // sessions produce clean output.
+  std::string line;
+  for (;;) {
+    std::fputs("flxt> ", stderr);
+    std::fflush(stderr);
+    if (!std::getline(std::cin, line)) break;
+    const std::size_t a = line.find_first_not_of(" \t\r");
+    if (a == std::string::npos) continue;
+    const std::string trimmed = line.substr(a);
+    if (trimmed == "quit" || trimmed == "exit" || trimmed == ".quit") break;
+    run_one(*engine, trimmed, shape, stats); // errors keep the session alive
+  }
+  return tel.finish();
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

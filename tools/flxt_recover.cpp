@@ -21,7 +21,7 @@ int main(int argc, char** argv) try {
   tools::Cli cli(argc, argv,
                  std::string("usage: ") + argv[0] +
                      " <damaged-trace> [<recovered-out>] "
-                     "[--telemetry FILE] [--metrics]");
+                     "[--telemetry FILE] [--metrics] [--version]");
   tools::Telemetry tel;
   tel.attach(cli);
   if (!cli.parse(1, 2)) return cli.usage();

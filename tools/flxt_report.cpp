@@ -15,8 +15,18 @@
 //   flxt_report <trace> <symbols> --threads N  decode + integrate on N
 //                                              threads (0 = all cores);
 //                                              the result is identical
+//   flxt_report <trace> <symbols> --filter E   keep only buckets matching
+//                                              a query predicate over
+//                                              item/func/dur (query/expr);
+//                                              --gantt filters windows
+//                                              over item/core
+//   flxt_report <trace> <symbols> --item N     alias for
+//                                              --filter 'item == N'
+//   flxt_report <trace> <symbols> --func NAME  alias for
+//                                              --filter 'func == "NAME"'
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "cli.hpp"
@@ -24,6 +34,7 @@
 #include "fluxtrace/core/parallel_integrator.hpp"
 #include "fluxtrace/core/profile.hpp"
 #include "fluxtrace/io/folded.hpp"
+#include "fluxtrace/query/expr.hpp"
 #include "fluxtrace/report/gantt.hpp"
 #include "fluxtrace/io/symbols_file.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
@@ -37,7 +48,8 @@ int main(int argc, char** argv) try {
                      " <trace-file> <symbols-file> [--profile] [--folded] "
                      "[--gantt] [--diagnose] [--table-csv] [--regs] "
                      "[--degraded] [--freq GHZ] [--threads N] "
-                     "[--telemetry FILE] [--metrics]");
+                     "[--filter EXPR] [--item N] [--func NAME] "
+                     "[--telemetry FILE] [--metrics] [--version]");
   bool profile_mode = false;
   bool folded_mode = false;
   bool gantt_mode = false;
@@ -56,6 +68,12 @@ int main(int argc, char** argv) try {
   cli.flag("--degraded", &degraded_mode);
   cli.flag_ghz("--freq", &spec.freq_ghz);
   cli.flag_uint("--threads", &threads);
+  const char* filter_text = nullptr;
+  const char* item_sel = nullptr;
+  const char* func_sel = nullptr;
+  cli.flag_str("--filter", &filter_text);
+  cli.flag_str("--item", &item_sel);
+  cli.flag_str("--func", &func_sel);
   tools::Telemetry tel;
   tel.attach(cli);
   if (!cli.parse(2, 2)) return cli.usage();
@@ -69,6 +87,50 @@ int main(int argc, char** argv) try {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  }
+
+  // --item/--func are sugar for --filter conjuncts; everything composes
+  // into one predicate compiled by the query expression parser.
+  std::unique_ptr<query::Expr> filter;
+  {
+    std::string ftxt;
+    const auto conj = [&ftxt](const std::string& c) {
+      if (!ftxt.empty()) ftxt += " && ";
+      ftxt += "(" + c + ")";
+    };
+    if (item_sel != nullptr) conj(std::string("item == ") + item_sel);
+    if (func_sel != nullptr) {
+      std::string esc;
+      for (const char c : std::string(func_sel)) {
+        if (c == '"' || c == '\\') esc += '\\';
+        esc += c;
+      }
+      conj("func == \"" + esc + "\"");
+    }
+    if (filter_text != nullptr) conj(filter_text);
+    if (!ftxt.empty()) {
+      if (profile_mode || diagnose_mode) {
+        std::fprintf(stderr, "error: --filter/--item/--func do not apply to "
+                             "--profile or --diagnose\n");
+        return 2;
+      }
+      try {
+        filter = query::parse_expr(ftxt, &symtab);
+        if (gantt_mode) {
+          filter->bind_check(query::field_bit(query::Field::Item) |
+                                 query::field_bit(query::Field::Core),
+                             "the gantt filter (have: item core)");
+        } else {
+          filter->bind_check(query::field_bit(query::Field::Item) |
+                                 query::field_bit(query::Field::Func) |
+                                 query::field_bit(query::Field::Dur),
+                             "the report filter (have: item func dur)");
+        }
+      } catch (const query::ParseError& e) {
+        std::fprintf(stderr, "error: bad filter: %s\n", e.what());
+        return 2;
+      }
+    }
   }
 
   if (profile_mode) {
@@ -95,13 +157,25 @@ int main(int argc, char** argv) try {
   const core::ParallelIntegrator integ(symtab, icfg, threads);
   const core::TraceTable table = integ.integrate(data.markers, data.samples);
 
+  io::BucketFilter keep;
+  if (filter && !gantt_mode) {
+    keep = [&filter, &table](ItemId item, SymbolId fn) {
+      query::FieldVals vals;
+      vals.set(query::Field::Item, static_cast<std::int64_t>(item));
+      vals.set(query::Field::Func, static_cast<std::int64_t>(fn));
+      vals.set(query::Field::Dur,
+               static_cast<std::int64_t>(table.elapsed(item, fn)));
+      return filter->test(vals);
+    };
+  }
+
   if (folded_mode) {
-    io::write_folded(std::cout, table, symtab);
+    io::write_folded(std::cout, table, symtab, 1, keep);
     return tel.finish();
   }
 
   if (table_csv_mode) {
-    io::write_table_csv(std::cout, table, symtab, spec);
+    io::write_table_csv(std::cout, table, symtab, spec, keep);
     return tel.finish();
   }
 
@@ -115,6 +189,12 @@ int main(int argc, char** argv) try {
     report::Gantt gantt(80);
     const char glyphs[] = "#=@%*o+x";
     for (const core::ItemWindow& w : table.windows()) {
+      if (filter) {
+        query::FieldVals vals;
+        vals.set(query::Field::Item, static_cast<std::int64_t>(w.item));
+        vals.set(query::Field::Core, static_cast<std::int64_t>(w.core));
+        if (!filter->test(vals)) continue;
+      }
       gantt.span("core" + std::to_string(w.core), w.enter, w.leave,
                  glyphs[w.item % 8], "i" + std::to_string(w.item));
     }
@@ -127,6 +207,7 @@ int main(int argc, char** argv) try {
   for (const ItemId item : table.items()) {
     const core::ItemQuality& q = table.quality(item);
     for (const SymbolId fn : table.functions(item)) {
+      if (keep && !keep(item, fn)) continue;
       tab.row({"#" + std::to_string(item), std::string(symtab.name(fn)),
                report::Table::num(table.sample_count(item, fn)),
                report::Table::num(spec.us(table.elapsed(item, fn))),

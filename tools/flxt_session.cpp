@@ -45,7 +45,7 @@ int main(int argc, char** argv) try {
                      " [--chunk-records N] [--shed-backlog N]"
                      " [--drain-loss P] [--sink-transient P]"
                      " [--stuck-at N] [--stuck-for N] [--enospc-bytes N]"
-                     " [--crash-after N] [--telemetry FILE] [--metrics]");
+                     " [--crash-after N] [--telemetry FILE] [--metrics] [--version]");
   const char* secondary = nullptr;
   std::size_t queries = 300;
   std::size_t seed = 1;
