@@ -317,6 +317,7 @@ void QueryEngine::try_build_index() {
   idx.trace_size = reader_.bytes().size();
   idx.trace_crc = io::crc32(reader_.bytes().data(), reader_.bytes().size());
   idx.symtab_crc = query::symtab_crc(symtab_);
+  idx.flags = opts_.use_register_ids ? kFlxiFlagRegisterIds : 0u;
 
   const ColumnarTrace& t = *full_;
   std::size_t row = 0;
@@ -376,11 +377,17 @@ QueryEngine::Loaded QueryEngine::load_for(const Query& q,
       !reader_.path().empty()) {
     index_load_tried_ = true;
     if (auto idx = load_flxi(flxi_path(reader_.path()))) {
+      // min/max item in the sidecar are *attributed* ids, which differ
+      // entirely between marker-window and register-id attribution, so
+      // a mode mismatch is as stale as a CRC mismatch: full scan, then
+      // rewrite under the current mode.
       const bool fresh =
           idx->trace_size == reader_.bytes().size() &&
           idx->trace_crc ==
               io::crc32(reader_.bytes().data(), reader_.bytes().size()) &&
-          idx->symtab_crc == query::symtab_crc(symtab_);
+          idx->symtab_crc == query::symtab_crc(symtab_) &&
+          (idx->flags & kFlxiFlagRegisterIds) ==
+              (opts_.use_register_ids ? kFlxiFlagRegisterIds : 0u);
       if (fresh) {
         chunks_total_ = idx->chunks.size();
         index_ = std::move(*idx);

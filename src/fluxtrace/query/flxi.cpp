@@ -63,12 +63,13 @@ struct Reader {
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
 };
 
-constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4 + 4 + 4;
-// Sanity cap: a v2 chunk is at least 21 bytes on disk, so no real trace
-// has more chunks than bytes; this bound just stops a hostile n_chunks
-// from driving allocation.
-constexpr std::uint32_t kMaxChunks = 1u << 26;
-constexpr std::uint32_t kMaxFuncs = 1u << 24;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4 + 4 + 4 + 4;
+// Hostile counts are rejected against the bytes actually present before
+// anything is reserved: a chunk encodes to at least 48 bytes
+// (8+4+4*8+4) and a func entry to exactly 8, so a claimed count larger
+// than the remaining body / that floor cannot be real.
+constexpr std::size_t kMinChunkBytes = 8 + 4 + 4 * 8 + 4;
+constexpr std::size_t kFuncEntryBytes = 4 + 4;
 
 } // namespace
 
@@ -106,6 +107,7 @@ std::string encode_flxi(const FlxiIndex& index) {
   app_u64(out, index.trace_size);
   app_u32(out, index.trace_crc);
   app_u32(out, index.symtab_crc);
+  app_u32(out, index.flags);
   app_u32(out, static_cast<std::uint32_t>(index.chunks.size()));
   app_u32(out, io::crc32(body.data(), body.size()));
   out += body;
@@ -119,12 +121,14 @@ std::optional<FlxiIndex> decode_flxi(std::string_view bytes) {
   index.trace_size = r.u64();
   index.trace_crc = r.u32();
   index.symtab_crc = r.u32();
+  index.flags = r.u32();
   const std::uint32_t n_chunks = r.u32();
   const std::uint32_t body_crc = r.u32();
-  if (!r.ok || n_chunks > kMaxChunks) return std::nullopt;
+  if (!r.ok || (index.flags & ~kFlxiKnownFlags) != 0) return std::nullopt;
 
   const std::string_view body = bytes.substr(std::min(r.at, bytes.size()));
   if (body_crc != io::crc32(body.data(), body.size())) return std::nullopt;
+  if (n_chunks > body.size() / kMinChunkBytes) return std::nullopt;
 
   index.chunks.reserve(n_chunks);
   for (std::uint32_t i = 0; i < n_chunks; ++i) {
@@ -136,7 +140,9 @@ std::optional<FlxiIndex> decode_flxi(std::string_view bytes) {
     c.min_item = r.i64();
     c.max_item = r.i64();
     const std::uint32_t n_funcs = r.u32();
-    if (!r.ok || n_funcs > kMaxFuncs) return std::nullopt;
+    if (!r.ok || n_funcs > (bytes.size() - r.at) / kFuncEntryBytes) {
+      return std::nullopt;
+    }
     c.func_counts.reserve(n_funcs);
     for (std::uint32_t j = 0; j < n_funcs; ++j) {
       const std::uint32_t fn = r.u32();

@@ -3,9 +3,9 @@
 // analysis path writes it opportunistically (the first full scan knows
 // everything the index records); a reopen validates it and prunes.
 //
-//   file  := u32 magic "FLXI" | u32 version=1
+//   file  := u32 magic "FLXI" | u32 version=2
 //          | u64 trace_size | u32 trace_crc | u32 symtab_crc
-//          | u32 n_chunks | u32 body_crc | body
+//          | u32 flags | u32 n_chunks | u32 body_crc | body
 //   body  := chunk*
 //   chunk := u64 offset | u32 n_records
 //          | i64 min_ts | i64 max_ts | i64 min_item | i64 max_item
@@ -14,12 +14,16 @@
 // Only *sample* chunks are indexed: marker chunks are always decoded in
 // full (windows are needed for item attribution no matter what is
 // pruned). min/max item are the *attributed* ids — they depend on the
-// marker stream and, like func ids, on the symbol table, which is why
-// the header pins both the trace bytes (size + CRC32) and the symbol
-// table (symtab_crc): any mismatch invalidates the sidecar and the
-// engine falls back to a full scan. CRC discipline matches FLXT v2 —
-// a truncated, bit-flipped, or hostile sidecar is *detected*, never
-// trusted (decode_flxi returns nullopt; nothing throws on damage).
+// marker stream (or, under register-id attribution, the sampled id
+// register) and, like func ids, on the symbol table, which is why the
+// header pins the trace bytes (size + CRC32), the symbol table
+// (symtab_crc), and the attribution mode (flags bit 0 = register ids):
+// any mismatch invalidates the sidecar and the engine falls back to a
+// full scan. CRC discipline matches FLXT v2 — a truncated, bit-flipped,
+// or hostile sidecar is *detected*, never trusted (decode_flxi returns
+// nullopt; nothing throws on damage), and claimed element counts are
+// checked against the bytes actually present before anything is
+// allocated.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +38,14 @@
 namespace fluxtrace::query {
 
 inline constexpr std::uint32_t kFlxiMagic = 0x49584c46; // "FLXI"
-inline constexpr std::uint32_t kFlxiVersion = 1;
+inline constexpr std::uint32_t kFlxiVersion = 2;
+
+/// flags bit 0: item ids were attributed from the sampled id register
+/// (`use_register_ids`) rather than from marker windows. The two modes
+/// yield unrelated item ranges over the same bytes, so a sidecar is only
+/// valid for the mode it was built under.
+inline constexpr std::uint32_t kFlxiFlagRegisterIds = 1u << 0;
+inline constexpr std::uint32_t kFlxiKnownFlags = kFlxiFlagRegisterIds;
 
 /// Summary of one FLXT v2 sample chunk.
 struct FlxiChunk {
@@ -54,6 +65,7 @@ struct FlxiIndex {
   std::uint64_t trace_size = 0;
   std::uint32_t trace_crc = 0;  ///< io::crc32 over the whole trace image
   std::uint32_t symtab_crc = 0; ///< symtab_crc() of the attributing table
+  std::uint32_t flags = 0;      ///< kFlxiFlag* bits (attribution mode)
   std::vector<FlxiChunk> chunks; ///< sample chunks, in file order
 
   friend bool operator==(const FlxiIndex&, const FlxiIndex&) = default;

@@ -405,6 +405,34 @@ TEST_F(FlxiFixture, SymtabChangeInvalidatesSidecar) {
   EXPECT_FALSE(got.stats.index_used);
 }
 
+TEST_F(FlxiFixture, AttributionModeMismatchInvalidatesSidecar) {
+  // Both modes share the same <trace>.flxi path, but min/max item are
+  // attributed ids — pruning with the other mode's sidecar would
+  // silently drop matching rows. A mismatch must read as stale: full
+  // scan, rewrite under the current mode.
+  (void)run_fresh(""); // sidecar written under marker-window attribution
+  const std::string q = "filter item == 3 | select ts";
+  EngineOptions regs;
+  regs.threads = 1;
+  regs.use_register_ids = true;
+  {
+    QueryEngine eng = QueryEngine::open(path, w.symtab, regs);
+    const QueryResult got = eng.run(q);
+    EXPECT_FALSE(got.stats.index_used);
+    EXPECT_TRUE(got.stats.index_written); // re-pinned to --regs
+    EngineOptions noidx = regs;
+    noidx.use_index = false;
+    noidx.write_index = false;
+    QueryEngine ref = QueryEngine::open(path, w.symtab, noidx);
+    EXPECT_EQ(got.rows, ref.run(q).rows);
+  }
+  // And symmetrically: the --regs sidecar just written must not prune a
+  // marker-window reopen.
+  const QueryResult back = run_fresh(q);
+  EXPECT_FALSE(back.stats.index_used);
+  EXPECT_EQ(back.rows, run_fresh(q, false).rows);
+}
+
 TEST(QueryEngineTest, SalvagedTraceStillAnswers) {
   const Workload w = make_workload(8, 8, 5);
   const std::string path = ::testing::TempDir() + "/query_torn.flxt";

@@ -8,8 +8,24 @@
 #include <cstdio>
 #include <fstream>
 
+#include "fluxtrace/io/chunked.hpp" // io::crc32
+
 namespace fluxtrace::query {
 namespace {
+
+// Little-endian appenders matching the on-disk FLXI encoding, for
+// hand-built hostile sidecars.
+void app_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+void app_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    b.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
 
 FlxiIndex sample_index() {
   FlxiIndex idx;
@@ -79,12 +95,12 @@ TEST(Flxi, EveryBitFlipIsDetectedOrInvalidating) {
   const FlxiIndex idx = sample_index();
   const std::string clean = encode_flxi(idx);
   // Header layout: magic(4) version(4) trace_size(8) trace_crc(4)
-  // symtab_crc(4) n_chunks(4) body_crc(4) body. The three pinning
-  // fields (bytes 8..23) carry no CRC of their own — a flip there
-  // decodes, but to an index the engine's trace/symtab validation then
-  // rejects. Everything else (magic, version, counts, body) must fail
-  // decode outright.
-  constexpr std::size_t kPinLo = 8, kPinHi = 24;
+  // symtab_crc(4) flags(4) n_chunks(4) body_crc(4) body. The pinning
+  // fields (bytes 8..27) carry no CRC of their own — a flip there
+  // either fails decode (unknown flag bits) or decodes to an index the
+  // engine's trace/symtab/mode validation then rejects. Everything else
+  // (magic, version, counts, body) must fail decode outright.
+  constexpr std::size_t kPinLo = 8, kPinHi = 28;
   for (std::size_t byte = 0; byte < clean.size(); ++byte) {
     for (int bit = 0; bit < 8; ++bit) {
       std::string bytes = clean;
@@ -104,16 +120,63 @@ TEST(Flxi, EveryBitFlipIsDetectedOrInvalidating) {
   }
 }
 
-TEST(Flxi, HostileCountsDoNotAllocate) {
-  // A forged header claiming 2^31 chunks (or a chunk claiming 2^31
-  // funcs) must fail fast on the byte budget, not attempt the
-  // allocation.
+TEST(Flxi, HostileChunkCountDoesNotAllocate) {
+  // n_chunks is not covered by the body CRC, so a forged count over an
+  // otherwise-valid sidecar is the cheapest allocation attack. Any
+  // count exceeding body_bytes / 48 (the minimum encoded chunk) must
+  // fail fast on the byte budget, not attempt the reserve.
+  const std::string clean = encode_flxi(sample_index());
+  // n_chunks lives at offset 28 (after magic, version, size, 2 CRCs,
+  // flags).
+  for (const std::uint32_t forged : {0x7fffffffu, 0x00010000u, 4u}) {
+    std::string bytes = clean;
+    for (int i = 0; i < 4; ++i) {
+      bytes[28 + i] = static_cast<char>(forged >> (8 * i));
+    }
+    EXPECT_FALSE(decode_flxi(bytes)) << "n_chunks " << forged;
+  }
+}
+
+TEST(Flxi, HostileFuncCountDoesNotAllocate) {
+  // A self-consistent sidecar (valid header, matching body CRC) whose
+  // single chunk claims millions of func entries but carries none: the
+  // claimed count exceeds the remaining bytes / 8 and must be rejected
+  // before func_counts.reserve.
+  std::string body;
+  app_u64(body, 8);          // offset
+  app_u32(body, 1);          // n_records
+  app_u64(body, 0);          // min_ts
+  app_u64(body, 0);          // max_ts
+  app_u64(body, 0);          // min_item
+  app_u64(body, 0);          // max_item
+  app_u32(body, 0x00800000); // n_funcs: 8M entries, zero bytes behind
+  std::string bytes;
+  app_u32(bytes, kFlxiMagic);
+  app_u32(bytes, kFlxiVersion);
+  app_u64(bytes, 123); // trace_size
+  app_u32(bytes, 1);   // trace_crc
+  app_u32(bytes, 2);   // symtab_crc
+  app_u32(bytes, 0);   // flags
+  app_u32(bytes, 1);   // n_chunks
+  app_u32(bytes, io::crc32(body.data(), body.size()));
+  bytes += body;
+  EXPECT_FALSE(decode_flxi(bytes));
+}
+
+TEST(Flxi, AttributionModeRoundTripsAndDistinguishes) {
+  FlxiIndex regs = sample_index();
+  regs.flags = kFlxiFlagRegisterIds;
+  const auto back = decode_flxi(encode_flxi(regs));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, regs);
+  // The mode is part of identity: the same chunks under marker-window
+  // attribution compare unequal.
+  EXPECT_NE(*back, sample_index());
+}
+
+TEST(Flxi, UnknownFlagBitsAreRejected) {
   std::string bytes = encode_flxi(sample_index());
-  // n_chunks lives at offset 24 (after magic, version, size, 2 CRCs).
-  bytes[24] = '\xff';
-  bytes[25] = '\xff';
-  bytes[26] = '\xff';
-  bytes[27] = '\x7f';
+  bytes[24] = '\x02'; // flags: a bit this version does not define
   EXPECT_FALSE(decode_flxi(bytes));
 }
 
