@@ -1,0 +1,310 @@
+// Extension: live-follow detection latency and follower overhead
+// (ISSUE 6). Two claims are measured and *asserted*, not just printed:
+//
+//   1. an outlier window planted mid-stream is alerted on within ONE
+//      poll interval of its marker window becoming durable — for every
+//      poll interval in the sweep, with the writer appending under an
+//      active fault plan the whole time;
+//   2. following a finished trace chunk-by-chunk through
+//      io::TraceFollower + query::StreamingQuery costs the same order
+//      of work as the offline batch scan (the per-row overhead ratio is
+//      printed and bounded).
+//
+// The writer/follower pair runs on one virtual ns clock, so "latency"
+// is exact simulated time, not scheduler noise. Results land in
+// BENCH_follow.json.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "fluxtrace/io/follower.hpp"
+#include "fluxtrace/io/resilient.hpp"
+#include "fluxtrace/query/engine.hpp"
+#include "fluxtrace/query/stream.hpp"
+#include "fluxtrace/sim/fault.hpp"
+#include "json_out.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+constexpr std::size_t kWindows = 400;
+constexpr std::size_t kSamplesPerWindow = 8;
+constexpr std::size_t kOutlierAt = 300; // window index of the planted spike
+constexpr std::uint64_t kWindowGapNs = 200'000; // one window every 200 us
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "ASSERTION FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+struct Workload {
+  SymbolTable symtab;
+  SymbolId fn = kInvalidSymbol;
+};
+
+/// One window's records: Enter, samples spread over `span`, Leave.
+void window_records(const Workload& w, std::size_t i, Tsc span,
+                    std::vector<Marker>& ms, std::vector<PebsSample>& ss) {
+  const Tsc t0 = 100'000 * (i + 1);
+  ms.push_back({t0, i, 0, MarkerKind::Enter});
+  for (std::size_t s = 0; s < kSamplesPerWindow; ++s) {
+    PebsSample smp;
+    smp.tsc = t0 + 1 + (s * span) / (kSamplesPerWindow - 1);
+    smp.core = 0;
+    smp.ip = w.symtab.ip_at(w.fn, 0.5);
+    ss.push_back(smp);
+  }
+  ms.push_back({t0 + span + 10, i, 0, MarkerKind::Leave});
+}
+
+struct LatencyPoint {
+  std::uint64_t poll_ns;
+  std::uint64_t latency_ns; ///< leave durable -> alert surfaced
+  io::TraceFollower::Stats stats;
+};
+
+/// Writer appends one window per kWindowGapNs under a fault plan; the
+/// follower polls every poll_ns on the same virtual clock. Returns the
+/// detection latency for the planted outlier window.
+LatencyPoint run_follow(std::uint64_t poll_ns, double fault_rate) {
+  const std::string path = "/tmp/fluxtrace_bench_follow.flxt";
+  std::remove(path.c_str());
+
+  Workload w;
+  w.fn = w.symtab.add("svc::handle", 0x400);
+
+  sim::FaultPlanConfig fcfg;
+  fcfg.seed = 7;
+  fcfg.sink_transient_rate = fault_rate;
+  fcfg.read_transient_rate = fault_rate / 2;
+  sim::FaultPlan plan(fcfg);
+
+  io::ResilientWriterConfig wcfg;
+  // One marker chunk per Enter/Leave pair: a window is durable the
+  // moment its pair commits, which pins the latency reference point.
+  wcfg.records_per_chunk = 2;
+  wcfg.backoff_base_ns = 1'000;
+  wcfg.backoff_cap_ns = 50'000;
+  auto sink = std::make_unique<io::FaultableSink>(
+      std::make_unique<io::FileSpoolSink>(path), [&plan](std::size_t bytes) {
+        switch (plan.sink_fault(bytes)) {
+          case sim::SinkFaultKind::Transient: return io::SinkFault::Transient;
+          case sim::SinkFaultKind::Stuck: return io::SinkFault::Stuck;
+          case sim::SinkFaultKind::NoSpace: return io::SinkFault::NoSpace;
+          case sim::SinkFaultKind::None: break;
+        }
+        return io::SinkFault::None;
+      });
+  io::ResilientWriter writer(wcfg, std::move(sink));
+
+  io::TraceFollowerConfig rcfg;
+  rcfg.liveness_timeout_ns = 1'000'000'000;
+  auto source = std::make_unique<io::FaultableByteSource>(
+      std::make_unique<io::FileByteSource>(path),
+      [&plan]() {
+        switch (plan.read_fault()) {
+          case sim::ReadFaultKind::Transient: return io::ReadFault::Transient;
+          case sim::ReadFaultKind::Short: return io::ReadFault::Short;
+          case sim::ReadFaultKind::None: break;
+        }
+        return io::ReadFault::None;
+      },
+      nullptr);
+  io::TraceFollower follower(rcfg, std::move(source));
+
+  // A poll boundary can land between a window's sample chunks and its
+  // marker chunk; slack must keep those samples pending until the
+  // markers arrive in the next poll.
+  query::StreamOptions sopts;
+  sopts.attribution_slack = 1'000'000;
+  query::StreamingQuery sq(
+      query::parse_query("outliers k=3.0 warmup=8", &w.symtab), w.symtab,
+      sopts);
+
+  std::uint64_t now = 0;
+  std::uint64_t next_poll = poll_ns;
+  std::uint64_t leave_durable_at = 0;
+  std::uint64_t alert_at = 0;
+  std::size_t emitted = 0;
+  bool closed = false;
+
+  const auto poll_once = [&]() {
+    auto pr = follower.poll(now);
+    if (pr.data.markers.empty() && pr.data.samples.empty()) return;
+    for (const query::WindowResult& wr : sq.ingest(pr.data)) {
+      if (!wr.alerts.empty() && alert_at == 0) alert_at = now;
+    }
+  };
+
+  while (alert_at == 0) {
+    if (emitted < kWindows) {
+      // Ordinary windows take ~4 us; the planted one takes 80 us.
+      const Tsc span = emitted == kOutlierAt ? 80'000 : 4'000 + emitted % 7;
+      std::vector<Marker> ms;
+      std::vector<PebsSample> ss;
+      window_records(w, emitted, span, ms, ss);
+      writer.add_samples(ss.data(), ss.size(), now);
+      writer.add_markers(ms.data(), ms.size(), now);
+      ++emitted;
+    } else if (!closed) {
+      writer.close(now);
+      closed = true;
+    }
+    writer.pump(now);
+    if (leave_durable_at == 0 &&
+        writer.stats().chunks_committed > 0 && emitted > kOutlierAt) {
+      // The outlier's marker chunk is the (kOutlierAt+1)-th marker
+      // chunk; with one marker chunk per window and sample chunks
+      // interleaved, committing all records of the first kOutlierAt+1
+      // windows means the leave is durable.
+      const std::uint64_t need =
+          (kOutlierAt + 1) * (2 + kSamplesPerWindow);
+      if (writer.stats().records_committed >= need) leave_durable_at = now;
+    }
+    if (now >= next_poll) {
+      poll_once();
+      next_poll += poll_ns;
+    }
+    now += kWindowGapNs;
+    require(now < 60'000'000'000ull, "alert fired within the run");
+  }
+  require(leave_durable_at != 0, "durability reference point recorded");
+  require(alert_at >= leave_durable_at, "alert cannot precede durability");
+
+  // Drain to the end so the ledger settles, then check it.
+  while (!follower.finished()) {
+    if (emitted < kWindows) {
+      const Tsc span = 4'000 + emitted % 7;
+      std::vector<Marker> ms;
+      std::vector<PebsSample> ss;
+      window_records(w, emitted, span, ms, ss);
+      writer.add_samples(ss.data(), ss.size(), now);
+      writer.add_markers(ms.data(), ms.size(), now);
+      ++emitted;
+    } else if (!closed) {
+      writer.close(now);
+      closed = true;
+    }
+    writer.pump(now);
+    poll_once();
+    now += poll_ns;
+  }
+  require(follower.stats().reconciled(), "follower ledger reconciles");
+  require(writer.stats().chunks_committed ==
+              follower.stats().chunks_consumed +
+                  follower.stats().chunks_salvaged +
+                  (follower.stats().eof_seen ? 1 : 0),
+          "writer and follower ledgers reconcile");
+
+  std::remove(path.c_str());
+  return LatencyPoint{poll_ns, alert_at - leave_durable_at,
+                      follower.stats()};
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  bench::banner("ext_follow_latency — live-follow detection + overhead",
+                "ISSUE 6 (crash-consistent following, continuous alerts)");
+
+  bench::BenchJson json("follow");
+
+  // ---- 1. detection latency sweep: alert within one poll interval ----
+  std::printf("detection latency (leave durable -> alert), writer under "
+              "10%% sink faults:\n");
+  std::printf("%10s | %12s %8s\n", "poll (us)", "latency (us)", "polls");
+  for (const std::uint64_t poll_us : {500ull, 2'000ull, 10'000ull}) {
+    const LatencyPoint p = run_follow(poll_us * 1'000, 0.10);
+    std::printf("%10" PRIu64 " | %12.1f %8" PRIu64 "\n", poll_us,
+                static_cast<double>(p.latency_ns) / 1000.0, p.stats.polls);
+    require(p.latency_ns <= p.poll_ns,
+            "alert within one poll interval of the window closing");
+    json.add("detect_latency_poll_" + std::to_string(poll_us) + "us", 1,
+             static_cast<double>(p.latency_ns));
+  }
+
+  // ---- 2. follower overhead vs the offline batch scan ----------------
+  Workload w;
+  w.fn = w.symtab.add("svc::handle", 0x400);
+  io::TraceData data;
+  for (std::size_t i = 0; i < kWindows; ++i) {
+    std::vector<Marker> ms;
+    std::vector<PebsSample> ss;
+    window_records(w, i, 4'000 + i % 7, ms, ss);
+    data.markers.insert(data.markers.end(), ms.begin(), ms.end());
+    data.samples.insert(data.samples.end(), ss.begin(), ss.end());
+  }
+  const std::string path = "/tmp/fluxtrace_bench_follow_scan.flxt";
+  io::save_trace_v2(path, data, 256);
+  const double n_rows = static_cast<double>(data.samples.size());
+  const char* q = "group func: count, sum(dur), p95(ts)";
+
+  double follow_ms = 0.0;
+  query::QueryResult live;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    io::TraceFollowerConfig rcfg;
+    io::TraceFollower f = io::TraceFollower::open(path, rcfg);
+    query::StreamOptions sopts;
+    sopts.attribution_slack = 1'000'000'000;
+    query::StreamingQuery sq(query::parse_query(q, &w.symtab), w.symtab,
+                             sopts);
+    std::uint64_t vnow = 0;
+    while (!f.finished()) {
+      auto pr = f.poll(vnow);
+      vnow += 1'000'000;
+      if (!pr.data.markers.empty() || !pr.data.samples.empty()) {
+        (void)sq.ingest(pr.data);
+      }
+    }
+    (void)sq.flush();
+    live = sq.snapshot();
+    follow_ms = ms_since(t0);
+    require(f.stats().reconciled(), "scan-leg follower ledger reconciles");
+  }
+
+  double offline_ms = 0.0;
+  query::QueryResult batch;
+  {
+    query::EngineOptions opts;
+    opts.threads = 1;
+    opts.use_index = false;
+    opts.write_index = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    query::QueryEngine eng = query::QueryEngine::open(path, w.symtab, opts);
+    batch = eng.run(q);
+    offline_ms = ms_since(t0);
+  }
+  require(live.rows == batch.rows && live.columns == batch.columns,
+          "streamed snapshot identical to the offline result");
+
+  const double ratio = follow_ms / offline_ms;
+  std::printf("\nfollower overhead over %0.f rows:\n", n_rows);
+  std::printf("  streamed follow: %7.1f ms (%.1f ns/row)\n", follow_ms,
+              follow_ms * 1e6 / n_rows);
+  std::printf("  offline scan   : %7.1f ms (%.1f ns/row)\n", offline_ms,
+              offline_ms * 1e6 / n_rows);
+  std::printf("  ratio          : %7.2fx\n", ratio);
+  json.add("follow_scan", n_rows, follow_ms * 1e6 / n_rows);
+  json.add("offline_scan", n_rows, offline_ms * 1e6 / n_rows);
+
+  json.write();
+  std::remove(path.c_str());
+  std::printf("\nall assertions held: alerts within one poll interval, "
+              "ledgers exact,\nstreamed snapshot == offline result.\n");
+  return 0;
+}

@@ -17,6 +17,9 @@ struct SessionMetrics {
   obs::Counter& deescalations =
       obs::metrics().counter("core.session.deescalations");
   obs::Counter& stalls = obs::metrics().counter("core.session.stalls");
+  obs::Counter& alerts = obs::metrics().counter("core.session.alerts");
+  obs::Counter& alert_boosts =
+      obs::metrics().counter("core.session.alert_boosts");
   obs::Gauge& state = obs::metrics().gauge("core.session.state");
 
   static SessionMetrics& get() {
@@ -103,7 +106,42 @@ void SessionSupervisor::on_sample_lost(const SampleLoss& l,
   tracer_.on_sample_lost(l);
 }
 
+void SessionSupervisor::on_follower_alert(const FollowerAlert& a,
+                                          std::uint64_t now_ns) {
+  last_now_ns_ = now_ns;
+  ++alerts_received_;
+  SessionMetrics::get().alerts.inc();
+  if (a.item != kNoItem) {
+    alert_item_lo_ = alert_item_lo_ == kNoItem
+                         ? a.item
+                         : std::min(alert_item_lo_, a.item);
+    alert_item_hi_ = std::max(alert_item_hi_, a.item);
+  }
+  last_alert_ns_ = now_ns;
+  // Pressure relief always wins over fidelity: never boost while the
+  // session is already shedding rate or dropping records.
+  if (reset_ == nullptr || shed_steps_ > 0 ||
+      state_ >= SessionState::Shedding) {
+    ++alerts_suppressed_;
+    return;
+  }
+  if (alert_boosts_held_ >= cfg_.max_alert_boosts) return;
+  const std::uint64_t before = reset_->current_reset();
+  reset_->nudge(cfg_.alert_boost_factor);
+  if (reset_->current_reset() == before) return; // clamped at min_reset
+  ++alert_boosts_held_;
+  ++alert_boosts_;
+  SessionMetrics::get().alert_boosts.inc();
+}
+
 void SessionSupervisor::escalate(std::uint64_t now_ns) {
+  // Shedding and fidelity boosting are opposing nudges: unwind any
+  // alert boosts first so pressure relief starts from the planned R.
+  while (alert_boosts_held_ > 0 && reset_ != nullptr) {
+    reset_->nudge(1.0 / cfg_.alert_boost_factor);
+    --alert_boosts_held_;
+    ++alert_restores_;
+  }
   if (reset_ == nullptr || shed_steps_ >= cfg_.max_shed_steps) return;
   if (escalations_ > 0 && now_ns - last_escalate_ns_ < cfg_.escalate_gap_ns) {
     return; // rate-limited: one step per gap
@@ -195,6 +233,16 @@ void SessionSupervisor::tick(std::uint64_t now_ns) {
   dropping_ = dropped_now != last_dropped_;
   last_dropped_ = dropped_now;
 
+  // Fidelity boosts decay: one step restored per alert_hold_ns without
+  // a fresh alert, so the session drifts back to the planned R.
+  if (alert_boosts_held_ > 0 && reset_ != nullptr &&
+      now_ns - last_alert_ns_ >= cfg_.alert_hold_ns) {
+    reset_->nudge(1.0 / cfg_.alert_boost_factor);
+    --alert_boosts_held_;
+    ++alert_restores_;
+    last_alert_ns_ = now_ns; // one restoring step per hold interval
+  }
+
   const std::size_t backlog = tracer_.max_backlog();
   const bool pressure = stalled_ || backlog >= cfg_.backlog_high ||
                         ws.queue_depth >= cfg_.queue_high;
@@ -251,6 +299,12 @@ SessionSupervisor::Report SessionSupervisor::finish(std::uint64_t now_ns) {
   r.escalations = escalations_;
   r.deescalations = deescalations_;
   r.shed_steps_final = shed_steps_;
+  r.alerts_received = alerts_received_;
+  r.alert_boosts = alert_boosts_;
+  r.alert_restores = alert_restores_;
+  r.alerts_suppressed = alerts_suppressed_;
+  r.alert_item_lo = alert_item_lo_;
+  r.alert_item_hi = alert_item_hi_;
   r.samples_seen = tracer_.samples_seen();
   r.samples_lost = tracer_.samples_lost();
   r.rshed_estimate = rshed_estimate_;
@@ -272,6 +326,15 @@ std::string SessionSupervisor::Report::summary() const {
      << " deescalations=" << deescalations
      << " steps-at-finish=" << shed_steps_final
      << " r-shed-estimate=" << rshed_estimate << "\n";
+  if (alerts_received > 0) {
+    os << "alerts: received=" << alerts_received
+       << " boosts=" << alert_boosts << " restores=" << alert_restores
+       << " suppressed=" << alerts_suppressed;
+    if (alert_item_lo != kNoItem) {
+      os << " items=[" << alert_item_lo << ", " << alert_item_hi << "]";
+    }
+    os << "\n";
+  }
   os << "capture: samples-seen=" << samples_seen
      << " samples-lost=" << samples_lost << "\n";
   os << "spool: enqueued=" << writer.records_enqueued

@@ -68,6 +68,26 @@ struct SessionSupervisorConfig {
   /// De-escalation: one restoring step per calm_hold_ns of the session
   /// staying at or below the low watermarks — bounded recovery time.
   std::uint64_t calm_hold_ns = 2'000'000;
+
+  /// --- follower alert loop (ISSUE 6) ----------------------------------
+  /// A live follower (`flxt_query --follow`) reporting a fluctuation
+  /// closes the adaptive loop: the supervisor nudges R *down* by this
+  /// factor (< 1 = finer sampling around the flagged item range) so the
+  /// anomaly's neighborhood is captured at higher fidelity.
+  double alert_boost_factor = 0.5;
+  /// Bounded stacking: at most this many boost steps held at once.
+  std::uint32_t max_alert_boosts = 2;
+  /// A boost step is restored after this long without a fresh alert
+  /// (checked every tick), so fidelity decays back to the planned R.
+  std::uint64_t alert_hold_ns = 4'000'000;
+};
+
+/// What a live follower detected (query::StreamAlert, decoupled so core
+/// does not depend on query): the flagged {item, func} and when.
+struct FollowerAlert {
+  ItemId item = kNoItem;
+  std::uint64_t func = 0;
+  std::uint64_t at_ns = 0;
 };
 
 /// One recorded state change.
@@ -93,6 +113,14 @@ class SessionSupervisor {
   void on_sample(const PebsSample& s, std::uint64_t now_ns);
   void on_sample_lost(const SampleLoss& l, std::uint64_t now_ns);
 
+  /// A live follower flagged a fluctuation: boost sampling fidelity
+  /// (nudge R down by alert_boost_factor, at most max_alert_boosts
+  /// steps) around the flagged item range. Suppressed while the session
+  /// is shedding/degraded/halted — pressure relief always wins over
+  /// fidelity. Boosts decay one step per alert_hold_ns without a fresh
+  /// alert (enforced by tick()).
+  void on_follower_alert(const FollowerAlert& a, std::uint64_t now_ns);
+
   /// Watchdog heartbeat: pump the writer, check deadlines/watermarks,
   /// escalate or de-escalate, recompute the state. Call at least a few
   /// times per stall_deadline_ns.
@@ -114,6 +142,14 @@ class SessionSupervisor {
     std::uint64_t deescalations = 0;    ///< nudge steps down (R restored)
     std::uint32_t shed_steps_final = 0; ///< steps still applied at finish
 
+    /// Follower alert loop (ISSUE 6).
+    std::uint64_t alerts_received = 0;   ///< on_follower_alert calls
+    std::uint64_t alert_boosts = 0;      ///< fidelity boost steps applied
+    std::uint64_t alert_restores = 0;    ///< boost steps decayed by hold
+    std::uint64_t alerts_suppressed = 0; ///< ignored under shed pressure
+    ItemId alert_item_lo = kNoItem;      ///< flagged item range [lo, hi]
+    ItemId alert_item_hi = 0;
+
     /// Record accounting (the reconciliation the chaos soak asserts):
     /// every unrecorded sample is attributed to exactly one cause.
     std::uint64_t samples_seen = 0;     ///< reached the tracer
@@ -132,6 +168,9 @@ class SessionSupervisor {
   }
   [[nodiscard]] std::uint32_t shed_steps() const { return shed_steps_; }
   [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
+  [[nodiscard]] std::uint32_t alert_boost_steps() const {
+    return alert_boosts_held_;
+  }
 
  private:
   void escalate(std::uint64_t now_ns);
@@ -163,6 +202,16 @@ class SessionSupervisor {
   // Tick-delta bookkeeping for "records are dropping right now".
   std::uint64_t last_dropped_ = 0;
   bool dropping_ = false;
+
+  // Follower alert loop (ISSUE 6).
+  std::uint32_t alert_boosts_held_ = 0;
+  std::uint64_t last_alert_ns_ = 0;
+  std::uint64_t alerts_received_ = 0;
+  std::uint64_t alert_boosts_ = 0;
+  std::uint64_t alert_restores_ = 0;
+  std::uint64_t alerts_suppressed_ = 0;
+  ItemId alert_item_lo_ = kNoItem;
+  ItemId alert_item_hi_ = 0;
 
   std::uint64_t ticks_ = 0;
   std::uint64_t stalls_ = 0;

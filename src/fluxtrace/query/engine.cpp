@@ -12,6 +12,7 @@
 #include "fluxtrace/obs/metrics.hpp"
 #include "fluxtrace/obs/span.hpp"
 #include "fluxtrace/query/lex.hpp"
+#include "fluxtrace/query/partials.hpp"
 #include "fluxtrace/rt/thread_pool.hpp"
 
 namespace fluxtrace::query {
@@ -489,80 +490,10 @@ QueryEngine::Loaded QueryEngine::load_for(const Query& q,
 
 namespace {
 
-constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
-constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
-
-/// Nearest-rank percentile over a sorted, non-empty vector.
-std::int64_t percentile_sorted(const std::vector<std::int64_t>& sorted,
-                               unsigned p) {
-  const std::size_t n = sorted.size();
-  std::size_t rank = (static_cast<std::size_t>(p) * n + 99) / 100;
-  if (rank == 0) rank = 1;
-  if (rank > n) rank = n;
-  return sorted[rank - 1];
-}
-
-/// Per-group accumulator for one aggregate column. Only the slots the
-/// aggregate kind uses are touched; sums wrap through uint64 like all
-/// query arithmetic, so merge order cannot matter.
-struct AggAcc {
-  std::uint64_t sum = 0;
-  std::int64_t mn = kI64Max;
-  std::int64_t mx = kI64Min;
-  std::vector<std::int64_t> coll; ///< percentile collections
-
-  void observe(const Aggregate& a, std::int64_t v) {
-    switch (a.kind) {
-      case Aggregate::Kind::Count: break;
-      case Aggregate::Kind::Sum: sum += static_cast<std::uint64_t>(v); break;
-      case Aggregate::Kind::Min: mn = std::min(mn, v); break;
-      case Aggregate::Kind::Max: mx = std::max(mx, v); break;
-      case Aggregate::Kind::P50:
-      case Aggregate::Kind::P95:
-      case Aggregate::Kind::P99: coll.push_back(v); break;
-    }
-  }
-
-  void merge(const Aggregate& a, AggAcc&& other) {
-    switch (a.kind) {
-      case Aggregate::Kind::Count: break;
-      case Aggregate::Kind::Sum: sum += other.sum; break;
-      case Aggregate::Kind::Min: mn = std::min(mn, other.mn); break;
-      case Aggregate::Kind::Max: mx = std::max(mx, other.mx); break;
-      case Aggregate::Kind::P50:
-      case Aggregate::Kind::P95:
-      case Aggregate::Kind::P99:
-        coll.insert(coll.end(), other.coll.begin(), other.coll.end());
-        break;
-    }
-  }
-
-  [[nodiscard]] std::int64_t finish(const Aggregate& a,
-                                    std::uint64_t count) {
-    switch (a.kind) {
-      case Aggregate::Kind::Count:
-        return static_cast<std::int64_t>(count);
-      case Aggregate::Kind::Sum: return static_cast<std::int64_t>(sum);
-      case Aggregate::Kind::Min: return mn;
-      case Aggregate::Kind::Max: return mx;
-      case Aggregate::Kind::P50:
-      case Aggregate::Kind::P95:
-      case Aggregate::Kind::P99: {
-        std::sort(coll.begin(), coll.end());
-        const unsigned p = a.kind == Aggregate::Kind::P50   ? 50
-                           : a.kind == Aggregate::Kind::P95 ? 95
-                                                            : 99;
-        return coll.empty() ? 0 : percentile_sorted(coll, p);
-      }
-    }
-    return 0;
-  }
-};
-
-struct GroupAcc {
-  std::uint64_t count = 0;
-  std::vector<AggAcc> aggs;
-};
+// The aggregate merge algebra lives in partials.hpp now, shared verbatim
+// with the streaming executor (stream.hpp) so `--follow` snapshots and
+// cold batch runs can never disagree on what p95_dur means.
+using GroupAcc = GroupPartial;
 
 /// One scan block's private results; merged in block-index order so the
 /// final result is independent of which thread ran which block.

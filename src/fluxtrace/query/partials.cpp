@@ -1,0 +1,71 @@
+#include "fluxtrace/query/partials.hpp"
+
+#include "fluxtrace/query/engine.hpp"
+
+namespace fluxtrace::query {
+
+std::int64_t percentile_sorted(const std::vector<std::int64_t>& sorted,
+                               unsigned p) {
+  const std::size_t n = sorted.size();
+  std::size_t rank = (static_cast<std::size_t>(p) * n + 99) / 100;
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+void AggPartial::observe(const Aggregate& a, std::int64_t v) {
+  switch (a.kind) {
+    case Aggregate::Kind::Count: break;
+    case Aggregate::Kind::Sum: sum += static_cast<std::uint64_t>(v); break;
+    case Aggregate::Kind::Min: mn = std::min(mn, v); break;
+    case Aggregate::Kind::Max: mx = std::max(mx, v); break;
+    case Aggregate::Kind::P50:
+    case Aggregate::Kind::P95:
+    case Aggregate::Kind::P99: coll.push_back(v); break;
+  }
+}
+
+void AggPartial::merge(const Aggregate& a, AggPartial&& other) {
+  switch (a.kind) {
+    case Aggregate::Kind::Count: break;
+    case Aggregate::Kind::Sum: sum += other.sum; break;
+    case Aggregate::Kind::Min: mn = std::min(mn, other.mn); break;
+    case Aggregate::Kind::Max: mx = std::max(mx, other.mx); break;
+    case Aggregate::Kind::P50:
+    case Aggregate::Kind::P95:
+    case Aggregate::Kind::P99:
+      coll.insert(coll.end(), other.coll.begin(), other.coll.end());
+      break;
+  }
+}
+
+std::int64_t AggPartial::finish(const Aggregate& a, std::uint64_t count) {
+  switch (a.kind) {
+    case Aggregate::Kind::Count:
+      return static_cast<std::int64_t>(count);
+    case Aggregate::Kind::Sum: return static_cast<std::int64_t>(sum);
+    case Aggregate::Kind::Min: return mn;
+    case Aggregate::Kind::Max: return mx;
+    case Aggregate::Kind::P50:
+    case Aggregate::Kind::P95:
+    case Aggregate::Kind::P99: {
+      std::sort(coll.begin(), coll.end());
+      const unsigned p = a.kind == Aggregate::Kind::P50   ? 50
+                         : a.kind == Aggregate::Kind::P95 ? 95
+                                                          : 99;
+      return coll.empty() ? 0 : percentile_sorted(coll, p);
+    }
+  }
+  return 0;
+}
+
+void GroupPartial::merge(const std::vector<Aggregate>& spec,
+                         GroupPartial&& other) {
+  count += other.count;
+  if (aggs.empty()) aggs.resize(spec.size());
+  for (std::size_t a = 0; a < spec.size() && a < other.aggs.size(); ++a) {
+    aggs[a].merge(spec[a], std::move(other.aggs[a]));
+  }
+}
+
+} // namespace fluxtrace::query

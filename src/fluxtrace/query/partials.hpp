@@ -1,0 +1,59 @@
+// Commutative aggregate partials — the merge algebra behind every
+// count/sum/min/max/p* column (the enabling refactor the ROADMAP calls
+// out for live streaming queries).
+//
+// An AggPartial is a bounded summary of the values one aggregate column
+// has seen so far. Its contract is what makes both executors correct:
+//
+//   observe(a, x₁); observe(a, x₂); …          — fold values in, any order
+//   merge(a, other)                            — combine two partials
+//   finish(a, count)                           — emit the final cell
+//
+// observe/merge are commutative and associative (sums wrap through
+// uint64 like all query arithmetic; min/max are lattice joins;
+// percentiles collect exact values and rank them only at finish), so the
+// batch engine can merge per-block partials in block order and get
+// bit-identical results regardless of thread count, and the streaming
+// executor (stream.hpp) can fold per-window partials into running ones
+// and snapshot at any poll with exactly the semantics a cold batch run
+// over the same rows would have produced.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fluxtrace::query {
+
+struct Aggregate; // engine.hpp; only Kind/field are consulted here
+
+/// Nearest-rank percentile over a sorted, non-empty vector.
+[[nodiscard]] std::int64_t percentile_sorted(
+    const std::vector<std::int64_t>& sorted, unsigned p);
+
+/// Per-group accumulator for one aggregate column. Only the slots the
+/// aggregate kind uses are touched; sums wrap through uint64 like all
+/// query arithmetic, so observe/merge order cannot matter.
+struct AggPartial {
+  std::uint64_t sum = 0;
+  std::int64_t mn = std::numeric_limits<std::int64_t>::max();
+  std::int64_t mx = std::numeric_limits<std::int64_t>::min();
+  std::vector<std::int64_t> coll; ///< percentile collections
+
+  void observe(const Aggregate& a, std::int64_t v);
+  void merge(const Aggregate& a, AggPartial&& other);
+  /// Destructive (sorts percentile collections in place): call once, or
+  /// on a copy when snapshotting a live stream.
+  [[nodiscard]] std::int64_t finish(const Aggregate& a, std::uint64_t count);
+};
+
+/// One group's row count plus its aggregate columns, in query order.
+struct GroupPartial {
+  std::uint64_t count = 0;
+  std::vector<AggPartial> aggs;
+
+  void merge(const std::vector<Aggregate>& spec, GroupPartial&& other);
+};
+
+} // namespace fluxtrace::query

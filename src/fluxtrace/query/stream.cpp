@@ -1,0 +1,348 @@
+#include "fluxtrace/query/stream.hpp"
+
+#include <algorithm>
+
+#include "fluxtrace/obs/metrics.hpp"
+
+namespace fluxtrace::query {
+
+namespace {
+
+// Self-telemetry for the continuous path: the alert counter is the one
+// the follow-chaos CI job asserts on.
+struct StreamMetrics {
+  obs::Counter& windows = obs::metrics().counter("query.stream.windows");
+  obs::Counter& rows = obs::metrics().counter("query.stream.rows_matched");
+  obs::Counter& alerts = obs::metrics().counter("query.stream.alerts");
+
+  static StreamMetrics& get() {
+    static StreamMetrics m;
+    return m;
+  }
+};
+
+} // namespace
+
+StreamingQuery::StreamingQuery(Query q, SymbolTable symtab, StreamOptions opts)
+    : query_(std::move(q)), symtab_(std::move(symtab)), opts_(opts) {
+  if (query_.outliers.has_value()) {
+    detector_.emplace(query_.outliers->config);
+  }
+}
+
+void StreamingQuery::fold_row(std::int64_t item, std::int64_t func,
+                              std::int64_t core, std::int64_t ts,
+                              std::int64_t dur, std::int64_t ip,
+                              WindowResult& w) {
+  FieldVals vals;
+  vals.set(Field::Item, item);
+  vals.set(Field::Func, func);
+  vals.set(Field::Core, core);
+  vals.set(Field::Ts, ts);
+  vals.set(Field::Dur, dur);
+  vals.set(Field::Ip, ip);
+  if (query_.filter && !query_.filter->test(vals)) return;
+  ++w.rows_matched;
+  ++stats_.rows_matched;
+  StreamMetrics::get().rows.inc();
+
+  if (!query_.aggs.empty()) {
+    std::vector<std::int64_t> key;
+    key.reserve(query_.group_keys.size());
+    for (const Field f : query_.group_keys) key.push_back(vals.get(f));
+    GroupPartial& g = groups_[std::move(key)];
+    if (g.aggs.empty()) g.aggs.resize(query_.aggs.size());
+    ++g.count;
+    for (std::size_t a = 0; a < query_.aggs.size(); ++a) {
+      g.aggs[a].observe(query_.aggs[a], vals.get(query_.aggs[a].field));
+    }
+  } else if (!query_.outliers.has_value()) {
+    // Row mode: keep the live tail for snapshot().
+    const std::vector<Field> cols =
+        query_.select.empty()
+            ? std::vector<Field>{Field::Item, Field::Func, Field::Core,
+                                 Field::Ts,  Field::Dur,  Field::Ip}
+            : query_.select;
+    std::vector<Cell> row;
+    row.reserve(cols.size());
+    for (const Field f : cols) {
+      const std::int64_t v = vals.get(f);
+      if (f == Field::Func && v >= 0 &&
+          static_cast<std::size_t>(v) < symtab_.size()) {
+        row.push_back(
+            Cell::of_text(std::string(symtab_.name(static_cast<SymbolId>(v)))));
+      } else {
+        row.push_back(Cell::of_int(v));
+      }
+    }
+    row_tail_.push_back(std::move(row));
+    if (row_tail_.size() > opts_.row_tail) row_tail_.pop_front();
+  }
+}
+
+void StreamingQuery::emit_window(std::uint32_t core, ItemId item, Tsc enter,
+                                 Tsc leave, CoreState& cs,
+                                 std::vector<WindowResult>& out) {
+  WindowResult w;
+  w.item = item;
+  w.core = core;
+  w.enter = enter;
+  w.leave = leave;
+
+  // Pull this window's samples out of the pending buffer. Nested windows
+  // seal innermost-first (earlier leave), so an inner window has already
+  // consumed its rows by the time the outer one gets here — the same
+  // innermost-cover rule the batch columnar build applies.
+  struct FnSpan {
+    Tsc first = 0;
+    Tsc last = 0;
+    std::vector<PendingSample> rows;
+  };
+  std::map<SymbolId, FnSpan> by_fn;
+  std::uint64_t unresolved = 0;
+  for (auto it = cs.pending.begin(); it != cs.pending.end();) {
+    if (it->tsc >= enter && it->tsc <= leave) {
+      ++w.rows;
+      const auto fn = symtab_.resolve(it->ip);
+      if (fn.has_value()) {
+        FnSpan& sp = by_fn[*fn];
+        if (sp.rows.empty()) {
+          sp.first = it->tsc;
+          sp.last = it->tsc;
+        } else {
+          sp.first = std::min(sp.first, it->tsc);
+          sp.last = std::max(sp.last, it->tsc);
+        }
+        sp.rows.push_back(*it);
+      } else {
+        ++unresolved;
+        // Unresolvable ip: the row still exists (func = -1, dur = 0).
+        fold_row(static_cast<std::int64_t>(item), -1,
+                 static_cast<std::int64_t>(core),
+                 static_cast<std::int64_t>(it->tsc), 0,
+                 static_cast<std::int64_t>(it->ip), w);
+      }
+      it = cs.pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (const auto& [fn, sp] : by_fn) {
+    const Tsc span = sp.last - sp.first;
+    for (const PendingSample& s : sp.rows) {
+      fold_row(static_cast<std::int64_t>(item),
+               static_cast<std::int64_t>(fn),
+               static_cast<std::int64_t>(core),
+               static_cast<std::int64_t>(s.tsc),
+               static_cast<std::int64_t>(span),
+               static_cast<std::int64_t>(s.ip), w);
+    }
+    if (detector_.has_value()) {
+      // Continuous outliers: one {item, func} elapsed estimate per
+      // window, flagged against the function's running statistics in
+      // the very call that closed the window.
+      if (detector_->observe(item, fn, span)) {
+        StreamAlert a;
+        a.item = item;
+        a.func = fn;
+        a.core = core;
+        a.window_enter = enter;
+        a.window_leave = leave;
+        a.elapsed = span;
+        a.mean = detector_->mean(fn);
+        a.sigma = detector_->sigma(fn);
+        a.sigmas = a.sigma > 0.0
+                       ? (static_cast<double>(span) - a.mean) / a.sigma
+                       : 0.0;
+        w.alerts.push_back(a);
+        ++stats_.alerts;
+        StreamMetrics::get().alerts.inc();
+      }
+    }
+  }
+  (void)unresolved;
+
+  ++stats_.windows_closed;
+  StreamMetrics::get().windows.inc();
+  out.push_back(std::move(w));
+}
+
+void StreamingQuery::seal_ready_windows(std::uint32_t core, CoreState& cs,
+                                        bool force,
+                                        std::vector<WindowResult>& out) {
+  // Innermost-first: ascending leave edge.
+  std::sort(cs.closed.begin(), cs.closed.end(),
+            [](const CoreState::ClosedWindow& a,
+               const CoreState::ClosedWindow& b) { return a.leave < b.leave; });
+  std::size_t sealed = 0;
+  for (const CoreState::ClosedWindow& c : cs.closed) {
+    if (!force && c.leave > cs.watermark) break;
+    emit_window(core, c.item, c.enter, c.leave, cs, out);
+    ++sealed;
+  }
+  cs.closed.erase(cs.closed.begin(),
+                  cs.closed.begin() + static_cast<std::ptrdiff_t>(sealed));
+
+  // Age out samples that can no longer match any window: older than the
+  // watermark (minus slack) and below every boundary still in play.
+  Tsc floor = cs.watermark > opts_.attribution_slack
+                  ? cs.watermark - opts_.attribution_slack
+                  : 0;
+  for (const OpenWindow& o : cs.open) floor = std::min(floor, o.enter);
+  for (const CoreState::ClosedWindow& c : cs.closed) {
+    floor = std::min(floor, c.enter);
+  }
+  while (!cs.pending.empty() && cs.pending.front().tsc < floor) {
+    ++stats_.rows_unattributed;
+    cs.pending.pop_front();
+  }
+}
+
+std::vector<WindowResult> StreamingQuery::ingest(const io::TraceData& batch) {
+  ++stats_.batches;
+  std::vector<WindowResult> out;
+
+  for (const Marker& m : batch.markers) {
+    ++stats_.markers;
+    CoreState& cs = cores_[m.core];
+    cs.watermark = std::max(cs.watermark, m.tsc);
+    if (m.kind == MarkerKind::Enter) {
+      cs.open.push_back(OpenWindow{m.item, m.tsc});
+    } else {
+      // Match the innermost open window for this item; an unmatched
+      // Leave (its Enter was lost) is dropped, as in the batch pairing.
+      for (auto it = cs.open.rbegin(); it != cs.open.rend(); ++it) {
+        if (it->item == m.item) {
+          cs.closed.push_back(
+              CoreState::ClosedWindow{it->item, it->enter, m.tsc});
+          cs.open.erase(std::next(it).base());
+          break;
+        }
+      }
+    }
+  }
+  for (const PebsSample& s : batch.samples) {
+    ++stats_.samples;
+    CoreState& cs = cores_[s.core];
+    cs.watermark = std::max(cs.watermark, s.tsc);
+    // Keep per-core pending sorted by time (drain order is near-sorted,
+    // so the tail insertion is almost always O(1)).
+    PendingSample p{s.tsc, s.ip};
+    auto pos = cs.pending.end();
+    while (pos != cs.pending.begin() && std::prev(pos)->tsc > p.tsc) --pos;
+    cs.pending.insert(pos, p);
+  }
+
+  for (auto& [core, cs] : cores_) {
+    seal_ready_windows(core, cs, /*force=*/false, out);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const WindowResult& a, const WindowResult& b) {
+              return a.leave != b.leave ? a.leave < b.leave : a.core < b.core;
+            });
+  return out;
+}
+
+std::vector<WindowResult> StreamingQuery::flush() {
+  std::vector<WindowResult> out;
+  for (auto& [core, cs] : cores_) {
+    // Still-open windows close at the core watermark: the synthetic
+    // leave the degraded batch pairing would give them.
+    for (const OpenWindow& o : cs.open) {
+      ++stats_.enters_unmatched;
+      cs.closed.push_back(
+          CoreState::ClosedWindow{o.item, o.enter,
+                                  std::max(cs.watermark, o.enter)});
+    }
+    cs.open.clear();
+    seal_ready_windows(core, cs, /*force=*/true, out);
+    stats_.rows_unattributed += cs.pending.size();
+    cs.pending.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WindowResult& a, const WindowResult& b) {
+              return a.leave != b.leave ? a.leave < b.leave : a.core < b.core;
+            });
+  return out;
+}
+
+QueryResult StreamingQuery::snapshot() const {
+  QueryResult res;
+  res.stats.rows_scanned = stats_.samples;
+  res.stats.rows_matched = stats_.rows_matched;
+  res.stats.threads = 1;
+
+  const auto func_cell = [&](std::int64_t id) {
+    if (id >= 0 && static_cast<std::size_t>(id) < symtab_.size()) {
+      return Cell::of_text(
+          std::string(symtab_.name(static_cast<SymbolId>(id))));
+    }
+    return Cell::of_int(id);
+  };
+
+  if (!query_.aggs.empty()) {
+    for (const Field f : query_.group_keys) {
+      res.columns.emplace_back(to_string(f));
+    }
+    for (const Aggregate& a : query_.aggs) res.columns.push_back(a.name());
+    for (const auto& [key, acc] : groups_) {
+      std::vector<Cell> row;
+      row.reserve(key.size() + query_.aggs.size());
+      for (std::size_t k = 0; k < key.size(); ++k) {
+        row.push_back(query_.group_keys[k] == Field::Func
+                          ? func_cell(key[k])
+                          : Cell::of_int(key[k]));
+      }
+      for (std::size_t a = 0; a < query_.aggs.size(); ++a) {
+        AggPartial copy = acc.aggs[a]; // finish() is destructive
+        row.push_back(Cell::of_int(copy.finish(query_.aggs[a], acc.count)));
+      }
+      res.rows.push_back(std::move(row));
+    }
+  } else if (query_.outliers.has_value()) {
+    res.columns = {"item", "func", "elapsed", "mean", "sigma", "sigmas"};
+    if (detector_.has_value()) {
+      for (const core::Anomaly& a : detector_->anomalies()) {
+        std::vector<Cell> row;
+        row.push_back(Cell::of_int(static_cast<std::int64_t>(a.item)));
+        row.push_back(func_cell(static_cast<std::int64_t>(a.fn)));
+        row.push_back(Cell::of_int(static_cast<std::int64_t>(a.elapsed)));
+        row.push_back(Cell::of_real(a.mean));
+        row.push_back(Cell::of_real(a.sigma));
+        row.push_back(Cell::of_real(a.deviation()));
+        res.rows.push_back(std::move(row));
+      }
+    }
+  } else {
+    const std::vector<Field> cols =
+        query_.select.empty()
+            ? std::vector<Field>{Field::Item, Field::Func, Field::Core,
+                                 Field::Ts,  Field::Dur,  Field::Ip}
+            : query_.select;
+    for (const Field f : cols) res.columns.emplace_back(to_string(f));
+    for (const auto& row : row_tail_) res.rows.push_back(row);
+  }
+
+  if (query_.topk.has_value()) {
+    const auto it =
+        std::find(res.columns.begin(), res.columns.end(), query_.topk->by);
+    if (it != res.columns.end()) {
+      const std::size_t ci =
+          static_cast<std::size_t>(it - res.columns.begin());
+      std::stable_sort(res.rows.begin(), res.rows.end(),
+                       [ci](const std::vector<Cell>& x,
+                            const std::vector<Cell>& y) {
+                         return y[ci].less(x[ci]);
+                       });
+      if (res.rows.size() > query_.topk->n) res.rows.resize(query_.topk->n);
+    }
+  }
+  if (query_.limit.has_value() && res.rows.size() > *query_.limit) {
+    res.rows.resize(*query_.limit);
+  }
+  return res;
+}
+
+} // namespace fluxtrace::query

@@ -1,0 +1,162 @@
+// Streaming query execution over a live capture (ISSUE 6): the `--follow`
+// half of the trace query engine.
+//
+// A StreamingQuery consumes the incremental TraceData batches an
+// io::TraceFollower commits and evaluates a parsed pipeline continuously,
+// with the *marker window* (one item's Enter→Leave residence on one core,
+// paper §III-C) as the unit of streaming progress:
+//
+//   * markers open and close per-core item windows incrementally;
+//   * samples buffer per core until the core's watermark (max timestamp
+//     seen on that core) passes a window's leave edge — only then is the
+//     window closed and its samples attributed, so a chunk arriving out
+//     of order between cores can never mis-attribute a row;
+//   * each closed window's rows flow through the pipeline's filter, fold
+//     into running GroupPartial accumulators (partials.hpp — the exact
+//     merge algebra the batch engine uses), and feed the continuously
+//     evaluated `outliers` detector, which raises an alert (and an obs
+//     counter) in the same ingest() call that closed the window — i.e.
+//     within one poll interval of the window closing;
+//   * snapshot() finishes a *copy* of the partials into a batch-shaped
+//     QueryResult (same columns, same cell values) at any moment.
+//
+// Windowed dur semantics: a streamed row's dur is the first-to-last
+// sample span of its {item, func} bucket *within its window*, summed over
+// the windows seen so far — for traces where an item's work on a function
+// lands in one window (the common pinned-worker case) this is exactly the
+// batch engine's cross-trace span; when work straddles windows the
+// streamed value is the sum of the per-window spans, which is the only
+// quantity a bounded-memory follower can know without replaying the file.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/core/detector.hpp"
+#include "fluxtrace/io/trace_file.hpp"
+#include "fluxtrace/query/engine.hpp"
+#include "fluxtrace/query/partials.hpp"
+
+namespace fluxtrace::query {
+
+/// One continuously-evaluated outlier detection, raised by the ingest()
+/// call that closed the offending window.
+struct StreamAlert {
+  ItemId item = kNoItem;
+  SymbolId func = kInvalidSymbol;
+  std::uint32_t core = 0;
+  Tsc window_enter = 0;
+  Tsc window_leave = 0;
+  Tsc elapsed = 0;   ///< the {item, func} span that tripped the detector
+  double mean = 0.0; ///< function's running mean at detection time
+  double sigma = 0.0;
+  double sigmas = 0.0; ///< deviation in sigmas
+};
+
+/// One marker window the stream closed, with what the pipeline made of it.
+struct WindowResult {
+  ItemId item = kNoItem;
+  std::uint32_t core = 0;
+  Tsc enter = 0;
+  Tsc leave = 0;
+  std::uint64_t rows = 0;         ///< samples attributed to the window
+  std::uint64_t rows_matched = 0; ///< of those, rows passing the filter
+  std::vector<StreamAlert> alerts;
+};
+
+struct StreamStats {
+  std::uint64_t batches = 0;
+  std::uint64_t markers = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t windows_closed = 0;
+  std::uint64_t rows_matched = 0;
+  std::uint64_t rows_unattributed = 0; ///< aged out below any window
+  std::uint64_t alerts = 0;
+  std::uint64_t enters_unmatched = 0;  ///< open windows at flush
+};
+
+struct StreamOptions {
+  /// Row-mode pipelines keep at most this many most-recent rows for
+  /// snapshot() — the live tail a follower can afford to hold.
+  std::size_t row_tail = 4096;
+  /// Samples older than the core watermark by more than this slack that
+  /// still match no window are counted unattributed and dropped.
+  Tsc attribution_slack = 0;
+};
+
+class StreamingQuery {
+ public:
+  /// `q` must not use `select` with `top by` columns that group mode
+  /// would reject in batch; anything parse_query accepts runs. The
+  /// symbol table resolves sample ips to functions exactly as the
+  /// columnar build does.
+  StreamingQuery(Query q, SymbolTable symtab, StreamOptions opts = {});
+
+  /// Fold one follower batch in. Returns the windows this batch closed,
+  /// in (leave, core) order — alerts ride on their window.
+  std::vector<WindowResult> ingest(const io::TraceData& batch);
+
+  /// End of stream: close every still-open window at its core watermark
+  /// (synthetic leave — mirrors windows_from_markers' degraded path) and
+  /// attribute the remaining buffered samples.
+  std::vector<WindowResult> flush();
+
+  /// Batch-shaped result from the partials accumulated so far: the same
+  /// columns and cells QueryEngine::run would produce over the rows that
+  /// have flowed through. Non-destructive; callable per poll.
+  [[nodiscard]] QueryResult snapshot() const;
+
+  [[nodiscard]] const StreamStats& stats() const { return stats_; }
+  [[nodiscard]] const Query& query() const { return query_; }
+  [[nodiscard]] const SymbolTable& symtab() const { return symtab_; }
+
+ private:
+  struct OpenWindow {
+    ItemId item = kNoItem;
+    Tsc enter = 0;
+  };
+  struct PendingSample {
+    Tsc tsc = 0;
+    std::uint64_t ip = 0;
+  };
+  struct CoreState {
+    std::vector<OpenWindow> open; ///< innermost last (nesting stack)
+    std::deque<PendingSample> pending;
+    Tsc watermark = 0;
+    /// Closed but not yet sealed: leave edge waits for the watermark.
+    struct ClosedWindow {
+      ItemId item = kNoItem;
+      Tsc enter = 0;
+      Tsc leave = 0;
+    };
+    std::vector<ClosedWindow> closed;
+  };
+
+  void seal_ready_windows(std::uint32_t core, CoreState& cs, bool force,
+                          std::vector<WindowResult>& out);
+  void emit_window(std::uint32_t core, ItemId item, Tsc enter, Tsc leave,
+                   CoreState& cs, std::vector<WindowResult>& out);
+  void fold_row(std::int64_t item, std::int64_t func, std::int64_t core,
+                std::int64_t ts, std::int64_t dur, std::int64_t ip,
+                WindowResult& w);
+
+  Query query_;
+  SymbolTable symtab_;
+  StreamOptions opts_;
+
+  std::map<std::uint32_t, CoreState> cores_;
+
+  // Running pipeline state (the partials the batch engine would merge).
+  std::map<std::vector<std::int64_t>, GroupPartial> groups_;
+  std::deque<std::vector<Cell>> row_tail_;
+  std::optional<core::FluctuationDetector> detector_;
+
+  StreamStats stats_;
+};
+
+} // namespace fluxtrace::query

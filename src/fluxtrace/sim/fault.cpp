@@ -20,7 +20,8 @@ FaultPlan::FaultPlan(FaultPlanConfig cfg)
       marker_rng_(mix_seed(cfg_.seed, 1)),
       drain_rng_(mix_seed(cfg_.seed, 2)),
       dump_rng_(mix_seed(cfg_.seed, 3)),
-      sink_rng_(mix_seed(cfg_.seed, 4)) {}
+      sink_rng_(mix_seed(cfg_.seed, 4)),
+      read_rng_(mix_seed(cfg_.seed, 5)) {}
 
 double FaultPlan::next_unit(std::uint64_t& state) {
   // splitmix64 (public domain, Vigna): a full-period 64-bit stream from
@@ -109,6 +110,30 @@ SinkFaultKind FaultPlan::sink_fault(std::size_t bytes) {
   }
   sink_bytes_accepted_ += bytes;
   return SinkFaultKind::None;
+}
+
+ReadFaultKind FaultPlan::read_fault() {
+  const std::uint64_t attempt = read_attempts_++;
+  // Always draw so the stream position depends only on attempt count.
+  const double u = next_unit(read_rng_);
+  for (const auto& w : cfg_.read_short) {
+    if (attempt >= w.from_read && attempt < w.from_read + w.reads) {
+      ++read_short_hits_;
+      return ReadFaultKind::Short;
+    }
+  }
+  if (u < cfg_.read_transient_rate) {
+    ++read_transients_;
+    return ReadFaultKind::Transient;
+  }
+  return ReadFaultKind::None;
+}
+
+bool FaultPlan::size_query_stale() {
+  const std::uint64_t query = size_queries_++;
+  const bool stale = query < cfg_.read_stale_queries;
+  if (stale) ++stale_size_queries_;
+  return stale;
 }
 
 void FaultPlan::attach(Machine& m) {

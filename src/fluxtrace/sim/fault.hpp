@@ -17,7 +17,11 @@
 //   * sink faults    — write(2)-level failures on the live spool path:
 //                      one-shot transient errors, a stuck sink wedged for
 //                      a scheduled window of writes, and ENOSPC once a
-//                      byte budget is spent (ISSUE 4).
+//                      byte budget is spent (ISSUE 4);
+//   * read faults    — pread(2)-level failures on the live *follow* path
+//                      (io::TraceFollower): transient EIO, short-read
+//                      windows, and stale file metadata that reports the
+//                      file truncated at a byte (ISSUE 6).
 #pragma once
 
 #include <cstdint>
@@ -79,6 +83,23 @@ struct FaultPlanConfig {
   /// every further write fails fatally. kNoLimit = unlimited space.
   static constexpr std::uint64_t kNoLimit = ~0ull;
   std::uint64_t sink_enospc_after_bytes = kNoLimit;
+
+  /// --- reader faults (live follow path, ISSUE 6) ----------------------
+  /// Probability that one read attempt fails with a retryable EIO.
+  double read_transient_rate = 0.0;
+  /// Scheduled short-read window: read attempts [from_read, from_read +
+  /// reads) (counted across *attempts*, so retries advance the schedule)
+  /// return at most half the requested bytes.
+  struct ShortReadWindow {
+    std::uint64_t from_read = 0;
+    std::uint64_t reads = 0;
+  };
+  std::vector<ShortReadWindow> read_short;
+  /// Stale-metadata model: the first `read_stale_queries` size queries
+  /// report the file truncated at `read_truncate_at` bytes (clamped to
+  /// the real size) — what a follower sees when fstat lags the writer.
+  std::uint64_t read_stale_queries = 0;
+  std::uint64_t read_truncate_at = 0;
 };
 
 /// Verdict for one injected sink write attempt (mirrored by
@@ -88,6 +109,14 @@ enum class SinkFaultKind : std::uint8_t {
   Transient, ///< one-shot retryable failure
   Stuck,     ///< inside a scheduled wedge window (retryable)
   NoSpace,   ///< byte budget spent: fatal from here on
+};
+
+/// Verdict for one injected reader fault (mirrored by io::ReadFault; io
+/// cannot depend on sim, so adapt with a lambda as for sink faults).
+enum class ReadFaultKind : std::uint8_t {
+  None,      ///< the read proceeds
+  Transient, ///< one-shot retryable EIO
+  Short,     ///< inside a scheduled short-read window: half the bytes
 };
 
 /// Stateful injector. Decisions are deterministic in (seed, call order):
@@ -114,6 +143,17 @@ class FaultPlan {
   /// ENOSPC budget. Draws from its own PRNG stream.
   [[nodiscard]] SinkFaultKind sink_fault(std::size_t bytes);
 
+  /// Verdict for the next follower read attempt. Every call advances the
+  /// read-attempt index (retries advance short-read windows past their
+  /// end, so a wedged source eventually heals). Draws from its own PRNG
+  /// stream, independent of every sink decision.
+  [[nodiscard]] ReadFaultKind read_fault();
+
+  /// True when the next file-size query must report stale metadata (the
+  /// file truncated at cfg.read_truncate_at). Advances the size-query
+  /// index; the first cfg.read_stale_queries queries are stale.
+  [[nodiscard]] bool size_query_stale();
+
   /// Install the sample/marker/drain hooks on a machine's MarkerLog and
   /// PebsDriver. The plan must outlive the machine's run.
   void attach(Machine& m);
@@ -137,6 +177,15 @@ class FaultPlan {
   [[nodiscard]] std::uint64_t sink_enospc_hits() const {
     return sink_enospc_hits_;
   }
+  [[nodiscard]] std::uint64_t read_transients() const {
+    return read_transients_;
+  }
+  [[nodiscard]] std::uint64_t read_short_hits() const {
+    return read_short_hits_;
+  }
+  [[nodiscard]] std::uint64_t stale_size_queries() const {
+    return stale_size_queries_;
+  }
 
  private:
   static bool in_burst(const std::vector<FaultPlanConfig::LossBurst>& bursts,
@@ -150,6 +199,7 @@ class FaultPlan {
   std::uint64_t drain_rng_;
   std::uint64_t dump_rng_;
   std::uint64_t sink_rng_;
+  std::uint64_t read_rng_;
   std::uint64_t samples_dropped_ = 0;
   std::uint64_t markers_dropped_ = 0;
   std::uint64_t drains_delayed_ = 0;
@@ -158,6 +208,11 @@ class FaultPlan {
   std::uint64_t sink_transients_ = 0;
   std::uint64_t sink_stuck_hits_ = 0;
   std::uint64_t sink_enospc_hits_ = 0;
+  std::uint64_t read_attempts_ = 0;      ///< read-attempt index
+  std::uint64_t size_queries_ = 0;       ///< size-query index
+  std::uint64_t read_transients_ = 0;
+  std::uint64_t read_short_hits_ = 0;
+  std::uint64_t stale_size_queries_ = 0;
 };
 
 } // namespace fluxtrace::sim

@@ -238,5 +238,124 @@ TEST(SessionSupervisor, AnomalousItemsAreSpooledWithTheirMarkers) {
   EXPECT_TRUE(leave_seen);
 }
 
+TEST(SessionSupervisor, FollowerAlertBoostsFidelityThenDecays) {
+  Fixture fx;
+  std::vector<std::uint64_t> reprogrammed;
+  AdaptiveResetConfig acfg;
+  acfg.min_reset = 64;
+  acfg.max_reset = 1u << 20;
+  AdaptiveReset ar(acfg, 1000, CpuSpec{},
+                   [&](std::uint64_t r) { reprogrammed.push_back(r); });
+
+  SessionSupervisorConfig scfg;
+  scfg.alert_boost_factor = 0.5;
+  scfg.max_alert_boosts = 2;
+  scfg.alert_hold_ns = 1000;
+  SessionSupervisor sup(fx.tracer, *fx.writer, scfg, &ar);
+
+  // A live follower flags items 7 and 3: R halves per alert, at most
+  // max_alert_boosts deep, and the flagged range is recorded.
+  sup.on_follower_alert({7, 0x400, 100}, 100);
+  EXPECT_EQ(ar.current_reset(), 500u);
+  EXPECT_EQ(sup.alert_boost_steps(), 1u);
+  sup.on_follower_alert({3, 0x400, 200}, 200);
+  EXPECT_EQ(ar.current_reset(), 250u);
+  sup.on_follower_alert({5, 0x400, 300}, 300); // capped: no third step
+  EXPECT_EQ(ar.current_reset(), 250u);
+  EXPECT_EQ(sup.alert_boost_steps(), 2u);
+
+  // Without fresh alerts the boosts decay one step per hold interval.
+  sup.tick(300 + scfg.alert_hold_ns);
+  EXPECT_EQ(ar.current_reset(), 500u);
+  EXPECT_EQ(sup.alert_boost_steps(), 1u);
+  sup.tick(300 + 2 * scfg.alert_hold_ns);
+  EXPECT_EQ(ar.current_reset(), 1000u);
+  EXPECT_EQ(sup.alert_boost_steps(), 0u);
+
+  const auto report = sup.finish(10'000);
+  EXPECT_EQ(report.alerts_received, 3u);
+  EXPECT_EQ(report.alert_boosts, 2u);
+  EXPECT_EQ(report.alert_restores, 2u);
+  EXPECT_EQ(report.alert_item_lo, 3u);
+  EXPECT_EQ(report.alert_item_hi, 7u);
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("alerts: received=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("items=[3, 7]"), std::string::npos) << s;
+}
+
+TEST(SessionSupervisor, AlertsSuppressedUnderShedPressure) {
+  OnlineTracerConfig ocfg;
+  ocfg.shed_backlog = 8;
+  Fixture fx(ocfg);
+  AdaptiveResetConfig acfg;
+  acfg.min_reset = 64;
+  acfg.max_reset = 1u << 20;
+  AdaptiveReset ar(acfg, 1000, CpuSpec{}, nullptr);
+
+  SessionSupervisorConfig scfg;
+  scfg.backlog_high = 8;
+  scfg.backlog_low = 2;
+  scfg.escalate_gap_ns = 100;
+  SessionSupervisor sup(fx.tracer, *fx.writer, scfg, &ar);
+
+  // Build up backlog until the session sheds.
+  std::uint64_t now = 0;
+  for (ItemId i = 1; i <= 20; ++i) {
+    now = i * 100;
+    sup.on_marker(mk(MarkerKind::Enter, now, i), now);
+    sup.on_marker(mk(MarkerKind::Leave, now + 50, i), now + 50);
+    sup.tick(now + 60);
+  }
+  ASSERT_EQ(sup.state(), SessionState::Shedding);
+  const std::uint64_t shed_reset = ar.current_reset();
+
+  // Pressure relief wins over fidelity: the alert must not touch R.
+  sup.on_follower_alert({9, 0x400, now}, now);
+  EXPECT_EQ(ar.current_reset(), shed_reset);
+  EXPECT_EQ(sup.alert_boost_steps(), 0u);
+  const auto report = sup.finish(now + 1);
+  EXPECT_EQ(report.alerts_suppressed, 1u);
+  EXPECT_EQ(report.alert_boosts, 0u);
+}
+
+TEST(SessionSupervisor, EscalationUnwindsAlertBoostsFirst) {
+  OnlineTracerConfig ocfg;
+  ocfg.shed_backlog = 8;
+  Fixture fx(ocfg);
+  std::vector<std::uint64_t> reprogrammed;
+  AdaptiveResetConfig acfg;
+  acfg.min_reset = 64;
+  acfg.max_reset = 1u << 20;
+  AdaptiveReset ar(acfg, 1000, CpuSpec{},
+                   [&](std::uint64_t r) { reprogrammed.push_back(r); });
+
+  SessionSupervisorConfig scfg;
+  scfg.backlog_high = 8;
+  scfg.backlog_low = 2;
+  scfg.escalate_gap_ns = 100;
+  scfg.alert_hold_ns = 1u << 30; // no decay in this test
+  SessionSupervisor sup(fx.tracer, *fx.writer, scfg, &ar);
+
+  // Healthy session takes one fidelity boost: R 1000 -> 500.
+  sup.on_follower_alert({4, 0x400, 10}, 10);
+  ASSERT_EQ(ar.current_reset(), 500u);
+
+  // Backlog pressure arrives: escalation must first restore the boost
+  // (back to 1000) and then shed from the *planned* R, never from the
+  // boosted one.
+  std::uint64_t now = 100;
+  for (ItemId i = 1; i <= 20; ++i) {
+    now += 100;
+    sup.on_marker(mk(MarkerKind::Enter, now, i), now);
+    sup.on_marker(mk(MarkerKind::Leave, now + 50, i), now + 50);
+    sup.tick(now + 60);
+  }
+  EXPECT_EQ(sup.alert_boost_steps(), 0u);
+  EXPECT_GT(sup.shed_steps(), 0u);
+  EXPECT_GE(ar.current_reset(), 2000u); // shed applied on top of 1000
+  const auto report = sup.finish(now + 1);
+  EXPECT_EQ(report.alert_restores, 1u);
+}
+
 } // namespace
 } // namespace fluxtrace::core

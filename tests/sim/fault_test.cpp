@@ -187,6 +187,76 @@ TEST(FaultPlan, SinkRunsOutOfSpaceAfterByteBudget) {
   EXPECT_EQ(plan.sink_enospc_hits(), 2u);
 }
 
+TEST(FaultPlan, ReadFaultsOffByDefault) {
+  FaultPlan plan{FaultPlanConfig{}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(plan.read_fault(), ReadFaultKind::None);
+    EXPECT_FALSE(plan.size_query_stale());
+  }
+  EXPECT_EQ(plan.read_transients(), 0u);
+  EXPECT_EQ(plan.read_short_hits(), 0u);
+  EXPECT_EQ(plan.stale_size_queries(), 0u);
+}
+
+TEST(FaultPlan, ReadTransientsAreSeededAndApproximatelyRated) {
+  FaultPlanConfig cfg;
+  cfg.seed = 5;
+  cfg.read_transient_rate = 0.25;
+  FaultPlan a{cfg}, b{cfg};
+  const int n = 20000;
+  int transients = 0;
+  for (int i = 0; i < n; ++i) {
+    const ReadFaultKind ka = a.read_fault();
+    EXPECT_EQ(ka, b.read_fault()) << "i=" << i;
+    transients += ka == ReadFaultKind::Transient ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(transients) / n, 0.25, 0.02);
+  EXPECT_EQ(a.read_transients(), static_cast<std::uint64_t>(transients));
+}
+
+TEST(FaultPlan, ReadStreamIsIndependentOfSinkStream) {
+  // A follower and a writer driven by the same plan must not perturb
+  // each other: which reads fault cannot depend on how many writes the
+  // sink saw (they interleave differently every run).
+  FaultPlanConfig cfg;
+  cfg.read_transient_rate = 0.2;
+  cfg.sink_transient_rate = 0.5;
+  FaultPlan a{cfg}, b{cfg};
+  for (int i = 0; i < 2000; ++i) {
+    (void)b.sink_fault(64); // b's writer is much busier
+    if (i % 3 == 0) (void)b.sink_fault(64);
+    EXPECT_EQ(a.read_fault(), b.read_fault()) << "i=" << i;
+  }
+}
+
+TEST(FaultPlan, ShortReadWindowIsIndexedByReadAttempt) {
+  // Attempts 3..6 return short; retries advance the attempt index, so a
+  // follower retrying through the window eventually reads in full.
+  FaultPlanConfig cfg;
+  cfg.read_short.push_back({/*from_read=*/3, /*reads=*/4});
+  FaultPlan plan{cfg};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const bool in = i >= 3 && i < 7;
+    EXPECT_EQ(plan.read_fault(),
+              in ? ReadFaultKind::Short : ReadFaultKind::None)
+        << "attempt " << i;
+  }
+  EXPECT_EQ(plan.read_short_hits(), 4u);
+}
+
+TEST(FaultPlan, StaleSizeQueriesAreCountedDown) {
+  FaultPlanConfig cfg;
+  cfg.read_stale_queries = 3;
+  cfg.read_truncate_at = 100;
+  FaultPlan plan{cfg};
+  EXPECT_TRUE(plan.size_query_stale());
+  EXPECT_TRUE(plan.size_query_stale());
+  EXPECT_TRUE(plan.size_query_stale());
+  EXPECT_FALSE(plan.size_query_stale()); // metadata caught up
+  EXPECT_FALSE(plan.size_query_stale());
+  EXPECT_EQ(plan.stale_size_queries(), 3u);
+}
+
 struct FaultedRun {
   SymbolTable symtab;
   apps::QueryCacheApp app{symtab};

@@ -596,5 +596,130 @@ TEST_F(ToolsFixture, SessionCrashLeavesRecoverableSpool) {
   EXPECT_EQ(rc, 0) << out;
 }
 
+TEST_F(ToolsFixture, QueryFollowCleanTraceEndsWithExactLedger) {
+  // A finished v2 trace is the degenerate live case: the follower sees
+  // the eof sentinel on its first poll and exits 0 with an exact ledger.
+  const std::string v2_path = ::testing::TempDir() + "/tools_follow.flxt2";
+  int rc = -1;
+  run_capture(tool("flxt_convert") + " " + trace_path + " " + v2_path +
+                  " --to-v2 --chunk-records 16",
+              &rc);
+  ASSERT_EQ(rc, 0);
+
+  const std::string out = run_capture(
+      tool("flxt_query") + " " + v2_path + " " + syms_path +
+          " 'group func: count' --follow --csv",
+      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("finish=clean-eof"), std::string::npos) << out;
+  EXPECT_NE(out.find("(exact)"), std::string::npos) << out;
+  EXPECT_NE(out.find("window item="), std::string::npos) << out;
+  // The final snapshot is the same table a batch run would print.
+  EXPECT_NE(out.find("func,count"), std::string::npos) << out;
+  EXPECT_NE(out.find("sample_app::f3_transform"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, QueryFollowSurvivesProducerKill9) {
+  // The satellite kill-9 leg: flxt_session dies mid-capture via
+  // --crash-after (std::_Exit, no close, no eof sentinel). Following the
+  // abandoned spool must end in a producer-death salvage with exit 0 and
+  // an exact ledger — a dead writer is a degraded ending, not an error.
+  const std::string spool = ::testing::TempDir() + "/tools_follow_crash.flxt";
+  int rc = 0;
+  std::string out = run_capture(
+      tool("flxt_session") + " " + spool +
+          " --queries 200 --chunk-records 16 --crash-after 5",
+      &rc);
+  EXPECT_NE(rc, 0) << out; // the "kill" exits 137
+
+  out = run_capture(tool("flxt_query") + " " + spool + " " + syms_path +
+                        " 'group item: count' --follow --poll-ms 20"
+                        " --death-timeout-ms 200 --csv",
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("finish=producer-death"), std::string::npos) << out;
+  // Every committed chunk was consumed whole — nothing torn, nothing
+  // decoded from the crash-cut tail.
+  EXPECT_NE(out.find("torn=0 (exact)"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, QueryFollowMaxPollsStopsCleanly) {
+  // --max-polls bounds a follow of a live (eof-less) spool: the stop is
+  // a salvage pass, the ledger still reconciles, exit 0.
+  const std::string spool = ::testing::TempDir() + "/tools_follow_open.flxt";
+  int rc = 0;
+  run_capture(tool("flxt_session") + " " + spool +
+                  " --queries 100 --chunk-records 16 --crash-after 3",
+              &rc);
+  EXPECT_NE(rc, 0);
+
+  std::string out = run_capture(
+      tool("flxt_query") + " " + spool + " " + syms_path +
+          " 'select ts' --follow --poll-ms 10 --max-polls 2"
+          " --death-timeout-ms 60000 --csv",
+      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("finish=stopped"), std::string::npos) << out;
+  EXPECT_NE(out.find("(exact)"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, QueryFollowSigintPrintsLedgerAndExitsZero) {
+  // Satellite: Ctrl-C during --follow must not leave a half-written
+  // table — the handler turns the poll loop into a final salvage pass
+  // and the partial-window ledger still prints, exit 0.
+  const std::string spool = ::testing::TempDir() + "/tools_follow_int.flxt";
+  int rc = 0;
+  run_capture(tool("flxt_session") + " " + spool +
+                  " --queries 100 --chunk-records 16 --crash-after 3",
+              &rc);
+  EXPECT_NE(rc, 0);
+
+  std::string out = run_capture(
+      "timeout --preserve-status -s INT 1 " + tool("flxt_query") + " " +
+          spool + " " + syms_path + " 'group core: count' --follow"
+          " --poll-ms 50 --death-timeout-ms 60000 --csv",
+      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("finish=stopped"), std::string::npos) << out;
+  EXPECT_NE(out.find("(exact)"), std::string::npos) << out;
+  EXPECT_NE(out.find("core,count"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, QueryReplSigintExitsCleanly) {
+  // Ctrl-C at the REPL prompt: no half-written table, clean exit.
+  int rc = -1;
+  const std::string out = run_capture(
+      "{ printf 'group core: count\\n'; sleep 2; } | "
+      "timeout --preserve-status -s INT 1 " +
+          tool("flxt_query") + " " + trace_path + " " + syms_path +
+          " --repl --csv",
+      &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("core,count"), std::string::npos) << out;
+  EXPECT_NE(out.find("interrupted"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, QueryFollowFlagValidation) {
+  int rc = 0;
+  // --repl and --follow are exclusive.
+  std::string out = run_capture(tool("flxt_query") + " " + trace_path + " " +
+                                    syms_path + " --repl --follow",
+                                &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("exclusive"), std::string::npos) << out;
+  // --follow needs a query.
+  run_capture(tool("flxt_query") + " " + trace_path + " " + syms_path +
+                  " --follow",
+              &rc);
+  EXPECT_NE(rc, 0);
+  // A bad pipeline in follow mode is a parse error (exit 2), reported
+  // before any polling starts.
+  out = run_capture(tool("flxt_query") + " " + trace_path + " " + syms_path +
+                        " 'group bogus: count' --follow",
+                    &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("at offset"), std::string::npos) << out;
+}
+
 } // namespace
 } // namespace fluxtrace
