@@ -1,18 +1,28 @@
-// Extension: the trace query engine (ISSUE 5) over a 1M-sample FLXT v2
-// trace. Three claims are measured and *asserted*, not just printed:
+// Extension: the trace query engine over a 1M-sample FLXT v2 trace.
+// Five claims are measured and *asserted*, not just printed:
 //
-//   1. a selective query on a reopened trace prunes chunks through the
-//      FLXI sidecar — strictly fewer chunks read than the full scan;
-//   2. the pruned result is byte-identical to the index-free result;
-//   3. the parallel scan is bit-identical to the sequential one at
-//      every thread count tried.
+//   1. the cold full scan (decode + columnar build + batch scan) holds
+//      the ISSUE 7 budget: >= 5x faster than the recorded per-row
+//      engine's 1161.188 ns/row, i.e. <= 232.2 ns/row;
+//   2. a selective query on a reopened trace prunes chunks through the
+//      FLXI sidecar — strictly fewer chunks read than the full scan —
+//      and skips blocks through the zone maps;
+//   3. the pruned result is byte-identical to the index-free result;
+//   4. the vectorized batch kernels are bit-identical to the portable
+//      scalar interpreter (EngineOptions::portable_eval) on every
+//      query shape tried;
+//   5. the parallel scan is bit-identical to the sequential one at
+//      every thread count tried, and scales when the host has cores to
+//      scale onto (graduated by std::thread::hardware_concurrency()).
 //
 // Results land in BENCH_query.json (full scan, pruned scan, parallel
 // sweep) so CI can diff runs.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <thread>
 
 #include "common.hpp"
 #include "fluxtrace/io/chunked.hpp"
@@ -26,6 +36,10 @@ namespace {
 constexpr std::size_t kItems = 1000;
 constexpr std::size_t kSamplesPerItem = 1000; // 1M samples total
 constexpr std::size_t kRecordsPerChunk = 4096;
+
+// ISSUE 7 acceptance: the recorded per-row engine measured
+// 1161.188 ns/row cold; the batch engine must be >= 5x faster.
+constexpr double kColdBudgetNsPerRow = 1161.188 / 5.0;
 
 struct Workload {
   SymbolTable symtab;
@@ -79,8 +93,8 @@ void require(bool ok, const char* what) {
 } // namespace
 
 int main() {
-  bench::banner("ext_query_scan: columnar queries + FLXI pruning",
-                "ISSUE 5 (query engine over the §IV trace container)");
+  bench::banner("ext_query_scan: batch columnar queries + FLXI pruning",
+                "ISSUE 7 (batch scan API over the §IV trace container)");
 
   const Workload w = make_workload();
   const std::string path = "/tmp/fluxtrace_bench_query.flxt";
@@ -103,12 +117,16 @@ int main() {
     const auto t0 = std::chrono::steady_clock::now();
     full_group = eng.run("group func: count, sum(dur), p99(ts)");
     const double ms = ms_since(t0);
+    const double ns_per_row = ms * 1e6 / n_rows;
     require(full_group.stats.index_written, "cold scan persists the sidecar");
     require(!full_group.stats.index_used, "cold scan cannot use a sidecar");
-    std::printf("full scan  : %8.1f ms  (%zu chunks read, group func "
-                "-> %zu rows)\n",
-                ms, full_group.stats.chunks_read, full_group.rows.size());
-    json.add("full_scan_group_by", n_rows, ms * 1e6 / n_rows);
+    std::printf("full scan  : %8.1f ms  (%.2f ns/row, %zu chunks read, "
+                "group func -> %zu rows)\n",
+                ms, ns_per_row, full_group.stats.chunks_read,
+                full_group.rows.size());
+    require(ns_per_row <= kColdBudgetNsPerRow,
+            "cold full scan >= 5x faster than the recorded 1161.188 ns/row");
+    json.add("full_scan_group_by", n_rows, ns_per_row);
   }
 
   // ---- 2. reopened engine: FLXI prunes the selective query -----------
@@ -125,9 +143,10 @@ int main() {
             "pruned scan reads fewer chunks than the trace holds");
     require(pruned.stats.chunks_pruned > 0, "pruning skipped chunks");
     std::printf("pruned scan: %8.1f ms  (%zu of %zu chunks read, %zu "
-                "pruned)\n",
+                "pruned, %zu of %zu blocks zone-skipped)\n",
                 ms, pruned.stats.chunks_read, pruned.stats.chunks_total,
-                pruned.stats.chunks_pruned);
+                pruned.stats.chunks_pruned, pruned.stats.blocks_skipped,
+                pruned.stats.blocks_total);
     json.add("pruned_selective_scan", n_rows, ms * 1e6 / n_rows);
   }
 
@@ -146,9 +165,40 @@ int main() {
                 pruned.rows.size());
   }
 
-  // ---- 4. parallel sweep: bit-identical at every thread count --------
+  // ---- 4. vectorized kernels == portable scalar interpreter ----------
+  {
+    const char* queries[] = {
+        "group func: count, sum(dur), p99(ts)",
+        "filter ts % 5 != 0 && item >= 0 | group core: count, sum(ts)",
+        "filter item * 3 - ts / 7 > 0 | select item, func, ts | limit 5000",
+        "filter dur > 0 | outliers k=2.5",
+    };
+    for (const bool portable : {false, true}) {
+      query::EngineOptions opts;
+      opts.threads = 1;
+      opts.use_index = false;
+      opts.write_index = false;
+      opts.portable_eval = portable;
+      query::QueryEngine eng = query::QueryEngine::open(path, w.symtab, opts);
+      static std::map<std::string, query::QueryResult> ref;
+      for (const char* q : queries) {
+        query::QueryResult res = eng.run(q);
+        if (!portable) {
+          ref[q] = std::move(res);
+        } else {
+          require(res.rows == ref[q].rows && res.columns == ref[q].columns,
+                  "portable scalar result bit-identical to vectorized");
+        }
+      }
+    }
+    std::printf("portable   : scalar interpreter == vectorized kernels "
+                "(4 query shapes)\n");
+  }
+
+  // ---- 5. parallel sweep: bit-identical at every thread count --------
   std::printf("\nparallel scan sweep (filter + group, no index):\n");
   query::QueryResult seq_ref;
+  std::map<unsigned, double> sweep_ms;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     query::EngineOptions opts;
     opts.threads = threads;
@@ -169,14 +219,43 @@ int main() {
     }
     std::printf("  threads=%u: %7.1f ms (%.2f ns/row)\n", threads, ms,
                 ms * 1e6 / n_rows);
+    sweep_ms[threads] = ms;
     json.add("scan_threads_" + std::to_string(threads), n_rows,
              ms * 1e6 / n_rows);
+  }
+
+  // Scaling is asserted only as hard as the host can deliver: a 2-core
+  // runner cannot prove an 8-thread speedup, and a 1-core host cannot
+  // prove any — there the sweep only proves bit-identity.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 8) {
+    std::printf("  scaling  : %u hw threads, threads=8 speedup %.2fx "
+                "(need >= 4x)\n",
+                hw, sweep_ms[1] / sweep_ms[8]);
+    require(sweep_ms[1] / sweep_ms[8] >= 4.0,
+            "threads=8 scan >= 4x faster than threads=1");
+  } else if (hw >= 4) {
+    std::printf("  scaling  : %u hw threads, threads=4 speedup %.2fx "
+                "(need >= 2x)\n",
+                hw, sweep_ms[1] / sweep_ms[4]);
+    require(sweep_ms[1] / sweep_ms[4] >= 2.0,
+            "threads=4 scan >= 2x faster than threads=1");
+  } else if (hw >= 2) {
+    std::printf("  scaling  : %u hw threads, threads=2 speedup %.2fx "
+                "(need >= 1.3x)\n",
+                hw, sweep_ms[1] / sweep_ms[2]);
+    require(sweep_ms[1] / sweep_ms[2] >= 1.3,
+            "threads=2 scan >= 1.3x faster than threads=1");
+  } else {
+    std::printf("  scaling  : SINGLE-CORE HOST — speedup not measurable "
+                "here, asserting bit-identity only\n");
   }
 
   json.write();
   std::remove(path.c_str());
   std::remove(query::flxi_path(path).c_str());
-  std::printf("\nall assertions held: pruning reads fewer chunks, results "
-              "identical,\nparallel == sequential at every thread count.\n");
+  std::printf("\nall assertions held: cold scan within the 5x budget, "
+              "pruning reads fewer\nchunks, results identical, portable == "
+              "vectorized, parallel == sequential\nat every thread count.\n");
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -59,21 +60,35 @@ std::uint8_t peek_u8(std::string_view b, std::size_t at) {
 }
 
 std::uint32_t peek_u32(std::string_view b, std::size_t at) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(peek_u8(b, at + static_cast<std::size_t>(i)))
-         << (8 * i);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint32_t v;
+    std::memcpy(&v, b.data() + at, sizeof v);
+    return v;
+  } else {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               peek_u8(b, at + static_cast<std::size_t>(i)))
+           << (8 * i);
+    }
+    return v;
   }
-  return v;
 }
 
 std::uint64_t peek_u64(std::string_view b, std::size_t at) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(peek_u8(b, at + static_cast<std::size_t>(i)))
-         << (8 * i);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t v;
+    std::memcpy(&v, b.data() + at, sizeof v);
+    return v;
+  } else {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               peek_u8(b, at + static_cast<std::size_t>(i)))
+           << (8 * i);
+    }
+    return v;
   }
-  return v;
 }
 
 // --- record encode/decode (v1 field layout) ---------------------------
@@ -95,6 +110,7 @@ void encode_sample(std::string& b, const PebsSample& s) {
 bool decode_markers(std::string_view payload, std::uint32_t n,
                     std::vector<Marker>& out) {
   if (payload.size() != static_cast<std::size_t>(n) * kMarkerBytes) return false;
+  out.reserve(out.size() + n);
   std::size_t at = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
     Marker m;
@@ -113,6 +129,7 @@ bool decode_markers(std::string_view payload, std::uint32_t n,
 bool decode_samples(std::string_view payload, std::uint32_t n,
                     SampleVec& out) {
   if (payload.size() != static_cast<std::size_t>(n) * kSampleBytes) return false;
+  out.reserve(out.size() + n);
   std::size_t at = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
     PebsSample s;
@@ -159,22 +176,55 @@ std::string read_rest(std::istream& is) {
 } // namespace
 
 std::uint32_t crc32(const void* data, std::size_t len) {
-  // IEEE 802.3 reflected polynomial, byte-at-a-time table.
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
+  // IEEE 802.3 reflected polynomial, slice-by-16: sixteen table lookups
+  // per 16-byte step instead of one per byte. Same values as the classic
+  // byte-at-a-time loop (table[0] *is* that table), roughly 2x the
+  // slice-by-8 throughput on wide cores because the two 8-byte halves
+  // have no data dependency between their lookups — this runs over every
+  // payload byte of every chunk, so it dominates cold-open time on
+  // multi-hundred-MB traces.
+  static const std::array<std::array<std::uint32_t, 256>, 16> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 16> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t s = 1; s < 16; ++s) {
+        c = t[0][c & 0xffu] ^ (c >> 8);
+        t[s][i] = c;
+      }
     }
     return t;
   }();
   std::uint32_t crc = 0xffffffffu;
   const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  while (len >= 16) {
+    std::uint64_t w1, w2;
+    std::memcpy(&w1, p, 8);
+    std::memcpy(&w2, p + 8, 8);
+    if constexpr (std::endian::native == std::endian::big) {
+      w1 = __builtin_bswap64(w1);
+      w2 = __builtin_bswap64(w2);
+    }
+    w1 ^= crc;
+    crc = tables[15][w1 & 0xffu] ^ tables[14][(w1 >> 8) & 0xffu] ^
+          tables[13][(w1 >> 16) & 0xffu] ^ tables[12][(w1 >> 24) & 0xffu] ^
+          tables[11][(w1 >> 32) & 0xffu] ^ tables[10][(w1 >> 40) & 0xffu] ^
+          tables[9][(w1 >> 48) & 0xffu] ^ tables[8][(w1 >> 56) & 0xffu] ^
+          tables[7][w2 & 0xffu] ^ tables[6][(w2 >> 8) & 0xffu] ^
+          tables[5][(w2 >> 16) & 0xffu] ^ tables[4][(w2 >> 24) & 0xffu] ^
+          tables[3][(w2 >> 32) & 0xffu] ^ tables[2][(w2 >> 40) & 0xffu] ^
+          tables[1][(w2 >> 48) & 0xffu] ^ tables[0][(w2 >> 56) & 0xffu];
+    p += 16;
+    len -= 16;
+  }
+  while (len-- > 0) {
+    crc = tables[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
   }
   return crc ^ 0xffffffffu;
 }
@@ -421,6 +471,56 @@ void decode_trace_v2_chunk(std::string_view file, const V2ChunkRef& ref,
     ok = decode_samples(payload, ref.n_records, out.samples);
   }
   if (!ok) throw TraceIoError("malformed v2 chunk records");
+}
+
+void decode_trace_v2_samples_columnar(std::string_view file,
+                                      const V2ChunkRef& ref,
+                                      const SampleColumnSink& sink) {
+  if (ref.type != kChunkSamples) {
+    throw TraceIoError("columnar decode on a non-sample chunk");
+  }
+  if (ref.offset + kChunkHeaderBytes > file.size() ||
+      file.size() - ref.offset - kChunkHeaderBytes < ref.payload_bytes) {
+    throw TraceIoError("chunk ref outside the file image");
+  }
+  const std::string_view payload =
+      file.substr(ref.offset + kChunkHeaderBytes, ref.payload_bytes);
+  if (peek_u32(file, ref.offset + 17) !=
+      crc32(payload.data(), payload.size())) {
+    throw TraceIoError("v2 chunk payload CRC mismatch");
+  }
+  const std::uint32_t n = ref.n_records;
+  if (payload.size() != static_cast<std::size_t>(n) * kSampleBytes ||
+      sink.reg_index >= kNumRegs) {
+    throw TraceIoError("malformed v2 chunk records");
+  }
+  // Geometric growth, never an exact-fit reserve: reserve(size + n) per
+  // chunk would reallocate (and copy the whole accumulated column) on
+  // every chunk of a multi-chunk decode — O(chunks * rows) memcpy that
+  // once dominated the cold-open profile. Callers that know the total
+  // row count up front should pre-reserve it; this only backstops.
+  const auto grow = [](std::vector<std::int64_t>& v, std::size_t add) {
+    const std::size_t need = v.size() + add;
+    if (v.capacity() < need) v.reserve(std::max(need, v.capacity() * 2));
+    const std::size_t base = v.size();
+    v.resize(need);
+    return v.data() + base;
+  };
+  std::int64_t* tsc_out = grow(*sink.tsc, n);
+  std::int64_t* ip_out = grow(*sink.ip, n);
+  std::int64_t* core_out = grow(*sink.core, n);
+  std::int64_t* reg_out = sink.reg != nullptr ? grow(*sink.reg, n) : nullptr;
+  const std::size_t reg_off = 20 + std::size_t{sink.reg_index} * 8;
+  std::size_t at = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tsc_out[i] = static_cast<std::int64_t>(peek_u64(payload, at));
+    ip_out[i] = static_cast<std::int64_t>(peek_u64(payload, at + 8));
+    core_out[i] = static_cast<std::int64_t>(peek_u32(payload, at + 16));
+    if (reg_out != nullptr) {
+      reg_out[i] = static_cast<std::int64_t>(peek_u64(payload, at + reg_off));
+    }
+    at += kSampleBytes;
+  }
 }
 
 TraceData read_trace_v2_body_parallel(std::string_view body,

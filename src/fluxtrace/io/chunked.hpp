@@ -146,6 +146,27 @@ struct V2ChunkRef {
 void decode_trace_v2_chunk(std::string_view file, const V2ChunkRef& ref,
                            TraceData& out);
 
+/// Column sink for decode_trace_v2_samples_columnar(): sample fields are
+/// appended straight into int64 columns, skipping the 148-byte
+/// PebsSample materialization entirely (the columnar store only ever
+/// reads ts/ip/core and, in register-id mode, one GPR — decoding the
+/// other 15 registers per record is pure waste on the query hot path).
+struct SampleColumnSink {
+  std::vector<std::int64_t>* tsc = nullptr;  ///< required
+  std::vector<std::int64_t>* ip = nullptr;   ///< required
+  std::vector<std::int64_t>* core = nullptr; ///< required
+  std::vector<std::int64_t>* reg = nullptr;  ///< optional: one GPR column
+  unsigned reg_index = 0;                    ///< which GPR fills `reg`
+};
+
+/// Decode one indexed *sample* chunk directly into columns. Identical
+/// validation to decode_trace_v2_chunk (payload CRC, size checks);
+/// throws TraceIoError on damage, a non-sample ref, or a ref that does
+/// not match `file`.
+void decode_trace_v2_samples_columnar(std::string_view file,
+                                      const V2ChunkRef& ref,
+                                      const SampleColumnSink& sink);
+
 /// Chunk-parallel strict v2 body parse: one sequential index pass over
 /// the chunk headers, then payload CRC checks and record decodes run
 /// concurrently on `pool`, concatenated in chunk order — the result (and

@@ -8,10 +8,7 @@
 #include <ostream>
 #include <sstream>
 
-// The io layer still implements the deprecated entry points; suppress the
-// self-referential warnings here only.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "fluxtrace/io/legacy.hpp"
 
 namespace fluxtrace::io {
 
@@ -191,5 +188,3 @@ std::uint64_t compact_size(const TraceData& data) {
 }
 
 } // namespace fluxtrace::io
-
-#pragma GCC diagnostic pop

@@ -26,14 +26,12 @@ inline constexpr std::uint32_t kCompactVersion = 1;
 /// read_compact returns them in that order.
 void write_compact(std::ostream& os, const TraceData& data);
 
-/// Parse; throws TraceIoError on malformed input.
-[[deprecated("open traces via io::open_trace() (io/trace_reader.hpp)")]]
-[[nodiscard]] TraceData read_compact(std::istream& is);
-
-/// File-path conveniences; errors carry the path and errno context.
+/// File-path convenience; errors carry the path and errno context.
 void save_compact(const std::string& path, const TraceData& data);
-[[deprecated("open traces via io::open_trace() (io/trace_reader.hpp)")]]
-[[nodiscard]] TraceData load_compact(const std::string& path);
+
+// The legacy readers (read_compact, load_compact) moved to the
+// io-internal io/legacy.hpp; open traces via io::open_trace()
+// (io/trace_reader.hpp), which autodetects every container.
 
 /// Size in bytes write_compact would produce (for volume accounting).
 [[nodiscard]] std::uint64_t compact_size(const TraceData& data);

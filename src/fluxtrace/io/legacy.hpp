@@ -1,0 +1,29 @@
+// io-internal: the legacy single-format readers.
+//
+// These predate io::TraceReader (io/trace_reader.hpp), which autodetects
+// v1 / chunked v2 / compact FLXZ and adds parallel decode and salvage.
+// They used to sit [[deprecated]] in the public headers; nothing outside
+// io/ (and the io tests, which exercise each container format directly)
+// calls them anymore, so they now live here instead of being advertised.
+// New code should open traces via io::open_trace().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fluxtrace/io/trace_file.hpp"
+
+namespace fluxtrace::io {
+
+/// Parse the monolithic v1 container (dispatches to the v2 body parser
+/// when the version field says so). Throws TraceIoError on bad magic,
+/// version mismatch, truncation, or stream failure.
+[[nodiscard]] TraceData read_trace(std::istream& is);
+[[nodiscard]] TraceData load_trace(const std::string& path);
+
+/// Parse the compact FLXZ container; throws TraceIoError on malformed
+/// input.
+[[nodiscard]] TraceData read_compact(std::istream& is);
+[[nodiscard]] TraceData load_compact(const std::string& path);
+
+} // namespace fluxtrace::io

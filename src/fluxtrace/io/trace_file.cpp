@@ -8,13 +8,9 @@
 #include <ostream>
 
 #include "fluxtrace/io/chunked.hpp"
+#include "fluxtrace/io/legacy.hpp"
 #include "fluxtrace/report/csv.hpp"
 #include "fluxtrace/rt/thread_pool.hpp"
-
-// The io layer still implements the deprecated entry points; suppress the
-// self-referential warnings here only.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace fluxtrace::io {
 
@@ -336,5 +332,3 @@ void write_samples_csv(std::ostream& os, const SampleVec& samples) {
 }
 
 } // namespace fluxtrace::io
-
-#pragma GCC diagnostic pop

@@ -47,15 +47,12 @@ inline constexpr std::uint32_t kTraceVersion = 1;
 /// failure.
 void write_trace(std::ostream& os, const TraceData& data);
 
-/// Parse the binary container. Throws TraceIoError on bad magic, version
-/// mismatch, truncation, or stream failure.
-[[deprecated("open traces via io::open_trace() (io/trace_reader.hpp)")]]
-[[nodiscard]] TraceData read_trace(std::istream& is);
-
-/// File-path conveniences.
+/// File-path convenience.
 void save_trace(const std::string& path, const TraceData& data);
-[[deprecated("open traces via io::open_trace() (io/trace_reader.hpp)")]]
-[[nodiscard]] TraceData load_trace(const std::string& path);
+
+// The legacy single-format readers (read_trace, load_trace) moved to the
+// io-internal io/legacy.hpp; open traces via io::open_trace()
+// (io/trace_reader.hpp), which autodetects every container.
 
 /// Buffer-based strict v1 body parse (`body` = the bytes after the 8-byte
 /// magic + version header: both record counts, then the two record

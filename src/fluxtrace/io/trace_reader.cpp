@@ -9,14 +9,10 @@
 #include <thread>
 
 #include "fluxtrace/io/compact.hpp"
+#include "fluxtrace/io/legacy.hpp"
 #include "fluxtrace/obs/metrics.hpp"
 #include "fluxtrace/obs/span.hpp"
 #include "fluxtrace/rt/thread_pool.hpp"
-
-// The facade is the supported entry point; it is allowed to sit on the
-// deprecated plumbing it replaces.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace fluxtrace::io {
 
@@ -157,6 +153,18 @@ SalvageReport TraceReader::salvage() const {
   return rep;
 }
 
+TraceReader::ReadResult TraceReader::read_or_salvage(
+    unsigned n_threads) const {
+  ReadResult out;
+  try {
+    out.data = read_parallel(n_threads);
+  } catch (const TraceIoError&) {
+    out.data = std::move(salvage().data);
+    out.salvaged = true;
+  }
+  return out;
+}
+
 TraceReader open_trace(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
@@ -173,5 +181,3 @@ TraceReader open_trace_bytes(std::string bytes) {
 }
 
 } // namespace fluxtrace::io
-
-#pragma GCC diagnostic pop

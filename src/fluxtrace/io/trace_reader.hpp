@@ -15,8 +15,8 @@
 //                         nothing monolithic streams).
 //
 // The legacy free functions (read_trace / load_trace / read_compact /
-// load_compact) are [[deprecated]] and remain only as io-internal
-// plumbing under this facade.
+// load_compact) remain only as io-internal plumbing under this facade
+// (io/legacy.hpp).
 #pragma once
 
 #include <cstdint>
@@ -75,6 +75,16 @@ class TraceReader {
   /// recovers chunk by chunk; the monolithic v1/FLXZ formats parse
   /// strictly and report either the full trace or nothing.
   [[nodiscard]] SalvageReport salvage() const;
+
+  /// read_parallel() with the standard degraded-mode policy every
+  /// analysis consumer wants: a strict parse, and when that reports
+  /// damage, the salvaged subset instead of an error. `salvaged` is true
+  /// iff the strict parse failed and the rows are a best-effort subset.
+  struct ReadResult {
+    TraceData data;
+    bool salvaged = false;
+  };
+  [[nodiscard]] ReadResult read_or_salvage(unsigned n_threads = 0) const;
 
   // Prefer the open_trace() free functions; this is their plumbing.
   TraceReader(std::string bytes, std::string path);

@@ -1,17 +1,22 @@
 #include "fluxtrace/query/columnar.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "fluxtrace/base/regs.hpp"
 #include "fluxtrace/core/integrator.hpp"
 #include "fluxtrace/core/trace_table.hpp"
+#include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/obs/span.hpp"
 
 namespace fluxtrace::query {
 
 namespace {
+
+constexpr std::size_t idx(Field f) { return static_cast<std::size_t>(f); }
 
 // Per-core windows with the same innermost-cover probe the integrator
 // uses (integrator.cpp `locate`), so `item` here always agrees with what
@@ -43,104 +48,305 @@ std::map<std::uint32_t, CoreWindows> windows_by_core(
   return out;
 }
 
-ItemId locate(const std::map<std::uint32_t, CoreWindows>& win_by_core,
-              std::uint32_t core, Tsc tsc) {
-  auto it = win_by_core.find(core);
-  if (it == win_by_core.end()) return kNoItem;
-  const std::vector<core::ItemWindow>& ws = it->second.ws;
-  const std::vector<Tsc>& pmax = it->second.prefix_max_leave;
+// Everything the attribution loop tracks per core: the window cursor
+// (samples are near-sorted in time per core, so the previous row's
+// window almost always covers the next row too) and the open {item,
+// func} bucket run (consecutive same-item samples reuse the bucket
+// without touching the global map).
+struct CoreState {
+  const CoreWindows* windows = nullptr;
+  std::size_t cursor = 0;
+  std::int64_t run_item = -1;
+  std::vector<std::int32_t> fn_bucket; // per func id: bucket index or -1
+  std::vector<std::int32_t> fn_span;   // per func id: span slot in bucket
+  std::vector<std::uint32_t> touched;  // func ids to reset on item change
+};
+
+// The integrator's innermost-cover probe with a cursor fast path. The
+// fast path fires only when the cursor window provably *is* the
+// innermost cover (it contains tsc and the next window starts strictly
+// later), so the result is identical to the full backward walk.
+ItemId locate(CoreState& cs, Tsc tsc) {
+  if (cs.windows == nullptr) return kNoItem;
+  const std::vector<core::ItemWindow>& ws = cs.windows->ws;
+  const std::vector<Tsc>& pmax = cs.windows->prefix_max_leave;
+  const std::size_t cur = cs.cursor;
+  if (cur < ws.size() && ws[cur].enter <= tsc && tsc <= ws[cur].leave &&
+      (cur + 1 == ws.size() || tsc < ws[cur + 1].enter)) {
+    return ws[cur].item;
+  }
   auto wit = std::upper_bound(
       ws.begin(), ws.end(), tsc,
       [](Tsc t, const core::ItemWindow& w) { return t < w.enter; });
   while (wit != ws.begin()) {
-    const std::size_t idx = static_cast<std::size_t>(wit - ws.begin()) - 1;
-    if (pmax[idx] < tsc) break;
+    const std::size_t i = static_cast<std::size_t>(wit - ws.begin()) - 1;
+    if (pmax[i] < tsc) break;
     --wit;
-    if (tsc <= wit->leave) return wit->item;
+    if (tsc <= wit->leave) {
+      cs.cursor = static_cast<std::size_t>(wit - ws.begin());
+      return wit->item;
+    }
   }
   return kNoItem;
 }
 
 } // namespace
 
+void ColumnarTrace::attribute(const std::vector<Marker>& markers,
+                              const SymbolTable& symtab,
+                              const BuildOptions& opts) {
+  const std::size_t n = n_rows_;
+  const std::int64_t* ts = cols_[idx(Field::Ts)].data();
+  const std::int64_t* ip = cols_[idx(Field::Ip)].data();
+  const std::int64_t* core_c = cols_[idx(Field::Core)].data();
+  std::int64_t* item_c = cols_[idx(Field::Item)].data();
+  std::int64_t* func_c = cols_[idx(Field::Func)].data();
+  std::int64_t* dur_c = cols_[idx(Field::Dur)].data();
+
+  const std::map<std::uint32_t, CoreWindows> win_by_core =
+      opts.use_register_ids ? std::map<std::uint32_t, CoreWindows>{}
+                            : windows_by_core(markers);
+  const std::size_t n_funcs = symtab.size();
+
+  // {item, func} buckets, one CoreSpan per core that sampled the bucket
+  // (usually one). Mirrors TraceTable's layout so dur sums per-core
+  // spans exactly like TraceTable::elapsed.
+  struct CoreSpan {
+    std::uint32_t core;
+    Tsc first;
+    Tsc last;
+    std::uint64_t samples;
+  };
+  struct Bucket {
+    std::int64_t elapsed = 0;
+    std::vector<CoreSpan> spans;
+  };
+  struct PairHash {
+    std::size_t operator()(
+        const std::pair<std::uint64_t, std::uint64_t>& p) const {
+      return std::hash<std::uint64_t>{}(p.first * 0x9e3779b97f4a7c15ull ^
+                                        p.second);
+    }
+  };
+  std::vector<Bucket> buckets;
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t,
+                     PairHash>
+      bucket_ids;
+  std::vector<std::int32_t> row_bucket(n, -1);
+
+  std::unordered_map<std::uint32_t, CoreState> cores;
+  CoreState* cs = nullptr;
+  std::uint32_t cs_core = 0;
+  // One-entry ip -> func cache: PEBS ips repeat heavily (hot loops), and
+  // symtab.resolve is a binary search per miss.
+  std::uint64_t cached_ip = ~std::uint64_t{0};
+  std::int64_t cached_fn = -1;
+  bool cache_valid = false;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto core = static_cast<std::uint32_t>(core_c[i]);
+    if (cs == nullptr || core != cs_core) {
+      CoreState& state = cores[core];
+      if (state.fn_bucket.empty() && n_funcs > 0) {
+        state.fn_bucket.assign(n_funcs, -1);
+        state.fn_span.assign(n_funcs, -1);
+      }
+      if (!opts.use_register_ids && state.windows == nullptr) {
+        const auto wit = win_by_core.find(core);
+        if (wit != win_by_core.end()) state.windows = &wit->second;
+      }
+      cs = &state;
+      cs_core = core;
+    }
+    const Tsc tsc = static_cast<Tsc>(ts[i]);
+
+    std::int64_t item;
+    if (opts.use_register_ids) {
+      item = item_c[i]; // pre-filled from the sampled register
+    } else {
+      item = static_cast<std::int64_t>(locate(*cs, tsc));
+      item_c[i] = item;
+    }
+
+    const auto uip = static_cast<std::uint64_t>(ip[i]);
+    std::int64_t fn;
+    if (cache_valid && uip == cached_ip) {
+      fn = cached_fn;
+    } else {
+      const auto r = symtab.resolve(uip);
+      fn = r.has_value() ? static_cast<std::int64_t>(*r) : -1;
+      cached_ip = uip;
+      cached_fn = fn;
+      cache_valid = true;
+    }
+    func_c[i] = fn;
+
+    if (item != -1 && fn >= 0) {
+      if (item != cs->run_item) {
+        for (const std::uint32_t f : cs->touched) cs->fn_bucket[f] = -1;
+        cs->touched.clear();
+        cs->run_item = item;
+      }
+      const auto fi = static_cast<std::size_t>(fn);
+      std::int32_t b = cs->fn_bucket[fi];
+      if (b < 0) {
+        const auto [it, inserted] = bucket_ids.try_emplace(
+            {static_cast<std::uint64_t>(item), static_cast<std::uint64_t>(fn)},
+            static_cast<std::uint32_t>(buckets.size()));
+        if (inserted) buckets.emplace_back();
+        b = static_cast<std::int32_t>(it->second);
+        Bucket& bk = buckets[static_cast<std::size_t>(b)];
+        std::int32_t si = -1;
+        for (std::size_t k = 0; k < bk.spans.size(); ++k) {
+          if (bk.spans[k].core == core) {
+            si = static_cast<std::int32_t>(k);
+            break;
+          }
+        }
+        if (si < 0) {
+          si = static_cast<std::int32_t>(bk.spans.size());
+          bk.spans.push_back(CoreSpan{core, tsc, tsc, 0});
+        }
+        cs->fn_bucket[fi] = b;
+        cs->fn_span[fi] = si;
+        cs->touched.push_back(static_cast<std::uint32_t>(fi));
+      }
+      CoreSpan& sp = buckets[static_cast<std::size_t>(b)]
+                         .spans[static_cast<std::size_t>(cs->fn_span[fi])];
+      if (tsc < sp.first) sp.first = tsc;
+      if (tsc > sp.last) sp.last = tsc;
+      ++sp.samples;
+      row_bucket[i] = b;
+    }
+  }
+
+  // Per-bucket elapsed (>=2 samples per core, summed over cores), then
+  // one gather broadcasts it onto the rows.
+  for (Bucket& bk : buckets) {
+    std::uint64_t total = 0;
+    for (const CoreSpan& sp : bk.spans) {
+      if (sp.samples >= 2) total += sp.last - sp.first;
+    }
+    bk.elapsed = static_cast<std::int64_t>(total);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (row_bucket[i] >= 0) {
+      dur_c[i] = buckets[static_cast<std::size_t>(row_bucket[i])].elapsed;
+    }
+  }
+}
+
+void ColumnarTrace::build_zones() {
+  zones_.clear();
+  if (n_rows_ == 0 || zone_rows_ == 0) return;
+  const std::size_t nz = (n_rows_ + zone_rows_ - 1) / zone_rows_;
+  zones_.resize(nz);
+  for (std::size_t z = 0; z < nz; ++z) {
+    const std::size_t b = z * zone_rows_;
+    const std::size_t e = std::min(b + zone_rows_, n_rows_);
+    ZoneMap& zm = zones_[z];
+    for (std::size_t f = 0; f < kNumFields; ++f) {
+      const std::int64_t* c = cols_[f].data();
+      std::int64_t mn = c[b];
+      std::int64_t mx = c[b];
+      for (std::size_t i = b + 1; i < e; ++i) {
+        mn = std::min(mn, c[i]);
+        mx = std::max(mx, c[i]);
+      }
+      zm.min[f] = mn;
+      zm.max[f] = mx;
+    }
+  }
+}
+
 ColumnarTrace ColumnarTrace::build(const io::TraceData& data,
                                    const SymbolTable& symtab,
                                    const BuildOptions& opts) {
   OBS_SPAN("query.columnar_build");
   ColumnarTrace t;
+  t.zone_rows_ = opts.zone_rows != 0 ? opts.zone_rows : 65536;
   const std::size_t n = data.samples.size();
-  t.item_.resize(n);
-  t.func_.resize(n);
-  t.core_.resize(n);
-  t.ts_.resize(n);
-  t.dur_.resize(n);
-  t.ip_.resize(n);
+  t.n_rows_ = n;
+  for (auto& c : t.cols_) c.resize(n);
 
-  const auto win_by_core = windows_by_core(data.markers);
-
-  // Pass 1: attribute item + func per row, and accumulate the per-core
-  // {item, func} bucket spans the dur column derives from.
-  struct Span {
-    Tsc first = std::numeric_limits<Tsc>::max();
-    Tsc last = 0;
-    std::uint64_t samples = 0;
-  };
-  // Key: (item, func) outer, core inner — mirrors TraceTable's layout so
-  // dur sums per-core spans exactly like TraceTable::elapsed.
-  struct PairHash {
-    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p)
-        const {
-      return std::hash<std::uint64_t>{}(p.first * 0x9e3779b97f4a7c15ull ^
-                                        p.second);
-    }
-  };
-  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>,
-                     std::map<std::uint32_t, Span>, PairHash>
-      buckets;
-
+  std::int64_t* ts = t.cols_[idx(Field::Ts)].data();
+  std::int64_t* ip = t.cols_[idx(Field::Ip)].data();
+  std::int64_t* core_c = t.cols_[idx(Field::Core)].data();
+  std::int64_t* item_c = t.cols_[idx(Field::Item)].data();
   for (std::size_t i = 0; i < n; ++i) {
     const PebsSample& s = data.samples[i];
-    t.ts_[i] = static_cast<std::int64_t>(s.tsc);
-    t.ip_[i] = static_cast<std::int64_t>(s.ip);
-    t.core_[i] = static_cast<std::int64_t>(s.core);
-
-    const ItemId item = opts.use_register_ids
-                            ? s.regs.get(kItemIdReg)
-                            : locate(win_by_core, s.core, s.tsc);
-    t.item_[i] = static_cast<std::int64_t>(item);
-
-    const auto fn = symtab.resolve(s.ip);
-    t.func_[i] = fn.has_value() ? static_cast<std::int64_t>(*fn) : -1;
-
-    if (item != kNoItem && fn.has_value()) {
-      Span& sp = buckets[{item, *fn}][s.core];
-      sp.first = std::min(sp.first, s.tsc);
-      sp.last = std::max(sp.last, s.tsc);
-      ++sp.samples;
+    ts[i] = static_cast<std::int64_t>(s.tsc);
+    ip[i] = static_cast<std::int64_t>(s.ip);
+    core_c[i] = static_cast<std::int64_t>(s.core);
+    if (opts.use_register_ids) {
+      item_c[i] = static_cast<std::int64_t>(s.regs.get(kItemIdReg));
     }
   }
-
-  // Pass 2: per-bucket elapsed (>=2 samples per core, summed over cores),
-  // then broadcast onto the rows.
-  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t,
-                     PairHash>
-      elapsed;
-  elapsed.reserve(buckets.size());
-  for (const auto& [key, cores] : buckets) {
-    std::uint64_t total = 0;
-    for (const auto& [c, sp] : cores) {
-      if (sp.samples >= 2) total += sp.last - sp.first;
-    }
-    elapsed.emplace(key, static_cast<std::int64_t>(total));
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (t.item_[i] != -1 && t.func_[i] != -1) {
-      const auto it = elapsed.find({static_cast<std::uint64_t>(t.item_[i]),
-                                    static_cast<std::uint64_t>(t.func_[i])});
-      if (it != elapsed.end()) t.dur_[i] = it->second;
-    }
-  }
+  t.attribute(data.markers, symtab, opts);
+  t.build_zones();
   return t;
+}
+
+ColumnarTrace ColumnarTrace::from_reader(const io::TraceReader& reader,
+                                         const SymbolTable& symtab,
+                                         const BuildOptions& opts,
+                                         unsigned n_threads) {
+  if (reader.format() == io::TraceFormat::FlxtV2) {
+    // Column-direct decode for the common case: a clean chunked image.
+    // Any structural or payload damage drops to the generic
+    // read-or-salvage path below, which reproduces the old behaviour
+    // (and diagnostics) exactly.
+    try {
+      OBS_SPAN("query.columnar_build");
+      const std::vector<io::V2ChunkRef> refs =
+          io::index_trace_v2(reader.bytes());
+      ColumnarTrace t;
+      t.zone_rows_ = opts.zone_rows != 0 ? opts.zone_rows : 65536;
+      // One exact pre-reserve so the per-chunk decode never reallocates.
+      std::size_t total_rows = 0;
+      for (const io::V2ChunkRef& ref : refs) {
+        if (ref.type == io::kChunkTypeSamples) total_rows += ref.n_records;
+      }
+      io::TraceData marker_data;
+      io::SampleColumnSink sink;
+      sink.tsc = &t.cols_[idx(Field::Ts)];
+      sink.ip = &t.cols_[idx(Field::Ip)];
+      sink.core = &t.cols_[idx(Field::Core)];
+      if (opts.use_register_ids) {
+        sink.reg = &t.cols_[idx(Field::Item)];
+        sink.reg_index = static_cast<unsigned>(kItemIdReg);
+      }
+      sink.tsc->reserve(total_rows);
+      sink.ip->reserve(total_rows);
+      sink.core->reserve(total_rows);
+      if (sink.reg != nullptr) sink.reg->reserve(total_rows);
+      for (const io::V2ChunkRef& ref : refs) {
+        if (ref.type == io::kChunkTypeSamples) {
+          io::decode_trace_v2_samples_columnar(reader.bytes(), ref, sink);
+        } else {
+          io::decode_trace_v2_chunk(reader.bytes(), ref, marker_data);
+        }
+      }
+      t.n_rows_ = t.cols_[idx(Field::Ts)].size();
+      for (auto& c : t.cols_) c.resize(t.n_rows_);
+      t.attribute(marker_data.markers, symtab, opts);
+      t.build_zones();
+      return t;
+    } catch (const io::TraceIoError&) {
+      // fall through
+    }
+  }
+  const io::TraceReader::ReadResult rr = reader.read_or_salvage(n_threads);
+  ColumnarTrace t = build(rr.data, symtab, opts);
+  t.salvaged_ = rr.salvaged;
+  return t;
+}
+
+ColumnarTrace ColumnarTrace::open(const std::string& path,
+                                  const SymbolTable& symtab,
+                                  const BuildOptions& opts,
+                                  unsigned n_threads) {
+  return from_reader(io::open_trace(path), symtab, opts, n_threads);
 }
 
 } // namespace fluxtrace::query

@@ -1,7 +1,7 @@
-// The columnar in-memory store the query engine scans (ISSUE 5): one row
-// per PEBS sample, struct-of-arrays so a scan touches only the columns
-// the query references. Attribution happens at build time, mirroring
-// core::TraceIntegrator exactly:
+// The columnar (SoA) trace store the query engine scans (ISSUE 5; batch
+// API since ISSUE 7): one row per PEBS sample, six int64 columns.
+// Attribution happens at build time, mirroring core::TraceIntegrator
+// exactly:
 //
 //   item — the innermost marker window covering (core, ts), or the
 //          sampled id register in use_register_ids mode; kNoItem → -1
@@ -14,13 +14,27 @@
 // All columns are int64 so expression evaluation (expr.hpp) indexes them
 // uniformly; ItemId 2^64-1 (kNoItem) reads back as -1, which is also how
 // a query spells it.
+//
+// The scan interface is batch-oriented: col() hands out a whole column
+// as std::span, block() slices all six for one scan block, and zones()
+// exposes per-block min/max zone maps the engine consults before
+// evaluating a block (finer-grained than FLXI's per-chunk pruning — and
+// sound for *every* query shape, outliers and dur-queries included,
+// because rows here are already fully decoded and attributed: skipping a
+// block only skips rows the filter provably rejects). The old per-row
+// field()/row() accessors are gone; BatchEvaluator (expr.hpp) replaced
+// per-row interpretation.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "fluxtrace/base/symbols.hpp"
-#include "fluxtrace/io/trace_file.hpp"
+#include "fluxtrace/io/trace_reader.hpp"
 #include "fluxtrace/query/expr.hpp"
 
 namespace fluxtrace::query {
@@ -29,6 +43,22 @@ struct BuildOptions {
   /// Take item ids from the sampled register (§V-A timer-switching
   /// architecture) instead of locating samples in marker windows.
   bool use_register_ids = false;
+  /// Zone-map granularity in rows. The engine builds with its scan block
+  /// size here so scan blocks and zones coincide exactly.
+  std::size_t zone_rows = 65536;
+};
+
+/// Per-block column bounds: the zone map consulted for block skipping.
+struct ZoneMap {
+  std::array<std::int64_t, kNumFields> min{};
+  std::array<std::int64_t, kNumFields> max{};
+
+  [[nodiscard]] std::int64_t min_of(Field f) const {
+    return min[static_cast<std::size_t>(f)];
+  }
+  [[nodiscard]] std::int64_t max_of(Field f) const {
+    return max[static_cast<std::size_t>(f)];
+  }
 };
 
 class ColumnarTrace {
@@ -40,40 +70,66 @@ class ColumnarTrace {
                              const SymbolTable& symtab,
                              const BuildOptions& opts = {});
 
-  [[nodiscard]] std::size_t rows() const { return ts_.size(); }
+  /// Build from an opened reader. A clean chunked-v2 image takes the
+  /// column-direct decode path: sample fields stream straight into the
+  /// columns (skipping the 148-byte PebsSample materialization — the
+  /// store never reads 15 of the 16 GPRs). Other formats decode via
+  /// TraceReader, and a damaged file of any format degrades to the
+  /// salvaged subset (salvaged() reports it) instead of erroring.
+  static ColumnarTrace from_reader(const io::TraceReader& reader,
+                                   const SymbolTable& symtab,
+                                   const BuildOptions& opts = {},
+                                   unsigned n_threads = 0);
 
-  [[nodiscard]] std::int64_t field(Field f, std::size_t i) const {
-    switch (f) {
-      case Field::Item: return item_[i];
-      case Field::Func: return func_[i];
-      case Field::Core: return core_[i];
-      case Field::Ts: return ts_[i];
-      case Field::Dur: return dur_[i];
-      case Field::Ip: return ip_[i];
+  /// io::open_trace composed with from_reader — open, decode (with
+  /// salvage fallback), attribute, one call. Throws TraceIoError only
+  /// when the file cannot be read at all.
+  static ColumnarTrace open(const std::string& path,
+                            const SymbolTable& symtab,
+                            const BuildOptions& opts = {},
+                            unsigned n_threads = 0);
+
+  [[nodiscard]] std::size_t rows() const { return n_rows_; }
+
+  /// One whole column. Throws std::out_of_range for an out-of-enum
+  /// field — a forged or miscast Field can never silently read zeros.
+  [[nodiscard]] std::span<const std::int64_t> col(Field f) const {
+    const auto i = static_cast<std::size_t>(f);
+    if (i >= kNumFields) {
+      throw std::out_of_range("ColumnarTrace: field out of range");
     }
-    return 0;
+    return {cols_[i].data(), n_rows_};
   }
 
-  /// Fill one row's FieldVals (all six fields).
-  void row(std::size_t i, FieldVals& out) const {
-    out.set(Field::Item, item_[i]);
-    out.set(Field::Func, func_[i]);
-    out.set(Field::Core, core_[i]);
-    out.set(Field::Ts, ts_[i]);
-    out.set(Field::Dur, dur_[i]);
-    out.set(Field::Ip, ip_[i]);
+  /// All six columns over rows [begin, end) as one scan block.
+  [[nodiscard]] ColumnBlock block(std::size_t begin, std::size_t end) const {
+    ColumnBlock b;
+    b.rows = end - begin;
+    for (std::size_t f = 0; f < kNumFields; ++f) {
+      b.col[f] = std::span<const std::int64_t>(cols_[f]).subspan(begin, b.rows);
+    }
+    return b;
   }
 
-  [[nodiscard]] const std::vector<std::int64_t>& items() const {
-    return item_;
-  }
-  [[nodiscard]] const std::vector<std::int64_t>& funcs() const {
-    return func_;
-  }
-  [[nodiscard]] const std::vector<std::int64_t>& tss() const { return ts_; }
+  /// Zone maps, one per zone_rows() rows in row order (the last zone may
+  /// cover fewer rows). Empty for a zero-row trace.
+  [[nodiscard]] std::size_t zone_rows() const { return zone_rows_; }
+  [[nodiscard]] std::span<const ZoneMap> zones() const { return zones_; }
+
+  /// True when the backing file was damaged and the rows are the
+  /// salvaged subset (from_reader / open paths only).
+  [[nodiscard]] bool salvaged() const { return salvaged_; }
 
  private:
-  std::vector<std::int64_t> item_, func_, core_, ts_, dur_, ip_;
+  void attribute(const std::vector<Marker>& markers, const SymbolTable& symtab,
+                 const BuildOptions& opts);
+  void build_zones();
+
+  std::array<std::vector<std::int64_t>, kNumFields> cols_;
+  std::vector<ZoneMap> zones_;
+  std::size_t n_rows_ = 0;
+  std::size_t zone_rows_ = 65536;
+  bool salvaged_ = false;
 };
 
 } // namespace fluxtrace::query

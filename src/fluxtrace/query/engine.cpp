@@ -29,6 +29,8 @@ struct QueryMetrics {
   obs::Counter& rows_scanned = obs::metrics().counter("query.rows_scanned");
   obs::Counter& rows_matched = obs::metrics().counter("query.rows_matched");
   obs::Counter& chunks_pruned = obs::metrics().counter("query.chunks_pruned");
+  obs::Counter& blocks_skipped =
+      obs::metrics().counter("query.blocks_skipped");
   obs::Counter& index_hits = obs::metrics().counter("query.index_hits");
   obs::Counter& index_writes = obs::metrics().counter("query.index_writes");
 
@@ -270,6 +272,22 @@ QueryEngine::QueryEngine(io::TraceReader reader, SymbolTable symtab,
                          EngineOptions opts)
     : reader_(std::move(reader)), symtab_(std::move(symtab)), opts_(opts) {
   if (opts_.block_rows == 0) opts_.block_rows = 65536;
+  trace_crc_ = io::crc32(reader_.bytes().data(), reader_.bytes().size());
+}
+
+// Out of line so unique_ptr<rt::ThreadPool> works with the forward
+// declaration in the header.
+QueryEngine::QueryEngine(QueryEngine&&) noexcept = default;
+QueryEngine& QueryEngine::operator=(QueryEngine&&) noexcept = default;
+QueryEngine::~QueryEngine() = default;
+
+rt::ThreadPool& QueryEngine::pool(unsigned n_threads) {
+  if (!pool_ || pool_threads_ != n_threads) {
+    pool_.reset(); // join the old workers before spawning new ones
+    pool_ = std::make_unique<rt::ThreadPool>(n_threads);
+    pool_threads_ = n_threads;
+  }
+  return *pool_;
 }
 
 QueryEngine QueryEngine::open(const std::string& path, SymbolTable symtab,
@@ -288,15 +306,12 @@ QueryEngine QueryEngine::from_data(const io::TraceData& data,
 void QueryEngine::ensure_full_loaded() {
   if (full_.has_value()) return;
   OBS_SPAN("query.load_full");
-  io::TraceData data;
-  try {
-    data = reader_.read_parallel(opts_.threads);
-  } catch (const io::TraceIoError&) {
-    data = std::move(reader_.salvage().data);
-    full_salvaged_ = true;
-  }
-  full_ = ColumnarTrace::build(data, symtab_,
-                               BuildOptions{opts_.use_register_ids});
+  // from_reader takes the column-direct decode path for clean v2 images
+  // (no TraceData materialization) and salvages damaged files itself.
+  full_ = ColumnarTrace::from_reader(
+      reader_, symtab_, BuildOptions{opts_.use_register_ids, opts_.block_rows},
+      opts_.threads);
+  full_salvaged_ = full_->salvaged();
   try_build_index();
 }
 
@@ -316,11 +331,19 @@ void QueryEngine::try_build_index() {
 
   FlxiIndex idx;
   idx.trace_size = reader_.bytes().size();
-  idx.trace_crc = io::crc32(reader_.bytes().data(), reader_.bytes().size());
+  idx.trace_crc = trace_crc_;
   idx.symtab_crc = query::symtab_crc(symtab_);
   idx.flags = opts_.use_register_ids ? kFlxiFlagRegisterIds : 0u;
 
   const ColumnarTrace& t = *full_;
+  const std::span<const std::int64_t> tss = t.col(Field::Ts);
+  const std::span<const std::int64_t> items = t.col(Field::Item);
+  const std::span<const std::int64_t> fns = t.col(Field::Func);
+  // Per-chunk func histogram as a flat array indexed by id plus a
+  // touched-id list, reused across chunks — the old map<u32,u32> paid a
+  // node allocation and a tree walk per distinct func per chunk.
+  std::vector<std::uint32_t> counts(symtab_.size(), 0);
+  std::vector<std::uint32_t> touched;
   std::size_t row = 0;
   for (const io::V2ChunkRef& ref : refs) {
     if (ref.type != io::kChunkTypeSamples) continue;
@@ -331,21 +354,29 @@ void QueryEngine::try_build_index() {
     c.max_ts = std::numeric_limits<std::int64_t>::min();
     c.min_item = std::numeric_limits<std::int64_t>::max();
     c.max_item = std::numeric_limits<std::int64_t>::min();
-    std::map<std::uint32_t, std::uint32_t> funcs;
+    touched.clear();
     for (std::uint32_t k = 0; k < ref.n_records; ++k, ++row) {
       if (row >= t.rows()) return; // layout/row mismatch: no index
-      c.min_ts = std::min(c.min_ts, t.tss()[row]);
-      c.max_ts = std::max(c.max_ts, t.tss()[row]);
-      c.min_item = std::min(c.min_item, t.items()[row]);
-      c.max_item = std::max(c.max_item, t.items()[row]);
-      const std::int64_t fn = t.funcs()[row];
-      if (fn >= 0) ++funcs[static_cast<std::uint32_t>(fn)];
+      c.min_ts = std::min(c.min_ts, tss[row]);
+      c.max_ts = std::max(c.max_ts, tss[row]);
+      c.min_item = std::min(c.min_item, items[row]);
+      c.max_item = std::max(c.max_item, items[row]);
+      const std::int64_t fn = fns[row];
+      if (fn >= 0 && static_cast<std::size_t>(fn) < counts.size()) {
+        const auto f = static_cast<std::uint32_t>(fn);
+        if (counts[f]++ == 0) touched.push_back(f);
+      }
     }
     if (c.n_records == 0) {
       c.min_ts = c.min_item = 0;
       c.max_ts = c.max_item = -1;
     }
-    c.func_counts.assign(funcs.begin(), funcs.end());
+    std::sort(touched.begin(), touched.end());
+    c.func_counts.reserve(touched.size());
+    for (const std::uint32_t f : touched) {
+      c.func_counts.emplace_back(f, counts[f]);
+      counts[f] = 0;
+    }
     idx.chunks.push_back(std::move(c));
   }
   if (row != t.rows()) return; // samples outside the walked chunks
@@ -384,8 +415,7 @@ QueryEngine::Loaded QueryEngine::load_for(const Query& q,
       // rewrite under the current mode.
       const bool fresh =
           idx->trace_size == reader_.bytes().size() &&
-          idx->trace_crc ==
-              io::crc32(reader_.bytes().data(), reader_.bytes().size()) &&
+          idx->trace_crc == trace_crc_ &&
           idx->symtab_crc == query::symtab_crc(symtab_) &&
           (idx->flags & kFlxiFlagRegisterIds) ==
               (opts_.use_register_ids ? kFlxiFlagRegisterIds : 0u);
@@ -463,8 +493,9 @@ QueryEngine::Loaded QueryEngine::load_for(const Query& q,
         decode_ok = false; // index was stale after all: full scan below
       }
       if (decode_ok) {
-        scratch = ColumnarTrace::build(subset, symtab_,
-                                       BuildOptions{opts_.use_register_ids});
+        scratch = ColumnarTrace::build(
+            subset, symtab_,
+            BuildOptions{opts_.use_register_ids, opts_.block_rows});
         out.table = &*scratch;
         out.stats.chunks_total = index_->chunks.size();
         out.stats.chunks_read = kept;
@@ -499,7 +530,7 @@ using GroupAcc = GroupPartial;
 /// final result is independent of which thread ran which block.
 struct BlockOut {
   std::size_t matched = 0;
-  std::vector<std::size_t> rows; ///< row mode: matched row indices
+  std::vector<std::uint32_t> rows; ///< row mode: matched in-block offsets
   std::map<std::vector<std::int64_t>, GroupAcc> groups;
   /// outliers mode: {item, func} -> dur (identical for every row of a
   /// bucket, so last-write-wins is deterministic)
@@ -508,37 +539,129 @@ struct BlockOut {
 
 enum class Mode : std::uint8_t { Rows, Group, Outliers };
 
-void scan_block(const Query& q, const ColumnarTrace& t, Mode mode,
-                std::size_t begin, std::size_t end, BlockOut& out) {
-  FieldVals vals;
-  for (std::size_t i = begin; i < end; ++i) {
-    t.row(i, vals);
-    if (q.filter && !q.filter->test(vals)) continue;
-    ++out.matched;
-    switch (mode) {
-      case Mode::Rows: out.rows.push_back(i); break;
-      case Mode::Group: {
-        std::vector<std::int64_t> key;
-        key.reserve(q.group_keys.size());
-        for (const Field f : q.group_keys) key.push_back(vals.get(f));
-        GroupAcc& g = out.groups[std::move(key)];
-        if (g.aggs.empty()) g.aggs.resize(q.aggs.size());
-        ++g.count;
-        for (std::size_t a = 0; a < q.aggs.size(); ++a) {
-          g.aggs[a].observe(q.aggs[a], vals.get(q.aggs[a].field));
-        }
-        break;
-      }
-      case Mode::Outliers: {
-        const std::int64_t item = vals.get(Field::Item);
-        const std::int64_t fn = vals.get(Field::Func);
-        if (item >= 0 && fn >= 0) {
-          out.buckets[{item, fn}] = vals.get(Field::Dur);
-        }
+/// Can any row of a zone satisfy the filter's prune hints? False means
+/// the whole block is provably filtered out. Sound in every mode —
+/// unlike FLXI chunk pruning, the dur column is already attributed over
+/// the full row set, so skipping here only skips rows the filter itself
+/// would reject.
+bool zone_may_match(const PruneHints& h, const ZoneMap& z) {
+  if (!h.ts.full() &&
+      (h.ts.empty() ||
+       !h.ts.intersects(z.min_of(Field::Ts), z.max_of(Field::Ts)))) {
+    return false;
+  }
+  if (!h.item.full() &&
+      (h.item.empty() ||
+       !h.item.intersects(z.min_of(Field::Item), z.max_of(Field::Item)))) {
+    return false;
+  }
+  if (h.funcs.has_value()) {
+    const std::int64_t lo = z.min_of(Field::Func);
+    const std::int64_t hi = z.max_of(Field::Func);
+    bool any = false;
+    for (const SymbolId id : *h.funcs) {
+      const auto v = static_cast<std::int64_t>(id);
+      if (v >= lo && v <= hi) {
+        any = true;
         break;
       }
     }
+    if (!any) return false;
   }
+  return true;
+}
+
+/// Batch scan of rows [begin, end): one BatchEvaluator::select() for the
+/// filter, then mode-specific accumulation over the matched offsets via
+/// raw column pointers. Results build in `local` state and move into
+/// `out` once at the end, so concurrent blocks never write the shared
+/// parts array per-row (the old per-row writes false-shared cache lines
+/// between adjacent blocks).
+void scan_block(const Query& q, const ColumnarTrace& t, Mode mode,
+                bool portable, std::size_t begin, std::size_t end,
+                BlockOut& out) {
+  BlockOut local;
+  const ColumnBlock block = t.block(begin, end);
+  const std::size_t rows = block.rows;
+
+  // Matched in-block offsets. With no filter every row matches and the
+  // index buffer is skipped entirely.
+  std::vector<std::uint32_t> sel;
+  std::size_t m = rows;
+  if (q.filter) {
+    sel.resize(rows);
+    BatchEvaluator ev(*q.filter, portable);
+    m = ev.select(block, sel.data());
+  }
+  local.matched = m;
+  const auto offset_at = [&](std::size_t k) {
+    return q.filter ? static_cast<std::size_t>(sel[k]) : k;
+  };
+
+  switch (mode) {
+    case Mode::Rows: {
+      if (q.filter) {
+        sel.resize(m);
+        local.rows = std::move(sel);
+      } else {
+        local.rows.resize(rows);
+        for (std::size_t k = 0; k < rows; ++k) {
+          local.rows[k] = static_cast<std::uint32_t>(k);
+        }
+      }
+      break;
+    }
+    case Mode::Group: {
+      const std::size_t nk = q.group_keys.size();
+      const std::size_t na = q.aggs.size();
+      // Column base pointers resolved once; the row loop is loads only.
+      std::vector<const std::int64_t*> key_col(nk);
+      for (std::size_t k = 0; k < nk; ++k) {
+        key_col[k] = block[q.group_keys[k]].data();
+      }
+      std::vector<const std::int64_t*> agg_col(na);
+      for (std::size_t a = 0; a < na; ++a) {
+        agg_col[a] = block[q.aggs[a].field].data();
+      }
+      // The scratch key is reused every row; a map node allocates only
+      // when a new group appears (the old code heap-allocated a key
+      // vector per matched row — the hottest allocation in the profile).
+      std::vector<std::int64_t> key(nk);
+      auto last = local.groups.end();
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t i = offset_at(k);
+        for (std::size_t c = 0; c < nk; ++c) key[c] = key_col[c][i];
+        // Rows are time-ordered and items arrive in runs, so the last
+        // group repeats far more often than not.
+        if (last == local.groups.end() || last->first != key) {
+          last = local.groups.find(key);
+          if (last == local.groups.end()) {
+            last = local.groups.emplace(key, GroupAcc{}).first;
+            last->second.aggs.resize(na);
+          }
+        }
+        GroupAcc& g = last->second;
+        ++g.count;
+        for (std::size_t a = 0; a < na; ++a) {
+          g.aggs[a].observe(q.aggs[a], agg_col[a][i]);
+        }
+      }
+      break;
+    }
+    case Mode::Outliers: {
+      const std::int64_t* items = block[Field::Item].data();
+      const std::int64_t* fns = block[Field::Func].data();
+      const std::int64_t* durs = block[Field::Dur].data();
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t i = offset_at(k);
+        const std::int64_t item = items[i];
+        const std::int64_t fn = fns[i];
+        if (item >= 0 && fn >= 0) local.buckets[{item, fn}] = durs[i];
+      }
+      break;
+    }
+  }
+  out = std::move(local);
 }
 
 } // namespace
@@ -564,17 +687,38 @@ QueryResult QueryEngine::run(const Query& q) {
   const std::size_t n = t.rows();
   const std::size_t block = opts_.block_rows;
   const std::size_t n_blocks = n == 0 ? 0 : (n + block - 1) / block;
+
+  // Zone-map block skipping: when the store's zones line up with the
+  // scan blocks and the filter yields selective hints, blocks whose
+  // bounds cannot satisfy the predicate are never evaluated. The skip
+  // set is computed up front, deterministically, before any thread runs.
+  std::vector<char> skip(n_blocks, 0);
+  std::size_t blocks_skipped = 0;
+  std::size_t rows_skipped = 0;
+  if (q.filter && t.zone_rows() == block && t.zones().size() == n_blocks) {
+    const PruneHints hints = extract_prune_hints(*q.filter);
+    if (hints.selective()) {
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        if (!zone_may_match(hints, t.zones()[b])) {
+          skip[b] = 1;
+          ++blocks_skipped;
+          rows_skipped += std::min(n, (b + 1) * block) - b * block;
+        }
+      }
+    }
+  }
+
   std::vector<BlockOut> parts(n_blocks);
   {
     OBS_SPAN("query.scan");
     const auto run_block = [&](std::size_t b) {
+      if (skip[b]) return;
       const std::size_t begin = b * block;
       const std::size_t end = std::min(n, begin + block);
-      scan_block(q, t, mode, begin, end, parts[b]);
+      scan_block(q, t, mode, opts_.portable_eval, begin, end, parts[b]);
     };
-    if (loaded.stats.threads > 1 && n_blocks > 1) {
-      rt::ThreadPool pool(loaded.stats.threads);
-      pool.parallel_for(n_blocks, run_block);
+    if (loaded.stats.threads > 1 && n_blocks - blocks_skipped > 1) {
+      pool(loaded.stats.threads).parallel_for(n_blocks, run_block);
     } else {
       for (std::size_t b = 0; b < n_blocks; ++b) run_block(b);
     }
@@ -582,10 +726,13 @@ QueryResult QueryEngine::run(const Query& q) {
 
   QueryResult res;
   res.stats = loaded.stats;
-  res.stats.rows_scanned = n;
+  res.stats.rows_scanned = n - rows_skipped;
+  res.stats.blocks_total = n_blocks;
+  res.stats.blocks_skipped = blocks_skipped;
   for (const BlockOut& p : parts) res.stats.rows_matched += p.matched;
-  QueryMetrics::get().rows_scanned.inc(n);
+  QueryMetrics::get().rows_scanned.inc(n - rows_skipped);
   QueryMetrics::get().rows_matched.inc(res.stats.rows_matched);
+  QueryMetrics::get().blocks_skipped.inc(blocks_skipped);
 
   // Render func ids as names so results read like flxt_report output;
   // unresolved ids (-1) stay numeric.
@@ -610,13 +757,18 @@ QueryResult QueryEngine::run(const Query& q) {
       for (const Field f : cols) {
         res.columns.emplace_back(to_string(f));
       }
-      FieldVals vals;
-      for (const BlockOut& p : parts) {
-        for (const std::size_t i : p.rows) {
-          t.row(i, vals);
+      std::vector<std::span<const std::int64_t>> proj;
+      proj.reserve(cols.size());
+      for (const Field f : cols) proj.push_back(t.col(f));
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        const std::size_t base = b * block;
+        for (const std::uint32_t off : parts[b].rows) {
+          const std::size_t i = base + off;
           std::vector<Cell> row;
           row.reserve(cols.size());
-          for (const Field f : cols) row.push_back(field_cell(f, vals.get(f)));
+          for (std::size_t c = 0; c < cols.size(); ++c) {
+            row.push_back(field_cell(cols[c], proj[c][i]));
+          }
           res.rows.push_back(std::move(row));
         }
       }

@@ -33,7 +33,19 @@
 // count; per-block partials merge in block order, and every aggregate is
 // order-independent (wrapping sums, min/max, percentiles over sorted
 // collected values) — so `threads=1` and `threads=N` produce the same
-// bytes, which the test suite asserts on fuzzed traces.
+// bytes, which the test suite asserts on fuzzed traces. Each scan worker
+// runs a BatchEvaluator (expr.hpp) over whole blocks — the vectorized
+// kernels are proven bit-identical to the scalar interpreter, so the
+// batch rewrite changed no result byte either.
+//
+// Zone maps: the columnar store carries per-block min/max bounds for
+// every column, built at the engine's block size so zones and scan
+// blocks coincide. Before a block is evaluated the engine checks the
+// filter's prune hints against its zone map and skips blocks that
+// provably match nothing. Unlike FLXI chunk pruning this is sound for
+// *every* query shape — outliers and dur-queries included — because the
+// rows are already decoded and attributed; a skipped block only skips
+// rows the filter rejects.
 //
 // FLXI pruning: when a valid sidecar (flxi.hpp) is available and the
 // query's prune hints are selective, sample chunks whose zone maps
@@ -61,6 +73,10 @@
 #include "fluxtrace/query/columnar.hpp"
 #include "fluxtrace/query/expr.hpp"
 #include "fluxtrace/query/flxi.hpp"
+
+namespace fluxtrace::rt {
+class ThreadPool;
+}
 
 namespace fluxtrace::query {
 
@@ -135,6 +151,8 @@ struct ScanStats {
   std::size_t chunks_pruned = 0; ///< skipped via the FLXI zone maps
   std::size_t rows_scanned = 0;  ///< rows the filter was evaluated over
   std::size_t rows_matched = 0;
+  std::size_t blocks_total = 0;   ///< scan blocks in the loaded rows
+  std::size_t blocks_skipped = 0; ///< skipped via in-memory zone maps
   bool index_used = false;    ///< a valid FLXI sidecar pruned this scan
   bool index_written = false; ///< this run persisted a fresh sidecar
   bool salvaged = false;      ///< strict read failed; rows are best-effort
@@ -153,6 +171,10 @@ struct EngineOptions {
   bool use_register_ids = false;  ///< columnar BuildOptions passthrough
   bool use_index = true;          ///< consult a FLXI sidecar for pruning
   bool write_index = true;        ///< persist FLXI after a clean full scan
+  /// Route filter evaluation through the per-row scalar interpreter
+  /// instead of the vector kernels (bit-identical by construction; the
+  /// CI portable leg builds with this as the default).
+  bool portable_eval = kPortableEvalDefault;
 };
 
 /// A trace opened for querying. Holds the raw file image (via
@@ -184,6 +206,10 @@ class QueryEngine {
   [[nodiscard]] const io::TraceReader& reader() const { return reader_; }
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
 
+  QueryEngine(QueryEngine&&) noexcept;
+  QueryEngine& operator=(QueryEngine&&) noexcept;
+  ~QueryEngine();
+
  private:
   QueryEngine(io::TraceReader reader, SymbolTable symtab, EngineOptions opts);
 
@@ -197,6 +223,7 @@ class QueryEngine {
   Loaded load_for(const Query& q, std::optional<ColumnarTrace>& scratch);
   void ensure_full_loaded();
   void try_build_index();
+  rt::ThreadPool& pool(unsigned n_threads);
 
   io::TraceReader reader_;
   SymbolTable symtab_;
@@ -208,6 +235,15 @@ class QueryEngine {
   bool index_load_tried_ = false;     ///< sidecar file probed once per open
   bool index_written_ = false;
   std::size_t chunks_total_ = 0;      ///< sample chunks (0: not clean v2)
+  /// Scan workers, created once and reused across run() calls — spawning
+  /// a pool per query was one of the thread-scaling plateau's causes.
+  std::unique_ptr<rt::ThreadPool> pool_;
+  unsigned pool_threads_ = 0;
+  // CRC of the trace image, computed once at construction: the bytes
+  // are immutable for the engine's lifetime, and both the sidecar
+  // validate and the sidecar write path pin them — re-hashing a
+  // multi-hundred-MB image on each path doubled cold-open time.
+  std::uint32_t trace_crc_ = 0;
 };
 
 } // namespace fluxtrace::query

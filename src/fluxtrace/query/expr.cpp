@@ -14,31 +14,14 @@ using detail::Token;
 
 // Wrap-around signed arithmetic: queries must never fault, and signed
 // overflow is UB, so all arithmetic goes through uint64 two's-complement.
-std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
-  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
-                                   static_cast<std::uint64_t>(b));
-}
-std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
-  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
-                                   static_cast<std::uint64_t>(b));
-}
-std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
-  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
-                                   static_cast<std::uint64_t>(b));
-}
-std::int64_t wrap_neg(std::int64_t a) {
-  return static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(a));
-}
-std::int64_t safe_div(std::int64_t a, std::int64_t b) {
-  if (b == 0) return 0;
-  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return a;
-  return a / b;
-}
-std::int64_t safe_mod(std::int64_t a, std::int64_t b) {
-  if (b == 0) return 0;
-  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return 0;
-  return a % b;
-}
+// The definitions live in expr.hpp's detail namespace, shared with the
+// batch kernels (batch.cpp) so both evaluators agree bit-for-bit.
+using detail::safe_div;
+using detail::safe_mod;
+using detail::wrap_add;
+using detail::wrap_mul;
+using detail::wrap_neg;
+using detail::wrap_sub;
 
 std::unique_ptr<Expr> make_lit(std::int64_t v) {
   auto e = std::make_unique<Expr>();

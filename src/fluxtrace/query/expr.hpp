@@ -19,10 +19,12 @@
 //     skip chunks without ever changing a query's result.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -176,5 +178,122 @@ struct PruneHints {
 };
 
 [[nodiscard]] PruneHints extract_prune_hints(const Expr& e);
+
+// --- batch (columnar) evaluation ---------------------------------------
+
+namespace detail {
+
+// The language's total int64 semantics, shared verbatim by the scalar
+// interpreter (Expr::eval) and the batch kernels (BatchEvaluator) — both
+// MUST route through these so vectorized and scalar evaluation are
+// bit-identical by construction. Arithmetic wraps (two's complement via
+// uint64), division/modulo by zero is 0, and INT64_MIN / -1 is defined
+// (not UB): a for division, 0 for modulo.
+
+[[nodiscard]] inline std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+[[nodiscard]] inline std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+
+[[nodiscard]] inline std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+
+[[nodiscard]] inline std::int64_t wrap_neg(std::int64_t a) {
+  return static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(a));
+}
+
+[[nodiscard]] inline std::int64_t safe_div(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return a;
+  return a / b;
+}
+
+[[nodiscard]] inline std::int64_t safe_mod(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return 0;
+  return a % b;
+}
+
+} // namespace detail
+
+/// One fixed-size slice of the columnar store: a span per column, all of
+/// length `rows`. The batch evaluator reads only the columns the
+/// expression references (the portable fallback reads all six), so
+/// producers should fill every slot — ColumnarTrace::block() does.
+struct ColumnBlock {
+  std::array<std::span<const std::int64_t>, kNumFields> col{};
+  std::size_t rows = 0;
+
+  [[nodiscard]] std::span<const std::int64_t> operator[](Field f) const {
+    return col[static_cast<std::size_t>(f)];
+  }
+};
+
+/// Compile-time default for BatchEvaluator's portable mode: the
+/// FLUXTRACE_PORTABLE_EVAL build (CMake -DFLUXTRACE_PORTABLE_EVAL=ON, the
+/// CI fallback leg) routes every evaluation through the per-row scalar
+/// interpreter instead of the vector kernels.
+#if defined(FLUXTRACE_PORTABLE_EVAL)
+inline constexpr bool kPortableEvalDefault = true;
+#else
+inline constexpr bool kPortableEvalDefault = false;
+#endif
+
+/// Evaluates one expression over whole column blocks at a time.
+///
+/// The vector path walks the AST once per block, computing every node
+/// over all rows into reusable scratch vectors — tight branch-free loops
+/// over contiguous int64 the compiler auto-vectorizes. `&&`/`||` are
+/// evaluated eagerly ((a != 0) & (b != 0)); because the language's
+/// semantics are total (nothing faults, nothing has side effects) this
+/// is bit-identical to the scalar interpreter's short-circuit. The
+/// portable path (portable = true, the build default under
+/// FLUXTRACE_PORTABLE_EVAL) gathers each row into FieldVals and calls
+/// Expr::eval — the proven-equivalent scalar fallback the fuzz tests
+/// compare against.
+///
+/// Not thread-safe: the scratch is per-evaluator, so give each scan
+/// worker its own instance (construction is one small AST walk).
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(const Expr& e, bool portable = kPortableEvalDefault);
+
+  /// Evaluate the expression for every row; writes block.rows values.
+  void eval(const ColumnBlock& block, std::int64_t* out);
+
+  /// Selection: indices (ascending) of rows where the expression is
+  /// non-zero. `out_idx` needs room for block.rows entries; returns the
+  /// match count.
+  [[nodiscard]] std::size_t select(const ColumnBlock& block,
+                                   std::uint32_t* out_idx);
+
+  [[nodiscard]] bool portable() const { return portable_; }
+
+ private:
+  /// A node's value over the current block: either a computed vector
+  /// (data, one value per row) or a broadcast constant (data == nullptr).
+  /// Constant-folding literals here keeps `ts % 5 != 0` at two vector
+  /// kernels instead of four.
+  struct Operand {
+    const std::int64_t* data = nullptr;
+    std::int64_t c = 0;
+  };
+
+  Operand eval_node(const Expr& e, const ColumnBlock& block);
+  std::int64_t* slot();
+
+  const Expr* expr_;
+  bool portable_;
+  std::size_t n_ = 0;         // rows in the block being evaluated
+  std::size_t next_slot_ = 0; // scratch cursor, reset per eval
+  std::vector<std::vector<std::int64_t>> scratch_;
+};
 
 } // namespace fluxtrace::query

@@ -1,5 +1,7 @@
 #include "fluxtrace/query/partials.hpp"
 
+#include <algorithm>
+
 #include "fluxtrace/query/engine.hpp"
 
 namespace fluxtrace::query {
@@ -49,11 +51,19 @@ std::int64_t AggPartial::finish(const Aggregate& a, std::uint64_t count) {
     case Aggregate::Kind::P50:
     case Aggregate::Kind::P95:
     case Aggregate::Kind::P99: {
-      std::sort(coll.begin(), coll.end());
       const unsigned p = a.kind == Aggregate::Kind::P50   ? 50
                          : a.kind == Aggregate::Kind::P95 ? 95
                                                           : 99;
-      return coll.empty() ? 0 : percentile_sorted(coll, p);
+      const std::size_t n = coll.size();
+      if (n == 0) return 0;
+      // Nearest-rank selection: nth_element places exactly the value a
+      // full sort would leave at rank-1, in O(n) instead of O(n log n).
+      std::size_t rank = (static_cast<std::size_t>(p) * n + 99) / 100;
+      if (rank == 0) rank = 1;
+      if (rank > n) rank = n;
+      const auto nth = coll.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+      std::nth_element(coll.begin(), nth, coll.end());
+      return *nth;
     }
   }
   return 0;

@@ -99,6 +99,8 @@ void print_stats(std::ostream& os, const ScanStats& stats) {
   if (stats.index_used) os << " (index)";
   if (stats.index_written) os << " (index written)";
   if (stats.salvaged) os << " (salvaged)";
+  os << ", blocks " << stats.blocks_total << " skipped "
+     << stats.blocks_skipped;
   os << ", threads " << stats.threads << "\n";
 }
 

@@ -28,20 +28,15 @@ StreamingQuery::StreamingQuery(Query q, SymbolTable symtab, StreamOptions opts)
   if (query_.outliers.has_value()) {
     detector_.emplace(query_.outliers->config);
   }
+  if (query_.filter) {
+    filter_eval_.emplace(*query_.filter, opts_.portable_eval);
+  }
 }
 
-void StreamingQuery::fold_row(std::int64_t item, std::int64_t func,
-                              std::int64_t core, std::int64_t ts,
-                              std::int64_t dur, std::int64_t ip,
-                              WindowResult& w) {
-  FieldVals vals;
-  vals.set(Field::Item, item);
-  vals.set(Field::Func, func);
-  vals.set(Field::Core, core);
-  vals.set(Field::Ts, ts);
-  vals.set(Field::Dur, dur);
-  vals.set(Field::Ip, ip);
-  if (query_.filter && !query_.filter->test(vals)) return;
+void StreamingQuery::fold_matched(std::size_t row, WindowResult& w) {
+  const auto at = [&](Field f) {
+    return wincols_[static_cast<std::size_t>(f)][row];
+  };
   ++w.rows_matched;
   ++stats_.rows_matched;
   StreamMetrics::get().rows.inc();
@@ -49,12 +44,12 @@ void StreamingQuery::fold_row(std::int64_t item, std::int64_t func,
   if (!query_.aggs.empty()) {
     std::vector<std::int64_t> key;
     key.reserve(query_.group_keys.size());
-    for (const Field f : query_.group_keys) key.push_back(vals.get(f));
+    for (const Field f : query_.group_keys) key.push_back(at(f));
     GroupPartial& g = groups_[std::move(key)];
     if (g.aggs.empty()) g.aggs.resize(query_.aggs.size());
     ++g.count;
     for (std::size_t a = 0; a < query_.aggs.size(); ++a) {
-      g.aggs[a].observe(query_.aggs[a], vals.get(query_.aggs[a].field));
+      g.aggs[a].observe(query_.aggs[a], at(query_.aggs[a].field));
     }
   } else if (!query_.outliers.has_value()) {
     // Row mode: keep the live tail for snapshot().
@@ -63,19 +58,19 @@ void StreamingQuery::fold_row(std::int64_t item, std::int64_t func,
             ? std::vector<Field>{Field::Item, Field::Func, Field::Core,
                                  Field::Ts,  Field::Dur,  Field::Ip}
             : query_.select;
-    std::vector<Cell> row;
-    row.reserve(cols.size());
+    std::vector<Cell> row_cells;
+    row_cells.reserve(cols.size());
     for (const Field f : cols) {
-      const std::int64_t v = vals.get(f);
+      const std::int64_t v = at(f);
       if (f == Field::Func && v >= 0 &&
           static_cast<std::size_t>(v) < symtab_.size()) {
-        row.push_back(
+        row_cells.push_back(
             Cell::of_text(std::string(symtab_.name(static_cast<SymbolId>(v)))));
       } else {
-        row.push_back(Cell::of_int(v));
+        row_cells.push_back(Cell::of_int(v));
       }
     }
-    row_tail_.push_back(std::move(row));
+    row_tail_.push_back(std::move(row_cells));
     if (row_tail_.size() > opts_.row_tail) row_tail_.pop_front();
   }
 }
@@ -93,13 +88,31 @@ void StreamingQuery::emit_window(std::uint32_t core, ItemId item, Tsc enter,
   // seal innermost-first (earlier leave), so an inner window has already
   // consumed its rows by the time the outer one gets here — the same
   // innermost-cover rule the batch columnar build applies.
+  //
+  // Rows gather into the per-window column buffers in fold order —
+  // unresolved-ip rows first (pending order, func = -1, dur = 0), then
+  // per-function ascending — and the filter evaluates once over the
+  // whole window as one column block.
   struct FnSpan {
     Tsc first = 0;
     Tsc last = 0;
     std::vector<PendingSample> rows;
   };
   std::map<SymbolId, FnSpan> by_fn;
-  std::uint64_t unresolved = 0;
+
+  for (auto& c : wincols_) c.clear();
+  const auto push_row = [&](std::int64_t fn, std::int64_t ts, std::int64_t dur,
+                            std::int64_t ip) {
+    wincols_[static_cast<std::size_t>(Field::Item)].push_back(
+        static_cast<std::int64_t>(item));
+    wincols_[static_cast<std::size_t>(Field::Func)].push_back(fn);
+    wincols_[static_cast<std::size_t>(Field::Core)].push_back(
+        static_cast<std::int64_t>(core));
+    wincols_[static_cast<std::size_t>(Field::Ts)].push_back(ts);
+    wincols_[static_cast<std::size_t>(Field::Dur)].push_back(dur);
+    wincols_[static_cast<std::size_t>(Field::Ip)].push_back(ip);
+  };
+
   for (auto it = cs.pending.begin(); it != cs.pending.end();) {
     if (it->tsc >= enter && it->tsc <= leave) {
       ++w.rows;
@@ -115,12 +128,9 @@ void StreamingQuery::emit_window(std::uint32_t core, ItemId item, Tsc enter,
         }
         sp.rows.push_back(*it);
       } else {
-        ++unresolved;
         // Unresolvable ip: the row still exists (func = -1, dur = 0).
-        fold_row(static_cast<std::int64_t>(item), -1,
-                 static_cast<std::int64_t>(core),
-                 static_cast<std::int64_t>(it->tsc), 0,
-                 static_cast<std::int64_t>(it->ip), w);
+        push_row(-1, static_cast<std::int64_t>(it->tsc), 0,
+                 static_cast<std::int64_t>(it->ip));
       }
       it = cs.pending.erase(it);
     } else {
@@ -128,32 +138,59 @@ void StreamingQuery::emit_window(std::uint32_t core, ItemId item, Tsc enter,
     }
   }
 
+  // Detector observations fire after the owning function's rows fold, in
+  // by_fn order — `end` marks where each function's rows stop.
+  struct FnMark {
+    SymbolId fn = kInvalidSymbol;
+    Tsc span = 0;
+    std::size_t end = 0;
+  };
+  std::vector<FnMark> marks;
+  marks.reserve(by_fn.size());
   for (const auto& [fn, sp] : by_fn) {
     const Tsc span = sp.last - sp.first;
     for (const PendingSample& s : sp.rows) {
-      fold_row(static_cast<std::int64_t>(item),
-               static_cast<std::int64_t>(fn),
-               static_cast<std::int64_t>(core),
+      push_row(static_cast<std::int64_t>(fn),
                static_cast<std::int64_t>(s.tsc),
                static_cast<std::int64_t>(span),
-               static_cast<std::int64_t>(s.ip), w);
+               static_cast<std::int64_t>(s.ip));
     }
-    if (detector_.has_value()) {
+    marks.push_back(
+        {fn, span, wincols_[static_cast<std::size_t>(Field::Item)].size()});
+  }
+
+  const std::size_t n = wincols_[static_cast<std::size_t>(Field::Item)].size();
+  if (filter_eval_.has_value() && n > 0) {
+    filter_mask_.resize(n);
+    ColumnBlock blk;
+    blk.rows = n;
+    for (std::size_t f = 0; f < kNumFields; ++f) {
+      blk.col[f] = std::span<const std::int64_t>(wincols_[f]);
+    }
+    filter_eval_->eval(blk, filter_mask_.data());
+  }
+
+  std::size_t next_mark = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!filter_eval_.has_value() || filter_mask_[i] != 0) fold_matched(i, w);
+    while (next_mark < marks.size() && marks[next_mark].end == i + 1) {
+      const FnMark& mk = marks[next_mark++];
+      if (!detector_.has_value()) continue;
       // Continuous outliers: one {item, func} elapsed estimate per
       // window, flagged against the function's running statistics in
       // the very call that closed the window.
-      if (detector_->observe(item, fn, span)) {
+      if (detector_->observe(item, mk.fn, mk.span)) {
         StreamAlert a;
         a.item = item;
-        a.func = fn;
+        a.func = mk.fn;
         a.core = core;
         a.window_enter = enter;
         a.window_leave = leave;
-        a.elapsed = span;
-        a.mean = detector_->mean(fn);
-        a.sigma = detector_->sigma(fn);
+        a.elapsed = mk.span;
+        a.mean = detector_->mean(mk.fn);
+        a.sigma = detector_->sigma(mk.fn);
         a.sigmas = a.sigma > 0.0
-                       ? (static_cast<double>(span) - a.mean) / a.sigma
+                       ? (static_cast<double>(mk.span) - a.mean) / a.sigma
                        : 0.0;
         w.alerts.push_back(a);
         ++stats_.alerts;
@@ -161,7 +198,6 @@ void StreamingQuery::emit_window(std::uint32_t core, ItemId item, Tsc enter,
       }
     }
   }
-  (void)unresolved;
 
   ++stats_.windows_closed;
   StreamMetrics::get().windows.inc();

@@ -29,6 +29,7 @@
 // quantity a bounded-memory follower can know without replaying the file.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -87,6 +88,9 @@ struct StreamOptions {
   /// Samples older than the core watermark by more than this slack that
   /// still match no window are counted unattributed and dropped.
   Tsc attribution_slack = 0;
+  /// Evaluate the filter through the per-row scalar interpreter instead
+  /// of the vector kernels (bit-identical either way).
+  bool portable_eval = kPortableEvalDefault;
 };
 
 class StreamingQuery {
@@ -141,9 +145,9 @@ class StreamingQuery {
                           std::vector<WindowResult>& out);
   void emit_window(std::uint32_t core, ItemId item, Tsc enter, Tsc leave,
                    CoreState& cs, std::vector<WindowResult>& out);
-  void fold_row(std::int64_t item, std::int64_t func, std::int64_t core,
-                std::int64_t ts, std::int64_t dur, std::int64_t ip,
-                WindowResult& w);
+  /// Fold window row `row` (an index into wincols_) into the pipeline
+  /// state; the filter has already accepted it.
+  void fold_matched(std::size_t row, WindowResult& w);
 
   Query query_;
   SymbolTable symtab_;
@@ -155,6 +159,15 @@ class StreamingQuery {
   std::map<std::vector<std::int64_t>, GroupPartial> groups_;
   std::deque<std::vector<Cell>> row_tail_;
   std::optional<core::FluctuationDetector> detector_;
+
+  // Batch filter evaluation (ISSUE 7): each sealed window's rows gather
+  // into these per-window column buffers (reused across windows) and the
+  // filter runs once per window through the same BatchEvaluator the
+  // batch engine scans with — identical values per row, so snapshots
+  // stay bit-identical to the per-row interpreter.
+  std::optional<BatchEvaluator> filter_eval_;
+  std::array<std::vector<std::int64_t>, kNumFields> wincols_;
+  std::vector<std::int64_t> filter_mask_;
 
   StreamStats stats_;
 };

@@ -7,10 +7,9 @@
 
 #include <sstream>
 
-// Deprecation coverage: these tests deliberately exercise the legacy
-// read_trace() dispatch that io::open_trace() replaced.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// These tests deliberately exercise the legacy read_trace() dispatch,
+// now io-internal plumbing (io/legacy.hpp) behind io::open_trace().
+#include "fluxtrace/io/legacy.hpp"
 
 namespace fluxtrace::io {
 namespace {
@@ -222,4 +221,3 @@ TEST(ChunkedTrace, StrictReadOfDamagedFileThrows) {
 } // namespace
 } // namespace fluxtrace::io
 
-#pragma GCC diagnostic pop

@@ -7,11 +7,10 @@
 
 #include "fluxtrace/core/integrator.hpp"
 
-// Deprecation coverage: these tests deliberately exercise the legacy
-// read_compact()/load_compact() entry points that io::open_trace()
-// replaced.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// These tests deliberately exercise the legacy read_compact()/
+// load_compact() entry points, now io-internal plumbing (io/legacy.hpp)
+// behind io::open_trace().
+#include "fluxtrace/io/legacy.hpp"
 
 namespace fluxtrace::io {
 namespace {
@@ -158,4 +157,3 @@ TEST(CompactTrace, IntegratesIdenticallyToFullFormat) {
 } // namespace
 } // namespace fluxtrace::io
 
-#pragma GCC diagnostic pop

@@ -10,10 +10,10 @@
 #include "fluxtrace/io/compact.hpp"
 #include "fluxtrace/io/trace_file.hpp"
 
-// Deprecation coverage: these tests deliberately exercise the legacy
-// read_*()/load_*() entry points that io::open_trace() replaced.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// These tests deliberately exercise the legacy read_*()/load_*() entry
+// points, now io-internal plumbing (io/legacy.hpp) behind
+// io::open_trace().
+#include "fluxtrace/io/legacy.hpp"
 
 namespace fluxtrace::io {
 namespace {
@@ -170,4 +170,3 @@ TEST(TraceCorruption, CompactSaveLoadRoundTrip) {
 } // namespace
 } // namespace fluxtrace::io
 
-#pragma GCC diagnostic pop

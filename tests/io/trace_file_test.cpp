@@ -4,10 +4,10 @@
 
 #include <sstream>
 
-// Deprecation coverage: these tests deliberately exercise the legacy
-// read_trace()/load_trace() entry points that io::open_trace() replaced.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// These tests deliberately exercise the legacy read_trace()/load_trace()
+// entry points, now io-internal plumbing (io/legacy.hpp) behind
+// io::open_trace().
+#include "fluxtrace/io/legacy.hpp"
 
 namespace fluxtrace::io {
 namespace {
@@ -149,4 +149,3 @@ TEST(TraceFile, CsvExports) {
 } // namespace
 } // namespace fluxtrace::io
 
-#pragma GCC diagnostic pop

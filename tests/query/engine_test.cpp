@@ -55,14 +55,17 @@ Workload make_workload(std::size_t n_items, std::size_t samples_per_item,
   return w;
 }
 
-/// Reference row-counting straight off the columnar store.
+/// Reference row-counting straight off the columnar store, through the
+/// scalar interpreter (not the batch kernels the engine scans with).
 std::size_t count_matching(const Workload& w, const std::string& pred) {
   const ColumnarTrace t = ColumnarTrace::build(w.data, w.symtab);
   const auto e = parse_expr(pred, &w.symtab);
   std::size_t n = 0;
   FieldVals row;
   for (std::size_t i = 0; i < t.rows(); ++i) {
-    t.row(i, row);
+    for (std::size_t f = 0; f < kNumFields; ++f) {
+      row.v[f] = t.col(static_cast<Field>(f))[i];
+    }
     if (e->test(row)) ++n;
   }
   return n;
@@ -129,8 +132,22 @@ TEST(QueryEngineTest, RowModeProjectsInOrder) {
   ASSERT_EQ(res.rows.size(), 3u);
   const ColumnarTrace t = ColumnarTrace::build(w.data, w.symtab);
   for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_EQ(res.rows[i][0], Cell::of_int(t.field(Field::Ts, i)));
-    EXPECT_EQ(res.rows[i][1], Cell::of_int(t.field(Field::Core, i)));
+    EXPECT_EQ(res.rows[i][0], Cell::of_int(t.col(Field::Ts)[i]));
+    EXPECT_EQ(res.rows[i][1], Cell::of_int(t.col(Field::Core)[i]));
+  }
+}
+
+TEST(QueryEngineTest, OutOfEnumFieldThrowsInsteadOfReadingZeros) {
+  const Workload w = make_workload(2, 4);
+  const ColumnarTrace t = ColumnarTrace::build(w.data, w.symtab);
+  // A forged or miscast Field must never silently alias a real column or
+  // read zeros — the old per-row accessor's switch fell through to 0.
+  EXPECT_THROW((void)t.col(static_cast<Field>(6)), std::out_of_range);
+  EXPECT_THROW((void)t.col(static_cast<Field>(17)), std::out_of_range);
+  EXPECT_THROW((void)t.col(static_cast<Field>(255)), std::out_of_range);
+  // In-range fields still hand out full-length columns.
+  for (std::size_t f = 0; f < kNumFields; ++f) {
+    EXPECT_EQ(t.col(static_cast<Field>(f)).size(), t.rows());
   }
 }
 
@@ -164,7 +181,7 @@ TEST(QueryEngineTest, GroupByMatchesManualAggregation) {
   const ColumnarTrace t = ColumnarTrace::build(w.data, w.symtab);
   std::map<std::int64_t, std::vector<std::int64_t>> groups;
   for (std::size_t i = 0; i < t.rows(); ++i) {
-    groups[t.field(Field::Item, i)].push_back(t.field(Field::Ts, i));
+    groups[t.col(Field::Item)[i]].push_back(t.col(Field::Ts)[i]);
   }
   ASSERT_EQ(res.rows.size(), groups.size());
   std::size_t r = 0;
@@ -457,6 +474,48 @@ TEST(QueryEngineTest, SalvagedTraceStillAnswers) {
   EXPECT_LT(total, w.data.samples.size());
   std::remove(path.c_str());
   std::remove(flxi_path(path).c_str());
+}
+
+TEST(ColumnarOpenTest, OpenComposesReadAndBuild) {
+  const Workload w = make_workload(4, 6);
+  const std::string path = ::testing::TempDir() + "/columnar_open.flxt";
+  io::save_trace_v2(path, w.data, 16);
+  const ColumnarTrace t = ColumnarTrace::open(path, w.symtab);
+  const ColumnarTrace ref = ColumnarTrace::build(w.data, w.symtab);
+  ASSERT_EQ(t.rows(), ref.rows());
+  EXPECT_FALSE(t.salvaged());
+  for (std::size_t f = 0; f < kNumFields; ++f) {
+    const auto a = t.col(static_cast<Field>(f));
+    const auto b = ref.col(static_cast<Field>(f));
+    for (std::size_t i = 0; i < t.rows(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "col " << f << " row " << i;
+    }
+  }
+  ASSERT_EQ(t.zones().size(),
+            (t.rows() + t.zone_rows() - 1) / t.zone_rows());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarOpenTest, OpenSalvagesDamagedFiles) {
+  const Workload w = make_workload(8, 8, 9);
+  const std::string path = ::testing::TempDir() + "/columnar_open_torn.flxt";
+  io::save_trace_v2(path, w.data, 8);
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    bytes = std::move(buf).str();
+  }
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  const ColumnarTrace t = ColumnarTrace::open(path, w.symtab);
+  EXPECT_TRUE(t.salvaged());
+  EXPECT_GT(t.rows(), 0u);
+  EXPECT_LT(t.rows(), w.data.samples.size());
+  std::remove(path.c_str());
 }
 
 TEST(QueryEngineTest, V1TracesQueryWithoutChunkStats) {

@@ -82,7 +82,23 @@ int main(int argc, char** argv) try {
   io::TraceData data;
   SymbolTable symtab;
   try {
-    data = io::open_trace(cli.pos(0)).read_parallel(threads);
+    // Damaged traces degrade to the salvaged subset instead of aborting
+    // the whole report — the same fallback the query engine applies.
+    io::TraceReader::ReadResult rr =
+        io::open_trace(cli.pos(0)).read_or_salvage(threads);
+    data = std::move(rr.data);
+    if (rr.salvaged) {
+      if (data.samples.empty() && data.markers.empty()) {
+        // Nothing salvageable: not a trace at all, not a damaged one.
+        std::fprintf(stderr, "error: unrecognized trace file: %s\n",
+                     cli.pos(0));
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "warning: trace damaged; reporting over the salvaged "
+                   "subset (%zu samples)\n",
+                   data.samples.size());
+    }
     symtab = io::load_symbols(cli.pos(1));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
