@@ -1,0 +1,215 @@
+// Extension: wait-edge capture overhead and the waiting-dependency
+// graph build (ISSUE 8). Three claims are measured and *asserted*:
+//
+//   1. a RingWaitProbe on the hot SPSC path (ring never full, so the
+//      probe is one predicted branch per op) costs <= 5% single-thread
+//      push/pop throughput;
+//   2. the same bound holds for a real two-thread producer/consumer
+//      pair, where genuine stall episodes open and close;
+//   3. querying the captured edges is sane: WaitGraph observe + the
+//      critical_path finish stay under 10 us/edge even on a loaded
+//      shared runner (the interesting guarantees are the ratios).
+//
+// Results land in BENCH_waitgraph.json so CI can diff runs; the
+// committed copy lives in results/.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "fluxtrace/base/wait.hpp"
+#include "fluxtrace/query/waitgraph.hpp"
+#include "fluxtrace/rt/spsc_ring.hpp"
+#include "json_out.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+constexpr std::size_t kHotOps = 20'000'000;
+constexpr std::size_t kPairItems = 1'000'000;
+constexpr int kReps = 5;
+constexpr double kMaxOverhead = 1.05; // <= 5%
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "ASSERTION FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+/// Hot path: the ring never fills, so the probe never opens an episode —
+/// its whole cost is the stall-state branch on each push/pop.
+double hot_path_ms(bool probed, WaitLog& log) {
+  rt::SpscRing<std::uint64_t> ring(64);
+  if (probed) {
+    ring.set_wait_probe(rt::RingWaitProbe{&log, nullptr, 1, 0, 1});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < kHotOps; ++i) {
+    (void)ring.push(i);
+    auto v = ring.pop();
+    if (v.has_value()) sink += *v;
+  }
+  const double ms = ms_since(t0);
+  if (sink == 42) std::printf("!"); // defeat dead-code elimination
+  return ms;
+}
+
+/// Fixed per-item work (a serial multiply chain the compiler cannot
+/// collapse) so both sides of the pair run at a matched, realistic pace.
+std::uint64_t spin_work(std::uint64_t seed) {
+  std::uint64_t acc = seed | 1;
+  for (int k = 0; k < 64; ++k) {
+    acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  return acc;
+}
+
+/// Two real threads through a deep ring, matched per-item work on both
+/// sides: the ring's slack absorbs steady-state jitter, so stall
+/// episodes are what they are in a healthy pipeline — occasional (an OS
+/// scheduling hiccup on either side), not per-item. This is the regime
+/// the <= 5% capture claim is about; a saturated ring would stall every
+/// item by design and measure the stall, not the probe.
+double pair_ms(bool probed, WaitLog& log) {
+  rt::SpscRing<std::uint64_t> ring(4096);
+  if (probed) {
+    ring.set_wait_probe(rt::RingWaitProbe{&log, nullptr, 2, 0, 1});
+  }
+  std::atomic<bool> go{false};
+  std::uint64_t sink = 0;
+  std::thread consumer([&] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    std::size_t got = 0;
+    while (got < kPairItems) {
+      auto v = ring.pop();
+      if (v.has_value()) {
+        sink += spin_work(*v);
+        ++got;
+      }
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < kPairItems; ++i) {
+    const std::uint64_t v = spin_work(i);
+    while (!ring.push(v)) {
+    }
+  }
+  consumer.join();
+  const double ms = ms_since(t0);
+  if (sink == 42) std::printf("!");
+  return ms;
+}
+
+} // namespace
+
+int main() {
+  bench::banner("ext_waitgraph: wait-edge capture overhead + graph build",
+                "ISSUE 8 (wait edges, waiting-dependency graphs, "
+                "critical_path)");
+
+  bench::BenchJson json("waitgraph");
+  WaitLog log;
+
+  // ---- 1. hot-path overhead ------------------------------------------
+  std::vector<double> plain_hot, probed_hot;
+  for (int r = 0; r < kReps; ++r) {
+    plain_hot.push_back(hot_path_ms(false, log));
+    probed_hot.push_back(hot_path_ms(true, log));
+  }
+  const double hot_off = median(plain_hot);
+  const double hot_on = median(probed_hot);
+  const double hot_ratio = hot_on / hot_off;
+  std::printf("hot push/pop   : off %7.1f ms, probed %7.1f ms  "
+              "(%.1f ns/op, ratio %.3f)\n",
+              hot_off, hot_on, hot_on * 1e6 / static_cast<double>(kHotOps),
+              hot_ratio);
+  json.add("hot_path_unprobed", static_cast<double>(kHotOps),
+           hot_off * 1e6 / static_cast<double>(kHotOps));
+  json.add("hot_path_probed", static_cast<double>(kHotOps),
+           hot_on * 1e6 / static_cast<double>(kHotOps));
+  require(hot_ratio <= kMaxOverhead,
+          "hot-path probe overhead <= 5% (median of 5)");
+
+  // ---- 2. two-thread overhead, with real episodes --------------------
+  std::vector<double> plain_pair, probed_pair;
+  std::size_t edges_captured = 0;
+  for (int r = 0; r < kReps; ++r) {
+    plain_pair.push_back(pair_ms(false, log));
+    log.clear();
+    probed_pair.push_back(pair_ms(true, log));
+    edges_captured = log.size();
+  }
+  const double pair_off = median(plain_pair);
+  const double pair_on = median(probed_pair);
+  const double pair_ratio = pair_on / pair_off;
+  std::printf("2-thread pair  : off %7.1f ms, probed %7.1f ms  "
+              "(ratio %.3f, %zu edges in last rep)\n",
+              pair_off, pair_on, pair_ratio, edges_captured);
+  json.add("pair_unprobed", static_cast<double>(kPairItems),
+           pair_off * 1e6 / static_cast<double>(kPairItems));
+  json.add("pair_probed", static_cast<double>(kPairItems),
+           pair_on * 1e6 / static_cast<double>(kPairItems));
+  require(pair_ratio <= kMaxOverhead,
+          "two-thread probe overhead <= 5% (median of 5)");
+
+  // ---- 3. graph build + finish over 1M edges -------------------------
+  constexpr std::size_t kEdges = 500'000;
+  std::vector<WaitEdge> edges;
+  edges.reserve(kEdges);
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  const auto next = [&s]() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return s >> 33;
+  };
+  for (std::size_t i = 0; i < kEdges; ++i) {
+    WaitEdge e;
+    e.enter = next() % 1000000;
+    e.leave = e.enter + 1 + next() % 2000;
+    e.item = next() % 4 == 0 ? kNoItem : next() % 4096;
+    e.waiter_core = static_cast<std::uint32_t>(next() % 8);
+    e.holder_core = static_cast<std::uint32_t>(next() % 8);
+    e.resource = static_cast<std::uint32_t>(next() % 32);
+    e.cause = static_cast<WaitCause>(next() % kNumWaitCauses);
+    edges.push_back(e);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  query::WaitGraph g;
+  for (const WaitEdge& e : edges) g.observe(e);
+  const query::QueryResult cp = query::finish_critical_path(std::move(g));
+  const double build_ms = ms_since(t0);
+  const double ns_per_edge = build_ms * 1e6 / static_cast<double>(kEdges);
+  std::printf("graph build    : %zu edges -> %zu items in %7.1f ms "
+              "(%.0f ns/edge)\n",
+              kEdges, cp.rows.size(), build_ms, ns_per_edge);
+  json.add("graph_build_finish", static_cast<double>(kEdges), ns_per_edge);
+  require(!cp.rows.empty(), "critical_path produced rows");
+  // Sanity bound only (shared CI runners wobble on absolute time);
+  // the hard guarantees are the two overhead ratios above.
+  require(ns_per_edge <= 10000.0, "graph build + finish <= 10 us/edge");
+
+  json.write();
+  std::printf("\nall assertions held: probe overhead <= 5%% on the hot path "
+              "and under real\ntwo-thread stalls, graph build + "
+              "critical_path finish <= 10 us/edge.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Waiting-dependency graphs end to end (ISSUE 8): run the RSS firewall
+// with round-robin dispatch and shallow worker rings so head-of-line
+// blocking actually stalls the dispatcher, record the wait edges the
+// probed channels capture alongside the markers and samples, save the
+// FLXT v2 container, and answer "why was item X slow" from the file
+// alone with the `critical_path` and `blocked_by` query stages.
+//
+// The run is fully deterministic (virtual time), which is why the CI
+// query-smoke job byte-diffs this demo's query output against golden
+// CSVs (scripts/query_smoke.sh).
+//
+// Usage: ./examples/waitgraph_demo [trace-path]
+//        (default: a temp file, deleted afterwards; an explicit path is
+//        kept so scripts can hand the trace to the flxt_* tools)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fluxtrace/acl/ruleset.hpp"
+#include "fluxtrace/apps/rss_firewall_app.hpp"
+#include "fluxtrace/io/chunked.hpp"
+#include "fluxtrace/io/symbols_file.hpp"
+#include "fluxtrace/net/trafficgen.hpp"
+#include "fluxtrace/query/engine.hpp"
+#include "fluxtrace/query/render.hpp"
+
+#include <iostream>
+
+using namespace fluxtrace;
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : std::string("/tmp/fluxtrace_waitgraph.flxt");
+
+  // ---- record: heavy type-A packets all land on worker 0 --------------
+  SymbolTable symtab;
+  const acl::RuleSet rules = acl::make_paper_ruleset();
+  apps::RssFirewallConfig cfg;
+  cfg.num_workers = 2;
+  cfg.dispatch = apps::RssDispatch::RoundRobin;
+  // Shallow worker rings: the RX dispatcher's head-of-line stalls show
+  // up as ring-full wait edges instead of invisible queue slack.
+  cfg.worker_ring_depth = 1;
+  apps::RssFirewallApp app(symtab, rules, cfg);
+
+  sim::MachineConfig mc;
+  mc.spec.num_cores = 4 + cfg.num_workers;
+  sim::Machine m(symtab, mc);
+  for (const std::uint32_t core : {2u, 3u}) {
+    sim::PebsConfig pc;
+    pc.reset = 8000;
+    m.cpu(core).enable_pebs(pc);
+  }
+
+  net::TrafficGenConfig tgc;
+  tgc.total_packets = 400;
+  tgc.inter_packet_gap_ns = 2000; // above worker 0's A+C service rate
+  const acl::PaperPackets pk;
+  net::TrafficGen tg(tgc, app.rx_nic(), app.tx_nic(),
+                     {pk.type_a, pk.type_c, pk.type_c, pk.type_c});
+  app.expect_packets(tgc.total_packets);
+  m.attach(0, tg);
+  app.attach(m, /*rx=*/1, /*first_acl=*/2, /*tx=*/4);
+  m.run();
+  m.flush_samples();
+
+  io::TraceData data;
+  data.markers = m.marker_log().markers();
+  data.samples = m.pebs_driver().samples();
+  data.wait_edges = m.wait_log().edges();
+  io::save_trace_v2(path, data, /*records_per_chunk=*/256);
+  io::save_symbols(path + ".syms", symtab);
+  std::printf("recorded %zu markers + %zu samples + %zu wait edges -> %s\n",
+              data.markers.size(), data.samples.size(),
+              data.wait_edges.size(), path.c_str());
+
+  // ---- diagnose, from the file alone ----------------------------------
+  query::QueryEngine eng =
+      query::QueryEngine::open(path, symtab, query::EngineOptions{});
+
+  std::printf("\n$ flxt_query %s 'filter item >= 0 | critical_path | "
+              "top 5 by blocked'\n",
+              path.c_str());
+  query::print_table(
+      std::cout, eng.run("filter item >= 0 | critical_path | top 5 by blocked"));
+
+  std::printf("\n$ flxt_query %s 'filter item >= 0 | blocked_by'\n",
+              path.c_str());
+  query::print_table(std::cout, eng.run("filter item >= 0 | blocked_by"));
+
+  std::printf("\nEvery top item was blocked ring-full on resource 10 —\n"
+              "worker 0's input ring, held by core 2 — because round-robin\n"
+              "dispatch queues heavy type-A classifications there. The\n"
+              "trace alone names the ring and the holder core; no\n"
+              "reproduction, no guesswork.\n");
+  if (argc <= 1) {
+    std::remove(path.c_str());
+    std::remove((path + ".syms").c_str());
+    std::remove(query::flxi_path(path).c_str());
+  }
+  return 0;
+}

@@ -41,6 +41,31 @@ for name in group_func filter_item topk_items select_rows outliers; do
   fi
 done
 
+# Wait-graph leg (ISSUE 8): the deterministic head-of-line demo records
+# wait edges into a v2 container; critical_path must name the injected
+# blocker (ring 10 held by core 2) byte-identically to the goldens.
+"$BUILD/examples/waitgraph_demo" "$TMP/wait.flxt" > /dev/null
+declare -A WAIT_QUERIES=(
+  [critical_path]='filter item >= 0 | critical_path | top 5 by blocked'
+  [blocked_by]='filter item >= 0 | blocked_by'
+)
+for name in critical_path blocked_by; do
+  "$BUILD/tools/flxt_query" "$TMP/wait.flxt" "$TMP/wait.flxt.syms" \
+    "${WAIT_QUERIES[$name]}" --csv > "$TMP/$name.csv"
+  if ! diff -u "$GOLDEN/query_$name.csv" "$TMP/$name.csv"; then
+    echo "FAIL: $name diverges from $GOLDEN/query_$name.csv" >&2
+    fail=1
+  else
+    echo "ok: $name"
+  fi
+done
+"$BUILD/tools/flxt_query" "$TMP/wait.flxt" "$TMP/wait.flxt.syms" \
+  "${WAIT_QUERIES[critical_path]}" --csv --stats 2>&1 >/dev/null \
+  | grep -q 'wait edges' || {
+  echo "FAIL: --stats did not report the wait-edge scan" >&2
+  fail=1
+}
+
 # Second pass: the sidecar from the first pass must prune, and pruned
 # output must be byte-identical to the golden (i.e. to the full scan).
 "$BUILD/tools/flxt_query" "$TRACE" "$SYMS" "${QUERIES[filter_item]}" \

@@ -17,8 +17,10 @@ RssFirewallApp::RssFirewallApp(SymbolTable& symtab, const acl::RuleSet& rules,
       rx_task_(*this),
       tx_task_(*this) {
   assert(cfg_.num_workers >= 1);
+  const std::size_t worker_depth =
+      cfg_.worker_ring_depth != 0 ? cfg_.worker_ring_depth : cfg_.ring_depth;
   for (std::uint32_t w = 0; w < cfg_.num_workers; ++w) {
-    workers_.push_back(std::make_unique<Worker>(*this, cfg_.ring_depth));
+    workers_.push_back(std::make_unique<Worker>(*this, worker_depth));
   }
 }
 
@@ -28,6 +30,13 @@ void RssFirewallApp::attach(sim::Machine& m, std::uint32_t rx_core,
   m.attach(rx_core, rx_task_);
   for (std::uint32_t w = 0; w < cfg_.num_workers; ++w) {
     m.attach(first_acl_core + w, workers_[w]->task);
+    // Wait-edge probes (ISSUE 8): resources 10+w are the RX→worker
+    // rings, 20+w the worker→TX rings, so `critical_path` can name the
+    // exact ring and holder core behind a head-of-line stall.
+    workers_[w]->in.set_wait_probe(rt::ChannelWaitProbe{
+        &m.wait_log(), kInRingBase + w, rx_core, first_acl_core + w});
+    workers_[w]->out.set_wait_probe(rt::ChannelWaitProbe{
+        &m.wait_log(), kOutRingBase + w, first_acl_core + w, tx_core});
   }
   m.attach(tx_core, tx_task_);
 }
@@ -51,6 +60,19 @@ std::uint64_t RssFirewallApp::total_classified() const {
 }
 
 sim::StepStatus RssFirewallApp::RxTask::step(sim::Cpu& cpu) {
+  // A packet refused by a full worker ring blocks the dispatch loop
+  // until that worker drains — exactly the head-of-line coupling the
+  // wait edges exist to expose. The channel probe accrues the stall.
+  if (pending_.has_value()) {
+    cpu.exec(app_.rx_loop_, app_.cfg_.poll_uops);
+    if (!app_.workers_[pending_target_]->in.push(*pending_, cpu.now(),
+                                                 pending_->id)) {
+      return sim::StepStatus::Idle;
+    }
+    pending_.reset();
+    ++forwarded_;
+    return sim::StepStatus::Progress;
+  }
   if (app_.expected_ > 0 && forwarded_ >= app_.expected_) {
     return sim::StepStatus::Done;
   }
@@ -71,12 +93,24 @@ sim::StepStatus RssFirewallApp::RxTask::step(sim::Cpu& cpu) {
     app_.worker_of_.resize(p->id + 1, ~0u);
   }
   app_.worker_of_[p->id] = target;
-  app_.workers_[target]->in.push(std::move(*p), cpu.now());
+  if (!app_.workers_[target]->in.push(*p, cpu.now(), p->id)) {
+    pending_ = std::move(*p);
+    pending_target_ = target;
+    return sim::StepStatus::Idle;
+  }
   ++forwarded_;
   return sim::StepStatus::Progress;
 }
 
 sim::StepStatus RssFirewallApp::WorkerTask::step(sim::Cpu& cpu) {
+  if (pending_out_.has_value()) {
+    cpu.exec(app_.acl_main_loop_, app_.cfg_.poll_uops);
+    if (!w_.out.push(*pending_out_, cpu.now(), pending_out_->id)) {
+      return sim::StepStatus::Idle;
+    }
+    pending_out_.reset();
+    return sim::StepStatus::Progress;
+  }
   if (app_.expected_ > 0 && app_.total_classified() >= app_.expected_) {
     return sim::StepStatus::Done;
   }
@@ -100,7 +134,9 @@ sim::StepStatus RssFirewallApp::WorkerTask::step(sim::Cpu& cpu) {
   ++w_.classified;
   cpu.mark_leave(p->id);
   cpu.exec(app_.acl_main_loop_, app_.cfg_.push_uops);
-  w_.out.push(std::move(*p), cpu.now());
+  if (!w_.out.push(*p, cpu.now(), p->id)) {
+    pending_out_ = std::move(*p);
+  }
   return sim::StepStatus::Progress;
 }
 

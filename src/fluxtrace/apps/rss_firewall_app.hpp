@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -39,10 +40,19 @@ struct RssFirewallConfig {
   std::uint64_t push_uops = 350;
   std::uint64_t poll_uops = 120;
   std::size_t ring_depth = 4096;
+  /// Worker in/out ring depth; 0 means ring_depth. Shrinking only the
+  /// worker rings (the NICs keep ring_depth) turns head-of-line pressure
+  /// into observable ring-full wait edges without overflowing the wire.
+  std::size_t worker_ring_depth = 0;
 };
 
 class RssFirewallApp {
  public:
+  /// Wait-edge resource ids (ISSUE 8): ring kInRingBase+w is worker w's
+  /// input ring (RX → worker), kOutRingBase+w its output (worker → TX).
+  static constexpr std::uint32_t kInRingBase = 10;
+  static constexpr std::uint32_t kOutRingBase = 20;
+
   RssFirewallApp(SymbolTable& symtab, const acl::RuleSet& rules,
                  RssFirewallConfig cfg = {});
 
@@ -79,6 +89,10 @@ class RssFirewallApp {
     RssFirewallApp& app_;
     std::uint64_t forwarded_ = 0;
     std::uint32_t next_rr_ = 0;
+    /// Packet refused by a full worker ring: retried (never dropped) so
+    /// head-of-line pressure shows up as ring-full wait edges, not loss.
+    std::optional<net::Packet> pending_;
+    std::uint32_t pending_target_ = 0;
   };
 
   struct Worker;
@@ -92,6 +106,8 @@ class RssFirewallApp {
    private:
     RssFirewallApp& app_;
     Worker& w_;
+    /// Classified packet refused by a full output ring: retried.
+    std::optional<net::Packet> pending_out_;
   };
 
   struct Worker {

@@ -1,0 +1,106 @@
+// Wait edges: the "why did this item wait" half of the trace (ISSUE 8).
+// Per-item-per-function elapsed time locates where cycles went; a wait
+// edge records a span during which one core made no progress because it
+// was blocked on a resource another core holds — an SPSC ring that
+// stayed full (the consumer owns the space), a ring that stayed empty
+// (the producer owns the data), a capture sink exerting backpressure, or
+// the supervisor shedding records under pressure. Joining these edges
+// with the attributed samples yields the waiting-dependency graph
+// (query/waitgraph.hpp) behind the `critical_path` and `blocked_by`
+// pipeline stages.
+//
+// Capture is episode-based and cold-path-only: the first failed
+// push/pop opens an episode, the next successful one closes it, and only
+// the close records anything. A ring running below capacity never
+// touches the probe beyond one branch per operation.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "fluxtrace/base/markers.hpp"
+#include "fluxtrace/base/time.hpp"
+
+namespace fluxtrace {
+
+/// Why the waiter was blocked.
+enum class WaitCause : std::uint8_t {
+  RingFull = 0,         ///< producer observed a full SPSC ring
+  RingEmpty = 1,        ///< consumer observed an empty (or not-ready) ring
+  SinkBackpressure = 2, ///< capture session entered the backpressured state
+  Shed = 3,             ///< capture session was shedding records
+};
+
+inline constexpr std::uint8_t kNumWaitCauses = 4;
+
+[[nodiscard]] constexpr std::string_view to_string(WaitCause c) {
+  switch (c) {
+    case WaitCause::RingFull: return "ring-full";
+    case WaitCause::RingEmpty: return "ring-empty";
+    case WaitCause::SinkBackpressure: return "sink-backpressure";
+    case WaitCause::Shed: return "shed";
+  }
+  return "?";
+}
+
+/// One closed blocking episode: waiter_core made no progress over
+/// [enter, leave] because `resource` was unavailable, and holder_core is
+/// the core whose progress would have freed it (the consumer of a full
+/// ring, the producer of an empty one, the sink drain for backpressure).
+/// `item` is the data-item the waiter was trying to hand off when known
+/// (ring-full episodes carry the blocked item; empty-ring and session
+/// episodes are not item-bound and carry kNoItem).
+struct WaitEdge {
+  Tsc enter = 0;
+  Tsc leave = 0;
+  ItemId item = kNoItem;
+  std::uint32_t waiter_core = 0;
+  std::uint32_t holder_core = 0;
+  std::uint32_t resource = 0;
+  WaitCause cause = WaitCause::RingFull;
+
+  [[nodiscard]] Tsc blocked() const { return leave - enter; }
+
+  friend bool operator==(const WaitEdge&, const WaitEdge&) = default;
+};
+
+/// Append-only collector for closed episodes. The record path is
+/// mutex-guarded so a producer thread (ring-full episodes) and a consumer
+/// thread (ring-empty episodes) can share one log — stall closes are cold
+/// by definition, so the lock is never on a fast path. `edges()` hands
+/// out the underlying vector and is only meaningful once the recording
+/// threads are quiescent (joined, or the single-threaded simulator).
+class WaitLog {
+ public:
+  /// Optional hook invoked (under the lock) on every record — the seam
+  /// higher layers use to bump obs counters without base depending on
+  /// obs (obs::count_wait_edge is the canonical hook).
+  using Hook = void (*)(const WaitEdge&);
+
+  void set_hook(Hook hook) { hook_ = hook; }
+
+  void record(const WaitEdge& e) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    edges_.push_back(e);
+    if (hook_ != nullptr) hook_(e);
+  }
+
+  [[nodiscard]] const std::vector<WaitEdge>& edges() const { return edges_; }
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return edges_.size();
+  }
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    edges_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<WaitEdge> edges_;
+  Hook hook_ = nullptr;
+};
+
+} // namespace fluxtrace

@@ -190,6 +190,20 @@ void SessionSupervisor::set_state(std::uint64_t now_ns, SessionState next,
     obs::SpanLog::global().record_virtual(span_name(state_), state_since_ns_,
                                           now_ns, 0);
   }
+  // Leaving a pressure state closes one wait-edge episode (ISSUE 8): the
+  // whole interval the session spent backpressured or shedding is one
+  // sink-side blocking span, spooled next to the data it delayed.
+  if ((state_ == SessionState::Backpressured ||
+       state_ == SessionState::Shedding) &&
+      now_ns > state_since_ns_) {
+    WaitEdge e;
+    e.enter = state_since_ns_;
+    e.leave = now_ns;
+    e.cause = state_ == SessionState::Shedding ? WaitCause::Shed
+                                               : WaitCause::SinkBackpressure;
+    writer_.add_wait_edges(&e, 1, now_ns);
+    obs::count_wait_edge(e);
+  }
   state_ = next;
   state_since_ns_ = now_ns;
 }

@@ -36,10 +36,13 @@ constexpr std::size_t kChunkHeaderBytes = 21; // magic+type+count+size+2 CRCs
 constexpr std::uint8_t kChunkMarkers = 0;
 constexpr std::uint8_t kChunkSamples = 1;
 constexpr std::uint8_t kChunkEof = 2;
+constexpr std::uint8_t kChunkWaitEdges = 3;
 
 constexpr std::size_t kMarkerBytes = 8 + 8 + 4 + 1;
 constexpr std::size_t kSampleBytes =
     8 + 8 + 4 + sizeof(RegisterFile{}.v); // tsc + ip + core + GPRs
+constexpr std::size_t kWaitEdgeBytes =
+    8 + 8 + 8 + 4 + 4 + 4 + 1; // enter+leave+item+waiter+holder+resource+cause
 
 // --- little-endian append/peek over an in-memory buffer ---------------
 
@@ -107,6 +110,16 @@ void encode_sample(std::string& b, const PebsSample& s) {
   for (const std::uint64_t r : s.regs.v) app_u64(b, r);
 }
 
+void encode_wait_edge(std::string& b, const WaitEdge& e) {
+  app_u64(b, e.enter);
+  app_u64(b, e.leave);
+  app_u64(b, e.item);
+  app_u32(b, e.waiter_core);
+  app_u32(b, e.holder_core);
+  app_u32(b, e.resource);
+  app_u8(b, static_cast<std::uint8_t>(e.cause));
+}
+
 bool decode_markers(std::string_view payload, std::uint32_t n,
                     std::vector<Marker>& out) {
   if (payload.size() != static_cast<std::size_t>(n) * kMarkerBytes) return false;
@@ -143,6 +156,30 @@ bool decode_samples(std::string_view payload, std::uint32_t n,
     }
     out.push_back(s);
     at += kSampleBytes;
+  }
+  return true;
+}
+
+bool decode_wait_edges(std::string_view payload, std::uint32_t n,
+                       std::vector<WaitEdge>& out) {
+  if (payload.size() != static_cast<std::size_t>(n) * kWaitEdgeBytes) {
+    return false;
+  }
+  out.reserve(out.size() + n);
+  std::size_t at = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WaitEdge e;
+    e.enter = peek_u64(payload, at);
+    e.leave = peek_u64(payload, at + 8);
+    e.item = peek_u64(payload, at + 16);
+    e.waiter_core = peek_u32(payload, at + 24);
+    e.holder_core = peek_u32(payload, at + 28);
+    e.resource = peek_u32(payload, at + 32);
+    const std::uint8_t cause = peek_u8(payload, at + 36);
+    if (cause >= kNumWaitCauses) return false;
+    e.cause = static_cast<WaitCause>(cause);
+    out.push_back(e);
+    at += kWaitEdgeBytes;
   }
   return true;
 }
@@ -250,6 +287,13 @@ std::string encode_sample_chunk(const PebsSample* ss, std::size_t n) {
   return make_chunk(kChunkSamples, static_cast<std::uint32_t>(n), payload);
 }
 
+std::string encode_wait_chunk(const WaitEdge* es, std::size_t n) {
+  std::string payload;
+  payload.reserve(n * kWaitEdgeBytes);
+  for (std::size_t i = 0; i < n; ++i) encode_wait_edge(payload, es[i]);
+  return make_chunk(kChunkWaitEdges, static_cast<std::uint32_t>(n), payload);
+}
+
 std::string encode_eof_chunk() {
   return make_chunk(kChunkEof, 0, std::string{});
 }
@@ -296,6 +340,17 @@ void write_trace_v2(std::ostream& os, const TraceData& data,
     write_chunk(os, kChunkSamples, static_cast<std::uint32_t>(n), payload);
   }
   check("sample chunks");
+  for (std::size_t at = 0; at < data.wait_edges.size();
+       at += records_per_chunk) {
+    const std::size_t n =
+        std::min(records_per_chunk, data.wait_edges.size() - at);
+    payload.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      encode_wait_edge(payload, data.wait_edges[at + i]);
+    }
+    write_chunk(os, kChunkWaitEdges, static_cast<std::uint32_t>(n), payload);
+  }
+  check("wait-edge chunks");
   // Torn-write detector: a crash cutting the file at an exact chunk
   // boundary would otherwise look like a complete shorter file.
   write_chunk(os, kChunkEof, 0, std::string{});
@@ -367,6 +422,8 @@ SalvageReport salvage_trace(std::string_view buf) {
         ok = decode_markers(payload, n_records, rep.data.markers);
       } else if (type == kChunkSamples) {
         ok = decode_samples(payload, n_records, rep.data.samples);
+      } else if (type == kChunkWaitEdges) {
+        ok = decode_wait_edges(payload, n_records, rep.data.wait_edges);
       } else {
         ok = false; // unknown chunk type from a future writer: skip
       }
@@ -439,7 +496,8 @@ std::vector<V2ChunkRef> index_trace_v2(std::string_view file) {
         throw TraceIoError("malformed v2 eof sentinel");
       }
       saw_eof = true;
-    } else if (type == kChunkMarkers || type == kChunkSamples) {
+    } else if (type == kChunkMarkers || type == kChunkSamples ||
+               type == kChunkWaitEdges) {
       out.push_back(V2ChunkRef{pos, type, n_records, payload_bytes});
     } else {
       throw TraceIoError("unknown v2 chunk type");
@@ -469,6 +527,8 @@ void decode_trace_v2_chunk(std::string_view file, const V2ChunkRef& ref,
     ok = decode_markers(payload, ref.n_records, out.markers);
   } else if (ref.type == kChunkSamples) {
     ok = decode_samples(payload, ref.n_records, out.samples);
+  } else if (ref.type == kChunkWaitEdges) {
+    ok = decode_wait_edges(payload, ref.n_records, out.wait_edges);
   }
   if (!ok) throw TraceIoError("malformed v2 chunk records");
 }
@@ -564,7 +624,8 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
     if (type == kChunkEof && n_records == 0 && payload_bytes == 0 &&
         payload_crc == crc32(body.data(), 0)) {
       eof_seen = true;
-    } else if (type == kChunkMarkers || type == kChunkSamples) {
+    } else if (type == kChunkMarkers || type == kChunkSamples ||
+               type == kChunkWaitEdges) {
       chunks.push_back({type, n_records, pos + kChunkHeaderBytes,
                         payload_bytes, payload_crc});
     } else {
@@ -584,6 +645,7 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
   struct Part {
     std::vector<Marker> markers;
     SampleVec samples;
+    std::vector<WaitEdge> wait_edges;
   };
   std::vector<Part> parts(chunks.size());
   std::atomic<bool> any_bad{false};
@@ -594,7 +656,9 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
     if (ok) {
       ok = c.type == kChunkMarkers
                ? decode_markers(payload, c.n_records, parts[i].markers)
-               : decode_samples(payload, c.n_records, parts[i].samples);
+           : c.type == kChunkSamples
+               ? decode_samples(payload, c.n_records, parts[i].samples)
+               : decode_wait_edges(payload, c.n_records, parts[i].wait_edges);
     }
     if (!ok) any_bad.store(true, std::memory_order_relaxed);
   });
@@ -606,16 +670,21 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
 
   std::size_t n_markers = 0;
   std::size_t n_samples = 0;
+  std::size_t n_waits = 0;
   for (const Part& p : parts) {
     n_markers += p.markers.size();
     n_samples += p.samples.size();
+    n_waits += p.wait_edges.size();
   }
   TraceData out;
   out.markers.reserve(n_markers);
   out.samples.reserve(n_samples);
+  out.wait_edges.reserve(n_waits);
   for (Part& p : parts) {
     out.markers.insert(out.markers.end(), p.markers.begin(), p.markers.end());
     out.samples.insert(out.samples.end(), p.samples.begin(), p.samples.end());
+    out.wait_edges.insert(out.wait_edges.end(), p.wait_edges.begin(),
+                          p.wait_edges.end());
   }
   return out;
 }

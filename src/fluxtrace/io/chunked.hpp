@@ -6,7 +6,8 @@
 // chunks, each carrying its own CRC32-protected header and payload:
 //
 //   file   := u32 magic "FLXT" | u32 version=2 | chunk* | eof-chunk
-//   chunk  := u32 "CHNK" | u8 type (0=markers, 1=samples, 2=eof)
+//   chunk  := u32 "CHNK" | u8 type (0=markers, 1=samples, 2=eof,
+//           |                       3=wait edges)
 //           | u32 n_records | u32 payload_bytes
 //           | u32 header_crc (over the 13 bytes above)
 //           | u32 payload_crc | payload
@@ -67,6 +68,8 @@ void write_trace_v2(std::ostream& os, const TraceData& data,
 /// One complete sample chunk for `n` records.
 [[nodiscard]] std::string encode_sample_chunk(const PebsSample* ss,
                                               std::size_t n);
+/// One complete wait-edge chunk (type 3, ISSUE 8) for `n` records.
+[[nodiscard]] std::string encode_wait_chunk(const WaitEdge* es, std::size_t n);
 /// The trailing eof sentinel chunk (the torn-write detector).
 [[nodiscard]] std::string encode_eof_chunk();
 
@@ -123,6 +126,11 @@ struct SalvageReport {
 inline constexpr std::uint8_t kChunkTypeMarkers = 0;
 inline constexpr std::uint8_t kChunkTypeSamples = 1;
 inline constexpr std::uint8_t kChunkTypeEof = 2;
+/// Wait edges (ISSUE 8): enter u64 | leave u64 | item u64 | waiter u32
+/// | holder u32 | resource u32 | cause u8, 37 bytes per record. Spooled
+/// alongside sample chunks; every reader (strict, parallel, salvage,
+/// follower) decodes them into TraceData::wait_edges.
+inline constexpr std::uint8_t kChunkTypeWaitEdges = 3;
 
 /// One chunk's location in a v2 *file image* (header + chunks).
 struct V2ChunkRef {

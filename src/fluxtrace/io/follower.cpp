@@ -266,15 +266,18 @@ void TraceFollower::parse_committed(std::uint64_t now_ns, PollResult& out) {
       out.progressed = true;
       break;
     }
-    if (ok && (type == kChunkTypeMarkers || type == kChunkTypeSamples)) {
+    if (ok && (type == kChunkTypeMarkers || type == kChunkTypeSamples ||
+               type == kChunkTypeWaitEdges)) {
       const std::size_t m0 = out.data.markers.size();
       const std::size_t s0 = out.data.samples.size();
+      const std::size_t w0 = out.data.wait_edges.size();
       try {
         const V2ChunkRef ref{parse_at_, type, n_records, payload_bytes};
         decode_trace_v2_chunk(v, ref, out.data);
       } catch (const TraceIoError&) {
         out.data.markers.resize(m0);
         out.data.samples.resize(s0);
+        out.data.wait_edges.resize(w0);
         ok = false;
       }
       if (ok) {
@@ -289,6 +292,7 @@ void TraceFollower::parse_committed(std::uint64_t now_ns, PollResult& out) {
         }
         stats_.records_markers += out.data.markers.size() - m0;
         stats_.records_samples += out.data.samples.size() - s0;
+        stats_.records_wait_edges += out.data.wait_edges.size() - w0;
         stats_.bytes_consumed += frame;
         ++out.chunks;
         out.progressed = true;

@@ -218,6 +218,7 @@ class TraceFollower {
 
     std::uint64_t records_markers = 0;
     std::uint64_t records_samples = 0;
+    std::uint64_t records_wait_edges = 0;
 
     std::uint64_t read_transients = 0; ///< retryable source failures
     std::uint64_t short_reads = 0;     ///< reads returning < requested

@@ -378,6 +378,25 @@ void ResilientWriter::add_samples(const PebsSample* ss, std::size_t n,
                     sample_buf_.begin() + static_cast<std::ptrdiff_t>(at));
 }
 
+void ResilientWriter::add_wait_edges(const WaitEdge* es, std::size_t n,
+                                     std::uint64_t now_ns) {
+  // A supervisor may report its final backpressure interval while
+  // winding down, after close() sealed the spool; there is no file to
+  // put it in any more, so drop it rather than corrupt the ledger.
+  if (closed_) return;
+  wait_buf_.insert(wait_buf_.end(), es, es + n);
+  std::size_t at = 0;
+  while (wait_buf_.size() - at >= cfg_.records_per_chunk) {
+    StagedChunk c;
+    c.bytes = encode_wait_chunk(wait_buf_.data() + at, cfg_.records_per_chunk);
+    c.records = cfg_.records_per_chunk;
+    stage(std::move(c), now_ns);
+    at += cfg_.records_per_chunk;
+  }
+  wait_buf_.erase(wait_buf_.begin(),
+                  wait_buf_.begin() + static_cast<std::ptrdiff_t>(at));
+}
+
 std::size_t ResilientWriter::pump(std::uint64_t now_ns) {
   std::size_t committed = 0;
   while (!queue_.empty()) {
@@ -406,6 +425,13 @@ bool ResilientWriter::close(std::uint64_t now_ns) {
     c.bytes = encode_sample_chunk(sample_buf_.data(), sample_buf_.size());
     c.records = sample_buf_.size();
     sample_buf_.clear();
+    stage(std::move(c), now_ns);
+  }
+  if (!wait_buf_.empty()) {
+    StagedChunk c;
+    c.bytes = encode_wait_chunk(wait_buf_.data(), wait_buf_.size());
+    c.records = wait_buf_.size();
+    wait_buf_.clear();
     stage(std::move(c), now_ns);
   }
 

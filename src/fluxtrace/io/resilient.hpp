@@ -168,6 +168,7 @@ class ResilientWriter {
   /// the remainder is buffered until the next add or close().
   void add_markers(const Marker* ms, std::size_t n, std::uint64_t now_ns);
   void add_samples(const PebsSample* ss, std::size_t n, std::uint64_t now_ns);
+  void add_wait_edges(const WaitEdge* es, std::size_t n, std::uint64_t now_ns);
 
   // --- driving ----------------------------------------------------------
   /// Try to drain staged chunks into the active sink. Honors backoff
@@ -252,6 +253,7 @@ class ResilientWriter {
   std::deque<StagedChunk> queue_;
   std::vector<Marker> marker_buf_;   ///< partial chunk under construction
   SampleVec sample_buf_;
+  std::vector<WaitEdge> wait_buf_;
   std::uint64_t retry_at_ns_ = 0;    ///< backoff gate for the next attempt
   std::uint32_t attempts_ = 0;       ///< transient retries on current head
   std::uint64_t jitter_state_;

@@ -20,6 +20,7 @@
 
 #include "fluxtrace/base/markers.hpp"
 #include "fluxtrace/base/samples.hpp"
+#include "fluxtrace/base/wait.hpp"
 
 namespace fluxtrace::rt {
 class ThreadPool;
@@ -32,10 +33,13 @@ class TraceIoError : public std::runtime_error {
   explicit TraceIoError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Everything one tracing session produces.
+/// Everything one tracing session produces. Wait edges (ISSUE 8) exist
+/// only in the v2 chunked container; the v1 format has no slot for them
+/// and drops them on write.
 struct TraceData {
   std::vector<Marker> markers;
   SampleVec samples;
+  std::vector<WaitEdge> wait_edges;
 
   friend bool operator==(const TraceData&, const TraceData&) = default;
 };

@@ -124,4 +124,23 @@ Registry::Snapshot Registry::snapshot() const {
   return out;
 }
 
+void count_wait_edge(const WaitEdge& e) {
+  struct WaitMetrics {
+    Counter& ring_full = metrics().counter("rt.ring.full_stalls");
+    Counter& ring_empty = metrics().counter("rt.ring.empty_stalls");
+    Counter& backpressure = metrics().counter("session.backpressure_waits");
+    static WaitMetrics& get() {
+      static WaitMetrics m;
+      return m;
+    }
+  };
+  WaitMetrics& m = WaitMetrics::get();
+  switch (e.cause) {
+    case WaitCause::RingFull: m.ring_full.inc(); break;
+    case WaitCause::RingEmpty: m.ring_empty.inc(); break;
+    case WaitCause::SinkBackpressure:
+    case WaitCause::Shed: m.backpressure.inc(); break;
+  }
+}
+
 } // namespace fluxtrace::obs

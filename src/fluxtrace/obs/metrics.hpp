@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "fluxtrace/base/wait.hpp"
+
 namespace fluxtrace::obs {
 
 /// Runtime switch for the *timed* telemetry paths (spans, task latency
@@ -230,5 +232,12 @@ class Registry {
 
 /// Shorthand for Registry::global().
 [[nodiscard]] inline Registry& metrics() { return Registry::global(); }
+
+/// The canonical base::WaitLog hook (ISSUE 8): bumps the stall counters
+/// (`rt.ring.full_stalls`, `rt.ring.empty_stalls`,
+/// `session.backpressure_waits`) for every recorded wait edge. base
+/// cannot link obs, so sim::Machine (and anything else that owns a
+/// WaitLog above the obs layer) installs this via WaitLog::set_hook.
+void count_wait_edge(const WaitEdge& e);
 
 } // namespace fluxtrace::obs

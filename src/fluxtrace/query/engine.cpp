@@ -13,6 +13,7 @@
 #include "fluxtrace/obs/span.hpp"
 #include "fluxtrace/query/lex.hpp"
 #include "fluxtrace/query/partials.hpp"
+#include "fluxtrace/query/waitgraph.hpp"
 #include "fluxtrace/rt/thread_pool.hpp"
 
 namespace fluxtrace::query {
@@ -146,7 +147,8 @@ Query parse_query(std::string_view text, const SymbolTable* symtab) {
   int last_rank = -1;
   for (;;) {
     const Token t = lex.expect(
-        Tok::Ident, "a stage (filter/select/group/outliers/top/limit)");
+        Tok::Ident, "a stage (filter/select/group/outliers/critical_path/"
+                    "blocked_by/top/limit)");
     int rank = -1;
     if (t.text == "filter") {
       rank = 0;
@@ -160,6 +162,12 @@ Query parse_query(std::string_view text, const SymbolTable* symtab) {
       lex.expect(Tok::Colon, "':' between group keys and aggregates");
       q.aggs.push_back(parse_agg(lex));
       while (lex.accept(Tok::Comma)) q.aggs.push_back(parse_agg(lex));
+    } else if (t.text == "critical_path") {
+      rank = 1;
+      q.critical_path = true;
+    } else if (t.text == "blocked_by") {
+      rank = 1;
+      q.blocked_by = true;
     } else if (t.text == "outliers") {
       rank = 1;
       OutliersSpec spec;
@@ -200,14 +208,15 @@ Query parse_query(std::string_view text, const SymbolTable* symtab) {
       q.limit = expect_count(lex, "the limit count");
     } else {
       throw ParseError("unknown stage '" + t.text +
-                           "' (have: filter select group outliers top limit)",
+                           "' (have: filter select group outliers "
+                           "critical_path blocked_by top limit)",
                        t.pos);
     }
     if (rank <= last_rank) {
       throw ParseError(
           "stage '" + t.text +
-              "' out of order (filter | select/group/outliers | top | limit, "
-              "each at most once)",
+              "' out of order (filter | select/group/outliers/critical_path/"
+              "blocked_by | top | limit, each at most once)",
           t.pos);
     }
     last_rank = rank;
@@ -216,6 +225,14 @@ Query parse_query(std::string_view text, const SymbolTable* symtab) {
     throw ParseError("expected '|' or end of query at '" +
                          Lexer::describe(lex.peek()) + "'",
                      lex.peek().pos);
+  }
+  if ((q.critical_path || q.blocked_by) && q.filter) {
+    // Wait-edge scans have no func/ip column; the remaining names map
+    // onto the edge: item = waiter item, core = waiter core, ts = enter,
+    // dur = blocked duration.
+    q.filter->bind_check(field_bit(Field::Item) | field_bit(Field::Core) |
+                             field_bit(Field::Ts) | field_bit(Field::Dur),
+                         "a wait-edge stage");
   }
   return q;
 }
@@ -674,6 +691,8 @@ QueryResult QueryEngine::run(const Query& q) {
   OBS_SPAN("query.run");
   QueryMetrics::get().runs.inc();
 
+  if (q.critical_path || q.blocked_by) return run_wait(q);
+
   std::optional<ColumnarTrace> scratch;
   Loaded loaded = load_for(q, scratch);
   const ColumnarTrace& t = *loaded.table;
@@ -828,6 +847,103 @@ QueryResult QueryEngine::run(const Query& q) {
       break;
     }
   }
+
+  if (q.topk.has_value()) {
+    const auto it =
+        std::find(res.columns.begin(), res.columns.end(), q.topk->by);
+    if (it == res.columns.end()) {
+      throw ParseError("top: unknown output column '" + q.topk->by + "'", 0);
+    }
+    const std::size_t ci = static_cast<std::size_t>(it - res.columns.begin());
+    std::stable_sort(res.rows.begin(), res.rows.end(),
+                     [ci](const std::vector<Cell>& x,
+                          const std::vector<Cell>& y) {
+                       return y[ci].less(x[ci]);
+                     });
+    if (res.rows.size() > q.topk->n) res.rows.resize(q.topk->n);
+  }
+  if (q.limit.has_value() && res.rows.size() > *q.limit) {
+    res.rows.resize(*q.limit);
+  }
+  return res;
+}
+
+void QueryEngine::ensure_wait_edges_loaded() {
+  if (wait_loaded_) return;
+  wait_loaded_ = true;
+  // Wait edges only exist in the v2 chunked container; v1/FLXZ traces
+  // simply have none (an empty graph, not an error).
+  if (reader_.format() != io::TraceFormat::FlxtV2) return;
+  const std::string_view bytes = reader_.bytes();
+  try {
+    io::TraceData scratch;
+    for (const io::V2ChunkRef& ref : io::index_trace_v2(bytes)) {
+      if (ref.type != io::kChunkTypeWaitEdges) continue;
+      io::decode_trace_v2_chunk(bytes, ref, scratch);
+    }
+    wait_edges_ = std::move(scratch.wait_edges);
+  } catch (const io::TraceIoError&) {
+    wait_edges_ = io::salvage_trace(bytes).data.wait_edges;
+    wait_salvaged_ = true;
+  }
+}
+
+QueryResult QueryEngine::run_wait(const Query& q) {
+  OBS_SPAN("query.wait_scan");
+  ensure_wait_edges_loaded();
+
+  const unsigned threads = opts_.threads == 0
+                               ? std::max(1u, std::thread::hardware_concurrency())
+                               : opts_.threads;
+
+  // Fixed-size blocks folded into WaitGraph partials and merged in block
+  // order — the same determinism discipline as the sample scan, so the
+  // thread count never shows in the result bytes.
+  const std::size_t n = wait_edges_.size();
+  const std::size_t block = opts_.block_rows;
+  const std::size_t n_blocks = n == 0 ? 0 : (n + block - 1) / block;
+
+  struct WaitBlockOut {
+    WaitGraph graph;
+    std::size_t matched = 0;
+  };
+  std::vector<WaitBlockOut> parts(n_blocks);
+  const auto run_block = [&](std::size_t b) {
+    const std::size_t begin = b * block;
+    const std::size_t end = std::min(n, begin + block);
+    WaitBlockOut out;
+    for (std::size_t i = begin; i < end; ++i) {
+      const WaitEdge& e = wait_edges_[i];
+      if (q.filter) {
+        FieldVals fv;
+        fv.set(Field::Item, static_cast<std::int64_t>(e.item));
+        fv.set(Field::Core, e.waiter_core);
+        fv.set(Field::Ts, static_cast<std::int64_t>(e.enter));
+        fv.set(Field::Dur, static_cast<std::int64_t>(e.blocked()));
+        if (!q.filter->test(fv)) continue;
+      }
+      out.graph.observe(e);
+      ++out.matched;
+    }
+    parts[b] = std::move(out);
+  };
+  if (threads > 1 && n_blocks > 1) {
+    pool(threads).parallel_for(n_blocks, run_block);
+  } else {
+    for (std::size_t b = 0; b < n_blocks; ++b) run_block(b);
+  }
+
+  WaitGraph graph;
+  for (WaitBlockOut& p : parts) graph.merge(std::move(p.graph));
+
+  QueryResult res = q.critical_path ? finish_critical_path(std::move(graph))
+                                    : finish_blocked_by(graph);
+  res.stats.wait_stage = true;
+  res.stats.wait_edges = n;
+  res.stats.rows_scanned = n;
+  for (const WaitBlockOut& p : parts) res.stats.rows_matched += p.matched;
+  res.stats.salvaged = wait_salvaged_;
+  res.stats.threads = threads;
 
   if (q.topk.has_value()) {
     const auto it =

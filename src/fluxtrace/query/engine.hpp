@@ -68,6 +68,7 @@
 #include <vector>
 
 #include "fluxtrace/base/symbols.hpp"
+#include "fluxtrace/base/wait.hpp"
 #include "fluxtrace/core/detector.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
 #include "fluxtrace/query/columnar.hpp"
@@ -107,6 +108,12 @@ struct Query {
   std::vector<Field> group_keys; ///< group mode when aggs is non-empty
   std::vector<Aggregate> aggs;
   std::optional<OutliersSpec> outliers;
+  /// Wait-edge stages (ISSUE 8): scan the trace's wait-edge stream
+  /// instead of the sample columns. A filter (over item/core/ts/dur,
+  /// mapped onto waiter item/waiter core/enter/blocked) and top/limit
+  /// still compose; select/group/outliers do not (same rank).
+  bool critical_path = false;
+  bool blocked_by = false;
   std::optional<TopK> topk;
   std::optional<std::uint64_t> limit;
 
@@ -157,6 +164,8 @@ struct ScanStats {
   bool index_written = false; ///< this run persisted a fresh sidecar
   bool salvaged = false;      ///< strict read failed; rows are best-effort
   unsigned threads = 1;
+  std::size_t wait_edges = 0; ///< wait edges scanned (wait stages only)
+  bool wait_stage = false;    ///< this run was critical_path / blocked_by
 };
 
 struct QueryResult {
@@ -224,6 +233,9 @@ class QueryEngine {
   void ensure_full_loaded();
   void try_build_index();
   rt::ThreadPool& pool(unsigned n_threads);
+  /// Wait-edge stages scan wait_edges_, not the sample columns.
+  QueryResult run_wait(const Query& q);
+  void ensure_wait_edges_loaded();
 
   io::TraceReader reader_;
   SymbolTable symtab_;
@@ -231,6 +243,9 @@ class QueryEngine {
 
   std::optional<ColumnarTrace> full_; ///< cached full decode
   bool full_salvaged_ = false;
+  std::vector<WaitEdge> wait_edges_;  ///< cached wait-edge stream (v2)
+  bool wait_loaded_ = false;
+  bool wait_salvaged_ = false;
   std::optional<FlxiIndex> index_;    ///< cached/validated sidecar
   bool index_load_tried_ = false;     ///< sidecar file probed once per open
   bool index_written_ = false;

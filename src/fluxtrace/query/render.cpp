@@ -93,6 +93,15 @@ void print_json(std::ostream& os, const QueryResult& res) {
 }
 
 void print_stats(std::ostream& os, const ScanStats& stats) {
+  if (stats.wait_stage) {
+    // Wait-edge scans have no chunk/block machinery to report; the edge
+    // count is the whole story.
+    os << "wait edges " << stats.wait_edges << " matched "
+       << stats.rows_matched;
+    if (stats.salvaged) os << " (salvaged)";
+    os << ", threads " << stats.threads << "\n";
+    return;
+  }
   os << "rows " << stats.rows_scanned << " matched " << stats.rows_matched
      << ", chunks " << stats.chunks_total << " read " << stats.chunks_read
      << " pruned " << stats.chunks_pruned;

@@ -239,6 +239,26 @@ std::vector<WindowResult> StreamingQuery::ingest(const io::TraceData& batch) {
   ++stats_.batches;
   std::vector<WindowResult> out;
 
+  // Wait-edge stages fold the batch's edge stream and nothing else: the
+  // marker-window machinery attributes samples, which these stages never
+  // read. Filter semantics match QueryEngine::run_wait exactly.
+  if (query_.critical_path || query_.blocked_by) {
+    for (const WaitEdge& e : batch.wait_edges) {
+      ++stats_.wait_edges;
+      if (query_.filter) {
+        FieldVals fv;
+        fv.set(Field::Item, static_cast<std::int64_t>(e.item));
+        fv.set(Field::Core, e.waiter_core);
+        fv.set(Field::Ts, static_cast<std::int64_t>(e.enter));
+        fv.set(Field::Dur, static_cast<std::int64_t>(e.blocked()));
+        if (!query_.filter->test(fv)) continue;
+      }
+      wait_graph_.observe(e);
+      ++stats_.rows_matched;
+    }
+    return out;
+  }
+
   for (const Marker& m : batch.markers) {
     ++stats_.markers;
     CoreState& cs = cores_[m.core];
@@ -305,6 +325,36 @@ std::vector<WindowResult> StreamingQuery::flush() {
 }
 
 QueryResult StreamingQuery::snapshot() const {
+  if (query_.critical_path || query_.blocked_by) {
+    WaitGraph copy = wait_graph_; // finish_critical_path is destructive
+    QueryResult res = query_.critical_path
+                          ? finish_critical_path(std::move(copy))
+                          : finish_blocked_by(copy);
+    res.stats.wait_stage = true;
+    res.stats.wait_edges = stats_.wait_edges;
+    res.stats.rows_scanned = stats_.wait_edges;
+    res.stats.rows_matched = stats_.rows_matched;
+    res.stats.threads = 1;
+    if (query_.topk.has_value()) {
+      const auto it =
+          std::find(res.columns.begin(), res.columns.end(), query_.topk->by);
+      if (it != res.columns.end()) {
+        const std::size_t ci =
+            static_cast<std::size_t>(it - res.columns.begin());
+        std::stable_sort(res.rows.begin(), res.rows.end(),
+                         [ci](const std::vector<Cell>& x,
+                              const std::vector<Cell>& y) {
+                           return y[ci].less(x[ci]);
+                         });
+        if (res.rows.size() > query_.topk->n) res.rows.resize(query_.topk->n);
+      }
+    }
+    if (query_.limit.has_value() && res.rows.size() > *query_.limit) {
+      res.rows.resize(*query_.limit);
+    }
+    return res;
+  }
+
   QueryResult res;
   res.stats.rows_scanned = stats_.samples;
   res.stats.rows_matched = stats_.rows_matched;

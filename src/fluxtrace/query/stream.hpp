@@ -42,6 +42,7 @@
 #include "fluxtrace/io/trace_file.hpp"
 #include "fluxtrace/query/engine.hpp"
 #include "fluxtrace/query/partials.hpp"
+#include "fluxtrace/query/waitgraph.hpp"
 
 namespace fluxtrace::query {
 
@@ -74,6 +75,7 @@ struct StreamStats {
   std::uint64_t batches = 0;
   std::uint64_t markers = 0;
   std::uint64_t samples = 0;
+  std::uint64_t wait_edges = 0; ///< wait edges ingested (wait stages)
   std::uint64_t windows_closed = 0;
   std::uint64_t rows_matched = 0;
   std::uint64_t rows_unattributed = 0; ///< aged out below any window
@@ -159,6 +161,9 @@ class StreamingQuery {
   std::map<std::vector<std::int64_t>, GroupPartial> groups_;
   std::deque<std::vector<Cell>> row_tail_;
   std::optional<core::FluctuationDetector> detector_;
+  /// Wait-stage pipelines fold edges here instead (ISSUE 8); the window
+  /// machinery above never engages for them.
+  WaitGraph wait_graph_;
 
   // Batch filter evaluation (ISSUE 7): each sealed window's rows gather
   // into these per-window column buffers (reused across windows) and the

@@ -14,23 +14,80 @@
 
 namespace fluxtrace::rt {
 
+/// Wait-edge capture for one SimChannel (ISSUE 8). The channel tracks
+/// its own episodes against the *caller-supplied virtual clocks* (the
+/// inner ring's probe stays uninstalled — double counting would follow):
+/// a failed push opens a ring-full episode at producer time, the next
+/// successful push closes it; a pop that comes back empty (or time-gated
+/// not-ready, which to the consumer is the same starvation) opens a
+/// ring-empty episode at consumer time.
+struct ChannelWaitProbe {
+  WaitLog* log = nullptr;
+  std::uint32_t resource = 0;
+  std::uint32_t producer_core = 0;
+  std::uint32_t consumer_core = 0;
+};
+
 template <typename T>
 class SimChannel {
  public:
   explicit SimChannel(std::size_t min_capacity = 1024)
       : ring_(min_capacity) {}
 
-  /// Producer side: enqueue at producer-time `now`.
-  bool push(T value, Tsc now) {
-    return ring_.push(Stamped{std::move(value), now});
+  /// Install (or clear) the wait-edge probe. The simulator is
+  /// single-threaded, so any quiescent point will do.
+  void set_wait_probe(const ChannelWaitProbe& probe) { probe_ = probe; }
+
+  /// Producer side: enqueue at producer-time `now`. `item` annotates a
+  /// ring-full wait edge with the blocked data-item when known.
+  bool push(T value, Tsc now, ItemId item = kNoItem) {
+    if (!ring_.push(Stamped{std::move(value), now})) {
+      if (probe_.log != nullptr && !push_stalled_) {
+        push_stalled_ = true;
+        push_stall_enter_ = now;
+        push_stall_item_ = item;
+      }
+      return false;
+    }
+    if (push_stalled_) {
+      WaitEdge e;
+      e.enter = push_stall_enter_;
+      e.leave = now;
+      e.item = push_stall_item_;
+      e.waiter_core = probe_.producer_core;
+      e.holder_core = probe_.consumer_core;
+      e.resource = probe_.resource;
+      e.cause = WaitCause::RingFull;
+      probe_.log->record(e);
+      push_stalled_ = false;
+      push_stall_item_ = kNoItem;
+    }
+    return true;
   }
 
   /// Consumer side: dequeue the head only once consumer-time `now` has
   /// reached its push time.
   std::optional<T> pop(Tsc now) {
     const Stamped* head = ring_.front();
-    if (head == nullptr || head->ready > now) return std::nullopt;
+    if (head == nullptr || head->ready > now) {
+      if (probe_.log != nullptr && !pop_stalled_) {
+        pop_stalled_ = true;
+        pop_stall_enter_ = now;
+      }
+      return std::nullopt;
+    }
     auto v = ring_.pop();
+    if (pop_stalled_) {
+      WaitEdge e;
+      e.enter = pop_stall_enter_;
+      e.leave = now;
+      e.waiter_core = probe_.consumer_core;
+      e.holder_core = probe_.producer_core;
+      e.resource = probe_.resource;
+      e.cause = WaitCause::RingEmpty;
+      probe_.log->record(e);
+      pop_stalled_ = false;
+    }
     return std::optional<T>(std::move(v->value));
   }
 
@@ -52,6 +109,12 @@ class SimChannel {
     Tsc ready;
   };
   SpscRing<Stamped> ring_;
+  ChannelWaitProbe probe_;
+  bool push_stalled_ = false;
+  Tsc push_stall_enter_ = 0;
+  ItemId push_stall_item_ = kNoItem;
+  bool pop_stalled_ = false;
+  Tsc pop_stall_enter_ = 0;
 };
 
 } // namespace fluxtrace::rt

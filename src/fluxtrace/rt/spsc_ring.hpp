@@ -14,11 +14,31 @@
 #include <optional>
 #include <vector>
 
+#include "fluxtrace/base/wait.hpp"
+
 namespace fluxtrace::rt {
 
 /// Destructive-interference distance, pinned to 64 (x86-64) so the ABI
 /// does not drift with compiler tuning flags.
 inline constexpr std::size_t kCacheLine = 64;
+
+/// Opt-in wait-edge capture for one ring (ISSUE 8). When `log` is set,
+/// the ring tracks stall *episodes* on both endpoints: the first failed
+/// push opens a ring-full episode and the next successful push closes it
+/// into one WaitEdge (waiter = producer core, holder = consumer core);
+/// pop mirrors this for ring-empty (waiter = consumer, holder =
+/// producer). `now` supplies timestamps (virtual TSC in simulation, any
+/// monotonic counter in threaded tests); a null `now` records
+/// zero-duration edges, which still count. The probe is a plain struct
+/// copied in — installation is not thread-safe, do it before the
+/// endpoints start.
+struct RingWaitProbe {
+  WaitLog* log = nullptr;
+  Tsc (*now)() = nullptr;
+  std::uint32_t resource = 0;
+  std::uint32_t producer_core = 0;
+  std::uint32_t consumer_core = 0;
+};
 
 /// Wait-free bounded SPSC queue. Capacity is rounded up to a power of two;
 /// one slot is sacrificed to distinguish full from empty.
@@ -32,18 +52,29 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
+  /// Install (or clear) the wait-edge probe. Call while both endpoints
+  /// are quiescent; the probe fields are read unlocked from both sides.
+  void set_wait_probe(const RingWaitProbe& probe) { probe_ = probe; }
+
   /// Producer side. Returns false when the ring is full (the rejection
-  /// is counted in dropped()).
-  bool push(T value) {
+  /// is counted in dropped()). `item` annotates a ring-full wait edge
+  /// with the data-item that was blocked, when the caller knows it.
+  bool push(T value, ItemId item = kNoItem) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t next = (head + 1) & mask_;
     if (next == tail_.load(std::memory_order_acquire)) {
+      if (probe_.log != nullptr && !push_stalled_) {
+        push_stalled_ = true;
+        push_stall_enter_ = probe_.now != nullptr ? probe_.now() : 0;
+        push_stall_item_ = item;
+      }
       drops_.store(drops_.load(std::memory_order_relaxed) + 1,
                    std::memory_order_relaxed);
       return false; // full
     }
     slots_[head] = std::move(value);
     head_.store(next, std::memory_order_release);
+    if (push_stalled_) close_push_stall();
     return true;
   }
 
@@ -51,10 +82,15 @@ class SpscRing {
   std::optional<T> pop() {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == head_.load(std::memory_order_acquire)) {
+      if (probe_.log != nullptr && !pop_stalled_) {
+        pop_stalled_ = true;
+        pop_stall_enter_ = probe_.now != nullptr ? probe_.now() : 0;
+      }
       return std::nullopt; // empty
     }
     T value = std::move(slots_[tail]);
     tail_.store((tail + 1) & mask_, std::memory_order_release);
+    if (pop_stalled_) close_pop_stall();
     return value;
   }
 
@@ -71,9 +107,18 @@ class SpscRing {
     }
     head_.store((head + n) & mask_, std::memory_order_release);
     if (n < count) {
+      // Episode semantics for bursts: only a fully rejected burst opens
+      // a stall (partial progress is progress), and any accepted element
+      // closes one.
+      if (n == 0 && probe_.log != nullptr && !push_stalled_) {
+        push_stalled_ = true;
+        push_stall_enter_ = probe_.now != nullptr ? probe_.now() : 0;
+        push_stall_item_ = kNoItem;
+      }
       drops_.store(drops_.load(std::memory_order_relaxed) + (count - n),
                    std::memory_order_relaxed);
     }
+    if (n > 0 && push_stalled_) close_push_stall();
     return n;
   }
 
@@ -84,10 +129,15 @@ class SpscRing {
     const std::size_t head = head_.load(std::memory_order_acquire);
     const std::size_t avail = (head - tail) & mask_;
     const std::size_t n = count < avail ? count : avail;
+    if (n == 0 && count > 0 && probe_.log != nullptr && !pop_stalled_) {
+      pop_stalled_ = true;
+      pop_stall_enter_ = probe_.now != nullptr ? probe_.now() : 0;
+    }
     for (std::size_t i = 0; i < n; ++i) {
       dst[i] = std::move(slots_[(tail + i) & mask_]);
     }
     tail_.store((tail + n) & mask_, std::memory_order_release);
+    if (n > 0 && pop_stalled_) close_pop_stall();
     return n;
   }
 
@@ -130,11 +180,45 @@ class SpscRing {
     return p;
   }
 
+  void close_push_stall() {
+    WaitEdge e;
+    e.enter = push_stall_enter_;
+    e.leave = probe_.now != nullptr ? probe_.now() : push_stall_enter_;
+    e.item = push_stall_item_;
+    e.waiter_core = probe_.producer_core;
+    e.holder_core = probe_.consumer_core;
+    e.resource = probe_.resource;
+    e.cause = WaitCause::RingFull;
+    probe_.log->record(e);
+    push_stalled_ = false;
+    push_stall_item_ = kNoItem;
+  }
+
+  void close_pop_stall() {
+    WaitEdge e;
+    e.enter = pop_stall_enter_;
+    e.leave = probe_.now != nullptr ? probe_.now() : pop_stall_enter_;
+    e.waiter_core = probe_.consumer_core;
+    e.holder_core = probe_.producer_core;
+    e.resource = probe_.resource;
+    e.cause = WaitCause::RingEmpty;
+    probe_.log->record(e);
+    pop_stalled_ = false;
+  }
+
   alignas(kCacheLine) std::atomic<std::size_t> head_{0}; // producer writes
+  // Producer-private episode state rides the producer's line group.
+  bool push_stalled_ = false;
+  Tsc push_stall_enter_ = 0;
+  ItemId push_stall_item_ = kNoItem;
   alignas(kCacheLine) std::atomic<std::uint64_t> drops_{0}; // producer writes
   alignas(kCacheLine) std::atomic<std::size_t> tail_{0}; // consumer writes
+  // Consumer-private episode state rides the consumer's line group.
+  bool pop_stalled_ = false;
+  Tsc pop_stall_enter_ = 0;
   const std::size_t mask_;
   std::vector<T> slots_;
+  RingWaitProbe probe_; ///< read-only after set_wait_probe()
 };
 
 } // namespace fluxtrace::rt

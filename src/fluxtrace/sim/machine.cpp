@@ -2,10 +2,13 @@
 
 #include <cassert>
 
+#include "fluxtrace/obs/metrics.hpp"
+
 namespace fluxtrace::sim {
 
 Machine::Machine(const SymbolTable& symtab, MachineConfig cfg)
     : symtab_(symtab), cfg_(cfg), driver_(cfg.spec, cfg.driver) {
+  wait_log_.set_hook(&obs::count_wait_edge);
   auto shared_l3 = std::make_shared<CacheLevel>(cfg_.cache.l3);
   cpus_.reserve(cfg_.spec.num_cores);
   for (std::uint32_t c = 0; c < cfg_.spec.num_cores; ++c) {

@@ -16,6 +16,7 @@
 #include "fluxtrace/base/markers.hpp"
 #include "fluxtrace/base/symbols.hpp"
 #include "fluxtrace/base/time.hpp"
+#include "fluxtrace/base/wait.hpp"
 #include "fluxtrace/sim/cpu.hpp"
 
 namespace fluxtrace::sim {
@@ -63,6 +64,10 @@ class Machine {
     return static_cast<std::uint32_t>(cpus_.size());
   }
   [[nodiscard]] MarkerLog& marker_log() { return marker_log_; }
+  /// Machine-wide wait-edge collector (ISSUE 8). Apps point their ring /
+  /// channel probes here; the constructor installs obs::count_wait_edge
+  /// as its hook so stall counters track the log for free.
+  [[nodiscard]] WaitLog& wait_log() { return wait_log_; }
   [[nodiscard]] PebsDriver& pebs_driver() { return driver_; }
   [[nodiscard]] const CpuSpec& spec() const { return cfg_.spec; }
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
@@ -86,6 +91,7 @@ class Machine {
   const SymbolTable& symtab_;
   MachineConfig cfg_;
   MarkerLog marker_log_;
+  WaitLog wait_log_;
   PebsDriver driver_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   std::vector<Slot> slots_;

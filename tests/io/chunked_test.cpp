@@ -218,6 +218,95 @@ TEST(ChunkedTrace, StrictReadOfDamagedFileThrows) {
   EXPECT_THROW((void)read_trace(in), TraceIoError);
 }
 
+// --- wait-edge chunks (type 3, ISSUE 8) -------------------------------
+
+std::vector<WaitEdge> sample_waits(std::size_t n, std::uint64_t seed = 3) {
+  auto rnd = [state = seed]() mutable {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 11;
+  };
+  std::vector<WaitEdge> es;
+  for (std::size_t i = 0; i < n; ++i) {
+    WaitEdge e;
+    e.enter = rnd() % 1000000;
+    e.leave = e.enter + rnd() % 5000;
+    e.item = (rnd() % 4 == 0) ? kNoItem : rnd() % 64;
+    e.waiter_core = static_cast<std::uint32_t>(rnd() % 8);
+    e.holder_core = static_cast<std::uint32_t>(rnd() % 8);
+    e.resource = static_cast<std::uint32_t>(rnd() % 32);
+    e.cause = static_cast<WaitCause>(rnd() % kNumWaitCauses);
+    es.push_back(e);
+  }
+  return es;
+}
+
+TEST(WaitEdgeChunk, RoundTripPreservesEveryField) {
+  TraceData d = sample_data(20, 40);
+  d.wait_edges = sample_waits(33);
+  for (const std::size_t per_chunk :
+       {std::size_t{1}, std::size_t{8}, std::size_t{10000}}) {
+    std::stringstream ss(serialize_v2(d, per_chunk));
+    EXPECT_EQ(read_trace(ss), d) << "per_chunk=" << per_chunk;
+  }
+}
+
+TEST(WaitEdgeChunk, IndexWalkExposesTypeThreeChunks) {
+  TraceData d;
+  d.wait_edges = sample_waits(10);
+  const std::string image = serialize_v2(d, 4);
+  const auto refs = index_trace_v2(image);
+  std::size_t n_waits = 0;
+  TraceData got;
+  for (const V2ChunkRef& ref : refs) {
+    ASSERT_EQ(ref.type, kChunkTypeWaitEdges);
+    n_waits += ref.n_records;
+    decode_trace_v2_chunk(image, ref, got);
+  }
+  EXPECT_EQ(n_waits, 10u);
+  EXPECT_EQ(got.wait_edges, d.wait_edges);
+}
+
+TEST(WaitEdgeChunk, CorruptWaitPayloadIsSkippedNotFatalToSalvage) {
+  TraceData d = sample_data(8, 0);
+  d.wait_edges = sample_waits(8);
+  std::string image = serialize_v2(d, 4); // 2 marker + 2 wait chunks
+  const auto refs = index_trace_v2(image);
+  for (const V2ChunkRef& ref : refs) {
+    if (ref.type != kChunkTypeWaitEdges) continue;
+    image[static_cast<std::size_t>(ref.offset) + 21 + 5] ^= 0x40;
+    break; // damage the first wait chunk's payload only
+  }
+  const SalvageReport rep = salvage_trace(std::string_view(image));
+  EXPECT_FALSE(rep.clean());
+  EXPECT_EQ(rep.chunks_corrupt, 1u);
+  EXPECT_EQ(rep.data.markers.size(), 8u) << "marker chunks unaffected";
+  ASSERT_EQ(rep.data.wait_edges.size(), 4u) << "intact wait chunk kept";
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(rep.data.wait_edges[i], d.wait_edges[4 + i]);
+  }
+  // The strict reader refuses the same damage outright.
+  std::istringstream in(image);
+  EXPECT_THROW((void)read_trace(in), TraceIoError);
+}
+
+TEST(WaitEdgeChunk, TruncationSalvagesCompleteWaitChunks) {
+  TraceData d;
+  d.wait_edges = sample_waits(12);
+  const std::string image = serialize_v2(d, 4); // 3 wait chunks + eof
+  const auto refs = index_trace_v2(image);
+  ASSERT_EQ(refs.size(), 3u);
+  // Cut mid-payload of the last chunk: the first two salvage intact.
+  const std::string cut = image.substr(
+      0, static_cast<std::size_t>(refs[2].offset) + 21 +
+             refs[2].payload_bytes / 2);
+  const SalvageReport rep = salvage_trace(std::string_view(cut));
+  EXPECT_FALSE(rep.clean());
+  ASSERT_EQ(rep.data.wait_edges.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(rep.data.wait_edges[i], d.wait_edges[i]);
+  }
+}
+
 } // namespace
 } // namespace fluxtrace::io
 

@@ -485,5 +485,50 @@ TEST(TraceFollower, StopMidStreamSettlesLedger) {
   std::remove(path.c_str());
 }
 
+TEST(TraceFollower, WaitEdgeChunksFlowThroughTheLiveLedger) {
+  const std::string path = temp_path("follower_waits.flxt2");
+  io::TraceData data{make_markers(8), make_samples(12)};
+  for (std::size_t i = 0; i < 9; ++i) {
+    WaitEdge e;
+    e.enter = 1000 + i * 50;
+    e.leave = e.enter + 30;
+    e.item = i;
+    e.waiter_core = 1;
+    e.holder_core = 2;
+    e.resource = 10;
+    e.cause = WaitCause::RingFull;
+    data.wait_edges.push_back(e);
+  }
+  const std::string image = v2_image(data, 4);
+
+  // Stream the file in two installments split mid-image, the way a live
+  // writer would leave it: the torn tail is "not yet", then completes.
+  write_file(path, image.substr(0, image.size() / 2));
+  TraceFollower f = TraceFollower::open(path, {});
+  std::uint64_t now = 0;
+  TraceData got;
+  for (int i = 0; i < 5; ++i) {
+    auto pr = f.poll(now);
+    now += 1'000'000;
+    got.wait_edges.insert(got.wait_edges.end(), pr.data.wait_edges.begin(),
+                          pr.data.wait_edges.end());
+  }
+  EXPECT_FALSE(f.finished());
+  append_file(path, image.substr(image.size() / 2));
+  while (!f.finished()) {
+    auto pr = f.poll(now);
+    now += 1'000'000;
+    got.wait_edges.insert(got.wait_edges.end(), pr.data.wait_edges.begin(),
+                          pr.data.wait_edges.end());
+    if (pr.finished) break;
+  }
+
+  EXPECT_EQ(f.finish_reason(), FollowFinish::CleanEof);
+  EXPECT_TRUE(f.stats().reconciled());
+  EXPECT_EQ(f.stats().records_wait_edges, 9u);
+  EXPECT_EQ(got.wait_edges, data.wait_edges);
+  std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace fluxtrace::io

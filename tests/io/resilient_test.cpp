@@ -319,5 +319,64 @@ TEST(ResilientWriter, FaultableSinkMapsVerdicts) {
   EXPECT_EQ(raw->bytes.size(), 4u); // only the clean write reached it
 }
 
+std::vector<WaitEdge> make_waits(std::size_t n, std::uint64_t seed = 1) {
+  std::vector<WaitEdge> es;
+  for (std::size_t i = 0; i < n; ++i) {
+    WaitEdge e;
+    e.enter = seed + i * 100;
+    e.leave = e.enter + 40 + i;
+    e.item = (i % 3 == 0) ? kNoItem : i;
+    e.waiter_core = 1;
+    e.holder_core = 2;
+    e.resource = 10 + static_cast<std::uint32_t>(i % 2);
+    e.cause = static_cast<WaitCause>(i % kNumWaitCauses);
+    es.push_back(e);
+  }
+  return es;
+}
+
+TEST(WaitEdgeSpool, WaitEdgesSpoolChunkedAndSalvageBack) {
+  ResilientWriterConfig cfg;
+  cfg.records_per_chunk = 4;
+  Harness h(cfg);
+  const auto ms = make_markers(8);
+  const auto es = make_waits(10); // 2 full chunks + a 2-record remainder
+  h.w->add_markers(ms.data(), ms.size(), 0);
+  h.w->add_wait_edges(es.data(), es.size(), 0);
+  h.w->pump(1000);
+  EXPECT_TRUE(h.w->close(2000)); // close flushes the partial wait chunk
+
+  const auto& st = h.w->stats();
+  EXPECT_EQ(st.records_enqueued, 18u);
+  EXPECT_EQ(st.records_committed, 18u);
+  EXPECT_TRUE(st.reconciled());
+
+  const SalvageReport rep = salvage_trace(std::string_view(h.primary->bytes));
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.data.markers, ms);
+  EXPECT_EQ(rep.data.wait_edges, es);
+}
+
+TEST(WaitEdgeSpool, ReportsAfterCloseAreDroppedNotMisLedgered) {
+  // core::SessionSupervisor reports its final backpressure interval while
+  // winding down, after close() sealed the spool; the writer must drop it
+  // (nowhere to put it) without disturbing the reconciled ledger.
+  ResilientWriterConfig cfg;
+  cfg.records_per_chunk = 4;
+  Harness h(cfg);
+  const auto es = make_waits(4);
+  h.w->add_wait_edges(es.data(), es.size(), 0);
+  h.w->pump(100);
+  EXPECT_TRUE(h.w->close(200));
+  const std::uint64_t enqueued = h.w->stats().records_enqueued;
+
+  h.w->add_wait_edges(es.data(), es.size(), 300);
+  EXPECT_EQ(h.w->stats().records_enqueued, enqueued);
+  EXPECT_TRUE(h.w->stats().reconciled());
+  const SalvageReport rep = salvage_trace(std::string_view(h.primary->bytes));
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.data.wait_edges, es);
+}
+
 } // namespace
 } // namespace fluxtrace::io

@@ -7,12 +7,15 @@
 #include <sstream>
 #include <string>
 
+#include "fluxtrace/base/wait.hpp"
 #include "fluxtrace/core/integrator.hpp"
 #include "fluxtrace/core/online.hpp"
 #include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
+#include "fluxtrace/obs/export.hpp"
 #include "fluxtrace/obs/metrics.hpp"
 #include "fluxtrace/obs/span.hpp"
+#include "fluxtrace/rt/spsc_ring.hpp"
 #include "fluxtrace/rt/thread_pool.hpp"
 #include "fluxtrace/sim/pebs.hpp"
 
@@ -166,6 +169,55 @@ TEST(ObsIntegration, PebsDriverCountsDrainsAndEmitsVirtualSpan) {
   EXPECT_EQ(spans[0].track, 2u);
   EXPECT_EQ(spans[0].begin, 1000u);
   EXPECT_GT(spans[0].end, spans[0].begin);
+}
+
+TEST(ObsIntegration, WaitEdgeHookCountsStallsByCause) {
+  const std::uint64_t full0 = counter_value("rt.ring.full_stalls");
+  const std::uint64_t empty0 = counter_value("rt.ring.empty_stalls");
+  const std::uint64_t bp0 = counter_value("session.backpressure_waits");
+
+  // The seam layered systems use: base::WaitLog records, the obs hook
+  // (installed by sim::Machine, here directly) buckets by cause.
+  WaitLog log;
+  log.set_hook(&obs::count_wait_edge);
+  WaitEdge e;
+  e.cause = WaitCause::RingFull;
+  log.record(e);
+  e.cause = WaitCause::RingEmpty;
+  log.record(e);
+  log.record(e);
+  e.cause = WaitCause::SinkBackpressure;
+  log.record(e);
+  e.cause = WaitCause::Shed; // shedding is backpressure that gave up
+  log.record(e);
+
+  EXPECT_EQ(counter_value("rt.ring.full_stalls") - full0, 1u);
+  EXPECT_EQ(counter_value("rt.ring.empty_stalls") - empty0, 2u);
+  EXPECT_EQ(counter_value("session.backpressure_waits") - bp0, 2u);
+
+  // The counters ride the ordinary registry: every exporter sees them.
+  std::ostringstream prom;
+  obs::write_prometheus(prom, obs::metrics().snapshot());
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("rt_ring_full_stalls"), std::string::npos);
+  EXPECT_NE(text.find("rt_ring_empty_stalls"), std::string::npos);
+  EXPECT_NE(text.find("session_backpressure_waits"), std::string::npos);
+}
+
+// A probed ring inside an instrumented run moves the same counters
+// end-to-end: stall the producer side once and the full-stall counter
+// steps by exactly one.
+TEST(ObsIntegration, RingWaitProbeStepsCountersEndToEnd) {
+  const std::uint64_t full0 = counter_value("rt.ring.full_stalls");
+  WaitLog log;
+  log.set_hook(&obs::count_wait_edge);
+  rt::SpscRing<int> ring(2);
+  ring.set_wait_probe(rt::RingWaitProbe{&log, nullptr, 1, 0, 1});
+  while (ring.push(7)) {
+  }
+  ASSERT_TRUE(ring.pop().has_value());
+  ASSERT_TRUE(ring.push(7));
+  EXPECT_EQ(counter_value("rt.ring.full_stalls") - full0, 1u);
 }
 
 } // namespace

@@ -53,5 +53,68 @@ TEST(SimChannel, CapacityBound) {
   EXPECT_EQ(pushed, ch.capacity());
 }
 
+// --- wait-edge probe (ISSUE 8) ----------------------------------------
+
+TEST(SimChannel, WaitProbeRecordsFullEpisodeAtVirtualTime) {
+  WaitLog log;
+  SimChannel<int> ch(2);
+  ch.set_wait_probe(ChannelWaitProbe{&log, /*resource=*/11,
+                                     /*producer_core=*/1,
+                                     /*consumer_core=*/2});
+  std::size_t fill = 0;
+  while (ch.push(1, /*now=*/fill)) ++fill;
+  // The terminating failed push opened the episode at its own time.
+  EXPECT_TRUE(log.edges().empty());
+  EXPECT_FALSE(ch.push(9, 50, /*item=*/5)); // still the same episode
+  ASSERT_TRUE(ch.pop(100).has_value());
+  EXPECT_TRUE(ch.push(9, 120)); // closes
+  ASSERT_EQ(log.edges().size(), 1u);
+  const WaitEdge& e = log.edges()[0];
+  EXPECT_EQ(e.enter, fill) << "episode opened by the first rejection";
+  EXPECT_EQ(e.leave, 120u);
+  EXPECT_EQ(e.item, kNoItem) << "first rejection carried no item";
+  EXPECT_EQ(e.waiter_core, 1u);
+  EXPECT_EQ(e.holder_core, 2u);
+  EXPECT_EQ(e.resource, 11u);
+  EXPECT_EQ(e.cause, WaitCause::RingFull);
+}
+
+TEST(SimChannel, WaitProbeCountsTimeGatedPopAsStarvation) {
+  WaitLog log;
+  SimChannel<int> ch(8);
+  ch.set_wait_probe(ChannelWaitProbe{&log, 4, 1, 2});
+  ch.push(42, /*now=*/1000);
+  // The element exists but is not yet visible at consumer time 500 — to
+  // the consumer that is the same starvation as an empty ring.
+  EXPECT_FALSE(ch.pop(500).has_value());
+  EXPECT_FALSE(ch.pop(700).has_value());
+  ASSERT_TRUE(ch.pop(1000).has_value());
+  ASSERT_EQ(log.edges().size(), 1u);
+  const WaitEdge& e = log.edges()[0];
+  EXPECT_EQ(e.enter, 500u);
+  EXPECT_EQ(e.leave, 1000u);
+  EXPECT_EQ(e.waiter_core, 2u);
+  EXPECT_EQ(e.holder_core, 1u);
+  EXPECT_EQ(e.cause, WaitCause::RingEmpty);
+}
+
+TEST(SimChannel, WaitProbeDoesNotDoubleCountThroughInnerRing) {
+  // The channel tracks its own episodes against virtual time; the inner
+  // ring's probe stays uninstalled, so one stall yields exactly one edge.
+  WaitLog log;
+  SimChannel<int> ch(2);
+  ch.set_wait_probe(ChannelWaitProbe{&log, 1, 0, 0});
+  Tsc t = 10;
+  while (ch.push(1, t)) t += 10; // fill, then one rejection opens full
+  ASSERT_TRUE(ch.pop(100).has_value());
+  EXPECT_TRUE(ch.push(1, 101)); // closes the full episode
+  while (ch.pop(101).has_value()) {
+  } // the terminating failed pop opens the empty episode
+  EXPECT_FALSE(ch.pop(150).has_value()); // same episode: no reopen
+  EXPECT_TRUE(ch.push(2, 160));
+  ASSERT_TRUE(ch.pop(170).has_value()); // closes the empty episode
+  EXPECT_EQ(log.edges().size(), 2u); // one full + one empty, nothing more
+}
+
 } // namespace
 } // namespace fluxtrace::rt

@@ -302,5 +302,155 @@ TEST(SpscRing, TwoThreadsPreserveOrderAndCount) {
   }
 }
 
+// --- wait-edge probe (ISSUE 8) ----------------------------------------
+
+/// Deterministic test clock for the probe's `now` function pointer.
+std::atomic<std::uint64_t> g_probe_clock{0};
+Tsc probe_now() { return g_probe_clock.load(std::memory_order_relaxed); }
+/// Monotone unique stamps for the two-thread test.
+Tsc probe_tick() { return g_probe_clock.fetch_add(1); }
+
+TEST(SpscRing, WaitProbeClosesOneFullEpisodePerStall) {
+  WaitLog log;
+  SpscRing<int> r(2);
+  r.set_wait_probe(RingWaitProbe{&log, &probe_now, /*resource=*/7,
+                                 /*producer_core=*/1, /*consumer_core=*/2});
+  g_probe_clock = 0;
+  for (std::size_t i = 0; i < r.capacity(); ++i) ASSERT_TRUE(r.push(1));
+  EXPECT_TRUE(log.edges().empty()) << "accepted pushes record nothing";
+
+  g_probe_clock = 10;
+  EXPECT_FALSE(r.push(9, /*item=*/42)); // opens the episode, item captured
+  g_probe_clock = 20;
+  EXPECT_FALSE(r.push(9, /*item=*/43)); // same episode: no reopen
+  ASSERT_TRUE(r.pop().has_value());
+  g_probe_clock = 30;
+  EXPECT_TRUE(r.push(9)); // the close records exactly one edge
+  ASSERT_EQ(log.edges().size(), 1u);
+  const WaitEdge& e = log.edges()[0];
+  EXPECT_EQ(e.enter, 10u);
+  EXPECT_EQ(e.leave, 30u);
+  EXPECT_EQ(e.item, 42u) << "first blocked item names the episode";
+  EXPECT_EQ(e.waiter_core, 1u);
+  EXPECT_EQ(e.holder_core, 2u);
+  EXPECT_EQ(e.resource, 7u);
+  EXPECT_EQ(e.cause, WaitCause::RingFull);
+  EXPECT_EQ(e.blocked(), 20u);
+}
+
+TEST(SpscRing, WaitProbeClosesOneEmptyEpisodePerStall) {
+  WaitLog log;
+  SpscRing<int> r(4);
+  r.set_wait_probe(RingWaitProbe{&log, &probe_now, 3, 1, 2});
+  g_probe_clock = 5;
+  EXPECT_FALSE(r.pop().has_value()); // opens
+  g_probe_clock = 9;
+  EXPECT_FALSE(r.pop().has_value()); // same episode
+  EXPECT_TRUE(r.push(7));
+  g_probe_clock = 12;
+  ASSERT_TRUE(r.pop().has_value()); // closes
+  ASSERT_EQ(log.edges().size(), 1u);
+  const WaitEdge& e = log.edges()[0];
+  EXPECT_EQ(e.enter, 5u);
+  EXPECT_EQ(e.leave, 12u);
+  EXPECT_EQ(e.item, kNoItem) << "empty-ring episodes are not item-bound";
+  EXPECT_EQ(e.waiter_core, 2u) << "consumer waits on an empty ring";
+  EXPECT_EQ(e.holder_core, 1u);
+  EXPECT_EQ(e.cause, WaitCause::RingEmpty);
+}
+
+TEST(SpscRing, WaitProbeBurstsOnlyOpenOnFullRejection) {
+  WaitLog log;
+  SpscRing<int> r(4);
+  r.set_wait_probe(RingWaitProbe{&log, &probe_now, 1, 0, 0});
+  std::vector<int> src(r.capacity() + 5, 7);
+  g_probe_clock = 10;
+  // Partial progress is progress: no episode opens.
+  EXPECT_EQ(r.push_burst(src.data(), src.size()), r.capacity());
+  EXPECT_TRUE(log.edges().empty());
+  // A fully rejected burst opens; the next accepted element closes.
+  g_probe_clock = 20;
+  EXPECT_EQ(r.push_burst(src.data(), 2), 0u);
+  int dst[8];
+  EXPECT_EQ(r.pop_burst(dst, 8), r.capacity());
+  g_probe_clock = 25;
+  EXPECT_EQ(r.push_burst(src.data(), 2), 2u);
+  ASSERT_EQ(log.edges().size(), 1u);
+  EXPECT_EQ(log.edges()[0].enter, 20u);
+  EXPECT_EQ(log.edges()[0].leave, 25u);
+  EXPECT_EQ(log.edges()[0].cause, WaitCause::RingFull);
+}
+
+TEST(SpscRing, WaitProbeNullClockRecordsZeroDurationEdges) {
+  WaitLog log;
+  SpscRing<int> r(2);
+  r.set_wait_probe(RingWaitProbe{&log, nullptr, 0, 0, 0});
+  while (r.push(1)) {
+  }
+  ASSERT_TRUE(r.pop().has_value());
+  EXPECT_TRUE(r.push(1));
+  ASSERT_EQ(log.edges().size(), 1u);
+  EXPECT_EQ(log.edges()[0].blocked(), 0u);
+}
+
+// Two real threads under the probe (the TSan exercise for the episode
+// state riding each endpoint's private cache-line group): each thread
+// counts its own stall→success transitions, and the shared log must
+// reconcile *exactly* — one ring-full edge per producer transition, one
+// ring-empty edge per consumer transition, nothing else.
+TEST(SpscRing, TwoThreadsWaitEdgeLedgerReconciles) {
+  constexpr int kN = 50000;
+  WaitLog log;
+  SpscRing<int> ring(16);
+  ring.set_wait_probe(RingWaitProbe{&log, &probe_tick, /*resource=*/9,
+                                    /*producer_core=*/1,
+                                    /*consumer_core=*/2});
+  g_probe_clock = 0;
+
+  std::uint64_t full_closes = 0;
+  std::uint64_t empty_closes = 0;
+  std::thread consumer([&ring, &empty_closes] {
+    int received = 0;
+    bool stalled = false;
+    while (received < kN) {
+      if (ring.pop().has_value()) {
+        if (stalled) ++empty_closes;
+        stalled = false;
+        ++received;
+      } else {
+        stalled = true;
+      }
+    }
+  });
+  bool stalled = false;
+  for (int i = 0; i < kN; ++i) {
+    while (!ring.push(i, static_cast<ItemId>(i))) stalled = true;
+    if (stalled) ++full_closes;
+    stalled = false;
+  }
+  consumer.join();
+
+  std::uint64_t full_edges = 0;
+  std::uint64_t empty_edges = 0;
+  for (const WaitEdge& e : log.edges()) {
+    ASSERT_GE(e.leave, e.enter);
+    ASSERT_EQ(e.resource, 9u);
+    if (e.cause == WaitCause::RingFull) {
+      ASSERT_EQ(e.waiter_core, 1u);
+      ASSERT_EQ(e.holder_core, 2u);
+      ++full_edges;
+    } else {
+      ASSERT_EQ(e.cause, WaitCause::RingEmpty);
+      ASSERT_EQ(e.waiter_core, 2u);
+      ASSERT_EQ(e.holder_core, 1u);
+      ASSERT_EQ(e.item, kNoItem);
+      ++empty_edges;
+    }
+  }
+  EXPECT_EQ(full_edges, full_closes) << "unaccounted ring-full episode";
+  EXPECT_EQ(empty_edges, empty_closes) << "unaccounted ring-empty episode";
+  EXPECT_EQ(full_edges + empty_edges, log.edges().size());
+}
+
 } // namespace
 } // namespace fluxtrace::rt

@@ -107,6 +107,27 @@ void print_summary_footer(const io::TraceData& data) {
                 static_cast<unsigned long long>(t_max),
                 static_cast<unsigned long long>(t_max - t_min));
   }
+
+  // Wait-edge summary (ISSUE 8): how much of the trace's story is
+  // blocking rather than work, and what mostly caused it.
+  if (!data.wait_edges.empty()) {
+    std::uint64_t by_cause[kNumWaitCauses] = {};
+    std::uint64_t total_blocked = 0;
+    for (const WaitEdge& e : data.wait_edges) {
+      by_cause[static_cast<std::uint8_t>(e.cause)] += e.blocked();
+      total_blocked += e.blocked();
+    }
+    std::uint8_t top = 0;
+    for (std::uint8_t c = 1; c < kNumWaitCauses; ++c) {
+      if (by_cause[c] > by_cause[top]) top = c;
+    }
+    std::printf("  waits:    %zu edges, top cause %s (%llu of %llu blocked "
+                "tsc)\n",
+                data.wait_edges.size(),
+                std::string(to_string(static_cast<WaitCause>(top))).c_str(),
+                static_cast<unsigned long long>(by_cause[top]),
+                static_cast<unsigned long long>(total_blocked));
+  }
 }
 
 } // namespace

@@ -161,11 +161,12 @@ void print_ledger(const io::TraceFollower& follower,
                static_cast<unsigned long long>(fs.resyncs));
   std::fprintf(stderr,
                "stream: windows=%llu rows-matched=%llu alerts=%llu "
-               "unattributed=%llu\n",
+               "unattributed=%llu wait-edges=%llu\n",
                static_cast<unsigned long long>(ss.windows_closed),
                static_cast<unsigned long long>(ss.rows_matched),
                static_cast<unsigned long long>(ss.alerts),
-               static_cast<unsigned long long>(ss.rows_unattributed));
+               static_cast<unsigned long long>(ss.rows_unattributed),
+               static_cast<unsigned long long>(ss.wait_edges));
 }
 
 void print_windows(const std::vector<query::WindowResult>& windows,

@@ -42,8 +42,9 @@ int main(int argc, char** argv) try {
               rep.chunks_corrupt, rep.chunks_resynced,
               static_cast<unsigned long long>(rep.bytes_skipped),
               static_cast<unsigned long long>(rep.bytes_truncated));
-  std::printf("recovered %zu markers, %zu samples%s\n",
+  std::printf("recovered %zu markers, %zu samples, %zu wait edges%s\n",
               rep.data.markers.size(), rep.data.samples.size(),
+              rep.data.wait_edges.size(),
               rep.clean() ? " (file was already clean)" : "");
 
   if (rep.chunks_ok == 0 && rep.data.markers.empty() &&

@@ -35,6 +35,7 @@
 #include "fluxtrace/core/profile.hpp"
 #include "fluxtrace/io/folded.hpp"
 #include "fluxtrace/query/expr.hpp"
+#include "fluxtrace/query/waitgraph.hpp"
 #include "fluxtrace/report/gantt.hpp"
 #include "fluxtrace/io/symbols_file.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
@@ -198,6 +199,49 @@ int main(int argc, char** argv) try {
   if (diagnose_mode) {
     const core::DiagnosisReport rep = core::diagnose(table, spec);
     rep.print(std::cout, symtab);
+    // Wait-edge root causes (ISSUE 8): when the trace carries wait edges,
+    // say *why* the slow items were slow in pipeline terms — which ring
+    // was full or empty, and which core held the other end.
+    if (!data.wait_edges.empty()) {
+      query::WaitGraph graph;
+      std::uint64_t total_blocked = 0;
+      for (const WaitEdge& e : data.wait_edges) {
+        graph.observe(e);
+        total_blocked += e.blocked();
+      }
+      const query::QueryResult cp = query::finish_critical_path(graph);
+      std::printf("\nwait diagnosis: %zu edges, %llu tsc spent blocked\n",
+                  data.wait_edges.size(),
+                  static_cast<unsigned long long>(total_blocked));
+      const std::size_t shown = std::min<std::size_t>(cp.rows.size(), 8);
+      for (std::size_t i = 0; i < shown; ++i) {
+        // finish_critical_path columns: item blocked edges cause resource
+        // holder (blocked-descending).
+        const auto& row = cp.rows[i];
+        const std::int64_t item = row[0].i;
+        const std::string who = item < 0 ? std::string("(no item)")
+                                         : "item " + std::to_string(item);
+        const std::string& cause = row[3].s;
+        std::string why;
+        if (cause == "ring-full") {
+          why = "ring " + std::to_string(row[4].i) + " full";
+        } else if (cause == "ring-empty") {
+          why = "ring " + std::to_string(row[4].i) + " empty";
+        } else {
+          why = cause + " on resource " + std::to_string(row[4].i);
+        }
+        std::printf("  %s slow because %s, held by core %lld "
+                    "(%lld tsc blocked over %lld edges)\n",
+                    who.c_str(), why.c_str(),
+                    static_cast<long long>(row[5].i),
+                    static_cast<long long>(row[1].i),
+                    static_cast<long long>(row[2].i));
+      }
+      if (cp.rows.size() > shown) {
+        std::printf("  ... and %zu more blocked items\n",
+                    cp.rows.size() - shown);
+      }
+    }
     return tel.finish();
   }
 
