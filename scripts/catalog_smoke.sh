@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI catalog smoke (ISSUE 9): ingest the deterministic example trace
+# into a fresh catalog and run the canned flxt_query pipelines through
+# --catalog federation. Every answer must be byte-identical to the
+# single-trace goldens in tests/golden/ — federation must never change
+# a byte — and the ledger must account every member as ok.
+#
+# Usage: scripts/catalog_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+GOLDEN=tests/golden
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/examples/offline_analysis" "$TMP/smoke.flxt" > /dev/null
+SYMS="$TMP/smoke.flxt.syms"
+CAT="$TMP/catalog"
+mkdir "$CAT"
+"$BUILD/tools/flxt_convert" "$TMP/smoke.flxt" "$CAT/member.flxt" \
+  --to-v2 --chunk-records 16 > /dev/null
+
+"$BUILD/tools/flxt_hub" ingest "$CAT" "$SYMS" | tee "$TMP/ingest.out"
+grep -q '1 registered' "$TMP/ingest.out"
+"$BUILD/tools/flxt_hub" verify "$CAT" "$SYMS"
+
+declare -A QUERIES=(
+  [group_func]='group func: count, sum(dur), p95(dur)'
+  [filter_item]='filter item == 1 | group func: count'
+  [topk_items]='group item: count, max(ts) | top 3 by count'
+  [select_rows]='filter func == "sample_app::f3_transform" && core == 1 | select item, ts | limit 5'
+  [outliers]='outliers k=1.0 warmup=3'
+)
+
+fail=0
+for name in group_func filter_item topk_items select_rows outliers; do
+  "$BUILD/tools/flxt_query" "$CAT" "$SYMS" "${QUERIES[$name]}" \
+    --catalog --csv > "$TMP/$name.csv" 2> "$TMP/$name.ledger"
+  if ! diff -u "$GOLDEN/query_$name.csv" "$TMP/$name.csv"; then
+    echo "FAIL: federated $name diverges from $GOLDEN/query_$name.csv" >&2
+    fail=1
+  elif ! grep -q 'traces: 1 ok, 0 salvaged, 0 quarantined, 0 skipped' \
+      "$TMP/$name.ledger"; then
+    echo "FAIL: $name ledger: $(cat "$TMP/$name.ledger")" >&2
+    fail=1
+  else
+    echo "ok: federated $name"
+  fi
+done
+
+exit "$fail"

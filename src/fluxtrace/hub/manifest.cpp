@@ -1,0 +1,505 @@
+#include "fluxtrace/hub/manifest.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "fluxtrace/io/chunked.hpp" // io::crc32
+
+namespace fluxtrace::hub {
+
+namespace {
+
+constexpr std::uint8_t kRecUpsert = 1;
+constexpr std::uint8_t kRecRemove = 2;
+constexpr std::uint8_t kRecCompactIntent = 3;
+constexpr std::uint8_t kRecCompactCommit = 4;
+constexpr std::uint8_t kRecCompactAbort = 5;
+
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kRecordHeaderBytes = 4 + 1 + 4 + 4;
+
+void app_u8(std::string& b, std::uint8_t v) {
+  b.push_back(static_cast<char>(v));
+}
+
+void app_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+void app_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    b.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+void app_str(std::string& b, const std::string& s) {
+  app_u32(b, static_cast<std::uint32_t>(s.size()));
+  b += s;
+}
+
+// Cursor reads that fail closed, same idiom as the FLXI decoder: any
+// overrun flips `ok` and the caller bails once at the end.
+struct Reader {
+  std::string_view b;
+  std::size_t at = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (at + 1 > b.size()) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(b[at++]);
+  }
+
+  std::uint32_t u32() {
+    if (at + 4 > b.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[at + i]))
+           << (8 * i);
+    }
+    at += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (at + 8 > b.size()) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(b[at + i]))
+           << (8 * i);
+    }
+    at += 8;
+    return v;
+  }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok || at + n > b.size()) {
+      ok = false;
+      return {};
+    }
+    std::string s(b.substr(at, n));
+    at += n;
+    return s;
+  }
+};
+
+void encode_entry(std::string& b, const TraceEntry& e) {
+  app_str(b, e.path);
+  app_u8(b, static_cast<std::uint8_t>(e.state));
+  app_u64(b, e.size_bytes);
+  app_u32(b, e.crc);
+  app_u64(b, e.ingested_at_ns);
+  app_u64(b, e.rows);
+  app_u64(b, e.chunks_ok);
+  app_u64(b, e.chunks_corrupt);
+  app_u64(b, e.bytes_lost);
+  app_u8(b, e.sidecar ? 1 : 0);
+  app_str(b, e.detail);
+}
+
+bool decode_entry(Reader& r, TraceEntry& e) {
+  e.path = r.str();
+  const std::uint8_t state = r.u8();
+  if (state > static_cast<std::uint8_t>(TraceState::Expired)) return false;
+  e.state = static_cast<TraceState>(state);
+  e.size_bytes = r.u64();
+  e.crc = r.u32();
+  e.ingested_at_ns = r.u64();
+  e.rows = r.u64();
+  e.chunks_ok = r.u64();
+  e.chunks_corrupt = r.u64();
+  e.bytes_lost = r.u64();
+  e.sidecar = r.u8() != 0;
+  e.detail = r.str();
+  return r.ok;
+}
+
+std::string header_bytes() {
+  std::string h;
+  app_u32(h, kManifestMagic);
+  app_u32(h, kManifestVersion);
+  return h;
+}
+
+std::string record_bytes(std::uint8_t type, const std::string& payload) {
+  std::string rec;
+  rec.reserve(kRecordHeaderBytes + payload.size());
+  app_u32(rec, kRecordMagic);
+  app_u8(rec, type);
+  app_u32(rec, static_cast<std::uint32_t>(payload.size()));
+  app_u32(rec, io::crc32(payload.data(), payload.size()));
+  rec += payload;
+  return rec;
+}
+
+void write_all(int fd, const std::string& bytes, const std::string& what) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ManifestError(what + ": write failed: " +
+                          std::string(std::strerror(errno)));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_or_throw(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    throw ManifestError(what + ": fsync failed: " +
+                        std::string(std::strerror(errno)));
+  }
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return; // best-effort; the rename itself already happened
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+} // namespace
+
+const char* to_string(TraceState s) {
+  switch (s) {
+    case TraceState::Ok: return "ok";
+    case TraceState::Salvaged: return "salvaged";
+    case TraceState::Quarantined: return "quarantined";
+    case TraceState::Expired: return "expired";
+  }
+  return "?";
+}
+
+Manifest::Manifest(Manifest&& other) noexcept
+    : path_(std::move(other.path_)), fault_(std::move(other.fault_)),
+      fd_(std::exchange(other.fd_, -1)), entries_(std::move(other.entries_)),
+      pending_(std::move(other.pending_)), stats_(other.stats_),
+      records_(other.records_) {}
+
+Manifest& Manifest::operator=(Manifest&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fault_ = std::move(other.fault_);
+    fd_ = std::exchange(other.fd_, -1);
+    entries_ = std::move(other.entries_);
+    pending_ = std::move(other.pending_);
+    stats_ = other.stats_;
+    records_ = other.records_;
+  }
+  return *this;
+}
+
+Manifest::~Manifest() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Manifest::reopen_fd_append() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw ManifestError("cannot open manifest for append: " + path_ + ": " +
+                        std::string(std::strerror(errno)));
+  }
+}
+
+Manifest Manifest::open(const std::string& path, WriteFault fault) {
+  Manifest m;
+  m.path_ = path;
+  m.fault_ = std::move(fault);
+
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (is) {
+      std::ostringstream buf;
+      buf << is.rdbuf();
+      bytes = std::move(buf).str();
+    }
+  }
+
+  bool rewrite_header = false;
+  std::size_t good_end = kHeaderBytes;
+  if (bytes.size() < kHeaderBytes) {
+    rewrite_header = true;
+    m.stats_.recreated = !bytes.empty();
+    m.stats_.bytes_truncated += bytes.size();
+  } else {
+    Reader hr{bytes};
+    if (hr.u32() != kManifestMagic || hr.u32() != kManifestVersion) {
+      // A destroyed header means nothing after it can be trusted. Restart
+      // the journal; ingest is idempotent and re-registers everything.
+      rewrite_header = true;
+      m.stats_.recreated = true;
+      m.stats_.bytes_truncated += bytes.size();
+    }
+  }
+
+  if (!rewrite_header) {
+    // Replay records. Any damage — torn tail, bit flip, hostile length —
+    // stops the replay and truncates the journal at the last good byte.
+    std::size_t at = kHeaderBytes;
+    while (at < bytes.size()) {
+      Reader r{bytes, at};
+      const std::uint32_t magic = r.u32();
+      const std::uint8_t type = r.u8();
+      const std::uint32_t len = r.u32();
+      const std::uint32_t crc = r.u32();
+      if (!r.ok || magic != kRecordMagic || r.at + len > bytes.size()) break;
+      const std::string payload(bytes.substr(r.at, len));
+      if (io::crc32(payload.data(), payload.size()) != crc) break;
+      // A record that passes CRC but does not decode is equally fatal:
+      // apply() throws on a malformed payload, and replay stops before it.
+      try {
+        m.apply(type, payload);
+      } catch (const ManifestError&) {
+        break;
+      }
+      ++m.stats_.records_applied;
+      ++m.records_;
+      at = r.at + len;
+      good_end = at;
+    }
+    if (good_end < bytes.size()) {
+      m.stats_.truncated = true;
+      m.stats_.bytes_truncated += bytes.size() - good_end;
+      if (::truncate(path.c_str(), static_cast<off_t>(good_end)) != 0) {
+        throw ManifestError("cannot repair manifest (truncate): " + path +
+                            ": " + std::string(std::strerror(errno)));
+      }
+    }
+  }
+
+  if (rewrite_header) {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      throw ManifestError("cannot create manifest: " + path + ": " +
+                          std::string(std::strerror(errno)));
+    }
+    write_all(fd, header_bytes(), "manifest header");
+    fsync_or_throw(fd, "manifest header");
+    ::close(fd);
+  }
+
+  m.reopen_fd_append();
+  return m;
+}
+
+void Manifest::append(std::uint8_t type, const std::string& payload) {
+  const std::string rec = record_bytes(type, payload);
+  if (fault_ && fault_(rec.size())) {
+    throw ManifestError("manifest append failed: injected fault (" +
+                        std::to_string(rec.size()) + " bytes)");
+  }
+  write_all(fd_, rec, "manifest append");
+  fsync_or_throw(fd_, "manifest append");
+  ++records_;
+}
+
+void Manifest::apply(std::uint8_t type, const std::string& payload) {
+  Reader r{payload};
+  switch (type) {
+    case kRecUpsert: {
+      TraceEntry e;
+      if (!decode_entry(r, e) || r.at != payload.size()) {
+        throw ManifestError("malformed upsert record");
+      }
+      entries_[e.path] = std::move(e);
+      return;
+    }
+    case kRecRemove: {
+      const std::string p = r.str();
+      if (!r.ok || r.at != payload.size()) {
+        throw ManifestError("malformed remove record");
+      }
+      entries_.erase(p);
+      return;
+    }
+    case kRecCompactIntent: {
+      CompactIntent ci;
+      ci.segment_path = r.str();
+      const std::uint32_t n = r.u32();
+      if (!r.ok || n > payload.size()) {
+        throw ManifestError("malformed compact-intent record");
+      }
+      ci.members.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) ci.members.push_back(r.str());
+      if (!r.ok || r.at != payload.size()) {
+        throw ManifestError("malformed compact-intent record");
+      }
+      pending_ = std::move(ci);
+      return;
+    }
+    case kRecCompactCommit: {
+      TraceEntry seg;
+      if (!decode_entry(r, seg)) {
+        throw ManifestError("malformed compact-commit record");
+      }
+      const std::uint32_t n = r.u32();
+      if (!r.ok || n > payload.size()) {
+        throw ManifestError("malformed compact-commit record");
+      }
+      std::vector<std::string> members;
+      members.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) members.push_back(r.str());
+      if (!r.ok || r.at != payload.size()) {
+        throw ManifestError("malformed compact-commit record");
+      }
+      // The composite applies atomically: segment registered AND every
+      // member expired, or (on any failure above) neither.
+      entries_[seg.path] = seg;
+      for (const std::string& mp : members) {
+        const auto it = entries_.find(mp);
+        if (it == entries_.end()) continue;
+        it->second.state = TraceState::Expired;
+        it->second.detail = "compacted into " + seg.path;
+      }
+      pending_.reset();
+      return;
+    }
+    case kRecCompactAbort: {
+      const std::string p = r.str();
+      if (!r.ok || r.at != payload.size()) {
+        throw ManifestError("malformed compact-abort record");
+      }
+      if (pending_.has_value() && pending_->segment_path == p) {
+        pending_.reset();
+      }
+      return;
+    }
+    default:
+      throw ManifestError("unknown manifest record type " +
+                          std::to_string(type));
+  }
+}
+
+void Manifest::upsert(const TraceEntry& e) {
+  std::string payload;
+  encode_entry(payload, e);
+  append(kRecUpsert, payload);
+  entries_[e.path] = e;
+}
+
+void Manifest::remove(const std::string& trace_path) {
+  std::string payload;
+  app_str(payload, trace_path);
+  append(kRecRemove, payload);
+  entries_.erase(trace_path);
+}
+
+void Manifest::compact_intent(const CompactIntent& ci) {
+  std::string payload;
+  app_str(payload, ci.segment_path);
+  app_u32(payload, static_cast<std::uint32_t>(ci.members.size()));
+  for (const std::string& mp : ci.members) app_str(payload, mp);
+  append(kRecCompactIntent, payload);
+  pending_ = ci;
+}
+
+void Manifest::compact_commit(const TraceEntry& segment,
+                              const std::vector<std::string>& members) {
+  std::string payload;
+  encode_entry(payload, segment);
+  app_u32(payload, static_cast<std::uint32_t>(members.size()));
+  for (const std::string& mp : members) app_str(payload, mp);
+  append(kRecCompactCommit, payload);
+  entries_[segment.path] = segment;
+  for (const std::string& mp : members) {
+    const auto it = entries_.find(mp);
+    if (it == entries_.end()) continue;
+    it->second.state = TraceState::Expired;
+    it->second.detail = "compacted into " + segment.path;
+  }
+  pending_.reset();
+}
+
+void Manifest::compact_abort(const std::string& segment_path) {
+  std::string payload;
+  app_str(payload, segment_path);
+  append(kRecCompactAbort, payload);
+  if (pending_.has_value() && pending_->segment_path == segment_path) {
+    pending_.reset();
+  }
+}
+
+void Manifest::snapshot() {
+  std::string bytes = header_bytes();
+  for (const auto& [path, entry] : entries_) {
+    std::string payload;
+    encode_entry(payload, entry);
+    bytes += record_bytes(kRecUpsert, payload);
+  }
+  std::size_t n_records = entries_.size();
+  if (pending_.has_value()) {
+    // Snapshotting mid-compaction preserves the intent: the rollback
+    // obligation must survive the journal rewrite.
+    std::string payload;
+    app_str(payload, pending_->segment_path);
+    app_u32(payload, static_cast<std::uint32_t>(pending_->members.size()));
+    for (const std::string& mp : pending_->members) app_str(payload, mp);
+    bytes += record_bytes(kRecCompactIntent, payload);
+    ++n_records;
+  }
+
+  if (fault_ && fault_(bytes.size())) {
+    throw ManifestError("manifest snapshot failed: injected fault (" +
+                        std::to_string(bytes.size()) + " bytes)");
+  }
+
+  const std::string tmp = path_ + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw ManifestError("cannot write manifest snapshot: " + tmp + ": " +
+                        std::string(std::strerror(errno)));
+  }
+  try {
+    write_all(fd, bytes, "manifest snapshot");
+    fsync_or_throw(fd, "manifest snapshot");
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw ManifestError("manifest snapshot rename failed: " + path_ + ": " +
+                        std::string(std::strerror(err)));
+  }
+  fsync_parent_dir(path_);
+  records_ = n_records;
+  reopen_fd_append();
+}
+
+bool Manifest::wants_snapshot() const {
+  return records_ >= 8 && records_ >= 4 * std::max<std::size_t>(
+                                              1, entries_.size());
+}
+
+} // namespace fluxtrace::hub

@@ -1,0 +1,162 @@
+// The catalog manifest journal (ISSUE 9): a crash-consistent append-only
+// record of every trace the hub knows about — the same durability
+// discipline as the FLXT v2 chunk container, applied to catalog state.
+//
+//   file   := u32 magic "FXHM" | u32 version=1 | record*
+//   record := u32 magic "HREC" | u8 type | u32 payload_len
+//           | u32 payload_crc | payload
+//
+// Record types:
+//   1 Upsert        — one TraceEntry (register / state change / expiry)
+//   2 Remove        — drop a trace's entry entirely (admin purge)
+//   3 CompactIntent — a compaction is about to write `segment_path`
+//                     from `members`; replayed unpaired = rollback work
+//   4 CompactCommit — ONE composite record: the segment's entry plus the
+//                     member expirations, applied atomically — a commit
+//                     can never half-apply, so the members are expired
+//                     iff the segment is registered
+//   5 CompactAbort  — the intent was rolled back
+//
+// Crash consistency on replay: every record is CRC-checked; a torn tail
+// (the writer died mid-append) is "not yet written" — replay stops at
+// the last good record and truncates the file there, so the journal
+// self-repairs on open. A bit-flipped record mid-file is detected the
+// same way; the suffix after it is discarded (appends after damage
+// cannot be trusted to describe state built on the damaged record) and
+// ingest — which is idempotent — re-registers anything dropped.
+//
+// Growth is bounded by snapshot(): the live entry map is rewritten as a
+// fresh journal (header + one Upsert per entry) to a temp file, fsynced,
+// and atomically renamed over the old one — a kill -9 at any instant
+// leaves either the old journal or the new, never neither.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fluxtrace::hub {
+
+inline constexpr std::uint32_t kManifestMagic = 0x4d485846;  // "FXHM"
+inline constexpr std::uint32_t kManifestVersion = 1;
+inline constexpr std::uint32_t kRecordMagic = 0x43455248;    // "HREC"
+
+/// The catalog's per-trace state machine. Every trace the hub has ever
+/// seen is in exactly one of these states — the "zero unaccounted
+/// traces" invariant the kill-9 sweep asserts.
+enum class TraceState : std::uint8_t {
+  Ok = 0,          ///< clean; queries read it directly
+  Salvaged = 1,    ///< damaged but partially recovered; queries degrade
+  Quarantined = 2, ///< hostile/unrecoverable; never read again
+  Expired = 3,     ///< retired by retention or merged into a segment
+};
+
+[[nodiscard]] const char* to_string(TraceState s);
+
+/// One catalog entry. Loss accounting (chunks_ok / chunks_corrupt /
+/// bytes_lost) is exact, from the salvage report that triaged the trace;
+/// size+crc identify the file bytes so sweeps never delete a file that
+/// was replaced after the entry was written.
+struct TraceEntry {
+  std::string path; ///< as registered (absolute or catalog-relative)
+  TraceState state = TraceState::Ok;
+  std::uint64_t size_bytes = 0;
+  std::uint32_t crc = 0;           ///< io::crc32 of the whole file image
+  std::uint64_t ingested_at_ns = 0;
+  std::uint64_t rows = 0;          ///< sample records contributed
+  std::uint64_t chunks_ok = 0;
+  std::uint64_t chunks_corrupt = 0;
+  std::uint64_t bytes_lost = 0;    ///< skipped + truncated during salvage
+  bool sidecar = false;            ///< a fresh FLXI sidecar is on disk
+  std::string detail;              ///< quarantine / expiry reason
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+/// A compaction in flight: found unpaired on replay, it means the writer
+/// died between intent and commit — the catalog rolls the segment back.
+struct CompactIntent {
+  std::string segment_path;
+  std::vector<std::string> members;
+
+  friend bool operator==(const CompactIntent&, const CompactIntent&) = default;
+};
+
+struct ReplayStats {
+  std::size_t records_applied = 0;
+  std::uint64_t bytes_truncated = 0; ///< torn/damaged suffix dropped
+  bool truncated = false;
+  bool recreated = false; ///< header was damaged; journal restarted empty
+};
+
+class ManifestError : public std::runtime_error {
+ public:
+  explicit ManifestError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+class Manifest {
+ public:
+  /// Injected write failure (ENOSPC budgets in the chaos suite): called
+  /// with the byte count about to be appended; returning true makes the
+  /// append throw ManifestError instead of writing.
+  using WriteFault = std::function<bool(std::size_t)>;
+
+  /// Open-or-create, replaying (and self-repairing) an existing journal.
+  /// Throws ManifestError only when the file cannot be opened/created at
+  /// all; damaged content truncates, never throws.
+  [[nodiscard]] static Manifest open(const std::string& path,
+                                     WriteFault fault = nullptr);
+
+  Manifest(Manifest&&) noexcept;
+  Manifest& operator=(Manifest&&) noexcept;
+  Manifest(const Manifest&) = delete;
+  Manifest& operator=(const Manifest&) = delete;
+  ~Manifest();
+
+  [[nodiscard]] const std::map<std::string, TraceEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const std::optional<CompactIntent>& pending_intent() const {
+    return pending_;
+  }
+  [[nodiscard]] const ReplayStats& replay_stats() const { return stats_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Records in the journal file (replayed + appended this session).
+  [[nodiscard]] std::size_t journal_records() const { return records_; }
+
+  // Each mutation appends one fsynced record; ManifestError on failure
+  // (injected fault or real I/O error), leaving in-memory state
+  // unchanged — the caller's circuit breaker decides what happens next.
+  void upsert(const TraceEntry& e);
+  void remove(const std::string& trace_path);
+  void compact_intent(const CompactIntent& ci);
+  void compact_commit(const TraceEntry& segment,
+                      const std::vector<std::string>& members);
+  void compact_abort(const std::string& segment_path);
+
+  /// Atomic journal compaction: write-new → fsync → rename → fsync dir.
+  void snapshot();
+  /// True when the journal carries >= 4 records per live entry (and at
+  /// least a handful) — the periodic-compaction trigger.
+  [[nodiscard]] bool wants_snapshot() const;
+
+ private:
+  Manifest() = default;
+  void append(std::uint8_t type, const std::string& payload);
+  void apply(std::uint8_t type, const std::string& payload);
+  void reopen_fd_append();
+
+  std::string path_;
+  WriteFault fault_;
+  int fd_ = -1;
+  std::map<std::string, TraceEntry> entries_;
+  std::optional<CompactIntent> pending_;
+  ReplayStats stats_;
+  std::size_t records_ = 0;
+};
+
+} // namespace fluxtrace::hub

@@ -153,6 +153,21 @@ SalvageReport TraceReader::salvage() const {
   return rep;
 }
 
+TraceTriage classify_trace(const TraceReader& reader) {
+  TraceTriage t;
+  t.report = reader.salvage();
+  if (t.report.clean()) {
+    t.health = TraceHealth::Clean;
+    return t;
+  }
+  const bool any_data = t.report.chunks_ok > 0 ||
+                        !t.report.data.markers.empty() ||
+                        !t.report.data.samples.empty() ||
+                        !t.report.data.wait_edges.empty();
+  t.health = any_data ? TraceHealth::Salvaged : TraceHealth::Unrecoverable;
+  return t;
+}
+
 TraceReader::ReadResult TraceReader::read_or_salvage(
     unsigned n_threads) const {
   ReadResult out;

@@ -95,6 +95,34 @@ class TraceReader {
   TraceFormat format_ = TraceFormat::Unknown;
 };
 
+/// The three-way health verdict every catalog-style consumer needs
+/// (hub ingest, federated query): is the trace usable as-is, usable in
+/// degraded form, or only fit for quarantine?
+enum class TraceHealth : std::uint8_t {
+  Clean,         ///< strict read succeeds; every byte accounted for
+  Salvaged,      ///< damaged, but a non-empty subset was recovered
+  Unrecoverable, ///< damaged and *nothing* was recoverable
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TraceHealth h) {
+  switch (h) {
+    case TraceHealth::Clean: return "clean";
+    case TraceHealth::Salvaged: return "salvaged";
+    case TraceHealth::Unrecoverable: return "unrecoverable";
+  }
+  return "?";
+}
+
+/// classify_trace(): one salvage pass, one verdict, and the full
+/// SalvageReport for exact per-trace loss accounting (the quarantine
+/// ledger records chunks lost / bytes skipped, not just "damaged").
+struct TraceTriage {
+  TraceHealth health = TraceHealth::Unrecoverable;
+  SalvageReport report;
+};
+
+[[nodiscard]] TraceTriage classify_trace(const TraceReader& reader);
+
 /// Open a trace file, detect its format. Throws TraceIoError only when
 /// the file cannot be read at all (message carries path and errno);
 /// unrecognized content still opens, as TraceFormat::Unknown.

@@ -333,72 +333,16 @@ void QueryEngine::ensure_full_loaded() {
 }
 
 void QueryEngine::try_build_index() {
-  // An index is only meaningful over a *clean* v2 image: salvaged rows do
-  // not line up with the chunk layout, and other formats have no chunks.
-  if (index_.has_value() || full_salvaged_ ||
-      reader_.format() != io::TraceFormat::FlxtV2 || !full_.has_value()) {
-    return;
-  }
-  std::vector<io::V2ChunkRef> refs;
-  try {
-    refs = io::index_trace_v2(reader_.bytes());
-  } catch (const io::TraceIoError&) {
-    return; // strict read succeeded but the walk did not: stay indexless
-  }
-
-  FlxiIndex idx;
-  idx.trace_size = reader_.bytes().size();
-  idx.trace_crc = trace_crc_;
-  idx.symtab_crc = query::symtab_crc(symtab_);
-  idx.flags = opts_.use_register_ids ? kFlxiFlagRegisterIds : 0u;
-
-  const ColumnarTrace& t = *full_;
-  const std::span<const std::int64_t> tss = t.col(Field::Ts);
-  const std::span<const std::int64_t> items = t.col(Field::Item);
-  const std::span<const std::int64_t> fns = t.col(Field::Func);
-  // Per-chunk func histogram as a flat array indexed by id plus a
-  // touched-id list, reused across chunks — the old map<u32,u32> paid a
-  // node allocation and a tree walk per distinct func per chunk.
-  std::vector<std::uint32_t> counts(symtab_.size(), 0);
-  std::vector<std::uint32_t> touched;
-  std::size_t row = 0;
-  for (const io::V2ChunkRef& ref : refs) {
-    if (ref.type != io::kChunkTypeSamples) continue;
-    FlxiChunk c;
-    c.offset = ref.offset;
-    c.n_records = ref.n_records;
-    c.min_ts = std::numeric_limits<std::int64_t>::max();
-    c.max_ts = std::numeric_limits<std::int64_t>::min();
-    c.min_item = std::numeric_limits<std::int64_t>::max();
-    c.max_item = std::numeric_limits<std::int64_t>::min();
-    touched.clear();
-    for (std::uint32_t k = 0; k < ref.n_records; ++k, ++row) {
-      if (row >= t.rows()) return; // layout/row mismatch: no index
-      c.min_ts = std::min(c.min_ts, tss[row]);
-      c.max_ts = std::max(c.max_ts, tss[row]);
-      c.min_item = std::min(c.min_item, items[row]);
-      c.max_item = std::max(c.max_item, items[row]);
-      const std::int64_t fn = fns[row];
-      if (fn >= 0 && static_cast<std::size_t>(fn) < counts.size()) {
-        const auto f = static_cast<std::uint32_t>(fn);
-        if (counts[f]++ == 0) touched.push_back(f);
-      }
-    }
-    if (c.n_records == 0) {
-      c.min_ts = c.min_item = 0;
-      c.max_ts = c.max_item = -1;
-    }
-    std::sort(touched.begin(), touched.end());
-    c.func_counts.reserve(touched.size());
-    for (const std::uint32_t f : touched) {
-      c.func_counts.emplace_back(f, counts[f]);
-      counts[f] = 0;
-    }
-    idx.chunks.push_back(std::move(c));
-  }
-  if (row != t.rows()) return; // samples outside the walked chunks
-  chunks_total_ = idx.chunks.size();
-  index_ = std::move(idx);
+  // The index construction itself lives in flxi.cpp (build_flxi), shared
+  // with the standalone refresh path (`flxt_recover --rebuild-index`,
+  // the hub's ingest); this wrapper only adds the engine's caching and
+  // the opportunistic sidecar write.
+  if (index_.has_value() || full_salvaged_ || !full_.has_value()) return;
+  auto idx =
+      build_flxi(reader_, *full_, symtab_, opts_.use_register_ids, trace_crc_);
+  if (!idx.has_value()) return;
+  chunks_total_ = idx->chunks.size();
+  index_ = std::move(*idx);
 
   if (opts_.write_index && !reader_.path().empty() && !index_written_) {
     if (save_flxi(flxi_path(reader_.path()), *index_)) {
@@ -693,6 +637,12 @@ QueryResult QueryEngine::run(const Query& q) {
 
   if (q.critical_path || q.blocked_by) return run_wait(q);
 
+  std::vector<ExecPartial> parts;
+  parts.push_back(run_partial(q));
+  return finish_partials(q, symtab_, std::move(parts));
+}
+
+ExecPartial QueryEngine::run_partial(const Query& q) {
   std::optional<ColumnarTrace> scratch;
   Loaded loaded = load_for(q, scratch);
   const ColumnarTrace& t = *loaded.table;
@@ -727,14 +677,14 @@ QueryResult QueryEngine::run(const Query& q) {
     }
   }
 
-  std::vector<BlockOut> parts(n_blocks);
+  std::vector<BlockOut> blocks(n_blocks);
   {
     OBS_SPAN("query.scan");
     const auto run_block = [&](std::size_t b) {
       if (skip[b]) return;
       const std::size_t begin = b * block;
       const std::size_t end = std::min(n, begin + block);
-      scan_block(q, t, mode, opts_.portable_eval, begin, end, parts[b]);
+      scan_block(q, t, mode, opts_.portable_eval, begin, end, blocks[b]);
     };
     if (loaded.stats.threads > 1 && n_blocks - blocks_skipped > 1) {
       pool(loaded.stats.threads).parallel_for(n_blocks, run_block);
@@ -743,22 +693,108 @@ QueryResult QueryEngine::run(const Query& q) {
     }
   }
 
-  QueryResult res;
-  res.stats = loaded.stats;
-  res.stats.rows_scanned = n - rows_skipped;
-  res.stats.blocks_total = n_blocks;
-  res.stats.blocks_skipped = blocks_skipped;
-  for (const BlockOut& p : parts) res.stats.rows_matched += p.matched;
+  ExecPartial part;
+  part.stats = loaded.stats;
+  part.stats.rows_scanned = n - rows_skipped;
+  part.stats.blocks_total = n_blocks;
+  part.stats.blocks_skipped = blocks_skipped;
+  for (const BlockOut& p : blocks) part.stats.rows_matched += p.matched;
   QueryMetrics::get().rows_scanned.inc(n - rows_skipped);
-  QueryMetrics::get().rows_matched.inc(res.stats.rows_matched);
+  QueryMetrics::get().rows_matched.inc(part.stats.rows_matched);
   QueryMetrics::get().blocks_skipped.inc(blocks_skipped);
+
+  switch (mode) {
+    case Mode::Rows: {
+      // Render straight to cells here (per-row pure, so per-trace
+      // rendering then concatenation is the concatenated rendering).
+      const auto func_cell = [&](std::int64_t id) {
+        if (id >= 0 && static_cast<std::size_t>(id) < symtab_.size()) {
+          return Cell::of_text(
+              std::string(symtab_.name(static_cast<SymbolId>(id))));
+        }
+        return Cell::of_int(id);
+      };
+      const std::vector<Field> cols =
+          q.select.empty()
+              ? std::vector<Field>{Field::Item, Field::Func, Field::Core,
+                                   Field::Ts,   Field::Dur,  Field::Ip}
+              : q.select;
+      std::vector<std::span<const std::int64_t>> proj;
+      proj.reserve(cols.size());
+      for (const Field f : cols) proj.push_back(t.col(f));
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        const std::size_t base = b * block;
+        for (const std::uint32_t off : blocks[b].rows) {
+          const std::size_t i = base + off;
+          std::vector<Cell> row;
+          row.reserve(cols.size());
+          for (std::size_t c = 0; c < cols.size(); ++c) {
+            row.push_back(cols[c] == Field::Func
+                              ? func_cell(proj[c][i])
+                              : Cell::of_int(proj[c][i]));
+          }
+          part.rows.push_back(std::move(row));
+        }
+      }
+      break;
+    }
+    case Mode::Group: {
+      for (BlockOut& p : blocks) {
+        for (auto& [key, acc] : p.groups) {
+          auto [it, inserted] = part.groups.try_emplace(key, std::move(acc));
+          if (!inserted) {
+            it->second.count += acc.count;
+            for (std::size_t a = 0; a < q.aggs.size(); ++a) {
+              it->second.aggs[a].merge(q.aggs[a], std::move(acc.aggs[a]));
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Mode::Outliers: {
+      for (BlockOut& p : blocks) part.buckets.merge(p.buckets);
+      break;
+    }
+  }
+  return part;
+}
+
+QueryResult QueryEngine::finish_partials(const Query& q,
+                                         const SymbolTable& symtab,
+                                         std::vector<ExecPartial> parts) {
+  const Mode mode = q.outliers.has_value() ? Mode::Outliers
+                    : !q.aggs.empty()      ? Mode::Group
+                                           : Mode::Rows;
+
+  QueryResult res;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const ScanStats& s = parts[i].stats;
+    if (i == 0) {
+      res.stats = s;
+      continue;
+    }
+    res.stats.chunks_total += s.chunks_total;
+    res.stats.chunks_read += s.chunks_read;
+    res.stats.chunks_pruned += s.chunks_pruned;
+    res.stats.rows_scanned += s.rows_scanned;
+    res.stats.rows_matched += s.rows_matched;
+    res.stats.blocks_total += s.blocks_total;
+    res.stats.blocks_skipped += s.blocks_skipped;
+    res.stats.wait_edges += s.wait_edges;
+    res.stats.index_used = res.stats.index_used || s.index_used;
+    res.stats.index_written = res.stats.index_written || s.index_written;
+    res.stats.salvaged = res.stats.salvaged || s.salvaged;
+    res.stats.wait_stage = res.stats.wait_stage || s.wait_stage;
+    res.stats.threads = std::max(res.stats.threads, s.threads);
+  }
 
   // Render func ids as names so results read like flxt_report output;
   // unresolved ids (-1) stay numeric.
   const auto func_cell = [&](std::int64_t id) {
-    if (id >= 0 && static_cast<std::size_t>(id) < symtab_.size()) {
+    if (id >= 0 && static_cast<std::size_t>(id) < symtab.size()) {
       return Cell::of_text(
-          std::string(symtab_.name(static_cast<SymbolId>(id))));
+          std::string(symtab.name(static_cast<SymbolId>(id))));
     }
     return Cell::of_int(id);
   };
@@ -776,18 +812,8 @@ QueryResult QueryEngine::run(const Query& q) {
       for (const Field f : cols) {
         res.columns.emplace_back(to_string(f));
       }
-      std::vector<std::span<const std::int64_t>> proj;
-      proj.reserve(cols.size());
-      for (const Field f : cols) proj.push_back(t.col(f));
-      for (std::size_t b = 0; b < n_blocks; ++b) {
-        const std::size_t base = b * block;
-        for (const std::uint32_t off : parts[b].rows) {
-          const std::size_t i = base + off;
-          std::vector<Cell> row;
-          row.reserve(cols.size());
-          for (std::size_t c = 0; c < cols.size(); ++c) {
-            row.push_back(field_cell(cols[c], proj[c][i]));
-          }
+      for (ExecPartial& p : parts) {
+        for (std::vector<Cell>& row : p.rows) {
           res.rows.push_back(std::move(row));
         }
       }
@@ -799,7 +825,7 @@ QueryResult QueryEngine::run(const Query& q) {
       }
       for (const Aggregate& a : q.aggs) res.columns.push_back(a.name());
       std::map<std::vector<std::int64_t>, GroupAcc> merged;
-      for (BlockOut& p : parts) {
+      for (ExecPartial& p : parts) {
         for (auto& [key, acc] : p.groups) {
           auto [it, inserted] = merged.try_emplace(key, std::move(acc));
           if (!inserted) {
@@ -827,7 +853,7 @@ QueryResult QueryEngine::run(const Query& q) {
     case Mode::Outliers: {
       res.columns = {"item", "func", "elapsed", "mean", "sigma", "sigmas"};
       std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> merged;
-      for (BlockOut& p : parts) merged.merge(p.buckets);
+      for (ExecPartial& p : parts) merged.merge(p.buckets);
       core::FluctuationDetector det(q.outliers->config);
       for (const auto& [key, dur] : merged) {
         det.observe(static_cast<ItemId>(key.first),

@@ -61,10 +61,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "fluxtrace/base/symbols.hpp"
@@ -74,6 +76,7 @@
 #include "fluxtrace/query/columnar.hpp"
 #include "fluxtrace/query/expr.hpp"
 #include "fluxtrace/query/flxi.hpp"
+#include "fluxtrace/query/partials.hpp"
 
 namespace fluxtrace::rt {
 class ThreadPool;
@@ -174,6 +177,31 @@ struct QueryResult {
   ScanStats stats;
 };
 
+/// A mergeable intermediate result: one trace's contribution to a query,
+/// stopped just before the order-sensitive tail (group rendering,
+/// outliers detection, top/limit). Exactly one of the three payloads is
+/// populated, by query mode:
+///
+///   * row mode      — `rows`, already rendered (rendering is per-row
+///     pure, so per-trace rendering then concatenation equals
+///     concatenation then rendering);
+///   * group mode    — `groups`, keyed partials in the commutative
+///     AggPartial algebra (partials.hpp), mergeable in any grouping but
+///     finished in member order for byte determinism;
+///   * outliers mode — `buckets`, the {item, func} → dur map the
+///     detector replays. Sound to merge only when the member traces'
+///     {item, func} buckets are disjoint (distinct sessions) — the
+///     federated executor uses concatenation for this mode instead.
+///
+/// finish_partials() over a single partial is bit-identical to
+/// QueryEngine::run(); over many, it is the federated merge.
+struct ExecPartial {
+  std::vector<std::vector<Cell>> rows;
+  std::map<std::vector<std::int64_t>, GroupPartial> groups;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> buckets;
+  ScanStats stats;
+};
+
 struct EngineOptions {
   unsigned threads = 0;           ///< scan workers; 0 = hardware, 1 = sequential
   std::size_t block_rows = 65536; ///< fixed scan block (determinism unit)
@@ -210,6 +238,21 @@ class QueryEngine {
   /// never throws on trace damage (it salvages).
   QueryResult run(std::string_view query_text);
   QueryResult run(const Query& q);
+
+  /// Scan this trace and stop before the order-sensitive tail — the
+  /// federated seam (see ExecPartial). Precondition: `q` is a sample
+  /// scan (not critical_path/blocked_by); run() routes wait stages to
+  /// their own executor.
+  ExecPartial run_partial(const Query& q);
+
+  /// Merge per-trace partials (in member order) and finish the query:
+  /// group finish + rendering, outliers detection, top/limit. Static —
+  /// it touches no trace, only the shared symbol table that rendered or
+  /// will render func ids. `run(q)` is exactly
+  /// `finish_partials(q, symtab(), {run_partial(q)})`.
+  [[nodiscard]] static QueryResult finish_partials(
+      const Query& q, const SymbolTable& symtab,
+      std::vector<ExecPartial> parts);
 
   [[nodiscard]] const SymbolTable& symtab() const { return symtab_; }
   [[nodiscard]] const io::TraceReader& reader() const { return reader_; }

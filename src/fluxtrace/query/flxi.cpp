@@ -1,9 +1,13 @@
 #include "fluxtrace/query/flxi.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
-#include "fluxtrace/io/chunked.hpp" // io::crc32
+#include "fluxtrace/io/chunked.hpp" // io::crc32 + the v2 chunk walk
+#include "fluxtrace/io/trace_reader.hpp"
+#include "fluxtrace/query/columnar.hpp"
 
 namespace fluxtrace::query {
 
@@ -173,6 +177,112 @@ std::optional<FlxiIndex> load_flxi(const std::string& path) {
   if (!is) return std::nullopt;
   const std::string bytes = std::move(buf).str();
   return decode_flxi(bytes);
+}
+
+std::optional<FlxiIndex> build_flxi(const io::TraceReader& reader,
+                                    const ColumnarTrace& table,
+                                    const SymbolTable& symtab,
+                                    bool use_register_ids,
+                                    std::uint32_t trace_crc) {
+  // An index is only meaningful over a *clean* v2 image: salvaged rows do
+  // not line up with the chunk layout, and other formats have no chunks.
+  if (reader.format() != io::TraceFormat::FlxtV2 || table.salvaged()) {
+    return std::nullopt;
+  }
+  std::vector<io::V2ChunkRef> refs;
+  try {
+    refs = io::index_trace_v2(reader.bytes());
+  } catch (const io::TraceIoError&) {
+    return std::nullopt; // strict read succeeded but the walk did not
+  }
+
+  FlxiIndex idx;
+  idx.trace_size = reader.bytes().size();
+  idx.trace_crc = trace_crc;
+  idx.symtab_crc = symtab_crc(symtab);
+  idx.flags = use_register_ids ? kFlxiFlagRegisterIds : 0u;
+
+  const std::span<const std::int64_t> tss = table.col(Field::Ts);
+  const std::span<const std::int64_t> items = table.col(Field::Item);
+  const std::span<const std::int64_t> fns = table.col(Field::Func);
+  // Per-chunk func histogram as a flat array indexed by id plus a
+  // touched-id list, reused across chunks — the old map<u32,u32> paid a
+  // node allocation and a tree walk per distinct func per chunk.
+  std::vector<std::uint32_t> counts(symtab.size(), 0);
+  std::vector<std::uint32_t> touched;
+  std::size_t row = 0;
+  for (const io::V2ChunkRef& ref : refs) {
+    if (ref.type != io::kChunkTypeSamples) continue;
+    FlxiChunk c;
+    c.offset = ref.offset;
+    c.n_records = ref.n_records;
+    c.min_ts = std::numeric_limits<std::int64_t>::max();
+    c.max_ts = std::numeric_limits<std::int64_t>::min();
+    c.min_item = std::numeric_limits<std::int64_t>::max();
+    c.max_item = std::numeric_limits<std::int64_t>::min();
+    touched.clear();
+    for (std::uint32_t k = 0; k < ref.n_records; ++k, ++row) {
+      if (row >= table.rows()) return std::nullopt; // layout/row mismatch
+      c.min_ts = std::min(c.min_ts, tss[row]);
+      c.max_ts = std::max(c.max_ts, tss[row]);
+      c.min_item = std::min(c.min_item, items[row]);
+      c.max_item = std::max(c.max_item, items[row]);
+      const std::int64_t fn = fns[row];
+      if (fn >= 0 && static_cast<std::size_t>(fn) < counts.size()) {
+        const auto f = static_cast<std::uint32_t>(fn);
+        if (counts[f]++ == 0) touched.push_back(f);
+      }
+    }
+    if (c.n_records == 0) {
+      c.min_ts = c.min_item = 0;
+      c.max_ts = c.max_item = -1;
+    }
+    std::sort(touched.begin(), touched.end());
+    c.func_counts.reserve(touched.size());
+    for (const std::uint32_t f : touched) {
+      c.func_counts.emplace_back(f, counts[f]);
+      counts[f] = 0;
+    }
+    idx.chunks.push_back(std::move(c));
+  }
+  if (row != table.rows()) return std::nullopt; // samples outside the chunks
+  return idx;
+}
+
+const char* to_string(SidecarStatus s) {
+  switch (s) {
+    case SidecarStatus::Fresh: return "fresh";
+    case SidecarStatus::Rebuilt: return "rebuilt";
+    case SidecarStatus::Unindexable: return "unindexable";
+    case SidecarStatus::WriteFailed: return "write-failed";
+  }
+  return "?";
+}
+
+SidecarStatus refresh_sidecar(const std::string& trace_path,
+                              const SymbolTable& symtab,
+                              bool use_register_ids) {
+  const io::TraceReader reader = io::open_trace(trace_path);
+  const std::uint32_t crc =
+      io::crc32(reader.bytes().data(), reader.bytes().size());
+  const std::uint32_t mode_flag =
+      use_register_ids ? kFlxiFlagRegisterIds : 0u;
+  if (const auto existing = load_flxi(flxi_path(trace_path))) {
+    const bool fresh = existing->trace_size == reader.bytes().size() &&
+                       existing->trace_crc == crc &&
+                       existing->symtab_crc == symtab_crc(symtab) &&
+                       (existing->flags & kFlxiFlagRegisterIds) == mode_flag;
+    if (fresh) return SidecarStatus::Fresh;
+  }
+  if (reader.format() != io::TraceFormat::FlxtV2) {
+    return SidecarStatus::Unindexable;
+  }
+  const ColumnarTrace table = ColumnarTrace::from_reader(
+      reader, symtab, BuildOptions{use_register_ids, 65536});
+  const auto idx = build_flxi(reader, table, symtab, use_register_ids, crc);
+  if (!idx.has_value()) return SidecarStatus::Unindexable;
+  return save_flxi(flxi_path(trace_path), *idx) ? SidecarStatus::Rebuilt
+                                                : SidecarStatus::WriteFailed;
 }
 
 } // namespace fluxtrace::query

@@ -35,7 +35,13 @@
 
 #include "fluxtrace/base/symbols.hpp"
 
+namespace fluxtrace::io {
+class TraceReader;
+}
+
 namespace fluxtrace::query {
+
+class ColumnarTrace;
 
 inline constexpr std::uint32_t kFlxiMagic = 0x49584c46; // "FLXI"
 inline constexpr std::uint32_t kFlxiVersion = 2;
@@ -91,5 +97,37 @@ struct FlxiIndex {
 /// missing or damaged file alike.
 bool save_flxi(const std::string& path, const FlxiIndex& index);
 [[nodiscard]] std::optional<FlxiIndex> load_flxi(const std::string& path);
+
+/// Build an index over a clean FLXT v2 image whose rows are already
+/// decoded into `table` (the engine's cold full scan, the hub's ingest
+/// refresh). `trace_crc` is io::crc32 over the whole image — passed in
+/// because every caller has it already and re-hashing a multi-hundred-MB
+/// image is the expensive part. Returns nullopt when the image is not
+/// indexable: wrong format, a chunk walk that fails strict decode, or a
+/// chunk layout that disagrees with the decoded row count (salvage).
+[[nodiscard]] std::optional<FlxiIndex> build_flxi(const io::TraceReader& reader,
+                                                  const ColumnarTrace& table,
+                                                  const SymbolTable& symtab,
+                                                  bool use_register_ids,
+                                                  std::uint32_t trace_crc);
+
+/// Outcome of refresh_sidecar, ordered from best to worst.
+enum class SidecarStatus : std::uint8_t {
+  Fresh,       ///< existing sidecar already pins these bytes + symtab + mode
+  Rebuilt,     ///< sidecar (re)built and written
+  Unindexable, ///< trace is not a clean v2 image; no sidecar is possible
+  WriteFailed, ///< index built but the sidecar file could not be written
+};
+[[nodiscard]] const char* to_string(SidecarStatus s);
+
+/// Validate-or-rebuild the FLXI sidecar of an on-disk trace: the shared
+/// refresh path behind `flxt_recover --rebuild-index` and the hub's
+/// ingest pipeline. A sidecar that already pins the current bytes,
+/// symbol table, and attribution mode is left untouched (Fresh); a
+/// missing/stale/damaged one is rebuilt from a full decode. Throws
+/// io::TraceIoError only when the trace itself cannot be read at all.
+[[nodiscard]] SidecarStatus refresh_sidecar(const std::string& trace_path,
+                                            const SymbolTable& symtab,
+                                            bool use_register_ids);
 
 } // namespace fluxtrace::query

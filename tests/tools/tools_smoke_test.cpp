@@ -9,6 +9,9 @@
 
 #include <fstream>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "fluxtrace/apps/query_cache_app.hpp"
 #include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/io/symbols_file.hpp"
@@ -34,6 +37,17 @@ std::string run_capture(const std::string& cmd, int* rc) {
   }
   *rc = pclose(pipe);
   return out;
+}
+
+/// A directory no earlier run of this binary has touched — catalogs are
+/// stateful, so hub tests must not inherit a previous run's manifest.
+std::string fresh_dir(const char* tag) {
+  static int n = 0;
+  const std::string dir = ::testing::TempDir() + "/tools_" + tag + "_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(n++);
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
 }
 
 struct ToolsFixture : ::testing::Test {
@@ -439,7 +453,8 @@ TEST_F(ToolsFixture, EveryToolAnswersVersion) {
   // --version works argument-free, prints the one version string from
   // base/version.hpp, and exits 0 — same flag, same source, all tools.
   for (const char* name : {"flxt_dump", "flxt_report", "flxt_convert",
-                           "flxt_recover", "flxt_session", "flxt_query"}) {
+                           "flxt_recover", "flxt_session", "flxt_query",
+                           "flxt_hub"}) {
     int rc = -1;
     const std::string out = run_capture(tool(name) + " --version", &rc);
     EXPECT_EQ(rc, 0) << name << ": " << out;
@@ -719,6 +734,136 @@ TEST_F(ToolsFixture, QueryFollowFlagValidation) {
                     &rc);
   EXPECT_NE(rc, 0);
   EXPECT_NE(out.find("at offset"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, HubIngestStatusVerifyAndFederatedQuery) {
+  // The catalog round trip as an operator drives it: drop a v2 trace
+  // into the tree, ingest, audit, then run a federated query whose
+  // answer matches the plain single-trace evaluation bit for bit.
+  const std::string dir = fresh_dir("hub_cat");
+  int rc = -1;
+  run_capture(tool("flxt_convert") + " " + trace_path + " " + dir +
+                  "/m1.flxt --to-v2 --chunk-records 16",
+              &rc);
+  ASSERT_EQ(rc, 0);
+
+  std::string out =
+      run_capture(tool("flxt_hub") + " ingest " + dir + " " + syms_path, &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("1 registered"), std::string::npos) << out;
+
+  out = run_capture(tool("flxt_hub") + " status " + dir + " " + syms_path,
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("1 ok, 0 salvaged, 0 quarantined"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("indexed"), std::string::npos) << out;
+
+  out = run_capture(tool("flxt_hub") + " verify " + dir + " " + syms_path,
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+
+  // run_capture merges stderr; a subshell keeps the ledger out of the
+  // comparison so only the answers themselves are compared.
+  const std::string plain = run_capture(
+      "( " + tool("flxt_query") + " " + trace_path + " " + syms_path +
+          " 'group func: count' --csv 2>/dev/null )",
+      &rc);
+  EXPECT_EQ(rc, 0);
+  out = run_capture("( " + tool("flxt_query") + " " + dir + " " + syms_path +
+                        " 'group func: count' --catalog --csv 2>/dev/null )",
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_EQ(out, plain);
+  // The ledger goes to stderr, not into the answer.
+  out = run_capture(tool("flxt_query") + " " + dir + " " + syms_path +
+                        " 'group func: count' --catalog --csv",
+                    &rc);
+  EXPECT_NE(out.find("traces: 1 ok, 0 salvaged"), std::string::npos) << out;
+
+  // A second ingest of the same tree is a no-op, not a re-register.
+  out = run_capture(tool("flxt_hub") + " ingest " + dir + " " + syms_path,
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("1 unchanged"), std::string::npos) << out;
+}
+
+TEST_F(ToolsFixture, HubCrashMidIngestLeavesRecoverableCatalog) {
+  // kill -9 at the first durability checkpoint: the journal replays on
+  // the next open and the interrupted ingest simply runs again.
+  const std::string dir = fresh_dir("hub_crash");
+  int rc = -1;
+  run_capture(tool("flxt_convert") + " " + trace_path + " " + dir +
+                  "/m1.flxt --to-v2 --chunk-records 16",
+              &rc);
+  ASSERT_EQ(rc, 0);
+
+  std::string out = run_capture(tool("flxt_hub") + " ingest " + dir + " " +
+                                    syms_path + " --crash-after 1",
+                                &rc);
+  EXPECT_NE(rc, 0) << out; // the "kill" exits 137
+
+  out = run_capture(tool("flxt_hub") + " ingest " + dir + " " + syms_path,
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  out = run_capture(tool("flxt_hub") + " verify " + dir + " " + syms_path,
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("1 checked, 0 missing, 0 drifted"), std::string::npos)
+      << out;
+}
+
+TEST_F(ToolsFixture, RecoverRebuildIndexRefreshesSidecar) {
+  const std::string v2_path = fresh_dir("rebuild") + "/trace.flxt";
+  int rc = -1;
+  run_capture(tool("flxt_convert") + " " + trace_path + " " + v2_path +
+                  " --to-v2 --chunk-records 16",
+              &rc);
+  ASSERT_EQ(rc, 0);
+
+  std::string out = run_capture(tool("flxt_recover") + " " + v2_path + " " +
+                                    syms_path + " --rebuild-index",
+                                &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("rebuilt"), std::string::npos) << out;
+  EXPECT_TRUE(std::ifstream(v2_path + ".flxi").good());
+
+  // A second pass finds the sidecar current and leaves it alone.
+  out = run_capture(tool("flxt_recover") + " " + v2_path + " " + syms_path +
+                        " --rebuild-index",
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("fresh"), std::string::npos) << out;
+
+  // Rebuild mode needs both the trace and the symbols.
+  run_capture(tool("flxt_recover") + " " + v2_path + " --rebuild-index", &rc);
+  EXPECT_NE(rc, 0);
+}
+
+TEST_F(ToolsFixture, BytesFlagsParseSuffixesAndRejectOverflow) {
+  const std::string dir = fresh_dir("hub_bytes");
+  int rc = -1;
+  // Suffixed byte counts parse (an empty catalog retains nothing).
+  std::string out = run_capture(tool("flxt_hub") + " retain " + dir + " " +
+                                    syms_path + " --retain-bytes 512M",
+                                &rc);
+  EXPECT_EQ(rc, 0) << out;
+  out = run_capture(tool("flxt_hub") + " compact " + dir + " " + syms_path +
+                        " --compact-under 4G",
+                    &rc);
+  EXPECT_EQ(rc, 0) << out;
+  // Overflow is rejected up front, not wrapped into a tiny budget.
+  out = run_capture(tool("flxt_hub") + " retain " + dir + " " + syms_path +
+                        " --retain-bytes 99999999999G",
+                    &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("out of range"), std::string::npos) << out;
+  // And so is a malformed suffix.
+  out = run_capture(tool("flxt_hub") + " retain " + dir + " " + syms_path +
+                        " --retain-bytes 12Q",
+                    &rc);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("byte count"), std::string::npos) << out;
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +58,13 @@ class Cli {
   /// --name X, double in [0, 1] (probabilities/rates).
   void flag_rate(const char* name, double* out) {
     flags_.push_back({name, Kind::Rate, out});
+  }
+  /// --name BYTES: an unsigned byte count with an optional binary-scale
+  /// suffix (K/M/G/T, case-insensitive, optionally followed by 'B' or
+  /// 'iB': `512M`, `4G`, `64KiB`). The scaled value is overflow-checked,
+  /// so `99999999999G` is rejected, never silently wrapped.
+  void flag_bytes(const char* name, std::uint64_t* out) {
+    flags_.push_back({name, Kind::Bytes, out});
   }
   /// --name GHZ, strictly positive double.
   void flag_ghz(const char* name, double* out) {
@@ -115,7 +123,7 @@ class Cli {
   [[nodiscard]] const char* pos(std::size_t i) const { return pos_[i]; }
 
  private:
-  enum class Kind { Bool, Count, CountPos, Uint, UintPos, Ghz, Rate, Str };
+  enum class Kind { Bool, Count, CountPos, Uint, UintPos, Ghz, Rate, Bytes, Str };
   struct Flag {
     const char* name;
     Kind kind;
@@ -143,6 +151,41 @@ class Cli {
     errno = 0;
     out = std::strtoull(arg, &end, 10);
     if (errno == ERANGE) return NumErr::Overflow;
+    return NumErr::Ok;
+  }
+
+  /// Byte count with an optional binary-scale suffix. Digits first (the
+  /// same strict rules as parse_ull), then at most one of K/M/G/T (either
+  /// case), optionally followed by "B" or "iB" ("512M" == "512MB" ==
+  /// "512MiB"). The shift is overflow-checked against the pre-scale
+  /// value, so an out-of-range product reports Overflow, never wraps.
+  static NumErr parse_bytes(const char* arg, std::uint64_t& out) {
+    const char* p = arg;
+    while (*p >= '0' && *p <= '9') ++p;
+    if (p == arg) return NumErr::Malformed;
+    unsigned shift = 0;
+    if (*p != '\0') {
+      switch (*p) {
+        case 'k': case 'K': shift = 10; break;
+        case 'm': case 'M': shift = 20; break;
+        case 'g': case 'G': shift = 30; break;
+        case 't': case 'T': shift = 40; break;
+        default: return NumErr::Malformed;
+      }
+      ++p;
+      if ((*p == 'i' || *p == 'I') && (p[1] == 'b' || p[1] == 'B')) p += 2;
+      else if (*p == 'b' || *p == 'B') ++p;
+      if (*p != '\0') return NumErr::Malformed;
+    }
+    const std::string digits(arg, std::strspn(arg, "0123456789"));
+    unsigned long long v = 0;
+    const NumErr err = parse_ull(digits.c_str(), v);
+    if (err != NumErr::Ok) return err;
+    if (shift != 0 &&
+        v > (std::numeric_limits<std::uint64_t>::max() >> shift)) {
+      return NumErr::Overflow;
+    }
+    out = static_cast<std::uint64_t>(v) << shift;
     return NumErr::Ok;
   }
 
@@ -192,6 +235,24 @@ class Cli {
         }
         if (pos && v == 0) return fail_num(f, value, NumErr::Malformed, pos);
         *static_cast<unsigned*>(f.out) = static_cast<unsigned>(v);
+        return true;
+      }
+      case Kind::Bytes: {
+        std::uint64_t v = 0;
+        const NumErr err = parse_bytes(value, v);
+        if (err == NumErr::Overflow) {
+          std::fprintf(stderr, "error: %s value out of range: '%s'\n", f.name,
+                       value);
+          return false;
+        }
+        if (err != NumErr::Ok) {
+          std::fprintf(stderr,
+                       "error: %s expects a byte count (digits with an "
+                       "optional K/M/G/T suffix), got '%s'\n",
+                       f.name, value);
+          return false;
+        }
+        *static_cast<std::uint64_t*>(f.out) = v;
         return true;
       }
       case Kind::Ghz: {

@@ -1,0 +1,231 @@
+// flxt_hub — administer a fleet-scale trace catalog (ISSUE 9).
+//
+//   flxt_hub status  <catalog-dir> <symbols>   replay + per-state counts
+//   flxt_hub ingest  <catalog-dir> <symbols>   scan tree, triage, register
+//   flxt_hub retain  <catalog-dir> <symbols> --retain-age-ms N --retain-bytes B
+//   flxt_hub compact <catalog-dir> <symbols> --compact-under B
+//   flxt_hub verify  <catalog-dir> <symbols>   audit manifest against disk
+//
+// Flags:
+//   --threads N          ingest shards (0 = all cores)
+//   --regs               FLXI sidecars attribute via R13 (§V-A)
+//   --retain-age-ms N    expire traces ingested more than N ms ago
+//   --retain-bytes B     expire oldest until live bytes <= B (512M, 4G…)
+//   --compact-under B    merge clean traces smaller than B into a segment
+//
+// Chaos flags (the kill-9 / ENOSPC sweep in CI):
+//   --crash-after N      _Exit(137) at the Nth durability checkpoint
+//   --read-transient N   inject N transient read faults during ingest
+//   --seed S             offset where the injected read faults land
+//   --enospc-bytes B     manifest writes fail after B journal bytes
+//
+// Exit status: 0 on success (ingest reports failures in its summary but
+// still exits 0 — a fleet ingest is incremental by design), 1 when
+// verify finds problems or the catalog cannot be opened, 2 on bad usage.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cli.hpp"
+#include "fluxtrace/hub/catalog.hpp"
+#include "fluxtrace/io/symbols_file.hpp"
+
+using namespace fluxtrace;
+
+namespace {
+
+void print_errors(const std::vector<std::string>& errors) {
+  for (const std::string& e : errors) std::fprintf(stderr, "  %s\n", e.c_str());
+}
+
+int cmd_status(hub::Catalog& cat) {
+  const hub::OpenReport& orep = cat.open_report();
+  std::size_t ok = 0, salvaged = 0, quarantined = 0, expired = 0;
+  for (const auto& [path, e] : cat.manifest().entries()) {
+    switch (e.state) {
+      case hub::TraceState::Ok: ++ok; break;
+      case hub::TraceState::Salvaged: ++salvaged; break;
+      case hub::TraceState::Quarantined: ++quarantined; break;
+      case hub::TraceState::Expired: ++expired; break;
+    }
+  }
+  std::printf("catalog %s: %zu ok, %zu salvaged, %zu quarantined, "
+              "%zu expired\n",
+              cat.dir().c_str(), ok, salvaged, quarantined, expired);
+  std::printf("journal: %zu records, %zu replayed%s%s%s\n",
+              cat.manifest().journal_records(),
+              orep.replay.records_applied,
+              orep.replay.truncated ? ", tail repaired" : "",
+              orep.replay.recreated ? ", header recreated" : "",
+              orep.rolled_back_compaction ? ", compaction rolled back" : "");
+  if (orep.swept_files > 0) {
+    std::printf("swept %zu expired leftover file(s)\n", orep.swept_files);
+  }
+  for (const auto& [path, e] : cat.manifest().entries()) {
+    const std::string detail = e.detail.empty() ? "" : ", " + e.detail;
+    std::printf("  %-12s %s (%llu bytes, %llu rows%s%s)\n",
+                hub::to_string(e.state), path.c_str(),
+                static_cast<unsigned long long>(e.size_bytes),
+                static_cast<unsigned long long>(e.rows),
+                e.sidecar ? ", indexed" : "", detail.c_str());
+  }
+  return 0;
+}
+
+int cmd_ingest(hub::Catalog& cat) {
+  const hub::IngestReport rep = cat.ingest();
+  std::printf("ingest: %zu scanned, %zu registered, %zu salvaged, "
+              "%zu quarantined, %zu unchanged, %zu failed\n",
+              rep.scanned, rep.registered, rep.salvaged, rep.quarantined,
+              rep.unchanged, rep.failed);
+  const hub::CatalogStats& st = cat.stats();
+  if (st.retries + st.breaker_opens + st.breaker_rejects > 0) {
+    std::printf("resilience: %llu retries, %llu breaker opens, "
+                "%llu rejects\n",
+                static_cast<unsigned long long>(st.retries),
+                static_cast<unsigned long long>(st.breaker_opens),
+                static_cast<unsigned long long>(st.breaker_rejects));
+  }
+  print_errors(rep.errors);
+  return 0;
+}
+
+int cmd_retain(hub::Catalog& cat, std::uint64_t age_ms,
+               std::uint64_t bytes) {
+  const hub::RetainReport rep =
+      cat.retain(age_ms * 1'000'000ull, bytes);
+  std::printf("retain: %zu expired, %llu bytes reclaimed\n", rep.expired,
+              static_cast<unsigned long long>(rep.bytes_reclaimed));
+  print_errors(rep.errors);
+  return 0;
+}
+
+int cmd_compact(hub::Catalog& cat, std::uint64_t under_bytes) {
+  const hub::CompactReport rep = cat.compact(under_bytes);
+  if (rep.segments_written > 0) {
+    std::printf("compact: merged %zu traces into %s\n", rep.members_merged,
+                rep.segment_path.c_str());
+  } else {
+    std::printf("compact: nothing to merge\n");
+  }
+  print_errors(rep.errors);
+  return rep.errors.empty() ? 0 : 1;
+}
+
+int cmd_verify(hub::Catalog& cat) {
+  const hub::VerifyReport rep = cat.verify();
+  std::printf("verify: %zu checked, %zu missing, %zu drifted, "
+              "%zu stale sidecars\n",
+              rep.checked, rep.missing, rep.drifted, rep.sidecars_stale);
+  print_errors(rep.problems);
+  return rep.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
+  tools::Cli cli(argc, argv,
+                 std::string("usage: ") + argv[0] +
+                     " <status|ingest|retain|compact|verify>"
+                     " <catalog-dir> <symbols-file>"
+                     " [--threads N] [--regs]"
+                     " [--retain-age-ms N] [--retain-bytes B]"
+                     " [--compact-under B]"
+                     " [--crash-after N] [--read-transient N] [--seed S]"
+                     " [--enospc-bytes B] [--telemetry FILE] [--metrics]"
+                     " [--version]");
+  unsigned threads = 0;
+  bool regs = false;
+  std::size_t retain_age_ms = 0;
+  std::uint64_t retain_bytes = 0;
+  std::uint64_t compact_under = 1u << 20;
+  std::size_t crash_after = 0;
+  std::size_t read_transient = 0;
+  std::size_t seed = 0;
+  std::uint64_t enospc_bytes = 0;
+  cli.flag_uint("--threads", &threads);
+  cli.flag("--regs", &regs);
+  cli.flag_count("--retain-age-ms", &retain_age_ms);
+  cli.flag_bytes("--retain-bytes", &retain_bytes);
+  cli.flag_bytes("--compact-under", &compact_under);
+  cli.flag_count("--crash-after", &crash_after);
+  cli.flag_count("--read-transient", &read_transient);
+  cli.flag_count("--seed", &seed);
+  cli.flag_bytes("--enospc-bytes", &enospc_bytes);
+  tools::Telemetry tel;
+  tel.attach(cli);
+  if (!cli.parse(3, 3)) return cli.usage();
+  const std::string cmd = cli.pos(0);
+  if (cmd != "status" && cmd != "ingest" && cmd != "retain" &&
+      cmd != "compact" && cmd != "verify") {
+    std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
+    return cli.usage();
+  }
+  tel.start();
+
+  SymbolTable symtab;
+  try {
+    symtab = io::load_symbols(cli.pos(2));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  hub::CatalogOptions opts;
+  opts.threads = threads;
+  opts.use_register_ids = regs;
+
+  // Chaos seams. All counters are process-global and deterministic:
+  // the sweep re-runs the same command line with --crash-after 1..N and
+  // replays the journal after each kill.
+  static std::atomic<std::size_t> checkpoints{0};
+  static std::atomic<std::size_t> read_attempts{0};
+  static std::atomic<std::uint64_t> journal_bytes{0};
+  if (crash_after > 0) {
+    const std::size_t at = crash_after;
+    opts.checkpoint = [at](const char*) {
+      if (checkpoints.fetch_add(1) + 1 >= at) {
+        std::fflush(stdout);
+        std::_Exit(137);
+      }
+    };
+  }
+  if (read_transient > 0) {
+    const std::size_t lo = seed;
+    const std::size_t hi = seed + read_transient;
+    opts.read_fault = [lo, hi](const std::string&) {
+      const std::size_t i = read_attempts.fetch_add(1);
+      return i >= lo && i < hi;
+    };
+  }
+  if (enospc_bytes > 0) {
+    const std::uint64_t budget = enospc_bytes;
+    opts.manifest_fault = [budget](std::size_t bytes) {
+      return journal_bytes.fetch_add(bytes) + bytes > budget;
+    };
+  }
+
+  hub::Catalog cat = [&] {
+    try {
+      return hub::Catalog::open(cli.pos(1), symtab, std::move(opts));
+    } catch (const hub::ManifestError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
+
+  int rc = 0;
+  if (cmd == "status") rc = cmd_status(cat);
+  else if (cmd == "ingest") rc = cmd_ingest(cat);
+  else if (cmd == "retain") rc = cmd_retain(cat, retain_age_ms, retain_bytes);
+  else if (cmd == "compact") rc = cmd_compact(cat, compact_under);
+  else rc = cmd_verify(cat);
+
+  const int trc = tel.finish();
+  return rc != 0 ? rc : trc;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

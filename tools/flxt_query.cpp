@@ -5,6 +5,13 @@
 //   flxt_query <trace> <symbols> --repl         interactive session
 //   flxt_query <trace> <symbols> 'outliers' --follow
 //                                               tail a live capture
+//   flxt_query <catalog-dir> <symbols> 'group func: count' --catalog
+//                                               federate over a hub
+//                                               catalog (ISSUE 9): the
+//                                               merged answer to stdout,
+//                                               the per-trace ok/salvaged
+//                                               /quarantined/skipped
+//                                               ledger to stderr
 //
 // The query is a pipeline of stages over the attributed sample columns
 // (item, func, core, ts, dur, ip):
@@ -52,9 +59,11 @@
 #include <unistd.h>
 
 #include "cli.hpp"
+#include "fluxtrace/hub/catalog.hpp"
 #include "fluxtrace/io/follower.hpp"
 #include "fluxtrace/io/symbols_file.hpp"
 #include "fluxtrace/query/engine.hpp"
+#include "fluxtrace/query/federated.hpp"
 #include "fluxtrace/query/render.hpp"
 #include "fluxtrace/query/stream.hpp"
 
@@ -122,6 +131,52 @@ int run_one(query::QueryEngine& engine, const std::string& text, Shape shape,
   }
   print_result(res, shape);
   if (stats) query::print_stats(std::cerr, res.stats);
+  return 0;
+}
+
+/// Federated mode (--catalog): evaluate one pipeline over every live
+/// trace a hub catalog knows about, as if over their concatenation. The
+/// per-trace ledger goes to stderr; the merged table to stdout.
+int run_catalog(const std::string& dir, const SymbolTable& symtab,
+                const std::string& text, Shape shape, bool stats,
+                unsigned threads, bool regs, bool no_index) {
+  hub::Catalog cat = [&] {
+    try {
+      return hub::Catalog::open(dir, symtab);
+    } catch (const hub::ManifestError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
+
+  query::FederatedOptions fopts;
+  fopts.engine.threads = threads;
+  fopts.engine.use_register_ids = regs;
+  fopts.engine.use_index = !no_index;
+  fopts.engine.write_index = false; // sidecars are the hub's to refresh
+  fopts.fanout_threads = threads;
+
+  query::FederatedResult fr;
+  try {
+    fr = query::run_federated(cat.query_members(), symtab, text, fopts);
+  } catch (const query::ParseError& e) {
+    std::fprintf(stderr, "error: %s (at offset %zu)\n", e.what(), e.pos());
+    return 2;
+  }
+  if (g_interrupted) {
+    std::fprintf(stderr, "interrupted: result discarded\n");
+    return 130;
+  }
+  print_result(fr.result, shape);
+  std::fprintf(stderr, "%s\n", fr.ledger.summary().c_str());
+  if (stats) {
+    for (const query::TraceLedgerEntry& e : fr.ledger.traces) {
+      std::fprintf(stderr, "  %-11s %s%s%s\n",
+                   std::string(to_string(e.state)).c_str(), e.path.c_str(),
+                   e.detail.empty() ? "" : ": ", e.detail.c_str());
+    }
+    query::print_stats(std::cerr, fr.result.stats);
+  }
   return 0;
 }
 
@@ -259,11 +314,13 @@ int main(int argc, char** argv) try {
                      " <trace-file> <symbols-file> [QUERY] [--repl] "
                      "[--follow] [--poll-ms N] [--death-timeout-ms N] "
                      "[--pidfile FILE] [--max-polls N] "
+                     "[--catalog] "
                      "[--csv] [--json] [--stats] [--no-index] "
                      "[--threads N] [--regs] [--telemetry FILE] "
                      "[--metrics] [--version]");
   bool repl = false;
   bool follow = false;
+  bool catalog = false;
   bool csv = false;
   bool json = false;
   bool stats = false;
@@ -276,6 +333,7 @@ int main(int argc, char** argv) try {
   const char* pidfile = nullptr;
   cli.flag("--repl", &repl);
   cli.flag("--follow", &follow);
+  cli.flag("--catalog", &catalog);
   cli.flag("--csv", &csv);
   cli.flag("--json", &json);
   cli.flag("--stats", &stats);
@@ -297,6 +355,11 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr, "error: --repl and --follow are exclusive\n");
     return 2;
   }
+  if (catalog && (repl || follow)) {
+    std::fprintf(stderr,
+                 "error: --catalog is one-shot (no --repl / --follow)\n");
+    return 2;
+  }
   if ((cli.n_pos() == 3) == repl) {
     // Exactly one of: a query (one-shot or --follow), or --repl.
     return cli.usage();
@@ -311,6 +374,13 @@ int main(int argc, char** argv) try {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  }
+
+  if (catalog) {
+    const int rc = run_catalog(cli.pos(0), symtab, cli.pos(2), shape, stats,
+                               threads, regs, no_index);
+    const int trc = tel.finish();
+    return rc != 0 ? rc : trc;
   }
 
   if (follow) {

@@ -5,15 +5,21 @@
 // returned as data. Monolithic formats (v1, FLXZ) recover all-or-nothing.
 //
 //   flxt_recover <damaged> [<out>]     report only, or also write <out>
+//   flxt_recover <trace> <symbols> --rebuild-index [--regs]
+//                                      rebuild the FLXI sidecar (the same
+//                                      refresh path hub ingest runs)
 //
-// Exit status: 0 when at least one chunk was recovered, 1 when nothing
-// was recoverable (or on error), 2 on bad usage.
+// Exit status: 0 when at least one chunk was recovered (or the sidecar
+// was refreshed), 1 when nothing was recoverable / the trace is not
+// indexable (or on error), 2 on bad usage.
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "cli.hpp"
+#include "fluxtrace/io/symbols_file.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
+#include "fluxtrace/query/flxi.hpp"
 
 using namespace fluxtrace;
 
@@ -21,12 +27,41 @@ int main(int argc, char** argv) try {
   tools::Cli cli(argc, argv,
                  std::string("usage: ") + argv[0] +
                      " <damaged-trace> [<recovered-out>] "
+                     "| <trace> <symbols> --rebuild-index [--regs] "
                      "[--telemetry FILE] [--metrics] [--version]");
+  bool rebuild_index = false;
+  bool regs = false;
+  cli.flag("--rebuild-index", &rebuild_index);
+  cli.flag("--regs", &regs);
   tools::Telemetry tel;
   tel.attach(cli);
   if (!cli.parse(1, 2)) return cli.usage();
   tel.start();
   const char* path = cli.pos(0);
+
+  if (rebuild_index) {
+    if (cli.n_pos() != 2) return cli.usage();
+    SymbolTable symtab;
+    try {
+      symtab = io::load_symbols(cli.pos(1));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    query::SidecarStatus status;
+    try {
+      status = query::refresh_sidecar(path, symtab, regs);
+    } catch (const io::TraceIoError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("%s: %s\n", query::flxi_path(path).c_str(),
+                query::to_string(status));
+    const bool ok = status == query::SidecarStatus::Fresh ||
+                    status == query::SidecarStatus::Rebuilt;
+    if (!ok) return 1;
+    return tel.finish();
+  }
 
   io::SalvageReport rep;
   try {

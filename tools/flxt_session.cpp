@@ -58,7 +58,7 @@ int main(int argc, char** argv) try {
   double sink_transient = 0.0;
   std::size_t stuck_at = 0;
   std::size_t stuck_for = 0;
-  std::size_t enospc_bytes = 0;
+  std::uint64_t enospc_bytes = 0;
   std::size_t crash_after = 0;
   cli.flag_str("--secondary", &secondary);
   cli.flag_count_pos("--queries", &queries);
@@ -72,7 +72,7 @@ int main(int argc, char** argv) try {
   cli.flag_rate("--sink-transient", &sink_transient);
   cli.flag_count("--stuck-at", &stuck_at);
   cli.flag_count("--stuck-for", &stuck_for);
-  cli.flag_count("--enospc-bytes", &enospc_bytes);
+  cli.flag_bytes("--enospc-bytes", &enospc_bytes);
   cli.flag_count("--crash-after", &crash_after);
   tools::Telemetry tel;
   tel.attach(cli);
