@@ -1,0 +1,100 @@
+// Fixed-width bit packing: n unsigned values of w bits each, packed
+// little-endian (value i occupies bits [i*w, (i+1)*w) of the stream,
+// low bits first). This is the payload layer of the frame-of-reference
+// and dictionary codecs (column.hpp): both reduce a column to small
+// unsigned integers and pack them at the minimal width.
+//
+// Decoding is bounds-driven: the byte budget for n values of width w is
+// computed (and checked against the bytes actually present) before any
+// output is allocated, so a forged count cannot provoke an oversized
+// allocation or an out-of-range read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace fluxtrace::codec {
+
+/// Bits needed to represent `v` (0 for v == 0).
+[[nodiscard]] inline unsigned bit_width_u64(std::uint64_t v) {
+  unsigned w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+/// Exact packed size of `n` values at `width` bits.
+[[nodiscard]] inline std::size_t packed_bytes(std::size_t n, unsigned width) {
+  return (n * width + 7) / 8;
+}
+
+/// Append `values` at `width` bits each (values wider than `width` bits
+/// are masked). Width 0 appends nothing: the all-zeros column.
+inline void pack_bits(std::string& out, std::span<const std::uint64_t> values,
+                      unsigned width) {
+  if (width == 0 || values.empty()) return;
+  const std::size_t base = out.size();
+  out.resize(base + packed_bytes(values.size(), width), '\0');
+  auto* p = reinterpret_cast<unsigned char*>(out.data()) + base;
+  std::size_t bitpos = 0;
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  for (std::uint64_t v : values) {
+    v &= mask;
+    const std::size_t byte = bitpos >> 3;
+    const unsigned off = static_cast<unsigned>(bitpos & 7);
+    // The value spans bits [off, off + width) from p[byte]: at most 71
+    // bits, i.e. 8 whole bytes of (v << off) plus one spill byte.
+    const std::uint64_t lo = v << off;
+    const unsigned span_bytes = (off + width + 7) / 8;
+    for (unsigned k = 0; k < span_bytes && k < 8; ++k) {
+      p[byte + k] |= static_cast<unsigned char>((lo >> (8 * k)) & 0xffu);
+    }
+    if (span_bytes > 8) {
+      p[byte + 8] |= static_cast<unsigned char>((v >> (64 - off)) & 0xffu);
+    }
+    bitpos += width;
+  }
+}
+
+/// Unpack `n` values of `width` bits from `b` starting at `pos` into
+/// `out[0..n)`. Returns false (without touching `out`) when fewer than
+/// packed_bytes(n, width) bytes remain or width > 64. Advances `pos`.
+[[nodiscard]] inline bool unpack_bits(std::string_view b, std::size_t& pos,
+                                      std::size_t n, unsigned width,
+                                      std::uint64_t* out) {
+  if (width > 64 || pos > b.size()) return false;
+  const std::size_t need = packed_bytes(n, width);
+  if (b.size() - pos < need) return false;
+  if (width == 0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return true;
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(b.data()) + pos;
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  std::size_t bitpos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t byte = bitpos >> 3;
+    const unsigned off = static_cast<unsigned>(bitpos & 7);
+    std::uint64_t v = 0;
+    for (unsigned k = 0; k < 8 && byte + k < need; ++k) {
+      v |= static_cast<std::uint64_t>(p[byte + k]) << (8 * k);
+    }
+    v >>= off;
+    if (off != 0 && off + width > 64 && byte + 8 < need) {
+      v |= static_cast<std::uint64_t>(p[byte + 8]) << (64 - off);
+    }
+    out[i] = v & mask;
+    bitpos += width;
+  }
+  pos += need;
+  return true;
+}
+
+} // namespace fluxtrace::codec

@@ -1,0 +1,346 @@
+#include "fluxtrace/codec/column.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "fluxtrace/codec/bitpack.hpp"
+#include "fluxtrace/codec/varint.hpp"
+
+namespace fluxtrace::codec {
+
+namespace {
+
+constexpr std::size_t kNoFit = std::numeric_limits<std::size_t>::max();
+
+[[nodiscard]] std::uint64_t as_u64(std::int64_t v) {
+  return static_cast<std::uint64_t>(v);
+}
+
+[[nodiscard]] std::int64_t as_i64(std::uint64_t v) {
+  return static_cast<std::int64_t>(v);
+}
+
+/// v[i] - v[i-1] with two's-complement wrap (defined in unsigned
+/// arithmetic; the decoder reverses it with a wrapping add, so deltas
+/// round-trip even across the full int64 range).
+[[nodiscard]] std::int64_t wrap_delta(std::int64_t a, std::int64_t b) {
+  return as_i64(as_u64(a) - as_u64(b));
+}
+
+// --- per-codec encoders ------------------------------------------------
+
+void encode_raw64(std::span<const std::int64_t> v, std::string& out) {
+  out.reserve(out.size() + v.size() * 8);
+  for (std::int64_t x : v) {
+    std::uint64_t u = as_u64(x);
+    for (int k = 0; k < 8; ++k) {
+      out.push_back(static_cast<char>((u >> (8 * k)) & 0xffu));
+    }
+  }
+}
+
+void encode_const(std::span<const std::int64_t> v, std::string& out) {
+  put_varint(out, zigzag(v[0]));
+}
+
+void encode_varints(std::span<const std::int64_t> v, std::string& out) {
+  for (std::int64_t x : v) put_varint(out, zigzag(x));
+}
+
+void encode_delta(std::span<const std::int64_t> v, std::string& out) {
+  put_varint(out, zigzag(v[0]));
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    put_varint(out, zigzag(wrap_delta(v[i], v[i - 1])));
+  }
+}
+
+/// Sorted distinct values of `v` (empty result only for empty input).
+[[nodiscard]] std::vector<std::int64_t> build_dict(
+    std::span<const std::int64_t> v) {
+  std::vector<std::int64_t> d(v.begin(), v.end());
+  std::sort(d.begin(), d.end());
+  d.erase(std::unique(d.begin(), d.end()), d.end());
+  return d;
+}
+
+/// Dictionary layout: varint n_dict | zigzag varint d[0] | varint
+/// (d[i]-d[i-1]-1) for i in [1,n_dict) | indices bit-packed at
+/// bit_width(n_dict-1). Storing gap-minus-one makes a strictly sorted
+/// dictionary the only expressible kind.
+void encode_dict(std::span<const std::int64_t> v,
+                 const std::vector<std::int64_t>& d, std::string& out) {
+  put_varint(out, d.size());
+  put_varint(out, zigzag(d[0]));
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    put_varint(out, as_u64(d[i]) - as_u64(d[i - 1]) - 1);
+  }
+  const unsigned width = bit_width_u64(d.size() - 1);
+  std::vector<std::uint64_t> idx(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    idx[i] = static_cast<std::uint64_t>(
+        std::lower_bound(d.begin(), d.end(), v[i]) - d.begin());
+  }
+  pack_bits(out, idx, width);
+}
+
+[[nodiscard]] std::size_t dict_encoded_size(std::size_t n,
+                                            const std::vector<std::int64_t>& d) {
+  std::size_t s = varint_len(d.size()) + varint_len(zigzag(d[0]));
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    s += varint_len(as_u64(d[i]) - as_u64(d[i - 1]) - 1);
+  }
+  return s + packed_bytes(n, bit_width_u64(d.size() - 1));
+}
+
+/// Frame-of-reference layout: zigzag varint min | u8 width | offsets
+/// (v - min, unsigned wrap) bit-packed at `width`.
+void encode_forpack(std::span<const std::int64_t> v, std::int64_t min,
+                    unsigned width, std::string& out) {
+  put_varint(out, zigzag(min));
+  out.push_back(static_cast<char>(width));
+  std::vector<std::uint64_t> offs(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    offs[i] = as_u64(v[i]) - as_u64(min);
+  }
+  pack_bits(out, offs, width);
+}
+
+// --- per-codec decoders (strict: every byte must be consumed) ---------
+
+[[nodiscard]] bool decode_raw64(std::string_view b, std::size_t n,
+                                std::int64_t* out) {
+  if (b.size() != n * 8) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(b.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t u = 0;
+    for (int k = 0; k < 8; ++k) {
+      u |= static_cast<std::uint64_t>(p[i * 8 + k]) << (8 * k);
+    }
+    out[i] = as_i64(u);
+  }
+  return true;
+}
+
+[[nodiscard]] bool decode_const(std::string_view b, std::size_t n,
+                                std::int64_t* out) {
+  std::size_t pos = 0;
+  std::uint64_t z = 0;
+  if (!get_varint(b, pos, z) || pos != b.size()) return false;
+  const std::int64_t v = unzigzag(z);
+  for (std::size_t i = 0; i < n; ++i) out[i] = v;
+  return true;
+}
+
+[[nodiscard]] bool decode_varints(std::string_view b, std::size_t n,
+                                  std::int64_t* out) {
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t z = 0;
+    if (!get_varint(b, pos, z)) return false;
+    out[i] = unzigzag(z);
+  }
+  return pos == b.size();
+}
+
+[[nodiscard]] bool decode_delta(std::string_view b, std::size_t n,
+                                std::int64_t* out) {
+  std::size_t pos = 0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t z = 0;
+    if (!get_varint(b, pos, z)) return false;
+    acc = i == 0 ? static_cast<std::uint64_t>(unzigzag(z))
+                 : acc + static_cast<std::uint64_t>(unzigzag(z));
+    out[i] = as_i64(acc);
+  }
+  return pos == b.size();
+}
+
+[[nodiscard]] bool decode_dict(std::string_view b, std::size_t n,
+                               std::int64_t* out) {
+  std::size_t pos = 0;
+  std::uint64_t n_dict = 0;
+  if (!get_varint(b, pos, n_dict)) return false;
+  // A dictionary never has more entries than rows, and the encoder caps
+  // it at kMaxDictEntries — anything larger is forged, and rejecting it
+  // here bounds the allocation below.
+  if (n_dict == 0 || n_dict > n || n_dict > kMaxDictEntries) return false;
+  std::vector<std::int64_t> d(static_cast<std::size_t>(n_dict));
+  std::uint64_t z = 0;
+  if (!get_varint(b, pos, z)) return false;
+  d[0] = unzigzag(z);
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    std::uint64_t gap = 0;
+    if (!get_varint(b, pos, gap)) return false;
+    d[i] = as_i64(as_u64(d[i - 1]) + gap + 1);
+    if (d[i] <= d[i - 1]) return false; // wrapped: not a sorted dictionary
+  }
+  const unsigned width = bit_width_u64(n_dict - 1);
+  std::vector<std::uint64_t> idx(n);
+  if (!unpack_bits(b, pos, n, width, idx.data())) return false;
+  if (pos != b.size()) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (idx[i] >= n_dict) return false; // forged index past the dictionary
+    out[i] = d[static_cast<std::size_t>(idx[i])];
+  }
+  return true;
+}
+
+[[nodiscard]] bool decode_forpack(std::string_view b, std::size_t n,
+                                  std::int64_t* out) {
+  std::size_t pos = 0;
+  std::uint64_t z = 0;
+  if (!get_varint(b, pos, z)) return false;
+  const std::uint64_t min = as_u64(unzigzag(z));
+  if (pos >= b.size()) return false;
+  const unsigned width = static_cast<unsigned char>(b[pos++]);
+  if (width > 64) return false;
+  std::vector<std::uint64_t> offs(n);
+  if (!unpack_bits(b, pos, n, width, offs.data())) return false;
+  if (pos != b.size()) return false;
+  for (std::size_t i = 0; i < n; ++i) out[i] = as_i64(min + offs[i]);
+  return true;
+}
+
+} // namespace
+
+std::string_view column_codec_name(ColumnCodec c) {
+  switch (c) {
+  case ColumnCodec::Raw64: return "raw64";
+  case ColumnCodec::Const: return "const";
+  case ColumnCodec::Varint: return "varint";
+  case ColumnCodec::DeltaVarint: return "delta";
+  case ColumnCodec::Dict: return "dict";
+  case ColumnCodec::ForPack: return "forpack";
+  }
+  return "?";
+}
+
+std::string encode_column(std::span<const std::int64_t> values,
+                          ColumnCodec codec) {
+  std::string out;
+  if (values.empty()) {
+    if (codec != ColumnCodec::Raw64) {
+      throw std::invalid_argument("empty column encodes as Raw64 only");
+    }
+    return out;
+  }
+  switch (codec) {
+  case ColumnCodec::Raw64:
+    encode_raw64(values, out);
+    return out;
+  case ColumnCodec::Const:
+    for (std::int64_t v : values) {
+      if (v != values[0]) {
+        throw std::invalid_argument("Const codec on a non-constant column");
+      }
+    }
+    encode_const(values, out);
+    return out;
+  case ColumnCodec::Varint:
+    encode_varints(values, out);
+    return out;
+  case ColumnCodec::DeltaVarint:
+    encode_delta(values, out);
+    return out;
+  case ColumnCodec::Dict: {
+    auto d = build_dict(values);
+    if (d.size() > kMaxDictEntries) {
+      throw std::invalid_argument("Dict codec: too many distinct values");
+    }
+    encode_dict(values, d, out);
+    return out;
+  }
+  case ColumnCodec::ForPack: {
+    const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    const unsigned width = bit_width_u64(as_u64(*mx) - as_u64(*mn));
+    encode_forpack(values, *mn, width, out);
+    return out;
+  }
+  }
+  throw std::invalid_argument("unknown column codec");
+}
+
+EncodedColumn encode_column_best(std::span<const std::int64_t> values) {
+  EncodedColumn enc;
+  if (values.empty()) return enc; // Raw64, no bytes
+  const std::size_t n = values.size();
+
+  // One pass for min/max/equality and the varint/delta sums.
+  std::int64_t mn = values[0];
+  std::int64_t mx = values[0];
+  bool all_equal = true;
+  std::size_t varint_sz = 0;
+  std::size_t delta_sz = varint_len(zigzag(values[0]));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t v = values[i];
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    all_equal = all_equal && v == values[0];
+    varint_sz += varint_len(zigzag(v));
+    if (i > 0) delta_sz += varint_len(zigzag(wrap_delta(v, values[i - 1])));
+  }
+  const std::size_t const_sz =
+      all_equal ? varint_len(zigzag(values[0])) : kNoFit;
+  const unsigned for_width = bit_width_u64(as_u64(mx) - as_u64(mn));
+  const std::size_t for_sz =
+      varint_len(zigzag(mn)) + 1 + packed_bytes(n, for_width);
+
+  // The dictionary needs a sort; only bother when it could plausibly
+  // win (ForPack already caps the damage, so skip huge cardinalities).
+  std::vector<std::int64_t> dict;
+  std::size_t dict_sz = kNoFit;
+  if (!all_equal) {
+    dict = build_dict(values);
+    if (dict.size() <= kMaxDictEntries && dict.size() < n) {
+      dict_sz = dict_encoded_size(n, dict);
+    }
+  }
+
+  // Fixed preference order breaks size ties toward the simpler decode.
+  struct Cand {
+    ColumnCodec codec;
+    std::size_t size;
+  };
+  const Cand cands[] = {
+      {ColumnCodec::Const, const_sz},     {ColumnCodec::ForPack, for_sz},
+      {ColumnCodec::DeltaVarint, delta_sz}, {ColumnCodec::Dict, dict_sz},
+      {ColumnCodec::Varint, varint_sz},   {ColumnCodec::Raw64, n * 8},
+  };
+  Cand best = cands[0];
+  for (const Cand& c : cands) {
+    if (c.size < best.size) best = c;
+  }
+
+  enc.codec = best.codec;
+  switch (best.codec) {
+  case ColumnCodec::Const: encode_const(values, enc.bytes); break;
+  case ColumnCodec::ForPack:
+    encode_forpack(values, mn, for_width, enc.bytes);
+    break;
+  case ColumnCodec::DeltaVarint: encode_delta(values, enc.bytes); break;
+  case ColumnCodec::Dict: encode_dict(values, dict, enc.bytes); break;
+  case ColumnCodec::Varint: encode_varints(values, enc.bytes); break;
+  case ColumnCodec::Raw64: encode_raw64(values, enc.bytes); break;
+  }
+  return enc;
+}
+
+bool decode_column(ColumnCodec codec, std::string_view payload, std::size_t n,
+                   std::int64_t* out) {
+  if (static_cast<std::uint8_t>(codec) >= kNumColumnCodecs) return false;
+  if (n == 0) return payload.empty();
+  switch (codec) {
+  case ColumnCodec::Raw64: return decode_raw64(payload, n, out);
+  case ColumnCodec::Const: return decode_const(payload, n, out);
+  case ColumnCodec::Varint: return decode_varints(payload, n, out);
+  case ColumnCodec::DeltaVarint: return decode_delta(payload, n, out);
+  case ColumnCodec::Dict: return decode_dict(payload, n, out);
+  case ColumnCodec::ForPack: return decode_forpack(payload, n, out);
+  }
+  return false;
+}
+
+} // namespace fluxtrace::codec

@@ -57,7 +57,10 @@ bool ends_with(const std::string& s, std::string_view suffix) {
 }
 
 bool is_trace_name(const std::string& name) {
-  return ends_with(name, ".flxt") || ends_with(name, ".flxz");
+  // .flxt2/.flxt3 are the conventional names for chunked spools (the
+  // container is autodetected either way — this is only the dir filter).
+  return ends_with(name, ".flxt") || ends_with(name, ".flxz") ||
+         ends_with(name, ".flxt2") || ends_with(name, ".flxt3");
 }
 
 std::string errno_context(const std::string& path, int err) {

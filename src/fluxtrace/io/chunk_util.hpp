@@ -1,0 +1,81 @@
+// io-internal helpers shared by the two CHNK-framed containers: the v2
+// raw chunk layer (chunked.cpp) and the v3 compressed columnar layer
+// (v3.cpp). Not installed API — nothing outside src/fluxtrace/io may
+// include this.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace fluxtrace::io::detail {
+
+/// CHNK frame header: magic + type + count + size + header/payload CRCs.
+inline constexpr std::size_t kChunkHeaderBytes = 21;
+
+/// Hard per-chunk record cap, enforced on every decode of a *compressed*
+/// chunk (a raw chunk's count is already pinned by payload_bytes /
+/// record size; a compressed chunk's is not — without this cap a forged
+/// count with a valid CRC could demand an arbitrarily large allocation).
+/// Writers chunk far below this.
+inline constexpr std::uint32_t kMaxRecordsPerChunk = 1u << 20;
+
+// --- little-endian append/peek over an in-memory buffer ---------------
+
+inline void app_u8(std::string& b, std::uint8_t v) {
+  b.push_back(static_cast<char>(v));
+}
+
+inline void app_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) app_u8(b, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void app_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) app_u8(b, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint8_t peek_u8(std::string_view b, std::size_t at) {
+  return static_cast<std::uint8_t>(b[at]);
+}
+
+inline std::uint32_t peek_u32(std::string_view b, std::size_t at) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint32_t v;
+    std::memcpy(&v, b.data() + at, sizeof v);
+    return v;
+  } else {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               peek_u8(b, at + static_cast<std::size_t>(i)))
+           << (8 * i);
+    }
+    return v;
+  }
+}
+
+inline std::uint64_t peek_u64(std::string_view b, std::size_t at) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t v;
+    std::memcpy(&v, b.data() + at, sizeof v);
+    return v;
+  } else {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               peek_u8(b, at + static_cast<std::size_t>(i)))
+           << (8 * i);
+    }
+    return v;
+  }
+}
+
+/// One complete CHNK frame: header (with both CRCs) + payload.
+/// Implemented in chunked.cpp.
+[[nodiscard]] std::string make_chunk(std::uint8_t type,
+                                     std::uint32_t n_records,
+                                     const std::string& payload);
+
+} // namespace fluxtrace::io::detail

@@ -12,12 +12,23 @@
 #include <string_view>
 #include <vector>
 
+#include "fluxtrace/io/chunk_util.hpp"
+#include "fluxtrace/io/v3.hpp"
 #include "fluxtrace/obs/metrics.hpp"
 #include "fluxtrace/rt/thread_pool.hpp"
 
 namespace fluxtrace::io {
 
 namespace {
+
+using detail::app_u8;
+using detail::app_u32;
+using detail::app_u64;
+using detail::kChunkHeaderBytes;
+using detail::make_chunk;
+using detail::peek_u8;
+using detail::peek_u32;
+using detail::peek_u64;
 
 // Self-telemetry (ISSUE 3): parallel decode effectiveness — chunks that
 // actually went wide vs. times we had to drop back to the strict
@@ -32,7 +43,6 @@ struct V2Metrics {
   }
 };
 
-constexpr std::size_t kChunkHeaderBytes = 21; // magic+type+count+size+2 CRCs
 constexpr std::uint8_t kChunkMarkers = 0;
 constexpr std::uint8_t kChunkSamples = 1;
 constexpr std::uint8_t kChunkEof = 2;
@@ -43,56 +53,6 @@ constexpr std::size_t kSampleBytes =
     8 + 8 + 4 + sizeof(RegisterFile{}.v); // tsc + ip + core + GPRs
 constexpr std::size_t kWaitEdgeBytes =
     8 + 8 + 8 + 4 + 4 + 4 + 1; // enter+leave+item+waiter+holder+resource+cause
-
-// --- little-endian append/peek over an in-memory buffer ---------------
-
-void app_u8(std::string& b, std::uint8_t v) {
-  b.push_back(static_cast<char>(v));
-}
-
-void app_u32(std::string& b, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) app_u8(b, static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void app_u64(std::string& b, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) app_u8(b, static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-std::uint8_t peek_u8(std::string_view b, std::size_t at) {
-  return static_cast<std::uint8_t>(b[at]);
-}
-
-std::uint32_t peek_u32(std::string_view b, std::size_t at) {
-  if constexpr (std::endian::native == std::endian::little) {
-    std::uint32_t v;
-    std::memcpy(&v, b.data() + at, sizeof v);
-    return v;
-  } else {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(
-               peek_u8(b, at + static_cast<std::size_t>(i)))
-           << (8 * i);
-    }
-    return v;
-  }
-}
-
-std::uint64_t peek_u64(std::string_view b, std::size_t at) {
-  if constexpr (std::endian::native == std::endian::little) {
-    std::uint64_t v;
-    std::memcpy(&v, b.data() + at, sizeof v);
-    return v;
-  } else {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(
-               peek_u8(b, at + static_cast<std::size_t>(i)))
-           << (8 * i);
-    }
-    return v;
-  }
-}
 
 // --- record encode/decode (v1 field layout) ---------------------------
 
@@ -184,20 +144,6 @@ bool decode_wait_edges(std::string_view payload, std::uint32_t n,
   return true;
 }
 
-std::string make_chunk(std::uint8_t type, std::uint32_t n_records,
-                       const std::string& payload) {
-  std::string out;
-  out.reserve(kChunkHeaderBytes + payload.size());
-  app_u32(out, kChunkMagic);
-  app_u8(out, type);
-  app_u32(out, n_records);
-  app_u32(out, static_cast<std::uint32_t>(payload.size()));
-  app_u32(out, crc32(out.data(), out.size()));
-  app_u32(out, crc32(payload.data(), payload.size()));
-  out += payload;
-  return out;
-}
-
 void write_chunk(std::ostream& os, std::uint8_t type, std::uint32_t n_records,
                  const std::string& payload) {
   const std::string chunk = make_chunk(type, n_records, payload);
@@ -211,6 +157,20 @@ std::string read_rest(std::istream& is) {
 }
 
 } // namespace
+
+std::string detail::make_chunk(std::uint8_t type, std::uint32_t n_records,
+                               const std::string& payload) {
+  std::string out;
+  out.reserve(kChunkHeaderBytes + payload.size());
+  app_u32(out, kChunkMagic);
+  app_u8(out, type);
+  app_u32(out, n_records);
+  app_u32(out, static_cast<std::uint32_t>(payload.size()));
+  app_u32(out, crc32(out.data(), out.size()));
+  app_u32(out, crc32(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
 
 std::uint32_t crc32(const void* data, std::size_t len) {
   // IEEE 802.3 reflected polynomial, slice-by-16: sixteen table lookups
@@ -365,11 +325,14 @@ SalvageReport salvage_trace(std::istream& is) {
 SalvageReport salvage_trace(std::string_view buf) {
   SalvageReport rep;
 
-  // File header: 8 bytes of magic + version. A damaged header does not
-  // stop salvage — chunks are self-delimiting — but it is reported.
+  // File header: 8 bytes of magic + version. Versions 2 and 3 are one
+  // chunk family (v3.hpp), so salvage accepts either. A damaged header
+  // does not stop salvage — chunks are self-delimiting — but it is
+  // reported.
   std::size_t pos = 0;
   if (buf.size() >= 8 && peek_u32(buf, 0) == kTraceMagic &&
-      peek_u32(buf, 4) == kTraceVersion2) {
+      (peek_u32(buf, 4) == kTraceVersion2 ||
+       peek_u32(buf, 4) == kTraceVersion3)) {
     rep.header_ok = true;
     pos = 8;
   }
@@ -424,6 +387,8 @@ SalvageReport salvage_trace(std::string_view buf) {
         ok = decode_samples(payload, n_records, rep.data.samples);
       } else if (type == kChunkWaitEdges) {
         ok = decode_wait_edges(payload, n_records, rep.data.wait_edges);
+      } else if (is_compressed_chunk_type(type)) {
+        ok = decode_compressed_chunk(type, payload, n_records, rep.data);
       } else {
         ok = false; // unknown chunk type from a future writer: skip
       }
@@ -470,8 +435,9 @@ TraceData read_trace_v2_body(std::string_view body) {
 
 std::vector<V2ChunkRef> index_trace_v2(std::string_view file) {
   if (file.size() < 8 || peek_u32(file, 0) != kTraceMagic ||
-      peek_u32(file, 4) != kTraceVersion2) {
-    throw TraceIoError("not a v2 chunked trace (bad file header)");
+      (peek_u32(file, 4) != kTraceVersion2 &&
+       peek_u32(file, 4) != kTraceVersion3)) {
+    throw TraceIoError("not a chunked trace (bad file header)");
   }
   std::vector<V2ChunkRef> out;
   std::size_t pos = 8;
@@ -497,7 +463,7 @@ std::vector<V2ChunkRef> index_trace_v2(std::string_view file) {
       }
       saw_eof = true;
     } else if (type == kChunkMarkers || type == kChunkSamples ||
-               type == kChunkWaitEdges) {
+               type == kChunkWaitEdges || is_compressed_chunk_type(type)) {
       out.push_back(V2ChunkRef{pos, type, n_records, payload_bytes});
     } else {
       throw TraceIoError("unknown v2 chunk type");
@@ -529,6 +495,8 @@ void decode_trace_v2_chunk(std::string_view file, const V2ChunkRef& ref,
     ok = decode_samples(payload, ref.n_records, out.samples);
   } else if (ref.type == kChunkWaitEdges) {
     ok = decode_wait_edges(payload, ref.n_records, out.wait_edges);
+  } else if (is_compressed_chunk_type(ref.type)) {
+    ok = decode_compressed_chunk(ref.type, payload, ref.n_records, out);
   }
   if (!ok) throw TraceIoError("malformed v2 chunk records");
 }
@@ -583,6 +551,40 @@ void decode_trace_v2_samples_columnar(std::string_view file,
   }
 }
 
+void decode_trace_v2_samples_slice(std::string_view file,
+                                   const V2ChunkRef& ref,
+                                   const SampleColumnSlice& out) {
+  if (ref.type != kChunkSamples) {
+    throw TraceIoError("columnar decode on a non-sample chunk");
+  }
+  if (ref.offset + kChunkHeaderBytes > file.size() ||
+      file.size() - ref.offset - kChunkHeaderBytes < ref.payload_bytes) {
+    throw TraceIoError("chunk ref outside the file image");
+  }
+  const std::string_view payload =
+      file.substr(ref.offset + kChunkHeaderBytes, ref.payload_bytes);
+  if (peek_u32(file, ref.offset + 17) !=
+      crc32(payload.data(), payload.size())) {
+    throw TraceIoError("v2 chunk payload CRC mismatch");
+  }
+  const std::uint32_t n = ref.n_records;
+  if (payload.size() != static_cast<std::size_t>(n) * kSampleBytes ||
+      out.reg_index >= kNumRegs) {
+    throw TraceIoError("malformed v2 chunk records");
+  }
+  const std::size_t reg_off = 20 + std::size_t{out.reg_index} * 8;
+  std::size_t at = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.tsc[i] = static_cast<std::int64_t>(peek_u64(payload, at));
+    out.ip[i] = static_cast<std::int64_t>(peek_u64(payload, at + 8));
+    out.core[i] = static_cast<std::int64_t>(peek_u32(payload, at + 16));
+    if (out.reg != nullptr) {
+      out.reg[i] = static_cast<std::int64_t>(peek_u64(payload, at + reg_off));
+    }
+    at += kSampleBytes;
+  }
+}
+
 TraceData read_trace_v2_body_parallel(std::string_view body,
                                       rt::ThreadPool& pool) {
   // Index pass: walk the chunk headers sequentially (header CRCs are 13
@@ -625,7 +627,7 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
         payload_crc == crc32(body.data(), 0)) {
       eof_seen = true;
     } else if (type == kChunkMarkers || type == kChunkSamples ||
-               type == kChunkWaitEdges) {
+               type == kChunkWaitEdges || is_compressed_chunk_type(type)) {
       chunks.push_back({type, n_records, pos + kChunkHeaderBytes,
                         payload_bytes, payload_crc});
     } else {
@@ -642,12 +644,7 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
   // Payload pass: CRC + decode of each chunk is independent; results land
   // in per-chunk slots and are concatenated in chunk order, which is
   // exactly the order the sequential parser appends them in.
-  struct Part {
-    std::vector<Marker> markers;
-    SampleVec samples;
-    std::vector<WaitEdge> wait_edges;
-  };
-  std::vector<Part> parts(chunks.size());
+  std::vector<TraceData> parts(chunks.size());
   std::atomic<bool> any_bad{false};
   pool.parallel_for(chunks.size(), [&](std::size_t i) {
     const ChunkRef& c = chunks[i];
@@ -658,7 +655,10 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
                ? decode_markers(payload, c.n_records, parts[i].markers)
            : c.type == kChunkSamples
                ? decode_samples(payload, c.n_records, parts[i].samples)
-               : decode_wait_edges(payload, c.n_records, parts[i].wait_edges);
+           : c.type == kChunkWaitEdges
+               ? decode_wait_edges(payload, c.n_records, parts[i].wait_edges)
+               : decode_compressed_chunk(c.type, payload, c.n_records,
+                                         parts[i]);
     }
     if (!ok) any_bad.store(true, std::memory_order_relaxed);
   });
@@ -671,7 +671,7 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
   std::size_t n_markers = 0;
   std::size_t n_samples = 0;
   std::size_t n_waits = 0;
-  for (const Part& p : parts) {
+  for (const TraceData& p : parts) {
     n_markers += p.markers.size();
     n_samples += p.samples.size();
     n_waits += p.wait_edges.size();
@@ -680,7 +680,7 @@ TraceData read_trace_v2_body_parallel(std::string_view body,
   out.markers.reserve(n_markers);
   out.samples.reserve(n_samples);
   out.wait_edges.reserve(n_waits);
-  for (Part& p : parts) {
+  for (TraceData& p : parts) {
     out.markers.insert(out.markers.end(), p.markers.begin(), p.markers.end());
     out.samples.insert(out.samples.end(), p.samples.begin(), p.samples.end());
     out.wait_edges.insert(out.wait_edges.end(), p.wait_edges.begin(),

@@ -175,6 +175,25 @@ void decode_trace_v2_samples_columnar(std::string_view file,
                                       const V2ChunkRef& ref,
                                       const SampleColumnSink& sink);
 
+/// Raw-pointer variant of the column sink for chunk-parallel decode: each
+/// worker writes its chunk's rows into a pre-sized disjoint slice of the
+/// shared columns, so no append coordination is needed.
+struct SampleColumnSlice {
+  std::int64_t* tsc = nullptr;  ///< required
+  std::int64_t* ip = nullptr;   ///< required
+  std::int64_t* core = nullptr; ///< required
+  std::int64_t* reg = nullptr;  ///< optional: one GPR column
+  unsigned reg_index = 0;       ///< which GPR fills `reg`
+};
+
+/// Decode one indexed raw *sample* chunk into a slice: writes exactly
+/// ref.n_records values at each non-null pointer. Same validation and
+/// errors as decode_trace_v2_samples_columnar. (The compressed-chunk
+/// counterpart is io::decode_v3_samples_into, v3.hpp.)
+void decode_trace_v2_samples_slice(std::string_view file,
+                                   const V2ChunkRef& ref,
+                                   const SampleColumnSlice& out);
+
 /// Chunk-parallel strict v2 body parse: one sequential index pass over
 /// the chunk headers, then payload CRC checks and record decodes run
 /// concurrently on `pool`, concatenated in chunk order — the result (and

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 
+#include "fluxtrace/io/v3.hpp"
 #include "fluxtrace/obs/metrics.hpp"
 
 namespace fluxtrace::io {
@@ -208,8 +209,9 @@ void TraceFollower::parse_committed(std::uint64_t now_ns, PollResult& out) {
   if (!stats_.header_seen) {
     if (buf_.size() < kFileHeaderBytes) return;
     if (peek_u32(buf_, 0) != kTraceMagic ||
-        peek_u32(buf_, 4) != kTraceVersion2) {
-      // Not a v2 spool at all — nothing here will ever frame-align.
+        (peek_u32(buf_, 4) != kTraceVersion2 &&
+         peek_u32(buf_, 4) != kTraceVersion3)) {
+      // Not a chunked spool at all — nothing here will ever frame-align.
       if (!finishing) finish_with_salvage(FollowFinish::SourceFatal, out);
       return;
     }
@@ -267,7 +269,8 @@ void TraceFollower::parse_committed(std::uint64_t now_ns, PollResult& out) {
       break;
     }
     if (ok && (type == kChunkTypeMarkers || type == kChunkTypeSamples ||
-               type == kChunkTypeWaitEdges)) {
+               type == kChunkTypeWaitEdges ||
+               is_compressed_chunk_type(type))) {
       const std::size_t m0 = out.data.markers.size();
       const std::size_t s0 = out.data.samples.size();
       const std::size_t w0 = out.data.wait_edges.size();

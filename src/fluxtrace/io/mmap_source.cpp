@@ -1,0 +1,87 @@
+#include "fluxtrace/io/mmap_source.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fluxtrace::io {
+
+std::shared_ptr<MmapByteSource> MmapByteSource::map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return nullptr;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) || st.st_size <= 0) {
+    // Empty files cannot be mapped (mmap of length 0 is EINVAL); the
+    // caller's pread fallback produces the empty image.
+    ::close(fd);
+    return nullptr;
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (addr == MAP_FAILED) {
+    ::close(fd);
+    return nullptr;
+  }
+  // Chunk decode walks the image front to back; tell the pager.
+  ::madvise(addr, len, MADV_SEQUENTIAL);
+  return std::shared_ptr<MmapByteSource>(
+      new MmapByteSource(addr, len, fd, path));
+}
+
+MmapByteSource::MmapByteSource(const void* addr, std::size_t len, int fd,
+                               std::string path)
+    : addr_(addr), len_(len), fd_(fd), path_(std::move(path)) {}
+
+MmapByteSource::~MmapByteSource() {
+  if (addr_ != nullptr) {
+    ::munmap(const_cast<void*>(addr_), len_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t MmapByteSource::current_size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0 || st.st_size < 0) return 0;
+  return static_cast<std::size_t>(st.st_size);
+}
+
+ByteSource::SizeResult MmapByteSource::size() {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    return {errno == EINTR ? ReadStatus::Transient : ReadStatus::Fatal, 0};
+  }
+  return {ReadStatus::Ok, static_cast<std::uint64_t>(st.st_size)};
+}
+
+ByteSource::ReadResult MmapByteSource::read_at(std::uint64_t offset, char* dst,
+                                               std::size_t len) {
+  // Serve from the mapping where both the mapping and the *current* file
+  // size cover the range: pages below the current size are still backed
+  // even after a shrink, so copying them cannot fault.
+  const std::uint64_t safe =
+      std::min<std::uint64_t>(len_, current_size());
+  if (offset < safe) {
+    const std::size_t n =
+        std::min<std::size_t>(len, static_cast<std::size_t>(safe - offset));
+    std::memcpy(dst, static_cast<const char*>(addr_) + offset, n);
+    return {ReadStatus::Ok, n};
+  }
+  // Past the mapping (the file grew after map()) — or past a shrink:
+  // pread answers from the file as it is now.
+  const ssize_t n = ::pread(fd_, dst, len, static_cast<off_t>(offset));
+  if (n < 0) {
+    const bool transient = errno == EINTR || errno == EAGAIN || errno == EIO;
+    return {transient ? ReadStatus::Transient : ReadStatus::Fatal, 0};
+  }
+  return {ReadStatus::Ok, static_cast<std::size_t>(n)};
+}
+
+std::string MmapByteSource::describe() const {
+  return path_ + " (mmap)";
+}
+
+} // namespace fluxtrace::io

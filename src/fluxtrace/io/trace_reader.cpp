@@ -1,15 +1,20 @@
 #include "fluxtrace/io/trace_reader.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <fstream>
 #include <optional>
 #include <sstream>
 #include <thread>
 
 #include "fluxtrace/io/compact.hpp"
 #include "fluxtrace/io/legacy.hpp"
+#include "fluxtrace/io/mmap_source.hpp"
+#include "fluxtrace/io/v3.hpp"
 #include "fluxtrace/obs/metrics.hpp"
 #include "fluxtrace/obs/span.hpp"
 #include "fluxtrace/rt/thread_pool.hpp"
@@ -48,6 +53,7 @@ TraceFormat detect(std::string_view bytes) {
     const std::uint32_t version = peek_u32(bytes, 4);
     if (version == kTraceVersion) return TraceFormat::FlxtV1;
     if (version == kTraceVersion2) return TraceFormat::FlxtV2;
+    if (version == kTraceVersion3) return TraceFormat::FlxtV3;
     return TraceFormat::Unknown;
   }
   std::size_t pos = 0;
@@ -63,6 +69,8 @@ TraceFormat detect(std::string_view bytes) {
 struct IoMetrics {
   obs::Counter& reads = obs::metrics().counter("io.reads");
   obs::Counter& bytes = obs::metrics().counter("io.bytes_decoded");
+  obs::Counter& mmap_opens = obs::metrics().counter("io.mmap_opens");
+  obs::Counter& pread_opens = obs::metrics().counter("io.pread_opens");
 
   static IoMetrics& get() {
     static IoMetrics m;
@@ -70,32 +78,122 @@ struct IoMetrics {
   }
 };
 
+/// Slurp `path` through pread(2) with transient-fault retries. The
+/// injected fault (OpenOptions::read_fault) is consulted before every
+/// attempt: Transient costs one attempt, Short halves the request (both
+/// exactly as FaultableByteSource treats the follow path).
+std::string pread_slurp(const std::string& path, const OpenOptions& opts) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw TraceIoError("cannot open for reading: " + path + ": " +
+                       std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int e = errno;
+    ::close(fd);
+    throw TraceIoError("cannot stat: " + path + ": " + std::strerror(e));
+  }
+  std::string buf;
+  buf.resize(st.st_size > 0 ? static_cast<std::size_t>(st.st_size) : 0);
+  std::size_t at = 0;
+  std::uint32_t attempts = 0;
+  const std::uint32_t max_attempts = std::max(1u, opts.max_read_attempts);
+  while (at < buf.size()) {
+    std::size_t want = buf.size() - at;
+    if (opts.read_fault) {
+      switch (opts.read_fault()) {
+        case ReadFault::None: break;
+        case ReadFault::Transient:
+          if (++attempts >= max_attempts) {
+            ::close(fd);
+            throw TraceIoError("persistent read fault at offset " +
+                               std::to_string(at) + ": " + path);
+          }
+          continue;
+        case ReadFault::Short:
+          want = std::max<std::size_t>(1, want / 2);
+          break;
+      }
+    }
+    const ssize_t n = ::pread(fd, buf.data() + at, want,
+                              static_cast<off_t>(at));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EIO) {
+        if (++attempts >= max_attempts) {
+          const int e = errno;
+          ::close(fd);
+          throw TraceIoError("read failed at offset " + std::to_string(at) +
+                             ": " + path + ": " + std::strerror(e));
+        }
+        continue;
+      }
+      const int e = errno;
+      ::close(fd);
+      throw TraceIoError("read failed: " + path + ": " + std::strerror(e));
+    }
+    if (n == 0) {
+      // The file shrank between fstat and here: the image is what we got.
+      buf.resize(at);
+      break;
+    }
+    at += static_cast<std::size_t>(n);
+    attempts = 0;
+  }
+  ::close(fd);
+  return buf;
+}
+
 } // namespace
 
 TraceReader::TraceReader(std::string bytes, std::string path)
-    : bytes_(std::move(bytes)), path_(std::move(path)),
-      format_(detect(bytes_)) {}
+    : owned_(std::make_shared<const std::string>(std::move(bytes))),
+      view_(*owned_), path_(std::move(path)), format_(detect(view_)) {}
+
+TraceReader::TraceReader(std::shared_ptr<MmapByteSource> mmap,
+                         std::string path)
+    : mmap_(std::move(mmap)), view_(mmap_->view()), path_(std::move(path)),
+      format_(detect(view_)) {}
+
+std::string_view TraceReader::safe_view(bool* did_shrink) const {
+  if (did_shrink != nullptr) *did_shrink = false;
+  if (mmap_ == nullptr) return view_;
+  const std::size_t cur = mmap_->current_size();
+  if (cur >= view_.size()) return view_;
+  if (did_shrink != nullptr) *did_shrink = true;
+  return view_.substr(0, cur);
+}
 
 TraceData TraceReader::read() const {
   OBS_SPAN("io.read");
   IoMetrics::get().reads.inc();
-  IoMetrics::get().bytes.inc(bytes_.size());
+  IoMetrics::get().bytes.inc(view_.size());
   try {
-    const std::string_view body = std::string_view(bytes_).substr(
-        std::min<std::size_t>(8, bytes_.size()));
+    bool shrank = false;
+    const std::string_view whole = safe_view(&shrank);
+    if (shrank) {
+      // A strict read refuses a mapping the file no longer backs: the
+      // missing tail is indistinguishable from truncation damage.
+      throw TraceIoError("file truncated while mapped (" +
+                         std::to_string(whole.size()) + " of " +
+                         std::to_string(view_.size()) + " bytes remain)");
+    }
+    const std::string_view body =
+        whole.substr(std::min<std::size_t>(8, whole.size()));
     switch (format_) {
       case TraceFormat::FlxtV1: return read_trace_v1_body(body);
-      case TraceFormat::FlxtV2: return read_trace_v2_body(body);
+      case TraceFormat::FlxtV2:
+      case TraceFormat::FlxtV3: return read_trace_v2_body(body);
       case TraceFormat::Flxz: {
-        std::istringstream is(bytes_);
+        std::istringstream is{std::string(whole)};
         return read_compact(is);
       }
       case TraceFormat::Unknown: break;
     }
     // Unknown format: reproduce the legacy read_trace() diagnostics.
-    if (bytes_.size() >= 8 && peek_u32(bytes_, 0) == kTraceMagic) {
+    if (whole.size() >= 8 && peek_u32(whole, 0) == kTraceMagic) {
       throw TraceIoError("unsupported trace version " +
-                         std::to_string(peek_u32(bytes_, 4)));
+                         std::to_string(peek_u32(whole, 4)));
     }
     throw TraceIoError("not a fluxtrace file (bad magic)");
   } catch (const TraceIoError& e) {
@@ -117,9 +215,16 @@ TraceData TraceReader::read_parallel(unsigned n_threads) const {
   }
   OBS_SPAN("io.read_parallel");
   IoMetrics::get().reads.inc();
-  IoMetrics::get().bytes.inc(bytes_.size());
+  IoMetrics::get().bytes.inc(view_.size());
   try {
-    const std::string_view body = std::string_view(bytes_).substr(8);
+    bool shrank = false;
+    const std::string_view whole = safe_view(&shrank);
+    if (shrank) {
+      throw TraceIoError("file truncated while mapped (" +
+                         std::to_string(whole.size()) + " of " +
+                         std::to_string(view_.size()) + " bytes remain)");
+    }
+    const std::string_view body = whole.substr(8);
     rt::ThreadPool pool(n);
     return format_ == TraceFormat::FlxtV1
                ? read_trace_v1_body_parallel(body, pool)
@@ -132,11 +237,17 @@ TraceData TraceReader::read_parallel(unsigned n_threads) const {
 
 SalvageReport TraceReader::salvage() const {
   OBS_SPAN("io.salvage");
-  // v2 recovers chunk by chunk. Unknown bytes get the same scan: they may
-  // be a v2 file whose 8-byte header was destroyed, and the chunk-magic
-  // resync finds the surviving chunks regardless.
-  if (format_ == TraceFormat::FlxtV2 || format_ == TraceFormat::Unknown) {
-    return salvage_trace(std::string_view(bytes_));
+  // Chunked formats recover chunk by chunk. Unknown bytes get the same
+  // scan: they may be a chunked file whose 8-byte header was destroyed,
+  // and the chunk-magic resync finds the surviving chunks regardless.
+  // A mapping the file shrank under is clamped to its still-backed
+  // prefix — salvage reports the clamped-off tail as truncated bytes.
+  if (is_chunked_format(format_) || format_ == TraceFormat::Unknown) {
+    bool shrank = false;
+    const std::string_view whole = safe_view(&shrank);
+    SalvageReport rep = salvage_trace(whole);
+    if (shrank) rep.bytes_truncated += view_.size() - whole.size();
+    return rep;
   }
   // v1 and FLXZ are monolithic streams with no internal checksums: any
   // damage is unlocatable, so recovery is all-or-nothing.
@@ -148,7 +259,7 @@ SalvageReport TraceReader::salvage() const {
     rep.chunks_ok = 1; // the single monolithic section, read in full
   } catch (const TraceIoError&) {
     rep.chunks_corrupt = 1;
-    rep.bytes_truncated = bytes_.size();
+    rep.bytes_truncated = view_.size();
   }
   return rep;
 }
@@ -181,14 +292,22 @@ TraceReader::ReadResult TraceReader::read_or_salvage(
 }
 
 TraceReader open_trace(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    throw TraceIoError("cannot open for reading: " + path + ": " +
-                       std::strerror(errno));
+  return open_trace(path, OpenOptions{});
+}
+
+TraceReader open_trace(const std::string& path, const OpenOptions& opts) {
+  // A fault hook implies the pread path: a live mapping has no per-read
+  // hook to inject through.
+  if (!opts.force_pread && !opts.read_fault) {
+    if (auto m = MmapByteSource::map(path)) {
+      IoMetrics::get().mmap_opens.inc();
+      return {std::move(m), path};
+    }
+    // Unmappable (missing, empty, or mmap-hostile): if the file simply
+    // does not exist, pread_slurp produces the errno-carrying throw.
   }
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  return {std::move(buf).str(), path};
+  IoMetrics::get().pread_opens.inc();
+  return {pread_slurp(path, opts), path};
 }
 
 TraceReader open_trace_bytes(std::string bytes) {

@@ -20,13 +20,18 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "fluxtrace/io/chunked.hpp"
+#include "fluxtrace/io/follower.hpp"
 #include "fluxtrace/io/trace_file.hpp"
 
 namespace fluxtrace::io {
+
+class MmapByteSource;
 
 /// What the leading bytes of the file claim it is.
 enum class TraceFormat : std::uint8_t {
@@ -34,6 +39,7 @@ enum class TraceFormat : std::uint8_t {
   FlxtV1,  ///< monolithic v1 container (trace_file.hpp)
   FlxtV2,  ///< CRC-chunked v2 container (chunked.hpp)
   Flxz,    ///< compact varint container (compact.hpp); lossy GPRs
+  FlxtV3,  ///< CRC-chunked, compressed columnar chunks (v3.hpp)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(TraceFormat f) {
@@ -42,8 +48,16 @@ enum class TraceFormat : std::uint8_t {
     case TraceFormat::FlxtV1: return "flxt-v1";
     case TraceFormat::FlxtV2: return "flxt-v2";
     case TraceFormat::Flxz: return "flxz";
+    case TraceFormat::FlxtV3: return "flxt-v3";
   }
   return "?";
+}
+
+/// v2 and v3 are one CHNK chunk family (v3.hpp): everything that walks
+/// chunks — index, selective decode, salvage, FLXI, follower — treats
+/// them identically.
+[[nodiscard]] constexpr bool is_chunked_format(TraceFormat f) {
+  return f == TraceFormat::FlxtV2 || f == TraceFormat::FlxtV3;
 }
 
 /// An opened trace: the file image plus its detected format. Construct
@@ -54,11 +68,17 @@ class TraceReader {
  public:
   [[nodiscard]] TraceFormat format() const { return format_; }
   [[nodiscard]] const std::string& path() const { return path_; }
-  [[nodiscard]] std::size_t size_bytes() const { return bytes_.size(); }
-  /// The raw file image the reader owns. Consumers that walk the
-  /// container themselves (the query engine's selective chunk decode)
-  /// read it through io::index_trace_v2 / decode_trace_v2_chunk.
-  [[nodiscard]] const std::string& bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t size_bytes() const { return view_.size(); }
+  /// The raw file image. Consumers that walk the container themselves
+  /// (the query engine's selective chunk decode) read it through
+  /// io::index_trace_v2 / decode_trace_v2_chunk. The view is either a
+  /// heap copy the reader owns or a read-only mmap of the file
+  /// (open_trace); either way it stays valid for the reader's lifetime
+  /// and across copies of the reader.
+  [[nodiscard]] std::string_view bytes() const { return view_; }
+  /// True when bytes() is a zero-copy mmap of the file rather than a
+  /// heap slurp.
+  [[nodiscard]] bool mapped() const { return mmap_ != nullptr; }
 
   /// Strict parse of the whole trace. Throws TraceIoError on damage or an
   /// unrecognized format; errors carry the path when one is known.
@@ -88,9 +108,18 @@ class TraceReader {
 
   // Prefer the open_trace() free functions; this is their plumbing.
   TraceReader(std::string bytes, std::string path);
+  TraceReader(std::shared_ptr<MmapByteSource> mmap, std::string path);
 
  private:
-  std::string bytes_;
+  /// The still-backed prefix of the view: the whole view normally, a
+  /// clamp to the file's current size when a mapped file shrank under
+  /// us (pages below the current size are always safe to touch). Strict
+  /// reads refuse a shrunk mapping; salvage works on the prefix.
+  [[nodiscard]] std::string_view safe_view(bool* did_shrink) const;
+
+  std::shared_ptr<const std::string> owned_; // heap-slurp ownership
+  std::shared_ptr<MmapByteSource> mmap_;     // mmap ownership
+  std::string_view view_;
   std::string path_;   // empty when opened from memory
   TraceFormat format_ = TraceFormat::Unknown;
 };
@@ -123,10 +152,30 @@ struct TraceTriage {
 
 [[nodiscard]] TraceTriage classify_trace(const TraceReader& reader);
 
-/// Open a trace file, detect its format. Throws TraceIoError only when
-/// the file cannot be read at all (message carries path and errno);
-/// unrecognized content still opens, as TraceFormat::Unknown.
+/// How open_trace acquires the bytes.
+struct OpenOptions {
+  /// Skip mmap and slurp via pread even when a mapping would work
+  /// (benchmark baselines; filesystems where mmap reads are slow).
+  bool force_pread = false;
+  /// Fault injected before each pread attempt (adapt a sim::FaultPlan
+  /// with a lambda — io cannot depend on sim). Only consulted on the
+  /// pread path: a real mapping has no load hook to fail from, so
+  /// providing a fault hook implies force_pread.
+  std::function<ReadFault()> read_fault;
+  /// Transient-read retries per offset before open gives up.
+  std::uint32_t max_read_attempts = 8;
+};
+
+/// Open a trace file, detect its format. The file is mmap'd read-only
+/// when possible (zero-copy: pages are touched on first decode, not
+/// slurped up front) and pread into a heap buffer otherwise — empty
+/// files, mmap-hostile filesystems, force_pread, or fault injection.
+/// Throws TraceIoError only when the file cannot be read at all (message
+/// carries path and errno); unrecognized content still opens, as
+/// TraceFormat::Unknown.
 [[nodiscard]] TraceReader open_trace(const std::string& path);
+[[nodiscard]] TraceReader open_trace(const std::string& path,
+                                     const OpenOptions& opts);
 
 /// Same, over an in-memory file image (tests, network transports).
 [[nodiscard]] TraceReader open_trace_bytes(std::string bytes);

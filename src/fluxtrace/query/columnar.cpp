@@ -1,8 +1,10 @@
 #include "fluxtrace/query/columnar.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <map>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -10,7 +12,9 @@
 #include "fluxtrace/core/integrator.hpp"
 #include "fluxtrace/core/trace_table.hpp"
 #include "fluxtrace/io/chunked.hpp"
+#include "fluxtrace/io/v3.hpp"
 #include "fluxtrace/obs/span.hpp"
+#include "fluxtrace/rt/thread_pool.hpp"
 
 namespace fluxtrace::query {
 
@@ -291,44 +295,81 @@ ColumnarTrace ColumnarTrace::from_reader(const io::TraceReader& reader,
                                          const SymbolTable& symtab,
                                          const BuildOptions& opts,
                                          unsigned n_threads) {
-  if (reader.format() == io::TraceFormat::FlxtV2) {
-    // Column-direct decode for the common case: a clean chunked image.
-    // Any structural or payload damage drops to the generic
-    // read-or-salvage path below, which reproduces the old behaviour
-    // (and diagnostics) exactly.
+  if (io::is_chunked_format(reader.format())) {
+    // Column-direct decode for the common case: a clean chunked image
+    // (raw v2 or compressed v3 sample chunks — one chunk family). Any
+    // structural or payload damage drops to the generic read-or-salvage
+    // path below, which reproduces the old behaviour (and diagnostics)
+    // exactly.
     try {
       OBS_SPAN("query.columnar_build");
-      const std::vector<io::V2ChunkRef> refs =
-          io::index_trace_v2(reader.bytes());
+      const std::string_view bytes = reader.bytes();
+      const std::vector<io::V2ChunkRef> refs = io::index_trace_v2(bytes);
       ColumnarTrace t;
       t.zone_rows_ = opts.zone_rows != 0 ? opts.zone_rows : 65536;
-      // One exact pre-reserve so the per-chunk decode never reallocates.
+      // Split the walk: markers decode inline (they feed attribution),
+      // sample chunks get a prefix-summed row offset each so their
+      // decodes can run concurrently into disjoint column slices.
+      // Wait-edge chunks are skipped outright — attribution never reads
+      // them, and inflating them here was pure waste.
+      struct SampleChunk {
+        const io::V2ChunkRef* ref;
+        std::size_t row0;
+      };
+      std::vector<SampleChunk> schunks;
       std::size_t total_rows = 0;
-      for (const io::V2ChunkRef& ref : refs) {
-        if (ref.type == io::kChunkTypeSamples) total_rows += ref.n_records;
-      }
       io::TraceData marker_data;
-      io::SampleColumnSink sink;
-      sink.tsc = &t.cols_[idx(Field::Ts)];
-      sink.ip = &t.cols_[idx(Field::Ip)];
-      sink.core = &t.cols_[idx(Field::Core)];
-      if (opts.use_register_ids) {
-        sink.reg = &t.cols_[idx(Field::Item)];
-        sink.reg_index = static_cast<unsigned>(kItemIdReg);
-      }
-      sink.tsc->reserve(total_rows);
-      sink.ip->reserve(total_rows);
-      sink.core->reserve(total_rows);
-      if (sink.reg != nullptr) sink.reg->reserve(total_rows);
       for (const io::V2ChunkRef& ref : refs) {
-        if (ref.type == io::kChunkTypeSamples) {
-          io::decode_trace_v2_samples_columnar(reader.bytes(), ref, sink);
-        } else {
-          io::decode_trace_v2_chunk(reader.bytes(), ref, marker_data);
+        if (io::is_sample_chunk_type(ref.type)) {
+          schunks.push_back({&ref, total_rows});
+          total_rows += ref.n_records;
+        } else if (io::is_marker_chunk_type(ref.type)) {
+          io::decode_trace_v2_chunk(bytes, ref, marker_data);
         }
       }
-      t.n_rows_ = t.cols_[idx(Field::Ts)].size();
-      for (auto& c : t.cols_) c.resize(t.n_rows_);
+      t.n_rows_ = total_rows;
+      for (auto& c : t.cols_) c.resize(total_rows);
+      const bool want_reg = opts.use_register_ids;
+      const auto slice_for = [&](const SampleChunk& sc) {
+        io::SampleColumnSlice s;
+        s.tsc = t.cols_[idx(Field::Ts)].data() + sc.row0;
+        s.ip = t.cols_[idx(Field::Ip)].data() + sc.row0;
+        s.core = t.cols_[idx(Field::Core)].data() + sc.row0;
+        if (want_reg) {
+          s.reg = t.cols_[idx(Field::Item)].data() + sc.row0;
+          s.reg_index = static_cast<unsigned>(kItemIdReg);
+        }
+        return s;
+      };
+      const auto decode_one = [&](const SampleChunk& sc) {
+        const io::SampleColumnSlice s = slice_for(sc);
+        if (sc.ref->type == io::kChunkTypeSamples) {
+          io::decode_trace_v2_samples_slice(bytes, *sc.ref, s);
+        } else {
+          io::decode_v3_samples_into(bytes, *sc.ref, s);
+        }
+      };
+      const unsigned n =
+          n_threads != 0 ? n_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+      if (n <= 1 || schunks.size() <= 1) {
+        for (const SampleChunk& sc : schunks) decode_one(sc);
+      } else {
+        // Damage inside a worker may not throw across the pool: flag it
+        // and let the strict fallback reproduce the exact diagnostics.
+        std::atomic<bool> any_bad{false};
+        rt::ThreadPool pool(std::min<std::size_t>(n, schunks.size()));
+        pool.parallel_for(schunks.size(), [&](std::size_t k) {
+          try {
+            decode_one(schunks[k]);
+          } catch (const io::TraceIoError&) {
+            any_bad.store(true, std::memory_order_relaxed);
+          }
+        });
+        if (any_bad.load()) {
+          throw io::TraceIoError("damaged sample chunk in parallel decode");
+        }
+      }
       t.attribute(marker_data.markers, symtab, opts);
       t.build_zones();
       return t;

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "fluxtrace/io/chunked.hpp"
+#include "fluxtrace/io/v3.hpp"
 #include "fluxtrace/obs/metrics.hpp"
 #include "fluxtrace/obs/span.hpp"
 #include "fluxtrace/query/lex.hpp"
@@ -30,6 +31,8 @@ struct QueryMetrics {
   obs::Counter& rows_scanned = obs::metrics().counter("query.rows_scanned");
   obs::Counter& rows_matched = obs::metrics().counter("query.rows_matched");
   obs::Counter& chunks_pruned = obs::metrics().counter("query.chunks_pruned");
+  obs::Counter& chunks_pruned_compressed =
+      obs::metrics().counter("query.chunks_pruned_compressed");
   obs::Counter& blocks_skipped =
       obs::metrics().counter("query.blocks_skipped");
   obs::Counter& index_hits = obs::metrics().counter("query.index_hits");
@@ -363,7 +366,7 @@ QueryEngine::Loaded QueryEngine::load_for(const Query& q,
   const PruneHints hints =
       q.filter ? extract_prune_hints(*q.filter) : PruneHints{};
   const bool may_prune = opts_.use_index && !q.outliers.has_value() &&
-                         reader_.format() == io::TraceFormat::FlxtV2 &&
+                         io::is_chunked_format(reader_.format()) &&
                          hints.selective() && !full_.has_value();
 
   if (may_prune && !index_.has_value() && !index_load_tried_ &&
@@ -402,7 +405,7 @@ QueryEngine::Loaded QueryEngine::load_for(const Query& q,
     std::vector<const io::V2ChunkRef*> sample_refs;
     if (layout_ok) {
       for (const io::V2ChunkRef& r : refs) {
-        if (r.type == io::kChunkTypeSamples) sample_refs.push_back(&r);
+        if (io::is_sample_chunk_type(r.type)) sample_refs.push_back(&r);
       }
       if (sample_refs.size() != index_->chunks.size()) layout_ok = false;
       for (std::size_t i = 0; layout_ok && i < sample_refs.size(); ++i) {
@@ -415,9 +418,10 @@ QueryEngine::Loaded QueryEngine::load_for(const Query& q,
       io::TraceData subset;
       bool decode_ok = true;
       std::size_t kept = 0;
+      std::size_t pruned_compressed = 0;
       try {
         for (const io::V2ChunkRef& r : refs) {
-          if (r.type == io::kChunkTypeMarkers) {
+          if (io::is_marker_chunk_type(r.type)) {
             io::decode_trace_v2_chunk(reader_.bytes(), r, subset);
           }
         }
@@ -445,7 +449,12 @@ QueryEngine::Loaded QueryEngine::load_for(const Query& q,
             }
             keep = any;
           }
-          if (!keep) continue;
+          if (!keep) {
+            if (io::is_compressed_chunk_type(sample_refs[i]->type)) {
+              ++pruned_compressed;
+            }
+            continue;
+          }
           ++kept;
           io::decode_trace_v2_chunk(reader_.bytes(), *sample_refs[i],
                                     subset);
@@ -461,9 +470,73 @@ QueryEngine::Loaded QueryEngine::load_for(const Query& q,
         out.stats.chunks_total = index_->chunks.size();
         out.stats.chunks_read = kept;
         out.stats.chunks_pruned = index_->chunks.size() - kept;
+        out.stats.chunks_pruned_compressed = pruned_compressed;
         out.stats.index_used = true;
         QueryMetrics::get().index_hits.inc();
         QueryMetrics::get().chunks_pruned.inc(out.stats.chunks_pruned);
+        QueryMetrics::get().chunks_pruned_compressed.inc(pruned_compressed);
+        return out;
+      }
+    }
+  }
+
+  // Sidecar-free pruning: v3 compressed chunks carry an encode-time
+  // min/max ts hint at a fixed payload offset (v3.hpp), so a ts-selective
+  // query can skip chunks without inflating them even before any FLXI
+  // sidecar exists. The hint covers only the time column, so it is
+  // useless for item/func predicates, and like FLXI ts pruning it is
+  // unsound once the query references dur (durations attribute across
+  // chunk boundaries). A chunk whose payload fails the frame CRC reports
+  // hint.ok == false and is decoded the hard way instead.
+  if (may_prune && !index_.has_value() &&
+      reader_.format() == io::TraceFormat::FlxtV3 && !q.references_dur() &&
+      !hints.ts.full()) {
+    bool walk_ok = true;
+    std::vector<io::V2ChunkRef> refs;
+    try {
+      refs = io::index_trace_v2(reader_.bytes());
+    } catch (const io::TraceIoError&) {
+      walk_ok = false;
+    }
+    if (walk_ok) {
+      io::TraceData subset;
+      std::size_t total = 0;
+      std::size_t kept = 0;
+      std::size_t pruned_compressed = 0;
+      try {
+        for (const io::V2ChunkRef& r : refs) {
+          if (io::is_marker_chunk_type(r.type)) {
+            io::decode_trace_v2_chunk(reader_.bytes(), r, subset);
+            continue;
+          }
+          if (!io::is_sample_chunk_type(r.type)) continue;
+          ++total;
+          if (io::is_compressed_chunk_type(r.type)) {
+            const io::V3ZoneHint hint =
+                io::read_v3_zone_hint(reader_.bytes(), r);
+            if (hint.ok && (hints.ts.empty() ||
+                            !hints.ts.intersects(hint.min_ts, hint.max_ts))) {
+              ++pruned_compressed;
+              continue;
+            }
+          }
+          ++kept;
+          io::decode_trace_v2_chunk(reader_.bytes(), r, subset);
+        }
+      } catch (const io::TraceIoError&) {
+        walk_ok = false; // damage: the full scan below salvages
+      }
+      if (walk_ok) {
+        scratch = ColumnarTrace::build(
+            subset, symtab_,
+            BuildOptions{opts_.use_register_ids, opts_.block_rows});
+        out.table = &*scratch;
+        out.stats.chunks_total = total;
+        out.stats.chunks_read = kept;
+        out.stats.chunks_pruned = total - kept;
+        out.stats.chunks_pruned_compressed = pruned_compressed;
+        QueryMetrics::get().chunks_pruned.inc(out.stats.chunks_pruned);
+        QueryMetrics::get().chunks_pruned_compressed.inc(pruned_compressed);
         return out;
       }
     }
@@ -777,6 +850,7 @@ QueryResult QueryEngine::finish_partials(const Query& q,
     res.stats.chunks_total += s.chunks_total;
     res.stats.chunks_read += s.chunks_read;
     res.stats.chunks_pruned += s.chunks_pruned;
+    res.stats.chunks_pruned_compressed += s.chunks_pruned_compressed;
     res.stats.rows_scanned += s.rows_scanned;
     res.stats.rows_matched += s.rows_matched;
     res.stats.blocks_total += s.blocks_total;
@@ -897,14 +971,15 @@ QueryResult QueryEngine::finish_partials(const Query& q,
 void QueryEngine::ensure_wait_edges_loaded() {
   if (wait_loaded_) return;
   wait_loaded_ = true;
-  // Wait edges only exist in the v2 chunked container; v1/FLXZ traces
-  // simply have none (an empty graph, not an error).
-  if (reader_.format() != io::TraceFormat::FlxtV2) return;
+  // Wait edges only exist in the chunked containers (v2 raw, v3
+  // compressed); v1/FLXZ traces simply have none (an empty graph, not an
+  // error).
+  if (!io::is_chunked_format(reader_.format())) return;
   const std::string_view bytes = reader_.bytes();
   try {
     io::TraceData scratch;
     for (const io::V2ChunkRef& ref : io::index_trace_v2(bytes)) {
-      if (ref.type != io::kChunkTypeWaitEdges) continue;
+      if (!io::is_wait_chunk_type(ref.type)) continue;
       io::decode_trace_v2_chunk(bytes, ref, scratch);
     }
     wait_edges_ = std::move(scratch.wait_edges);

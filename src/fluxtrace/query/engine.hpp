@@ -159,6 +159,9 @@ struct ScanStats {
   std::size_t chunks_total = 0;  ///< sample chunks in the trace (0: not v2)
   std::size_t chunks_read = 0;   ///< sample chunks actually decoded
   std::size_t chunks_pruned = 0; ///< skipped via the FLXI zone maps
+  /// of chunks_pruned: compressed (v3) chunks skipped without ever
+  /// being inflated — via the in-payload zone hint or the sidecar.
+  std::size_t chunks_pruned_compressed = 0;
   std::size_t rows_scanned = 0;  ///< rows the filter was evaluated over
   std::size_t rows_matched = 0;
   std::size_t blocks_total = 0;   ///< scan blocks in the loaded rows

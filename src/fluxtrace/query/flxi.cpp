@@ -5,8 +5,9 @@
 #include <limits>
 #include <sstream>
 
-#include "fluxtrace/io/chunked.hpp" // io::crc32 + the v2 chunk walk
+#include "fluxtrace/io/chunked.hpp" // io::crc32 + the chunk walk
 #include "fluxtrace/io/trace_reader.hpp"
+#include "fluxtrace/io/v3.hpp" // is_sample_chunk_type
 #include "fluxtrace/query/columnar.hpp"
 
 namespace fluxtrace::query {
@@ -184,9 +185,10 @@ std::optional<FlxiIndex> build_flxi(const io::TraceReader& reader,
                                     const SymbolTable& symtab,
                                     bool use_register_ids,
                                     std::uint32_t trace_crc) {
-  // An index is only meaningful over a *clean* v2 image: salvaged rows do
-  // not line up with the chunk layout, and other formats have no chunks.
-  if (reader.format() != io::TraceFormat::FlxtV2 || table.salvaged()) {
+  // An index is only meaningful over a *clean* chunked image (v2 or v3):
+  // salvaged rows do not line up with the chunk layout, and other formats
+  // have no chunks.
+  if (!io::is_chunked_format(reader.format()) || table.salvaged()) {
     return std::nullopt;
   }
   std::vector<io::V2ChunkRef> refs;
@@ -212,7 +214,7 @@ std::optional<FlxiIndex> build_flxi(const io::TraceReader& reader,
   std::vector<std::uint32_t> touched;
   std::size_t row = 0;
   for (const io::V2ChunkRef& ref : refs) {
-    if (ref.type != io::kChunkTypeSamples) continue;
+    if (!io::is_sample_chunk_type(ref.type)) continue;
     FlxiChunk c;
     c.offset = ref.offset;
     c.n_records = ref.n_records;
@@ -274,7 +276,7 @@ SidecarStatus refresh_sidecar(const std::string& trace_path,
                        (existing->flags & kFlxiFlagRegisterIds) == mode_flag;
     if (fresh) return SidecarStatus::Fresh;
   }
-  if (reader.format() != io::TraceFormat::FlxtV2) {
+  if (!io::is_chunked_format(reader.format())) {
     return SidecarStatus::Unindexable;
   }
   const ColumnarTrace table = ColumnarTrace::from_reader(

@@ -105,6 +105,11 @@ void print_stats(std::ostream& os, const ScanStats& stats) {
   os << "rows " << stats.rows_scanned << " matched " << stats.rows_matched
      << ", chunks " << stats.chunks_total << " read " << stats.chunks_read
      << " pruned " << stats.chunks_pruned;
+  if (stats.chunks_pruned_compressed > 0) {
+    // Compressed (v3) chunks skipped without ever being inflated — the
+    // zone hint or sidecar ruled them out from the frame bytes alone.
+    os << " (" << stats.chunks_pruned_compressed << " compressed, no decode)";
+  }
   if (stats.index_used) os << " (index)";
   if (stats.index_written) os << " (index written)";
   if (stats.salvaged) os << " (salvaged)";

@@ -16,6 +16,7 @@
 
 #include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
+#include "fluxtrace/io/v3.hpp"
 #include "fluxtrace/query/flxi.hpp"
 
 namespace fluxtrace::hub {
@@ -440,6 +441,55 @@ TEST_F(CatalogFixture, EveryTraceIsAccountedAfterChaos) {
   // After retention everything user-visible is expired or quarantined.
   EXPECT_EQ(state_of(cat, TraceState::Ok).size(), 0u);
   EXPECT_EQ(state_of(cat, TraceState::Quarantined).size(), 0u);
+}
+
+TEST_F(CatalogFixture, V3MemberIngestsCleanWithSidecar) {
+  const std::string path = dir + "/c.flxt3";
+  io::save_trace_v3(path, make_session(0, 6).data, 8);
+  write_session("a.flxt", 100, 6); // mixed-format directory
+  Catalog cat = Catalog::open(dir, symtab, opts());
+  const IngestReport rep = cat.ingest();
+  EXPECT_EQ(rep.scanned, 2u);
+  EXPECT_EQ(rep.registered, 2u);
+  EXPECT_EQ(rep.failed, 0u);
+  const TraceEntry& e = cat.manifest().entries().at(path);
+  EXPECT_EQ(e.state, TraceState::Ok);
+  EXPECT_TRUE(e.sidecar); // FLXI builds over v3 compressed chunks too
+  EXPECT_EQ(e.rows, 36u);
+}
+
+TEST_F(CatalogFixture, DamagedV3MemberSalvagesWithLossAccounting) {
+  const std::string path = dir + "/dmg.flxt3";
+  io::save_trace_v3(path, make_session(0, 8, 3).data, 8);
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    bytes = std::move(buf).str();
+  }
+  // Flip one byte inside a compressed chunk payload: triage must lose
+  // only that chunk and keep the member queryable as Salvaged.
+  const auto refs = io::index_trace_v2(bytes);
+  std::size_t victim = 0;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (io::is_sample_chunk_type(refs[i].type)) victim = i;
+  }
+  bytes[static_cast<std::size_t>(refs[victim].offset) + 21 +
+        refs[victim].payload_bytes / 2] ^= '\x01';
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  Catalog cat = Catalog::open(dir, symtab, opts());
+  const IngestReport rep = cat.ingest();
+  EXPECT_EQ(rep.salvaged, 1u);
+  const TraceEntry& e = cat.manifest().entries().at(path);
+  EXPECT_EQ(e.state, TraceState::Salvaged);
+  EXPECT_EQ(e.chunks_corrupt, 1u);
+  EXPECT_GT(e.chunks_ok, 0u);
+  // Loss accounted to exactly that chunk: every other sample survives.
+  EXPECT_EQ(e.rows, 48u - refs[victim].n_records);
 }
 
 } // namespace

@@ -8,8 +8,11 @@
 //   flxt_convert <in> <out> --to-compact        any input -> FLXZ
 //   flxt_convert <in> <out> --to-full           any input -> FLXT v1
 //   flxt_convert <in> <out> --to-v2             any input -> FLXT v2
+//   flxt_convert <in> <out> --to-v3             any input -> FLXT v3
+//                                               (compressed columnar
+//                                               chunks, docs/format.md)
 //   flxt_convert <in> <out> --to-v2 --chunk-records N
-//                                               v2 with N records per
+//                                               v2/v3 with N records per
 //                                               chunk (smaller chunks =
 //                                               finer flxt_query pruning)
 //   flxt_convert <in> <out> --to-full --salvage damaged input: convert
@@ -21,6 +24,7 @@
 #include "cli.hpp"
 #include "fluxtrace/io/chunked.hpp"
 #include "fluxtrace/io/compact.hpp"
+#include "fluxtrace/io/v3.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
 
 using namespace fluxtrace;
@@ -37,24 +41,26 @@ std::uint64_t file_size(const char* path) {
 int main(int argc, char** argv) try {
   tools::Cli cli(argc, argv,
                  std::string("usage: ") + argv[0] +
-                     " <in> <out> --to-compact|--to-full|--to-v2 "
+                     " <in> <out> --to-compact|--to-full|--to-v2|--to-v3 "
                      "[--chunk-records N] [--salvage] [--telemetry FILE] "
                      "[--metrics] [--version]");
   bool to_compact = false;
   bool to_full = false;
   bool to_v2 = false;
+  bool to_v3 = false;
   bool salvage = false;
   unsigned chunk_records = 0;
   cli.flag("--to-compact", &to_compact);
   cli.flag("--to-full", &to_full);
   cli.flag("--to-v2", &to_v2);
+  cli.flag("--to-v3", &to_v3);
   cli.flag("--salvage", &salvage);
   cli.flag_uint("--chunk-records", &chunk_records);
   tools::Telemetry tel;
   tel.attach(cli);
   if (!cli.parse(2, 2)) return cli.usage();
   if (static_cast<int>(to_compact) + static_cast<int>(to_full) +
-          static_cast<int>(to_v2) !=
+          static_cast<int>(to_v2) + static_cast<int>(to_v3) !=
       1) {
     return cli.usage();
   }
@@ -83,6 +89,10 @@ int main(int argc, char** argv) try {
       io::save_trace_v2(out, data,
                         chunk_records > 0 ? chunk_records
                                           : io::kDefaultChunkRecords);
+    } else if (to_v3) {
+      io::save_trace_v3(out, data,
+                        chunk_records > 0 ? chunk_records
+                                          : io::kDefaultChunkRecordsV3);
     } else {
       io::save_trace(out, data);
     }

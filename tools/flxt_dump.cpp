@@ -1,5 +1,8 @@
 // flxt_dump — inspect a fluxtrace binary trace file. Any container the
-// io::TraceReader facade understands (FLXT v1/v2, FLXZ compact) works.
+// io::TraceReader facade understands (FLXT v1/v2/v3, FLXZ compact)
+// works. For a v3 compressed-columnar trace the footer also reports
+// per-column raw vs. encoded bytes and which codec carried each column
+// (docs/format.md).
 //
 //   flxt_dump <trace>                  summary + first records
 //   flxt_dump <trace> --head N         show N records of each stream
@@ -23,6 +26,7 @@
 
 #include "cli.hpp"
 #include "fluxtrace/io/trace_reader.hpp"
+#include "fluxtrace/io/v3.hpp"
 
 using namespace fluxtrace;
 
@@ -130,6 +134,41 @@ void print_summary_footer(const io::TraceData& data) {
   }
 }
 
+// Per-column compression accounting for a v3 trace: raw fixed-width
+// bytes vs. encoded bytes, the ratio, and the codec that carried most
+// chunks of the column. Appended after the health footer so `flxt_dump
+// trace.flxt3` answers "what is the compression actually doing?".
+void print_compression_footer(const std::vector<io::V3ColumnSummary>& cols) {
+  if (cols.empty()) return;
+  std::printf("\ncompression (v3 columns):\n");
+  std::printf("  %-16s %12s %12s %8s  %s\n", "column", "raw", "encoded",
+              "ratio", "codec");
+  std::uint64_t raw_total = 0, enc_total = 0;
+  for (const io::V3ColumnSummary& c : cols) {
+    raw_total += c.raw_bytes;
+    enc_total += c.enc_bytes;
+    std::uint8_t top = 0;
+    for (std::uint8_t k = 1; k < codec::kNumColumnCodecs; ++k) {
+      if (c.codec_chunks[k] > c.codec_chunks[top]) top = k;
+    }
+    std::printf("  %-16s %12llu %12llu %7.2fx  %s\n", c.name.c_str(),
+                static_cast<unsigned long long>(c.raw_bytes),
+                static_cast<unsigned long long>(c.enc_bytes),
+                c.enc_bytes > 0 ? static_cast<double>(c.raw_bytes) /
+                                      static_cast<double>(c.enc_bytes)
+                                : 0.0,
+                std::string(codec::column_codec_name(
+                                static_cast<codec::ColumnCodec>(top)))
+                    .c_str());
+  }
+  std::printf("  %-16s %12llu %12llu %7.2fx\n", "total",
+              static_cast<unsigned long long>(raw_total),
+              static_cast<unsigned long long>(enc_total),
+              enc_total > 0 ? static_cast<double>(raw_total) /
+                                  static_cast<double>(enc_total)
+                            : 0.0);
+}
+
 } // namespace
 
 int main(int argc, char** argv) try {
@@ -153,8 +192,16 @@ int main(int argc, char** argv) try {
   const char* path = cli.pos(0);
 
   io::TraceData data;
+  std::vector<io::V3ColumnSummary> comp;
   try {
     const io::TraceReader reader = io::open_trace(path);
+    if (reader.format() == io::TraceFormat::FlxtV3) {
+      try {
+        comp = io::v3_compression_stats(reader.bytes());
+      } catch (const io::TraceIoError&) {
+        // damaged image: the summary below still covers what was read
+      }
+    }
     if (salvage) {
       io::SalvageReport rep = reader.salvage();
       std::fprintf(stderr,
@@ -208,6 +255,7 @@ int main(int argc, char** argv) try {
                 static_cast<unsigned long long>(s.regs.get(Reg::R13)));
   }
   print_summary_footer(data);
+  print_compression_footer(comp);
   return tel.finish();
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,8 +1,10 @@
 // flxt_recover — salvage a damaged trace (a crash mid-dump, a bit-rotted
-// sector). FLXT v2 input recovers every chunk whose header and payload
+// sector). Chunked input (FLXT v2 raw or v3 compressed — one chunk
+// family) recovers every chunk whose header, payload, and per-column
 // CRCs check out — even when the file header itself is destroyed — and
 // rewrites them as a clean v2 file; damage is reported, never silently
-// returned as data. Monolithic formats (v1, FLXZ) recover all-or-nothing.
+// returned as data, and a damaged compressed column costs only its own
+// chunk. Monolithic formats (v1, FLXZ) recover all-or-nothing.
 //
 //   flxt_recover <damaged> [<out>]     report only, or also write <out>
 //   flxt_recover <trace> <symbols> --rebuild-index [--regs]
